@@ -1,0 +1,146 @@
+//! Simulation reports and profiling counters.
+//!
+//! The counter names follow NVIDIA's profiling tools, which the paper quotes
+//! in Table 9: `sm_efficiency` (fraction of time at least one warp is active
+//! on an SM), `elapsed_cycles_sm` (clock cycles elapsed per SM summed over
+//! SMs), and `grid_size` (number of thread blocks / tasks).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-PE utilization breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PeUtilization {
+    /// Nanoseconds during which at least one task was resident.
+    pub busy_ns: f64,
+    /// Number of tasks this PE executed.
+    pub tasks: usize,
+    /// Warp-nanoseconds of residency (for occupancy accounting).
+    pub warp_ns: f64,
+}
+
+/// The result of simulating one or more launches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end wall-clock time in nanoseconds, including launch overhead.
+    pub time_ns: f64,
+    /// Device-busy portion (excludes host launch overhead).
+    pub device_ns: f64,
+    /// Total number of tasks executed (`grid_size`).
+    pub grid_size: usize,
+    /// Fraction of PE-time with at least one resident task
+    /// (`sm_efficiency`, in `[0, 1]`).
+    pub sm_efficiency: f64,
+    /// Clock cycles elapsed per PE, summed across PEs
+    /// (`elapsed_cycles_sm`).
+    pub elapsed_cycles_sm: f64,
+    /// Average resident warps per PE while the device was busy, as a
+    /// fraction of the per-PE warp cap (`achieved_occupancy`, in `[0, 1]`).
+    pub achieved_occupancy: f64,
+    /// Total floating-point operations of the launch(es).
+    pub total_flops: f64,
+    /// Per-PE utilization.
+    pub per_pe: Vec<PeUtilization>,
+}
+
+impl SimReport {
+    /// Achieved throughput in TFLOPS.
+    pub fn tflops(&self) -> f64 {
+        if self.time_ns <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops / self.time_ns / 1e3
+    }
+
+    /// End-to-end time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.time_ns / 1e3
+    }
+
+    /// End-to-end time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.time_ns / 1e6
+    }
+
+    /// Merges two sequential reports (their times add; counters are combined
+    /// with time-weighted averages).
+    pub fn chain(&self, other: &SimReport) -> SimReport {
+        let time_ns = self.time_ns + other.time_ns;
+        let device_ns = self.device_ns + other.device_ns;
+        let weight = |a: f64, b: f64| {
+            if device_ns > 0.0 {
+                (a * self.device_ns + b * other.device_ns) / device_ns
+            } else {
+                0.0
+            }
+        };
+        let mut per_pe = self.per_pe.clone();
+        if per_pe.len() < other.per_pe.len() {
+            per_pe.resize(other.per_pe.len(), PeUtilization::default());
+        }
+        for (dst, src) in per_pe.iter_mut().zip(&other.per_pe) {
+            dst.busy_ns += src.busy_ns;
+            dst.tasks += src.tasks;
+            dst.warp_ns += src.warp_ns;
+        }
+        SimReport {
+            time_ns,
+            device_ns,
+            grid_size: self.grid_size + other.grid_size,
+            sm_efficiency: weight(self.sm_efficiency, other.sm_efficiency),
+            elapsed_cycles_sm: self.elapsed_cycles_sm + other.elapsed_cycles_sm,
+            achieved_occupancy: weight(self.achieved_occupancy, other.achieved_occupancy),
+            total_flops: self.total_flops + other.total_flops,
+            per_pe,
+        }
+    }
+
+    /// An empty (zero-time) report.
+    pub fn empty(num_pes: usize) -> SimReport {
+        SimReport {
+            time_ns: 0.0,
+            device_ns: 0.0,
+            grid_size: 0,
+            sm_efficiency: 0.0,
+            elapsed_cycles_sm: 0.0,
+            achieved_occupancy: 0.0,
+            total_flops: 0.0,
+            per_pe: vec![PeUtilization::default(); num_pes],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tflops_is_flops_over_time() {
+        let mut r = SimReport::empty(4);
+        r.time_ns = 1e6;
+        r.total_flops = 2e12;
+        assert!((r.tflops() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_adds_times_and_weights_efficiency() {
+        let mut a = SimReport::empty(2);
+        a.time_ns = 100.0;
+        a.device_ns = 100.0;
+        a.sm_efficiency = 1.0;
+        a.grid_size = 10;
+        let mut b = SimReport::empty(2);
+        b.time_ns = 300.0;
+        b.device_ns = 300.0;
+        b.sm_efficiency = 0.5;
+        b.grid_size = 30;
+        let c = a.chain(&b);
+        assert_eq!(c.time_ns, 400.0);
+        assert_eq!(c.grid_size, 40);
+        assert!((c.sm_efficiency - (1.0 * 100.0 + 0.5 * 300.0) / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_throughput() {
+        assert_eq!(SimReport::empty(8).tflops(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic measurement noise.
+//!
+//! Real hardware measurements fluctuate run to run; the paper averages 20
+//! runs after warm-up. To make the offline performance-model *fitting* a
+//! genuine regression (instead of reading back the simulator's closed form),
+//! the simulator perturbs durations in measurement mode with a deterministic
+//! hash-based noise: the same (seed, task) pair always sees the same
+//! perturbation, so every experiment is exactly reproducible.
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes an arbitrary list of integers into a uniform `f64` in `[0, 1)`.
+pub fn hash_f64(seed: u64, words: &[u64]) -> f64 {
+    let mut h = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    // 53 mantissa bits -> uniform in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic noise factor in `[1 - amplitude, 1 + amplitude]`.
+///
+/// `words` identifies the measurement (task dimensions, instance count, run
+/// index, ...); identical inputs give identical noise.
+pub fn unit_noise(seed: u64, words: &[u64], amplitude: f64) -> f64 {
+    1.0 + (2.0 * hash_f64(seed, words) - 1.0) * amplitude
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_f64(7, &[1, 2, 3]), hash_f64(7, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn hash_is_sensitive_to_inputs() {
+        assert_ne!(hash_f64(7, &[1, 2, 3]), hash_f64(7, &[1, 2, 4]));
+        assert_ne!(hash_f64(7, &[1, 2, 3]), hash_f64(8, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn hash_in_unit_interval() {
+        for i in 0..1000u64 {
+            let v = hash_f64(42, &[i]);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hash_is_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| hash_f64(1, &[i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn noise_respects_amplitude() {
+        for i in 0..1000u64 {
+            let v = unit_noise(3, &[i], 0.02);
+            assert!((0.98..=1.02).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        assert_eq!(unit_noise(3, &[9], 0.0), 1.0);
+    }
+}

@@ -1,0 +1,552 @@
+//! Event-driven execution of launches across PEs.
+//!
+//! Tasks are admitted to PEs as warp slots and `M_local` capacity permit,
+//! mirroring the GPU's hardware block scheduler
+//! ([`AllocationPolicy::DynamicHardware`]) or a compiler-provided static
+//! placement ([`AllocationPolicy::StaticCompilerAssigned`], the NPU path).
+//! Co-resident tasks on a PE occupy disjoint warp slots (compute throughput
+//! is warp-partitioned, see [`crate::KernelTiming`]); if their aggregate
+//! memory demand exceeds the PE's bandwidth share, all residents slow down
+//! proportionally (the congestion factor).
+//!
+//! This reproduces the paper's wave behaviour: a grid of `g` tasks that each
+//! occupy a full PE executes in `ceil(g / |P_multi|)` waves, and a nearly
+//! empty tail wave shows up as a drop in `sm_efficiency` (Fig. 15, Table 9).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::{PeUtilization, SimReport};
+use crate::machine::{AllocationPolicy, MachineModel};
+use crate::task::Launch;
+use crate::timing::{measure_pipelined_task, TimingMode};
+
+/// Completion-time comparison tolerance (ns). Tasks whose remaining work
+/// differs by less than this complete in the same event, which keeps the
+/// event count proportional to the number of waves for homogeneous grids.
+const EPS_NS: f64 = 1e-6;
+
+/// One task's lifetime in a traced simulation: which PE ran it, when, and
+/// how many warps it occupied — the raw material of the paper's Fig. 15(b)
+/// warp-time rectangles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// PE the task ran on.
+    pub pe: usize,
+    /// Index of the task's group within the launch.
+    pub group: usize,
+    /// Admission time, ns.
+    pub start_ns: f64,
+    /// Completion time, ns.
+    pub end_ns: f64,
+    /// Warps occupied while resident.
+    pub warps: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingTask {
+    base_ns: f64,
+    warps: usize,
+    local_mem: usize,
+    avg_bw: f64,
+    group: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    remaining_base_ns: f64,
+    warps: usize,
+    local_mem: usize,
+    avg_bw: f64,
+    group: usize,
+    start_ns: f64,
+}
+
+#[derive(Debug, Default)]
+struct PeState {
+    residents: Vec<Resident>,
+    used_warps: usize,
+    used_mem: usize,
+    bw_demand: f64,
+    factor: f64,
+    util: PeUtilization,
+}
+
+impl PeState {
+    fn recompute_factor(&mut self, pe_bw: f64) {
+        self.factor = (self.bw_demand / pe_bw).max(1.0);
+    }
+
+    fn fits(&self, machine: &MachineModel, t: &PendingTask) -> bool {
+        self.used_warps + t.warps <= machine.warp_cap_per_pe
+            && self.used_mem + t.local_mem <= machine.local_mem_bytes
+    }
+
+    fn admit(&mut self, t: &PendingTask, pe_bw: f64, now: f64) {
+        self.residents.push(Resident {
+            remaining_base_ns: t.base_ns,
+            warps: t.warps,
+            local_mem: t.local_mem,
+            avg_bw: t.avg_bw,
+            group: t.group,
+            start_ns: now,
+        });
+        self.used_warps += t.warps;
+        self.used_mem += t.local_mem;
+        self.bw_demand += t.avg_bw;
+        self.recompute_factor(pe_bw);
+    }
+
+    fn next_completion_ns(&self) -> Option<f64> {
+        self.residents
+            .iter()
+            .map(|r| r.remaining_base_ns * self.factor)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Advances by `dt` ns; returns `true` if any resident finished.
+    /// Completed tasks are appended to `trace` when tracing is on.
+    fn advance(
+        &mut self,
+        dt: f64,
+        pe_bw: f64,
+        now: f64,
+        pe_index: usize,
+        trace: Option<&mut Vec<TraceEvent>>,
+    ) -> bool {
+        if self.residents.is_empty() {
+            return false;
+        }
+        self.util.busy_ns += dt;
+        self.util.warp_ns += dt * self.used_warps as f64;
+        let progress = dt / self.factor;
+        let mut finished = false;
+        for r in &mut self.residents {
+            r.remaining_base_ns -= progress;
+        }
+        let mut events = trace;
+        self.residents.retain(|r| {
+            if r.remaining_base_ns <= EPS_NS {
+                self.used_warps -= r.warps;
+                self.used_mem -= r.local_mem;
+                self.bw_demand -= r.avg_bw;
+                self.util.tasks += 1;
+                if let Some(events) = events.as_deref_mut() {
+                    events.push(TraceEvent {
+                        pe: pe_index,
+                        group: r.group,
+                        start_ns: r.start_ns,
+                        end_ns: now,
+                        warps: r.warps,
+                    });
+                }
+                finished = true;
+                false
+            } else {
+                true
+            }
+        });
+        if finished {
+            self.recompute_factor(pe_bw);
+        }
+        finished
+    }
+}
+
+fn flatten(machine: &MachineModel, launch: &Launch, mode: TimingMode) -> Vec<(PendingTask, Option<usize>)> {
+    let mut out = Vec::with_capacity(launch.grid_size());
+    for (group_index, group) in launch.groups.iter().enumerate() {
+        let spec = &group.spec;
+        assert!(
+            spec.warps <= machine.warp_cap_per_pe,
+            "task needs {} warps but {} caps PEs at {}",
+            spec.warps,
+            machine.name,
+            machine.warp_cap_per_pe
+        );
+        assert!(
+            spec.shape.fits(machine),
+            "task local-memory footprint {} B exceeds M_local = {} B on {}",
+            spec.shape.local_mem_bytes(),
+            machine.local_mem_bytes,
+            machine.name
+        );
+        if let Some(assignment) = &group.assignment {
+            assert_eq!(
+                assignment.len(),
+                group.count,
+                "static assignment length must equal group count"
+            );
+        }
+        let base = measure_pipelined_task(machine, spec, mode);
+        let bytes = spec.total_bytes();
+        for i in 0..group.count {
+            // In Measure mode each task gets its own perturbation so the
+            // schedule is not artificially lock-stepped.
+            let base_ns = match mode {
+                TimingMode::Evaluate => base,
+                TimingMode::Measure { seed } => {
+                    base * crate::noise::unit_noise(seed ^ 0x5151, &[i as u64], 0.01)
+                }
+            };
+            let task = PendingTask {
+                base_ns,
+                warps: spec.warps,
+                local_mem: spec.shape.local_mem_bytes(),
+                avg_bw: bytes / base_ns,
+                group: group_index,
+            };
+            let pe = group.assignment.as_ref().map(|a| {
+                assert!(a[i] < machine.num_pes, "assignment targets PE out of range");
+                a[i]
+            });
+            out.push((task, pe));
+        }
+    }
+    out
+}
+
+/// Simulates one launch on the machine, returning timing and counters.
+///
+/// # Panics
+///
+/// Panics if a task exceeds the PE warp cap or `M_local`, if a static
+/// assignment is malformed, or if the machine requires static placement but
+/// a group has none.
+pub fn simulate(machine: &MachineModel, launch: &Launch, mode: TimingMode) -> SimReport {
+    simulate_impl(machine, launch, mode, None)
+}
+
+/// Like [`simulate`], additionally returning every task's `(pe, start,
+/// end, warps)` lifetime — the data behind the paper's Fig. 15(b)
+/// warp-over-time view.
+pub fn simulate_traced(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+) -> (SimReport, Vec<TraceEvent>) {
+    let mut trace = Vec::with_capacity(launch.grid_size());
+    let report = simulate_impl(machine, launch, mode, Some(&mut trace));
+    trace.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns).then(a.pe.cmp(&b.pe)));
+    (report, trace)
+}
+
+fn simulate_impl(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> SimReport {
+    let tasks = flatten(machine, launch, mode);
+    let pe_bw = machine.pe_bandwidth_bytes_per_ns();
+    let mut pes: Vec<PeState> = (0..machine.num_pes)
+        .map(|_| PeState {
+            factor: 1.0,
+            ..PeState::default()
+        })
+        .collect();
+
+    // Build pending queues: one FIFO for dynamic placement, per-PE FIFOs for
+    // static placement.
+    let static_alloc = machine.allocation == AllocationPolicy::StaticCompilerAssigned;
+    let mut global_queue: VecDeque<PendingTask> = VecDeque::new();
+    let mut pe_queues: Vec<VecDeque<PendingTask>> = vec![VecDeque::new(); machine.num_pes];
+    let total_tasks = tasks.len();
+    for (task, pe) in tasks {
+        match (static_alloc, pe) {
+            (true, Some(p)) => pe_queues[p].push_back(task),
+            (true, None) => panic!(
+                "machine {} requires compiler-assigned placement but a task group has none",
+                machine.name
+            ),
+            (false, _) => global_queue.push_back(task),
+        }
+    }
+
+    let mut now = 0.0f64;
+    let mut remaining = total_tasks;
+    let mut running = 0usize;
+
+    loop {
+        // Admission phase.
+        if static_alloc {
+            for (pe, queue) in pes.iter_mut().zip(pe_queues.iter_mut()) {
+                while let Some(head) = queue.front() {
+                    if pe.fits(machine, head) {
+                        let t = queue.pop_front().expect("front checked");
+                        pe.admit(&t, pe_bw, now);
+                        running += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        } else {
+            while let Some(head) = global_queue.front() {
+                // Pick the PE with the most free warp slots (ties: lowest
+                // index), matching the hardware scheduler's load-levelling.
+                let candidate = pes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pe)| pe.fits(machine, head))
+                    .max_by_key(|(i, pe)| {
+                        (
+                            machine.warp_cap_per_pe - pe.used_warps,
+                            usize::MAX - *i,
+                        )
+                    })
+                    .map(|(i, _)| i);
+                match candidate {
+                    Some(i) => {
+                        let t = global_queue.pop_front().expect("front checked");
+                        pes[i].admit(&t, pe_bw, now);
+                        running += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        if running == 0 {
+            assert_eq!(remaining, 0, "deadlock: pending tasks fit on no PE");
+            break;
+        }
+
+        // Find the earliest completion across PEs.
+        let dt = pes
+            .iter()
+            .filter_map(PeState::next_completion_ns)
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("running > 0 implies a completion exists");
+        let dt = dt.max(EPS_NS);
+        now += dt;
+
+        for (pe_index, pe) in pes.iter_mut().enumerate() {
+            let before = pe.residents.len();
+            pe.advance(dt, pe_bw, now, pe_index, trace.as_deref_mut());
+            let done = before - pe.residents.len();
+            running -= done;
+            remaining -= done;
+        }
+    }
+
+    let device_ns = now;
+    let time_ns = device_ns + machine.launch_overhead_ns;
+    let busy: f64 = pes.iter().map(|p| p.util.busy_ns).sum();
+    let warp_ns: f64 = pes.iter().map(|p| p.util.warp_ns).sum();
+    let sm_efficiency = if device_ns > 0.0 {
+        busy / (device_ns * machine.num_pes as f64)
+    } else {
+        0.0
+    };
+    let achieved_occupancy = if busy > 0.0 {
+        warp_ns / (busy * machine.warp_cap_per_pe as f64)
+    } else {
+        0.0
+    };
+
+    SimReport {
+        time_ns,
+        device_ns,
+        grid_size: total_tasks,
+        sm_efficiency,
+        elapsed_cycles_sm: device_ns * machine.clock_ghz * machine.num_pes as f64,
+        achieved_occupancy,
+        total_flops: launch.total_flops(),
+        per_pe: pes.into_iter().map(|p| p.util).collect(),
+    }
+}
+
+/// Simulates a sequence of launches executed back to back (one operator
+/// region sequence, or a whole model's operator list).
+pub fn simulate_launches(machine: &MachineModel, launches: &[Launch], mode: TimingMode) -> SimReport {
+    let mut acc = SimReport::empty(machine.num_pes);
+    for launch in launches {
+        acc = acc.chain(&simulate(machine, launch, mode));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskGroup, TaskShape, TaskSpec};
+    use crate::timing::pipelined_task_ns;
+
+    fn spec(um: usize, un: usize, uk: usize, warps: usize, t: usize) -> TaskSpec {
+        TaskSpec::new(TaskShape::gemm_tile_f16(um, un, uk), warps, t)
+    }
+
+    #[test]
+    fn single_task_matches_closed_form() {
+        let m = MachineModel::a100();
+        let s = spec(128, 128, 32, 8, 64);
+        let report = simulate(&m, &Launch::grid(s, 1), TimingMode::Evaluate);
+        let expected = pipelined_task_ns(&m, &s) + m.launch_overhead_ns;
+        assert!((report.time_ns - expected).abs() < 1.0, "{report:?}");
+    }
+
+    #[test]
+    fn full_wave_runs_in_one_task_duration() {
+        let m = MachineModel::a100();
+        let s = spec(256, 128, 32, 8, 64); // occupies a full PE
+        let one = simulate(&m, &Launch::grid(s, 1), TimingMode::Evaluate);
+        let wave = simulate(&m, &Launch::grid(s, m.num_pes), TimingMode::Evaluate);
+        assert!(
+            wave.device_ns < one.device_ns * 1.2,
+            "a full wave should take about one task duration: {} vs {}",
+            wave.device_ns,
+            one.device_ns
+        );
+        assert!(wave.sm_efficiency > 0.99);
+    }
+
+    #[test]
+    fn tail_wave_halves_efficiency() {
+        // 109 tasks on 108 PEs: the second wave runs a single task. This is
+        // the paper's load-imbalance phenomenon (Fig. 15).
+        let m = MachineModel::a100();
+        let s = spec(256, 128, 32, 8, 64);
+        let full = simulate(&m, &Launch::grid(s, m.num_pes), TimingMode::Evaluate);
+        let spill = simulate(&m, &Launch::grid(s, m.num_pes + 1), TimingMode::Evaluate);
+        assert!(spill.device_ns > full.device_ns * 1.8);
+        assert!(spill.sm_efficiency < 0.6);
+    }
+
+    #[test]
+    fn half_warp_tasks_co_reside() {
+        // 4-warp tasks on an 8-warp PE: two co-resident tasks per PE, so
+        // 2 * num_pes tasks still finish in roughly one task duration.
+        let m = MachineModel::a100();
+        let s = spec(64, 64, 64, 4, 64);
+        let one = simulate(&m, &Launch::grid(s, 1), TimingMode::Evaluate);
+        let two_waves_worth = simulate(&m, &Launch::grid(s, 2 * m.num_pes), TimingMode::Evaluate);
+        assert!(
+            two_waves_worth.device_ns < one.device_ns * 1.6,
+            "{} vs {}",
+            two_waves_worth.device_ns,
+            one.device_ns
+        );
+    }
+
+    #[test]
+    fn mixed_groups_share_the_machine() {
+        let m = MachineModel::a100();
+        let a = TaskGroup::new(spec(256, 128, 32, 8, 64), 96);
+        let b = TaskGroup::new(spec(64, 64, 64, 4, 32), 256);
+        let report = simulate(&m, &Launch::from_groups(vec![a, b]), TimingMode::Evaluate);
+        assert_eq!(report.grid_size, 352);
+        assert!(report.time_ns > 0.0);
+        assert!(report.sm_efficiency > 0.3);
+    }
+
+    #[test]
+    fn static_assignment_respected_on_npu() {
+        let m = MachineModel::ascend910a();
+        let s = TaskSpec::new(TaskShape::gemm_tile_f16(128, 128, 64), 1, 16);
+        // All tasks forced onto PE 0: serial execution.
+        let serial = Launch::from_groups(vec![TaskGroup::with_assignment(s, vec![0; 8])]);
+        // Spread across 8 PEs: parallel execution.
+        let spread =
+            Launch::from_groups(vec![TaskGroup::with_assignment(s, (0..8).collect())]);
+        let r_serial = simulate(&m, &serial, TimingMode::Evaluate);
+        let r_spread = simulate(&m, &spread, TimingMode::Evaluate);
+        assert!(r_serial.device_ns > 6.0 * r_spread.device_ns);
+        assert_eq!(r_serial.per_pe[0].tasks, 8);
+        assert_eq!(r_spread.per_pe[3].tasks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires compiler-assigned placement")]
+    fn npu_rejects_unassigned_groups() {
+        let m = MachineModel::ascend910a();
+        let s = TaskSpec::new(TaskShape::gemm_tile_f16(128, 128, 64), 1, 16);
+        let _ = simulate(&m, &Launch::grid(s, 4), TimingMode::Evaluate);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds M_local")]
+    fn oversized_task_rejected() {
+        let m = MachineModel::a100();
+        let s = TaskSpec::new(TaskShape::gemm_tile_f16(512, 512, 64), 8, 4);
+        let _ = simulate(&m, &Launch::grid(s, 1), TimingMode::Evaluate);
+    }
+
+    #[test]
+    fn empty_launch_costs_only_launch_overhead() {
+        let m = MachineModel::a100();
+        let report = simulate(&m, &Launch::default(), TimingMode::Evaluate);
+        assert_eq!(report.device_ns, 0.0);
+        assert_eq!(report.time_ns, m.launch_overhead_ns);
+        assert_eq!(report.grid_size, 0);
+    }
+
+    #[test]
+    fn measure_mode_close_to_evaluate_mode() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(128, 128, 32, 8, 32), 200);
+        let eval = simulate(&m, &launch, TimingMode::Evaluate);
+        let meas = simulate(&m, &launch, TimingMode::Measure { seed: 3 });
+        assert!((meas.device_ns / eval.device_ns - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn large_grid_scales_linearly() {
+        let m = MachineModel::a100();
+        let s = spec(256, 128, 32, 8, 16);
+        let small = simulate(&m, &Launch::grid(s, 10 * m.num_pes), TimingMode::Evaluate);
+        let large = simulate(&m, &Launch::grid(s, 20 * m.num_pes), TimingMode::Evaluate);
+        let ratio = large.device_ns / small.device_ns;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn trace_covers_every_task_exactly_once() {
+        let m = MachineModel::a100();
+        let a = TaskGroup::new(spec(256, 128, 32, 8, 64), 96);
+        let b = TaskGroup::new(spec(64, 64, 64, 4, 32), 64);
+        let launch = Launch::from_groups(vec![a, b]);
+        let (report, trace) = crate::scheduler::simulate_traced(&m, &launch, TimingMode::Evaluate);
+        assert_eq!(trace.len(), 160);
+        assert_eq!(trace.iter().filter(|e| e.group == 0).count(), 96);
+        assert_eq!(trace.iter().filter(|e| e.group == 1).count(), 64);
+        for e in &trace {
+            assert!(e.pe < m.num_pes);
+            assert!(e.end_ns > e.start_ns, "{e:?}");
+            assert!(e.end_ns <= report.device_ns + 1e-6);
+        }
+        // The traced run must time identically to the untraced one.
+        let plain = simulate(&m, &launch, TimingMode::Evaluate);
+        assert!((plain.device_ns - report.device_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_respects_warp_capacity_at_every_instant() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(64, 64, 64, 4, 16), 300);
+        let (_, trace) = crate::scheduler::simulate_traced(&m, &launch, TimingMode::Evaluate);
+        // Sample instants: at each event start, per-PE resident warps must
+        // not exceed the cap.
+        for probe in trace.iter().step_by(17) {
+            let t = (probe.start_ns + probe.end_ns) / 2.0;
+            let mut per_pe = vec![0usize; m.num_pes];
+            for e in &trace {
+                if e.start_ns <= t && t < e.end_ns {
+                    per_pe[e.pe] += e.warps;
+                }
+            }
+            assert!(per_pe.iter().all(|&w| w <= m.warp_cap_per_pe));
+        }
+    }
+
+    #[test]
+    fn chained_launches_accumulate() {
+        let m = MachineModel::a100();
+        let l = Launch::grid(spec(128, 128, 32, 8, 16), 108);
+        let one = simulate(&m, &l, TimingMode::Evaluate);
+        let three = simulate_launches(&m, &[l.clone(), l.clone(), l], TimingMode::Evaluate);
+        assert!((three.time_ns - 3.0 * one.time_ns).abs() < 1.0);
+        assert_eq!(three.grid_size, 3 * one.grid_size);
+    }
+}

@@ -1,0 +1,281 @@
+//! Pipelined tasks and launches.
+//!
+//! A *pipelined task* is the paper's unit of PE work (Section 3.3): `t`
+//! instances of a fixed-size micro-kernel executed back to back on one PE,
+//! with loads from `M_global`, compute in `M_local`, and write-back
+//! overlapped in a software pipeline. A [`Launch`] is a co-scheduled grid of
+//! tasks — possibly drawn from several [`TaskGroup`]s with *different*
+//! micro-kernels, which is exactly what micro-kernel polymerization emits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineModel;
+
+/// Static description of one micro-kernel instance's work, independent of
+/// how many instances a task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskShape {
+    /// Tile rows (`uM`).
+    pub um: usize,
+    /// Tile columns (`uN`).
+    pub un: usize,
+    /// Tile reduction depth (`uK`).
+    pub uk: usize,
+    /// Bytes per input element (2 for fp16).
+    pub in_elem_bytes: usize,
+    /// Bytes per output element.
+    pub out_elem_bytes: usize,
+    /// Bytes per accumulator element held in `M_local` (4 for fp32
+    /// accumulation).
+    pub acc_elem_bytes: usize,
+    /// Multiplier on global-memory load traffic. 1.0 for plain GEMM;
+    /// implicit-GEMM convolution pays a gather inefficiency > 1.
+    pub load_scale: f64,
+    /// Number of pipeline stages double/multi-buffered in `M_local`.
+    pub stages: usize,
+    /// Code-generation quality multiplier on compute efficiency. 1.0 for
+    /// compiler-generated code; hand-written vendor assembly sustains a few
+    /// percent more of peak (cuBLAS SASS, CANN cube code), which is how the
+    /// paper's baselines stay competitive on their golden shapes.
+    pub quality: f64,
+}
+
+impl TaskShape {
+    /// A GEMM tile of `um x un x uk` with the given element widths and
+    /// double buffering (`stages = 2`).
+    pub fn gemm_tile(
+        um: usize,
+        un: usize,
+        uk: usize,
+        in_elem_bytes: usize,
+        out_elem_bytes: usize,
+        acc_elem_bytes: usize,
+    ) -> Self {
+        Self {
+            um,
+            un,
+            uk,
+            in_elem_bytes,
+            out_elem_bytes,
+            acc_elem_bytes,
+            load_scale: 1.0,
+            stages: 2,
+            quality: 1.0,
+        }
+    }
+
+    /// An fp16-in / fp16-out / fp32-accumulate GEMM tile, the configuration
+    /// used throughout the paper's evaluation.
+    pub fn gemm_tile_f16(um: usize, un: usize, uk: usize) -> Self {
+        Self::gemm_tile(um, un, uk, 2, 2, 4)
+    }
+
+    /// Sets the global-load traffic multiplier (builder style).
+    #[must_use]
+    pub fn with_load_scale(mut self, scale: f64) -> Self {
+        self.load_scale = scale;
+        self
+    }
+
+    /// Sets the code-generation quality multiplier (builder style).
+    #[must_use]
+    pub fn with_quality(mut self, quality: f64) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Floating-point operations per micro-kernel instance.
+    pub fn flops_per_instance(&self) -> f64 {
+        2.0 * self.um as f64 * self.un as f64 * self.uk as f64
+    }
+
+    /// Bytes loaded from `M_global` per micro-kernel instance (one `um x uk`
+    /// operand tile plus one `uk x un` operand tile).
+    pub fn load_bytes_per_instance(&self) -> f64 {
+        ((self.um + self.un) * self.uk * self.in_elem_bytes) as f64 * self.load_scale
+    }
+
+    /// Bytes written back to `M_global` once per task.
+    pub fn store_bytes(&self) -> f64 {
+        (self.um * self.un * self.out_elem_bytes) as f64
+    }
+
+    /// `M_local` footprint of one resident task: `stages`-buffered operand
+    /// tiles plus the accumulator.
+    pub fn local_mem_bytes(&self) -> usize {
+        self.stages * (self.um + self.un) * self.uk * self.in_elem_bytes
+            + self.um * self.un * self.acc_elem_bytes
+    }
+
+    /// Whether a task of this shape fits in one PE's `M_local`.
+    pub fn fits(&self, machine: &MachineModel) -> bool {
+        self.local_mem_bytes() <= machine.local_mem_bytes
+    }
+}
+
+/// A pipelined task: a [`TaskShape`] plus its resource footprint and the
+/// number of micro-kernel instances it runs (`t`, the reduction trip count).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The per-instance work description.
+    pub shape: TaskShape,
+    /// Warps occupied on the PE while the task is resident.
+    pub warps: usize,
+    /// Number of micro-kernel instances executed by the task.
+    pub instances: usize,
+}
+
+impl TaskSpec {
+    /// Creates a task running `instances` instances of `shape` with `warps`
+    /// resident warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps` or `instances` is zero.
+    pub fn new(shape: TaskShape, warps: usize, instances: usize) -> Self {
+        assert!(warps > 0, "a task must occupy at least one warp");
+        assert!(instances > 0, "a task must run at least one instance");
+        Self {
+            shape,
+            warps,
+            instances,
+        }
+    }
+
+    /// Total floating-point work of the task.
+    pub fn total_flops(&self) -> f64 {
+        self.shape.flops_per_instance() * self.instances as f64
+    }
+
+    /// Total global-memory traffic of the task (loads plus the single
+    /// write-back), including one extra instance's worth of loads for the
+    /// pipeline fill bubble.
+    pub fn total_bytes(&self) -> f64 {
+        self.shape.load_bytes_per_instance() * (self.instances as f64 + 1.0)
+            + self.shape.store_bytes()
+    }
+}
+
+/// A homogeneous group of tasks within a launch: `count` tasks that all run
+/// the same [`TaskSpec`]. Polymerized programs contain one group per region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGroup {
+    /// The task executed by every member of the group.
+    pub spec: TaskSpec,
+    /// Number of tasks in the group.
+    pub count: usize,
+    /// Optional static placement: `assignment[i]` is the PE index of task
+    /// `i`. Required on machines with
+    /// [`crate::AllocationPolicy::StaticCompilerAssigned`].
+    pub assignment: Option<Vec<usize>>,
+}
+
+impl TaskGroup {
+    /// A group of `count` identical tasks with dynamic placement.
+    pub fn new(spec: TaskSpec, count: usize) -> Self {
+        Self {
+            spec,
+            count,
+            assignment: None,
+        }
+    }
+
+    /// A group with a compiler-provided static placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != count`.
+    pub fn with_assignment(spec: TaskSpec, assignment: Vec<usize>) -> Self {
+        let count = assignment.len();
+        Self {
+            spec,
+            count,
+            assignment: Some(assignment),
+        }
+    }
+}
+
+/// A single device launch: one or more task groups co-scheduled on the
+/// machine. All groups of a launch compete for PEs concurrently, exactly as
+/// the thread blocks of a polymerized kernel do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Launch {
+    /// The task groups of this launch.
+    pub groups: Vec<TaskGroup>,
+}
+
+impl Launch {
+    /// A launch consisting of a single homogeneous grid.
+    pub fn grid(spec: TaskSpec, count: usize) -> Self {
+        Self {
+            groups: vec![TaskGroup::new(spec, count)],
+        }
+    }
+
+    /// A launch from explicit groups.
+    pub fn from_groups(groups: Vec<TaskGroup>) -> Self {
+        Self { groups }
+    }
+
+    /// Total number of tasks across all groups (the paper's `grid_size`).
+    pub fn grid_size(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Total floating-point work of the launch.
+    pub fn total_flops(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.spec.total_flops() * g.count as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_tile_accounting() {
+        let s = TaskShape::gemm_tile_f16(256, 128, 32);
+        assert_eq!(s.flops_per_instance(), 2.0 * 256.0 * 128.0 * 32.0);
+        assert_eq!(s.load_bytes_per_instance(), ((256 + 128) * 32 * 2) as f64);
+        assert_eq!(s.store_bytes(), (256 * 128 * 2) as f64);
+        // Double-buffered fp16 operands + fp32 accumulator.
+        assert_eq!(
+            s.local_mem_bytes(),
+            2 * (256 + 128) * 32 * 2 + 256 * 128 * 4
+        );
+    }
+
+    #[test]
+    fn paper_kernel_a_barely_fits_a100_local_mem() {
+        // Kernel A from the Section 6 case study: (256, 128, 32).
+        let machine = MachineModel::a100();
+        assert!(TaskShape::gemm_tile_f16(256, 128, 32).fits(&machine));
+        // A 256x256x32 accumulator alone exceeds 192 KiB.
+        assert!(!TaskShape::gemm_tile_f16(256, 256, 32).fits(&machine));
+    }
+
+    #[test]
+    fn load_scale_inflates_traffic_only() {
+        let plain = TaskShape::gemm_tile_f16(64, 64, 64);
+        let conv = plain.with_load_scale(1.25);
+        assert!(conv.load_bytes_per_instance() > plain.load_bytes_per_instance());
+        assert_eq!(conv.flops_per_instance(), plain.flops_per_instance());
+        assert_eq!(conv.store_bytes(), plain.store_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn zero_warps_rejected() {
+        let _ = TaskSpec::new(TaskShape::gemm_tile_f16(64, 64, 64), 0, 1);
+    }
+
+    #[test]
+    fn launch_grid_size_sums_groups() {
+        let spec = TaskSpec::new(TaskShape::gemm_tile_f16(64, 64, 64), 4, 10);
+        let launch = Launch::from_groups(vec![TaskGroup::new(spec, 96), TaskGroup::new(spec, 32)]);
+        assert_eq!(launch.grid_size(), 128);
+    }
+}

@@ -1,0 +1,122 @@
+//! Adapters that put MikPoly itself (and a FasterTransformer-style wrapper)
+//! behind the common [`Backend`] interface, so experiment harnesses can
+//! sweep all systems uniformly.
+
+use std::sync::Arc;
+
+use accel_sim::MachineModel;
+use mikpoly::MikPoly;
+use tensor_ir::Operator;
+
+use crate::backend::{Backend, BackendError, BackendRun};
+use crate::vendor::VendorLibrary;
+
+/// MikPoly behind the [`Backend`] interface. The reported overhead is the
+/// online polymerization time (zero on program-cache hits), matching how
+/// the paper accounts end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct MikPolyBackend {
+    name: String,
+    compiler: Arc<MikPoly>,
+}
+
+impl MikPolyBackend {
+    /// Wraps a compiler.
+    pub fn new(compiler: Arc<MikPoly>) -> Self {
+        Self {
+            name: "MikPoly".into(),
+            compiler,
+        }
+    }
+
+    /// Wraps a compiler under a custom display name (e.g. `MikPoly-Wave`).
+    pub fn named(name: impl Into<String>, compiler: Arc<MikPoly>) -> Self {
+        Self {
+            name: name.into(),
+            compiler,
+        }
+    }
+
+    /// The wrapped compiler.
+    pub fn compiler(&self) -> &MikPoly {
+        &self.compiler
+    }
+}
+
+impl Backend for MikPolyBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn machine(&self) -> &MachineModel {
+        self.compiler.machine()
+    }
+
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError> {
+        let run = self.compiler.run(operator);
+        Ok(BackendRun {
+            report: run.report,
+            overhead_ns: run.compile_ns as f64,
+        })
+    }
+}
+
+/// The FasterTransformer-style runner used as the Llama2 end-to-end
+/// baseline (Fig. 11): vendor-library GEMMs behind a fused-transformer
+/// runtime with negligible per-op framework overhead.
+#[derive(Debug, Clone)]
+pub struct FasterTransformer {
+    inner: VendorLibrary,
+}
+
+impl FasterTransformer {
+    /// Creates the baseline on a GPU machine.
+    pub fn new(machine: MachineModel) -> Self {
+        Self {
+            inner: VendorLibrary::cublas(machine),
+        }
+    }
+}
+
+impl Backend for FasterTransformer {
+    fn name(&self) -> &str {
+        "FasterTransformer"
+    }
+
+    fn machine(&self) -> &MachineModel {
+        self.inner.machine()
+    }
+
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError> {
+        self.inner.run(operator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mikpoly::OfflineOptions;
+    use tensor_ir::GemmShape;
+
+    #[test]
+    fn mikpoly_backend_reports_overhead_then_cache_hits() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let compiler = Arc::new(MikPoly::offline(MachineModel::a100(), &o));
+        let b = MikPolyBackend::new(compiler);
+        let op = Operator::gemm(GemmShape::new(700, 300, 200));
+        let first = b.run(&op).expect("run");
+        let second = b.run(&op).expect("run");
+        assert!(first.overhead_ns > 0.0);
+        assert_eq!(second.overhead_ns, 0.0);
+        assert_eq!(first.report.time_ns, second.report.time_ns);
+    }
+
+    #[test]
+    fn faster_transformer_delegates_to_vendor() {
+        let ft = FasterTransformer::new(MachineModel::a100());
+        let run = ft.run(&Operator::gemm(GemmShape::new(3840, 128, 5120))).expect("run");
+        assert!(run.report.time_ns > 0.0);
+        assert_eq!(ft.name(), "FasterTransformer");
+    }
+}

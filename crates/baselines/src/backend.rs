@@ -1,0 +1,114 @@
+//! The common interface every comparator implements.
+
+use accel_sim::{MachineModel, SimReport};
+use tensor_ir::Operator;
+
+/// Why a backend could not execute an operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The runtime shape falls outside the dynamic-dimension range the
+    /// backend was compiled for. DietCode and Nimble "can yield errors or
+    /// incorrect outcomes when the runtime size of a tensor operator falls
+    /// outside its predefined range" (Section 5.2.3) — these are the
+    /// *invalid runs* of Table 5.
+    OutOfRange {
+        /// The offending dimension name (`"M"`, `"N"`, `"K"`).
+        dimension: &'static str,
+        /// The value that fell outside the compiled range.
+        value: usize,
+        /// The compiled inclusive range.
+        range: (usize, usize),
+    },
+    /// The backend does not implement this operator kind.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::OutOfRange { dimension, value, range } => write!(
+                f,
+                "invalid run: dimension {dimension} = {value} outside compiled range [{}, {}]",
+                range.0, range.1
+            ),
+            BackendError::Unsupported(what) => write!(f, "unsupported operator: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// One backend execution of one operator.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Simulated device timing.
+    pub report: SimReport,
+    /// Host-side overhead the backend paid before launching (heuristic
+    /// selection, VM dispatch, cost-model search), in nanoseconds.
+    pub overhead_ns: f64,
+}
+
+impl BackendRun {
+    /// Device time plus host overhead.
+    pub fn total_ns(&self) -> f64 {
+        self.report.time_ns + self.overhead_ns
+    }
+
+    /// Achieved TFLOPS including host overhead.
+    pub fn tflops(&self) -> f64 {
+        if self.total_ns() <= 0.0 {
+            return 0.0;
+        }
+        self.report.total_flops / self.total_ns() / 1e3
+    }
+}
+
+/// A tensor-operator execution engine: a vendor library, a dynamic-shape
+/// compiler, or MikPoly itself behind the same interface.
+pub trait Backend {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// The machine this backend targets.
+    fn machine(&self) -> &MachineModel;
+
+    /// Executes one operator with a runtime-known shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::OutOfRange`] for shapes outside a compiled
+    /// dynamic range, or [`BackendError::Unsupported`] for operator kinds
+    /// the backend cannot handle.
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = BackendError::OutOfRange {
+            dimension: "M",
+            value: 9000,
+            range: (1, 4096),
+        };
+        let s = e.to_string();
+        assert!(s.contains("invalid run"));
+        assert!(s.contains("9000"));
+        assert!(s.contains("[1, 4096]"));
+    }
+
+    #[test]
+    fn total_includes_overhead() {
+        let mut report = SimReport::empty(1);
+        report.time_ns = 100.0;
+        report.total_flops = 1e6;
+        let run = BackendRun {
+            report,
+            overhead_ns: 50.0,
+        };
+        assert_eq!(run.total_ns(), 150.0);
+        assert!(run.tflops() > 0.0);
+    }
+}

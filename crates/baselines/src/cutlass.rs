@@ -1,0 +1,116 @@
+//! The CUTLASS-like template library.
+//!
+//! CUTLASS instantiates high-quality templated kernels but, used as a
+//! library, picks its tile configuration with a fixed default heuristic and
+//! "lacks the guidance of a cost model" (Section 5.3.2): the default
+//! 128x128x32 threadblock, stepping down only when the problem is smaller
+//! than the tile. Competitive on large shapes, far from optimal on small
+//! and skinny dynamic shapes — 0.45x of Oracle on average in Fig. 12(b).
+
+use accel_sim::{simulate, Launch, MachineModel, TaskShape, TaskSpec, TimingMode};
+use tensor_ir::{GemmView, Operator};
+
+use crate::backend::{Backend, BackendError, BackendRun};
+
+/// The CUTLASS-like backend.
+#[derive(Debug, Clone)]
+pub struct CutlassLibrary {
+    machine: MachineModel,
+    quality: f64,
+}
+
+impl CutlassLibrary {
+    /// Creates the backend for a GPU machine (Tensor-Core or CUDA-core
+    /// variant).
+    pub fn new(machine: MachineModel) -> Self {
+        Self {
+            machine,
+            quality: 1.05,
+        }
+    }
+
+    /// The default-heuristic tile for a view: 128x128x32, halving a
+    /// dimension's tile only when the problem does not reach it.
+    pub fn select(&self, view: &GemmView) -> (usize, usize, usize, usize) {
+        let s = view.shape;
+        let pick = |extent: usize, default: usize| -> usize {
+            let mut t = default;
+            while t > 32 && extent <= t / 2 {
+                t /= 2;
+            }
+            t
+        };
+        let um = pick(s.m, 128);
+        let un = pick(s.n, 128);
+        let uk = 32;
+        // Template defaults use a fixed thread organization (half the PE's
+        // warp budget) regardless of problem shape.
+        let warps = (self.machine.warp_cap_per_pe / 2).max(1);
+        (um, un, uk, warps)
+    }
+
+    /// The launch CUTLASS would issue for a view.
+    pub fn launch_for(&self, view: &GemmView) -> Launch {
+        let (um, un, uk, warps) = self.select(view);
+        let in_bytes = view.dtype.bytes();
+        let shape = TaskShape::gemm_tile(um, un, uk, in_bytes, in_bytes, 4)
+            .with_load_scale(view.load_scale)
+            .with_quality(self.quality);
+        let spec = TaskSpec::new(shape, warps, view.shape.k.div_ceil(uk));
+        let count = view.shape.m.div_ceil(um) * view.shape.n.div_ceil(un);
+        Launch::grid(spec, count)
+    }
+}
+
+impl Backend for CutlassLibrary {
+    fn name(&self) -> &str {
+        "CUTLASS"
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError> {
+        let view = operator.gemm_view();
+        let launch = self.launch_for(&view);
+        let report = simulate(&self.machine, &launch, TimingMode::Evaluate);
+        Ok(BackendRun {
+            report,
+            overhead_ns: 100.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    #[test]
+    fn default_tile_is_128x128() {
+        let c = CutlassLibrary::new(MachineModel::a100());
+        let view = Operator::gemm(GemmShape::new(4096, 4096, 4096)).gemm_view();
+        let (um, un, uk, _) = c.select(&view);
+        assert_eq!((um, un, uk), (128, 128, 32));
+    }
+
+    #[test]
+    fn small_problems_step_the_tile_down() {
+        let c = CutlassLibrary::new(MachineModel::a100());
+        let view = Operator::gemm(GemmShape::new(48, 40, 512)).gemm_view();
+        let (um, un, _, _) = c.select(&view);
+        assert_eq!((um, un), (64, 64));
+        let tiny = Operator::gemm(GemmShape::new(30, 12, 512)).gemm_view();
+        let (um, un, _, _) = c.select(&tiny);
+        assert_eq!((um, un), (32, 32));
+    }
+
+    #[test]
+    fn runs_and_reports_time() {
+        let c = CutlassLibrary::new(MachineModel::a100());
+        let run = c.run(&Operator::gemm(GemmShape::new(1024, 1024, 1024))).expect("run");
+        assert!(run.report.time_ns > 0.0);
+        assert!(run.tflops() > 10.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # mikpoly-baselines — the comparators of the MikPoly evaluation
+//!
+//! Every system the paper compares against, behind one [`Backend`] trait:
+//!
+//! * [`VendorLibrary`] — cuBLAS / cuDNN / CANN-like hand-crafted kernel
+//!   menus with heuristic selection (the Fig. 6/7 baselines);
+//! * [`CutlassLibrary`] — template library with a fixed default heuristic
+//!   and no cost model;
+//! * [`DietCode`] — shape-range auto-scheduler with pre-compiled programs
+//!   and invalid runs outside its range (Fig. 10, Table 5);
+//! * [`Nimble`] — one conservative shape-generic program plus VM dispatch;
+//! * [`MikPolyBackend`] / [`FasterTransformer`] — adapters putting MikPoly
+//!   and the Llama2 baseline behind the same interface.
+//!
+//! # Example
+//!
+//! ```
+//! use accel_sim::MachineModel;
+//! use mikpoly_baselines::{Backend, VendorLibrary};
+//! use tensor_ir::{GemmShape, Operator};
+//!
+//! let cublas = VendorLibrary::cublas(MachineModel::a100());
+//! let run = cublas.run(&Operator::gemm(GemmShape::new(4096, 4096, 4096)))?;
+//! assert!(run.tflops() > 100.0);
+//! # Ok::<(), mikpoly_baselines::BackendError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod backend;
+mod cutlass;
+mod dietcode;
+mod nimble;
+mod vendor;
+
+pub use adapter::{FasterTransformer, MikPolyBackend};
+pub use backend::{Backend, BackendError, BackendRun};
+pub use cutlass::CutlassLibrary;
+pub use dietcode::{DietCode, GemmRanges};
+pub use nimble::Nimble;
+pub use vendor::{VendorKernel, VendorLibrary};

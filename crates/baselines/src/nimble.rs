@@ -1,0 +1,129 @@
+//! The Nimble-like dynamic-shape compiler.
+//!
+//! Nimble [MLSys 2021] compiles a *single* shape-generic program per
+//! operator for the declared dynamic range and executes models through a
+//! virtual machine. Portability over peak performance: the one-size-fits-
+//! all program uses a conservative tile with full boundary checking, and
+//! every operator call pays VM dispatch overhead. Fig. 10 measures MikPoly
+//! at 7.54x over Nimble on CUDA cores.
+
+use accel_sim::{simulate, Launch, MachineModel, TaskShape, TaskSpec, TimingMode};
+use tensor_ir::Operator;
+
+use crate::backend::{Backend, BackendError, BackendRun};
+use crate::dietcode::GemmRanges;
+
+/// The Nimble-like backend.
+#[derive(Debug, Clone)]
+pub struct Nimble {
+    machine: MachineModel,
+    ranges: GemmRanges,
+    tile: (usize, usize, usize),
+    warps: usize,
+}
+
+/// Fully shape-generic TVM code: boundary checks on every tile edge and no
+/// shape specialization at all — slightly below even DietCode's
+/// range-specialized kernels.
+const GENERIC_QUALITY: f64 = 0.55;
+
+/// Per-operator virtual-machine dispatch overhead.
+const VM_OVERHEAD_NS: f64 = 10_000.0;
+
+impl Nimble {
+    /// Compiles the single shape-generic program for the declared ranges.
+    pub fn compile(machine: MachineModel, ranges: GemmRanges) -> Self {
+        // The program must be safe for the smallest declared shape, so the
+        // tile is conservative: 64x64x32 (or smaller if the range demands).
+        let cap = |lo_hi: (usize, usize), default: usize| -> usize {
+            default.min(lo_hi.1.next_power_of_two().max(16))
+        };
+        let tile = (cap(ranges.m, 64), cap(ranges.n, 64), 32);
+        let warps = machine.warp_cap_per_pe;
+        Self {
+            machine,
+            ranges,
+            tile,
+            warps,
+        }
+    }
+
+    /// The single compiled tile.
+    pub fn tile(&self) -> (usize, usize, usize) {
+        self.tile
+    }
+}
+
+impl Backend for Nimble {
+    fn name(&self) -> &str {
+        "Nimble"
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError> {
+        let view = operator.gemm_view();
+        let s = view.shape;
+        let dims = [
+            ("M", s.m, self.ranges.m),
+            ("N", s.n, self.ranges.n),
+            ("K", s.k, self.ranges.k),
+        ];
+        for (dimension, value, range) in dims {
+            if value < range.0 || value > range.1 {
+                return Err(BackendError::OutOfRange { dimension, value, range });
+            }
+        }
+        let (um, un, uk) = self.tile;
+        let in_bytes = view.dtype.bytes();
+        let shape = TaskShape::gemm_tile(um, un, uk, in_bytes, in_bytes, 4)
+            .with_load_scale(view.load_scale)
+            .with_quality(GENERIC_QUALITY);
+        let warps = self.warps.min(self.machine.warp_cap_per_pe);
+        let spec = TaskSpec::new(shape, warps, s.k.div_ceil(uk));
+        let count = s.m.div_ceil(um) * s.n.div_ceil(un);
+        let report = simulate(&self.machine, &Launch::grid(spec, count), TimingMode::Evaluate);
+        Ok(BackendRun {
+            report,
+            overhead_ns: VM_OVERHEAD_NS,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    fn backend() -> Nimble {
+        Nimble::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(1, 4096))
+    }
+
+    #[test]
+    fn single_conservative_tile() {
+        assert_eq!(backend().tile(), (64, 64, 32));
+    }
+
+    #[test]
+    fn vm_overhead_dominates_small_ops() {
+        let n = backend();
+        let run = n.run(&Operator::gemm(GemmShape::new(16, 16, 16))).expect("run");
+        assert!(run.overhead_ns >= VM_OVERHEAD_NS);
+        assert!(run.overhead_ns > run.report.time_ns / 2.0);
+    }
+
+    #[test]
+    fn out_of_range_is_invalid() {
+        let n = backend();
+        assert!(n.run(&Operator::gemm(GemmShape::new(1, 1, 100_000))).is_err());
+    }
+
+    #[test]
+    fn runs_within_range() {
+        let n = backend();
+        let run = n.run(&Operator::gemm(GemmShape::new(1024, 1024, 1024))).expect("run");
+        assert!(run.report.time_ns > 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Vendor-library comparators: cuBLAS / cuDNN on the GPU, CANN on the NPU.
+//!
+//! A vendor library ships a *menu* of hand-crafted kernels, each tuned for
+//! large, well-aligned shapes, and a heuristic that picks one kernel per
+//! call — with no awareness of wave quantization. Hand-written assembly
+//! buys the kernels a few percent of extra sustained peak (the
+//! `quality` factor), so the library wins on its golden shapes; on odd
+//! dynamic shapes it loses to padding waste and tail-wave imbalance — the
+//! exact behaviour of Fig. 1 (262 TFLOPS at (4096, 4096, 4096) vs 22 TFLOPS
+//! at (105, 1024, 12544)).
+
+use accel_sim::{
+    pipelined_task_ns, simulate, AllocationPolicy, Launch, MachineModel, TaskGroup, TaskShape,
+    TaskSpec, TimingMode,
+};
+use tensor_ir::{GemmView, Operator};
+
+use crate::backend::{Backend, BackendError, BackendRun};
+
+/// One hand-crafted kernel in the vendor menu.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VendorKernel {
+    /// Tile rows.
+    pub um: usize,
+    /// Tile columns.
+    pub un: usize,
+    /// Tile reduction depth.
+    pub uk: usize,
+    /// Warps per thread block.
+    pub warps: usize,
+}
+
+impl VendorKernel {
+    const fn new(um: usize, un: usize, uk: usize, warps: usize) -> Self {
+        Self { um, un, uk, warps }
+    }
+
+    fn task_spec(&self, view: &GemmView, quality: f64) -> TaskSpec {
+        let in_bytes = view.dtype.bytes();
+        let shape = TaskShape::gemm_tile(self.um, self.un, self.uk, in_bytes, in_bytes, 4)
+            .with_load_scale(view.load_scale)
+            .with_quality(quality);
+        TaskSpec::new(shape, self.warps, view.shape.k.div_ceil(self.uk))
+    }
+}
+
+/// A vendor library backend.
+#[derive(Debug, Clone)]
+pub struct VendorLibrary {
+    name: String,
+    machine: MachineModel,
+    menu: Vec<VendorKernel>,
+    quality: f64,
+}
+
+impl VendorLibrary {
+    /// The cuBLAS-like GEMM library for the Tensor-Core GPU.
+    pub fn cublas(machine: MachineModel) -> Self {
+        Self {
+            name: "cuBLAS".into(),
+            menu: gpu_menu(),
+            quality: 1.10,
+            machine,
+        }
+    }
+
+    /// The cuDNN-like convolution library (implicit-GEMM algorithm, as the
+    /// paper selects for fairness).
+    pub fn cudnn(machine: MachineModel) -> Self {
+        Self {
+            name: "cuDNN".into(),
+            menu: gpu_menu(),
+            quality: 1.08,
+            machine,
+        }
+    }
+
+    /// The CANN-like library for the Ascend NPU.
+    pub fn cann(machine: MachineModel) -> Self {
+        Self {
+            name: "CANN".into(),
+            menu: npu_menu(),
+            quality: 1.08,
+            machine,
+        }
+    }
+
+    /// The kernel the selection heuristic picks for a view.
+    ///
+    /// Vendor heuristics are *bucketed*: a dimension below the largest tile
+    /// size selects the smallest tile that still covers it (the dimension's
+    /// bucket), and only the remaining degrees of freedom are ranked by the
+    /// library's performance table. Bucketing is what produces Fig. 1's
+    /// cliffs — `M = 105` lands in the 128-row bucket and launches a grid
+    /// of 8 thread blocks on 108 SMs — and, together with the smooth
+    /// (un-quantized) performance model, what MikPoly's wave-aware
+    /// polymerization beats.
+    pub fn select(&self, view: &GemmView) -> VendorKernel {
+        let fits = |k: &&VendorKernel| {
+            k.task_spec(view, self.quality).shape.fits(&self.machine)
+                && k.warps <= self.machine.warp_cap_per_pe
+        };
+        let bucket = |extent: usize, sizes: &mut Vec<usize>| -> Option<usize> {
+            sizes.sort_unstable();
+            sizes.dedup();
+            sizes.iter().copied().find(|&s| s >= extent)
+        };
+        let mut ums: Vec<usize> = self.menu.iter().filter(fits).map(|k| k.um).collect();
+        let mut uns: Vec<usize> = self.menu.iter().filter(fits).map(|k| k.un).collect();
+        let um_bucket = bucket(view.shape.m, &mut ums);
+        let un_bucket = bucket(view.shape.n, &mut uns);
+
+        let candidates: Vec<&VendorKernel> = self
+            .menu
+            .iter()
+            .filter(fits)
+            .filter(|k| um_bucket.is_none_or(|b| k.um == b))
+            .filter(|k| un_bucket.is_none_or(|b| k.un == b))
+            .collect();
+        let pool: Vec<&VendorKernel> = if candidates.is_empty() {
+            self.menu.iter().filter(fits).collect()
+        } else {
+            candidates
+        };
+        **pool
+            .iter()
+            .min_by(|a, b| {
+                let score = |k: &VendorKernel| self.smooth_time_estimate(k, view);
+                score(a).total_cmp(&score(b)).then((b.um * b.un).cmp(&(a.um * a.un)))
+            })
+            .expect("vendor menu always contains a fitting kernel")
+    }
+
+    /// The library's performance-table time estimate for one kernel:
+    /// single-task duration times the continuous (un-quantized) wave count.
+    fn smooth_time_estimate(&self, k: &VendorKernel, view: &GemmView) -> f64 {
+        let spec = k.task_spec(view, self.quality);
+        let tasks = view.shape.m.div_ceil(k.um) * view.shape.n.div_ceil(k.un);
+        let parallel = (tasks as f64 / self.machine.num_pes as f64).max(1.0);
+        parallel * pipelined_task_ns(&self.machine, &spec)
+    }
+
+    /// The launch the library would issue for this view.
+    pub fn launch_for(&self, view: &GemmView) -> Launch {
+        let kernel = self.select(view);
+        let spec = kernel.task_spec(view, self.quality);
+        let count = view.shape.m.div_ceil(kernel.um) * view.shape.n.div_ceil(kernel.un);
+        match self.machine.allocation {
+            AllocationPolicy::DynamicHardware => Launch::grid(spec, count),
+            AllocationPolicy::StaticCompilerAssigned => {
+                // Vendor NPU runtime: plain round-robin placement.
+                let assignment = (0..count).map(|i| i % self.machine.num_pes).collect();
+                Launch::from_groups(vec![TaskGroup::with_assignment(spec, assignment)])
+            }
+        }
+    }
+}
+
+impl Backend for VendorLibrary {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    fn run(&self, operator: &Operator) -> Result<BackendRun, BackendError> {
+        let view = operator.gemm_view();
+        let launch = self.launch_for(&view);
+        let report = simulate(&self.machine, &launch, TimingMode::Evaluate);
+        Ok(BackendRun {
+            report,
+            // Heuristic dispatch is a table lookup.
+            overhead_ns: 200.0,
+        })
+    }
+}
+
+fn gpu_menu() -> Vec<VendorKernel> {
+    vec![
+        VendorKernel::new(256, 128, 32, 8),
+        VendorKernel::new(128, 256, 32, 8),
+        VendorKernel::new(128, 128, 32, 8),
+        VendorKernel::new(128, 128, 64, 8),
+        VendorKernel::new(256, 64, 32, 8),
+        VendorKernel::new(64, 256, 32, 8),
+        VendorKernel::new(128, 64, 32, 4),
+        VendorKernel::new(64, 128, 32, 4),
+        VendorKernel::new(64, 64, 64, 4),
+        VendorKernel::new(64, 64, 32, 4),
+        VendorKernel::new(32, 64, 64, 4),
+        VendorKernel::new(32, 32, 64, 4),
+    ]
+}
+
+fn npu_menu() -> Vec<VendorKernel> {
+    vec![
+        VendorKernel::new(256, 256, 64, 1),
+        VendorKernel::new(256, 128, 64, 1),
+        VendorKernel::new(128, 256, 64, 1),
+        VendorKernel::new(128, 128, 128, 1),
+        VendorKernel::new(128, 128, 64, 1),
+        VendorKernel::new(128, 64, 128, 1),
+        VendorKernel::new(64, 128, 64, 1),
+        VendorKernel::new(128, 64, 64, 1),
+        VendorKernel::new(64, 64, 128, 1),
+        VendorKernel::new(64, 64, 64, 1),
+        VendorKernel::new(64, 64, 32, 1),
+        VendorKernel::new(32, 64, 64, 1),
+        VendorKernel::new(32, 32, 128, 1),
+        VendorKernel::new(32, 32, 64, 1),
+        VendorKernel::new(32, 32, 32, 1),
+        VendorKernel::new(16, 16, 32, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::{Conv2dShape, GemmShape};
+
+    #[test]
+    fn cublas_is_fast_on_golden_shapes() {
+        let lib = VendorLibrary::cublas(MachineModel::a100());
+        let run = lib.run(&Operator::gemm(GemmShape::new(4096, 4096, 4096))).expect("run");
+        // Fig. 1 reports 262 TFLOPS; our reproduction should be well over
+        // half of peak.
+        assert!(run.tflops() > 150.0, "got {} TFLOPS", run.tflops());
+    }
+
+    #[test]
+    fn cublas_collapses_on_skinny_shapes() {
+        // Fig. 1's pathological case: (105, 1024, 12544) at 22 TFLOPS.
+        let lib = VendorLibrary::cublas(MachineModel::a100());
+        let good = lib.run(&Operator::gemm(GemmShape::new(4096, 4096, 4096))).expect("run");
+        let bad = lib.run(&Operator::gemm(GemmShape::new(105, 1024, 12544))).expect("run");
+        assert!(
+            bad.tflops() < good.tflops() / 4.0,
+            "skinny {} vs golden {}",
+            bad.tflops(),
+            good.tflops()
+        );
+    }
+
+    #[test]
+    fn selection_prefers_low_padding() {
+        let lib = VendorLibrary::cublas(MachineModel::a100());
+        let skinny = Operator::gemm(GemmShape::new(64, 4096, 4096)).gemm_view();
+        let k = lib.select(&skinny);
+        assert!(k.um <= 64, "picked um = {} for a 64-row GEMM", k.um);
+    }
+
+    #[test]
+    fn cudnn_runs_convolutions() {
+        let lib = VendorLibrary::cudnn(MachineModel::a100());
+        let conv = Operator::conv2d(Conv2dShape::square(8, 64, 56, 64, 3, 1));
+        let run = lib.run(&conv).expect("run");
+        assert!(run.report.time_ns > 0.0);
+        // Padded tile work can exceed the exact operator FLOPs, never fall
+        // below them.
+        assert!(run.report.total_flops >= conv.flops());
+    }
+
+    #[test]
+    fn cann_uses_static_round_robin() {
+        let lib = VendorLibrary::cann(MachineModel::ascend910a());
+        let launch = lib.launch_for(&Operator::gemm(GemmShape::new(2048, 2048, 512)).gemm_view());
+        let group = &launch.groups[0];
+        let a = group.assignment.as_ref().expect("static assignment");
+        assert_eq!(a[0], 0);
+        assert_eq!(a[32], 0);
+        assert_eq!(a[33], 1);
+    }
+
+    #[test]
+    fn menu_kernels_all_fit_their_machines() {
+        let a100 = MachineModel::a100();
+        let view = Operator::gemm(GemmShape::new(128, 128, 128)).gemm_view();
+        for k in gpu_menu() {
+            assert!(k.task_spec(&view, 1.1).shape.fits(&a100), "{k:?}");
+        }
+        let npu = MachineModel::ascend910a();
+        for k in npu_menu() {
+            assert!(k.task_spec(&view, 1.08).shape.fits(&npu), "{k:?}");
+        }
+    }
+}

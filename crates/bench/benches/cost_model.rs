@@ -1,0 +1,58 @@
+//! Micro-costs of the analytic machinery: `g_predict` fitting and
+//! evaluation, Eq. 2 region costs, and the level-based LPT makespan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mikpoly::{
+    lpt_makespan, region_cost, sample_schedule, CostModelKind, MicroKernel, MicroKernelId,
+    PerfModel, Region,
+};
+
+fn affine_samples(n_pred: usize) -> Vec<(usize, f64)> {
+    sample_schedule(n_pred)
+        .into_iter()
+        .map(|t| (t, 480.0 + 151.3 * t as f64))
+        .collect()
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let samples = affine_samples(5120);
+    c.bench_function("cost/perf-model-fit", |b| {
+        b.iter(|| black_box(PerfModel::fit(black_box(&samples), 4)));
+    });
+    let model = PerfModel::fit(&samples, 4);
+    c.bench_function("cost/perf-model-predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(128))));
+    });
+}
+
+fn bench_region_cost(c: &mut Criterion) {
+    let samples = affine_samples(5120);
+    let model = PerfModel::fit(&samples, 4);
+    let kernel = MicroKernel::new(MicroKernelId(0), 256, 128, 32, 8);
+    let region = Region::new(0, 4096, 0, 1024, kernel);
+    c.bench_function("cost/eq2-region-cost", |b| {
+        b.iter(|| {
+            black_box(region_cost(
+                CostModelKind::Full,
+                black_box(&region),
+                4096,
+                108,
+                &model,
+            ))
+        });
+    });
+}
+
+fn bench_lpt_makespan(c: &mut Criterion) {
+    // Four groups, tens of thousands of tasks: the level-based makespan
+    // must stay O(groups^2) regardless of counts.
+    let groups = [(1200.0, 9600usize), (800.0, 12_000), (400.0, 30_000), (90.0, 4_000)];
+    c.bench_function("cost/lpt-makespan-4-groups-55k-tasks", |b| {
+        b.iter(|| black_box(lpt_makespan(black_box(&groups), 32)));
+    });
+}
+
+criterion_group!(benches, bench_perf_model, bench_region_cost, bench_lpt_makespan);
+criterion_main!(benches);

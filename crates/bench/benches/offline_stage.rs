@@ -1,0 +1,51 @@
+//! Offline micro-kernel generation cost. On the paper's testbed this takes
+//! hours (real auto-tuning on hardware); on the simulator it is the full
+//! algorithm against closed-form measurements, so it lands in milliseconds
+//! and `cargo bench` can afford the paper-scale configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use accel_sim::MachineModel;
+use mikpoly::{MicroKernelLibrary, OfflineOptions, TemplateKind};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/generate");
+    group.sample_size(10);
+    for (label, mut options) in [
+        ("fast", OfflineOptions::fast()),
+        ("paper", OfflineOptions::paper()),
+    ] {
+        options.template = TemplateKind::Gemm;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &options, |b, o| {
+            let machine = MachineModel::a100();
+            b.iter(|| black_box(MicroKernelLibrary::generate(&machine, o)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_npu_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline/generate-npu");
+    group.sample_size(10);
+    let options = OfflineOptions::paper();
+    group.bench_function("paper", |b| {
+        let machine = MachineModel::ascend910a();
+        b.iter(|| black_box(MicroKernelLibrary::generate(&machine, &options)));
+    });
+    group.finish();
+}
+
+fn bench_library_io(c: &mut Criterion) {
+    let machine = MachineModel::a100();
+    let lib = MicroKernelLibrary::generate(&machine, &OfflineOptions::paper());
+    let path = std::env::temp_dir().join("mikpoly-bench-lib.json");
+    lib.save(&path).expect("save");
+    c.bench_function("offline/load-cached-library", |b| {
+        b.iter(|| black_box(MicroKernelLibrary::load(&path).expect("load")));
+    });
+    let _ = std::fs::remove_file(path);
+}
+
+criterion_group!(benches, bench_generation, bench_npu_generation, bench_library_io);
+criterion_main!(benches);

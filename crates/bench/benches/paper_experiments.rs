@@ -1,0 +1,41 @@
+//! Custom bench target (no Criterion harness): regenerates every table and
+//! figure of the paper in quick (subsampled) mode, so `cargo bench
+//! --workspace` output contains the paper-vs-measured headline numbers.
+//!
+//! For the full-population run, use the experiments binary:
+//!
+//! ```text
+//! cargo run --release -p mikpoly-bench --bin experiments -- all
+//! ```
+
+use mikpoly_bench::experiments::registry;
+use mikpoly_bench::{Config, Harness};
+
+fn main() {
+    // `cargo bench -- --list` and test-mode invocations must not run the
+    // whole suite.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("paper_experiments: benchmark");
+        return;
+    }
+
+    let harness = Harness::new(Config::quick());
+    println!("== paper experiments (quick mode: every 25th case of the big suites) ==\n");
+    let total = std::time::Instant::now();
+    for (id, runner) in registry() {
+        let start = std::time::Instant::now();
+        let reports = runner(&harness);
+        println!("-- {id} ({:.1?}) --", start.elapsed());
+        for report in &reports {
+            for (label, value) in &report.headlines {
+                println!("   {label}: {value:.3}");
+            }
+            if let Err(e) = report.write_csv(&harness.config.results_dir) {
+                eprintln!("   (csv write failed: {e})");
+            }
+        }
+        println!();
+    }
+    println!("total: {:.1?}", total.elapsed());
+}

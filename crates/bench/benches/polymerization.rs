@@ -1,0 +1,87 @@
+//! Online polymerization latency — the cost the paper reports at ~2 us per
+//! shape (Section 5.3.1) and breaks down in Fig. 12(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use accel_sim::MachineModel;
+use mikpoly::{MikPoly, OfflineOptions, OnlineOptions};
+use mikpoly_bench::{Config, Harness};
+use tensor_ir::{GemmShape, Operator};
+
+fn uncached_compiler(machine: MachineModel) -> MikPoly {
+    let harness = Harness::new(Config::full());
+    MikPoly::with_library(
+        machine.clone(),
+        harness.library(&machine, mikpoly::TemplateKind::Gemm),
+    )
+    .with_options(OnlineOptions {
+        cache: false,
+        ..OnlineOptions::default()
+    })
+}
+
+fn bench_gpu_polymerization(c: &mut Criterion) {
+    let compiler = uncached_compiler(MachineModel::a100());
+    let mut group = c.benchmark_group("polymerize/gpu");
+    group.sample_size(30);
+    for (label, m, n, k) in [
+        ("small", 64usize, 256usize, 256usize),
+        ("case-study", 4096, 1024, 4096),
+        ("skinny", 105, 1024, 12544),
+        ("large", 10752, 8192, 1024),
+    ] {
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &op, |b, op| {
+            b.iter(|| black_box(compiler.compile(black_box(op))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_npu_polymerization(c: &mut Criterion) {
+    let compiler = uncached_compiler(MachineModel::ascend910a());
+    let mut group = c.benchmark_group("polymerize/npu-9-patterns");
+    group.sample_size(30);
+    for (label, m, n, k) in [
+        ("small", 64usize, 256usize, 256usize),
+        ("case-study", 4096, 1024, 4096),
+        ("flat-landscape", 3600, 288, 1296),
+    ] {
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &op, |b, op| {
+            b.iter(|| black_box(compiler.compile(black_box(op))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle_vs_model(c: &mut Criterion) {
+    // The Fig. 12(b) contrast: cost-model search (~us) vs exhaustive
+    // simulation (~s). Oracle is benchmarked at a reduced library size to
+    // keep `cargo bench` bounded.
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 3;
+    let compiler = MikPoly::offline(MachineModel::a100(), &options).with_options(OnlineOptions {
+        cache: false,
+        ..OnlineOptions::default()
+    });
+    let op = Operator::gemm(GemmShape::new(777, 512, 384));
+    let mut group = c.benchmark_group("polymerize/model-vs-oracle");
+    group.sample_size(10);
+    group.bench_function("cost-model", |b| {
+        b.iter(|| black_box(compiler.compile(black_box(&op))))
+    });
+    group.bench_function("oracle-exhaustive", |b| {
+        b.iter(|| black_box(compiler.compile_oracle(black_box(&op))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gpu_polymerization,
+    bench_npu_polymerization,
+    bench_oracle_vs_model
+);
+criterion_main!(benches);

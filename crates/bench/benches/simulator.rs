@@ -1,0 +1,52 @@
+//! Accelerator-simulator throughput: the substrate must stay fast enough
+//! to play "hardware" for thousands of experiment cases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use accel_sim::{simulate, Launch, MachineModel, TaskGroup, TaskShape, TaskSpec, TimingMode};
+
+fn bench_homogeneous_grids(c: &mut Criterion) {
+    let machine = MachineModel::a100();
+    let spec = TaskSpec::new(TaskShape::gemm_tile_f16(128, 128, 32), 8, 32);
+    let mut group = c.benchmark_group("simulator/homogeneous-grid");
+    group.sample_size(20);
+    for tasks in [108usize, 1_080, 10_800, 108_000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            let launch = Launch::grid(spec, tasks);
+            b.iter(|| black_box(simulate(&machine, &launch, TimingMode::Evaluate)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_polymerized_launch(c: &mut Criterion) {
+    // A mixed two-kernel launch, as polymerization emits (the Fig. 15
+    // GEMM-AB structure).
+    let machine = MachineModel::a100();
+    let a = TaskGroup::new(TaskSpec::new(TaskShape::gemm_tile_f16(256, 128, 32), 8, 128), 96);
+    let b = TaskGroup::new(TaskSpec::new(TaskShape::gemm_tile_f16(64, 64, 64), 4, 64), 256);
+    let launch = Launch::from_groups(vec![a, b]);
+    c.bench_function("simulator/mixed-kernel-launch", |bch| {
+        bch.iter(|| black_box(simulate(&machine, &launch, TimingMode::Evaluate)));
+    });
+}
+
+fn bench_npu_static_schedule(c: &mut Criterion) {
+    let machine = MachineModel::ascend910a();
+    let spec = TaskSpec::new(TaskShape::gemm_tile_f16(128, 128, 64), 1, 16);
+    let assignment: Vec<usize> = (0..2048).map(|i| i % machine.num_pes).collect();
+    let launch = Launch::from_groups(vec![TaskGroup::with_assignment(spec, assignment)]);
+    c.bench_function("simulator/npu-static-2048-tasks", |b| {
+        b.iter(|| black_box(simulate(&machine, &launch, TimingMode::Evaluate)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_homogeneous_grids,
+    bench_polymerized_launch,
+    bench_npu_static_schedule
+);
+criterion_main!(benches);

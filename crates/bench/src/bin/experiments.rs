@@ -1,0 +1,125 @@
+//! CLI entry point: `experiments [--quick | --stride N] [ids... | all]`.
+
+use mikpoly_bench::experiments::registry;
+use mikpoly_bench::{Config, Harness};
+
+fn main() {
+    let mut config = Config::full();
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = Config::quick(),
+            "--stride" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--stride needs a positive integer"));
+                config.stride = n;
+            }
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment id given");
+    }
+    if ids.iter().any(|i| i == "check") {
+        check(&config);
+    }
+    let known = registry();
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        known.iter().map(|(id, _)| *id).collect()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let harness = Harness::new(config);
+    let mut summary: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for id in selected {
+        let Some((_, runner)) = known.iter().find(|(k, _)| *k == id) else {
+            usage(&format!("unknown experiment '{id}'"));
+        };
+        let start = std::time::Instant::now();
+        let reports = runner(&harness);
+        for report in &reports {
+            println!("{}", report.render());
+            match report.write_csv(&harness.config.results_dir) {
+                Ok(path) => println!("   (csv: {})", path.display()),
+                Err(e) => eprintln!("   (csv write failed: {e})"),
+            }
+            println!();
+            if !report.headlines.is_empty() {
+                summary.push((report.id.clone(), report.headlines.clone()));
+            }
+        }
+        eprintln!("[{id}] finished in {:.1?}\n", start.elapsed());
+    }
+    // Machine-readable headline summary for tooling (and EXPERIMENTS.md
+    // regeneration).
+    if !summary.is_empty() {
+        let path = harness.config.results_dir.join("summary.json");
+        let json: serde_json::Value = summary
+            .iter()
+            .map(|(id, headlines)| {
+                (
+                    id.clone(),
+                    serde_json::Value::from(
+                        headlines
+                            .iter()
+                            .map(|(label, value)| {
+                                serde_json::json!({ "metric": label, "value": value })
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+            })
+            .collect::<serde_json::Map<String, serde_json::Value>>()
+            .into();
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).expect("json"))
+        {
+            eprintln!("(summary write failed: {e})");
+        } else {
+            eprintln!("headline summary: {}", path.display());
+        }
+    }
+}
+
+/// Verifies results/summary.json against the paper-shape expectations.
+fn check(config: &Config) -> ! {
+    let path = config.results_dir.join("summary.json");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}\nrun `experiments all` first", path.display());
+        std::process::exit(2);
+    });
+    let summary: serde_json::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let failures = mikpoly_bench::expectations::check_summary(&summary);
+    let total = mikpoly_bench::expectations::expectations().len();
+    if failures.is_empty() {
+        println!("paper-shape guard: all {total} expectations hold");
+        std::process::exit(0);
+    }
+    println!(
+        "paper-shape guard: {} of {total} expectations FAILED:",
+        failures.len()
+    );
+    for f in &failures {
+        println!("  {f}");
+    }
+    std::process::exit(1);
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!("usage: experiments [--quick | --stride N] <id>... | all | check");
+    eprintln!("experiments:");
+    for (id, _) in registry() {
+        eprintln!("  {id}");
+    }
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

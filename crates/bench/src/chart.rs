@@ -1,0 +1,289 @@
+//! Terminal scatter/series charts for the figure experiments.
+//!
+//! The paper's operator figures plot per-case speedup (y, log-ish) against
+//! workload FLOPs (x, log). This renderer reproduces that view in the
+//! terminal so a figure regeneration actually looks like a figure, not just
+//! a summary row.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Mark used for this series' points.
+    pub mark: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, mark: char, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            mark,
+            points,
+        }
+    }
+}
+
+/// An ASCII scatter chart with a log-10 x-axis and linear y-axis.
+#[derive(Debug, Clone)]
+pub struct ScatterChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label (log scale).
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot width in columns.
+    pub width: usize,
+    /// Plot height in rows.
+    pub height: usize,
+    /// Series to draw, in z-order (later series overdraw earlier ones).
+    pub series: Vec<Series>,
+    /// Optional horizontal guide line (e.g. y = 1.0 for "baseline parity").
+    pub guide_y: Option<f64>,
+}
+
+impl ScatterChart {
+    /// A chart with default dimensions (72 x 20).
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+            series: Vec::new(),
+            guide_y: Some(1.0),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// Points with non-positive x are dropped (the x-axis is logarithmic);
+    /// an empty chart renders a note instead of a panic.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, _)| x > 0.0)
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x_lo = x_lo.min(x.log10());
+            x_hi = x_hi.max(x.log10());
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        if let Some(g) = self.guide_y {
+            y_lo = y_lo.min(g);
+            y_hi = y_hi.max(g);
+        }
+        if (x_hi - x_lo).abs() < 1e-12 {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < 1e-12 {
+            y_hi = y_lo + 1.0;
+        }
+        // A little headroom so extreme points don't sit on the frame.
+        let y_pad = 0.05 * (y_hi - y_lo);
+        y_lo -= y_pad;
+        y_hi += y_pad;
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let place = |x: f64, y: f64, width: usize, height: usize| -> (usize, usize) {
+            let cx = ((x.log10() - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            (cx.min(width - 1), height - 1 - cy.min(height - 1))
+        };
+        if let Some(g) = self.guide_y {
+            let (_, gy) = place(10f64.powf(x_lo), g, self.width, self.height);
+            for cell in &mut grid[gy] {
+                *cell = '-';
+            }
+        }
+        for s in &self.series {
+            for &(x, y) in s.points.iter().filter(|&&(x, _)| x > 0.0) {
+                let (cx, cy) = place(x, y.clamp(y_lo, y_hi), self.width, self.height);
+                grid[cy][cx] = s.mark;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        for (row, line) in grid.iter().enumerate() {
+            let y_at = y_hi - (row as f64 / (self.height - 1) as f64) * (y_hi - y_lo);
+            let label = if row == 0 || row + 1 == self.height || row == self.height / 2 {
+                format!("{y_at:>7.2} |")
+            } else {
+                format!("{:>7} |", "")
+            };
+            out.push_str(&label);
+            out.push_str(&line.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8}+{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>9}10^{:<8.1}{:^width$}10^{:.1}\n",
+            "",
+            x_lo,
+            &self.x_label,
+            x_hi,
+            width = self.width.saturating_sub(22)
+        ));
+        out.push_str(&format!("{:>9}y: {}   legend:", "", self.y_label));
+        for s in &self.series {
+            out.push_str(&format!("  {} {}", s.mark, s.name));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// A horizontal bar chart for grouped speedups (the e2e figures).
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// `(label, value)` bars, drawn in order.
+    pub bars: Vec<(String, f64)>,
+    /// Reference line drawn through every bar (e.g. 1.0 = baseline).
+    pub reference: f64,
+}
+
+impl BarChart {
+    /// Creates a chart with a reference at 1.0.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            bars: Vec::new(),
+            reference: 1.0,
+        }
+    }
+
+    /// Adds a bar (builder style).
+    #[must_use]
+    pub fn with_bar(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        if self.bars.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let width = 48usize;
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(self.reference, f64::max)
+            .max(1e-12);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        let ref_col = ((self.reference / max) * width as f64).round() as usize;
+        for (label, value) in &self.bars {
+            let filled = ((value / max) * width as f64).round() as usize;
+            let mut bar: Vec<char> = (0..width)
+                .map(|c| if c < filled { '#' } else { ' ' })
+                .collect();
+            if ref_col < width {
+                bar[ref_col] = '|';
+            }
+            out.push_str(&format!(
+                "{label:>label_w$} {} {value:.2}\n",
+                bar.iter().collect::<String>()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart_with(points: Vec<(f64, f64)>) -> ScatterChart {
+        ScatterChart::new("t", "FLOPs", "speedup").with_series(Series::new("a", '*', points))
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let s = chart_with(vec![(1e6, 1.5), (1e9, 0.8), (1e12, 2.5)]).render();
+        assert!(s.contains('t'));
+        assert!(s.contains("FLOPs"));
+        assert!(s.contains("legend:"));
+        assert!(s.contains('*'));
+        assert!(s.contains("10^"));
+    }
+
+    #[test]
+    fn guide_line_is_drawn() {
+        let s = chart_with(vec![(1e6, 0.5), (1e9, 2.0)]).render();
+        assert!(s.contains("--------"), "guide line missing:\n{s}");
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let s = chart_with(vec![]).render();
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn non_positive_x_is_dropped() {
+        let s = chart_with(vec![(0.0, 1.0), (1e3, 1.0)]).render();
+        assert!(!s.contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_renders() {
+        let s = chart_with(vec![(100.0, 1.0)]).render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_renders_reference_and_values() {
+        let s = BarChart::new("e2e")
+            .with_bar("bert", 1.4)
+            .with_bar("albert", 0.9)
+            .render();
+        assert!(s.contains("bert"));
+        assert!(s.contains("1.40"));
+        assert!(s.contains('|'), "reference line missing:\n{s}");
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_bar_chart_does_not_panic() {
+        assert!(BarChart::new("x").render().contains("no data"));
+    }
+
+    #[test]
+    fn multiple_series_use_their_marks() {
+        let s = ScatterChart::new("t", "x", "y")
+            .with_series(Series::new("first", 'o', vec![(1e2, 1.0)]))
+            .with_series(Series::new("second", 'x', vec![(1e8, 2.0)]))
+            .render();
+        assert!(s.contains('o') && s.contains('x'));
+        assert!(s.contains("first") && s.contains("second"));
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper-shape guard: expected ranges for every experiment headline.
+//!
+//! Absolute agreement with the paper's testbed is not the bar — preserving
+//! each result's *shape* is (who wins, roughly by how much, where cliffs
+//! fall). The ranges below encode that bar; `experiments -- check` verifies
+//! a `results/summary.json` produced by a full run against them, making the
+//! reproduction CI-checkable.
+
+/// One guarded headline: a substring that identifies the metric within an
+/// experiment, and the inclusive range its measured value must fall in.
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// Experiment id (`"fig6"`, ...).
+    pub id: &'static str,
+    /// Substring of the headline label.
+    pub metric: &'static str,
+    /// Inclusive acceptance range.
+    pub range: (f64, f64),
+    /// The paper's reported value, for the report.
+    pub paper: f64,
+}
+
+const fn exp(id: &'static str, metric: &'static str, lo: f64, hi: f64, paper: f64) -> Expectation {
+    Expectation {
+        id,
+        metric,
+        range: (lo, hi),
+        paper,
+    }
+}
+
+/// The guarded headline set. Ranges are generous where the substitution has
+/// the most freedom (vendor-library strength) and tight where the paper's
+/// mechanics are exact (Table 9 counters, invariantly-zero invalid runs).
+pub fn expectations() -> Vec<Expectation> {
+    vec![
+        // Fig. 1: the vendor cliff exists (order-of-magnitude variance).
+        exp("fig1", "best/worst ratio", 5.0, 40.0, 11.8),
+        // Fig. 6: MikPoly wins on average on the GPU, vendor keeps golden
+        // shapes competitive (mean well below the peak).
+        exp("fig6", "GEMM mean speedup vs cuBLAS", 1.15, 1.9, 1.47),
+        exp("fig6", "GEMM max speedup vs cuBLAS", 2.5, 9.0, 4.82),
+        exp("fig6", "conv mean speedup vs cuDNN", 1.1, 2.6, 1.98),
+        exp("fig6", "GEMM mean speedup vs CUTLASS", 1.5, 4.5, 3.02),
+        // Fig. 7: NPU wins are smaller than GPU wins for GEMM.
+        exp("fig7", "GEMM mean speedup vs CANN", 1.0, 1.7, 1.10),
+        exp("fig7", "conv mean speedup vs CANN", 1.05, 1.9, 1.41),
+        // Fig. 8/9 e2e: everything wins, in the 1.05–2x band.
+        exp("fig8", "bert-base-uncased mean", 1.1, 2.0, 1.39),
+        exp("fig8", "albert-xlarge-v2 mean", 1.05, 1.9, 1.37),
+        exp("fig9", "alexnet mean", 1.05, 1.8, 1.34),
+        exp("fig9", "googlenet mean", 1.05, 2.2, 1.69),
+        exp("npu-e2e", "vgg11 mean", 1.0, 1.8, 1.38),
+        // Fig. 10 ordering: Nimble >> CUTLASS ~ DietCode, all > 1.5.
+        exp("fig10", "mean speedup over DietCode", 1.5, 4.5, 2.94),
+        exp("fig10", "mean speedup over Nimble", 4.0, 14.0, 7.54),
+        exp("fig10", "mean speedup over CUTLASS", 2.0, 9.0, 3.59),
+        // Table 5: MikPoly never produces invalid runs; it beats DietCode.
+        exp("tab5", "mean speedup over DietCode", 1.2, 2.6, 1.55),
+        // Table 8 / Fig. 11: modest LLM wins.
+        exp("tab8", "qkv_proj mean", 1.0, 1.6, 1.09),
+        exp("tab8", "o_proj mean", 1.0, 1.6, 1.24),
+        exp("fig11", "batch 1 mean", 1.0, 1.4, 1.05),
+        exp("fig11", "batch 8 mean", 1.0, 1.35, 1.01),
+        // Fig. 12(b) ordering: Full ~ Oracle > Wave > Pipe > CUTLASS.
+        exp("fig12b", "MikPoly mean vs Oracle", 0.9, 1.001, 0.96),
+        exp("fig12b", "MikPoly-Wave mean", 0.7, 1.0, 0.81),
+        exp("fig12b", "MikPoly-Pipe mean", 0.5, 0.95, 0.72),
+        exp("fig12b", "CUTLASS mean vs Oracle", 0.2, 0.8, 0.45),
+        // Table 9: the load-imbalance mechanics are near-exact.
+        exp("tab9", "sm_efficiency at M=3072", 0.8, 0.95, 0.8667),
+        exp("tab9", "sm_efficiency at M=4096", 0.5, 0.7, 0.589),
+        exp("tab9", "elapsed_cycles_sm growth", 1.7, 2.2, 1.96),
+        exp("tab9", "GEMM-AB speedup over GEMM-A", 1.1, 1.9, 1.21),
+        // Extensions stay sane.
+        exp("ext-winograd", "mean Winograd speedup", 1.05, 2.25, f64::NAN),
+        exp("ext-splitk", "mean split-K speedup on machine-starved grids", 1.0, 3.0, f64::NAN),
+        exp("abl-search", "nvidia-a100: mean quality of heuristic", 0.97, 1.02, f64::NAN),
+    ]
+}
+
+/// Verifies a summary (as written to `results/summary.json`) against the
+/// expectation set. Returns human-readable failures; empty = pass.
+pub fn check_summary(summary: &serde_json::Value) -> Vec<String> {
+    let mut failures = Vec::new();
+    for e in expectations() {
+        let Some(entries) = summary.get(e.id).and_then(|v| v.as_array()) else {
+            failures.push(format!("[{}] missing from summary (run `experiments all` first)", e.id));
+            continue;
+        };
+        let found = entries.iter().find(|entry| {
+            entry
+                .get("metric")
+                .and_then(|m| m.as_str())
+                .is_some_and(|m| m.contains(e.metric))
+        });
+        let Some(found) = found else {
+            failures.push(format!("[{}] headline containing '{}' not found", e.id, e.metric));
+            continue;
+        };
+        let value = found.get("value").and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        if !(e.range.0..=e.range.1).contains(&value) {
+            failures.push(format!(
+                "[{}] '{}' = {:.3} outside [{}, {}] (paper: {})",
+                e.id, e.metric, value, e.range.0, e.range.1, e.paper
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expectations_are_well_formed() {
+        let all = expectations();
+        assert!(all.len() > 20);
+        for e in &all {
+            assert!(e.range.0 < e.range.1, "{e:?}");
+            if !e.paper.is_nan() {
+                // The paper's own value need not lie inside our acceptance
+                // band (the substitution shifts levels), but it should be
+                // within a factor of ~2.5 of it.
+                assert!(
+                    e.paper > e.range.0 / 2.5 && e.paper < e.range.1 * 2.5,
+                    "paper value far from acceptance band: {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_flags_missing_and_out_of_range() {
+        let summary = serde_json::json!({
+            "fig1": [{ "metric": "best/worst ratio (paper: 11.8)", "value": 100.0 }]
+        });
+        let failures = check_summary(&summary);
+        assert!(failures.iter().any(|f| f.contains("outside")));
+        assert!(failures.iter().any(|f| f.contains("missing")));
+    }
+
+    #[test]
+    fn check_accepts_in_range_values() {
+        let summary = serde_json::json!({
+            "fig1": [{ "metric": "best/worst ratio (paper: 11.8)", "value": 14.0 }]
+        });
+        let failures = check_summary(&summary);
+        assert!(!failures.iter().any(|f| f.contains("fig1] 'best/worst")), "{failures:?}");
+    }
+}

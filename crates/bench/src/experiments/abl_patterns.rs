@@ -1,0 +1,99 @@
+//! Ablation: the pattern-set choice of Section 4. The paper restricts GPUs
+//! to Patterns I–II "based on their optimal balance of runtime overhead and
+//! operator performance" and uses all nine on NPUs. This experiment
+//! measures both halves of that trade-off on both machines: device-time
+//! quality and polymerization latency per pattern set.
+
+use std::sync::Arc;
+
+use accel_sim::MachineModel;
+use mikpoly::{all_patterns, MikPoly, OnlineOptions, TemplateKind};
+use tensor_ir::Operator;
+
+use crate::report::{geomean, max, mean};
+use crate::setup::Harness;
+use crate::Report;
+
+fn variant(h: &Harness, machine: &MachineModel, patterns: usize, n_mik: usize) -> Arc<MikPoly> {
+    let mut lean = crate::setup::Harness::new(h.config.clone());
+    lean.config.offline.n_mik = n_mik;
+    Arc::new(
+        MikPoly::with_library(machine.clone(), lean.library(machine, TemplateKind::Gemm))
+            .with_options(OnlineOptions {
+                patterns: Some(all_patterns().into_iter().take(patterns).collect()),
+                cache: false,
+                ..OnlineOptions::default()
+            }),
+    )
+}
+
+/// Runs the pattern-set ablation.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let stride = (h.config.stride * 8).clamp(8, 100);
+    let mut cases: Vec<Operator> = mikpoly_workloads::gemm_suite()
+        .into_iter()
+        .step_by(stride)
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+    // Split-friendly shapes (tail waves just past a wave boundary), where
+    // polymerization has the most to offer — the Fig. 15 regime.
+    for m in [3584usize, 4096, 2304, 6400] {
+        cases.push(Operator::gemm(tensor_ir::GemmShape::new(m, 1024, 4096)));
+    }
+
+    let mut report = Report::new(
+        "abl-patterns",
+        "Pattern-set ablation: device-time quality vs polymerization latency",
+        &["machine", "n_mik", "patterns", "rel. perf vs I only", "geomean", "max gain", "search us (mean)"],
+    );
+    // Two library sizes: the paper's 40-kernel coverage library (where
+    // Pattern I with the right kernel already captures most wins) and a
+    // lean 4-kernel library (where multi-kernel polymerization must make up
+    // for missing tile sizes — the regime the Fig. 3/15 examples live in).
+    for (machine, n_mik) in [
+        (h.gpu(), h.config.offline.n_mik),
+        (h.npu(), h.config.offline.n_mik),
+        (h.gpu(), 4),
+        (h.npu(), 4),
+    ] {
+        // Baseline: Pattern I only.
+        let base = variant(h, &machine, 1, n_mik);
+        let base_ns: Vec<f64> = cases.iter().map(|op| base.run(op).report.time_ns).collect();
+        for patterns in [1usize, 2, 5, 9] {
+            let compiler = variant(h, &machine, patterns, n_mik);
+            let mut rel = Vec::new();
+            let mut search_us = Vec::new();
+            for (op, &b) in cases.iter().zip(&base_ns) {
+                let run = compiler.run(op);
+                rel.push(b / run.report.time_ns);
+                search_us.push(run.program.stats.search_ns as f64 / 1e3);
+            }
+            report.push_row(vec![
+                machine.name.clone(),
+                n_mik.to_string(),
+                format!("I..{patterns}"),
+                format!("{:.3}", mean(&rel)),
+                format!("{:.3}", geomean(&rel)),
+                format!("{:.2}", max(&rel)),
+                format!("{:.1}", mean(&search_us)),
+            ]);
+            if patterns == 2
+                && machine.allocation == accel_sim::AllocationPolicy::DynamicHardware
+            {
+                report.headline(
+                    format!("GPU gain of Pattern II over I alone (n_mik {n_mik})"),
+                    mean(&rel),
+                );
+            }
+            if patterns == 9
+                && machine.allocation == accel_sim::AllocationPolicy::StaticCompilerAssigned
+            {
+                report.headline(
+                    format!("NPU gain of Patterns I-IX over I alone (n_mik {n_mik})"),
+                    mean(&rel),
+                );
+            }
+        }
+    }
+    vec![report]
+}

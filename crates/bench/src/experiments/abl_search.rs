@@ -1,0 +1,86 @@
+//! Ablation: the online search heuristics (Algorithm 1's narrowing).
+//! Compares the heuristic branch-and-bound search against exhaustive
+//! cost-model enumeration (pruning off) on both quality (selected-program
+//! device time) and search latency — quantifying what the pruning margin,
+//! kernel shortlist and descent budget give up, which DESIGN.md bounds at a
+//! few percent.
+
+use std::sync::Arc;
+
+use accel_sim::MachineModel;
+use mikpoly::{MikPoly, OnlineOptions, TemplateKind};
+use tensor_ir::Operator;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+fn variant(h: &Harness, machine: &MachineModel, prune: bool) -> Arc<MikPoly> {
+    Arc::new(
+        MikPoly::with_library(machine.clone(), h.library(machine, TemplateKind::Gemm))
+            .with_options(OnlineOptions {
+                prune,
+                cache: false,
+                ..OnlineOptions::default()
+            }),
+    )
+}
+
+/// Runs the search-heuristics ablation.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let stride = (h.config.stride * 8).clamp(8, 100);
+    let cases: Vec<Operator> = mikpoly_workloads::gemm_suite()
+        .into_iter()
+        .step_by(stride)
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+
+    let mut report = Report::new(
+        "abl-search",
+        "Search-heuristics ablation: heuristic B&B vs exhaustive cost-model enumeration",
+        &[
+            "machine",
+            "quality vs exhaustive (mean)",
+            "quality (worst case)",
+            "search us heuristic",
+            "search us exhaustive",
+            "strategies heuristic",
+            "strategies exhaustive",
+        ],
+    );
+    for machine in [h.gpu(), h.npu()] {
+        let heuristic = variant(h, &machine, true);
+        let exhaustive = variant(h, &machine, false);
+        let mut quality = Vec::new();
+        let (mut h_us, mut e_us) = (Vec::new(), Vec::new());
+        let (mut h_strats, mut e_strats) = (0usize, 0usize);
+        for op in &cases {
+            let a = heuristic.run(op);
+            let b = exhaustive.run(op);
+            quality.push(b.report.time_ns / a.report.time_ns);
+            h_us.push(a.program.stats.search_ns as f64 / 1e3);
+            e_us.push(b.program.stats.search_ns as f64 / 1e3);
+            h_strats += a.program.stats.strategies_evaluated;
+            e_strats += b.program.stats.strategies_evaluated;
+        }
+        let worst = quality.iter().copied().fold(f64::MAX, f64::min);
+        report.push_row(vec![
+            machine.name.clone(),
+            format!("{:.3}", mean(&quality)),
+            format!("{:.3}", worst),
+            format!("{:.1}", mean(&h_us)),
+            format!("{:.1}", mean(&e_us)),
+            h_strats.to_string(),
+            e_strats.to_string(),
+        ]);
+        report.headline(
+            format!("{}: mean quality of heuristic vs exhaustive (1.0 = equal)", machine.name),
+            mean(&quality),
+        );
+        report.headline(
+            format!("{}: search speedup from the heuristics", machine.name),
+            mean(&e_us) / mean(&h_us).max(1e-9),
+        );
+    }
+    vec![report]
+}

@@ -1,0 +1,218 @@
+//! Section 6 case study (Figs. 14/15, Table 9): how polymerizing two
+//! micro-kernels fixes GEMM-A's load imbalance on
+//! `(M, N, K) = (4096, 1024, 4096)`.
+//!
+//! * `GEMM-A`: one kernel, `A = (256, 128, 32)` at 8 warps — 128 tasks on
+//!   108 SMs, a nearly-idle second wave;
+//! * `GEMM-B`: one kernel, `B = (64, 64, 64)` at 4 warps;
+//! * `GEMM-AB` (Pattern II): `A` on the top 3072 rows (96 tasks, one full
+//!   wave), `B` on the bottom 1024 rows.
+//!
+//! Paper: sm_efficiency drops from 86.67% (M=3072) to 58.90% (M=4096) for
+//! GEMM-A while elapsed_cycles_sm grows 1.96x; GEMM-AB recovers the
+//! efficiency and is 1.21x faster than GEMM-A on the GPU; on the NPU the
+//! chosen program uses four micro-kernels for 1.12x.
+
+use accel_sim::{simulate, simulate_traced, SimReport, TimingMode, TraceEvent};
+use mikpoly::{
+    pattern::PatternId, CompiledProgram, MicroKernel, MicroKernelId, Region, SearchStats,
+    TemplateKind,
+};
+use tensor_ir::{GemmShape, Operator};
+
+use crate::setup::Harness;
+use crate::Report;
+
+fn kernel_a() -> MicroKernel {
+    MicroKernel::new(MicroKernelId(1000), 256, 128, 32, 8)
+}
+
+fn kernel_b() -> MicroKernel {
+    MicroKernel::new(MicroKernelId(1001), 64, 64, 64, 4)
+}
+
+fn program(shape: GemmShape, regions: Vec<Region>) -> CompiledProgram {
+    let operator = Operator::gemm(shape);
+    CompiledProgram {
+        operator,
+        view: operator.gemm_view(),
+        pattern: if regions.len() == 1 { PatternId(1) } else { PatternId(2) },
+        regions,
+        split_k: 1,
+        predicted_ns: f64::NAN,
+        stats: SearchStats::default(),
+    }
+}
+
+fn gemm_a(shape: GemmShape) -> CompiledProgram {
+    program(shape, vec![Region::new(0, shape.m, 0, shape.n, kernel_a())])
+}
+
+fn gemm_b(shape: GemmShape) -> CompiledProgram {
+    program(shape, vec![Region::new(0, shape.m, 0, shape.n, kernel_b())])
+}
+
+fn gemm_ab(shape: GemmShape, split: usize) -> CompiledProgram {
+    program(
+        shape,
+        vec![
+            Region::new(0, split, 0, shape.n, kernel_a()),
+            Region::new(split, shape.m, 0, shape.n, kernel_b()),
+        ],
+    )
+}
+
+fn sim(h: &Harness, p: &CompiledProgram) -> SimReport {
+    simulate(&h.gpu(), &p.launch_dynamic(), TimingMode::Evaluate)
+}
+
+/// Runs the case study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    // Fig. 15(a): execution time of GEMM-A and GEMM-B as M sweeps
+    // [1024, 4096] with stride 256 (N = 1024, K = 4096).
+    let mut fig15 = Report::new(
+        "fig15a",
+        "GEMM-A vs GEMM-B vs GEMM-AB across M (N=1024, K=4096)",
+        &["M", "GEMM-A (ms)", "GEMM-B (ms)", "GEMM-AB (ms)", "MikPoly (ms)"],
+    );
+    let compiler = h.compiler(&h.gpu(), TemplateKind::Gemm);
+    for m in (1024..=4096).step_by(256) {
+        let shape = GemmShape::new(m, 1024, 4096);
+        let a = sim(h, &gemm_a(shape)).time_ms();
+        let b = sim(h, &gemm_b(shape)).time_ms();
+        let split = (m / 256) * 256;
+        let ab = if split > 0 && split < m {
+            sim(h, &gemm_ab(shape, split)).time_ms()
+        } else {
+            // M is a multiple of 256: fall back to the 3/4 split the paper
+            // case study uses at M = 4096.
+            sim(h, &gemm_ab(shape, m - m / 4)).time_ms()
+        };
+        let mik = compiler.run(&Operator::gemm(shape)).report.time_ms();
+        fig15.push_row(vec![
+            m.to_string(),
+            format!("{a:.3}"),
+            format!("{b:.3}"),
+            format!("{ab:.3}"),
+            format!("{mik:.3}"),
+        ]);
+    }
+
+    // Table 9: profiling counters.
+    let mut tab9 = Report::new(
+        "tab9",
+        "Profiling counters (paper: sm_eff 86.67% -> 58.90%, cycles x1.96, grid 96 -> 128)",
+        &["program", "M", "grid_size", "sm_efficiency", "elapsed_cycles_sm (rel)", "time (ms)"],
+    );
+    let a3072 = sim(h, &gemm_a(GemmShape::new(3072, 1024, 4096)));
+    let a4096 = sim(h, &gemm_a(GemmShape::new(4096, 1024, 4096)));
+    let ab4096 = sim(h, &gemm_ab(GemmShape::new(4096, 1024, 4096), 3072));
+    for (name, m, r) in [
+        ("GEMM-A", 3072usize, &a3072),
+        ("GEMM-A", 4096, &a4096),
+        ("GEMM-AB", 4096, &ab4096),
+    ] {
+        tab9.push_row(vec![
+            name.to_string(),
+            m.to_string(),
+            r.grid_size.to_string(),
+            format!("{:.2}%", r.sm_efficiency * 100.0),
+            format!("{:.2}", r.elapsed_cycles_sm / a3072.elapsed_cycles_sm),
+            format!("{:.3}", r.time_ms()),
+        ]);
+    }
+    tab9.headline(
+        "GEMM-A sm_efficiency at M=3072 (paper: 0.8667)",
+        a3072.sm_efficiency,
+    );
+    tab9.headline(
+        "GEMM-A sm_efficiency at M=4096 (paper: 0.5890)",
+        a4096.sm_efficiency,
+    );
+    tab9.headline(
+        "GEMM-A elapsed_cycles_sm growth 3072->4096 (paper: 1.96)",
+        a4096.elapsed_cycles_sm / a3072.elapsed_cycles_sm,
+    );
+    tab9.headline(
+        "GEMM-AB speedup over GEMM-A at M=4096 (paper: 1.21)",
+        a4096.time_ns / ab4096.time_ns,
+    );
+
+    // Fig. 15(b)/(c): active warps over time — the tail wave of GEMM-A vs
+    // the overlapped mixed-kernel tail of GEMM-AB.
+    let occupancy_ascii = |title: &str, trace: &[TraceEvent], makespan: f64| -> String {
+        let machine = h.gpu();
+        let cap = (machine.num_pes * machine.warp_cap_per_pe) as f64;
+        let cols = 64usize;
+        let mut rows = String::new();
+        rows.push_str(&format!(
+            "{title} (each column = {:.0} us; # = active warp share)\n",
+            makespan / cols as f64 / 1e3
+        ));
+        for level in (1..=4).rev() {
+            let threshold = level as f64 / 4.0;
+            rows.push_str(&format!("{:>4.0}% |", threshold * 100.0));
+            for c in 0..cols {
+                let t = (c as f64 + 0.5) / cols as f64 * makespan;
+                let active: f64 = trace
+                    .iter()
+                    .filter(|e| e.start_ns <= t && t < e.end_ns)
+                    .map(|e| e.warps as f64)
+                    .sum();
+                rows.push(if active / cap >= threshold - 1e-9 { '#' } else { ' ' });
+            }
+            rows.push('\n');
+        }
+        rows
+    };
+    let shape = GemmShape::new(4096, 1024, 4096);
+    let (ra, trace_a) =
+        simulate_traced(&h.gpu(), &gemm_a(shape).launch_dynamic(), TimingMode::Evaluate);
+    let (rab, trace_ab) =
+        simulate_traced(&h.gpu(), &gemm_ab(shape, 3072).launch_dynamic(), TimingMode::Evaluate);
+    println!("{}", occupancy_ascii("Fig. 15(b): GEMM-A active warps over time", &trace_a, ra.device_ns));
+    println!("{}", occupancy_ascii("Fig. 15(c): GEMM-AB active warps over time", &trace_ab, rab.device_ns));
+
+    // Fig. 14 (NPU side): MikPoly's chosen polymerization on the NPU.
+    let mut fig14 = Report::new(
+        "fig14",
+        "Polymerization strategies chosen for (4096, 1024, 4096)",
+        &["machine", "pattern", "region", "rows", "cols", "micro-kernel"],
+    );
+    for machine in [h.gpu(), h.npu()] {
+        let compiler = h.compiler(&machine, TemplateKind::Gemm);
+        let run = compiler.run(&Operator::gemm(GemmShape::new(4096, 1024, 4096)));
+        for (i, r) in run.program.regions.iter().enumerate() {
+            fig14.push_row(vec![
+                machine.name.clone(),
+                run.program.pattern.to_string(),
+                format!("R{}", i + 1),
+                format!("[{}, {})", r.row0, r.row1),
+                format!("[{}, {})", r.col0, r.col1),
+                format!("({}, {}, {})", r.kernel.um, r.kernel.un, r.kernel.uk),
+            ]);
+        }
+    }
+    // NPU: polymerized vs best single-kernel (Pattern I only) program.
+    let npu_compiler = h.compiler(&h.npu(), TemplateKind::Gemm);
+    let op = Operator::gemm(GemmShape::new(4096, 1024, 4096));
+    let poly = npu_compiler.run(&op);
+    let single_compiler = std::sync::Arc::new(
+        mikpoly::MikPoly::with_library(h.npu(), h.library(&h.npu(), TemplateKind::Gemm))
+            .with_options(mikpoly::OnlineOptions {
+                patterns: Some(mikpoly::all_patterns().into_iter().take(1).collect()),
+                ..mikpoly::OnlineOptions::default()
+            }),
+    );
+    let single = single_compiler.run(&op);
+    fig14.headline(
+        "NPU polymerized speedup over single micro-kernel (paper: 1.12)",
+        single.report.time_ns / poly.report.time_ns,
+    );
+    fig14.headline(
+        "GPU GEMM-AB speedup over GEMM-A (paper: 1.21)",
+        a4096.time_ns / ab4096.time_ns,
+    );
+
+    vec![fig15, tab9, fig14]
+}

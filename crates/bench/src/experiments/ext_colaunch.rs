@@ -1,0 +1,73 @@
+//! Extension: graph-level co-launching (toward the paper's Section 7
+//! "combination of MikPoly with graph-level optimization techniques").
+//!
+//! Branchy CNNs (GoogLeNet's inception modules, ResNet's shortcut
+//! projections) contain mutually independent small convolutions whose
+//! individual grids cannot fill the machine. Because a polymerized program
+//! is just a set of task groups, *co-launching* a dataflow stage — merging
+//! the task groups of all its compiled programs into one launch — is free
+//! composition: the hardware scheduler interleaves them, recovering the
+//! parallelism each small operator leaves on the table.
+
+use accel_sim::{simulate, Launch, TimingMode};
+use mikpoly::TemplateKind;
+use mikpoly_models::CnnConfig;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs the co-launch study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let gemm = h.compiler(&gpu, TemplateKind::Gemm);
+    let conv = h.compiler(&gpu, TemplateKind::Conv);
+    let compiler_for = |op: &tensor_ir::Operator| match op.kind() {
+        "conv2d" => &conv,
+        _ => &gemm,
+    };
+
+    let mut report = Report::new(
+        "ext-colaunch",
+        "Co-launching independent operators of a dataflow stage (extension)",
+        &["model", "config", "stages", "sequential (ms)", "co-launched (ms)", "speedup"],
+    );
+    let sweep: &[(usize, usize)] = &[(1, 224), (4, 224), (1, 96), (8, 320)];
+    let mut per_model: Vec<(String, Vec<f64>)> = Vec::new();
+    for cfg in [CnnConfig::googlenet(), CnnConfig::resnet18()] {
+        let mut speedups = Vec::new();
+        for &(batch, resolution) in sweep {
+            let graph = cfg.graph(batch, resolution);
+            let mut sequential = 0.0;
+            let mut colaunched = 0.0;
+            for stage in graph.stages() {
+                let mut merged: Vec<accel_sim::TaskGroup> = Vec::new();
+                for op in &stage {
+                    let compiler = compiler_for(&op.operator);
+                    let program = compiler.compile(&op.operator);
+                    sequential += compiler.simulate(&program).time_ns * op.count as f64;
+                    merged.extend(program.launch_dynamic().groups);
+                }
+                let launch = Launch::from_groups(merged);
+                colaunched += simulate(&gpu, &launch, TimingMode::Evaluate).time_ns;
+            }
+            speedups.push(sequential / colaunched);
+            report.push_row(vec![
+                cfg.name.clone(),
+                format!("b{batch} r{resolution}"),
+                graph.stages().len().to_string(),
+                format!("{:.3}", sequential / 1e6),
+                format!("{:.3}", colaunched / 1e6),
+                format!("{:.2}", sequential / colaunched),
+            ]);
+        }
+        per_model.push((cfg.name.clone(), speedups));
+    }
+    for (name, speedups) in &per_model {
+        report.headline(
+            format!("{name}: mean co-launch speedup over sequential MikPoly"),
+            mean(speedups),
+        );
+    }
+    vec![report]
+}

@@ -1,0 +1,108 @@
+//! Extension (the paper's Section 7 future work): epilogue fusion.
+//!
+//! "We plan to explore the combination of MikPoly with graph-level
+//! optimization techniques, such as operator fusion". In an unfused
+//! runtime, every projection GEMM is followed by an elementwise pass
+//! (bias + activation + residual) that re-reads and re-writes the whole
+//! output through `M_global` behind its own kernel launch. Fusing the
+//! epilogue into the micro-kernel's write-back stage eliminates that pass —
+//! the polymerized program is unchanged (the epilogue costs a few
+//! register-level ops before the store), so fusion composes freely with
+//! micro-kernel polymerization.
+//!
+//! This experiment quantifies the opportunity across the language-model
+//! sweep: end-to-end latency with per-GEMM elementwise passes vs with
+//! fused epilogues.
+
+use accel_sim::{simulate, Launch, MachineModel, TaskShape, TaskSpec, TimingMode};
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{Backend, MikPolyBackend};
+use mikpoly_models::TransformerConfig;
+use mikpoly_workloads::sentence_lengths;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// The standalone elementwise pass an unfused runtime launches after a
+/// GEMM: reads and rewrites the `m x n` fp16 output with a handful of ops
+/// per element (bias + activation). Purely memory-bound.
+fn elementwise_launch(m: usize, n: usize) -> Launch {
+    const TILE: usize = 128;
+    // A TILE x TILE elementwise tile: `load_scale` is chosen so the generic
+    // tile accounting charges exactly one read of the tile
+    // (um * un elements) per instance; the store adds the write-back.
+    let load_scale = (TILE * TILE) as f64 / (TILE + TILE) as f64;
+    let shape = TaskShape {
+        um: TILE,
+        un: TILE,
+        uk: 1,
+        in_elem_bytes: 2,
+        out_elem_bytes: 2,
+        acc_elem_bytes: 2,
+        load_scale,
+        stages: 2,
+        quality: 1.0,
+    };
+    let count = m.div_ceil(TILE) * n.div_ceil(TILE);
+    Launch::grid(TaskSpec::new(shape, 4, 1), count)
+}
+
+/// End-to-end latency of a transformer forward pass, optionally paying an
+/// elementwise epilogue launch after every (batched) GEMM.
+fn latency_ns(
+    machine: &MachineModel,
+    backend: &dyn Backend,
+    graph: &mikpoly_models::ModelGraph,
+    fused: bool,
+) -> f64 {
+    let mut total = 0.0;
+    for op in &graph.ops {
+        let run = backend.run(&op.operator).expect("gemm runs");
+        total += run.report.time_ns * op.count as f64;
+        // Only projection GEMMs carry a bias/activation epilogue; the
+        // attention score/context GEMMs are followed by softmax, which a
+        // GEMM-epilogue fusion does not remove (it stays unfused in both
+        // variants and is therefore excluded from the comparison).
+        let has_epilogue = !op.name.starts_with("attn.scores") && !op.name.starts_with("attn.context");
+        if !fused && has_epilogue {
+            let s = op.operator.gemm_view().shape;
+            let epilogue = simulate(machine, &elementwise_launch(s.m, s.n), TimingMode::Evaluate);
+            total += epilogue.time_ns * op.count as f64;
+        }
+    }
+    total
+}
+
+/// Runs the fusion extension study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let mik = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+    let lengths: Vec<usize> = h.config.subsample(&sentence_lengths());
+
+    let mut report = Report::new(
+        "ext-fusion",
+        "Epilogue fusion on top of polymerization (extension): e2e speedup of fused epilogues",
+        &["model", "mean speedup", "min", "max"],
+    );
+    for cfg in TransformerConfig::evaluation_set() {
+        let mut speedups = Vec::new();
+        for &len in &lengths {
+            let graph = cfg.graph(1, len);
+            let unfused = latency_ns(&gpu, &mik, &graph, false);
+            let fused = latency_ns(&gpu, &mik, &graph, true);
+            speedups.push(unfused / fused);
+        }
+        report.push_row(vec![
+            cfg.name.clone(),
+            format!("{:.3}", mean(&speedups)),
+            format!("{:.3}", speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!("{:.3}", crate::report::max(&speedups)),
+        ]);
+        report.headline(
+            format!("{}: fused-epilogue e2e speedup on top of MikPoly", cfg.name),
+            mean(&speedups),
+        );
+    }
+    vec![report]
+}

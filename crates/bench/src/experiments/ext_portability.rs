@@ -1,0 +1,65 @@
+//! Extension (the paper's Section 7 Generality claim): "this generic
+//! framework can be extended to support numerous other operators and
+//! accelerators". The whole pipeline — offline tuning, performance models,
+//! polymerization — retargets to an H100-class GPU by swapping the machine
+//! description; nothing else changes. The selected micro-kernels differ
+//! (more local memory, more bandwidth), and the speedup structure over the
+//! vendor library carries over.
+
+use accel_sim::MachineModel;
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{MikPolyBackend, VendorLibrary};
+use tensor_ir::Operator;
+
+use crate::experiments::SuiteComparison;
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs the portability study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let mut report = Report::new(
+        "ext-portability",
+        "Retargeting the pipeline to other machines (speedup over the vendor library)",
+        &["machine", "kernels", "largest tile", "GEMM mean", "geomean", "max"],
+    );
+    let cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::gemm_suite())
+        .into_iter()
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+
+    for machine in [MachineModel::a100(), MachineModel::h100(), MachineModel::ascend910a()] {
+        let compiler = h.compiler(&machine, TemplateKind::Gemm);
+        let vendor = match machine.allocation {
+            accel_sim::AllocationPolicy::DynamicHardware => VendorLibrary::cublas(machine.clone()),
+            accel_sim::AllocationPolicy::StaticCompilerAssigned => {
+                VendorLibrary::cann(machine.clone())
+            }
+        };
+        let largest = compiler
+            .library()
+            .kernels
+            .iter()
+            .map(|t| (t.kernel.um * t.kernel.un, t.kernel))
+            .max_by_key(|&(area, _)| area)
+            .map(|(_, k)| format!("({}, {}, {})", k.um, k.un, k.uk))
+            .unwrap_or_default();
+        let mik = MikPolyBackend::new(compiler);
+        let cmp = SuiteComparison::run(&cases, &vendor, &[&mik]);
+        report.push_row(vec![
+            machine.name.clone(),
+            mik.compiler().library().kernels.len().to_string(),
+            largest,
+            format!("{:.2}", mean(&cmp.speedups[1])),
+            format!("{:.2}", crate::report::geomean(&cmp.speedups[1])),
+            format!("{:.2}", crate::report::max(&cmp.speedups[1])),
+        ]);
+        report.headline(
+            format!("{} GEMM mean speedup over its vendor library", machine.name),
+            mean(&cmp.speedups[1]),
+        );
+    }
+    vec![report]
+}

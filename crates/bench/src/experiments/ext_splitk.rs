@@ -1,0 +1,84 @@
+//! Extension: split-K polymerization ("Pattern X", beyond the paper's
+//! output-space-only skeleton).
+//!
+//! The paper's nine patterns partition the output, so a shape whose best
+//! task grid has fewer tasks than PEs — small `M x N`, enormous `K`, common
+//! in DeepBench's RNN/speech GEMMs — cannot fill the machine no matter
+//! which kernels are polymerized. Splitting the reduction dimension across
+//! replicated tasks (with a memory-bound pass combining the partial
+//! outputs) multiplies the exploitable parallelism.
+
+use std::sync::Arc;
+
+use mikpoly::{MikPoly, OnlineOptions, TemplateKind};
+use tensor_ir::Operator;
+
+use crate::report::{geomean, max, mean};
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs the split-K extension study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let library = h.library(&gpu, TemplateKind::Gemm);
+    let base = Arc::new(MikPoly::with_library(gpu.clone(), library.clone()));
+    let split = Arc::new(
+        MikPoly::with_library(gpu.clone(), library).with_options(OnlineOptions {
+            split_k: true,
+            ..OnlineOptions::default()
+        }),
+    );
+
+    let cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::gemm_suite())
+        .into_iter()
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+
+    let mut report = Report::new(
+        "ext-splitk",
+        "Split-K polymerization (extension): speedup over pattern-I..II MikPoly",
+        &["population", "cases", "fired", "mean speedup", "geomean", "max"],
+    );
+    let mut all = Vec::new();
+    let mut starved = Vec::new();
+    let mut fired_all = 0usize;
+    let mut fired_starved = 0usize;
+    for op in &cases {
+        let plain = base.run(op).report.time_ns;
+        let with_split = split.run(op);
+        let speedup = plain / with_split.report.time_ns;
+        let fired = with_split.program.split_k > 1;
+        fired_all += fired as usize;
+        all.push(speedup);
+        // The starved population: best plain grid smaller than the machine.
+        if base.run(op).program.grid_size() < gpu.num_pes {
+            starved.push(speedup);
+            fired_starved += fired as usize;
+        }
+    }
+    for (label, series, fired) in [
+        ("all Table 3", &all, fired_all),
+        ("grids smaller than |P_multi|", &starved, fired_starved),
+    ] {
+        if series.is_empty() {
+            continue;
+        }
+        report.push_row(vec![
+            label.to_string(),
+            series.len().to_string(),
+            fired.to_string(),
+            format!("{:.2}", mean(series)),
+            format!("{:.2}", geomean(series)),
+            format!("{:.2}", max(series)),
+        ]);
+    }
+    report.headline("mean split-K speedup on machine-starved grids", mean(&starved));
+    report.headline("max split-K speedup", max(&all));
+    report.headline(
+        "fraction of all cases where split-K fired",
+        fired_all as f64 / all.len() as f64,
+    );
+    vec![report]
+}

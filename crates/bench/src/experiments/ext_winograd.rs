@@ -1,0 +1,110 @@
+//! Extension (the paper's Section 7 future work): routing unit-stride 3x3
+//! convolutions through the Winograd `F(2x2, 3x3)` transform domain instead
+//! of implicit GEMM.
+//!
+//! The transform-domain GEMMs perform 16/36 of the direct multiplies but
+//! read roughly twice the traffic per FLOP, so Winograd wins on
+//! compute-bound layers and loses on memory-bound ones — the crossover this
+//! experiment maps across the Table 4 suite's 3x3 stride-1 cases.
+
+use mikpoly::{ConvAlgorithm, Engine, TemplateKind};
+use mikpoly_baselines::{Backend, MikPolyBackend};
+use tensor_ir::{winograd_applicable, Operator};
+
+use crate::report::{geomean, mean};
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs the Winograd extension study.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let im2col = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Conv));
+    // The transform-domain GEMMs have plain-GEMM access patterns.
+    let winograd = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+
+    let mut report = Report::new(
+        "ext-winograd",
+        "Winograd F(2x2,3x3) vs implicit GEMM on eligible Table 4 cases (extension)",
+        &["model", "cases", "mean speedup", "geomean", "wins", "losses"],
+    );
+    let cases: Vec<_> = h
+        .config
+        .subsample(&mikpoly_workloads::conv_suite())
+        .into_iter()
+        .filter(|c| winograd_applicable(&c.shape))
+        .collect();
+
+    let mut by_model: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+    let mut all = Vec::new();
+    for case in &cases {
+        let direct = im2col
+            .run(&Operator::conv2d(case.shape))
+            .expect("conv runs")
+            .report
+            .time_ns;
+        let wino = winograd
+            .run(&Operator::conv2d_winograd(case.shape))
+            .expect("winograd runs")
+            .report
+            .time_ns;
+        let speedup = direct / wino;
+        by_model.entry(case.model).or_default().push(speedup);
+        all.push(speedup);
+    }
+    for (model, speedups) in &by_model {
+        let wins = speedups.iter().filter(|&&s| s > 1.0).count();
+        report.push_row(vec![
+            model.to_string(),
+            speedups.len().to_string(),
+            format!("{:.2}", mean(speedups)),
+            format!("{:.2}", geomean(speedups)),
+            wins.to_string(),
+            (speedups.len() - wins).to_string(),
+        ]);
+    }
+    report.headline(
+        "mean Winograd speedup on eligible convs (theory caps at 2.25)",
+        mean(&all),
+    );
+    report.headline(
+        "fraction of eligible convs where Winograd wins",
+        all.iter().filter(|&&s| s > 1.0).count() as f64 / all.len() as f64,
+    );
+
+    // Algorithm selection: the engine compiles both lowerings and lets the
+    // cost model pick per shape — it should track the per-case best.
+    let engine = Engine::from_compilers(
+        gpu.clone(),
+        h.compiler(&gpu, TemplateKind::Gemm),
+        h.compiler(&gpu, TemplateKind::Conv),
+    )
+    .with_conv_algorithm(ConvAlgorithm::CostBased);
+    let mut selection_vs_best = Vec::new();
+    let mut picked_winograd = 0usize;
+    for case in &cases {
+        let direct = im2col
+            .run(&Operator::conv2d(case.shape))
+            .expect("conv runs")
+            .report
+            .time_ns;
+        let wino = winograd
+            .run(&Operator::conv2d_winograd(case.shape))
+            .expect("winograd runs")
+            .report
+            .time_ns;
+        let picked = engine.run_operator(&Operator::conv2d(case.shape));
+        if picked.dispatched.kind() == "conv2d-winograd" {
+            picked_winograd += 1;
+        }
+        selection_vs_best.push(direct.min(wino) / picked.run.report.time_ns);
+    }
+    report.headline(
+        "cost-based selection vs per-case best (1.0 = always right)",
+        mean(&selection_vs_best),
+    );
+    report.headline(
+        "fraction of eligible convs dispatched to Winograd by the engine",
+        picked_winograd as f64 / cases.len() as f64,
+    );
+    vec![report]
+}

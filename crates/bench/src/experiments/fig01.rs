@@ -1,0 +1,56 @@
+//! Figure 1: cuBLAS GEMM throughput varies wildly with shape.
+
+use mikpoly_baselines::{Backend, VendorLibrary};
+use tensor_ir::{GemmShape, Operator};
+
+use crate::setup::Harness;
+use crate::Report;
+
+/// The figure's shape sweep: the two shapes called out in the text plus a
+/// spread of compute-bound shapes of similar FLOP magnitude.
+fn shapes() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(4096, 4096, 4096),
+        GemmShape::new(105, 1024, 12544),
+        GemmShape::new(2048, 2048, 2048),
+        GemmShape::new(8192, 1024, 4096),
+        GemmShape::new(1024, 8192, 4096),
+        GemmShape::new(512, 512, 65536),
+        GemmShape::new(4000, 4000, 4000),
+        GemmShape::new(4100, 4100, 4100),
+        GemmShape::new(100, 10000, 10000),
+        GemmShape::new(10000, 100, 10000),
+        GemmShape::new(33, 3333, 33333),
+        GemmShape::new(7000, 7000, 333),
+    ]
+}
+
+/// Runs Figure 1.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let cublas = VendorLibrary::cublas(h.gpu());
+    let mut report = Report::new(
+        "fig1",
+        "cuBLAS GEMM throughput across shapes (paper: 262.2 vs 22.3 TFLOPS)",
+        &["(M, N, K)", "GFLOPs", "time (us)", "TFLOPS"],
+    );
+    let mut best: f64 = 0.0;
+    let mut worst = f64::INFINITY;
+    for s in shapes() {
+        let op = Operator::gemm(s);
+        let run = cublas.run(&op).expect("vendor library always runs");
+        // Throughput over *useful* FLOPs, as the paper reports it.
+        let tflops = op.flops() / run.total_ns() / 1e3;
+        best = best.max(tflops);
+        worst = worst.min(tflops);
+        report.push_row(vec![
+            s.to_string(),
+            format!("{:.1}", op.flops() / 1e9),
+            format!("{:.1}", run.total_ns() / 1e3),
+            format!("{tflops:.1}"),
+        ]);
+    }
+    report.headline("best TFLOPS (paper: 262.2)", best);
+    report.headline("worst TFLOPS (paper: 22.3)", worst);
+    report.headline("best/worst ratio (paper: 11.8)", best / worst);
+    vec![report]
+}

@@ -1,0 +1,114 @@
+//! Figure 6: dynamic-shape GEMM and convolution on the GPU — MikPoly vs
+//! cuBLAS/cuDNN (baseline) and CUTLASS.
+//!
+//! Paper headlines: GEMM 1.47x average / 4.82x peak over cuBLAS;
+//! convolution 1.98x average / 5.38x peak over cuDNN; 3.02x / 1.72x over
+//! CUTLASS.
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{CutlassLibrary, MikPolyBackend, VendorLibrary};
+use tensor_ir::Operator;
+
+use crate::chart::{ScatterChart, Series};
+use crate::experiments::SuiteComparison;
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 6.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let mut report = Report::new(
+        "fig6",
+        "GPU dynamic-shape operators (speedups over cuBLAS/cuDNN)",
+        &["suite", "system", "mean", "geomean", "max"],
+    );
+    let mut detail = Report::new(
+        "fig6-cases",
+        "GPU per-case speedups (CSV series of Fig. 6)",
+        &["suite", "flops", "MikPoly", "CUTLASS"],
+    );
+
+    // GEMM over Table 3.
+    let gemm_cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::gemm_suite())
+        .into_iter()
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+    let cublas = VendorLibrary::cublas(gpu.clone());
+    let cutlass = CutlassLibrary::new(gpu.clone());
+    let mik_gemm = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+    let gemm = SuiteComparison::run(&gemm_cases, &cublas, &[&mik_gemm, &cutlass]);
+    gemm.summarize(&mut report, "GEMM");
+    for i in 0..gemm.flops.len() {
+        detail.push_row(vec![
+            "GEMM".into(),
+            format!("{:.3e}", gemm.flops[i]),
+            format!("{:.3}", gemm.speedups[1][i]),
+            format!("{:.3}", gemm.speedups[2][i]),
+        ]);
+    }
+
+    // Convolution over Table 4.
+    let conv_cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::conv_suite())
+        .into_iter()
+        .map(|c| Operator::conv2d(c.shape))
+        .collect();
+    let cudnn = VendorLibrary::cudnn(gpu.clone());
+    let mik_conv = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Conv));
+    let conv = SuiteComparison::run(&conv_cases, &cudnn, &[&mik_conv, &cutlass]);
+    conv.summarize(&mut report, "conv");
+    for i in 0..conv.flops.len() {
+        detail.push_row(vec![
+            "conv".into(),
+            format!("{:.3e}", conv.flops[i]),
+            format!("{:.3}", conv.speedups[1][i]),
+            format!("{:.3}", conv.speedups[2][i]),
+        ]);
+    }
+
+    // The Fig. 6 scatter: speedup vs FLOPs, log x.
+    let scatter = |title: &str, cmp: &SuiteComparison| -> String {
+        ScatterChart::new(title, "workload FLOPs", "speedup over vendor")
+            .with_series(Series::new(
+                "MikPoly",
+                '*',
+                cmp.flops.iter().copied().zip(cmp.speedups[1].iter().copied()).collect(),
+            ))
+            .with_series(Series::new(
+                "CUTLASS",
+                '.',
+                cmp.flops.iter().copied().zip(cmp.speedups[2].iter().copied()).collect(),
+            ))
+            .render()
+    };
+    println!("{}", scatter("Fig. 6 (GEMM): speedup over cuBLAS", &gemm));
+    println!("{}", scatter("Fig. 6 (conv): speedup over cuDNN", &conv));
+
+    report.headline("GEMM mean speedup vs cuBLAS (paper: 1.47)", mean(&gemm.speedups[1]));
+    report.headline(
+        "GEMM max speedup vs cuBLAS (paper: 4.82)",
+        crate::report::max(&gemm.speedups[1]),
+    );
+    report.headline("conv mean speedup vs cuDNN (paper: 1.98)", mean(&conv.speedups[1]));
+    report.headline(
+        "conv max speedup vs cuDNN (paper: 5.38)",
+        crate::report::max(&conv.speedups[1]),
+    );
+    let vs = |mik: &[f64], cut: &[f64]| {
+        let r: Vec<f64> = mik.iter().zip(cut).map(|(m, c)| m / c).collect();
+        mean(&r)
+    };
+    report.headline(
+        "GEMM mean speedup vs CUTLASS (paper: 3.02)",
+        vs(&gemm.speedups[1], &gemm.speedups[2]),
+    );
+    report.headline(
+        "conv mean speedup vs CUTLASS (paper: 1.72)",
+        vs(&conv.speedups[1], &conv.speedups[2]),
+    );
+    vec![report, detail]
+}

@@ -1,0 +1,50 @@
+//! Figure 7: dynamic-shape GEMM and convolution on the NPU — MikPoly vs
+//! CANN. Paper headlines: 1.10x (GEMM) and 1.41x (convolution) on average.
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{MikPolyBackend, VendorLibrary};
+use tensor_ir::Operator;
+
+use crate::experiments::SuiteComparison;
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 7.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let npu = h.npu();
+    let mut report = Report::new(
+        "fig7",
+        "NPU dynamic-shape operators (speedups over CANN)",
+        &["suite", "system", "mean", "geomean", "max"],
+    );
+    let cann = VendorLibrary::cann(npu.clone());
+
+    let gemm_cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::gemm_suite())
+        .into_iter()
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+    let mik_gemm = MikPolyBackend::new(h.compiler(&npu, TemplateKind::Gemm));
+    let gemm = SuiteComparison::run(&gemm_cases, &cann, &[&mik_gemm]);
+    gemm.summarize(&mut report, "GEMM");
+
+    let conv_cases: Vec<Operator> = h
+        .config
+        .subsample(&mikpoly_workloads::conv_suite())
+        .into_iter()
+        .map(|c| Operator::conv2d(c.shape))
+        .collect();
+    let mik_conv = MikPolyBackend::new(h.compiler(&npu, TemplateKind::Conv));
+    let conv = SuiteComparison::run(&conv_cases, &cann, &[&mik_conv]);
+    conv.summarize(&mut report, "conv");
+
+    report.headline("GEMM mean speedup vs CANN (paper: 1.10)", mean(&gemm.speedups[1]));
+    report.headline("conv mean speedup vs CANN (paper: 1.41)", mean(&conv.speedups[1]));
+    report.headline(
+        "GEMM max speedup vs CANN (paper: up to 11.05 'peak')",
+        crate::report::max(&gemm.speedups[1]),
+    );
+    vec![report]
+}

@@ -1,0 +1,64 @@
+//! Figure 8: end-to-end language-model inference on the GPU across 150
+//! sentence lengths in [5, 500]. Paper headlines: 1.39x (BERT), 1.38x
+//! (DistilBERT), 1.36x (RoBERTa), 1.37x (ALBERT) over cuBLAS, beating
+//! CUTLASS throughout.
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{CutlassLibrary, MikPolyBackend, VendorLibrary};
+use mikpoly_models::TransformerConfig;
+use mikpoly_workloads::sentence_lengths;
+
+use crate::chart::BarChart;
+use crate::report::mean;
+use crate::runner::model_latency_ns;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 8.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let cublas = VendorLibrary::cublas(gpu.clone());
+    let cutlass = CutlassLibrary::new(gpu.clone());
+    let mik = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+
+    let mut report = Report::new(
+        "fig8",
+        "End-to-end language models on GPU (speedup over cuBLAS baseline)",
+        &["model", "MikPoly mean", "CUTLASS mean", "MikPoly min", "MikPoly max"],
+    );
+    let lengths: Vec<usize> = h.config.subsample(&sentence_lengths());
+
+    let mut chart = BarChart::new("Fig. 8: e2e language models (speedup over cuBLAS)");
+    for cfg in TransformerConfig::evaluation_set() {
+        let mut mik_speedups = Vec::new();
+        let mut cutlass_speedups = Vec::new();
+        for &len in &lengths {
+            let graph = cfg.graph(1, len);
+            let base = model_latency_ns(&graph, &cublas, &cublas).expect("vendor runs");
+            let m = model_latency_ns(&graph, &mik, &mik).expect("mikpoly runs");
+            let c = model_latency_ns(&graph, &cutlass, &cutlass).expect("cutlass runs");
+            mik_speedups.push(base / m);
+            cutlass_speedups.push(base / c);
+        }
+        report.push_row(vec![
+            cfg.name.clone(),
+            format!("{:.2}", mean(&mik_speedups)),
+            format!("{:.2}", mean(&cutlass_speedups)),
+            format!("{:.2}", mik_speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!("{:.2}", crate::report::max(&mik_speedups)),
+        ]);
+        let paper = match cfg.name.as_str() {
+            "bert-base-uncased" => 1.39,
+            "distilbert-base-uncased" => 1.38,
+            "roberta-base" => 1.36,
+            _ => 1.37,
+        };
+        report.headline(
+            format!("{} mean speedup (paper: {paper})", cfg.name),
+            mean(&mik_speedups),
+        );
+        chart = chart.with_bar(cfg.name.clone(), mean(&mik_speedups));
+    }
+    println!("{}", chart.render());
+    vec![report]
+}

@@ -1,0 +1,70 @@
+//! Figure 9: end-to-end CNN inference on the GPU across batch sizes
+//! `2^0..2^7` and resolutions `64..640`. Paper headlines: 1.34x (AlexNet),
+//! 1.69x (GoogLeNet), 1.59x (ResNet), 1.22x (VGG) over cuDNN/cuBLAS.
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{CutlassLibrary, MikPolyBackend, VendorLibrary};
+use mikpoly_models::CnnConfig;
+use mikpoly_workloads::cnn_sweep;
+
+use crate::chart::BarChart;
+use crate::report::mean;
+use crate::runner::model_latency_ns;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 9.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let cublas = VendorLibrary::cublas(gpu.clone());
+    let cudnn = VendorLibrary::cudnn(gpu.clone());
+    let cutlass = CutlassLibrary::new(gpu.clone());
+    let mik_gemm = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+    let mik_conv = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Conv));
+
+    let mut report = Report::new(
+        "fig9",
+        "End-to-end CNNs on GPU (speedup over cuDNN/cuBLAS baseline)",
+        &["model", "MikPoly mean", "CUTLASS mean", "MikPoly min", "MikPoly max"],
+    );
+    // Every 4th config in quick mode; the full 8x10 grid otherwise.
+    let sweep: Vec<(usize, usize)> = if h.config.stride > 1 {
+        cnn_sweep().into_iter().step_by(4).collect()
+    } else {
+        cnn_sweep()
+    };
+
+    let mut chart = BarChart::new("Fig. 9: e2e CNNs (speedup over cuDNN/cuBLAS)");
+    for cfg in CnnConfig::evaluation_set() {
+        let mut mik_speedups = Vec::new();
+        let mut cutlass_speedups = Vec::new();
+        for &(batch, resolution) in &sweep {
+            let graph = cfg.graph(batch, resolution);
+            let base = model_latency_ns(&graph, &cublas, &cudnn).expect("vendor runs");
+            let m = model_latency_ns(&graph, &mik_gemm, &mik_conv).expect("mikpoly runs");
+            let c = model_latency_ns(&graph, &cutlass, &cutlass).expect("cutlass runs");
+            mik_speedups.push(base / m);
+            cutlass_speedups.push(base / c);
+        }
+        report.push_row(vec![
+            cfg.name.clone(),
+            format!("{:.2}", mean(&mik_speedups)),
+            format!("{:.2}", mean(&cutlass_speedups)),
+            format!("{:.2}", mik_speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!("{:.2}", crate::report::max(&mik_speedups)),
+        ]);
+        let paper = match cfg.name.as_str() {
+            "alexnet" => 1.34,
+            "googlenet" => 1.69,
+            "resnet18" => 1.59,
+            _ => 1.22,
+        };
+        report.headline(
+            format!("{} mean speedup (paper: {paper})", cfg.name),
+            mean(&mik_speedups),
+        );
+        chart = chart.with_bar(cfg.name.clone(), mean(&mik_speedups));
+    }
+    println!("{}", chart.render());
+    vec![report]
+}

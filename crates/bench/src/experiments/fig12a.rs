@@ -1,0 +1,77 @@
+//! Figure 12(a): MikPoly's execution breakdown — on-the-fly polymerization
+//! cost vs final tensor-program execution time, against cuBLAS and CUTLASS.
+//! The paper observes the polymerization cost is a small fraction that
+//! shrinks as shapes grow, and quotes ~2 microseconds of search per shape
+//! vs ~1.6 seconds for the exhaustive Oracle.
+
+use std::sync::Arc;
+
+use mikpoly::{MikPoly, OnlineOptions, TemplateKind};
+use mikpoly_baselines::{Backend, CutlassLibrary, VendorLibrary};
+use mikpoly_workloads::overhead_shapes;
+use tensor_ir::{GemmShape, Operator};
+
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 12(a).
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    // Caching disabled so every call pays (and reports) the true online
+    // polymerization cost.
+    let compiler: Arc<MikPoly> = Arc::new(
+        MikPoly::with_library(gpu.clone(), h.library(&gpu, TemplateKind::Gemm)).with_options(
+            OnlineOptions {
+                cache: false,
+                ..OnlineOptions::default()
+            },
+        ),
+    );
+    let cublas = VendorLibrary::cublas(gpu.clone());
+    let cutlass = CutlassLibrary::new(gpu.clone());
+
+    let mut report = Report::new(
+        "fig12a",
+        "Online polymerization overhead breakdown (normalized to cuBLAS)",
+        &[
+            "(M, N, K)",
+            "poly (us)",
+            "exec (us)",
+            "poly share",
+            "vs cuBLAS",
+            "vs CUTLASS",
+            "strategies",
+            "pruned",
+        ],
+    );
+    let mut shares = Vec::new();
+    for (m, n, k) in overhead_shapes() {
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        let run = compiler.run(&op);
+        let base = cublas.run(&op).expect("vendor runs").total_ns();
+        let cut = cutlass.run(&op).expect("cutlass runs").total_ns();
+        let poly_ns = run.compile_ns as f64;
+        let share = poly_ns / run.total_ns();
+        shares.push(share);
+        report.push_row(vec![
+            format!("({m}, {n}, {k})"),
+            format!("{:.1}", poly_ns / 1e3),
+            format!("{:.1}", run.report.time_ns / 1e3),
+            format!("{:.4}", share),
+            format!("{:.2}", base / run.total_ns()),
+            format!("{:.2}", cut / run.total_ns()),
+            run.program.stats.strategies_evaluated.to_string(),
+            run.program.stats.strategies_pruned.to_string(),
+        ]);
+    }
+    report.headline(
+        "max polymerization share of total time (paper: 'a small fraction')",
+        crate::report::max(&shares),
+    );
+    // The shares must shrink as shapes grow.
+    report.headline(
+        "share on largest shape / share on smallest shape (< 1 expected)",
+        shares.last().copied().unwrap_or(0.0) / shares.first().copied().unwrap_or(1.0),
+    );
+    vec![report]
+}

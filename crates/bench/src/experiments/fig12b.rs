@@ -1,0 +1,83 @@
+//! Figure 12(b): cost-model ablation. MikPoly, MikPoly-Wave (waves only)
+//! and MikPoly-Pipe (pipelined-task cost only) are normalized against
+//! MikPoly-Oracle, which exhaustively *simulates* every strategy. Paper
+//! headlines: 0.96x / 0.81x / 0.72x, with CUTLASS at 0.45x; Oracle takes
+//! ~1.6 s per shape vs ~2 us for the cost model.
+
+use std::sync::Arc;
+
+use mikpoly::{CostModelKind, MikPoly, OnlineOptions, TemplateKind};
+use mikpoly_baselines::{Backend, CutlassLibrary, MikPolyBackend};
+use tensor_ir::Operator;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Figure 12(b). The Oracle simulates every candidate strategy, so the
+/// shape population is a strided sample of Table 3 even in full mode.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let library = h.library(&gpu, TemplateKind::Gemm);
+    let variant = |kind: CostModelKind| -> Arc<MikPoly> {
+        Arc::new(
+            MikPoly::with_library(gpu.clone(), library.clone()).with_options(OnlineOptions {
+                cost_model: kind,
+                ..OnlineOptions::default()
+            }),
+        )
+    };
+    let full = variant(CostModelKind::Full);
+    let wave = MikPolyBackend::named("MikPoly-Wave", variant(CostModelKind::WaveOnly));
+    let pipe = MikPolyBackend::named("MikPoly-Pipe", variant(CostModelKind::PipeOnly));
+    let full_backend = MikPolyBackend::new(Arc::clone(&full));
+    let cutlass = CutlassLibrary::new(gpu.clone());
+
+    // Oracle cost is ~seconds per shape; sample the suite accordingly.
+    let oracle_stride = (h.config.stride * 64).clamp(64, 400);
+    let cases: Vec<Operator> = mikpoly_workloads::gemm_suite()
+        .into_iter()
+        .step_by(oracle_stride)
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+
+    let mut rel = vec![Vec::new(); 4]; // full, wave, pipe, cutlass
+    let mut oracle_secs = Vec::new();
+    let mut model_us = Vec::new();
+    for op in &cases {
+        let oracle = full.compile_oracle(op);
+        let oracle_ns = full.simulate(&oracle.program).time_ns;
+        oracle_secs.push(oracle.search.as_secs_f64());
+        let run = full.run(op);
+        model_us.push(run.program.stats.search_ns as f64 / 1e3);
+        for (i, backend) in [&full_backend, &wave, &pipe].into_iter().enumerate() {
+            let ns = backend.run(op).expect("runs").report.time_ns;
+            rel[i].push(oracle_ns / ns);
+        }
+        rel[3].push(oracle_ns / cutlass.run(op).expect("runs").report.time_ns);
+    }
+
+    let mut report = Report::new(
+        "fig12b",
+        "Cost-model ablation (performance relative to MikPoly-Oracle)",
+        &["system", "mean rel. perf", "min", "max"],
+    );
+    for (name, series, paper) in [
+        ("MikPoly", &rel[0], 0.96),
+        ("MikPoly-Wave", &rel[1], 0.81),
+        ("MikPoly-Pipe", &rel[2], 0.72),
+        ("CUTLASS", &rel[3], 0.45),
+    ] {
+        report.push_row(vec![
+            name.to_string(),
+            format!("{:.2}", mean(series)),
+            format!("{:.2}", series.iter().copied().fold(f64::MAX, f64::min)),
+            format!("{:.2}", crate::report::max(series)),
+        ]);
+        report.headline(format!("{name} mean vs Oracle (paper: {paper})"), mean(series));
+    }
+    report.headline("oracle search seconds/shape (paper: ~1.6)", mean(&oracle_secs));
+    report.headline("cost-model search us/shape (paper: ~2)", mean(&model_us));
+    report.headline("shapes evaluated", cases.len() as f64);
+    vec![report]
+}

@@ -1,0 +1,82 @@
+//! Figure 13: hyper-parameter sensitivity. Sweeping `n_gen`, `n_syn` and
+//! `n_mik` one at a time around the paper's operating point (32, 12, 40),
+//! measuring the average GEMM speedup over cuBLAS. The paper observes
+//! saturation at the chosen values.
+
+use std::sync::Arc;
+
+use mikpoly::{MikPoly, TemplateKind};
+use mikpoly_baselines::{Backend, MikPolyBackend, VendorLibrary};
+use tensor_ir::Operator;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+fn speedup_with(h: &Harness, options: &mikpoly::OfflineOptions, cases: &[Operator]) -> f64 {
+    let gpu = h.gpu();
+    // Bypass the harness cache (the sweep intentionally varies options).
+    let lib = {
+        let mut h2 = crate::setup::Harness::new(h.config.clone());
+        h2.config.offline = options.clone();
+        h2.library(&gpu, TemplateKind::Gemm)
+    };
+    let mik = MikPolyBackend::new(Arc::new(MikPoly::with_library(gpu.clone(), lib)));
+    let cublas = VendorLibrary::cublas(gpu);
+    let speedups: Vec<f64> = cases
+        .iter()
+        .map(|op| {
+            // Warmed-up per-run times, as in the operator suites.
+            cublas.run(op).expect("vendor runs").report.time_ns
+                / mik.run(op).expect("mikpoly runs").report.time_ns
+        })
+        .collect();
+    mean(&speedups)
+}
+
+/// Runs Figure 13.
+pub fn run(h: &Harness) -> Vec<Report> {
+    // Evaluation population: a strided sample of Table 3 (library
+    // generation runs once per sweep point, so the population is kept
+    // moderate even in full mode).
+    let eval_stride = (h.config.stride * 16).clamp(16, 200);
+    let cases: Vec<Operator> = mikpoly_workloads::gemm_suite()
+        .into_iter()
+        .step_by(eval_stride)
+        .map(|c| Operator::gemm(c.shape))
+        .collect();
+
+    let base = h.config.offline.clone();
+    let mut report = Report::new(
+        "fig13",
+        "Hyper-parameter sensitivity (avg GEMM speedup over cuBLAS)",
+        &["parameter", "value", "avg speedup"],
+    );
+
+    let mut record = |param: &str, value: usize, speedup: f64| {
+        report.push_row(vec![param.to_string(), value.to_string(), format!("{speedup:.3}")]);
+    };
+
+    let mut at_default = 0.0;
+    for &n_gen in &[4usize, 8, 16, 24, 32] {
+        let mut o = base.clone();
+        o.n_gen = n_gen;
+        let s = speedup_with(h, &o, &cases);
+        if n_gen == base.n_gen {
+            at_default = s;
+        }
+        record("n_gen", n_gen, s);
+    }
+    for &n_syn in &[0u32, 2, 4, 8, 12] {
+        let mut o = base.clone();
+        o.n_syn = n_syn;
+        record("n_syn", n_syn as usize, speedup_with(h, &o, &cases));
+    }
+    for &n_mik in &[1usize, 5, 10, 20, 40, 60] {
+        let mut o = base.clone();
+        o.n_mik = n_mik;
+        record("n_mik", n_mik, speedup_with(h, &o, &cases));
+    }
+    report.headline("avg speedup at the paper's operating point (32, 12, 40)", at_default);
+    vec![report]
+}

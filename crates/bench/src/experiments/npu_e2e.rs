@@ -1,0 +1,56 @@
+//! Section 5.2.2 (NPU paragraph): end-to-end CNN inference on the NPU vs
+//! CANN. Paper headlines: 1.30x (AlexNet), 1.19x (GoogLeNet), 1.32x
+//! (ResNet), 1.38x (VGG).
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{MikPolyBackend, VendorLibrary};
+use mikpoly_models::CnnConfig;
+use mikpoly_workloads::cnn_sweep;
+
+use crate::report::mean;
+use crate::runner::model_latency_ns;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs the NPU end-to-end experiment.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let npu = h.npu();
+    let cann = VendorLibrary::cann(npu.clone());
+    let mik_gemm = MikPolyBackend::new(h.compiler(&npu, TemplateKind::Gemm));
+    let mik_conv = MikPolyBackend::new(h.compiler(&npu, TemplateKind::Conv));
+
+    let mut report = Report::new(
+        "npu-e2e",
+        "End-to-end CNNs on NPU (speedup over CANN)",
+        &["model", "MikPoly mean", "MikPoly min", "MikPoly max"],
+    );
+    let sweep: Vec<(usize, usize)> = if h.config.stride > 1 {
+        cnn_sweep().into_iter().step_by(8).collect()
+    } else {
+        cnn_sweep()
+    };
+
+    for cfg in CnnConfig::evaluation_set() {
+        let mut speedups = Vec::new();
+        for &(batch, resolution) in &sweep {
+            let graph = cfg.graph(batch, resolution);
+            let base = model_latency_ns(&graph, &cann, &cann).expect("cann runs");
+            let m = model_latency_ns(&graph, &mik_gemm, &mik_conv).expect("mikpoly runs");
+            speedups.push(base / m);
+        }
+        report.push_row(vec![
+            cfg.name.clone(),
+            format!("{:.2}", mean(&speedups)),
+            format!("{:.2}", speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!("{:.2}", crate::report::max(&speedups)),
+        ]);
+        let paper = match cfg.name.as_str() {
+            "alexnet" => 1.30,
+            "googlenet" => 1.19,
+            "resnet18" => 1.32,
+            _ => 1.38,
+        };
+        report.headline(format!("{} mean speedup (paper: {paper})", cfg.name), mean(&speedups));
+    }
+    vec![report]
+}

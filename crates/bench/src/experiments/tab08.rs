@@ -1,0 +1,62 @@
+//! Table 8: the four Llama2-13b projection GEMMs (TP = 4) across 52 test
+//! cases with a dynamic token dimension, vs cuBLAS. Paper headlines: 1.09x
+//! (qkv_proj), 1.24x (o_proj), 1.21x (ffn up), 1.08x (ffn down).
+
+use mikpoly::TemplateKind;
+use mikpoly_baselines::{Backend, MikPolyBackend, VendorLibrary};
+use mikpoly_models::LlamaConfig;
+use mikpoly_workloads::llama_sweep;
+
+use crate::report::mean;
+use crate::setup::Harness;
+use crate::Report;
+
+/// Runs Table 8.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let gpu = h.gpu();
+    let cublas = VendorLibrary::cublas(gpu.clone());
+    let mik = MikPolyBackend::new(h.compiler(&gpu, TemplateKind::Gemm));
+    let cfg = LlamaConfig::llama2_13b_tp4();
+
+    // The 52 unique cases: distinct token counts from the (batch, seq)
+    // grid, per projection.
+    let mut tokens: Vec<usize> = llama_sweep().into_iter().map(|(b, s)| b * s).collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+
+    let mut report = Report::new(
+        "tab8",
+        "Llama2-13b projection GEMMs vs cuBLAS (TP = 4)",
+        &["layer", "M", "N* range", "K", "mean speedup", "max speedup", "#cases"],
+    );
+    for (idx, proto) in cfg.projection_ops(1).iter().enumerate() {
+        let mut speedups = Vec::new();
+        let (mut n_dim, mut k_dim) = (0usize, 0usize);
+        for &t in &tokens {
+            let op = cfg.projection_ops(t)[idx].operator;
+            let s = op.gemm_view().shape;
+            n_dim = s.n;
+            k_dim = s.k;
+            // Warmed-up per-run times, as in the operator suites.
+            let base = cublas.run(&op).expect("vendor runs");
+            let m = mik.run(&op).expect("mikpoly runs");
+            speedups.push(base.report.time_ns / m.report.time_ns);
+        }
+        let paper = ["1.09", "1.24", "1.21", "1.08"][idx];
+        report.push_row(vec![
+            proto.name.clone(),
+            n_dim.to_string(),
+            format!("[1, {}]", tokens.last().copied().unwrap_or(0)),
+            k_dim.to_string(),
+            format!("{:.2}", mean(&speedups)),
+            format!("{:.2}", crate::report::max(&speedups)),
+            tokens.len().to_string(),
+        ]);
+        report.headline(
+            format!("{} mean speedup (paper: {paper})", proto.name),
+            mean(&speedups),
+        );
+    }
+    report.headline("unique test cases (paper: 52)", (tokens.len() * 4) as f64);
+    vec![report]
+}

@@ -1,0 +1,28 @@
+//! # mikpoly-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the MikPoly evaluation (see
+//! `DESIGN.md` for the experiment index). Each experiment lives in
+//! [`experiments`] and renders one or more [`Report`]s; the `experiments`
+//! binary dispatches by id:
+//!
+//! ```text
+//! cargo run --release -p mikpoly-bench --bin experiments -- fig6
+//! cargo run --release -p mikpoly-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Reports are printed as aligned tables and written as CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod expectations;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use chart::{BarChart, ScatterChart, Series};
+pub use report::{fmt_speedup, geomean, max, mean, Report};
+pub use setup::{Config, Harness};

@@ -1,0 +1,199 @@
+//! Experiment reporting: aligned console tables, CSV artifacts, and
+//! summary statistics.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rendered experiment: a title, column headers, stringly-typed rows, and
+/// headline metrics recorded into `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier (`"fig6"`, `"tab8"`, ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Headline metrics: (label, value) pairs compared against the paper.
+    pub headlines: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            headlines: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Records a headline metric.
+    pub fn headline(&mut self, label: impl Into<String>, value: f64) {
+        self.headlines.push((label.into(), value));
+    }
+
+    /// Renders the aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.columns, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for (label, value) in &self.headlines {
+            let _ = writeln!(out, ">> {label}: {value:.3}");
+        }
+        out
+    }
+
+    /// Writes the report as CSV into `dir/<id>.csv` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{}.csv", self.id));
+        let mut csv = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Geometric mean of positive values (the standard speedup aggregate).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive entry.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of nothing");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Maximum.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn max(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "max of nothing");
+    values.iter().copied().fold(f64::MIN, f64::max)
+}
+
+/// Formats a speedup as `1.23x`.
+pub fn fmt_speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        let v = geomean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "toy", &["name", "value"]);
+        r.push_row(vec!["a".into(), "1.0".into()]);
+        r.push_row(vec!["long-name".into(), "2.0".into()]);
+        let s = r.render();
+        assert!(s.contains("toy"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", "toy", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let dir = std::env::temp_dir().join("mikpoly-report-test");
+        let mut r = Report::new("csv-test", "t", &["a"]);
+        r.push_row(vec!["x,y".into()]);
+        let path = r.write_csv(&dir).expect("write");
+        let content = std::fs::read_to_string(path).expect("read");
+        assert!(content.contains("\"x,y\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(fmt_speedup(1.492), "1.49x");
+    }
+}

@@ -1,0 +1,148 @@
+//! `mikpoly` — command-line front end for the compiler.
+//!
+//! ```text
+//! mikpoly gemm M N K [--machine a100|h100|910a|a100-cc] [--oracle] [--split-k]
+//! mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]
+//! mikpoly library [--machine ...]            # show the tuned kernel library
+//! ```
+//!
+//! Runs the offline stage (cached in-process), polymerizes the requested
+//! operator, prints the chosen program as restructured online loops, and
+//! times it on the simulated machine.
+
+use accel_sim::MachineModel;
+use mikpoly::{MikPoly, OfflineOptions, OnlineOptions, TemplateKind};
+use tensor_ir::{Conv2dShape, GemmShape, Operator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage("");
+    }
+    let machine = match flag_value(&args, "--machine").unwrap_or("a100") {
+        "a100" => MachineModel::a100(),
+        "h100" => MachineModel::h100(),
+        "910a" | "ascend" | "npu" => MachineModel::ascend910a(),
+        "a100-cc" | "cuda-cores" => MachineModel::a100_cuda_cores(),
+        other => usage(&format!("unknown machine '{other}'")),
+    };
+
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let dim = |i: usize| -> usize {
+        positional
+            .get(i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage("expected a positive integer dimension"))
+    };
+
+    match positional.first().map(|s| s.as_str()) {
+        Some("gemm") if positional.len() == 4 => {
+            let op = Operator::gemm(GemmShape::new(dim(1), dim(2), dim(3)));
+            run(machine, TemplateKind::Gemm, op, &args);
+        }
+        Some("conv") if positional.len() == 10 => {
+            let shape = Conv2dShape::new(
+                dim(1),
+                dim(2),
+                dim(3),
+                dim(4),
+                dim(5),
+                dim(6),
+                dim(7),
+                dim(8),
+                dim(9),
+            );
+            let (op, template) = if has_flag(&args, "--winograd") {
+                (Operator::conv2d_winograd(shape), TemplateKind::Gemm)
+            } else {
+                (Operator::conv2d(shape), TemplateKind::Conv)
+            };
+            run(machine, template, op, &args);
+        }
+        Some("library") => {
+            let compiler = build(machine, TemplateKind::Gemm, &args);
+            println!(
+                "micro-kernel library for {} ({} kernels):",
+                compiler.machine(),
+                compiler.library().kernels.len()
+            );
+            for t in &compiler.library().kernels {
+                println!(
+                    "  {:<28} score {:.3}  steady {:.2} TFLOPS  g(64) = {:.2} us",
+                    t.kernel.to_string(),
+                    t.score,
+                    t.steady_tflops,
+                    t.perf.predict(64) / 1e3
+                );
+            }
+        }
+        _ => usage("unrecognized command"),
+    }
+}
+
+fn build(machine: MachineModel, template: TemplateKind, args: &[String]) -> MikPoly {
+    eprintln!("offline: tuning micro-kernels for {} ...", machine.name);
+    let t0 = std::time::Instant::now();
+    let compiler = MikPoly::offline(machine, &OfflineOptions::paper().with_template(template))
+        .with_options(OnlineOptions {
+            split_k: has_flag(args, "--split-k"),
+            ..OnlineOptions::default()
+        });
+    eprintln!(
+        "offline: {} kernels in {:.1?}\n",
+        compiler.library().kernels.len(),
+        t0.elapsed()
+    );
+    compiler
+}
+
+fn run(machine: MachineModel, template: TemplateKind, op: Operator, args: &[String]) {
+    let compiler = build(machine, template, args);
+    if has_flag(args, "--oracle") {
+        let oracle = compiler.compile_oracle(&op);
+        let report = compiler.simulate(&oracle.program);
+        println!(
+            "oracle ({} candidates simulated in {:.1?}):\n{}",
+            oracle.candidates, oracle.search, oracle.program
+        );
+        println!("device time: {:.1} us ({:.1} TFLOPS)", report.time_us(), report.tflops());
+        return;
+    }
+    let result = compiler.run(&op);
+    println!("{}", result.program);
+    println!(
+        "polymerized in {:.1} us ({} strategies evaluated, {} pruned)",
+        result.compile_ns as f64 / 1e3,
+        result.program.stats.strategies_evaluated,
+        result.program.stats.strategies_pruned
+    );
+    println!(
+        "device time: {:.1} us ({:.1} TFLOPS, sm_efficiency {:.1}%, grid {})",
+        result.report.time_us(),
+        result.report.tflops(),
+        result.report.sm_efficiency * 100.0,
+        result.report.grid_size
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!("usage:");
+    eprintln!("  mikpoly gemm M N K [--machine a100|h100|910a|a100-cc] [--oracle] [--split-k]");
+    eprintln!("  mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]");
+    eprintln!("  mikpoly library [--machine ...]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}

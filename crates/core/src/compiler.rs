@@ -1,0 +1,540 @@
+//! The `MikPoly` facade: two-stage compilation end to end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use accel_sim::{simulate, Launch, MachineModel, SimReport, TimingMode};
+use tensor_ir::Operator;
+
+use crate::cost::CostModelKind;
+use crate::offline::{MicroKernelLibrary, OfflineOptions};
+use crate::pattern::{default_patterns, Pattern};
+use crate::plan::{CompiledProgram, Region};
+use crate::search::{enumerate_strategies, polymerize};
+
+/// Options of the online (polymerization) stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineOptions {
+    /// Cost model driving strategy selection.
+    pub cost_model: CostModelKind,
+    /// Pattern set; `None` selects the machine default (I–II on GPUs,
+    /// I–IX on NPUs).
+    pub patterns: Option<Vec<Pattern>>,
+    /// Branch-and-bound pruning of the strategy space (Algorithm 1's
+    /// heuristic). Disable only for overhead ablations.
+    pub prune: bool,
+    /// Cache compiled programs by operator (repeated shapes in model
+    /// inference compile once).
+    pub cache: bool,
+    /// Enable the split-K post-pass (extension; off by default so the
+    /// reproduction matches the paper's pattern set).
+    pub split_k: bool,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        Self {
+            cost_model: CostModelKind::Full,
+            patterns: None,
+            prune: true,
+            cache: true,
+            split_k: false,
+        }
+    }
+}
+
+/// One operator execution: the compiled program, the device timing, and the
+/// online compilation overhead MikPoly paid for it.
+#[derive(Debug, Clone)]
+pub struct OperatorRun {
+    /// The program that ran.
+    pub program: Arc<CompiledProgram>,
+    /// Simulated device timing.
+    pub report: SimReport,
+    /// Online polymerization time for this call (0 on a cache hit).
+    pub compile_ns: u128,
+}
+
+impl OperatorRun {
+    /// End-to-end latency: device time plus the polymerization overhead, as
+    /// the paper reports for MikPoly ("the end-to-end model inference
+    /// latency for MikPoly encompasses both the operator execution time ...
+    /// and the runtime overhead attributed to MikPoly's cost model").
+    pub fn total_ns(&self) -> f64 {
+        self.report.time_ns + self.compile_ns as f64
+    }
+}
+
+/// Result of an Oracle search (exhaustive simulation, Fig. 12(b)).
+#[derive(Debug, Clone)]
+pub struct OracleResult {
+    /// The best program found.
+    pub program: CompiledProgram,
+    /// Number of candidate strategies simulated.
+    pub candidates: usize,
+    /// Wall-clock time the exhaustive search took.
+    pub search: std::time::Duration,
+}
+
+/// The MikPoly dynamic-shape tensor compiler.
+///
+/// Construction runs (or receives) the offline stage; [`MikPoly::compile`]
+/// performs on-the-fly micro-kernel polymerization for a runtime shape;
+/// [`MikPoly::run`] also executes the program on the simulated device.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::MachineModel;
+/// use mikpoly::{MikPoly, OfflineOptions};
+/// use tensor_ir::{GemmShape, Operator};
+///
+/// let mut options = OfflineOptions::fast();
+/// options.n_gen = 4; // tiny library for the example
+/// let compiler = MikPoly::offline(MachineModel::a100(), &options);
+/// let run = compiler.run(&Operator::gemm(GemmShape::new(1234, 512, 768)));
+/// assert!(run.report.time_ns > 0.0);
+/// assert!(run.program.verify_coverage().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct MikPoly {
+    machine: MachineModel,
+    library: Arc<MicroKernelLibrary>,
+    options: OnlineOptions,
+    cache: Mutex<HashMap<Operator, Arc<CompiledProgram>>>,
+}
+
+impl MikPoly {
+    /// Runs the offline stage on `machine` and wraps the result.
+    pub fn offline(machine: MachineModel, offline: &OfflineOptions) -> Self {
+        let library = MicroKernelLibrary::generate(&machine, offline);
+        Self::with_library(machine, library)
+    }
+
+    /// Uses a pre-generated (e.g. cached-on-disk) micro-kernel library.
+    pub fn with_library(machine: MachineModel, library: MicroKernelLibrary) -> Self {
+        Self {
+            machine,
+            library: Arc::new(library),
+            options: OnlineOptions::default(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Replaces the online options (builder style). Clears the program
+    /// cache.
+    #[must_use]
+    pub fn with_options(mut self, options: OnlineOptions) -> Self {
+        self.options = options;
+        self.cache = Mutex::new(HashMap::new());
+        self
+    }
+
+    /// The machine this compiler targets.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The offline micro-kernel library.
+    pub fn library(&self) -> &MicroKernelLibrary {
+        &self.library
+    }
+
+    /// The active online options.
+    pub fn options(&self) -> &OnlineOptions {
+        &self.options
+    }
+
+    fn patterns(&self) -> Vec<Pattern> {
+        self.options
+            .patterns
+            .clone()
+            .unwrap_or_else(|| default_patterns(&self.machine))
+    }
+
+    /// On-the-fly polymerization for a runtime shape (Algorithm 1, lines
+    /// 7–15). Cached per operator when [`OnlineOptions::cache`] is set.
+    pub fn compile(&self, operator: &Operator) -> Arc<CompiledProgram> {
+        if self.options.cache {
+            if let Some(hit) = self.cache.lock().get(operator) {
+                return Arc::clone(hit);
+            }
+        }
+        let program = Arc::new(self.compile_uncached(operator));
+        if self.options.cache {
+            self.cache.lock().insert(*operator, Arc::clone(&program));
+        }
+        program
+    }
+
+    /// Compiles a batch of operators, in parallel across OS threads, and
+    /// warms the program cache — ahead-of-time preparation for a known
+    /// shape set (model warm-up, serving with a published shape menu).
+    /// Returns the programs in input order; duplicates compile once.
+    pub fn compile_many(&self, operators: &[Operator]) -> Vec<Arc<CompiledProgram>> {
+        // Deduplicate first so each unique shape is compiled exactly once.
+        let mut unique: Vec<Operator> = operators.to_vec();
+        unique.sort_by_key(|op| format!("{op}"));
+        unique.dedup();
+        let todo: Vec<Operator> = if self.options.cache {
+            let cache = self.cache.lock();
+            unique.into_iter().filter(|op| !cache.contains_key(op)).collect()
+        } else {
+            unique
+        };
+        if !todo.is_empty() {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+            let chunk = todo.len().div_ceil(threads).max(1);
+            let compiled: Vec<(Operator, CompiledProgram)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for part in todo.chunks(chunk) {
+                    handles.push(scope.spawn(move || {
+                        part.iter()
+                            .map(|op| (*op, self.compile_uncached(op)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("compile thread panicked"))
+                    .collect()
+            });
+            if self.options.cache {
+                let mut cache = self.cache.lock();
+                for (op, program) in compiled {
+                    cache.entry(op).or_insert_with(|| Arc::new(program));
+                }
+            }
+        }
+        operators.iter().map(|op| self.compile(op)).collect()
+    }
+
+    /// Persists every cached compiled program to a JSON file — an
+    /// ahead-of-time bundle for deployments with a known shape menu
+    /// (compile once with [`MikPoly::compile_many`], ship the bundle,
+    /// [`MikPoly::load_program_cache`] at startup).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn save_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let cache = self.cache.lock();
+        let programs: Vec<&CompiledProgram> = cache.values().map(|p| &**p).collect();
+        let json = serde_json::to_string(&programs).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads an ahead-of-time program bundle into the cache. Programs whose
+    /// kernels are not in this compiler's library are rejected (a bundle
+    /// from a different machine or library version).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be read or parsed, or an
+    /// [`std::io::ErrorKind::InvalidData`] error if a program references
+    /// unknown kernels.
+    pub fn load_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let json = std::fs::read_to_string(path)?;
+        let programs: Vec<CompiledProgram> =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        for p in &programs {
+            for r in &p.regions {
+                if self.library.get(r.kernel.id).map(|t| t.kernel) != Some(r.kernel) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "program for {} references {} absent from this library",
+                            p.operator, r.kernel
+                        ),
+                    ));
+                }
+            }
+        }
+        let count = programs.len();
+        let mut cache = self.cache.lock();
+        for p in programs {
+            cache.insert(p.operator, Arc::new(p));
+        }
+        Ok(count)
+    }
+
+    fn compile_uncached(&self, operator: &Operator) -> CompiledProgram {
+        let view = operator.gemm_view();
+        let program = polymerize(
+            &self.machine,
+            &self.library,
+            &view,
+            *operator,
+            &self.patterns(),
+            self.options.cost_model,
+            self.options.prune,
+        );
+        if self.options.split_k && self.options.cost_model == CostModelKind::Full {
+            crate::search::improve_with_split_k(&self.machine, &self.library, &view, program)
+        } else {
+            program
+        }
+    }
+
+    /// The device launch for a compiled program, with static placement
+    /// (via the library's performance models and the max-min allocator) on
+    /// machines that require it.
+    pub fn launch_for(&self, program: &CompiledProgram) -> Launch {
+        match self.machine.allocation {
+            accel_sim::AllocationPolicy::DynamicHardware => program.launch_dynamic(),
+            accel_sim::AllocationPolicy::StaticCompilerAssigned => {
+                let k = program.view.shape.k;
+                let durations: Vec<f64> = program
+                    .regions
+                    .iter()
+                    .map(|r| self.predict_task_ns(r, k))
+                    .collect();
+                program.launch_static(&self.machine, &durations)
+            }
+        }
+    }
+
+    fn predict_task_ns(&self, region: &Region, k: usize) -> f64 {
+        self.library
+            .get(region.kernel.id)
+            .map(|t| t.perf.predict(region.instances(k)))
+            .unwrap_or_else(|| {
+                accel_sim::pipelined_task_ns(
+                    &self.machine,
+                    &region.kernel.task_spec(&region_view(region), region.instances(k)),
+                )
+            })
+    }
+
+    /// Simulates a compiled program on the target (noise-free evaluation
+    /// mode), including the split-K reduction pass when present.
+    pub fn simulate(&self, program: &CompiledProgram) -> SimReport {
+        match program.reduction_launch() {
+            None => simulate(&self.machine, &self.launch_for(program), TimingMode::Evaluate),
+            Some(reduction) => accel_sim::simulate_launches(
+                &self.machine,
+                &[self.launch_for(program), reduction],
+                TimingMode::Evaluate,
+            ),
+        }
+    }
+
+    /// Compiles and simulates an operator in one call.
+    pub fn run(&self, operator: &Operator) -> OperatorRun {
+        let cached = self.options.cache && self.cache.lock().contains_key(operator);
+        let start = Instant::now();
+        let program = self.compile(operator);
+        let compile_ns = if cached { 0 } else { start.elapsed().as_nanos() };
+        let report = self.simulate(&program);
+        OperatorRun {
+            program,
+            report,
+            compile_ns,
+        }
+    }
+
+    /// The Oracle of Fig. 12(b): exhaustively simulates every strategy and
+    /// returns the truly best program, together with how expensive that
+    /// was. `MikPoly-Oracle` "takes about 1.6 seconds to find the best
+    /// polymerization solution, whereas MikPoly accomplishes the same task
+    /// in just about 2 microseconds".
+    pub fn compile_oracle(&self, operator: &Operator) -> OracleResult {
+        let start = Instant::now();
+        let view = operator.gemm_view();
+        let mut candidates = 0usize;
+        let mut best: Option<(f64, CompiledProgram)> = None;
+        enumerate_strategies(
+            &self.machine,
+            &self.library,
+            &view,
+            &self.patterns(),
+            |pattern, regions| {
+                candidates += 1;
+                let prog = CompiledProgram {
+                    operator: *operator,
+                    view,
+                    pattern,
+                    regions: regions.to_vec(),
+                    split_k: 1,
+                    predicted_ns: f64::NAN,
+                    stats: Default::default(),
+                };
+                let ns = self.simulate(&prog).time_ns;
+                if best.as_ref().is_none_or(|(b, _)| ns < *b) {
+                    best = Some((ns, prog));
+                }
+            },
+        );
+        let (ns, mut program) = best.expect("at least one strategy exists");
+        program.predicted_ns = ns;
+        OracleResult {
+            program,
+            candidates,
+            search: start.elapsed(),
+        }
+    }
+}
+
+fn region_view(region: &Region) -> tensor_ir::GemmView {
+    tensor_ir::GemmView {
+        shape: tensor_ir::GemmShape::new(
+            region.rows().max(1),
+            region.cols().max(1),
+            1,
+        ),
+        dtype: tensor_ir::DType::F16,
+        load_scale: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    fn compiler() -> MikPoly {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        MikPoly::offline(MachineModel::a100(), &o)
+    }
+
+    #[test]
+    fn run_produces_time_and_coverage() {
+        let c = compiler();
+        let run = c.run(&Operator::gemm(GemmShape::new(4096, 1024, 4096)));
+        assert!(run.report.time_ns > 0.0);
+        assert!(run.program.verify_coverage().is_ok());
+        assert!(run.total_ns() >= run.report.time_ns);
+    }
+
+    #[test]
+    fn cache_hits_skip_compilation() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(777, 512, 256));
+        let first = c.run(&op);
+        let second = c.run(&op);
+        assert!(first.compile_ns > 0);
+        assert_eq!(second.compile_ns, 0);
+        assert!(Arc::ptr_eq(&first.program, &second.program));
+    }
+
+    #[test]
+    fn disabling_cache_recompiles() {
+        let c = compiler().with_options(OnlineOptions {
+            cache: false,
+            ..OnlineOptions::default()
+        });
+        let op = Operator::gemm(GemmShape::new(300, 300, 300));
+        let a = c.run(&op);
+        let b = c.run(&op);
+        assert!(a.compile_ns > 0 && b.compile_ns > 0);
+    }
+
+    #[test]
+    fn oracle_never_worse_than_cost_model_choice() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(1090, 512, 512));
+        let model_run = c.run(&op);
+        let oracle = c.compile_oracle(&op);
+        assert!(oracle.candidates >= 1);
+        let oracle_ns = c.simulate(&oracle.program).time_ns;
+        assert!(oracle_ns <= model_run.report.time_ns + 1e-6);
+    }
+
+    #[test]
+    fn npu_compiler_uses_static_placement() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let c = MikPoly::offline(MachineModel::ascend910a(), &o);
+        let run = c.run(&Operator::gemm(GemmShape::new(2048, 1024, 512)));
+        assert!(run.report.time_ns > 0.0);
+        // All nine patterns are in play on the NPU.
+        assert_eq!(run.program.stats.patterns_tried, 9);
+    }
+}
+
+#[cfg(test)]
+mod aot_bundle_tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    #[test]
+    fn bundle_round_trips_and_restores_cache_hits() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let machine = MachineModel::a100();
+        let a = MikPoly::offline(machine.clone(), &o);
+        let ops: Vec<Operator> = [(64, 64, 64), (1000, 300, 200)]
+            .into_iter()
+            .map(|(m, n, k)| Operator::gemm(GemmShape::new(m, n, k)))
+            .collect();
+        a.compile_many(&ops);
+        let path = std::env::temp_dir().join("mikpoly-aot-test.json");
+        a.save_program_cache(&path).expect("save");
+
+        let b = MikPoly::with_library(machine, a.library().clone());
+        assert_eq!(b.load_program_cache(&path).expect("load"), 2);
+        for op in &ops {
+            let run = b.run(op);
+            assert_eq!(run.compile_ns, 0, "bundle must pre-warm the cache");
+            assert_eq!(run.program.regions, a.compile(op).regions);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bundle_from_foreign_library_is_rejected() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let a = MikPoly::offline(MachineModel::a100(), &o);
+        let op = Operator::gemm(GemmShape::new(128, 128, 128));
+        let _ = a.compile(&op);
+        let path = std::env::temp_dir().join("mikpoly-aot-foreign.json");
+        a.save_program_cache(&path).expect("save");
+
+        // A different machine's library has different tuned kernels (NPU
+        // kernels are single-warp), so the bundle must be rejected.
+        let mut other_options = OfflineOptions::fast();
+        other_options.n_gen = 4;
+        let b = MikPoly::offline(MachineModel::ascend910a(), &other_options);
+        let err = b.load_program_cache(&path).expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod compile_many_tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    #[test]
+    fn batch_compilation_matches_sequential() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let c = MikPoly::offline(MachineModel::a100(), &o);
+        let ops: Vec<Operator> = [(100, 200, 50), (4096, 1024, 4096), (100, 200, 50), (7, 9, 11)]
+            .into_iter()
+            .map(|(m, n, k)| Operator::gemm(GemmShape::new(m, n, k)))
+            .collect();
+        let batch = c.compile_many(&ops);
+        assert_eq!(batch.len(), ops.len());
+        // Duplicates share a program through the cache.
+        assert!(Arc::ptr_eq(&batch[0], &batch[2]));
+        // Results equal what sequential compilation would have produced.
+        let fresh = MikPoly::with_library(c.machine().clone(), c.library().clone());
+        for (op, program) in ops.iter().zip(&batch) {
+            let seq = fresh.compile(op);
+            assert_eq!(program.regions, seq.regions);
+            assert_eq!(program.pattern, seq.pattern);
+        }
+        // Every shape is now a cache hit.
+        for op in &ops {
+            assert_eq!(c.run(op).compile_ns, 0);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The polymerization cost model (Section 3.4, Eq. 2–4).
+//!
+//! For a tensor program `S` with regions `R_i`, each instantiated with a
+//! micro-kernel `K̃_i`:
+//!
+//! ```text
+//! Cost(S, H) = Σ_i f_wave(R_i, K̃_i, H) * f_pipe(R_i, K̃_i, H)
+//! f_wave = ceil( f_parallel(R_i, K̃_i) / |P_multi| )      (Eq. 3)
+//! f_pipe = g_predict( f_num(R_i, K̃_i), K̃_i, H )          (Eq. 4)
+//! ```
+//!
+//! `f_parallel` counts pipelined tasks (the non-reduction loops) and `f_num`
+//! the micro-kernel instances per task (the reduction loop). The two
+//! ablation variants of Fig. 12(b) keep only one factor each: `MikPoly-Wave`
+//! minimizes wave count (favoring large micro-kernels), `MikPoly-Pipe`
+//! minimizes single-PE pipelined-task cost (favoring small ones).
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf_model::PerfModel;
+use crate::plan::Region;
+
+/// Which cost model drives strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CostModelKind {
+    /// The full Eq. 2 model: waves x pipelined-task cost.
+    #[default]
+    Full,
+    /// `MikPoly-Wave`: wave count only.
+    WaveOnly,
+    /// `MikPoly-Pipe`: pipelined-task cost only.
+    PipeOnly,
+}
+
+impl std::fmt::Display for CostModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CostModelKind::Full => "MikPoly",
+            CostModelKind::WaveOnly => "MikPoly-Wave",
+            CostModelKind::PipeOnly => "MikPoly-Pipe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `f_wave`: the number of waves needed to run the region's tasks across
+/// the PEs.
+pub fn f_wave(region: &Region, num_pes: usize) -> usize {
+    region.tasks().div_ceil(num_pes)
+}
+
+/// `f_pipe`: the predicted duration of one of the region's pipelined tasks
+/// on one PE.
+pub fn f_pipe(region: &Region, k_extent: usize, perf: &PerfModel) -> f64 {
+    perf.predict(region.instances(k_extent))
+}
+
+/// The cost contribution of one region under the chosen model.
+pub fn region_cost(
+    kind: CostModelKind,
+    region: &Region,
+    k_extent: usize,
+    num_pes: usize,
+    perf: &PerfModel,
+) -> f64 {
+    let waves = f_wave(region, num_pes) as f64;
+    match kind {
+        CostModelKind::Full => waves * f_pipe(region, k_extent, perf),
+        CostModelKind::WaveOnly => waves,
+        CostModelKind::PipeOnly => f_pipe(region, k_extent, perf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{MicroKernel, MicroKernelId};
+    use crate::perf_model::{sample_schedule, PerfModel};
+
+    fn affine_model(intercept: f64, slope: f64) -> PerfModel {
+        let samples: Vec<(usize, f64)> = sample_schedule(512)
+            .iter()
+            .map(|&t| (t, intercept + slope * t as f64))
+            .collect();
+        PerfModel::fit(&samples, 3)
+    }
+
+    fn region(m: usize, n: usize, um: usize, un: usize, uk: usize) -> Region {
+        Region::new(0, m, 0, n, MicroKernel::new(MicroKernelId(0), um, un, uk, 4))
+    }
+
+    #[test]
+    fn f_wave_quantizes_to_pe_count() {
+        let r = region(4096, 1024, 256, 128, 32);
+        // (4096/256) * (1024/128) = 128 tasks on 108 PEs -> 2 waves. This is
+        // exactly the GEMM-A case of Section 6.
+        assert_eq!(r.tasks(), 128);
+        assert_eq!(f_wave(&r, 108), 2);
+        let r_small = region(3072, 1024, 256, 128, 32);
+        assert_eq!(r_small.tasks(), 96);
+        assert_eq!(f_wave(&r_small, 108), 1);
+    }
+
+    #[test]
+    fn full_cost_multiplies_waves_and_pipe() {
+        let perf = affine_model(100.0, 10.0);
+        let r = region(4096, 1024, 256, 128, 32);
+        let k = 4096;
+        let expected_pipe = perf.predict(4096 / 32);
+        let c = region_cost(CostModelKind::Full, &r, k, 108, &perf);
+        assert!((c - 2.0 * expected_pipe).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wave_only_ignores_kernel_speed() {
+        let fast = affine_model(10.0, 1.0);
+        let slow = affine_model(1000.0, 100.0);
+        let r = region(512, 512, 64, 64, 32);
+        let a = region_cost(CostModelKind::WaveOnly, &r, 256, 108, &fast);
+        let b = region_cost(CostModelKind::WaveOnly, &r, 256, 108, &slow);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipe_only_ignores_parallelism() {
+        let perf = affine_model(100.0, 10.0);
+        let small = region(64, 64, 64, 64, 32);
+        let huge = region(6400, 6400, 64, 64, 32);
+        let a = region_cost(CostModelKind::PipeOnly, &small, 64, 108, &perf);
+        let b = region_cost(CostModelKind::PipeOnly, &huge, 64, 108, &perf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(CostModelKind::Full.to_string(), "MikPoly");
+        assert_eq!(CostModelKind::WaveOnly.to_string(), "MikPoly-Wave");
+        assert_eq!(CostModelKind::PipeOnly.to_string(), "MikPoly-Pipe");
+    }
+}

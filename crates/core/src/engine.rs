@@ -1,0 +1,311 @@
+//! A multi-operator inference engine on top of the compiler.
+//!
+//! [`MikPoly`] optimizes one operator template at a time; a real runtime
+//! owns one compiler per template (GEMM, implicit-GEMM convolution) and
+//! routes each incoming operator to the right one. [`Engine`] packages that
+//! — plus *algorithm selection*: for eligible convolutions it can compare
+//! the cost model's predictions for the implicit-GEMM and Winograd
+//! `F(2x2, 3x3)` lowerings and dispatch the cheaper one, the role cuDNN's
+//! algorithm heuristics play (and the natural home for the paper's
+//! Section 7 Winograd future work).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use accel_sim::{MachineModel, SimReport};
+use tensor_ir::{winograd_applicable, Operator};
+
+use crate::compiler::{MikPoly, OperatorRun};
+use crate::offline::OfflineOptions;
+use crate::offline::TemplateKind;
+
+/// How the engine chooses a convolution algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ConvAlgorithm {
+    /// Always lower through im2col / implicit GEMM (the paper's
+    /// implementation).
+    #[default]
+    ImplicitGemm,
+    /// Always use Winograd `F(2x2, 3x3)` where eligible (3x3, stride 1),
+    /// implicit GEMM otherwise.
+    WinogradWhenEligible,
+    /// Compile both lowerings for eligible convolutions and dispatch the
+    /// one the cost model predicts faster.
+    CostBased,
+}
+
+/// One operator execution through the engine, tagged with the operator the
+/// engine actually dispatched (which may be a Winograd rewrite of the
+/// requested convolution).
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The operator that was dispatched.
+    pub dispatched: Operator,
+    /// The underlying compiler run.
+    pub run: OperatorRun,
+}
+
+/// Aggregate result of running an operator list (one model forward pass).
+#[derive(Debug, Clone, Default)]
+pub struct GraphRun {
+    /// Total simulated device time, ns.
+    pub device_ns: f64,
+    /// Total online compilation time paid (cache misses only), ns.
+    pub compile_ns: u128,
+    /// Number of operator executions.
+    pub executions: usize,
+    /// Number of online compilations (unique shapes seen for the first
+    /// time).
+    pub compilations: usize,
+}
+
+impl GraphRun {
+    /// Device time in milliseconds.
+    pub fn device_ms(&self) -> f64 {
+        self.device_ns / 1e6
+    }
+}
+
+/// A dynamic-shape inference engine: per-template MikPoly compilers plus
+/// algorithm selection.
+///
+/// # Example
+///
+/// ```
+/// use accel_sim::MachineModel;
+/// use mikpoly::{ConvAlgorithm, Engine, OfflineOptions};
+/// use tensor_ir::{Conv2dShape, Operator};
+///
+/// let mut options = OfflineOptions::fast();
+/// options.n_gen = 4; // tiny library for the example
+/// let engine = Engine::offline(MachineModel::a100(), &options)
+///     .with_conv_algorithm(ConvAlgorithm::CostBased);
+/// let conv = Operator::conv2d(Conv2dShape::square(1, 32, 28, 32, 3, 1));
+/// let result = engine.run_operator(&conv);
+/// assert!(result.run.report.time_ns > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    machine: MachineModel,
+    gemm: Arc<MikPoly>,
+    conv: Arc<MikPoly>,
+    conv_algorithm: ConvAlgorithm,
+}
+
+impl Engine {
+    /// Runs the offline stage for both templates on `machine`.
+    pub fn offline(machine: MachineModel, options: &OfflineOptions) -> Self {
+        let gemm = Arc::new(MikPoly::offline(
+            machine.clone(),
+            &options.clone().with_template(TemplateKind::Gemm),
+        ));
+        let conv = Arc::new(MikPoly::offline(
+            machine.clone(),
+            &options.clone().with_template(TemplateKind::Conv),
+        ));
+        Self {
+            machine,
+            gemm,
+            conv,
+            conv_algorithm: ConvAlgorithm::default(),
+        }
+    }
+
+    /// Builds an engine from pre-constructed compilers (e.g. loaded from
+    /// disk-cached libraries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compilers target a different machine than `machine`.
+    pub fn from_compilers(machine: MachineModel, gemm: Arc<MikPoly>, conv: Arc<MikPoly>) -> Self {
+        assert_eq!(gemm.machine().name, machine.name, "gemm compiler machine mismatch");
+        assert_eq!(conv.machine().name, machine.name, "conv compiler machine mismatch");
+        Self {
+            machine,
+            gemm,
+            conv,
+            conv_algorithm: ConvAlgorithm::default(),
+        }
+    }
+
+    /// Sets the convolution algorithm policy (builder style).
+    #[must_use]
+    pub fn with_conv_algorithm(mut self, algorithm: ConvAlgorithm) -> Self {
+        self.conv_algorithm = algorithm;
+        self
+    }
+
+    /// The machine this engine targets.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The GEMM-template compiler.
+    pub fn gemm_compiler(&self) -> &MikPoly {
+        &self.gemm
+    }
+
+    /// The conv-template compiler.
+    pub fn conv_compiler(&self) -> &MikPoly {
+        &self.conv
+    }
+
+    /// The operator the engine would actually dispatch for a request,
+    /// after algorithm selection.
+    pub fn select(&self, operator: &Operator) -> Operator {
+        match *operator {
+            Operator::Conv2d { shape, .. } if winograd_applicable(&shape) => {
+                match self.conv_algorithm {
+                    ConvAlgorithm::ImplicitGemm => *operator,
+                    ConvAlgorithm::WinogradWhenEligible => Operator::conv2d_winograd(shape),
+                    ConvAlgorithm::CostBased => {
+                        let direct = self.conv.compile(operator);
+                        let wino_op = Operator::conv2d_winograd(shape);
+                        let wino = self.gemm.compile(&wino_op);
+                        if wino.predicted_ns < direct.predicted_ns {
+                            wino_op
+                        } else {
+                            *operator
+                        }
+                    }
+                }
+            }
+            _ => *operator,
+        }
+    }
+
+    /// Compiles (with caching) and simulates one operator.
+    pub fn run_operator(&self, operator: &Operator) -> EngineRun {
+        let dispatched = self.select(operator);
+        let compiler = match dispatched {
+            // Winograd's transform-domain GEMMs have plain GEMM access
+            // patterns, so they use the GEMM-template library.
+            Operator::Conv2d { .. } => &self.conv,
+            _ => &self.gemm,
+        };
+        EngineRun {
+            dispatched,
+            run: compiler.run(&dispatched),
+        }
+    }
+
+    /// Runs a weighted operator list (one forward pass): each `(operator,
+    /// count)` pair executes `count` times, compiled once.
+    pub fn run_graph<'a>(
+        &self,
+        ops: impl IntoIterator<Item = (&'a Operator, usize)>,
+    ) -> GraphRun {
+        let mut out = GraphRun::default();
+        for (op, count) in ops {
+            let result = self.run_operator(op);
+            out.device_ns += result.run.report.time_ns * count as f64;
+            out.compile_ns += result.run.compile_ns;
+            if result.run.compile_ns > 0 {
+                out.compilations += 1;
+            }
+            out.executions += count;
+        }
+        out
+    }
+
+    /// Simulates a previously compiled program on this engine's machine.
+    pub fn simulate(&self, program: &crate::plan::CompiledProgram) -> SimReport {
+        match program.operator {
+            Operator::Conv2d { .. } => self.conv.simulate(program),
+            _ => self.gemm.simulate(program),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::{Conv2dShape, GemmShape};
+
+    fn engine(algorithm: ConvAlgorithm) -> Engine {
+        let mut options = OfflineOptions::fast();
+        options.n_gen = 4;
+        Engine::offline(MachineModel::a100(), &options).with_conv_algorithm(algorithm)
+    }
+
+    #[test]
+    fn routes_gemm_and_conv_to_their_templates() {
+        let e = engine(ConvAlgorithm::ImplicitGemm);
+        let g = e.run_operator(&Operator::gemm(GemmShape::new(128, 128, 128)));
+        assert_eq!(g.dispatched.kind(), "gemm");
+        let c = e.run_operator(&Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1)));
+        assert_eq!(c.dispatched.kind(), "conv2d");
+    }
+
+    #[test]
+    fn winograd_when_eligible_rewrites_only_eligible_convs() {
+        let e = engine(ConvAlgorithm::WinogradWhenEligible);
+        let eligible = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1));
+        assert_eq!(e.select(&eligible).kind(), "conv2d-winograd");
+        let strided = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 2));
+        assert_eq!(e.select(&strided).kind(), "conv2d");
+        let five = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 5, 1));
+        assert_eq!(e.select(&five).kind(), "conv2d");
+    }
+
+    #[test]
+    fn cost_based_selection_never_loses_to_either_fixed_policy() {
+        let cost_based = engine(ConvAlgorithm::CostBased);
+        for (c, hw) in [(64usize, 28usize), (8, 14), (96, 56)] {
+            let op = Operator::conv2d(Conv2dShape::square(2, c, hw, c, 3, 1));
+            let chosen = cost_based.run_operator(&op).run.report.time_ns;
+            let direct = cost_based.conv_compiler().run(&op).report.time_ns;
+            let wino = cost_based
+                .gemm_compiler()
+                .run(&Operator::conv2d_winograd(match op {
+                    Operator::Conv2d { shape, .. } => shape,
+                    _ => unreachable!(),
+                }))
+                .report
+                .time_ns;
+            // The cost model is approximate, so allow a small margin.
+            assert!(
+                chosen <= direct.min(wino) * 1.15,
+                "cost-based pick {chosen} vs best fixed {}",
+                direct.min(wino)
+            );
+        }
+    }
+
+    #[test]
+    fn run_graph_counts_compilations_once_per_shape() {
+        let e = engine(ConvAlgorithm::ImplicitGemm);
+        let op = Operator::gemm(GemmShape::new(300, 200, 100));
+        let result = e.run_graph([(&op, 3), (&op, 2)]);
+        assert_eq!(result.executions, 5);
+        assert_eq!(result.compilations, 1);
+        assert!(result.device_ns > 0.0);
+    }
+
+    #[test]
+    fn engine_works_on_the_npu() {
+        let mut options = OfflineOptions::fast();
+        options.n_gen = 4;
+        let e = Engine::offline(MachineModel::ascend910a(), &options)
+            .with_conv_algorithm(ConvAlgorithm::CostBased);
+        let conv = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1));
+        let gemm = Operator::gemm(GemmShape::new(256, 256, 256));
+        let result = e.run_graph([(&conv, 2), (&gemm, 1)]);
+        assert_eq!(result.executions, 3);
+        assert!(result.device_ns > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine mismatch")]
+    fn from_compilers_rejects_mismatched_machines() {
+        let mut options = OfflineOptions::fast();
+        options.n_gen = 4;
+        let gemm = Arc::new(MikPoly::offline(MachineModel::a100(), &options));
+        let conv = Arc::new(MikPoly::offline(
+            MachineModel::ascend910a(),
+            &options.clone().with_template(TemplateKind::Conv),
+        ));
+        let _ = Engine::from_compilers(MachineModel::a100(), gemm, conv);
+    }
+}

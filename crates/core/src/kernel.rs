@@ -1,0 +1,149 @@
+//! Fixed-size micro-kernels.
+//!
+//! A micro-kernel is an instantiation of the micro-kernel template `K̃` with
+//! a specific tile size `(uM, uN, uK)` and a schedule (warp count), compiled
+//! offline and optimized to exploit `M_local` (Section 3.3). Its starting
+//! addresses and loop trip counts remain runtime parameters, which is what
+//! lets the online stage polymerize the same binary into arbitrary shapes.
+
+use serde::{Deserialize, Serialize};
+
+use accel_sim::{MachineModel, TaskShape, TaskSpec};
+use tensor_ir::GemmView;
+
+/// Identifier of a micro-kernel within a [`crate::MicroKernelLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MicroKernelId(pub usize);
+
+impl std::fmt::Display for MicroKernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mk#{}", self.0)
+    }
+}
+
+/// A fixed-size micro-kernel: tile size plus the schedule the offline
+/// auto-tuner selected for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroKernel {
+    /// Library identifier.
+    pub id: MicroKernelId,
+    /// Tile rows `uM`.
+    pub um: usize,
+    /// Tile columns `uN`.
+    pub un: usize,
+    /// Tile reduction depth `uK`.
+    pub uk: usize,
+    /// Warps the tuned schedule occupies on a PE.
+    pub warps: usize,
+}
+
+impl MicroKernel {
+    /// Creates a micro-kernel description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile extent or the warp count is zero.
+    pub fn new(id: MicroKernelId, um: usize, un: usize, uk: usize, warps: usize) -> Self {
+        assert!(um > 0 && un > 0 && uk > 0, "tile extents must be positive");
+        assert!(warps > 0, "a micro-kernel occupies at least one warp");
+        Self { id, um, un, uk, warps }
+    }
+
+    /// The simulator task shape of one instance of this kernel for a given
+    /// operator view (element widths and load amplification).
+    pub fn task_shape(&self, view: &GemmView) -> TaskShape {
+        let in_bytes = view.dtype.bytes();
+        let acc_bytes = view.dtype.accumulator().bytes();
+        TaskShape::gemm_tile(self.um, self.un, self.uk, in_bytes, in_bytes, acc_bytes)
+            .with_load_scale(view.load_scale)
+    }
+
+    /// A pipelined task running `instances` instances of this kernel.
+    pub fn task_spec(&self, view: &GemmView, instances: usize) -> TaskSpec {
+        TaskSpec::new(self.task_shape(view), self.warps, instances)
+    }
+
+    /// Whether the kernel's `M_local` footprint fits the machine for the
+    /// given element widths.
+    pub fn fits(&self, machine: &MachineModel, view: &GemmView) -> bool {
+        self.task_shape(view).fits(machine) && self.warps <= machine.warp_cap_per_pe
+    }
+
+    /// Floating-point work of one instance.
+    pub fn flops_per_instance(&self) -> f64 {
+        2.0 * self.um as f64 * self.un as f64 * self.uk as f64
+    }
+
+    /// Number of tasks needed to cover an `m x n` output region (with local
+    /// padding up to tile multiples).
+    pub fn tasks_for(&self, m: usize, n: usize) -> usize {
+        m.div_ceil(self.um) * n.div_ceil(self.un)
+    }
+
+    /// Number of instances per pipelined task for reduction depth `k`
+    /// (with local padding of the final slice).
+    pub fn instances_for(&self, k: usize) -> usize {
+        k.div_ceil(self.uk)
+    }
+}
+
+impl std::fmt::Display for MicroKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}({}, {}, {}) x{}w",
+            self.id, self.um, self.un, self.uk, self.warps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::{DType, GemmShape, Operator};
+
+    fn f16_view() -> GemmView {
+        Operator::gemm(GemmShape::new(128, 128, 128)).gemm_view()
+    }
+
+    #[test]
+    fn task_shape_uses_view_dtype() {
+        let k = MicroKernel::new(MicroKernelId(0), 64, 64, 32, 4);
+        let shape = k.task_shape(&f16_view());
+        assert_eq!(shape.in_elem_bytes, DType::F16.bytes());
+        assert_eq!(shape.acc_elem_bytes, 4);
+        assert_eq!(shape.load_scale, 1.0);
+    }
+
+    #[test]
+    fn tasks_round_up_with_local_padding() {
+        let k = MicroKernel::new(MicroKernelId(1), 64, 64, 32, 4);
+        assert_eq!(k.tasks_for(64, 64), 1);
+        assert_eq!(k.tasks_for(65, 64), 2);
+        assert_eq!(k.tasks_for(130, 130), 3 * 3);
+        assert_eq!(k.instances_for(32), 1);
+        assert_eq!(k.instances_for(33), 2);
+    }
+
+    #[test]
+    fn fits_checks_warp_cap() {
+        let m = MachineModel::a100();
+        let view = f16_view();
+        let small = MicroKernel::new(MicroKernelId(2), 64, 64, 32, 4);
+        let too_many_warps = MicroKernel::new(MicroKernelId(3), 64, 64, 32, 64);
+        assert!(small.fits(&m, &view));
+        assert!(!too_many_warps.fits(&m, &view));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_rejected() {
+        let _ = MicroKernel::new(MicroKernelId(0), 0, 64, 32, 4);
+    }
+
+    #[test]
+    fn display_shows_tile_and_warps() {
+        let k = MicroKernel::new(MicroKernelId(7), 256, 128, 32, 8);
+        assert_eq!(k.to_string(), "mk#7(256, 128, 32) x8w");
+    }
+}

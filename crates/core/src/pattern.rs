@@ -1,0 +1,213 @@
+//! Polymerization patterns (Fig. 5 of the paper).
+//!
+//! The pattern skeleton divides an operator's output into seven blocks:
+//! a top band holding blocks {1}{2}{3}, a middle band holding {4}{5}, and a
+//! bottom band holding {6}{7}. A *pattern* groups those blocks into
+//! rectangular regions; each region's online loops are re-materialized
+//! around its own parameterized micro-kernel. Nine representative patterns
+//! survive the paper's synthetic-workload clustering; we encode each as a
+//! stack of horizontal bands, where a band is split into one or two column
+//! segments:
+//!
+//! ```text
+//!  I   [1]        one region covering everything
+//!  II  [1,1]      top band + bottom band          (the Fig. 3 example)
+//!  III [2]        left column + right column
+//!  IV  [1,1,1]    three bands
+//!  V   [2,2]      2 x 2 grid
+//!  VI  [1,2]      full-width top, split bottom
+//!  VII [2,1]      split top, full-width bottom
+//!  VIII[1,1,2]    two bands + split bottom
+//!  IX  [2,1,1]    split top + two bands
+//! ```
+//!
+//! Per Section 4, GPUs restrict themselves to Patterns I and II (runtime
+//! overhead dominates); NPUs use all nine.
+
+use serde::{Deserialize, Serialize};
+
+use accel_sim::MachineModel;
+
+/// Identifier of a polymerization pattern (1 through 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PatternId(pub u8);
+
+impl std::fmt::Display for PatternId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const ROMAN: [&str; 9] = ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX"];
+        match ROMAN.get((self.0 as usize).wrapping_sub(1)) {
+            Some(r) => write!(f, "Pattern-{r}"),
+            // 10 is the split-K extension, outside the paper's skeleton.
+            None if self.0 == 10 => write!(f, "Pattern-X(split-K)"),
+            None => write!(f, "Pattern-#{}", self.0),
+        }
+    }
+}
+
+/// A polymerization pattern: a vertical stack of bands, each split into
+/// `bands[i]` column segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Pattern identifier (Roman numeral in the paper).
+    pub id: PatternId,
+    /// Number of column segments per band, top to bottom.
+    pub bands: Vec<usize>,
+}
+
+impl Pattern {
+    /// Total number of regions (parameterized micro-kernels) in the pattern.
+    pub fn num_regions(&self) -> usize {
+        self.bands.iter().sum()
+    }
+
+    /// Which skeleton blocks {1}..{7} each region covers, for display and
+    /// cross-checking against Fig. 5. The skeleton assigns {1}{2}{3} to the
+    /// top band, {4}{5} to the middle, {6}{7} to the bottom; merged bands
+    /// inherit the union of their blocks.
+    pub fn block_cover(&self) -> Vec<Vec<u8>> {
+        // Distribute the three skeleton bands over the pattern's bands.
+        let skeleton: [&[u8]; 3] = [&[1, 2, 3], &[4, 5], &[6, 7]];
+        let nb = self.bands.len();
+        let mut per_band: Vec<Vec<u8>> = vec![Vec::new(); nb];
+        for (i, blocks) in skeleton.iter().enumerate() {
+            // Skeleton band i maps onto pattern band i, with surplus
+            // skeleton bands merged into the pattern's last band.
+            let target = i.min(nb - 1);
+            per_band[target].extend_from_slice(blocks);
+        }
+        let mut out = Vec::with_capacity(self.num_regions());
+        for (band, &segs) in per_band.iter().zip(&self.bands) {
+            if segs == 1 {
+                out.push(band.clone());
+            } else {
+                // Split the band's blocks between left and right segments.
+                let mid = band.len().div_ceil(2);
+                out.push(band[..mid].to_vec());
+                out.push(band[mid..].to_vec());
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:", self.id)?;
+        for (i, blocks) in self.block_cover().iter().enumerate() {
+            write!(f, " R{}{{", i + 1)?;
+            for (j, b) in blocks.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{b}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+fn pattern(id: u8, bands: &[usize]) -> Pattern {
+    Pattern {
+        id: PatternId(id),
+        bands: bands.to_vec(),
+    }
+}
+
+/// All nine representative patterns (Fig. 5 (b)).
+pub fn all_patterns() -> Vec<Pattern> {
+    vec![
+        pattern(1, &[1]),
+        pattern(2, &[1, 1]),
+        pattern(3, &[2]),
+        pattern(4, &[1, 1, 1]),
+        pattern(5, &[2, 2]),
+        pattern(6, &[1, 2]),
+        pattern(7, &[2, 1]),
+        pattern(8, &[1, 1, 2]),
+        pattern(9, &[2, 1, 1]),
+    ]
+}
+
+/// The pattern subset used on GPUs: Patterns I and II only, "selected based
+/// on their optimal balance of runtime overhead and operator performance"
+/// (Section 4).
+pub fn gpu_patterns() -> Vec<Pattern> {
+    all_patterns().into_iter().take(2).collect()
+}
+
+/// The default pattern set for a machine: I–II under dynamic hardware
+/// scheduling (GPU), I–IX under static compiler placement (NPU).
+pub fn default_patterns(machine: &MachineModel) -> Vec<Pattern> {
+    match machine.allocation {
+        accel_sim::AllocationPolicy::DynamicHardware => gpu_patterns(),
+        accel_sim::AllocationPolicy::StaticCompilerAssigned => all_patterns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_patterns_with_unique_ids() {
+        let ps = all_patterns();
+        assert_eq!(ps.len(), 9);
+        let mut ids: Vec<u8> = ps.iter().map(|p| p.id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 9);
+    }
+
+    #[test]
+    fn pattern_ii_matches_figure_3() {
+        let p = &all_patterns()[1];
+        assert_eq!(p.num_regions(), 2);
+        let cover = p.block_cover();
+        assert_eq!(cover[0], vec![1, 2, 3]);
+        assert_eq!(cover[1], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn every_pattern_covers_all_seven_blocks_once() {
+        for p in all_patterns() {
+            let mut seen: Vec<u8> = p.block_cover().into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7], "{p}");
+        }
+    }
+
+    #[test]
+    fn gpu_subset_is_i_and_ii() {
+        let ps = gpu_patterns();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].id, PatternId(1));
+        assert_eq!(ps[1].id, PatternId(2));
+    }
+
+    #[test]
+    fn default_patterns_follow_allocation_policy() {
+        assert_eq!(default_patterns(&MachineModel::a100()).len(), 2);
+        assert_eq!(default_patterns(&MachineModel::ascend910a()).len(), 9);
+    }
+
+    #[test]
+    fn roman_numeral_display() {
+        assert_eq!(PatternId(1).to_string(), "Pattern-I");
+        assert_eq!(PatternId(9).to_string(), "Pattern-IX");
+        let p = &all_patterns()[0];
+        assert_eq!(p.to_string(), "Pattern-I: R1{1,2,3,4,5,6,7}");
+    }
+
+    #[test]
+    fn split_k_extension_has_its_own_display() {
+        assert_eq!(PatternId(10).to_string(), "Pattern-X(split-K)");
+        assert_eq!(PatternId(77).to_string(), "Pattern-#77");
+    }
+
+    #[test]
+    fn region_counts_stay_search_friendly() {
+        for p in all_patterns() {
+            assert!(p.num_regions() <= 4, "{p} has too many regions");
+        }
+    }
+}

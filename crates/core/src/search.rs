@@ -1,0 +1,741 @@
+//! On-the-fly polymerization search (Section 3.4, Algorithm 1 lines 7–15).
+//!
+//! Once the operator's shape is known, MikPoly tries each polymerization
+//! pattern, instantiating the pattern's parameterized micro-kernels from the
+//! offline library (the *polymerization strategies*), and keeps the
+//! strategy with the lowest estimated cost. The search is branch-and-bound:
+//! as soon as a partial strategy's accumulated cost reaches the incumbent's,
+//! the subtree is skipped — the paper's "if the cost of `(R_i, K̃_i)`
+//! exceeds the current best strategy's cost, related strategies are
+//! skipped".
+//!
+//! Geometry of a strategy: bands stack top-down; a band led by kernel `a`
+//! spans the largest multiple of `a.uM` that fits the remaining rows (the
+//! final band absorbs the remainder with local padding); within a band,
+//! column segments behave the same way along `N`.
+
+use std::time::Instant;
+
+use accel_sim::{AllocationPolicy, MachineModel};
+use tensor_ir::GemmView;
+
+use crate::alloc::lpt_makespan;
+use crate::cost::CostModelKind;
+use crate::offline::{MicroKernelLibrary, TunedKernel};
+use crate::pattern::{Pattern, PatternId};
+use crate::plan::{CompiledProgram, Region, SearchStats};
+
+/// Result of a polymerization search before packaging into a
+/// [`CompiledProgram`].
+#[derive(Debug, Clone)]
+struct Best {
+    pattern: PatternId,
+    regions: Vec<Region>,
+    cost: f64,
+}
+
+/// Accumulated cost of a partial strategy.
+#[derive(Debug, Clone, Copy, Default)]
+struct Partial {
+    /// GPU mode: Σ f_wave · f_pipe. NPU mode: Σ tasks · g_predict (total
+    /// core-seconds of work).
+    sum: f64,
+    /// NPU mode: the longest single task (a makespan lower bound).
+    dmax: f64,
+}
+
+struct Searcher<'a> {
+    kernels: Vec<&'a TunedKernel>,
+    /// Per-kernel `f_pipe` (Eq. 4), precomputed once per shape: every
+    /// region spans the full reduction extent, so the pipelined-task cost
+    /// of a kernel does not depend on the region geometry. This is what
+    /// keeps the online search at microsecond scale.
+    pipe: Vec<f64>,
+    m: usize,
+    n: usize,
+    num_pes: usize,
+    kind: CostModelKind,
+    /// Whether the machine executes compiler-assigned static placements
+    /// (NPU). The full cost model then estimates the max-min allocation
+    /// makespan `max(Σ tasks·g / |P|, max g)` instead of Eq. 2's per-region
+    /// wave sum — "a max-min static allocation algorithm is employed,
+    /// enhancing parallel execution" (Section 4).
+    static_alloc: bool,
+    prune: bool,
+    /// Kernels considered for the current pattern. Deep patterns (3+
+    /// regions) only draw from the top-ranked kernels — the paper's
+    /// search-narrowing heuristic (Algorithm 1) that keeps polymerization
+    /// at microsecond scale.
+    kernel_limit: usize,
+    /// FLOPs per output row (2·N·K), for the remaining-work bound.
+    flops_per_row: f64,
+    /// The fastest per-task FLOP rate any usable kernel achieves (FLOPs per
+    /// ns of `g_predict`); rows not yet covered cannot be computed faster.
+    best_rate: f64,
+    /// `(f_pipe, tasks)` per region of the current partial strategy,
+    /// maintained alongside `regions` so leaves need no lookups.
+    group_stack: Vec<(f64, usize)>,
+    /// Remaining kernel-choice iterations (heuristic mode only).
+    budget: usize,
+    best: Option<Best>,
+    stats: SearchStats,
+}
+
+/// Kernel shortlist size for patterns with three or more regions.
+const DEEP_PATTERN_KERNELS: usize = 16;
+
+/// Branch-and-bound margin: subtrees whose lower bound is within 0.5% of
+/// the incumbent are skipped. The cost model's own error is several
+/// percent, so chasing sub-0.5% improvements buys nothing while
+/// exhaustively enumerating near-tie strategies — part of the paper's
+/// "heuristics ... considerably narrowing the search space with minimal
+/// runtime overhead".
+const PRUNE_MARGIN: f64 = 0.995;
+
+/// Search-effort budget for the heuristic (pruned) search, counting only
+/// descents that survive the bound check (the expensive part: recursion
+/// and leaf cost evaluation). When a shape's cost landscape is flat,
+/// hundreds of near-tie strategies survive any admissible bound; the
+/// budget makes the search anytime — the per-shape presort places a
+/// near-optimal incumbent on the first descent, so exhausting the budget
+/// costs at most a few percent. Keeps worst-case polymerization in the low
+/// tens of microseconds, as the paper's overhead analysis requires
+/// (Fig. 12(a)).
+const NODE_BUDGET: usize = 600;
+
+impl<'a> Searcher<'a> {
+    /// Extends a partial cost by one region, using the per-kernel `f_pipe`
+    /// cache (O(1) per call).
+    fn extend(&self, partial: Partial, region: &Region, kernel_idx: usize) -> Partial {
+        let pipe = self.pipe[kernel_idx];
+        if self.static_alloc && self.kind == CostModelKind::Full {
+            Partial {
+                sum: partial.sum + region.tasks() as f64 * pipe,
+                dmax: partial.dmax.max(pipe),
+            }
+        } else {
+            let waves = region.tasks().div_ceil(self.num_pes) as f64;
+            let add = match self.kind {
+                CostModelKind::Full => waves * pipe,
+                CostModelKind::WaveOnly => waves,
+                CostModelKind::PipeOnly => pipe,
+            };
+            Partial {
+                sum: partial.sum + add,
+                dmax: partial.dmax,
+            }
+        }
+    }
+
+    /// The final selection cost of a complete strategy.
+    fn finish(&self, partial: Partial) -> f64 {
+        if self.static_alloc && self.kind == CostModelKind::Full {
+            (partial.sum / self.num_pes as f64).max(partial.dmax)
+        } else {
+            partial.sum
+        }
+    }
+
+    /// An admissible lower bound on any completion of a partial strategy
+    /// that still has `rows_remaining` uncovered output rows: even at the
+    /// best kernel's rate, the remaining work takes
+    /// `rows · 2NK / (best_rate · |P|)`.
+    fn lower_bound(&self, partial: Partial, rows_remaining: usize) -> f64 {
+        if self.kind != CostModelKind::Full {
+            return partial.sum;
+        }
+        let rem_ns = rows_remaining as f64 * self.flops_per_row / self.best_rate;
+        if self.static_alloc {
+            ((partial.sum + rem_ns) / self.num_pes as f64).max(partial.dmax)
+        } else {
+            partial.sum + rem_ns / self.num_pes as f64
+        }
+    }
+
+    fn best_cost(&self) -> f64 {
+        self.best.as_ref().map_or(f64::INFINITY, |b| b.cost)
+    }
+
+    fn run_pattern(&mut self, pattern: &Pattern, collector: &mut Collector<'_>) {
+        self.stats.patterns_tried += 1;
+        self.kernel_limit = if pattern.num_regions() >= 3 {
+            DEEP_PATTERN_KERNELS.min(self.kernels.len())
+        } else {
+            self.kernels.len()
+        };
+        let mut regions = Vec::with_capacity(pattern.num_regions());
+        self.bands(pattern, 0, 0, Partial::default(), &mut regions, collector);
+    }
+
+    fn complete(
+        &mut self,
+        pattern: &Pattern,
+        partial: Partial,
+        regions: &[Region],
+        collector: &mut Collector<'_>,
+    ) {
+        self.stats.strategies_evaluated += 1;
+        if let Some(cb) = collector {
+            cb(pattern.id, regions);
+        }
+        let cost = if self.static_alloc && self.kind == CostModelKind::Full {
+            // Exact max-min (LPT) allocation makespan of the complete
+            // strategy; the additive bound is only used for pruning.
+            lpt_makespan(&self.group_stack, self.num_pes)
+        } else {
+            self.finish(partial)
+        };
+        if cost < self.best_cost() {
+            self.best = Some(Best {
+                pattern: pattern.id,
+                regions: regions.to_vec(),
+                cost,
+            });
+        }
+    }
+
+    fn bands(
+        &mut self,
+        pattern: &Pattern,
+        band_idx: usize,
+        row_off: usize,
+        partial: Partial,
+        regions: &mut Vec<Region>,
+        collector: &mut Collector<'_>,
+    ) {
+        if band_idx == pattern.bands.len() {
+            debug_assert_eq!(row_off, self.m, "last band must absorb the remainder");
+            self.complete(pattern, partial, regions, collector);
+            return;
+        }
+        let rem_m = self.m - row_off;
+        if rem_m == 0 {
+            // A pattern with fewer bands covers this shape; skip the
+            // degenerate strategy.
+            self.stats.strategies_pruned += 1;
+            return;
+        }
+        let last_band = band_idx + 1 == pattern.bands.len();
+        let segs = pattern.bands[band_idx];
+        for i in 0..self.kernel_limit {
+            if self.prune && self.budget == 0 {
+                return;
+            }
+            let lead = self.kernels[i];
+            let um = lead.kernel.um;
+            let h = if last_band { rem_m } else { (rem_m / um) * um };
+            if h == 0 || (!last_band && h == rem_m) {
+                continue;
+            }
+            let (r0, r1) = (row_off, row_off + h);
+            match segs {
+                1 => {
+                    let region = Region::new(r0, r1, 0, self.n, lead.kernel);
+                    let acc = self.extend(partial, &region, i);
+                    if self.prune && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                        self.stats.strategies_pruned += 1;
+                        continue;
+                    }
+                    regions.push(region);
+                    self.group_stack.push((self.pipe[i], region.tasks()));
+                    self.budget = self.budget.saturating_sub(1);
+                    self.bands(pattern, band_idx + 1, r1, acc, regions, collector);
+                    self.group_stack.pop();
+                    regions.pop();
+                }
+                2 => {
+                    let w = (self.n / lead.kernel.un) * lead.kernel.un;
+                    if w == 0 || w == self.n {
+                        // Degenerate split; the single-segment pattern
+                        // covers it.
+                        continue;
+                    }
+                    let left = Region::new(r0, r1, 0, w, lead.kernel);
+                    let with_left = self.extend(partial, &left, i);
+                    if self.prune && self.lower_bound(with_left, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                        self.stats.strategies_pruned += 1;
+                        continue;
+                    }
+                    regions.push(left);
+                    self.group_stack.push((self.pipe[i], left.tasks()));
+                    for j in 0..self.kernel_limit {
+                        if self.prune && self.budget == 0 {
+                            break;
+                        }
+                        let trail = self.kernels[j];
+                        let right = Region::new(r0, r1, w, self.n, trail.kernel);
+                        let acc = self.extend(with_left, &right, j);
+                        if self.prune && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                            self.stats.strategies_pruned += 1;
+                            continue;
+                        }
+                        regions.push(right);
+                        self.group_stack.push((self.pipe[j], right.tasks()));
+                        self.budget = self.budget.saturating_sub(1);
+                        self.bands(pattern, band_idx + 1, r1, acc, regions, collector);
+                        self.group_stack.pop();
+                        regions.pop();
+                    }
+                    self.group_stack.pop();
+                    regions.pop();
+                }
+                other => panic!("patterns support 1 or 2 column segments, got {other}"),
+            }
+        }
+    }
+}
+
+type Collector<'c> = Option<&'c mut dyn FnMut(PatternId, &[Region])>;
+
+/// Precomputes `g_predict(f_num)` per usable kernel for a fixed reduction
+/// extent.
+fn pipe_cache(kernels: &[&TunedKernel], k_extent: usize) -> Vec<f64> {
+    kernels
+        .iter()
+        .map(|t| t.perf.predict(t.kernel.instances_for(k_extent)))
+        .collect()
+}
+
+/// Sorts the usable kernels (and their pipe cache) by their Pattern-I cost
+/// for this shape, cheapest first. The DFS then reaches a near-optimal
+/// incumbent on its first descent, which lets branch-and-bound discard
+/// almost everything else — the ordering is what keeps polymerization at
+/// the paper's ~2 us scale.
+fn presort_by_pattern_i<'a>(
+    kernels: &mut Vec<&'a TunedKernel>,
+    pipe: &mut Vec<f64>,
+    m: usize,
+    n: usize,
+    num_pes: usize,
+    static_alloc: bool,
+) {
+    let mut idx: Vec<usize> = (0..kernels.len()).collect();
+    let cost = |i: usize| -> f64 {
+        let t = kernels[i];
+        let tasks = t.kernel.tasks_for(m, n);
+        if static_alloc {
+            (tasks as f64 * pipe[i] / num_pes as f64).max(pipe[i])
+        } else {
+            tasks.div_ceil(num_pes) as f64 * pipe[i]
+        }
+    };
+    idx.sort_by(|&a, &b| cost(a).total_cmp(&cost(b)));
+    *kernels = idx.iter().map(|&i| kernels[i]).collect();
+    *pipe = idx.iter().map(|&i| pipe[i]).collect();
+}
+
+fn usable<'a>(
+    machine: &MachineModel,
+    library: &'a MicroKernelLibrary,
+    view: &GemmView,
+) -> Vec<&'a TunedKernel> {
+    let kernels = library.usable_kernels(machine, view);
+    assert!(
+        !kernels.is_empty(),
+        "micro-kernel library for {} has no kernel usable for {:?} on {}",
+        library.machine,
+        view.shape,
+        machine.name
+    );
+    kernels
+}
+
+/// Runs the online polymerization search and returns the optimized tensor
+/// program `S*`.
+///
+/// # Panics
+///
+/// Panics if the library contains no usable kernel for this view (which
+/// cannot happen for libraries produced by
+/// [`MicroKernelLibrary::generate`] on the same machine).
+pub fn polymerize(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+    patterns: &[Pattern],
+    kind: CostModelKind,
+    prune: bool,
+) -> CompiledProgram {
+    let start = Instant::now();
+    let mut kernels = usable(machine, library, view);
+    let mut pipe = pipe_cache(&kernels, view.shape.k);
+    let static_alloc = machine.allocation == AllocationPolicy::StaticCompilerAssigned;
+    presort_by_pattern_i(
+        &mut kernels,
+        &mut pipe,
+        view.shape.m,
+        view.shape.n,
+        machine.num_pes,
+        static_alloc,
+    );
+    let flops_per_row = 2.0 * view.shape.n as f64 * view.shape.k as f64;
+    let best_rate = kernels
+        .iter()
+        .zip(&pipe)
+        .map(|(t, &p)| {
+            t.kernel.flops_per_instance() * t.kernel.instances_for(view.shape.k) as f64 / p
+        })
+        .fold(1e-9, f64::max);
+    let mut searcher = Searcher {
+        kernels,
+        pipe,
+        m: view.shape.m,
+        n: view.shape.n,
+        num_pes: machine.num_pes,
+        kind,
+        static_alloc,
+        prune,
+        kernel_limit: 0,
+        flops_per_row,
+        best_rate,
+        group_stack: Vec::with_capacity(4),
+        budget: NODE_BUDGET,
+        best: None,
+        stats: SearchStats::default(),
+    };
+    for pattern in patterns {
+        searcher.run_pattern(pattern, &mut None);
+    }
+    let mut stats = searcher.stats;
+    stats.search_ns = start.elapsed().as_nanos();
+    let best = searcher
+        .best
+        .expect("pattern I always yields at least one strategy");
+    CompiledProgram {
+        operator,
+        view: *view,
+        pattern: best.pattern,
+        regions: best.regions,
+        split_k: 1,
+        predicted_ns: best.cost,
+        stats,
+    }
+}
+
+/// Split-K post-pass (extension; not part of the paper's pattern set).
+///
+/// For shapes whose best task grid cannot fill the machine (small `M x N`,
+/// huge `K`), replicating the grid `w` ways along the reduction — each task
+/// computing `1/w` of `K` into partial outputs combined by a memory-bound
+/// reduction pass — multiplies the exploitable parallelism. Tries
+/// `w ∈ {2, 4, 8}` over all usable kernels and returns the improved program
+/// if any beats the input's predicted cost.
+pub fn improve_with_split_k(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    mut program: CompiledProgram,
+) -> CompiledProgram {
+    if machine.allocation != AllocationPolicy::DynamicHardware
+        || program.regions.len() != 1
+    {
+        return program;
+    }
+    let (m, n, k) = (view.shape.m, view.shape.n, view.shape.k);
+    // The reduction pass reads w fp32 partials and writes the output once;
+    // its bandwidth is bounded by how many PEs its 32x32-tile grid covers.
+    let reduce_ns = |w: usize| -> f64 {
+        let bytes = (w * m * n * 4 + m * n * 2) as f64;
+        let tiles = m.div_ceil(32) * n.div_ceil(32);
+        let active = tiles.min(machine.num_pes) as f64;
+        bytes / (active * machine.pe_bandwidth_bytes_per_ns())
+            + machine.launch_overhead_ns
+            + machine.task_overhead_ns
+    };
+    // Gate on a deep reduction: for short K the per-task overheads and the
+    // reduction pass eat the gains, and the cost model's error margin
+    // dominates (the same K-threshold gating vendor split-K heuristics
+    // use).
+    if k < 2048 {
+        return program;
+    }
+    // Demand a clear predicted win to absorb cost-model error.
+    let mut best_cost = program.predicted_ns * 0.85;
+    let mut improved = false;
+    for t in usable(machine, library, view) {
+        let base_tasks = t.kernel.tasks_for(m, n);
+        let instances = t.kernel.instances_for(k);
+        for ways in [2usize, 4, 8] {
+            if instances < ways || base_tasks * ways > 4 * machine.num_pes {
+                continue;
+            }
+            let waves = (base_tasks * ways).div_ceil(machine.num_pes) as f64;
+            let cost =
+                waves * t.perf.predict(instances.div_ceil(ways)) + reduce_ns(ways);
+            if cost < best_cost {
+                best_cost = cost;
+                improved = true;
+                program.pattern = PatternId(10);
+                program.regions = vec![Region::new(0, m, 0, n, t.kernel)];
+                program.split_k = ways;
+            }
+        }
+    }
+    if improved {
+        program.predicted_ns = best_cost;
+    }
+    program
+}
+
+/// Enumerates every polymerization strategy (no pruning), invoking the
+/// callback with each complete region list. Used by the Oracle variant of
+/// Fig. 12(b), which simulates every candidate instead of trusting the cost
+/// model.
+pub fn enumerate_strategies(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    patterns: &[Pattern],
+    mut cb: impl FnMut(PatternId, &[Region]),
+) {
+    let kernels = usable(machine, library, view);
+    let pipe = pipe_cache(&kernels, view.shape.k);
+    let mut searcher = Searcher {
+        kernels,
+        pipe,
+        m: view.shape.m,
+        n: view.shape.n,
+        num_pes: machine.num_pes,
+        kind: CostModelKind::Full,
+        static_alloc: machine.allocation == AllocationPolicy::StaticCompilerAssigned,
+        prune: false,
+        kernel_limit: 0,
+        flops_per_row: 0.0,
+        best_rate: 1e-9,
+        group_stack: Vec::with_capacity(4),
+        budget: usize::MAX,
+        best: None,
+        stats: SearchStats::default(),
+    };
+    let mut collector: &mut dyn FnMut(PatternId, &[Region]) = &mut cb;
+    for pattern in patterns {
+        searcher.run_pattern(pattern, &mut Some(&mut collector));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineOptions;
+    use crate::pattern::{all_patterns, gpu_patterns};
+    use tensor_ir::{GemmShape, Operator};
+
+    fn setup() -> (MachineModel, MicroKernelLibrary) {
+        let m = MachineModel::a100();
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let lib = MicroKernelLibrary::generate(&m, &o);
+        (m, lib)
+    }
+
+    fn compile(m: &MachineModel, lib: &MicroKernelLibrary, shape: GemmShape) -> CompiledProgram {
+        let op = Operator::gemm(shape);
+        polymerize(
+            m,
+            lib,
+            &op.gemm_view(),
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            true,
+        )
+    }
+
+    #[test]
+    fn polymerize_covers_output_exactly() {
+        let (m, lib) = setup();
+        for &(mm, nn, kk) in &[(4096, 1024, 4096), (105, 1024, 544), (1, 1, 1), (33, 65, 17)] {
+            let prog = compile(&m, &lib, GemmShape::new(mm, nn, kk));
+            prog.verify_coverage().expect("coverage");
+            assert!(prog.predicted_ns.is_finite());
+            assert!(prog.stats.strategies_evaluated > 0);
+        }
+    }
+
+    #[test]
+    fn awkward_shapes_prefer_polymerization() {
+        // With large tiles in the library, a shape whose task count just
+        // spills into an extra wave should split off its remainder rows
+        // under a second (smaller) micro-kernel — the Fig. 15 effect. (The
+        // tiny `setup()` library has no large tiles, so it is generated
+        // here with the full `fast()` tile range.)
+        let m = MachineModel::a100();
+        // Synthetic ranking must reach large shapes (n_syn) for large
+        // tiles to survive RankAndPrune.
+        let mut options = OfflineOptions::fast();
+        options.n_syn = 12;
+        let lib = MicroKernelLibrary::generate(&m, &options);
+        let mut found_multi = false;
+        for mm in (1600..=2400).step_by(16) {
+            let op = Operator::gemm(GemmShape::new(mm, 1024, 512));
+            let prog = polymerize(
+                &m,
+                &lib,
+                &op.gemm_view(),
+                op,
+                &gpu_patterns(),
+                CostModelKind::Full,
+                true,
+            );
+            prog.verify_coverage().expect("coverage");
+            if prog.regions.len() > 1 {
+                found_multi = true;
+            }
+        }
+        assert!(found_multi, "no awkward shape polymerized into two regions");
+    }
+
+    #[test]
+    fn pruning_preserves_the_optimum() {
+        let (m, lib) = setup();
+        for &(mm, nn, kk) in &[(777, 512, 256), (2048, 384, 128), (96, 96, 96)] {
+            let op = Operator::gemm(GemmShape::new(mm, nn, kk));
+            let view = op.gemm_view();
+            let pruned = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, true);
+            let full = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, false);
+            // Pruning keeps the result within the 2% branch-and-bound
+            // margin of the true optimum.
+            assert!(
+                pruned.predicted_ns <= full.predicted_ns * 1.006 + 1e-9,
+                "shape ({mm},{nn},{kk}): pruned {} vs optimal {}",
+                pruned.predicted_ns,
+                full.predicted_ns
+            );
+            assert!(pruned.stats.strategies_evaluated <= full.stats.strategies_evaluated);
+        }
+    }
+
+    #[test]
+    fn wave_only_picks_larger_tiles_than_pipe_only() {
+        let (m, lib) = setup();
+        let op = Operator::gemm(GemmShape::new(2048, 2048, 1024));
+        let view = op.gemm_view();
+        let wave = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::WaveOnly, true);
+        let pipe = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::PipeOnly, true);
+        let area = |p: &CompiledProgram| {
+            p.regions.iter().map(|r| r.kernel.um * r.kernel.un).max().unwrap_or(0)
+        };
+        assert!(
+            area(&wave) >= area(&pipe),
+            "WaveOnly should favor at-least-as-large micro-kernels"
+        );
+    }
+
+    #[test]
+    fn npu_patterns_search_completes() {
+        let m = MachineModel::ascend910a();
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let lib = MicroKernelLibrary::generate(&m, &o);
+        let op = Operator::gemm(GemmShape::new(1234, 777, 512));
+        let prog = polymerize(
+            &m,
+            &lib,
+            &op.gemm_view(),
+            op,
+            &all_patterns(),
+            CostModelKind::Full,
+            true,
+        );
+        prog.verify_coverage().expect("coverage");
+        assert_eq!(prog.stats.patterns_tried, 9);
+    }
+
+    #[test]
+    fn enumerate_visits_every_pattern_i_strategy() {
+        let (m, lib) = setup();
+        let op = Operator::gemm(GemmShape::new(512, 512, 512));
+        let mut count = 0usize;
+        enumerate_strategies(
+            &m,
+            &lib,
+            &op.gemm_view(),
+            &gpu_patterns()[..1],
+            |_, regions| {
+                assert_eq!(regions.len(), 1);
+                count += 1;
+            },
+        );
+        // Pattern I has exactly one strategy per usable kernel.
+        let usable = lib.usable_kernels(&m, &op.gemm_view()).len();
+        assert_eq!(count, usable);
+    }
+
+    #[test]
+    fn pruned_search_evaluates_far_fewer_strategies() {
+        let (m, lib) = setup();
+        let op = Operator::gemm(GemmShape::new(1111, 999, 512));
+        let view = op.gemm_view();
+        let pruned = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, true);
+        let full = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, false);
+        assert!(pruned.stats.strategies_pruned > 0);
+        assert!(pruned.stats.strategies_evaluated < full.stats.strategies_evaluated);
+    }
+}
+
+#[cfg(test)]
+mod split_k_tests {
+    use super::*;
+    use crate::compiler::{MikPoly, OnlineOptions};
+    use crate::offline::OfflineOptions;
+    use tensor_ir::{GemmShape, Operator};
+
+    fn compilers() -> (MikPoly, MikPoly) {
+        let m = MachineModel::a100();
+        let options = OfflineOptions::fast();
+        let base = MikPoly::offline(m.clone(), &options);
+        let split = MikPoly::offline(m, &options).with_options(OnlineOptions {
+            split_k: true,
+            ..OnlineOptions::default()
+        });
+        (base, split)
+    }
+
+    #[test]
+    fn split_k_fires_on_small_mn_huge_k() {
+        let (base, split) = compilers();
+        let op = Operator::gemm(GemmShape::new(64, 64, 100_000));
+        let plain = base.run(&op);
+        let improved = split.run(&op);
+        assert_eq!(plain.program.split_k, 1);
+        assert!(improved.program.split_k > 1, "split-K should fire");
+        assert_eq!(improved.program.pattern.to_string(), "Pattern-X(split-K)");
+        assert!(
+            improved.report.time_ns < plain.report.time_ns,
+            "split-K must pay off: {} vs {}",
+            improved.report.time_ns,
+            plain.report.time_ns
+        );
+    }
+
+    #[test]
+    fn split_k_stays_off_when_the_grid_already_fills_the_machine() {
+        let (_, split) = compilers();
+        let op = Operator::gemm(GemmShape::new(4096, 4096, 1024));
+        let run = split.run(&op);
+        assert_eq!(run.program.split_k, 1, "no reason to split a full grid");
+    }
+
+    #[test]
+    fn split_k_programs_stay_functionally_correct() {
+        use crate::exec::execute_gemm;
+        use tensor_ir::{reference_gemm, Tensor};
+        let (_, split) = compilers();
+        let shape = GemmShape::new(48, 40, 3000);
+        let program = split.compile(&Operator::gemm(shape));
+        let a = Tensor::random(&[48, 3000], 81);
+        let b = Tensor::random(&[3000, 40], 82);
+        let got = execute_gemm(&program, &a, &b);
+        let want = reference_gemm(shape, &a, &b);
+        assert!(got.approx_eq(&want, 2e-2), "max diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn reduction_launch_exists_iff_split() {
+        let (base, split) = compilers();
+        let big_k = Operator::gemm(GemmShape::new(64, 64, 100_000));
+        assert!(base.compile(&big_k).reduction_launch().is_none());
+        assert!(split.compile(&big_k).reduction_launch().is_some());
+    }
+}

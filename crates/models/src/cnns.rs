@@ -1,0 +1,433 @@
+//! The TorchVision CNN models of the evaluation (Section 5.1): `alexnet`,
+//! `googlenet`, `resnet18`, `vgg11`. The dynamic dimensions are the batch
+//! size and the input resolution.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::{Conv2dShape, GemmShape, Operator};
+
+use crate::graph::{ModelGraph, ModelOp};
+
+/// One stage of a CNN, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// A convolution producing `out_c` channels with a `k x k` filter.
+    Conv {
+        /// Layer name.
+        name: String,
+        /// Output channels.
+        out_c: usize,
+        /// Filter size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Max pooling (no FLOPs worth optimizing; shrinks the spatial dims).
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Adaptive average pooling to a fixed `out x out` spatial size (what
+    /// lets TorchVision CNNs accept dynamic resolutions with fixed FC
+    /// layers).
+    AdaptivePool {
+        /// Output spatial size.
+        out: usize,
+    },
+    /// A fully-connected layer (`GEMM(batch, out, in)`).
+    Fc {
+        /// Layer name.
+        name: String,
+        /// Output features.
+        out: usize,
+    },
+    /// A convolution running on a *parallel* branch (e.g. a ResNet
+    /// downsample shortcut): emitted as an operator but the main path's
+    /// shape propagation is unaffected.
+    ParallelConv {
+        /// Layer name.
+        name: String,
+        /// Output channels.
+        out_c: usize,
+        /// Filter size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// A GoogLeNet inception module: four parallel branches on the same
+    /// input, concatenated along channels.
+    Inception {
+        /// Module name (e.g. `"3a"`).
+        name: String,
+        /// 1x1 branch channels.
+        c1: usize,
+        /// 3x3 branch: reduce channels then output channels.
+        c2: (usize, usize),
+        /// second 3x3 branch: reduce channels then output channels.
+        c3: (usize, usize),
+        /// pool-projection branch channels.
+        c4: usize,
+    },
+}
+
+/// A CNN model: an input-channel count plus an ordered layer list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Model name.
+    pub name: String,
+    /// Input channels (3 for RGB).
+    pub input_channels: usize,
+    /// The layers.
+    pub layers: Vec<Layer>,
+}
+
+fn conv(name: &str, out_c: usize, k: usize, stride: usize, pad: usize) -> Layer {
+    Layer::Conv {
+        name: name.into(),
+        out_c,
+        k,
+        stride,
+        pad,
+    }
+}
+
+fn pool(k: usize, stride: usize, pad: usize) -> Layer {
+    Layer::MaxPool { k, stride, pad }
+}
+
+fn fc(name: &str, out: usize) -> Layer {
+    Layer::Fc {
+        name: name.into(),
+        out,
+    }
+}
+
+impl CnnConfig {
+    /// TorchVision `alexnet`.
+    pub fn alexnet() -> Self {
+        Self {
+            name: "alexnet".into(),
+            input_channels: 3,
+            layers: vec![
+                conv("features.0", 64, 11, 4, 2),
+                pool(3, 2, 0),
+                conv("features.3", 192, 5, 1, 2),
+                pool(3, 2, 0),
+                conv("features.6", 384, 3, 1, 1),
+                conv("features.8", 256, 3, 1, 1),
+                conv("features.10", 256, 3, 1, 1),
+                pool(3, 2, 0),
+                Layer::AdaptivePool { out: 6 },
+                fc("classifier.1", 4096),
+                fc("classifier.4", 4096),
+                fc("classifier.6", 1000),
+            ],
+        }
+    }
+
+    /// TorchVision `vgg11`.
+    pub fn vgg11() -> Self {
+        let mut layers = Vec::new();
+        let cfg: [(usize, usize); 8] = [
+            (64, 1),
+            (128, 1),
+            (256, 0),
+            (256, 1),
+            (512, 0),
+            (512, 1),
+            (512, 0),
+            (512, 1),
+        ];
+        for (i, &(c, pool_after)) in cfg.iter().enumerate() {
+            layers.push(conv(&format!("features.{i}"), c, 3, 1, 1));
+            if pool_after == 1 {
+                layers.push(pool(2, 2, 0));
+            }
+        }
+        layers.push(Layer::AdaptivePool { out: 7 });
+        layers.push(fc("classifier.0", 4096));
+        layers.push(fc("classifier.3", 4096));
+        layers.push(fc("classifier.6", 1000));
+        Self {
+            name: "vgg11".into(),
+            input_channels: 3,
+            layers,
+        }
+    }
+
+    /// TorchVision `resnet18`.
+    pub fn resnet18() -> Self {
+        let mut layers = vec![conv("conv1", 64, 7, 2, 3), pool(3, 2, 1)];
+        let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
+        for (si, &(c, first_stride)) in stages.iter().enumerate() {
+            for block in 0..2 {
+                let stride = if block == 0 { first_stride } else { 1 };
+                let base = format!("layer{}.{}", si + 1, block);
+                if stride != 1 || (si > 0 && block == 0) {
+                    // The 1x1 shortcut projection runs in parallel with the
+                    // block's main path.
+                    layers.push(Layer::ParallelConv {
+                        name: format!("{base}.downsample"),
+                        out_c: c,
+                        k: 1,
+                        stride,
+                        pad: 0,
+                    });
+                }
+                layers.push(conv(&format!("{base}.conv1"), c, 3, stride, 1));
+                layers.push(conv(&format!("{base}.conv2"), c, 3, 1, 1));
+            }
+        }
+        layers.push(Layer::AdaptivePool { out: 1 });
+        layers.push(fc("fc", 1000));
+        Self {
+            name: "resnet18".into(),
+            input_channels: 3,
+            layers,
+        }
+    }
+
+    /// TorchVision `googlenet` (Inception v1, 3x3 in place of 5x5 as
+    /// TorchVision implements it).
+    pub fn googlenet() -> Self {
+        let inc = |name: &str, c1: usize, c2: (usize, usize), c3: (usize, usize), c4: usize| {
+            Layer::Inception {
+                name: name.into(),
+                c1,
+                c2,
+                c3,
+                c4,
+            }
+        };
+        Self {
+            name: "googlenet".into(),
+            input_channels: 3,
+            layers: vec![
+                conv("conv1", 64, 7, 2, 3),
+                pool(3, 2, 0),
+                conv("conv2", 64, 1, 1, 0),
+                conv("conv3", 192, 3, 1, 1),
+                pool(3, 2, 0),
+                inc("3a", 64, (96, 128), (16, 32), 32),
+                inc("3b", 128, (128, 192), (32, 96), 64),
+                pool(3, 2, 0),
+                inc("4a", 192, (96, 208), (16, 48), 64),
+                inc("4b", 160, (112, 224), (24, 64), 64),
+                inc("4c", 128, (128, 256), (24, 64), 64),
+                inc("4d", 112, (144, 288), (32, 64), 64),
+                inc("4e", 256, (160, 320), (32, 128), 128),
+                pool(2, 2, 0),
+                inc("5a", 256, (160, 320), (32, 128), 128),
+                inc("5b", 384, (192, 384), (48, 128), 128),
+                Layer::AdaptivePool { out: 1 },
+                fc("fc", 1000),
+            ],
+        }
+    }
+
+    /// The four CNNs of Fig. 9 and the NPU end-to-end experiment.
+    pub fn evaluation_set() -> Vec<Self> {
+        vec![
+            Self::alexnet(),
+            Self::googlenet(),
+            Self::resnet18(),
+            Self::vgg11(),
+        ]
+    }
+
+    /// The operator graph of one forward pass at `(batch, resolution)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `resolution` is too small for the
+    /// model's stem (< 32 pixels).
+    pub fn graph(&self, batch: usize, resolution: usize) -> ModelGraph {
+        assert!(batch > 0, "batch must be positive");
+        assert!(resolution >= 32, "resolution must be at least 32 pixels");
+        let mut ops = Vec::new();
+        let mut c = self.input_channels;
+        let (mut h, mut w) = (resolution, resolution);
+        let mut stage = 0usize;
+        let spatial = |h: usize, k: usize, s: usize, p: usize| (h + 2 * p - k) / s + 1;
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv { name, out_c, k, stride, pad } => {
+                    let shape =
+                        Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
+                    ops.push(
+                        ModelOp::new(name.clone(), Operator::conv2d(shape), 1).with_stage(stage),
+                    );
+                    stage += 1;
+                    h = spatial(h, *k, *stride, *pad);
+                    w = spatial(w, *k, *stride, *pad);
+                    c = *out_c;
+                }
+                Layer::ParallelConv { name, out_c, k, stride, pad } => {
+                    // Runs concurrently with the *next* layer (the block's
+                    // main path).
+                    let shape =
+                        Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
+                    ops.push(
+                        ModelOp::new(name.clone(), Operator::conv2d(shape), 1).with_stage(stage),
+                    );
+                }
+                Layer::MaxPool { k, stride, pad } => {
+                    h = spatial(h, *k, *stride, *pad);
+                    w = spatial(w, *k, *stride, *pad);
+                }
+                Layer::AdaptivePool { out } => {
+                    h = *out;
+                    w = *out;
+                }
+                Layer::Fc { name, out } => {
+                    let shape = GemmShape::new(batch, *out, c * h * w);
+                    ops.push(
+                        ModelOp::new(name.clone(), Operator::gemm(shape), 1).with_stage(stage),
+                    );
+                    stage += 1;
+                    c = *out;
+                    h = 1;
+                    w = 1;
+                }
+                Layer::Inception { name, c1, c2, c3, c4 } => {
+                    // Branch heads (1x1 reduces and projections) are
+                    // mutually independent; the branch tails (3x3 convs)
+                    // depend only on their own reduce.
+                    let head = stage;
+                    let tail = stage + 1;
+                    stage += 2;
+                    let mut branch =
+                        |suffix: &str, out_c: usize, k: usize, in_c: usize, st: usize| {
+                            let shape =
+                                Conv2dShape::new(batch, in_c, h, w, out_c, k, k, 1, k / 2);
+                            ops.push(
+                                ModelOp::new(
+                                    format!("inception{name}.{suffix}"),
+                                    Operator::conv2d(shape),
+                                    1,
+                                )
+                                .with_stage(st),
+                            );
+                        };
+                    branch("b1", *c1, 1, c, head);
+                    branch("b2.reduce", c2.0, 1, c, head);
+                    branch("b2.conv", c2.1, 3, c2.0, tail);
+                    branch("b3.reduce", c3.0, 1, c, head);
+                    branch("b3.conv", c3.1, 3, c3.0, tail);
+                    branch("b4.proj", *c4, 1, c, head);
+                    c = c1 + c2.1 + c3.1 + c4;
+                }
+            }
+        }
+        ModelGraph::new(format!("{}@b{}r{}", self.name, batch, resolution), ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_has_20_convs_and_a_fc() {
+        let g = CnnConfig::resnet18().graph(1, 224);
+        let convs = g.ops.iter().filter(|o| o.operator.kind() == "conv2d").count();
+        let fcs = g.ops.iter().filter(|o| o.operator.kind() == "gemm").count();
+        // 1 stem + 16 block convs + 3 downsamples = 20.
+        assert_eq!(convs, 20);
+        assert_eq!(fcs, 1);
+    }
+
+    #[test]
+    fn resnet18_stem_output_is_112() {
+        let g = CnnConfig::resnet18().graph(1, 224);
+        match g.ops[0].operator {
+            tensor_ir::Operator::Conv2d { shape, .. } => {
+                assert_eq!(shape.out_h(), 112);
+            }
+            _ => panic!("stem must be a conv"),
+        }
+    }
+
+    #[test]
+    fn alexnet_fc_sizes_match_torchvision() {
+        let g = CnnConfig::alexnet().graph(4, 224);
+        let fc1 = g.ops.iter().find(|o| o.name == "classifier.1").expect("fc1");
+        assert_eq!(
+            fc1.operator,
+            Operator::gemm(GemmShape::new(4, 4096, 256 * 6 * 6))
+        );
+    }
+
+    #[test]
+    fn googlenet_channel_concat_propagates() {
+        let g = CnnConfig::googlenet().graph(1, 224);
+        // inception3a outputs 64+128+32+32 = 256 channels; 3b's 1x1 branch
+        // must consume 256.
+        let b1_3b = g
+            .ops
+            .iter()
+            .find(|o| o.name == "inception3b.b1")
+            .expect("3b.b1");
+        match b1_3b.operator {
+            tensor_ir::Operator::Conv2d { shape, .. } => assert_eq!(shape.in_channels, 256),
+            _ => panic!("branch must be conv"),
+        }
+    }
+
+    #[test]
+    fn vgg_flops_grow_quadratically_with_resolution() {
+        let m = CnnConfig::vgg11();
+        let lo = m.graph(1, 64).total_flops();
+        let hi = m.graph(1, 128).total_flops();
+        let ratio = hi / lo;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn all_models_accept_the_fig9_sweep_corners() {
+        for m in CnnConfig::evaluation_set() {
+            for &(b, r) in &[(1usize, 64usize), (128, 640)] {
+                let g = m.graph(b, r);
+                assert!(g.total_flops() > 0.0, "{} at ({b},{r})", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn inception_branches_share_stages() {
+        let g = CnnConfig::googlenet().graph(1, 224);
+        let heads: Vec<&crate::graph::ModelOp> = g
+            .ops
+            .iter()
+            .filter(|o| o.name.starts_with("inception3a") && !o.name.ends_with(".conv"))
+            .collect();
+        assert_eq!(heads.len(), 4);
+        assert!(heads.windows(2).all(|w| w[0].stage == w[1].stage));
+        let tail = g.ops.iter().find(|o| o.name == "inception3a.b2.conv").expect("tail");
+        assert_eq!(tail.stage, heads[0].stage + 1);
+    }
+
+    #[test]
+    fn resnet_downsample_shares_stage_with_main_path() {
+        let g = CnnConfig::resnet18().graph(1, 224);
+        let down = g.ops.iter().find(|o| o.name == "layer2.0.downsample").expect("down");
+        let conv1 = g.ops.iter().find(|o| o.name == "layer2.0.conv1").expect("conv1");
+        assert_eq!(down.stage, conv1.stage);
+    }
+
+    #[test]
+    fn batch_scales_flops_linearly() {
+        let m = CnnConfig::resnet18();
+        let one = m.graph(1, 224).total_flops();
+        let eight = m.graph(8, 224).total_flops();
+        assert!((eight / one - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Model graphs as operator lists.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::Operator;
+
+/// One operator occurrence in a model, with a multiplicity (identical
+/// layers repeat; inference runtimes compile the shape once and reuse it —
+/// exactly what MikPoly's program cache exploits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOp {
+    /// Layer name, e.g. `"encoder.ffn_up"`.
+    pub name: String,
+    /// The tensor operator.
+    pub operator: Operator,
+    /// How many times this exact operator executes in one forward pass.
+    pub count: usize,
+    /// Dataflow stage: operators sharing a stage have no dependencies on
+    /// each other (parallel branches of the graph) and may be co-launched.
+    #[serde(default)]
+    pub stage: usize,
+}
+
+impl ModelOp {
+    /// Creates an operator occurrence (stage 0).
+    pub fn new(name: impl Into<String>, operator: Operator, count: usize) -> Self {
+        assert!(count > 0, "an operator must occur at least once");
+        Self {
+            name: name.into(),
+            operator,
+            count,
+            stage: 0,
+        }
+    }
+
+    /// Sets the dataflow stage (builder style).
+    #[must_use]
+    pub fn with_stage(mut self, stage: usize) -> Self {
+        self.stage = stage;
+        self
+    }
+}
+
+/// A model instantiated at a concrete dynamic configuration (sequence
+/// length / batch / resolution): the ordered multiset of tensor operators
+/// one forward pass executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name, e.g. `"bert-base-uncased"`.
+    pub name: String,
+    /// The operators of one forward pass.
+    pub ops: Vec<ModelOp>,
+}
+
+impl ModelGraph {
+    /// Creates a graph.
+    pub fn new(name: impl Into<String>, ops: Vec<ModelOp>) -> Self {
+        Self {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Total floating-point work of one forward pass.
+    pub fn total_flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| o.operator.flops() * o.count as f64)
+            .sum()
+    }
+
+    /// Total operator executions (counting multiplicity).
+    pub fn num_executions(&self) -> usize {
+        self.ops.iter().map(|o| o.count).sum()
+    }
+
+    /// Operators grouped by dataflow stage, in stage order. Each group's
+    /// members are mutually independent.
+    pub fn stages(&self) -> Vec<Vec<&ModelOp>> {
+        let mut stages: std::collections::BTreeMap<usize, Vec<&ModelOp>> = Default::default();
+        for op in &self.ops {
+            stages.entry(op.stage).or_default().push(op);
+        }
+        stages.into_values().collect()
+    }
+
+    /// Number of *distinct* operator shapes (what a compiler actually has
+    /// to compile).
+    pub fn num_unique_shapes(&self) -> usize {
+        let mut ops: Vec<&Operator> = self.ops.iter().map(|o| &o.operator).collect();
+        ops.sort_by_key(|o| format!("{o}"));
+        ops.dedup_by_key(|o| format!("{o}"));
+        ops.len()
+    }
+}
+
+impl std::fmt::Display for ModelGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} ops ({} unique shapes, {:.2} GFLOPs)",
+            self.name,
+            self.num_executions(),
+            self.num_unique_shapes(),
+            self.total_flops() / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    #[test]
+    fn flops_respect_multiplicity() {
+        let op = Operator::gemm(GemmShape::new(8, 8, 8));
+        let g = ModelGraph::new("toy", vec![ModelOp::new("l", op, 3)]);
+        assert_eq!(g.total_flops(), 3.0 * op.flops());
+        assert_eq!(g.num_executions(), 3);
+        assert_eq!(g.num_unique_shapes(), 1);
+    }
+
+    #[test]
+    fn unique_shapes_deduplicate() {
+        let a = Operator::gemm(GemmShape::new(8, 8, 8));
+        let b = Operator::gemm(GemmShape::new(16, 8, 8));
+        let g = ModelGraph::new(
+            "toy",
+            vec![
+                ModelOp::new("x", a, 1),
+                ModelOp::new("y", a, 1),
+                ModelOp::new("z", b, 1),
+            ],
+        );
+        assert_eq!(g.num_unique_shapes(), 2);
+        assert_eq!(g.num_executions(), 3);
+    }
+
+    #[test]
+    fn stages_group_independent_ops() {
+        let a = Operator::gemm(GemmShape::new(8, 8, 8));
+        let g = ModelGraph::new(
+            "toy",
+            vec![
+                ModelOp::new("x", a, 1).with_stage(0),
+                ModelOp::new("y", a, 1).with_stage(1),
+                ModelOp::new("z", a, 1).with_stage(1),
+            ],
+        );
+        let stages = g.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_count_rejected() {
+        let _ = ModelOp::new("l", Operator::gemm(GemmShape::new(1, 1, 1)), 0);
+    }
+}

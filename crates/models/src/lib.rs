@@ -1,0 +1,42 @@
+//! # mikpoly-models — the dynamic-shape model zoo
+//!
+//! Operator-graph definitions of every neural network in the MikPoly
+//! evaluation, parameterized by their dynamic dimensions:
+//!
+//! * [`TransformerConfig`] — BERT, DistilBERT, RoBERTa, ALBERT (dynamic
+//!   sequence length; Fig. 8, Table 5);
+//! * [`CnnConfig`] — AlexNet, GoogLeNet, ResNet-18, VGG-11 (dynamic batch
+//!   and resolution; Fig. 9 and the NPU end-to-end experiment);
+//! * [`LlamaConfig`] — Llama2-13b under tensor parallelism (dynamic token
+//!   count; Table 8, Fig. 11);
+//! * [`VitConfig`] — a Vision Transformer (extension model: dynamic
+//!   resolution turning into dynamic sequence length).
+//!
+//! A [`ModelGraph`] is just the ordered multiset of [`tensor_ir::Operator`]s
+//! one forward pass executes — the representation an inference runtime hands
+//! to an operator backend.
+//!
+//! # Example
+//!
+//! ```
+//! use mikpoly_models::TransformerConfig;
+//!
+//! let bert = TransformerConfig::bert_base();
+//! let graph = bert.graph(1, 384); // sequence length known at runtime
+//! assert_eq!(graph.num_unique_shapes(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnns;
+mod graph;
+mod llama;
+mod transformers;
+mod vit;
+
+pub use cnns::{CnnConfig, Layer};
+pub use graph::{ModelGraph, ModelOp};
+pub use llama::LlamaConfig;
+pub use transformers::TransformerConfig;
+pub use vit::VitConfig;

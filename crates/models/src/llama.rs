@@ -1,0 +1,210 @@
+//! Llama2-13b under tensor parallelism (Section 5.2.4).
+//!
+//! The paper shards Llama2-13b across four A100s (TP = 4) and evaluates the
+//! four per-rank GEMMs of Table 8 — `qkv_proj`, `o_proj`, `ffn up`,
+//! `ffn down` — plus end-to-end generation with input lengths `2^0..2^9`,
+//! batch sizes `2^0..2^3` and 512 output tokens (Fig. 11). The dynamic
+//! GEMM dimension is the number of tokens in flight.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::{GemmShape, Operator};
+
+use crate::graph::{ModelGraph, ModelOp};
+
+/// Llama2-13b configuration with a tensor-parallel degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlamaConfig {
+    /// Decoder layers.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward intermediate dimension.
+    pub intermediate: usize,
+    /// Tensor-parallel degree (GEMM weight dims are sharded by this).
+    pub tensor_parallel: usize,
+}
+
+impl LlamaConfig {
+    /// Llama2-13b: 40 layers, hidden 5120, 40 heads, FFN 13824 — under
+    /// TP = 4, matching Table 8's per-rank weight dimensions (3840 / 5120 /
+    /// 3456 / 5120).
+    pub fn llama2_13b_tp4() -> Self {
+        Self {
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            intermediate: 13824,
+            tensor_parallel: 4,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// The four projection GEMMs of Table 8 for `tokens` tokens in flight.
+    /// The paper writes them with the weight dimension first
+    /// (`M = 3840, N* = tokens`); we use the equivalent
+    /// `M = tokens` orientation.
+    pub fn projection_ops(&self, tokens: usize) -> Vec<ModelOp> {
+        assert!(tokens > 0, "at least one token must be in flight");
+        let tp = self.tensor_parallel;
+        let h = self.hidden;
+        vec![
+            ModelOp::new(
+                "qkv_proj",
+                Operator::gemm(GemmShape::new(tokens, 3 * h / tp, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "o_proj",
+                Operator::gemm(GemmShape::new(tokens, h, h / tp)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "ffn_up",
+                Operator::gemm(GemmShape::new(tokens, self.intermediate / tp, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "ffn_down",
+                Operator::gemm(GemmShape::new(tokens, h, self.intermediate / tp)),
+                self.layers,
+            ),
+        ]
+    }
+
+    /// Attention GEMMs for `batch` sequences attending over a KV cache of
+    /// `cache_len` entries with `q_len` query tokens per sequence, sharded
+    /// over TP ranks. Cache lengths are padded to 64-entry blocks (paged
+    /// KV-cache granularity), which keeps the number of distinct shapes —
+    /// and hence online compilations — small.
+    pub fn attention_ops(&self, batch: usize, q_len: usize, cache_len: usize) -> Vec<ModelOp> {
+        let heads_per_rank = self.heads / self.tensor_parallel;
+        let d = self.head_dim();
+        let padded = cache_len.div_ceil(64) * 64;
+        vec![
+            ModelOp::new(
+                "attn.scores",
+                Operator::batched_gemm(batch * heads_per_rank, GemmShape::new(q_len, padded, d)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "attn.context",
+                Operator::batched_gemm(batch * heads_per_rank, GemmShape::new(q_len, d, padded)),
+                self.layers,
+            ),
+        ]
+    }
+
+    /// The prefill pass over `seq_len` input tokens.
+    pub fn prefill_graph(&self, batch: usize, seq_len: usize) -> ModelGraph {
+        let mut ops = self.projection_ops(batch * seq_len);
+        ops.extend(self.attention_ops(batch, seq_len, seq_len));
+        ModelGraph::new(format!("llama2-13b.prefill@b{batch}s{seq_len}"), ops)
+    }
+
+    /// One decode step with `cache_len` cached tokens: one query token per
+    /// sequence.
+    pub fn decode_step_graph(&self, batch: usize, cache_len: usize) -> ModelGraph {
+        let mut ops = self.projection_ops(batch);
+        ops.extend(self.attention_ops(batch, 1, cache_len));
+        ModelGraph::new(format!("llama2-13b.decode@b{batch}c{cache_len}"), ops)
+    }
+
+    /// The full generation workload of Fig. 11: prefill over `seq_in`
+    /// tokens, then `seq_out` decode steps. Returns the per-step graphs;
+    /// decode steps with the same padded cache length share a graph with
+    /// multiplicity (the program-cache-friendly structure in-flight
+    /// batching produces).
+    pub fn generation_graphs(&self, batch: usize, seq_in: usize, seq_out: usize) -> Vec<ModelGraph> {
+        let mut graphs = vec![self.prefill_graph(batch, seq_in)];
+        // Group decode steps by padded cache length.
+        let mut step = 0usize;
+        while step < seq_out {
+            let cache = seq_in + step;
+            let padded = cache.div_ceil(64) * 64;
+            // All steps until the cache grows past this 64-block run the
+            // same shapes.
+            let steps_in_block = (padded - cache + 1).min(seq_out - step);
+            let mut g = self.decode_step_graph(batch, cache);
+            for op in &mut g.ops {
+                op.count *= steps_in_block;
+            }
+            graphs.push(g);
+            step += steps_in_block;
+        }
+        graphs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_weight_dimensions() {
+        let cfg = LlamaConfig::llama2_13b_tp4();
+        let ops = cfg.projection_ops(128);
+        let n_of = |name: &str| {
+            ops.iter()
+                .find(|o| o.name == name)
+                .map(|o| match o.operator {
+                    tensor_ir::Operator::Gemm { shape, .. } => (shape.n, shape.k),
+                    _ => panic!("projection must be a GEMM"),
+                })
+                .expect("op exists")
+        };
+        // Table 8: qkv (3840, 5120), o_proj (5120, 1280), ffn up
+        // (3456, 5120), ffn down (5120, 3456).
+        assert_eq!(n_of("qkv_proj"), (3840, 5120));
+        assert_eq!(n_of("o_proj"), (5120, 1280));
+        assert_eq!(n_of("ffn_up"), (3456, 5120));
+        assert_eq!(n_of("ffn_down"), (5120, 3456));
+    }
+
+    #[test]
+    fn decode_step_uses_single_token_rows() {
+        let cfg = LlamaConfig::llama2_13b_tp4();
+        let g = cfg.decode_step_graph(4, 700);
+        match g.ops[0].operator {
+            tensor_ir::Operator::Gemm { shape, .. } => assert_eq!(shape.m, 4),
+            _ => panic!("gemm"),
+        }
+    }
+
+    #[test]
+    fn cache_padding_limits_unique_shapes() {
+        let cfg = LlamaConfig::llama2_13b_tp4();
+        let graphs = cfg.generation_graphs(1, 128, 512);
+        // Prefill + one decode graph per 64-token cache block: 512/64 = 8
+        // blocks (cache 128..640), plus the prefill.
+        assert!(graphs.len() <= 10, "{} graphs", graphs.len());
+        let decode_steps: usize = graphs[1..]
+            .iter()
+            .map(|g| g.ops.first().map_or(0, |o| o.count / cfg.layers))
+            .sum();
+        assert_eq!(decode_steps, 512);
+    }
+
+    #[test]
+    fn attention_is_sharded_over_ranks() {
+        let cfg = LlamaConfig::llama2_13b_tp4();
+        let ops = cfg.attention_ops(2, 1, 64);
+        match ops[0].operator {
+            tensor_ir::Operator::BatchedGemm { batch, .. } => {
+                assert_eq!(batch, 2 * 40 / 4);
+            }
+            _ => panic!("batched gemm"),
+        }
+    }
+
+    #[test]
+    fn head_dim_is_128() {
+        assert_eq!(LlamaConfig::llama2_13b_tp4().head_dim(), 128);
+    }
+}

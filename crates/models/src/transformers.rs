@@ -1,0 +1,188 @@
+//! The HuggingFace language models of the evaluation (Section 5.1):
+//! `bert-base-uncased`, `distilbert-base-uncased`, `roberta-base`,
+//! `albert-xlarge-v2`. The dynamic dimension is the input sequence length.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::{GemmShape, Operator};
+
+use crate::graph::{ModelGraph, ModelOp};
+
+/// An encoder-style transformer configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Model name.
+    pub name: String,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward intermediate dimension.
+    pub intermediate: usize,
+}
+
+impl TransformerConfig {
+    /// `bert-base-uncased`: 12 layers, hidden 768, 12 heads, FFN 3072.
+    pub fn bert_base() -> Self {
+        Self {
+            name: "bert-base-uncased".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+        }
+    }
+
+    /// `distilbert-base-uncased`: 6 layers, hidden 768, 12 heads, FFN 3072.
+    pub fn distilbert() -> Self {
+        Self {
+            name: "distilbert-base-uncased".into(),
+            layers: 6,
+            ..Self::bert_base()
+        }
+    }
+
+    /// `roberta-base`: same encoder geometry as BERT-base.
+    pub fn roberta_base() -> Self {
+        Self {
+            name: "roberta-base".into(),
+            ..Self::bert_base()
+        }
+    }
+
+    /// `albert-xlarge-v2`: 24 layers, hidden 2048, 16 heads, FFN 8192
+    /// (parameters are shared across layers, but every layer still
+    /// executes).
+    pub fn albert_xlarge() -> Self {
+        Self {
+            name: "albert-xlarge-v2".into(),
+            layers: 24,
+            hidden: 2048,
+            heads: 16,
+            intermediate: 8192,
+        }
+    }
+
+    /// The four language models of Figs. 8 and Table 5.
+    pub fn evaluation_set() -> Vec<Self> {
+        vec![
+            Self::bert_base(),
+            Self::distilbert(),
+            Self::roberta_base(),
+            Self::albert_xlarge(),
+        ]
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// The operator graph of one forward pass at `(batch, seq_len)`.
+    ///
+    /// Per encoder layer:
+    /// * fused QKV projection — `GEMM(b·s, 3h, h)`;
+    /// * attention scores — `BatchedGEMM[b·heads](s, s, d)`;
+    /// * attention context — `BatchedGEMM[b·heads](s, d, s)`;
+    /// * attention output — `GEMM(b·s, h, h)`;
+    /// * FFN up / down — `GEMM(b·s, i, h)` and `GEMM(b·s, h, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `seq_len` is zero.
+    pub fn graph(&self, batch: usize, seq_len: usize) -> ModelGraph {
+        assert!(batch > 0 && seq_len > 0, "batch and sequence length must be positive");
+        let m = batch * seq_len;
+        let h = self.hidden;
+        let d = self.head_dim();
+        let ops = vec![
+            ModelOp::new(
+                "attn.qkv_proj",
+                Operator::gemm(GemmShape::new(m, 3 * h, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "attn.scores",
+                Operator::batched_gemm(batch * self.heads, GemmShape::new(seq_len, seq_len, d)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "attn.context",
+                Operator::batched_gemm(batch * self.heads, GemmShape::new(seq_len, d, seq_len)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "attn.out_proj",
+                Operator::gemm(GemmShape::new(m, h, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "ffn.up",
+                Operator::gemm(GemmShape::new(m, self.intermediate, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "ffn.down",
+                Operator::gemm(GemmShape::new(m, h, self.intermediate)),
+                self.layers,
+            ),
+        ];
+        ModelGraph::new(format!("{}@seq{}b{}", self.name, seq_len, batch), ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_flops_scale_with_sequence_length() {
+        let bert = TransformerConfig::bert_base();
+        let short = bert.graph(1, 64).total_flops();
+        let long = bert.graph(1, 512).total_flops();
+        assert!(long > 7.0 * short, "attention grows superlinearly");
+    }
+
+    #[test]
+    fn bert_base_has_12x6_gemms() {
+        let g = TransformerConfig::bert_base().graph(1, 128);
+        assert_eq!(g.num_executions(), 12 * 6);
+        assert_eq!(g.num_unique_shapes(), 6);
+    }
+
+    #[test]
+    fn distilbert_is_half_of_bert() {
+        let b = TransformerConfig::bert_base().graph(1, 128);
+        let d = TransformerConfig::distilbert().graph(1, 128);
+        assert!((b.total_flops() / d.total_flops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn albert_is_bigger_per_layer() {
+        let a = TransformerConfig::albert_xlarge();
+        assert_eq!(a.head_dim(), 128);
+        assert!(a.graph(1, 128).total_flops() > TransformerConfig::bert_base().graph(1, 128).total_flops());
+    }
+
+    #[test]
+    fn qkv_projection_matches_known_shape() {
+        // BERT at seq 128: qkv is (128, 2304, 768).
+        let g = TransformerConfig::bert_base().graph(1, 128);
+        let qkv = &g.ops[0];
+        assert_eq!(
+            qkv.operator,
+            Operator::gemm(GemmShape::new(128, 2304, 768))
+        );
+    }
+
+    #[test]
+    fn evaluation_set_has_four_models() {
+        let set = TransformerConfig::evaluation_set();
+        assert_eq!(set.len(), 4);
+        let names: Vec<&str> = set.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"bert-base-uncased"));
+        assert!(names.contains(&"albert-xlarge-v2"));
+    }
+}

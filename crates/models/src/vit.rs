@@ -1,0 +1,166 @@
+//! Vision Transformer (extension model): the two dynamic dimensions of the
+//! paper's CNN experiments — batch and image resolution — flow into a
+//! *transformer*, where resolution becomes token count. A good stress test
+//! for a dynamic-shape compiler because one knob (resolution) changes every
+//! GEMM in the network nonlinearly.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::{Conv2dShape, GemmShape, Operator};
+
+use crate::graph::{ModelGraph, ModelOp};
+
+/// A ViT-style encoder configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VitConfig {
+    /// Model name.
+    pub name: String,
+    /// Patch size (square).
+    pub patch: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Classification classes.
+    pub classes: usize,
+}
+
+impl VitConfig {
+    /// `vit-base-patch16`: 12 layers, hidden 768, 12 heads, MLP 3072.
+    pub fn vit_b16() -> Self {
+        Self {
+            name: "vit-base-patch16".into(),
+            patch: 16,
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            classes: 1000,
+        }
+    }
+
+    /// Token count at a resolution: one per patch plus the class token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is not a positive multiple of the patch
+    /// size.
+    pub fn tokens(&self, resolution: usize) -> usize {
+        assert!(
+            resolution > 0 && resolution % self.patch == 0,
+            "resolution {resolution} must be a positive multiple of the {} patch",
+            self.patch
+        );
+        (resolution / self.patch).pow(2) + 1
+    }
+
+    /// The operator graph of one forward pass at `(batch, resolution)`.
+    ///
+    /// The patch embedding is a `patch x patch` stride-`patch` convolution;
+    /// the encoder layers are the standard six GEMMs per layer; the head is
+    /// one classifier GEMM.
+    pub fn graph(&self, batch: usize, resolution: usize) -> ModelGraph {
+        assert!(batch > 0, "batch must be positive");
+        let seq = self.tokens(resolution);
+        let m = batch * seq;
+        let h = self.hidden;
+        let d = h / self.heads;
+        let embed = Conv2dShape::new(
+            batch,
+            3,
+            resolution,
+            resolution,
+            h,
+            self.patch,
+            self.patch,
+            self.patch,
+            0,
+        );
+        let mut ops = vec![ModelOp::new("patch_embed", Operator::conv2d(embed), 1)];
+        ops.extend([
+            ModelOp::new(
+                "encoder.qkv_proj",
+                Operator::gemm(GemmShape::new(m, 3 * h, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "encoder.attn.scores",
+                Operator::batched_gemm(batch * self.heads, GemmShape::new(seq, seq, d)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "encoder.attn.context",
+                Operator::batched_gemm(batch * self.heads, GemmShape::new(seq, d, seq)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "encoder.out_proj",
+                Operator::gemm(GemmShape::new(m, h, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "encoder.mlp.up",
+                Operator::gemm(GemmShape::new(m, self.intermediate, h)),
+                self.layers,
+            ),
+            ModelOp::new(
+                "encoder.mlp.down",
+                Operator::gemm(GemmShape::new(m, h, self.intermediate)),
+                self.layers,
+            ),
+            ModelOp::new("head", Operator::gemm(GemmShape::new(batch, self.classes, h)), 1),
+        ]);
+        ModelGraph::new(format!("{}@b{}r{}", self.name, batch, resolution), ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_count_follows_resolution() {
+        let v = VitConfig::vit_b16();
+        assert_eq!(v.tokens(224), 14 * 14 + 1);
+        assert_eq!(v.tokens(384), 24 * 24 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 16 patch")]
+    fn non_multiple_resolution_rejected() {
+        let _ = VitConfig::vit_b16().tokens(100);
+    }
+
+    #[test]
+    fn flops_grow_superlinearly_with_resolution() {
+        let v = VitConfig::vit_b16();
+        let lo = v.graph(1, 224).total_flops();
+        let hi = v.graph(1, 448).total_flops();
+        // Tokens x4 and attention x16.
+        assert!(hi / lo > 4.0, "ratio = {}", hi / lo);
+    }
+
+    #[test]
+    fn vit_b16_flops_match_public_numbers() {
+        // ViT-B/16 at 224: ~35 GFLOPs (17.6 GMACs).
+        let gflops = VitConfig::vit_b16().graph(1, 224).total_flops() / 1e9;
+        assert!((25.0..45.0).contains(&gflops), "vit-b16@224 = {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn patch_embed_is_a_stride_patch_conv() {
+        let g = VitConfig::vit_b16().graph(2, 224);
+        match g.ops[0].operator {
+            Operator::Conv2d { shape, .. } => {
+                assert_eq!(shape.stride, 16);
+                assert_eq!(shape.out_h(), 14);
+                assert_eq!(shape.out_channels, 768);
+            }
+            _ => panic!("patch embed must be a conv"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Element data types.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of operator inputs/outputs.
+///
+/// The paper's evaluation runs fp16 inputs with fp32 accumulation on both
+/// platforms; the other types exist so shape suites and cost accounting can
+/// express mixed-precision workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// IEEE 754 half precision.
+    #[default]
+    F16,
+    /// bfloat16.
+    Bf16,
+    /// IEEE 754 single precision.
+    F32,
+    /// 8-bit signed integer.
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            DType::F16 | DType::Bf16 => 2,
+            DType::F32 => 4,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Accumulator type conventionally paired with this input type.
+    pub const fn accumulator(self) -> DType {
+        match self {
+            DType::F16 | DType::Bf16 | DType::F32 => DType::F32,
+            DType::I8 => DType::F32,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::Bf16 => "bf16",
+            DType::F32 => "f32",
+            DType::I8 => "i8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DType::F16.bytes(), 2);
+        assert_eq!(DType::Bf16.bytes(), 2);
+        assert_eq!(DType::F32.bytes(), 4);
+        assert_eq!(DType::I8.bytes(), 1);
+    }
+
+    #[test]
+    fn accumulators_are_wide() {
+        for d in [DType::F16, DType::Bf16, DType::F32, DType::I8] {
+            assert!(d.accumulator().bytes() >= d.bytes().min(4));
+        }
+    }
+
+    #[test]
+    fn display_round_trips_names() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::I8.to_string(), "i8");
+    }
+}

@@ -1,0 +1,134 @@
+//! The im2col lowering used by implicit-GEMM convolution.
+
+use crate::shape::Conv2dShape;
+use crate::tensor::Tensor;
+
+/// Expands an NCHW input into the `[M, K] = [batch * out_h * out_w,
+/// in_channels * kernel_h * kernel_w]` matrix of the implicit-GEMM view,
+/// with zero padding materialized.
+///
+/// Multiplying the result by the `[K, N]` reshaped OIHW filter (transposed
+/// to IHW-major rows) reproduces [`crate::reference_conv2d`], which is how
+/// the MikPoly reproduction routes convolutions through the GEMM
+/// polymerizer — matching the paper's GEMM-based convolution path.
+///
+/// # Panics
+///
+/// Panics if `input` does not match `shape`.
+pub fn im2col(shape: Conv2dShape, input: &Tensor) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[shape.batch, shape.in_channels, shape.height, shape.width],
+        "input must be NCHW and match the shape"
+    );
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let m = shape.batch * oh * ow;
+    let k = shape.in_channels * shape.kernel_h * shape.kernel_w;
+    let mut out = Tensor::zeros(&[m, k]);
+    let istride_c = shape.height * shape.width;
+    let istride_n = shape.in_channels * istride_c;
+    let in_data = input.as_slice();
+    for n in 0..shape.batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (n * oh + oy) * ow + ox;
+                for ic in 0..shape.in_channels {
+                    for ky in 0..shape.kernel_h {
+                        let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
+                        for kx in 0..shape.kernel_w {
+                            let ix = (ox * shape.stride + kx) as isize - shape.padding as isize;
+                            let col = (ic * shape.kernel_h + ky) * shape.kernel_w + kx;
+                            let v = if iy < 0
+                                || iy >= shape.height as isize
+                                || ix < 0
+                                || ix >= shape.width as isize
+                            {
+                                0.0
+                            } else {
+                                in_data[n * istride_n
+                                    + ic * istride_c
+                                    + iy as usize * shape.width
+                                    + ix as usize]
+                            };
+                            *out.at2_mut(row, col) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reshapes an OIHW filter into the `[K, N]` operand of the implicit-GEMM
+/// view (rows ordered to match [`im2col`] columns).
+///
+/// # Panics
+///
+/// Panics if `filter` does not match `shape`.
+pub fn filter_as_matrix(shape: Conv2dShape, filter: &Tensor) -> Tensor {
+    assert_eq!(
+        filter.dims(),
+        &[shape.out_channels, shape.in_channels, shape.kernel_h, shape.kernel_w],
+        "filter must be OIHW and match the shape"
+    );
+    let k = shape.in_channels * shape.kernel_h * shape.kernel_w;
+    let n = shape.out_channels;
+    let f = filter.as_slice();
+    Tensor::from_fn(&[k, n], |i| {
+        let (row, col) = (i / n, i % n);
+        f[col * k + row]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::{reference_conv2d, reference_gemm};
+
+    #[test]
+    fn im2col_gemm_matches_direct_conv() {
+        let shape = Conv2dShape::new(2, 3, 6, 5, 4, 3, 3, 1, 1);
+        let input = Tensor::random(&[2, 3, 6, 5], 11);
+        let filter = Tensor::random(&[4, 3, 3, 3], 12);
+
+        let direct = reference_conv2d(shape, &input, &filter);
+
+        let a = im2col(shape, &input);
+        let b = filter_as_matrix(shape, &filter);
+        let g = shape.as_gemm();
+        let c = reference_gemm(g, &a, &b);
+
+        // direct is [N, OC, OH, OW]; c is [N*OH*OW, OC].
+        let (oh, ow) = (shape.out_h(), shape.out_w());
+        for n in 0..shape.batch {
+            for oc in 0..shape.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let d = direct.as_slice()
+                            [((n * shape.out_channels + oc) * oh + oy) * ow + ox];
+                        let v = c.at2((n * oh + oy) * ow + ox, oc);
+                        assert!((d - v).abs() < 1e-4, "mismatch at {n},{oc},{oy},{ox}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_dims_match_gemm_view() {
+        let shape = Conv2dShape::square(3, 8, 16, 12, 3, 2);
+        let input = Tensor::random(&[3, 8, 16, 16], 1);
+        let a = im2col(shape, &input);
+        let g = shape.as_gemm();
+        assert_eq!(a.dims(), &[g.m, g.k]);
+    }
+
+    #[test]
+    fn strided_im2col_skips_rows() {
+        let s1 = Conv2dShape::new(1, 1, 8, 8, 1, 3, 3, 1, 0);
+        let s2 = Conv2dShape::new(1, 1, 8, 8, 1, 3, 3, 2, 0);
+        let input = Tensor::random(&[1, 1, 8, 8], 5);
+        assert!(im2col(s1, &input).dims()[0] > im2col(s2, &input).dims()[0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tensor-ir — shapes, operators, templates and reference semantics
+//!
+//! The tensor-level substrate of the MikPoly reproduction:
+//!
+//! * [`DType`], [`GemmShape`], [`Conv2dShape`] — the operator shapes the
+//!   paper's evaluation sweeps (Tables 3/4, dynamic dimensions marked `*`);
+//! * [`Operator`] — a dynamic-shape tensor operator; convolution lowers to
+//!   implicit GEMM (im2col), as in the paper's implementation;
+//! * [`template`] — the two-stage program template `Q = Q_online ∘
+//!   Q_offline` of Fig. 3, with the innermost offline loops forming the
+//!   micro-kernel template `K̃`;
+//! * [`Tensor`] plus [`reference_gemm`] / [`reference_conv2d`] — executable
+//!   reference semantics used to functionally verify every polymerized
+//!   program the compiler emits.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor_ir::{GemmShape, Operator};
+//!
+//! let op = Operator::gemm(GemmShape::new(4096, 1024, 4096));
+//! assert_eq!(op.flops(), 2.0 * 4096.0 * 1024.0 * 4096.0);
+//! assert_eq!(op.gemm_view().shape, GemmShape::new(4096, 1024, 4096));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtype;
+mod im2col;
+mod operator;
+mod shape;
+pub mod template;
+mod tensor;
+mod winograd;
+
+pub use dtype::DType;
+pub use im2col::{filter_as_matrix, im2col};
+pub use operator::{GemmView, Operator};
+pub use shape::{Conv2dShape, GemmShape};
+pub use tensor::{reference_conv2d, reference_gemm, Tensor};
+pub use winograd::{winograd_applicable, winograd_conv2d, winograd_gemm_shape};

@@ -1,0 +1,311 @@
+//! Dense tensors and reference operator semantics.
+//!
+//! The simulator provides timing; this module provides *values*. Every
+//! polymerized program is functionally executed against these reference
+//! implementations in the test suite, so a compilation bug that mis-covers
+//! the output space (overlapping regions, missed remainder rows, bad
+//! padding) is caught as a numeric mismatch, not just a timing artifact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::{Conv2dShape, GemmShape};
+
+/// A dense row-major f32 tensor.
+///
+/// All functional verification happens in f32 regardless of the modeled
+/// device dtype: the reproduction checks *coverage and indexing* of
+/// polymerized programs, not numerics of reduced-precision hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero extent.
+    pub fn zeros(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "tensor must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "tensor extents must be positive");
+        Self {
+            dims: dims.to_vec(),
+            data: vec![0.0; dims.iter().product()],
+        }
+    }
+
+    /// A tensor filled by `f(flat_index)`.
+    pub fn from_fn(dims: &[usize], f: impl Fn(usize) -> f32) -> Self {
+        let mut t = Self::zeros(dims);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = f(i);
+        }
+        t
+    }
+
+    /// A deterministic pseudo-random tensor in `[-1, 1]`, keyed by `seed`.
+    pub fn random(dims: &[usize], seed: u64) -> Self {
+        Self::from_fn(dims, |i| {
+            // SplitMix64-based uniform; self-contained so tensor-ir does not
+            // depend on a RNG crate.
+            let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            ((x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+    }
+
+    /// The tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor for a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the indices are out of bounds.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.dims.len(), 2, "at2 requires a 2-D tensor");
+        assert!(i < self.dims[0] && j < self.dims[1], "index out of bounds");
+        self.data[i * self.dims[1] + j]
+    }
+
+    /// Mutable element accessor for a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the indices are out of bounds.
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        assert_eq!(self.dims.len(), 2, "at2_mut requires a 2-D tensor");
+        assert!(i < self.dims[0] && j < self.dims[1], "index out of bounds");
+        &mut self.data[i * self.dims[1] + j]
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.dims, other.dims, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Whether all elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.dims == other.dims && self.max_abs_diff(other) <= tol
+    }
+}
+
+/// Reference GEMM: `C[M,N] = A[M,K] * B[K,N]`.
+///
+/// # Panics
+///
+/// Panics if operand dimensions do not match `shape`.
+pub fn reference_gemm(shape: GemmShape, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), &[shape.m, shape.k], "A must be M x K");
+    assert_eq!(b.dims(), &[shape.k, shape.n], "B must be K x N");
+    let mut c = Tensor::zeros(&[shape.m, shape.n]);
+    let (bk, bn) = (shape.k, shape.n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+    for i in 0..shape.m {
+        for p in 0..bk {
+            let aval = a_data[i * bk + p];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b_data[p * bn..(p + 1) * bn];
+            let crow = &mut c_data[i * bn..(i + 1) * bn];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aval * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Reference 2-D convolution in NCHW / OIHW layout, returning NCHW output.
+///
+/// # Panics
+///
+/// Panics if `input` is not `[batch, in_channels, height, width]` or
+/// `filter` is not `[out_channels, in_channels, kernel_h, kernel_w]`.
+pub fn reference_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> Tensor {
+    assert_eq!(
+        input.dims(),
+        &[shape.batch, shape.in_channels, shape.height, shape.width],
+        "input must be NCHW"
+    );
+    assert_eq!(
+        filter.dims(),
+        &[shape.out_channels, shape.in_channels, shape.kernel_h, shape.kernel_w],
+        "filter must be OIHW"
+    );
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Tensor::zeros(&[shape.batch, shape.out_channels, oh, ow]);
+    let istride_c = shape.height * shape.width;
+    let istride_n = shape.in_channels * istride_c;
+    let fstride_i = shape.kernel_h * shape.kernel_w;
+    let fstride_o = shape.in_channels * fstride_i;
+    let in_data = input.as_slice();
+    let f_data = filter.as_slice();
+    let out_data = out.as_mut_slice();
+    for n in 0..shape.batch {
+        for oc in 0..shape.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..shape.in_channels {
+                        for ky in 0..shape.kernel_h {
+                            let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
+                            if iy < 0 || iy >= shape.height as isize {
+                                continue;
+                            }
+                            for kx in 0..shape.kernel_w {
+                                let ix =
+                                    (ox * shape.stride + kx) as isize - shape.padding as isize;
+                                if ix < 0 || ix >= shape.width as isize {
+                                    continue;
+                                }
+                                let iv = in_data[n * istride_n
+                                    + ic * istride_c
+                                    + iy as usize * shape.width
+                                    + ix as usize];
+                                let fv = f_data
+                                    [oc * fstride_o + ic * fstride_i + ky * shape.kernel_w + kx];
+                                acc += iv * fv;
+                            }
+                        }
+                    }
+                    out_data[((n * shape.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(&[3, 4]);
+        assert_eq!(t.len(), 12);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Tensor::zeros(&[3, 0]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Tensor::random(&[8, 8], 42);
+        let b = Tensor::random(&[8, 8], 42);
+        let c = Tensor::random(&[8, 8], 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let shape = GemmShape::new(4, 4, 4);
+        let a = Tensor::random(&[4, 4], 1);
+        let eye = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
+        let c = reference_gemm(shape, &a, &eye);
+        assert!(c.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn gemm_known_values() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Tensor::from_fn(&[2, 2], |i| (i + 1) as f32);
+        let b = Tensor::from_fn(&[2, 2], |i| (i + 5) as f32);
+        let c = reference_gemm(GemmShape::new(2, 2, 2), &a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn conv_pointwise_equals_gemm() {
+        // A 1x1 convolution is exactly a GEMM over channels.
+        let shape = Conv2dShape::new(1, 3, 4, 4, 2, 1, 1, 1, 0);
+        let input = Tensor::random(&[1, 3, 4, 4], 7);
+        let filter = Tensor::random(&[2, 3, 1, 1], 8);
+        let out = reference_conv2d(shape, &input, &filter);
+        for oc in 0..2 {
+            for pix in 0..16 {
+                let mut acc = 0.0;
+                for ic in 0..3 {
+                    acc += input.as_slice()[ic * 16 + pix] * filter.as_slice()[oc * 3 + ic];
+                }
+                let got = out.as_slice()[oc * 16 + pix];
+                assert!((got - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_padding_zeroes_border_contributions() {
+        // All-ones 3x3 filter over an all-ones 3x3 single-channel input with
+        // pad 1: the center output sees 9 taps, corners see 4.
+        let shape = Conv2dShape::new(1, 1, 3, 3, 1, 3, 3, 1, 1);
+        let input = Tensor::from_fn(&[1, 1, 3, 3], |_| 1.0);
+        let filter = Tensor::from_fn(&[1, 1, 3, 3], |_| 1.0);
+        let out = reference_conv2d(shape, &input, &filter);
+        assert_eq!(out.at2_oracle(1, 1), 9.0);
+        assert_eq!(out.at2_oracle(0, 0), 4.0);
+    }
+
+    impl Tensor {
+        /// Test helper: read a [1,1,h,w] tensor at (y, x).
+        fn at2_oracle(&self, y: usize, x: usize) -> f32 {
+            let w = self.dims()[3];
+            self.as_slice()[y * w + x]
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_detects_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let mut b = Tensor::zeros(&[2, 2]);
+        *b.at2_mut(1, 1) = 0.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(!a.approx_eq(&b, 0.1));
+        assert!(a.approx_eq(&b, 0.5));
+    }
+}

@@ -1,0 +1,178 @@
+//! The dynamic-shape convolution benchmark suite of Table 4.
+//!
+//! 5485 cases drawn from the conv layers of AlexNet, GoogLeNet, ResNet and
+//! VGG, sweeping input/output channel combinations within each row's
+//! published range (and batch sizes, the dynamic dimension the models see
+//! in practice). Row resolutions follow the network stage each row's
+//! filters live at.
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::Conv2dShape;
+
+use crate::sampling::{choose, log_uniform, row_rng};
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ConvSuiteRow {
+    /// Source model.
+    pub model: &'static str,
+    /// Filter size(s) of the row; `1x1/3x3` rows alternate between both.
+    pub kernels: &'static [usize],
+    /// Stride.
+    pub stride: usize,
+    /// Input resolution at this network stage.
+    pub resolution: usize,
+    /// Inclusive channel range the row sweeps.
+    pub channels: (usize, usize),
+    /// Whether the input is the 3-channel image (stem layers).
+    pub stem: bool,
+    /// Number of test cases.
+    pub cases: usize,
+}
+
+/// One convolution benchmark case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvCase {
+    /// Source model.
+    pub model: &'static str,
+    /// The convolution shape.
+    pub shape: Conv2dShape,
+}
+
+/// The rows of Table 4; counts sum to 5485.
+pub fn conv_suite_rows() -> Vec<ConvSuiteRow> {
+    const K3: &[usize] = &[3];
+    const K5: &[usize] = &[5];
+    const K7: &[usize] = &[7];
+    const K11: &[usize] = &[11];
+    const K13: &[usize] = &[1, 3];
+    let row = |model, kernels, stride, resolution, channels, stem, cases| ConvSuiteRow {
+        model,
+        kernels,
+        stride,
+        resolution,
+        channels,
+        stem,
+        cases,
+    };
+    vec![
+        // AlexNet
+        row("AlexNet", K11, 4, 224, (64, 640), true, 80),
+        row("AlexNet", K5, 1, 27, (16, 160), false, 80),
+        row("AlexNet", K3, 1, 13, (3, 39), false, 240),
+        // GoogLeNet
+        row("GoogLeNet", K7, 2, 224, (64, 640), true, 80),
+        row("GoogLeNet", K13, 1, 28, (16, 160), false, 160),
+        row("GoogLeNet", K13, 1, 28, (8, 80), false, 880),
+        row("GoogLeNet", K13, 1, 14, (4, 40), false, 1760),
+        row("GoogLeNet", K3, 1, 14, (2, 40), false, 240),
+        row("GoogLeNet", K13, 1, 7, (2, 20), false, 720),
+        // ResNet
+        row("ResNet", K13, 1, 56, (16, 160), false, 240),
+        row("ResNet", K3, 1, 28, (8, 80), false, 240),
+        row("ResNet", K3, 1, 14, (4, 40), false, 240),
+        row("ResNet", K3, 1, 7, (2, 20), false, 80),
+        // VGG
+        row("VGG", K3, 1, 224, (64, 640), false, 77),
+        row("VGG", K3, 1, 112, (32, 320), false, 80),
+        row("VGG", K3, 1, 56, (16, 160), false, 128),
+        row("VGG", K3, 1, 28, (8, 80), false, 80),
+        row("VGG", K3, 1, 14, (4, 40), false, 80),
+    ]
+}
+
+/// The full 5485-case suite, deterministically regenerated. Batch sizes
+/// sweep `{1, 2, 4, 8, 16}`; input/output channels are sampled within each
+/// row's range.
+pub fn conv_suite() -> Vec<ConvCase> {
+    let batches = [1usize, 2, 4, 8, 16];
+    let mut out = Vec::with_capacity(5485);
+    for (i, row) in conv_suite_rows().iter().enumerate() {
+        let mut rng = row_rng(&format!("{}#{}/{}", row.model, i, row.resolution));
+        for case in 0..row.cases {
+            let k = row.kernels[case % row.kernels.len()];
+            let in_c = if row.stem {
+                3
+            } else {
+                log_uniform(&mut rng, row.channels.0, row.channels.1)
+            };
+            let out_c = log_uniform(&mut rng, row.channels.0, row.channels.1);
+            let batch = *choose(&mut rng, &batches);
+            out.push(ConvCase {
+                model: row.model,
+                shape: Conv2dShape::new(
+                    batch,
+                    in_c,
+                    row.resolution,
+                    row.resolution,
+                    out_c,
+                    k,
+                    k,
+                    row.stride,
+                    k / 2,
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_5485_cases() {
+        assert_eq!(conv_suite().len(), 5485);
+        let total: usize = conv_suite_rows().iter().map(|r| r.cases).sum();
+        assert_eq!(total, 5485);
+    }
+
+    #[test]
+    fn googlenet_dominates_the_suite() {
+        // "The test case count can rise significantly for commonly-used
+        // filter sizes ... (e.g., GoogLeNet)".
+        let g = conv_suite().iter().filter(|c| c.model == "GoogLeNet").count();
+        assert!(g > 3000, "GoogLeNet has {g} cases");
+    }
+
+    #[test]
+    fn stem_rows_use_rgb_input() {
+        for c in conv_suite() {
+            if c.shape.kernel_h >= 7 {
+                assert_eq!(c.shape.in_channels, 3, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn channels_respect_row_ranges() {
+        let rows = conv_suite_rows();
+        let suite = conv_suite();
+        let mut idx = 0usize;
+        for row in &rows {
+            for _ in 0..row.cases {
+                let c = &suite[idx];
+                assert!(
+                    (row.channels.0..=row.channels.1).contains(&c.shape.out_channels),
+                    "{c:?} violates {row:?}"
+                );
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(conv_suite(), conv_suite());
+    }
+
+    #[test]
+    fn all_shapes_are_valid() {
+        for c in conv_suite() {
+            assert!(c.shape.out_h() > 0 && c.shape.out_w() > 0);
+            assert!(c.shape.as_gemm().flops() > 0.0);
+        }
+    }
+}

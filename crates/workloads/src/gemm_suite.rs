@@ -1,0 +1,220 @@
+//! The dynamic-shape GEMM benchmark suite of Table 3.
+//!
+//! 166 DeepBench cases plus 1433 real-world cases (1599 total, the
+//! population of Figs. 6 and 10). The published table gives per-row
+//! dimension ranges and case counts; rows lost to the paper's table
+//! extraction are reconstructed so that the total matches the 1599 cases
+//! Fig. 10 reports (the reconstruction is documented in EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+use tensor_ir::GemmShape;
+
+use crate::sampling::{log_uniform, row_rng};
+
+/// One row of Table 3: a dimension-range bucket with a case count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmSuiteRow {
+    /// Suite category (`"DeepBench"` or `"Real-World Applications"`).
+    pub category: &'static str,
+    /// What the row models (e.g. `"BERT projections"`).
+    pub source: &'static str,
+    /// Inclusive `M` range.
+    pub m: (usize, usize),
+    /// Inclusive `N` range.
+    pub n: (usize, usize),
+    /// Inclusive `K` range.
+    pub k: (usize, usize),
+    /// Number of test cases in the row.
+    pub cases: usize,
+}
+
+/// One benchmark case: a shape plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmCase {
+    /// The row this case was drawn from.
+    pub category: &'static str,
+    /// Row source label.
+    pub source: &'static str,
+    /// The GEMM shape.
+    pub shape: GemmShape,
+}
+
+/// The rows of Table 3. Row counts sum to 1599: 166 DeepBench + 1433
+/// real-world.
+pub fn gemm_suite_rows() -> Vec<GemmSuiteRow> {
+    let row = |source, m, n, k, cases| GemmSuiteRow {
+        category: "Real-World Applications",
+        source,
+        m,
+        n,
+        k,
+        cases,
+    };
+    vec![
+        GemmSuiteRow {
+            category: "DeepBench",
+            source: "DeepBench training/inference GEMMs",
+            m: (2, 10752),
+            n: (1, 48000),
+            k: (128, 500_000),
+            cases: 166,
+        },
+        row("transformer attention blocks (small)", (1, 256), (1, 256), (1, 256), 299),
+        row("transformer projections (narrow)", (1, 256), (257, 1024), (1, 65536), 218),
+        row("transformer FFN (wide)", (1, 256), (1025, 65536), (1, 65536), 97),
+        row("CNN fully-connected (mid batch)", (257, 1024), (1, 65536), (1, 65536), 64),
+        row("CNN fully-connected (large batch)", (1025, 8192), (1, 65536), (1, 65536), 87),
+        row("ResNet-style classifier heads", (257, 8192), (1, 65536), (1, 65536), 136),
+        row("VGG-style classifier heads", (1025, 65536), (1, 8192), (1, 8192), 69),
+        // Reconstructed rows (lost in the published table's extraction):
+        // BERT/DistilBERT/RoBERTa/ALBERT hidden projections and CNN heads,
+        // bringing the real-world total to the paper's 1433.
+        row("BERT-family hidden projections", (1, 512), (768, 4096), (768, 4096), 263),
+        row("CNN classifier heads (ImageNet)", (1, 128), (1000, 4096), (256, 9216), 200),
+    ]
+}
+
+/// Well-known DeepBench shapes included verbatim (the published suite's
+/// most-cited entries); the remaining DeepBench cases are sampled from the
+/// row's ranges.
+pub fn deepbench_canonical() -> Vec<GemmShape> {
+    [
+        (5124, 700, 2048),
+        (35, 700, 2048),
+        (5124, 700, 2560),
+        (35, 700, 2560),
+        (5124, 1500, 2048),
+        (35, 1500, 2048),
+        (5124, 1500, 2560),
+        (35, 1500, 2560),
+        (7680, 1, 2560),
+        (7680, 2, 2560),
+        (7680, 4, 2560),
+        (3072, 1, 1024),
+        (3072, 2, 1024),
+        (3072, 4, 1024),
+        (512, 24000, 2816),
+        (512, 16, 500_000),
+        (1024, 16, 500_000),
+        (512, 48000, 2816),
+        (1024, 700, 512),
+        (2048, 700, 2048),
+        (2560, 700, 2560),
+        (10752, 1, 3584),
+        (4608, 1, 1536),
+        (6144, 4, 2048),
+    ]
+    .into_iter()
+    .map(|(m, n, k)| GemmShape::new(m, n, k))
+    .collect()
+}
+
+/// The full 1599-case suite, deterministically regenerated.
+pub fn gemm_suite() -> Vec<GemmCase> {
+    let mut out = Vec::with_capacity(1599);
+    for row in gemm_suite_rows() {
+        let mut rng = row_rng(row.source);
+        let mut produced = 0usize;
+        if row.category == "DeepBench" {
+            for shape in deepbench_canonical() {
+                out.push(GemmCase {
+                    category: row.category,
+                    source: row.source,
+                    shape,
+                });
+                produced += 1;
+            }
+        }
+        while produced < row.cases {
+            let shape = GemmShape::new(
+                log_uniform(&mut rng, row.m.0, row.m.1),
+                log_uniform(&mut rng, row.n.0, row.n.1),
+                log_uniform(&mut rng, row.k.0, row.k.1),
+            );
+            out.push(GemmCase {
+                category: row.category,
+                source: row.source,
+                shape,
+            });
+            produced += 1;
+        }
+    }
+    out
+}
+
+/// The declared DietCode/Nimble dynamic ranges for the Fig. 10 / Table 5
+/// comparison: "Both Nimble and DietCode were given input ranges for M, N,
+/// and K as specified in Table 3" — the envelope over all real-world rows.
+pub fn table3_declared_ranges() -> ((usize, usize), (usize, usize), (usize, usize)) {
+    let rows = gemm_suite_rows();
+    let env = |f: fn(&GemmSuiteRow) -> (usize, usize)| {
+        let lo = rows.iter().map(|r| f(r).0).min().expect("rows nonempty");
+        let hi = rows.iter().map(|r| f(r).1).max().expect("rows nonempty");
+        (lo, hi)
+    };
+    (env(|r| r.m), env(|r| r.n), env(|r| r.k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_exactly_1599_cases() {
+        assert_eq!(gemm_suite().len(), 1599);
+    }
+
+    #[test]
+    fn deepbench_row_has_166_cases() {
+        let db: Vec<_> = gemm_suite().into_iter().filter(|c| c.category == "DeepBench").collect();
+        assert_eq!(db.len(), 166);
+    }
+
+    #[test]
+    fn real_world_rows_sum_to_1433() {
+        let total: usize = gemm_suite_rows()
+            .iter()
+            .filter(|r| r.category != "DeepBench")
+            .map(|r| r.cases)
+            .sum();
+        assert_eq!(total, 1433);
+    }
+
+    #[test]
+    fn every_case_respects_its_row_ranges() {
+        let rows = gemm_suite_rows();
+        for case in gemm_suite() {
+            let row = rows
+                .iter()
+                .find(|r| r.source == case.source)
+                .expect("row exists");
+            let canonical = case.category == "DeepBench"
+                && deepbench_canonical().contains(&case.shape);
+            if canonical {
+                continue;
+            }
+            assert!(
+                (row.m.0..=row.m.1).contains(&case.shape.m),
+                "{case:?} violates M range"
+            );
+            assert!((row.n.0..=row.n.1).contains(&case.shape.n));
+            assert!((row.k.0..=row.k.1).contains(&case.shape.k));
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(gemm_suite(), gemm_suite());
+    }
+
+    #[test]
+    fn declared_ranges_cover_every_case() {
+        let (m, n, k) = table3_declared_ranges();
+        for case in gemm_suite() {
+            assert!(case.shape.m >= m.0 && case.shape.m <= m.1);
+            assert!(case.shape.n >= n.0 && case.shape.n <= n.1);
+            assert!(case.shape.k >= k.0 && case.shape.k <= k.1);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # mikpoly-workloads — the benchmark suites of the MikPoly evaluation
+//!
+//! Deterministic regenerations of the paper's shape populations:
+//!
+//! * [`gemm_suite`] — Table 3: 166 DeepBench + 1433 real-world GEMM cases
+//!   (1599 total, the population of Figs. 6 and 10);
+//! * [`conv_suite`] — Table 4: 5485 convolution cases from AlexNet,
+//!   GoogLeNet, ResNet and VGG layers;
+//! * [`sweeps`] — the end-to-end sweeps: 150 sentence lengths in `[5, 500]`
+//!   (Fig. 8 / Table 5), the 8x10 batch-resolution grid (Fig. 9), and the
+//!   Llama2 input/batch grid (Fig. 11).
+//!
+//! The paper publishes ranges and counts, not individual shapes; the suites
+//! here sample log-uniformly inside the published ranges under a fixed seed
+//! ([`sampling::SUITE_SEED`]), so every run of every experiment sees the
+//! same shapes.
+//!
+//! # Example
+//!
+//! ```
+//! let suite = mikpoly_workloads::gemm_suite();
+//! assert_eq!(suite.len(), 1599);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv_suite;
+mod gemm_suite;
+pub mod sampling;
+pub mod sweeps;
+
+pub use conv_suite::{conv_suite, conv_suite_rows, ConvCase, ConvSuiteRow};
+pub use gemm_suite::{
+    deepbench_canonical, gemm_suite, gemm_suite_rows, table3_declared_ranges, GemmCase,
+    GemmSuiteRow,
+};
+pub use sweeps::{cnn_sweep, llama_sweep, overhead_shapes, sentence_lengths, LLAMA_OUTPUT_TOKENS};

@@ -1,0 +1,85 @@
+//! The end-to-end experiment sweeps of Section 5.1 and 5.2.4.
+
+use rand::Rng;
+
+use crate::sampling::row_rng;
+
+/// The 150 sentence lengths in `[5, 500]` used for the language-model
+/// end-to-end experiments (Fig. 8, Table 5): "we generate 150 sentences
+/// with lengths spanning from 5 to 500".
+pub fn sentence_lengths() -> Vec<usize> {
+    let mut rng = row_rng("sentence-lengths");
+    (0..150).map(|_| rng.gen_range(5..=500)).collect()
+}
+
+/// The CNN sweep of Fig. 9: batch sizes `2^0..2^7` crossed with
+/// resolutions `64 * (1..=10)` — 80 configurations.
+pub fn cnn_sweep() -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(80);
+    for b in 0..8u32 {
+        for r in 1..=10usize {
+            out.push((1usize << b, 64 * r));
+        }
+    }
+    out
+}
+
+/// The Llama2 sweep of Fig. 11: input lengths `2^0..2^9` crossed with
+/// batch sizes `2^0..2^3`, 512 output tokens.
+pub fn llama_sweep() -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(40);
+    for b in 0..4u32 {
+        for s in 0..10u32 {
+            out.push((1usize << b, 1usize << s));
+        }
+    }
+    out
+}
+
+/// Output tokens per Llama2 generation (Section 5.2.4 common practice).
+pub const LLAMA_OUTPUT_TOKENS: usize = 512;
+
+/// The Fig. 12(a) shapes for the overhead breakdown: the case-study GEMM at
+/// several dynamic `M` values.
+pub fn overhead_shapes() -> Vec<(usize, usize, usize)> {
+    [64, 256, 1024, 2048, 3072, 4096, 8192]
+        .into_iter()
+        .map(|m| (m, 1024, 4096))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_lengths_match_the_paper() {
+        let ls = sentence_lengths();
+        assert_eq!(ls.len(), 150);
+        assert!(ls.iter().all(|&l| (5..=500).contains(&l)));
+        // The sample should actually span the range.
+        assert!(ls.iter().any(|&l| l < 50));
+        assert!(ls.iter().any(|&l| l > 400));
+    }
+
+    #[test]
+    fn cnn_sweep_is_8_by_10() {
+        let s = cnn_sweep();
+        assert_eq!(s.len(), 80);
+        assert!(s.contains(&(1, 64)));
+        assert!(s.contains(&(128, 640)));
+    }
+
+    #[test]
+    fn llama_sweep_is_4_by_10() {
+        let s = llama_sweep();
+        assert_eq!(s.len(), 40);
+        assert!(s.contains(&(1, 1)));
+        assert!(s.contains(&(8, 512)));
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        assert_eq!(sentence_lengths(), sentence_lengths());
+    }
+}

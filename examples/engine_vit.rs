@@ -1,0 +1,54 @@
+//! The [`Engine`] runtime API on a Vision Transformer with dynamic
+//! resolution (extension).
+//!
+//! ```text
+//! cargo run --release --example engine_vit
+//! ```
+//!
+//! One `Engine` owns both per-template compilers, routes GEMMs and
+//! convolutions automatically, and — with [`ConvAlgorithm::CostBased`] —
+//! uses the polymerization cost model as an *algorithm selector* between
+//! implicit-GEMM and Winograd convolution (the paper's two Section 7
+//! future-work items in one place).
+
+use mikpoly_suite::accel_sim::MachineModel;
+use mikpoly_suite::mikpoly::{ConvAlgorithm, Engine, OfflineOptions};
+use mikpoly_suite::models::{CnnConfig, VitConfig};
+
+fn main() {
+    let engine = Engine::offline(MachineModel::a100(), &OfflineOptions::paper())
+        .with_conv_algorithm(ConvAlgorithm::CostBased);
+
+    // ViT: resolution changes every GEMM in the network.
+    let vit = VitConfig::vit_b16();
+    println!("{} at dynamic resolutions (batch 2)\n", vit.name);
+    println!("{:>6} {:>8} {:>12} {:>14} {:>14}", "res", "tokens", "GFLOPs", "device (ms)", "compiles");
+    for res in [224usize, 288, 384, 512, 640] {
+        let graph = vit.graph(2, res);
+        let result = engine.run_graph(graph.ops.iter().map(|o| (&o.operator, o.count)));
+        println!(
+            "{res:>6} {:>8} {:>12.1} {:>14.3} {:>14}",
+            vit.tokens(res),
+            graph.total_flops() / 1e9,
+            result.device_ms(),
+            result.compilations
+        );
+    }
+
+    // ResNet: the cost model decides implicit GEMM vs Winograd per layer.
+    let resnet = CnnConfig::resnet18();
+    let graph = resnet.graph(8, 224);
+    let mut winograd_layers = 0usize;
+    for op in &graph.ops {
+        if engine.select(&op.operator).kind() == "conv2d-winograd" {
+            winograd_layers += 1;
+        }
+    }
+    let convs = graph.ops.iter().filter(|o| o.operator.kind() == "conv2d").count();
+    println!(
+        "\n{}: the engine dispatched {winograd_layers} of {convs} convolutions to \
+         Winograd F(2x2, 3x3) (cost-based selection; strided/large filters stay on \
+         implicit GEMM)",
+        resnet.name
+    );
+}

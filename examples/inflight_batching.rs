@@ -1,0 +1,66 @@
+//! In-flight batching (the paper's Section 7 "Impact on LLM Systems"):
+//! requests join and leave the batch between decode steps, so the token
+//! count of every projection GEMM changes at runtime — precisely the
+//! dynamic-batch regime MikPoly claims compatibility with.
+//!
+//! ```text
+//! cargo run --release --example inflight_batching
+//! ```
+//!
+//! A toy continuous-batching scheduler drives Llama2-13b decode steps with
+//! a fluctuating number of in-flight requests. Every new batch size is a
+//! new GEMM shape; MikPoly polymerizes it once (microseconds) and serves it
+//! from the program cache thereafter.
+
+use mikpoly_suite::accel_sim::MachineModel;
+use mikpoly_suite::mikpoly::{MikPoly, OfflineOptions};
+use mikpoly_suite::models::LlamaConfig;
+
+fn main() {
+    let compiler = MikPoly::offline(MachineModel::a100(), &OfflineOptions::paper());
+    let llama = LlamaConfig::llama2_13b_tp4();
+
+    // A bursty arrival pattern: the number of in-flight requests per decode
+    // step (as an in-flight batching scheduler would produce).
+    let in_flight: Vec<usize> = (0..200)
+        .map(|step| {
+            let base = 4.0 + 3.0 * ((step as f64) / 17.0).sin() + 2.0 * ((step as f64) / 5.0).cos();
+            (base.round() as usize).clamp(1, 9)
+        })
+        .collect();
+
+    let mut device_ns = 0.0;
+    let mut compile_ns: u128 = 0;
+    let mut compiles = 0usize;
+    let mut cache_hits = 0usize;
+    for (step, &batch) in in_flight.iter().enumerate() {
+        let cache_len = 128 + step; // KV cache grows every step
+        let graph = llama.decode_step_graph(batch, cache_len);
+        for op in &graph.ops {
+            let run = compiler.run(&op.operator);
+            device_ns += run.report.time_ns * op.count as f64;
+            compile_ns += run.compile_ns;
+            if run.compile_ns > 0 {
+                compiles += 1;
+            } else {
+                cache_hits += 1;
+            }
+        }
+    }
+
+    let batches: std::collections::BTreeSet<usize> = in_flight.iter().copied().collect();
+    println!("200 decode steps, in-flight batch fluctuating over {batches:?}");
+    println!("device time: {:.2} ms", device_ns / 1e6);
+    println!(
+        "online compilations: {compiles} (total {:.1} us) — every other operator call \
+         ({cache_hits}) hit the program cache",
+        compile_ns as f64 / 1e3
+    );
+    println!(
+        "polymerization overhead amortized to {:.4}% of device time",
+        compile_ns as f64 / device_ns * 100.0
+    );
+    assert!(compiles < 200, "shape reuse must keep compilations bounded");
+    println!("\nno padding to a fixed maximum batch, no pre-declared batch range:");
+    println!("each (batch, cache-block) shape is polymerized on first sight and reused.");
+}

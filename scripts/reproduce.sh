@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full reproduction pass: build, test, regenerate every table/figure, and
+# run the micro-benchmarks. Artifacts land in results/ (CSV per experiment),
+# test_output.txt and bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace --release 2>&1 | tee test_output.txt
+
+echo "== experiments (full populations) =="
+cargo run --release -p mikpoly-bench --bin experiments -- all
+echo "== paper-shape guard =="
+cargo run --release -p mikpoly-bench --bin experiments -- check
+
+echo "== examples =="
+for e in quickstart bert_serving detection_resolution llama_inference \
+         npu_offload compiler_shootout inflight_batching engine_vit; do
+  echo "-- example: $e --"
+  cargo run --release --example "$e"
+done
+
+echo "== benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done: see results/, EXPERIMENTS.md, test_output.txt, bench_output.txt"

@@ -1,0 +1,21 @@
+//! # mikpoly-suite — umbrella crate for the MikPoly reproduction
+//!
+//! Re-exports the whole workspace under one roof so examples and
+//! integration tests can write `use mikpoly_suite::...`. See the individual
+//! crates for the real APIs:
+//!
+//! * [`accel_sim`] — the simulated A100 / Ascend 910A substrate;
+//! * [`tensor_ir`] — shapes, operators, templates, reference semantics;
+//! * [`mikpoly`] — the two-stage dynamic-shape compiler itself;
+//! * [`baselines`] — vendor / CUTLASS / DietCode / Nimble comparators;
+//! * [`models`] — the dynamic-shape model zoo;
+//! * [`workloads`] — the Table 3 / Table 4 shape suites.
+
+#![forbid(unsafe_code)]
+
+pub use accel_sim;
+pub use mikpoly;
+pub use mikpoly_baselines as baselines;
+pub use mikpoly_models as models;
+pub use mikpoly_workloads as workloads;
+pub use tensor_ir;

@@ -1,0 +1,145 @@
+//! Property-based tests on the baseline comparators: their selection
+//! heuristics and range semantics must be total and consistent for
+//! arbitrary shapes.
+
+use mikpoly_suite::accel_sim::MachineModel;
+use mikpoly_suite::baselines::{
+    Backend, BackendError, CutlassLibrary, DietCode, GemmRanges, Nimble, VendorLibrary,
+};
+use mikpoly_suite::tensor_ir::{GemmShape, Operator};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn dietcode() -> &'static DietCode {
+    static D: OnceLock<DietCode> = OnceLock::new();
+    D.get_or_init(|| DietCode::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(8, 2048)))
+}
+
+fn nimble() -> &'static Nimble {
+    static N: OnceLock<Nimble> = OnceLock::new();
+    N.get_or_init(|| Nimble::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(8, 2048)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vendor library runs any shape: selection is total, the selected
+    /// kernel fits the machine, and the time is positive and finite.
+    #[test]
+    fn vendor_library_is_total(
+        m in 1usize..20_000,
+        n in 1usize..20_000,
+        k in 1usize..50_000,
+    ) {
+        let machine = MachineModel::a100();
+        let lib = VendorLibrary::cublas(machine.clone());
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        let kernel = lib.select(&op.gemm_view());
+        prop_assert!(kernel.warps <= machine.warp_cap_per_pe);
+        let run = lib.run(&op).expect("vendor always runs");
+        prop_assert!(run.report.time_ns.is_finite() && run.report.time_ns > 0.0);
+        prop_assert!(run.report.total_flops >= op.flops());
+    }
+
+    /// Vendor bucketing is monotone-ish: the selected row tile never lies
+    /// below the dimension's bucket (no kernel smaller than the bucket that
+    /// still covers the extent).
+    #[test]
+    fn vendor_bucketing_covers_small_extents(m in 1usize..200) {
+        let machine = MachineModel::a100();
+        let lib = VendorLibrary::cublas(machine);
+        let view = Operator::gemm(GemmShape::new(m, 4096, 4096)).gemm_view();
+        let kernel = lib.select(&view);
+        // For small M the bucket rule holds: one row-tile covers all rows.
+        prop_assert!(kernel.um >= m || kernel.um >= 256, "m={m} got um={}", kernel.um);
+    }
+
+    /// CUTLASS's default tile never exceeds 128 and never collapses below
+    /// 32, and its runs are total.
+    #[test]
+    fn cutlass_heuristic_is_bounded(
+        m in 1usize..10_000,
+        n in 1usize..10_000,
+        k in 1usize..10_000,
+    ) {
+        let c = CutlassLibrary::new(MachineModel::a100());
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        let (um, un, uk, warps) = c.select(&op.gemm_view());
+        prop_assert!((32..=128).contains(&um));
+        prop_assert!((32..=128).contains(&un));
+        prop_assert_eq!(uk, 32);
+        prop_assert!(warps >= 1);
+        prop_assert!(c.run(&op).is_ok());
+    }
+
+    /// DietCode and Nimble accept exactly the declared cube and reject
+    /// everything else with the offending dimension named.
+    #[test]
+    fn range_compilers_partition_shapes_exactly(
+        m in 1usize..4096,
+        n in 1usize..4096,
+        k in 1usize..4096,
+    ) {
+        let op = Operator::gemm(GemmShape::new(m, n, k));
+        let in_range = (8..=2048).contains(&m) && (8..=2048).contains(&n) && (8..=2048).contains(&k);
+        for backend in [dietcode() as &dyn Backend, nimble() as &dyn Backend] {
+            match backend.run(&op) {
+                Ok(run) => {
+                    prop_assert!(in_range, "{} accepted out-of-range {op}", backend.name());
+                    prop_assert!(run.report.time_ns > 0.0);
+                }
+                Err(BackendError::OutOfRange { dimension, value, range }) => {
+                    prop_assert!(!in_range, "{} rejected in-range {op}", backend.name());
+                    let actual = match dimension {
+                        "M" => m,
+                        "N" => n,
+                        "K" => k,
+                        other => panic!("unknown dimension {other}"),
+                    };
+                    prop_assert_eq!(value, actual);
+                    prop_assert!(value < range.0 || value > range.1);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    /// DietCode's dispatch picks a representative within one sampling step
+    /// (4x per dimension) of the runtime shape, so its tile choice is never
+    /// tuned for a wildly different size.
+    #[test]
+    fn dietcode_overhead_is_constant(
+        m in 8usize..2048,
+        n in 8usize..2048,
+    ) {
+        let op = Operator::gemm(GemmShape::new(m, n, 512));
+        let a = dietcode().run(&op).expect("in range");
+        let b = dietcode().run(&op).expect("in range");
+        prop_assert_eq!(a.overhead_ns, b.overhead_ns);
+        prop_assert!(a.overhead_ns > 0.0, "dispatch recurs every run");
+    }
+}
+
+#[test]
+fn vendor_menus_differ_per_machine() {
+    let gpu = VendorLibrary::cublas(MachineModel::a100());
+    let npu = VendorLibrary::cann(MachineModel::ascend910a());
+    let view = Operator::gemm(GemmShape::new(2048, 2048, 2048)).gemm_view();
+    let g = gpu.select(&view);
+    let n = npu.select(&view);
+    // The NPU menu has 1-task-per-core kernels; the GPU menu is warp-based.
+    assert_eq!(n.warps, 1);
+    assert!(g.warps > 1);
+}
+
+#[test]
+fn faster_transformer_matches_cublas_behavior() {
+    use mikpoly_suite::baselines::FasterTransformer;
+    let machine = MachineModel::a100();
+    let ft = FasterTransformer::new(machine.clone());
+    let cublas = VendorLibrary::cublas(machine);
+    let op = Operator::gemm(GemmShape::new(128, 3840, 5120));
+    let a = ft.run(&op).expect("runs");
+    let b = cublas.run(&op).expect("runs");
+    assert_eq!(a.report.time_ns, b.report.time_ns);
+}

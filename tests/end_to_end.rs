@@ -1,0 +1,206 @@
+//! End-to-end pipeline tests across crates: offline tuning -> online
+//! polymerization -> simulated execution -> reported counters, on both
+//! machine models and against every baseline.
+
+use std::sync::{Arc, OnceLock};
+
+use mikpoly_suite::accel_sim::MachineModel;
+use mikpoly_suite::baselines::{
+    Backend, BackendError, CutlassLibrary, DietCode, GemmRanges, MikPolyBackend, Nimble,
+    VendorLibrary,
+};
+use mikpoly_suite::mikpoly::{MikPoly, OfflineOptions, TemplateKind};
+use mikpoly_suite::models::{CnnConfig, LlamaConfig, TransformerConfig};
+use mikpoly_suite::tensor_ir::{GemmShape, Operator};
+
+fn gpu_compiler() -> Arc<MikPoly> {
+    static C: OnceLock<Arc<MikPoly>> = OnceLock::new();
+    Arc::clone(C.get_or_init(|| {
+        let mut options = OfflineOptions::fast();
+        options.n_gen = 5;
+        Arc::new(MikPoly::offline(MachineModel::a100(), &options))
+    }))
+}
+
+#[test]
+fn all_backends_agree_on_total_flops() {
+    let machine = MachineModel::a100();
+    let op = Operator::gemm(GemmShape::new(512, 256, 128));
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(VendorLibrary::cublas(machine.clone())),
+        Box::new(CutlassLibrary::new(machine.clone())),
+        Box::new(MikPolyBackend::new(gpu_compiler())),
+    ];
+    for b in &backends {
+        let run = b.run(&op).expect("in-range");
+        // Local padding may execute more FLOPs than the operator needs,
+        // never fewer.
+        assert!(
+            run.report.total_flops >= op.flops(),
+            "{} executed too little work",
+            b.name()
+        );
+        assert!(run.report.time_ns > 0.0);
+        assert!(run.report.sm_efficiency > 0.0 && run.report.sm_efficiency <= 1.0);
+    }
+}
+
+#[test]
+fn mikpoly_beats_vendor_on_skinny_dynamic_shapes() {
+    // The headline phenomenon: the vendor library's bucketed heuristic
+    // falls off a cliff on shapes like Fig. 1's (105, 1024, 12544).
+    let machine = MachineModel::a100();
+    let vendor = VendorLibrary::cublas(machine.clone());
+    let mik = MikPolyBackend::new(gpu_compiler());
+    let op = Operator::gemm(GemmShape::new(105, 1024, 12544));
+    let v = vendor.run(&op).expect("runs").report.time_ns;
+    let m = mik.run(&op).expect("runs").report.time_ns;
+    assert!(v / m > 1.5, "expected a clear win, got {:.2}x", v / m);
+}
+
+#[test]
+fn vendor_beats_mikpoly_on_its_golden_shape() {
+    // Hand-tuned assembly keeps the vendor ahead on large round shapes
+    // (also visible in the paper's Fig. 6 scatter).
+    let machine = MachineModel::a100();
+    let vendor = VendorLibrary::cublas(machine.clone());
+    let mik = MikPolyBackend::new(gpu_compiler());
+    let op = Operator::gemm(GemmShape::new(4096, 4096, 4096));
+    let v = vendor.run(&op).expect("runs").report.time_ns;
+    let m = mik.run(&op).expect("runs").report.time_ns;
+    assert!(v < m * 1.3, "vendor should be competitive: {:.2}x", v / m);
+}
+
+#[test]
+fn range_compilers_fail_exactly_outside_their_ranges() {
+    let machine = MachineModel::a100_cuda_cores();
+    let ranges = GemmRanges::cube(16, 1024);
+    let dietcode = DietCode::compile(machine.clone(), ranges);
+    let nimble = Nimble::compile(machine, ranges);
+    let inside = Operator::gemm(GemmShape::new(512, 512, 512));
+    let outside = Operator::gemm(GemmShape::new(512, 2048, 512));
+    for backend in [&dietcode as &dyn Backend, &nimble as &dyn Backend] {
+        assert!(backend.run(&inside).is_ok(), "{} failed in range", backend.name());
+        match backend.run(&outside) {
+            Err(BackendError::OutOfRange { dimension: "N", value: 2048, .. }) => {}
+            other => panic!("{}: expected N out of range, got {other:?}", backend.name()),
+        }
+    }
+}
+
+#[test]
+fn transformer_graph_runs_through_mikpoly_end_to_end() {
+    let mik = MikPolyBackend::new(gpu_compiler());
+    let graph = TransformerConfig::distilbert().graph(1, 77);
+    let mut total = 0.0;
+    for op in &graph.ops {
+        let run = mik.run(&op.operator).expect("runs");
+        total += run.report.time_ns * op.count as f64;
+    }
+    assert!(total > 0.0);
+    // Six unique shapes -> at most six non-cached compilations.
+    let recompiled = graph
+        .ops
+        .iter()
+        .map(|op| mik.run(&op.operator).expect("runs").overhead_ns)
+        .filter(|&o| o > 0.0)
+        .count();
+    assert_eq!(recompiled, 0, "second pass must hit the program cache");
+}
+
+#[test]
+fn cnn_graph_runs_on_both_machines() {
+    let graph = CnnConfig::alexnet().graph(2, 64);
+    for machine in [MachineModel::a100(), MachineModel::ascend910a()] {
+        let mut options = OfflineOptions::fast();
+        options.n_gen = 4;
+        let gemm = MikPoly::offline(machine.clone(), &options);
+        let conv = MikPoly::offline(
+            machine.clone(),
+            &options.clone().with_template(TemplateKind::Conv),
+        );
+        let mut total = 0.0;
+        for op in &graph.ops {
+            let c = if op.operator.kind() == "conv2d" { &conv } else { &gemm };
+            let run = c.run(&op.operator);
+            run.program.verify_coverage().expect("coverage");
+            total += run.report.time_ns;
+        }
+        assert!(total > 0.0, "{}", machine.name);
+    }
+}
+
+#[test]
+fn llama_decode_steps_share_programs_across_layers() {
+    let mik = gpu_compiler();
+    let llama = LlamaConfig::llama2_13b_tp4();
+    let graphs = llama.generation_graphs(1, 64, 128);
+    // 128 decode steps but only a handful of distinct graphs.
+    assert!(graphs.len() <= 4);
+    let mut compile_events = 0usize;
+    for g in &graphs {
+        for op in &g.ops {
+            let run = mik.run(&op.operator);
+            if run.compile_ns > 0 {
+                compile_events += 1;
+            }
+        }
+    }
+    // Each unique shape compiles exactly once across the whole generation.
+    let unique: usize = graphs.iter().map(|g| g.num_unique_shapes()).sum();
+    assert!(compile_events <= unique);
+}
+
+#[test]
+fn oracle_is_a_lower_bound_for_all_variants() {
+    use mikpoly_suite::mikpoly::{CostModelKind, OnlineOptions};
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    let machine = MachineModel::a100();
+    let lib_owner = MikPoly::offline(machine.clone(), &options);
+    let op = Operator::gemm(GemmShape::new(700, 300, 150));
+    let oracle = lib_owner.compile_oracle(&op);
+    let oracle_ns = lib_owner.simulate(&oracle.program).time_ns;
+    for kind in [CostModelKind::Full, CostModelKind::WaveOnly, CostModelKind::PipeOnly] {
+        let variant = MikPoly::with_library(machine.clone(), lib_owner.library().clone())
+            .with_options(OnlineOptions {
+                cost_model: kind,
+                ..OnlineOptions::default()
+            });
+        let ns = variant.run(&op).report.time_ns;
+        assert!(
+            oracle_ns <= ns + 1e-6,
+            "{kind}: oracle {oracle_ns} worse than variant {ns}"
+        );
+    }
+}
+
+#[test]
+fn winograd_path_compiles_and_is_profitable_on_compute_bound_convs() {
+    use mikpoly_suite::tensor_ir::Conv2dShape;
+    let mik = MikPolyBackend::new(gpu_compiler());
+    // A compute-bound 3x3 stride-1 layer.
+    let shape = Conv2dShape::square(8, 256, 56, 256, 3, 1);
+    let direct = mik.run(&Operator::conv2d(shape)).expect("conv runs");
+    let wino = mik.run(&Operator::conv2d_winograd(shape)).expect("winograd runs");
+    assert!(wino.report.time_ns > 0.0);
+    assert!(
+        wino.report.time_ns < direct.report.time_ns,
+        "Winograd should win on a compute-bound layer: {} vs {}",
+        wino.report.time_ns,
+        direct.report.time_ns
+    );
+}
+
+#[test]
+fn winograd_reference_matches_direct_reference() {
+    use mikpoly_suite::tensor_ir::{
+        reference_conv2d, winograd_conv2d, Conv2dShape, Tensor,
+    };
+    let shape = Conv2dShape::square(2, 6, 12, 5, 3, 1);
+    let input = Tensor::random(&[2, 6, 12, 12], 71);
+    let filter = Tensor::random(&[5, 6, 3, 3], 72);
+    let direct = reference_conv2d(shape, &input, &filter);
+    let wino = winograd_conv2d(shape, &input, &filter);
+    assert!(wino.approx_eq(&direct, 1e-3));
+}

@@ -1,0 +1,113 @@
+//! Integration checks on the benchmark suites and model zoo: the
+//! populations every experiment draws from must match the paper's
+//! published structure.
+
+use mikpoly_suite::models::{CnnConfig, LlamaConfig, TransformerConfig};
+use mikpoly_suite::tensor_ir::Operator;
+use mikpoly_suite::workloads::{
+    cnn_sweep, conv_suite, gemm_suite, llama_sweep, sentence_lengths, table3_declared_ranges,
+};
+
+#[test]
+fn table3_population_matches_the_paper() {
+    let suite = gemm_suite();
+    assert_eq!(suite.len(), 1599, "Fig. 10 runs 'all 1599 test cases'");
+    let deepbench = suite.iter().filter(|c| c.category == "DeepBench").count();
+    assert_eq!(deepbench, 166);
+}
+
+#[test]
+fn table4_population_matches_the_paper() {
+    let suite = conv_suite();
+    assert_eq!(suite.len(), 5485);
+    // Per-model totals from the published table (AlexNet row reconstructed).
+    let count = |m: &str| suite.iter().filter(|c| c.model == m).count();
+    assert_eq!(count("AlexNet"), 400);
+    assert_eq!(count("GoogLeNet"), 3840);
+    assert_eq!(count("ResNet"), 800);
+    assert_eq!(count("VGG"), 445);
+}
+
+#[test]
+fn declared_ranges_cover_the_whole_suite() {
+    let (m, n, k) = table3_declared_ranges();
+    for case in gemm_suite() {
+        assert!((m.0..=m.1).contains(&case.shape.m));
+        assert!((n.0..=n.1).contains(&case.shape.n));
+        assert!((k.0..=k.1).contains(&case.shape.k));
+    }
+}
+
+#[test]
+fn e2e_sweeps_match_section_5_1() {
+    assert_eq!(sentence_lengths().len(), 150);
+    assert_eq!(cnn_sweep().len(), 8 * 10);
+    assert_eq!(llama_sweep().len(), 4 * 10);
+}
+
+#[test]
+fn transformer_flops_roughly_match_public_numbers() {
+    // BERT-base matmul FLOPs at seq 512: 12 layers x 12 h^2 per token plus
+    // attention = ~97 GFLOPs analytically.
+    let g = TransformerConfig::bert_base().graph(1, 512);
+    let gflops = g.total_flops() / 1e9;
+    assert!((80.0..130.0).contains(&gflops), "BERT-base@512 = {gflops} GFLOPs");
+}
+
+#[test]
+fn resnet18_flops_roughly_match_public_numbers() {
+    // ResNet-18 at 224x224 is ~3.6 GFLOPs (2 * 1.8 GMACs).
+    let g = CnnConfig::resnet18().graph(1, 224);
+    let gflops = g.total_flops() / 1e9;
+    assert!((2.5..5.0).contains(&gflops), "resnet18@224 = {gflops} GFLOPs");
+}
+
+#[test]
+fn vgg11_flops_roughly_match_public_numbers() {
+    // VGG-11 at 224x224 is ~15.2 GFLOPs.
+    let g = CnnConfig::vgg11().graph(1, 224);
+    let gflops = g.total_flops() / 1e9;
+    assert!((11.0..20.0).contains(&gflops), "vgg11@224 = {gflops} GFLOPs");
+}
+
+#[test]
+fn googlenet_is_much_cheaper_than_vgg() {
+    let goog = CnnConfig::googlenet().graph(1, 224).total_flops();
+    let vgg = CnnConfig::vgg11().graph(1, 224).total_flops();
+    assert!(vgg > 4.0 * goog, "GoogLeNet should be far cheaper than VGG");
+}
+
+#[test]
+fn llama_prefill_flops_scale_with_prompt() {
+    let cfg = LlamaConfig::llama2_13b_tp4();
+    let short = cfg.prefill_graph(1, 64).total_flops();
+    let long = cfg.prefill_graph(1, 512).total_flops();
+    assert!(long > 7.0 * short);
+    // Per-rank prefill at 512 tokens: ~13B params / 4 ranks * 2 flops *
+    // 512 tokens ~ 3.3 TFLOPs (projections only; attention adds more).
+    assert!((1e12..8e12).contains(&long), "prefill@512 = {long}");
+}
+
+#[test]
+fn every_model_operator_is_well_formed() {
+    let mut graphs = vec![
+        TransformerConfig::bert_base().graph(2, 33),
+        CnnConfig::googlenet().graph(3, 96),
+        LlamaConfig::llama2_13b_tp4().prefill_graph(2, 17),
+    ];
+    graphs.extend(LlamaConfig::llama2_13b_tp4().generation_graphs(1, 9, 70));
+    for graph in graphs {
+        assert!(graph.num_executions() > 0, "{graph}");
+        for op in &graph.ops {
+            let view = op.operator.gemm_view();
+            assert!(view.shape.flops() > 0.0);
+            assert!(view.load_scale >= 1.0);
+            match op.operator {
+                Operator::Conv2d { shape, .. } | Operator::Conv2dWinograd { shape, .. } => {
+                    assert!(shape.out_h() > 0 && shape.out_w() > 0)
+                }
+                Operator::Gemm { .. } | Operator::BatchedGemm { .. } => {}
+            }
+        }
+    }
+}
