@@ -154,7 +154,11 @@ impl PeState {
     }
 }
 
-fn flatten(machine: &MachineModel, launch: &Launch, mode: TimingMode) -> Vec<(PendingTask, Option<usize>)> {
+fn flatten(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+) -> Vec<(PendingTask, Option<usize>)> {
     let mut out = Vec::with_capacity(launch.grid_size());
     for (group_index, group) in launch.groups.iter().enumerate() {
         let spec = &group.spec;
@@ -291,10 +295,7 @@ fn simulate_impl(
                     .enumerate()
                     .filter(|(_, pe)| pe.fits(machine, head))
                     .max_by_key(|(i, pe)| {
-                        (
-                            machine.warp_cap_per_pe - pe.used_warps,
-                            usize::MAX - *i,
-                        )
+                        (machine.warp_cap_per_pe - pe.used_warps, usize::MAX - *i)
                     })
                     .map(|(i, _)| i);
                 match candidate {
@@ -360,7 +361,11 @@ fn simulate_impl(
 
 /// Simulates a sequence of launches executed back to back (one operator
 /// region sequence, or a whole model's operator list).
-pub fn simulate_launches(machine: &MachineModel, launches: &[Launch], mode: TimingMode) -> SimReport {
+pub fn simulate_launches(
+    machine: &MachineModel,
+    launches: &[Launch],
+    mode: TimingMode,
+) -> SimReport {
     let mut acc = SimReport::empty(machine.num_pes);
     for launch in launches {
         acc = acc.chain(&simulate(machine, launch, mode));
@@ -448,8 +453,7 @@ mod tests {
         // All tasks forced onto PE 0: serial execution.
         let serial = Launch::from_groups(vec![TaskGroup::with_assignment(s, vec![0; 8])]);
         // Spread across 8 PEs: parallel execution.
-        let spread =
-            Launch::from_groups(vec![TaskGroup::with_assignment(s, (0..8).collect())]);
+        let spread = Launch::from_groups(vec![TaskGroup::with_assignment(s, (0..8).collect())]);
         let r_serial = simulate(&m, &serial, TimingMode::Evaluate);
         let r_spread = simulate(&m, &spread, TimingMode::Evaluate);
         assert!(r_serial.device_ns > 6.0 * r_spread.device_ns);

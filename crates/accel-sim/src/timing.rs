@@ -56,7 +56,13 @@ impl TimingMode {
 ///    fragments in flight to cover the MMA pipeline latency;
 /// 3. **reduction depth** — a deeper `uK` amortizes the accumulator
 ///    load/store and loop overhead across more MMAs.
-pub fn compute_efficiency(machine: &MachineModel, um: usize, un: usize, uk: usize, warps: usize) -> f64 {
+pub fn compute_efficiency(
+    machine: &MachineModel,
+    um: usize,
+    un: usize,
+    uk: usize,
+    warps: usize,
+) -> f64 {
     let mma = machine.mma;
     let pad = |x: usize, q: usize| -> f64 {
         let padded = x.div_ceil(q) * q;
@@ -98,8 +104,8 @@ impl KernelTiming {
     pub fn derive(machine: &MachineModel, spec: &TaskSpec) -> Self {
         let shape = &spec.shape;
         let warp_share = (spec.warps as f64 / machine.warp_cap_per_pe as f64).min(1.0);
-        let eff = compute_efficiency(machine, shape.um, shape.un, shape.uk, spec.warps)
-            * shape.quality;
+        let eff =
+            compute_efficiency(machine, shape.um, shape.un, shape.uk, spec.warps) * shape.quality;
         let compute_flops_per_ns = machine.pe_peak_flops() / 1e9 * warp_share * eff;
         let mem_bytes_per_ns = machine.pe_bandwidth_bytes_per_ns();
 
@@ -161,7 +167,12 @@ mod tests {
     #[test]
     fn efficiency_in_unit_interval() {
         let m = MachineModel::a100();
-        for &(um, un, uk, w) in &[(16, 16, 16, 1), (256, 128, 32, 8), (64, 64, 64, 4), (48, 80, 16, 2)] {
+        for &(um, un, uk, w) in &[
+            (16, 16, 16, 1),
+            (256, 128, 32, 8),
+            (64, 64, 64, 4),
+            (48, 80, 16, 2),
+        ] {
             let e = compute_efficiency(&m, um, un, uk, w);
             assert!(e > 0.0 && e <= 1.0, "eff({um},{un},{uk},{w}) = {e}");
         }
@@ -234,7 +245,10 @@ mod tests {
         let b = measure_pipelined_task(&m, &spec, mode);
         assert_eq!(a, b);
         assert!((a / truth - 1.0).abs() <= 0.02 + 1e-12);
-        assert_eq!(measure_pipelined_task(&m, &spec, TimingMode::Evaluate), truth);
+        assert_eq!(
+            measure_pipelined_task(&m, &spec, TimingMode::Evaluate),
+            truth
+        );
     }
 
     #[test]

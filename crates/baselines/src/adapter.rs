@@ -115,7 +115,9 @@ mod tests {
     #[test]
     fn faster_transformer_delegates_to_vendor() {
         let ft = FasterTransformer::new(MachineModel::a100());
-        let run = ft.run(&Operator::gemm(GemmShape::new(3840, 128, 5120))).expect("run");
+        let run = ft
+            .run(&Operator::gemm(GemmShape::new(3840, 128, 5120)))
+            .expect("run");
         assert!(run.report.time_ns > 0.0);
         assert_eq!(ft.name(), "FasterTransformer");
     }

@@ -26,7 +26,11 @@ pub enum BackendError {
 impl std::fmt::Display for BackendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BackendError::OutOfRange { dimension, value, range } => write!(
+            BackendError::OutOfRange {
+                dimension,
+                value,
+                range,
+            } => write!(
                 f,
                 "invalid run: dimension {dimension} = {value} outside compiled range [{}, {}]",
                 range.0, range.1

@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn runs_and_reports_time() {
         let c = CutlassLibrary::new(MachineModel::a100());
-        let run = c.run(&Operator::gemm(GemmShape::new(1024, 1024, 1024))).expect("run");
+        let run = c
+            .run(&Operator::gemm(GemmShape::new(1024, 1024, 1024)))
+            .expect("run");
         assert!(run.report.time_ns > 0.0);
         assert!(run.tflops() > 10.0);
     }

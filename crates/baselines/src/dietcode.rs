@@ -12,7 +12,9 @@
 //!   representative shape, not the actual one, and its shape-generic loop
 //!   code pays boundary checks instead of MikPoly's local padding.
 
-use accel_sim::{pipelined_task_ns, simulate, Launch, MachineModel, TaskShape, TaskSpec, TimingMode};
+use accel_sim::{
+    pipelined_task_ns, simulate, Launch, MachineModel, TaskShape, TaskSpec, TimingMode,
+};
 use tensor_ir::{GemmShape, GemmView, Operator};
 
 use crate::backend::{Backend, BackendError, BackendRun};
@@ -39,10 +41,18 @@ impl GemmRanges {
     }
 
     fn check(&self, shape: GemmShape) -> Result<(), BackendError> {
-        let dims = [("M", shape.m, self.m), ("N", shape.n, self.n), ("K", shape.k, self.k)];
+        let dims = [
+            ("M", shape.m, self.m),
+            ("N", shape.n, self.n),
+            ("K", shape.k, self.k),
+        ];
         for (dimension, value, range) in dims {
             if value < range.0 || value > range.1 {
-                return Err(BackendError::OutOfRange { dimension, value, range });
+                return Err(BackendError::OutOfRange {
+                    dimension,
+                    value,
+                    range,
+                });
             }
         }
         Ok(())
@@ -152,7 +162,13 @@ fn tune_for(machine: &MachineModel, rep: GemmShape, quality: f64) -> TunedProgra
                     let tasks = rep.m.div_ceil(um) * rep.n.div_ceil(un);
                     let waves = tasks.div_ceil(machine.num_pes) as f64;
                     let est = waves * pipelined_task_ns(machine, &spec);
-                    let candidate = TunedProgram { rep, um, un, uk, warps: w };
+                    let candidate = TunedProgram {
+                        rep,
+                        um,
+                        un,
+                        uk,
+                        warps: w,
+                    };
                     if best.as_ref().is_none_or(|(b, _)| est < *b) {
                         best = Some((est, candidate));
                     }
@@ -183,7 +199,11 @@ impl Backend for DietCode {
             .with_quality(self.quality);
         let spec = TaskSpec::new(shape, p.warps, view.shape.k.div_ceil(p.uk));
         let count = view.shape.m.div_ceil(p.um) * view.shape.n.div_ceil(p.un);
-        let report = simulate(&self.machine, &Launch::grid(spec, count), TimingMode::Evaluate);
+        let report = simulate(
+            &self.machine,
+            &Launch::grid(spec, count),
+            TimingMode::Evaluate,
+        );
         Ok(BackendRun {
             report,
             // Nearest-representative dispatch over the pre-compiled program
@@ -204,15 +224,26 @@ mod tests {
     #[test]
     fn in_range_shapes_run() {
         let d = backend();
-        let run = d.run(&Operator::gemm(GemmShape::new(512, 512, 512))).expect("run");
+        let run = d
+            .run(&Operator::gemm(GemmShape::new(512, 512, 512)))
+            .expect("run");
         assert!(run.report.time_ns > 0.0);
     }
 
     #[test]
     fn out_of_range_shapes_are_invalid_runs() {
         let d = backend();
-        let err = d.run(&Operator::gemm(GemmShape::new(8192, 512, 512))).expect_err("must fail");
-        assert!(matches!(err, BackendError::OutOfRange { dimension: "M", value: 8192, .. }));
+        let err = d
+            .run(&Operator::gemm(GemmShape::new(8192, 512, 512)))
+            .expect_err("must fail");
+        assert!(matches!(
+            err,
+            BackendError::OutOfRange {
+                dimension: "M",
+                value: 8192,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -220,12 +251,16 @@ mod tests {
         let d = backend();
         let p = d.dispatch(GemmShape::new(1000, 1000, 1000));
         let close = |a: usize, b: usize| (a as f64 / b as f64).max(b as f64 / a as f64) <= 4.0;
-        assert!(close(p.rep.m, 1000) && close(p.rep.n, 1000) && close(p.rep.k, 1000), "{p:?}");
+        assert!(
+            close(p.rep.m, 1000) && close(p.rep.n, 1000) && close(p.rep.k, 1000),
+            "{p:?}"
+        );
     }
 
     #[test]
     fn wider_ranges_mean_more_programs() {
-        let narrow = DietCode::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(256, 1024));
+        let narrow =
+            DietCode::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(256, 1024));
         let wide = DietCode::compile(MachineModel::a100_cuda_cores(), GemmRanges::cube(1, 65536));
         assert!(wide.num_programs() > narrow.num_programs());
     }

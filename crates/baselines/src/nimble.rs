@@ -73,7 +73,11 @@ impl Backend for Nimble {
         ];
         for (dimension, value, range) in dims {
             if value < range.0 || value > range.1 {
-                return Err(BackendError::OutOfRange { dimension, value, range });
+                return Err(BackendError::OutOfRange {
+                    dimension,
+                    value,
+                    range,
+                });
             }
         }
         let (um, un, uk) = self.tile;
@@ -84,7 +88,11 @@ impl Backend for Nimble {
         let warps = self.warps.min(self.machine.warp_cap_per_pe);
         let spec = TaskSpec::new(shape, warps, s.k.div_ceil(uk));
         let count = s.m.div_ceil(um) * s.n.div_ceil(un);
-        let report = simulate(&self.machine, &Launch::grid(spec, count), TimingMode::Evaluate);
+        let report = simulate(
+            &self.machine,
+            &Launch::grid(spec, count),
+            TimingMode::Evaluate,
+        );
         Ok(BackendRun {
             report,
             overhead_ns: VM_OVERHEAD_NS,
@@ -109,7 +117,9 @@ mod tests {
     #[test]
     fn vm_overhead_dominates_small_ops() {
         let n = backend();
-        let run = n.run(&Operator::gemm(GemmShape::new(16, 16, 16))).expect("run");
+        let run = n
+            .run(&Operator::gemm(GemmShape::new(16, 16, 16)))
+            .expect("run");
         assert!(run.overhead_ns >= VM_OVERHEAD_NS);
         assert!(run.overhead_ns > run.report.time_ns / 2.0);
     }
@@ -117,13 +127,17 @@ mod tests {
     #[test]
     fn out_of_range_is_invalid() {
         let n = backend();
-        assert!(n.run(&Operator::gemm(GemmShape::new(1, 1, 100_000))).is_err());
+        assert!(n
+            .run(&Operator::gemm(GemmShape::new(1, 1, 100_000)))
+            .is_err());
     }
 
     #[test]
     fn runs_within_range() {
         let n = backend();
-        let run = n.run(&Operator::gemm(GemmShape::new(1024, 1024, 1024))).expect("run");
+        let run = n
+            .run(&Operator::gemm(GemmShape::new(1024, 1024, 1024)))
+            .expect("run");
         assert!(run.report.time_ns > 0.0);
     }
 }

@@ -126,7 +126,9 @@ impl VendorLibrary {
             .iter()
             .min_by(|a, b| {
                 let score = |k: &VendorKernel| self.smooth_time_estimate(k, view);
-                score(a).total_cmp(&score(b)).then((b.um * b.un).cmp(&(a.um * a.un)))
+                score(a)
+                    .total_cmp(&score(b))
+                    .then((b.um * b.un).cmp(&(a.um * a.un)))
             })
             .expect("vendor menu always contains a fitting kernel")
     }
@@ -223,7 +225,9 @@ mod tests {
     #[test]
     fn cublas_is_fast_on_golden_shapes() {
         let lib = VendorLibrary::cublas(MachineModel::a100());
-        let run = lib.run(&Operator::gemm(GemmShape::new(4096, 4096, 4096))).expect("run");
+        let run = lib
+            .run(&Operator::gemm(GemmShape::new(4096, 4096, 4096)))
+            .expect("run");
         // Fig. 1 reports 262 TFLOPS; our reproduction should be well over
         // half of peak.
         assert!(run.tflops() > 150.0, "got {} TFLOPS", run.tflops());
@@ -233,8 +237,12 @@ mod tests {
     fn cublas_collapses_on_skinny_shapes() {
         // Fig. 1's pathological case: (105, 1024, 12544) at 22 TFLOPS.
         let lib = VendorLibrary::cublas(MachineModel::a100());
-        let good = lib.run(&Operator::gemm(GemmShape::new(4096, 4096, 4096))).expect("run");
-        let bad = lib.run(&Operator::gemm(GemmShape::new(105, 1024, 12544))).expect("run");
+        let good = lib
+            .run(&Operator::gemm(GemmShape::new(4096, 4096, 4096)))
+            .expect("run");
+        let bad = lib
+            .run(&Operator::gemm(GemmShape::new(105, 1024, 12544)))
+            .expect("run");
         assert!(
             bad.tflops() < good.tflops() / 4.0,
             "skinny {} vs golden {}",

@@ -48,11 +48,21 @@ fn bench_region_cost(c: &mut Criterion) {
 fn bench_lpt_makespan(c: &mut Criterion) {
     // Four groups, tens of thousands of tasks: the level-based makespan
     // must stay O(groups^2) regardless of counts.
-    let groups = [(1200.0, 9600usize), (800.0, 12_000), (400.0, 30_000), (90.0, 4_000)];
+    let groups = [
+        (1200.0, 9600usize),
+        (800.0, 12_000),
+        (400.0, 30_000),
+        (90.0, 4_000),
+    ];
     c.bench_function("cost/lpt-makespan-4-groups-55k-tasks", |b| {
         b.iter(|| black_box(lpt_makespan(black_box(&groups), 32)));
     });
 }
 
-criterion_group!(benches, bench_perf_model, bench_region_cost, bench_lpt_makespan);
+criterion_group!(
+    benches,
+    bench_perf_model,
+    bench_region_cost,
+    bench_lpt_makespan
+);
 criterion_main!(benches);

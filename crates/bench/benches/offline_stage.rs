@@ -47,5 +47,10 @@ fn bench_library_io(c: &mut Criterion) {
     let _ = std::fs::remove_file(path);
 }
 
-criterion_group!(benches, bench_generation, bench_npu_generation, bench_library_io);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_npu_generation,
+    bench_library_io
+);
 criterion_main!(benches);

@@ -25,8 +25,14 @@ fn bench_polymerized_launch(c: &mut Criterion) {
     // A mixed two-kernel launch, as polymerization emits (the Fig. 15
     // GEMM-AB structure).
     let machine = MachineModel::a100();
-    let a = TaskGroup::new(TaskSpec::new(TaskShape::gemm_tile_f16(256, 128, 32), 8, 128), 96);
-    let b = TaskGroup::new(TaskSpec::new(TaskShape::gemm_tile_f16(64, 64, 64), 4, 64), 256);
+    let a = TaskGroup::new(
+        TaskSpec::new(TaskShape::gemm_tile_f16(256, 128, 32), 8, 128),
+        96,
+    );
+    let b = TaskGroup::new(
+        TaskSpec::new(TaskShape::gemm_tile_f16(64, 64, 64), 4, 64),
+        256,
+    );
     let launch = Launch::from_groups(vec![a, b]);
     c.bench_function("simulator/mixed-kernel-launch", |bch| {
         bch.iter(|| black_box(simulate(&machine, &launch, TimingMode::Evaluate)));

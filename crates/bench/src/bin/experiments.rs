@@ -76,8 +76,7 @@ fn main() {
             })
             .collect::<serde_json::Map<String, serde_json::Value>>()
             .into();
-        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).expect("json"))
-        {
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).expect("json")) {
             eprintln!("(summary write failed: {e})");
         } else {
             eprintln!("headline summary: {}", path.display());
@@ -89,7 +88,10 @@ fn main() {
 fn check(config: &Config) -> ! {
     let path = config.results_dir.join("summary.json");
     let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read {}: {e}\nrun `experiments all` first", path.display());
+        eprintln!(
+            "cannot read {}: {e}\nrun `experiments all` first",
+            path.display()
+        );
         std::process::exit(2);
     });
     let summary: serde_json::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {

@@ -73,9 +73,27 @@ pub fn expectations() -> Vec<Expectation> {
         exp("tab9", "elapsed_cycles_sm growth", 1.7, 2.2, 1.96),
         exp("tab9", "GEMM-AB speedup over GEMM-A", 1.1, 1.9, 1.21),
         // Extensions stay sane.
-        exp("ext-winograd", "mean Winograd speedup", 1.05, 2.25, f64::NAN),
-        exp("ext-splitk", "mean split-K speedup on machine-starved grids", 1.0, 3.0, f64::NAN),
-        exp("abl-search", "nvidia-a100: mean quality of heuristic", 0.97, 1.02, f64::NAN),
+        exp(
+            "ext-winograd",
+            "mean Winograd speedup",
+            1.05,
+            2.25,
+            f64::NAN,
+        ),
+        exp(
+            "ext-splitk",
+            "mean split-K speedup on machine-starved grids",
+            1.0,
+            3.0,
+            f64::NAN,
+        ),
+        exp(
+            "abl-search",
+            "nvidia-a100: mean quality of heuristic",
+            0.97,
+            1.02,
+            f64::NAN,
+        ),
     ]
 }
 
@@ -85,7 +103,10 @@ pub fn check_summary(summary: &serde_json::Value) -> Vec<String> {
     let mut failures = Vec::new();
     for e in expectations() {
         let Some(entries) = summary.get(e.id).and_then(|v| v.as_array()) else {
-            failures.push(format!("[{}] missing from summary (run `experiments all` first)", e.id));
+            failures.push(format!(
+                "[{}] missing from summary (run `experiments all` first)",
+                e.id
+            ));
             continue;
         };
         let found = entries.iter().find(|entry| {
@@ -95,10 +116,16 @@ pub fn check_summary(summary: &serde_json::Value) -> Vec<String> {
                 .is_some_and(|m| m.contains(e.metric))
         });
         let Some(found) = found else {
-            failures.push(format!("[{}] headline containing '{}' not found", e.id, e.metric));
+            failures.push(format!(
+                "[{}] headline containing '{}' not found",
+                e.id, e.metric
+            ));
             continue;
         };
-        let value = found.get("value").and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+        let value = found
+            .get("value")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN);
         if !(e.range.0..=e.range.1).contains(&value) {
             failures.push(format!(
                 "[{}] '{}' = {:.3} outside [{}, {}] (paper: {})",
@@ -147,6 +174,9 @@ mod tests {
             "fig1": [{ "metric": "best/worst ratio (paper: 11.8)", "value": 14.0 }]
         });
         let failures = check_summary(&summary);
-        assert!(!failures.iter().any(|f| f.contains("fig1] 'best/worst")), "{failures:?}");
+        assert!(
+            !failures.iter().any(|f| f.contains("fig1] 'best/worst")),
+            "{failures:?}"
+        );
     }
 }

@@ -44,7 +44,15 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "abl-patterns",
         "Pattern-set ablation: device-time quality vs polymerization latency",
-        &["machine", "n_mik", "patterns", "rel. perf vs I only", "geomean", "max gain", "search us (mean)"],
+        &[
+            "machine",
+            "n_mik",
+            "patterns",
+            "rel. perf vs I only",
+            "geomean",
+            "max gain",
+            "search us (mean)",
+        ],
     );
     // Two library sizes: the paper's 40-kernel coverage library (where
     // Pattern I with the right kernel already captures most wins) and a
@@ -77,9 +85,7 @@ pub fn run(h: &Harness) -> Vec<Report> {
                 format!("{:.2}", max(&rel)),
                 format!("{:.1}", mean(&search_us)),
             ]);
-            if patterns == 2
-                && machine.allocation == accel_sim::AllocationPolicy::DynamicHardware
-            {
+            if patterns == 2 && machine.allocation == accel_sim::AllocationPolicy::DynamicHardware {
                 report.headline(
                     format!("GPU gain of Pattern II over I alone (n_mik {n_mik})"),
                     mean(&rel),

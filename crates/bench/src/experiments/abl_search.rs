@@ -74,7 +74,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             e_strats.to_string(),
         ]);
         report.headline(
-            format!("{}: mean quality of heuristic vs exhaustive (1.0 = equal)", machine.name),
+            format!(
+                "{}: mean quality of heuristic vs exhaustive (1.0 = equal)",
+                machine.name
+            ),
             mean(&quality),
         );
         report.headline(

@@ -36,7 +36,11 @@ fn program(shape: GemmShape, regions: Vec<Region>) -> CompiledProgram {
     CompiledProgram {
         operator,
         view: operator.gemm_view(),
-        pattern: if regions.len() == 1 { PatternId(1) } else { PatternId(2) },
+        pattern: if regions.len() == 1 {
+            PatternId(1)
+        } else {
+            PatternId(2)
+        },
         regions,
         split_k: 1,
         predicted_ns: f64::NAN,
@@ -73,7 +77,13 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut fig15 = Report::new(
         "fig15a",
         "GEMM-A vs GEMM-B vs GEMM-AB across M (N=1024, K=4096)",
-        &["M", "GEMM-A (ms)", "GEMM-B (ms)", "GEMM-AB (ms)", "MikPoly (ms)"],
+        &[
+            "M",
+            "GEMM-A (ms)",
+            "GEMM-B (ms)",
+            "GEMM-AB (ms)",
+            "MikPoly (ms)",
+        ],
     );
     let compiler = h.compiler(&h.gpu(), TemplateKind::Gemm);
     for m in (1024..=4096).step_by(256) {
@@ -102,7 +112,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut tab9 = Report::new(
         "tab9",
         "Profiling counters (paper: sm_eff 86.67% -> 58.90%, cycles x1.96, grid 96 -> 128)",
-        &["program", "M", "grid_size", "sm_efficiency", "elapsed_cycles_sm (rel)", "time (ms)"],
+        &[
+            "program",
+            "M",
+            "grid_size",
+            "sm_efficiency",
+            "elapsed_cycles_sm (rel)",
+            "time (ms)",
+        ],
     );
     let a3072 = sim(h, &gemm_a(GemmShape::new(3072, 1024, 4096)));
     let a4096 = sim(h, &gemm_a(GemmShape::new(4096, 1024, 4096)));
@@ -159,25 +176,56 @@ pub fn run(h: &Harness) -> Vec<Report> {
                     .filter(|e| e.start_ns <= t && t < e.end_ns)
                     .map(|e| e.warps as f64)
                     .sum();
-                rows.push(if active / cap >= threshold - 1e-9 { '#' } else { ' ' });
+                rows.push(if active / cap >= threshold - 1e-9 {
+                    '#'
+                } else {
+                    ' '
+                });
             }
             rows.push('\n');
         }
         rows
     };
     let shape = GemmShape::new(4096, 1024, 4096);
-    let (ra, trace_a) =
-        simulate_traced(&h.gpu(), &gemm_a(shape).launch_dynamic(), TimingMode::Evaluate);
-    let (rab, trace_ab) =
-        simulate_traced(&h.gpu(), &gemm_ab(shape, 3072).launch_dynamic(), TimingMode::Evaluate);
-    println!("{}", occupancy_ascii("Fig. 15(b): GEMM-A active warps over time", &trace_a, ra.device_ns));
-    println!("{}", occupancy_ascii("Fig. 15(c): GEMM-AB active warps over time", &trace_ab, rab.device_ns));
+    let (ra, trace_a) = simulate_traced(
+        &h.gpu(),
+        &gemm_a(shape).launch_dynamic(),
+        TimingMode::Evaluate,
+    );
+    let (rab, trace_ab) = simulate_traced(
+        &h.gpu(),
+        &gemm_ab(shape, 3072).launch_dynamic(),
+        TimingMode::Evaluate,
+    );
+    println!(
+        "{}",
+        occupancy_ascii(
+            "Fig. 15(b): GEMM-A active warps over time",
+            &trace_a,
+            ra.device_ns
+        )
+    );
+    println!(
+        "{}",
+        occupancy_ascii(
+            "Fig. 15(c): GEMM-AB active warps over time",
+            &trace_ab,
+            rab.device_ns
+        )
+    );
 
     // Fig. 14 (NPU side): MikPoly's chosen polymerization on the NPU.
     let mut fig14 = Report::new(
         "fig14",
         "Polymerization strategies chosen for (4096, 1024, 4096)",
-        &["machine", "pattern", "region", "rows", "cols", "micro-kernel"],
+        &[
+            "machine",
+            "pattern",
+            "region",
+            "rows",
+            "cols",
+            "micro-kernel",
+        ],
     );
     for machine in [h.gpu(), h.npu()] {
         let compiler = h.compiler(&machine, TemplateKind::Gemm);

@@ -30,7 +30,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "ext-colaunch",
         "Co-launching independent operators of a dataflow stage (extension)",
-        &["model", "config", "stages", "sequential (ms)", "co-launched (ms)", "speedup"],
+        &[
+            "model",
+            "config",
+            "stages",
+            "sequential (ms)",
+            "co-launched (ms)",
+            "speedup",
+        ],
     );
     let sweep: &[(usize, usize)] = &[(1, 224), (4, 224), (1, 96), (8, 320)];
     let mut per_model: Vec<(String, Vec<f64>)> = Vec::new();

@@ -64,7 +64,8 @@ fn latency_ns(
         // attention score/context GEMMs are followed by softmax, which a
         // GEMM-epilogue fusion does not remove (it stays unfused in both
         // variants and is therefore excluded from the comparison).
-        let has_epilogue = !op.name.starts_with("attn.scores") && !op.name.starts_with("attn.context");
+        let has_epilogue =
+            !op.name.starts_with("attn.scores") && !op.name.starts_with("attn.context");
         if !fused && has_epilogue {
             let s = op.operator.gemm_view().shape;
             let epilogue = simulate(machine, &elementwise_launch(s.m, s.n), TimingMode::Evaluate);

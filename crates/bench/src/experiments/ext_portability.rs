@@ -21,7 +21,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "ext-portability",
         "Retargeting the pipeline to other machines (speedup over the vendor library)",
-        &["machine", "kernels", "largest tile", "GEMM mean", "geomean", "max"],
+        &[
+            "machine",
+            "kernels",
+            "largest tile",
+            "GEMM mean",
+            "geomean",
+            "max",
+        ],
     );
     let cases: Vec<Operator> = h
         .config
@@ -30,7 +37,11 @@ pub fn run(h: &Harness) -> Vec<Report> {
         .map(|c| Operator::gemm(c.shape))
         .collect();
 
-    for machine in [MachineModel::a100(), MachineModel::h100(), MachineModel::ascend910a()] {
+    for machine in [
+        MachineModel::a100(),
+        MachineModel::h100(),
+        MachineModel::ascend910a(),
+    ] {
         let compiler = h.compiler(&machine, TemplateKind::Gemm);
         let vendor = match machine.allocation {
             accel_sim::AllocationPolicy::DynamicHardware => VendorLibrary::cublas(machine.clone()),

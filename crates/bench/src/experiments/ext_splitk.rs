@@ -39,7 +39,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "ext-splitk",
         "Split-K polymerization (extension): speedup over pattern-I..II MikPoly",
-        &["population", "cases", "fired", "mean speedup", "geomean", "max"],
+        &[
+            "population",
+            "cases",
+            "fired",
+            "mean speedup",
+            "geomean",
+            "max",
+        ],
     );
     let mut all = Vec::new();
     let mut starved = Vec::new();
@@ -74,7 +81,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             format!("{:.2}", max(series)),
         ]);
     }
-    report.headline("mean split-K speedup on machine-starved grids", mean(&starved));
+    report.headline(
+        "mean split-K speedup on machine-starved grids",
+        mean(&starved),
+    );
     report.headline("max split-K speedup", max(&all));
     report.headline(
         "fraction of all cases where split-K fired",

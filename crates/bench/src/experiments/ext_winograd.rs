@@ -25,7 +25,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "ext-winograd",
         "Winograd F(2x2,3x3) vs implicit GEMM on eligible Table 4 cases (extension)",
-        &["model", "cases", "mean speedup", "geomean", "wins", "losses"],
+        &[
+            "model",
+            "cases",
+            "mean speedup",
+            "geomean",
+            "wins",
+            "losses",
+        ],
     );
     let cases: Vec<_> = h
         .config

@@ -76,24 +76,38 @@ pub fn run(h: &Harness) -> Vec<Report> {
             .with_series(Series::new(
                 "MikPoly",
                 '*',
-                cmp.flops.iter().copied().zip(cmp.speedups[1].iter().copied()).collect(),
+                cmp.flops
+                    .iter()
+                    .copied()
+                    .zip(cmp.speedups[1].iter().copied())
+                    .collect(),
             ))
             .with_series(Series::new(
                 "CUTLASS",
                 '.',
-                cmp.flops.iter().copied().zip(cmp.speedups[2].iter().copied()).collect(),
+                cmp.flops
+                    .iter()
+                    .copied()
+                    .zip(cmp.speedups[2].iter().copied())
+                    .collect(),
             ))
             .render()
     };
     println!("{}", scatter("Fig. 6 (GEMM): speedup over cuBLAS", &gemm));
     println!("{}", scatter("Fig. 6 (conv): speedup over cuDNN", &conv));
 
-    report.headline("GEMM mean speedup vs cuBLAS (paper: 1.47)", mean(&gemm.speedups[1]));
+    report.headline(
+        "GEMM mean speedup vs cuBLAS (paper: 1.47)",
+        mean(&gemm.speedups[1]),
+    );
     report.headline(
         "GEMM max speedup vs cuBLAS (paper: 4.82)",
         crate::report::max(&gemm.speedups[1]),
     );
-    report.headline("conv mean speedup vs cuDNN (paper: 1.98)", mean(&conv.speedups[1]));
+    report.headline(
+        "conv mean speedup vs cuDNN (paper: 1.98)",
+        mean(&conv.speedups[1]),
+    );
     report.headline(
         "conv max speedup vs cuDNN (paper: 5.38)",
         crate::report::max(&conv.speedups[1]),

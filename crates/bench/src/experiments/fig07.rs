@@ -40,8 +40,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let conv = SuiteComparison::run(&conv_cases, &cann, &[&mik_conv]);
     conv.summarize(&mut report, "conv");
 
-    report.headline("GEMM mean speedup vs CANN (paper: 1.10)", mean(&gemm.speedups[1]));
-    report.headline("conv mean speedup vs CANN (paper: 1.41)", mean(&conv.speedups[1]));
+    report.headline(
+        "GEMM mean speedup vs CANN (paper: 1.10)",
+        mean(&gemm.speedups[1]),
+    );
+    report.headline(
+        "conv mean speedup vs CANN (paper: 1.41)",
+        mean(&conv.speedups[1]),
+    );
     report.headline(
         "GEMM max speedup vs CANN (paper: up to 11.05 'peak')",
         crate::report::max(&gemm.speedups[1]),

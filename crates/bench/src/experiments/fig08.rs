@@ -24,7 +24,13 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "fig8",
         "End-to-end language models on GPU (speedup over cuBLAS baseline)",
-        &["model", "MikPoly mean", "CUTLASS mean", "MikPoly min", "MikPoly max"],
+        &[
+            "model",
+            "MikPoly mean",
+            "CUTLASS mean",
+            "MikPoly min",
+            "MikPoly max",
+        ],
     );
     let lengths: Vec<usize> = h.config.subsample(&sentence_lengths());
 
@@ -44,7 +50,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             cfg.name.clone(),
             format!("{:.2}", mean(&mik_speedups)),
             format!("{:.2}", mean(&cutlass_speedups)),
-            format!("{:.2}", mik_speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!(
+                "{:.2}",
+                mik_speedups.iter().copied().fold(f64::MAX, f64::min)
+            ),
             format!("{:.2}", crate::report::max(&mik_speedups)),
         ]);
         let paper = match cfg.name.as_str() {

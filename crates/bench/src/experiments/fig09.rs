@@ -25,7 +25,13 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "fig9",
         "End-to-end CNNs on GPU (speedup over cuDNN/cuBLAS baseline)",
-        &["model", "MikPoly mean", "CUTLASS mean", "MikPoly min", "MikPoly max"],
+        &[
+            "model",
+            "MikPoly mean",
+            "CUTLASS mean",
+            "MikPoly min",
+            "MikPoly max",
+        ],
     );
     // Every 4th config in quick mode; the full 8x10 grid otherwise.
     let sweep: Vec<(usize, usize)> = if h.config.stride > 1 {
@@ -50,7 +56,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             cfg.name.clone(),
             format!("{:.2}", mean(&mik_speedups)),
             format!("{:.2}", mean(&cutlass_speedups)),
-            format!("{:.2}", mik_speedups.iter().copied().fold(f64::MAX, f64::min)),
+            format!(
+                "{:.2}",
+                mik_speedups.iter().copied().fold(f64::MAX, f64::min)
+            ),
             format!("{:.2}", crate::report::max(&mik_speedups)),
         ]);
         let paper = match cfg.name.as_str() {

@@ -43,7 +43,11 @@ pub fn run(h: &Harness) -> Vec<Report> {
         // nearest-representative dispatch and Nimble's VM dispatch recur on
         // every run, so they stay in the per-run time; MikPoly's cached
         // program and CUTLASS's template pick do not.
-        let mik_ns = mik.run(op).expect("mikpoly handles any shape").report.time_ns;
+        let mik_ns = mik
+            .run(op)
+            .expect("mikpoly handles any shape")
+            .report
+            .time_ns;
         let d = dietcode.run(op).expect("in declared range").total_ns();
         let nb = nimble.run(op).expect("in declared range").total_ns();
         let c = cutlass.run(op).expect("cutlass runs").report.time_ns;
@@ -62,7 +66,11 @@ pub fn run(h: &Harness) -> Vec<Report> {
     .with_series(crate::chart::Series::new(
         "MikPoly",
         '*',
-        flops.iter().copied().zip(vs_dietcode.iter().copied()).collect(),
+        flops
+            .iter()
+            .copied()
+            .zip(vs_dietcode.iter().copied())
+            .collect(),
     ))
     .with_series(crate::chart::Series::new(
         "CUTLASS",
@@ -101,7 +109,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             format!("{:.2}", crate::report::max(sp)),
         ]);
     }
-    report.headline("mean speedup over DietCode (paper: 2.94)", mean(&vs_dietcode));
+    report.headline(
+        "mean speedup over DietCode (paper: 2.94)",
+        mean(&vs_dietcode),
+    );
     report.headline("mean speedup over Nimble (paper: 7.54)", mean(&vs_nimble));
     report.headline("mean speedup over CUTLASS (paper: 3.59)", mean(&vs_cutlass));
     vec![report]

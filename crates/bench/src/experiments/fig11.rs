@@ -6,10 +6,10 @@
 //! 1.01x for batch sizes 1 / 2 / 4 / 8.
 
 use mikpoly::TemplateKind;
-use tensor_ir::Operator;
 use mikpoly_baselines::{Backend, FasterTransformer, MikPolyBackend};
 use mikpoly_models::{LlamaConfig, ModelGraph};
 use mikpoly_workloads::{llama_sweep, LLAMA_OUTPUT_TOKENS};
+use tensor_ir::Operator;
 
 use crate::report::mean;
 use crate::setup::Harness;
@@ -91,7 +91,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             4 => 1.02,
             _ => 1.01,
         };
-        report.headline(format!("batch {batch} mean speedup (paper: {paper})"), mean(speedups));
+        report.headline(
+            format!("batch {batch} mean speedup (paper: {paper})"),
+            mean(speedups),
+        );
     }
     vec![report]
 }

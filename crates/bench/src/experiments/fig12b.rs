@@ -74,9 +74,15 @@ pub fn run(h: &Harness) -> Vec<Report> {
             format!("{:.2}", series.iter().copied().fold(f64::MAX, f64::min)),
             format!("{:.2}", crate::report::max(series)),
         ]);
-        report.headline(format!("{name} mean vs Oracle (paper: {paper})"), mean(series));
+        report.headline(
+            format!("{name} mean vs Oracle (paper: {paper})"),
+            mean(series),
+        );
     }
-    report.headline("oracle search seconds/shape (paper: ~1.6)", mean(&oracle_secs));
+    report.headline(
+        "oracle search seconds/shape (paper: ~1.6)",
+        mean(&oracle_secs),
+    );
     report.headline("cost-model search us/shape (paper: ~2)", mean(&model_us));
     report.headline("shapes evaluated", cases.len() as f64);
     vec![report]

@@ -54,7 +54,11 @@ pub fn run(h: &Harness) -> Vec<Report> {
     );
 
     let mut record = |param: &str, value: usize, speedup: f64| {
-        report.push_row(vec![param.to_string(), value.to_string(), format!("{speedup:.3}")]);
+        report.push_row(vec![
+            param.to_string(),
+            value.to_string(),
+            format!("{speedup:.3}"),
+        ]);
     };
 
     let mut at_default = 0.0;
@@ -77,6 +81,9 @@ pub fn run(h: &Harness) -> Vec<Report> {
         o.n_mik = n_mik;
         record("n_mik", n_mik, speedup_with(h, &o, &cases));
     }
-    report.headline("avg speedup at the paper's operating point (32, 12, 40)", at_default);
+    report.headline(
+        "avg speedup at the paper's operating point (32, 12, 40)",
+        at_default,
+    );
     vec![report]
 }

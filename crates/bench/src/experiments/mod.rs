@@ -33,10 +33,13 @@ use crate::report::{geomean, max, mean};
 use crate::setup::Harness;
 use crate::Report;
 
+/// An experiment entry point: takes the harness, returns its reports.
+pub type ExperimentFn = fn(&Harness) -> Vec<Report>;
+
 /// The registry of all experiments, in paper order.
-pub fn registry() -> Vec<(&'static str, fn(&Harness) -> Vec<Report>)> {
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("fig1", fig01::run as fn(&Harness) -> Vec<Report>),
+        ("fig1", fig01::run as ExperimentFn),
         ("tables", tables::run),
         ("fig6", fig06::run),
         ("fig7", fig07::run),
@@ -133,7 +136,8 @@ mod tests {
         assert_eq!(ids.len(), before, "duplicate experiment id");
         for id in ids {
             assert!(
-                id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                id.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "id {id} is not kebab-case"
             );
         }

@@ -50,7 +50,10 @@ pub fn run(h: &Harness) -> Vec<Report> {
             "resnet18" => 1.32,
             _ => 1.38,
         };
-        report.headline(format!("{} mean speedup (paper: {paper})", cfg.name), mean(&speedups));
+        report.headline(
+            format!("{} mean speedup (paper: {paper})", cfg.name),
+            mean(&speedups),
+        );
     }
     vec![report]
 }

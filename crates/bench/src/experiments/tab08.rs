@@ -27,7 +27,15 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut report = Report::new(
         "tab8",
         "Llama2-13b projection GEMMs vs cuBLAS (TP = 4)",
-        &["layer", "M", "N* range", "K", "mean speedup", "max speedup", "#cases"],
+        &[
+            "layer",
+            "M",
+            "N* range",
+            "K",
+            "mean speedup",
+            "max speedup",
+            "#cases",
+        ],
     );
     for (idx, proto) in cfg.projection_ops(1).iter().enumerate() {
         let mut speedups = Vec::new();

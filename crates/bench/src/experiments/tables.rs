@@ -10,7 +10,13 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut tab1 = Report::new(
         "tab1",
         "Accelerator abstraction H = (P_multi, M_local, M_global)",
-        &["machine", "|P_multi|", "M_local (KiB)", "M_global bw (GB/s)", "peak TFLOPS"],
+        &[
+            "machine",
+            "|P_multi|",
+            "M_local (KiB)",
+            "M_global bw (GB/s)",
+            "peak TFLOPS",
+        ],
     );
     for m in [h.gpu(), h.npu(), h.gpu_cuda_cores()] {
         tab1.push_row(vec![
@@ -29,11 +35,23 @@ pub fn run(h: &Harness) -> Vec<Report> {
     );
     for (a, b) in [
         ("NVIDIA A100 + CUDA 11.5", "accel-sim MachineModel::a100()"),
-        ("Ascend 910 + CANN 5.1.1", "accel-sim MachineModel::ascend910a()"),
-        ("cuBLAS / cuDNN / CANN kernels", "mikpoly-baselines VendorLibrary"),
+        (
+            "Ascend 910 + CANN 5.1.1",
+            "accel-sim MachineModel::ascend910a()",
+        ),
+        (
+            "cuBLAS / cuDNN / CANN kernels",
+            "mikpoly-baselines VendorLibrary",
+        ),
         ("CUTLASS v2.9", "mikpoly-baselines CutlassLibrary"),
-        ("PyTorch / TurboTransformers / MindSpore", "mikpoly-models operator graphs"),
-        ("TVM auto-scheduler", "mikpoly offline stage on simulator measurements"),
+        (
+            "PyTorch / TurboTransformers / MindSpore",
+            "mikpoly-models operator graphs",
+        ),
+        (
+            "TVM auto-scheduler",
+            "mikpoly offline stage on simulator measurements",
+        ),
     ] {
         tab2.push_row(vec![a.to_string(), b.to_string()]);
     }
@@ -41,7 +59,9 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut tab3 = Report::new(
         "tab3",
         "Benchmarked GEMMs with dynamic shapes (1599 cases)",
-        &["category", "source", "M range", "N range", "K range", "#cases"],
+        &[
+            "category", "source", "M range", "N range", "K range", "#cases",
+        ],
     );
     let mut total3 = 0usize;
     for r in gemm_suite_rows() {
@@ -60,7 +80,14 @@ pub fn run(h: &Harness) -> Vec<Report> {
     let mut tab4 = Report::new(
         "tab4",
         "Benchmarked convolutions with dynamic shapes (5485 cases)",
-        &["model", "filter", "stride", "resolution", "channels", "#cases"],
+        &[
+            "model",
+            "filter",
+            "stride",
+            "resolution",
+            "channels",
+            "#cases",
+        ],
     );
     let mut total4 = 0usize;
     for r in conv_suite_rows() {

@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use accel_sim::MachineModel;
-use mikpoly::{MikPoly, MicroKernelLibrary, OfflineOptions, TemplateKind};
+use mikpoly::{MicroKernelLibrary, MikPoly, OfflineOptions, TemplateKind};
 
 /// The workspace root, so artifact paths are stable regardless of the
 /// working directory (`cargo bench` runs with the crate as cwd).
@@ -75,7 +75,11 @@ impl Harness {
         let dir = workspace_root().join("target/mikpoly-libs");
         dir.join(format!(
             "{}-{:?}-g{}s{}m{}p{}.json",
-            machine.name, options.template, options.n_gen, options.n_syn, options.n_mik,
+            machine.name,
+            options.template,
+            options.n_gen,
+            options.n_syn,
+            options.n_mik,
             options.n_pred
         ))
     }

@@ -79,7 +79,10 @@ pub fn lpt_makespan(groups: &[(f64, usize)], num_pes: usize) -> f64 {
     let mut sorted = [(0.0f64, 0usize); MAX_GROUPS];
     let mut ng = 0usize;
     for &g in groups.iter().filter(|g| g.1 > 0) {
-        assert!(ng < MAX_GROUPS, "lpt_makespan supports at most {MAX_GROUPS} groups");
+        assert!(
+            ng < MAX_GROUPS,
+            "lpt_makespan supports at most {MAX_GROUPS} groups"
+        );
         let mut pos = ng;
         while pos > 0 && sorted[pos - 1].0 < g.0 {
             sorted[pos] = sorted[pos - 1];
@@ -166,7 +169,7 @@ mod tests {
     #[test]
     fn balances_equal_tasks_evenly() {
         let a = max_min_assign(&[10.0], &[32], 8);
-        let mut per_pe = vec![0usize; 8];
+        let mut per_pe = [0usize; 8];
         for &pe in &a[0] {
             per_pe[pe] += 1;
         }
@@ -202,10 +205,17 @@ mod tests {
         let counts = [2, 2, 2, 3];
         let m = 3;
         let a = max_min_assign(&durations, &counts, m);
-        let total: f64 = durations.iter().zip(&counts).map(|(d, &c)| d * c as f64).sum();
+        let total: f64 = durations
+            .iter()
+            .zip(&counts)
+            .map(|(d, &c)| d * c as f64)
+            .sum();
         let lower = (total / m as f64).max(7.0);
         let span = makespan(&durations, &a, m);
-        assert!(span <= lower * (4.0 / 3.0) + 1e-9, "span {span} vs lower {lower}");
+        assert!(
+            span <= lower * (4.0 / 3.0) + 1e-9,
+            "span {span} vs lower {lower}"
+        );
     }
 
     #[test]

@@ -4,14 +4,27 @@
 //! mikpoly gemm M N K [--machine a100|h100|910a|a100-cc] [--oracle] [--split-k]
 //! mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]
 //! mikpoly library [--machine ...]            # show the tuned kernel library
+//! mikpoly serve [--workers N] [--devices N] [--requests N]
+//!               [--utilization F] [--seed N] [--machine ...]
 //! ```
 //!
 //! Runs the offline stage (cached in-process), polymerizes the requested
 //! operator, prints the chosen program as restructured online loops, and
-//! times it on the simulated machine.
+//! times it on the simulated machine. `serve` instead drives the
+//! concurrent serving runtime: a Poisson stream of transformer-layer GEMM
+//! requests with random sequence lengths, served by a worker pool over a
+//! simulated device pool, reporting tail latency, its decomposition, and
+//! program-cache behaviour.
 
-use accel_sim::MachineModel;
-use mikpoly::{MikPoly, OfflineOptions, OnlineOptions, TemplateKind};
+use std::sync::Arc;
+
+use accel_sim::{Cluster, Interconnect, MachineModel};
+use mikpoly::serving::poisson_arrivals;
+use mikpoly::{
+    Engine, MikPoly, OfflineOptions, OnlineOptions, Request, ServingRuntime, TemplateKind,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use tensor_ir::{Conv2dShape, GemmShape, Operator};
 
 fn main() {
@@ -59,6 +72,9 @@ fn main() {
             };
             run(machine, template, op, &args);
         }
+        Some("serve") => {
+            serve(machine, &args);
+        }
         Some("library") => {
             let compiler = build(machine, TemplateKind::Gemm, &args);
             println!(
@@ -105,7 +121,11 @@ fn run(machine: MachineModel, template: TemplateKind, op: Operator, args: &[Stri
             "oracle ({} candidates simulated in {:.1?}):\n{}",
             oracle.candidates, oracle.search, oracle.program
         );
-        println!("device time: {:.1} us ({:.1} TFLOPS)", report.time_us(), report.tflops());
+        println!(
+            "device time: {:.1} us ({:.1} TFLOPS)",
+            report.time_us(),
+            report.tflops()
+        );
         return;
     }
     let result = compiler.run(&op);
@@ -123,6 +143,112 @@ fn run(machine: MachineModel, template: TemplateKind, op: Operator, args: &[Stri
         result.report.sm_efficiency * 100.0,
         result.report.grid_size
     );
+}
+
+/// Drives the serving runtime on a synthetic transformer-layer stream.
+fn serve(machine: MachineModel, args: &[String]) {
+    let workers: usize = parsed_flag(args, "--workers").unwrap_or(4);
+    let devices: usize = parsed_flag(args, "--devices").unwrap_or(workers);
+    let n_requests: usize = parsed_flag(args, "--requests").unwrap_or(96);
+    let utilization: f64 = parsed_flag(args, "--utilization").unwrap_or(0.8);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(42);
+    if workers == 0 || devices == 0 || n_requests == 0 || utilization <= 0.0 {
+        usage("serve needs positive --workers/--devices/--requests/--utilization");
+    }
+
+    // A reduced library keeps the offline stage interactive; the online
+    // path (the thing `serve` exercises) is identical.
+    eprintln!("offline: tuning micro-kernels for {} ...", machine.name);
+    let t0 = std::time::Instant::now();
+    let engine = Arc::new(Engine::offline(machine.clone(), &OfflineOptions::fast()));
+    eprintln!("offline: done in {:.1?}\n", t0.elapsed());
+
+    // One request = the four GEMMs of a transformer encoder layer at a
+    // random sequence length (quantized to 16, the serving bucket size).
+    let layer = |len: usize| -> Vec<(Operator, usize)> {
+        [(2304, 768), (768, 768), (3072, 768), (768, 3072)]
+            .into_iter()
+            .map(|(n, k)| (Operator::gemm(GemmShape::new(len, n, k)), 1))
+            .collect()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lengths: Vec<usize> = (0..n_requests)
+        .map(|_| 16 * rng.gen_range(2usize..=32))
+        .collect();
+
+    // Calibrate the arrival rate against the mean device time of a median
+    // request so --utilization is load relative to pool capacity.
+    let probe = engine
+        .run_graph(layer(256).iter().map(|(op, c)| (op, *c)))
+        .device_ns;
+    let mean_gap_ns = probe / (utilization * workers.min(devices) as f64);
+    let requests: Vec<Request> = poisson_arrivals(n_requests, mean_gap_ns, seed)
+        .into_iter()
+        .zip(&lengths)
+        .enumerate()
+        .map(|(id, (arrival_ns, &len))| Request {
+            id,
+            arrival_ns,
+            ops: layer(len),
+        })
+        .collect();
+
+    let cluster = Cluster::new(machine, devices, Interconnect::nvlink3());
+    let runtime = ServingRuntime::new(engine, cluster, workers);
+    let t1 = std::time::Instant::now();
+    let report = runtime.serve(&requests);
+    let wall = t1.elapsed();
+
+    let unique: std::collections::HashSet<usize> = lengths.iter().copied().collect();
+    let s = report.latency_summary();
+    println!(
+        "served {n_requests} requests ({} unique lengths) with {workers} workers / {devices} devices at {:.0}% target load",
+        unique.len(),
+        utilization * 100.0
+    );
+    println!(
+        "throughput: {:.0} req/s over a {:.2} ms stream (host wall clock {:.1?})\n",
+        report.throughput_rps(),
+        report.makespan_ns / 1e6,
+        wall
+    );
+    println!(
+        "latency      P50 {:>9.1} us   P95 {:>9.1} us   P99 {:>9.1} us   mean {:>9.1} us",
+        s.p50_ns / 1e3,
+        s.p95_ns / 1e3,
+        s.p99_ns / 1e3,
+        s.mean_ns / 1e3
+    );
+    println!(
+        "decomposed   queue {:>7.1} us   compile {:>5.1} us   device {:>6.1} us  (means)\n",
+        s.mean_queue_ns / 1e3,
+        s.mean_compile_ns / 1e3,
+        s.mean_device_ns / 1e3
+    );
+    for w in &report.workers {
+        println!(
+            "worker {}: {:>4} requests, {:>5.1}% utilized",
+            w.worker,
+            w.requests,
+            w.utilization * 100.0
+        );
+    }
+    let c = report.cache;
+    println!(
+        "\nprogram cache: {} polymerizations for {} unique shapes; {} hits, {} coalesced waits ({:.1}% hit rate)",
+        c.computations,
+        c.entries,
+        c.hits,
+        c.coalesced_waits,
+        c.hit_rate() * 100.0
+    );
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    flag_value(args, name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| usage(&format!("bad value '{v}' for {name}")))
+    })
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -144,5 +270,6 @@ fn usage(msg: &str) -> ! {
     eprintln!("  mikpoly gemm M N K [--machine a100|h100|910a|a100-cc] [--oracle] [--split-k]");
     eprintln!("  mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]");
     eprintln!("  mikpoly library [--machine ...]");
+    eprintln!("  mikpoly serve [--workers N] [--devices N] [--requests N] [--utilization F] [--seed N] [--machine ...]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

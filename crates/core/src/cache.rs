@@ -1,0 +1,405 @@
+//! Sharded, read-mostly program cache with single-flight compilation.
+//!
+//! The online stage is on the request path: under concurrent serving, a
+//! single `Mutex<HashMap>` serializes every lookup, and the naive
+//! check-then-insert pattern lets N threads that miss on the same shape
+//! all run the (micro- to millisecond) polymerization, N−1 of them
+//! wasted — a classic cache stampede. This cache fixes both:
+//!
+//! * **Sharding** — keys hash to one of N shards, each behind its own
+//!   `parking_lot::RwLock`. Hits take a shard *read* lock, so the steady
+//!   state (every hot shape cached) is reader-parallel across threads and
+//!   contention-free across shards.
+//! * **Single flight** — a miss installs an in-flight slot before
+//!   computing. Concurrent misses on the same key find the slot and block
+//!   on its condvar instead of re-running the computation; exactly one
+//!   thread polymerizes each unique shape, and everyone shares the
+//!   resulting `Arc`. If the computing thread panics, the slot is
+//!   abandoned and one waiter takes over, so a poisoned key cannot wedge
+//!   the cache.
+//!
+//! Counters are lock-free atomics; [`ShardedCache::stats`] snapshots them
+//! for serving telemetry.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+/// Default shard count: enough to make cross-shard collisions rare at
+/// serving-realistic thread counts, small enough to stay cheap to snapshot.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// How a value came out of [`ShardedCache::get_or_compute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The value was already cached.
+    Hit,
+    /// This call computed the value (the single flight).
+    Computed,
+    /// Another thread was computing the value; this call waited for it.
+    Waited,
+}
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry (each starts one computation).
+    pub misses: u64,
+    /// Computations that ran to completion (the polymerization count —
+    /// with single flight this equals the number of unique keys computed).
+    pub computations: u64,
+    /// Lookups that blocked on another thread's in-flight computation
+    /// instead of re-running it (each is one saved computation).
+    pub coalesced_waits: u64,
+    /// Entries inserted directly (e.g. a loaded ahead-of-time bundle).
+    pub direct_inserts: u64,
+    /// Cached entries at snapshot time.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Computations started but not yet finished at snapshot time.
+    pub fn in_flight(&self) -> u64 {
+        self.misses.saturating_sub(self.computations)
+    }
+
+    /// Fraction of lookups answered without computing, `NaN` if none.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.coalesced_waits;
+        self.hits as f64 / lookups as f64
+    }
+
+    /// Field-wise sum of two snapshots (e.g. the GEMM and conv caches of
+    /// an engine, reported as one).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            computations: self.computations + other.computations,
+            coalesced_waits: self.coalesced_waits + other.coalesced_waits,
+            direct_inserts: self.direct_inserts + other.direct_inserts,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+/// An in-flight computation other threads can await.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+enum FlightState<V> {
+    Pending,
+    Done(Arc<V>),
+    /// The computing thread panicked; a waiter must restart the flight.
+    Abandoned,
+}
+
+enum Slot<V> {
+    Ready(Arc<V>),
+    InFlight(Arc<Flight<V>>),
+}
+
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    computations: AtomicU64,
+    coalesced_waits: AtomicU64,
+    direct_inserts: AtomicU64,
+}
+
+/// Removes the in-flight slot and wakes waiters if the computation never
+/// completed (i.e. the closure panicked).
+struct FlightGuard<'a, K: Eq + Hash, V> {
+    shard: &'a RwLock<HashMap<K, Slot<V>>>,
+    key: Option<K>,
+    flight: Arc<Flight<V>>,
+}
+
+impl<K: Eq + Hash, V> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.shard.write().remove(&key);
+            *self.flight.state.lock() = FlightState::Abandoned;
+            self.flight.ready.notify_all();
+        }
+    }
+}
+
+/// A sharded map from keys to `Arc`'d values with single-flight fills.
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, Slot<V>>>>,
+    counters: Counters,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+    /// A cache with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (power of two recommended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "cache needs at least one shard");
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            counters: Counters {
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                computations: AtomicU64::new(0),
+                coalesced_waits: AtomicU64::new(0),
+                direct_inserts: AtomicU64::new(0),
+            },
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up without filling; counts as a hit when present.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let guard = self.shard(key).read();
+        match guard.get(key) {
+            Some(Slot::Ready(v)) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(v))
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the cached value for `key`, computing it with `compute` on
+    /// a miss. Concurrent callers for the same key coalesce onto a single
+    /// computation; the outcome says which role this call played.
+    pub fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> (Arc<V>, CacheOutcome) {
+        let shard = self.shard(key);
+        // Fast path: shared lock only.
+        {
+            let guard = shard.read();
+            if let Some(Slot::Ready(v)) = guard.get(key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(v), CacheOutcome::Hit);
+            }
+        }
+        loop {
+            // Decide this thread's role under the exclusive lock…
+            let flight = {
+                let mut guard = shard.write();
+                match guard.get(key) {
+                    Some(Slot::Ready(v)) => {
+                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(v), CacheOutcome::Hit);
+                    }
+                    Some(Slot::InFlight(flight)) => {
+                        let flight = Arc::clone(flight);
+                        drop(guard);
+                        match self.await_flight(&flight) {
+                            Some(v) => return (v, CacheOutcome::Waited),
+                            // Computing thread panicked: retry and take
+                            // over the flight.
+                            None => continue,
+                        }
+                    }
+                    None => {
+                        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        guard.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                        flight
+                    }
+                }
+            };
+            // …then compute outside any shard lock.
+            let mut guard = FlightGuard {
+                shard,
+                key: Some(key.clone()),
+                flight: Arc::clone(&flight),
+            };
+            let value = Arc::new(compute());
+            let key = guard.key.take().expect("guard armed"); // disarm
+            shard.write().insert(key, Slot::Ready(Arc::clone(&value)));
+            *flight.state.lock() = FlightState::Done(Arc::clone(&value));
+            flight.ready.notify_all();
+            self.counters.computations.fetch_add(1, Ordering::Relaxed);
+            return (value, CacheOutcome::Computed);
+        }
+    }
+
+    /// Blocks until `flight` resolves; `None` means it was abandoned.
+    fn await_flight(&self, flight: &Flight<V>) -> Option<Arc<V>> {
+        self.counters
+            .coalesced_waits
+            .fetch_add(1, Ordering::Relaxed);
+        let mut state = flight.state.lock();
+        loop {
+            match &*state {
+                FlightState::Done(v) => return Some(Arc::clone(v)),
+                FlightState::Abandoned => return None,
+                FlightState::Pending => flight.ready.wait(&mut state),
+            }
+        }
+    }
+
+    /// Inserts a ready value, replacing any previous entry.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        self.counters.direct_inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key).write().insert(key, Slot::Ready(value));
+    }
+
+    /// Clones out every ready value — a consistent-enough snapshot taken
+    /// shard by shard, without holding any lock across the whole scan.
+    pub fn snapshot(&self) -> Vec<Arc<V>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(guard.values().filter_map(|slot| match slot {
+                Slot::Ready(v) => Some(Arc::clone(v)),
+                Slot::InFlight(_) => None,
+            }));
+        }
+        out
+    }
+
+    /// Number of ready entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            computations: self.counters.computations.load(Ordering::Relaxed),
+            coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
+            direct_inserts: self.counters.direct_inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn hit_after_compute_and_counters() {
+        let cache: ShardedCache<u64, String> = ShardedCache::new();
+        let (v, outcome) = cache.get_or_compute(&7, || "seven".to_string());
+        assert_eq!(outcome, CacheOutcome::Computed);
+        assert_eq!(&*v, "seven");
+        let (v2, outcome2) = cache.get_or_compute(&7, || unreachable!("must hit"));
+        assert_eq!(outcome2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&v, &v2));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.computations), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_exactly_once() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                scope.spawn(move || {
+                    let (v, _) = cache.get_or_compute(&42, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        4242
+                    });
+                    assert_eq!(*v, 4242);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "single flight");
+        let stats = cache.stats();
+        assert_eq!(stats.computations, 1);
+        assert_eq!(stats.hits + stats.coalesced_waits, threads - 1);
+    }
+
+    #[test]
+    fn panicked_flight_is_taken_over() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        let c2 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let _ = c2.get_or_compute(&1, || panic!("simulated compile failure"));
+        });
+        assert!(panicker.join().is_err());
+        // The key is not wedged: the next caller computes it.
+        let (v, outcome) = cache.get_or_compute(&1, || 11);
+        assert_eq!((*v, outcome), (11, CacheOutcome::Computed));
+    }
+
+    #[test]
+    fn snapshot_and_direct_insert() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..100 {
+            cache.insert(k, Arc::new(k * 2));
+        }
+        assert_eq!(cache.len(), 100);
+        let mut values: Vec<u64> = cache.snapshot().iter().map(|v| **v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..100).map(|k| k * 2).collect::<Vec<_>>());
+        assert_eq!(cache.stats().direct_inserts, 100);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(16);
+        for k in 0..256 {
+            cache.insert(k, Arc::new(k));
+        }
+        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(occupied >= 12, "only {occupied}/16 shards occupied");
+    }
+}

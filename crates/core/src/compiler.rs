@@ -1,15 +1,14 @@
 //! The `MikPoly` facade: two-stage compilation end to end.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use accel_sim::{simulate, Launch, MachineModel, SimReport, TimingMode};
 use tensor_ir::Operator;
 
+use crate::cache::{CacheOutcome, CacheStats, ShardedCache};
 use crate::cost::CostModelKind;
 use crate::offline::{MicroKernelLibrary, OfflineOptions};
 use crate::pattern::{default_patterns, Pattern};
@@ -105,7 +104,7 @@ pub struct MikPoly {
     machine: MachineModel,
     library: Arc<MicroKernelLibrary>,
     options: OnlineOptions,
-    cache: Mutex<HashMap<Operator, Arc<CompiledProgram>>>,
+    cache: ShardedCache<Operator, CompiledProgram>,
 }
 
 impl MikPoly {
@@ -121,7 +120,7 @@ impl MikPoly {
             machine,
             library: Arc::new(library),
             options: OnlineOptions::default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
         }
     }
 
@@ -130,7 +129,7 @@ impl MikPoly {
     #[must_use]
     pub fn with_options(mut self, options: OnlineOptions) -> Self {
         self.options = options;
-        self.cache = Mutex::new(HashMap::new());
+        self.cache = ShardedCache::new();
         self
     }
 
@@ -159,16 +158,31 @@ impl MikPoly {
     /// On-the-fly polymerization for a runtime shape (Algorithm 1, lines
     /// 7–15). Cached per operator when [`OnlineOptions::cache`] is set.
     pub fn compile(&self, operator: &Operator) -> Arc<CompiledProgram> {
-        if self.options.cache {
-            if let Some(hit) = self.cache.lock().get(operator) {
-                return Arc::clone(hit);
-            }
+        self.compile_with_outcome(operator).0
+    }
+
+    /// Like [`MikPoly::compile`], but also reports how the cache answered:
+    /// a hit, a fresh polymerization, or a wait coalesced onto another
+    /// thread's in-flight polymerization of the same shape. Concurrent
+    /// misses on one operator compile exactly once (single flight).
+    pub fn compile_with_outcome(
+        &self,
+        operator: &Operator,
+    ) -> (Arc<CompiledProgram>, CacheOutcome) {
+        if !self.options.cache {
+            return (
+                Arc::new(self.compile_uncached(operator)),
+                CacheOutcome::Computed,
+            );
         }
-        let program = Arc::new(self.compile_uncached(operator));
-        if self.options.cache {
-            self.cache.lock().insert(*operator, Arc::clone(&program));
-        }
-        program
+        self.cache
+            .get_or_compute(operator, || self.compile_uncached(operator))
+    }
+
+    /// Counter snapshot of the program cache (hits, polymerizations,
+    /// coalesced waits, …).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Compiles a batch of operators, in parallel across OS threads, and
@@ -176,25 +190,29 @@ impl MikPoly {
     /// shape set (model warm-up, serving with a published shape menu).
     /// Returns the programs in input order; duplicates compile once.
     pub fn compile_many(&self, operators: &[Operator]) -> Vec<Arc<CompiledProgram>> {
-        // Deduplicate first so each unique shape is compiled exactly once.
-        let mut unique: Vec<Operator> = operators.to_vec();
-        unique.sort_by_key(|op| format!("{op}"));
-        unique.dedup();
-        let todo: Vec<Operator> = if self.options.cache {
-            let cache = self.cache.lock();
-            unique.into_iter().filter(|op| !cache.contains_key(op)).collect()
-        } else {
-            unique
-        };
-        if !todo.is_empty() {
-            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
-            let chunk = todo.len().div_ceil(threads).max(1);
-            let compiled: Vec<(Operator, CompiledProgram)> = std::thread::scope(|scope| {
+        // Deduplicate first so each worker thread gets distinct shapes;
+        // single flight in the cache makes any residual overlap (a shape
+        // another thread is already compiling) coalesce rather than race.
+        let mut unique: Vec<Operator> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for op in operators {
+                if seen.insert(*op) {
+                    unique.push(*op);
+                }
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(16);
+        let chunk = unique.len().div_ceil(threads).max(1);
+        let compiled: std::collections::HashMap<Operator, Arc<CompiledProgram>> =
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for part in todo.chunks(chunk) {
+                for part in unique.chunks(chunk) {
                     handles.push(scope.spawn(move || {
                         part.iter()
-                            .map(|op| (*op, self.compile_uncached(op)))
+                            .map(|op| (*op, self.compile(op)))
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -203,14 +221,10 @@ impl MikPoly {
                     .flat_map(|h| h.join().expect("compile thread panicked"))
                     .collect()
             });
-            if self.options.cache {
-                let mut cache = self.cache.lock();
-                for (op, program) in compiled {
-                    cache.entry(op).or_insert_with(|| Arc::new(program));
-                }
-            }
-        }
-        operators.iter().map(|op| self.compile(op)).collect()
+        operators
+            .iter()
+            .map(|op| Arc::clone(&compiled[op]))
+            .collect()
     }
 
     /// Persists every cached compiled program to a JSON file — an
@@ -222,9 +236,11 @@ impl MikPoly {
     ///
     /// Returns any I/O error from writing the file.
     pub fn save_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let cache = self.cache.lock();
-        let programs: Vec<&CompiledProgram> = cache.values().map(|p| &**p).collect();
-        let json = serde_json::to_string(&programs).map_err(std::io::Error::other)?;
+        // Snapshot Arc clones shard by shard, then serialize and write with
+        // no cache lock held — concurrent compiles proceed during the I/O.
+        let programs: Vec<Arc<CompiledProgram>> = self.cache.snapshot();
+        let refs: Vec<&CompiledProgram> = programs.iter().map(|p| &**p).collect();
+        let json = serde_json::to_string(&refs).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
 
@@ -255,9 +271,9 @@ impl MikPoly {
             }
         }
         let count = programs.len();
-        let mut cache = self.cache.lock();
+        // Validation done; inserts take each shard's write lock briefly.
         for p in programs {
-            cache.insert(p.operator, Arc::new(p));
+            self.cache.insert(p.operator, Arc::new(p));
         }
         Ok(count)
     }
@@ -305,7 +321,9 @@ impl MikPoly {
             .unwrap_or_else(|| {
                 accel_sim::pipelined_task_ns(
                     &self.machine,
-                    &region.kernel.task_spec(&region_view(region), region.instances(k)),
+                    &region
+                        .kernel
+                        .task_spec(&region_view(region), region.instances(k)),
                 )
             })
     }
@@ -314,7 +332,11 @@ impl MikPoly {
     /// mode), including the split-K reduction pass when present.
     pub fn simulate(&self, program: &CompiledProgram) -> SimReport {
         match program.reduction_launch() {
-            None => simulate(&self.machine, &self.launch_for(program), TimingMode::Evaluate),
+            None => simulate(
+                &self.machine,
+                &self.launch_for(program),
+                TimingMode::Evaluate,
+            ),
             Some(reduction) => accel_sim::simulate_launches(
                 &self.machine,
                 &[self.launch_for(program), reduction],
@@ -325,10 +347,14 @@ impl MikPoly {
 
     /// Compiles and simulates an operator in one call.
     pub fn run(&self, operator: &Operator) -> OperatorRun {
-        let cached = self.options.cache && self.cache.lock().contains_key(operator);
         let start = Instant::now();
-        let program = self.compile(operator);
-        let compile_ns = if cached { 0 } else { start.elapsed().as_nanos() };
+        let (program, outcome) = self.compile_with_outcome(operator);
+        let compile_ns = match outcome {
+            CacheOutcome::Hit => 0,
+            // Both a fresh polymerization and a coalesced wait spend real
+            // wall-clock on the request path.
+            CacheOutcome::Computed | CacheOutcome::Waited => start.elapsed().as_nanos(),
+        };
         let report = self.simulate(&program);
         OperatorRun {
             program,
@@ -381,11 +407,7 @@ impl MikPoly {
 
 fn region_view(region: &Region) -> tensor_ir::GemmView {
     tensor_ir::GemmView {
-        shape: tensor_ir::GemmShape::new(
-            region.rows().max(1),
-            region.cols().max(1),
-            1,
-        ),
+        shape: tensor_ir::GemmShape::new(region.rows().max(1), region.cols().max(1), 1),
         dtype: tensor_ir::DType::F16,
         load_scale: 1.0,
     }
@@ -420,6 +442,23 @@ mod tests {
         assert!(first.compile_ns > 0);
         assert_eq!(second.compile_ns, 0);
         assert!(Arc::ptr_eq(&first.program, &second.program));
+    }
+
+    #[test]
+    fn concurrent_compiles_coalesce_to_one_polymerization() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(640, 320, 160));
+        let programs: Vec<Arc<CompiledProgram>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| c.compile(&op))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &programs[1..] {
+            assert!(Arc::ptr_eq(&programs[0], p));
+        }
+        let stats = c.cache_stats();
+        assert_eq!(stats.computations, 1, "stampede: {stats:?}");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced_waits, 7);
     }
 
     #[test]
@@ -517,10 +556,15 @@ mod compile_many_tests {
         let mut o = OfflineOptions::fast();
         o.n_gen = 4;
         let c = MikPoly::offline(MachineModel::a100(), &o);
-        let ops: Vec<Operator> = [(100, 200, 50), (4096, 1024, 4096), (100, 200, 50), (7, 9, 11)]
-            .into_iter()
-            .map(|(m, n, k)| Operator::gemm(GemmShape::new(m, n, k)))
-            .collect();
+        let ops: Vec<Operator> = [
+            (100, 200, 50),
+            (4096, 1024, 4096),
+            (100, 200, 50),
+            (7, 9, 11),
+        ]
+        .into_iter()
+        .map(|(m, n, k)| Operator::gemm(GemmShape::new(m, n, k)))
+        .collect();
         let batch = c.compile_many(&ops);
         assert_eq!(batch.len(), ops.len());
         // Duplicates share a program through the cache.

@@ -86,7 +86,13 @@ mod tests {
     }
 
     fn region(m: usize, n: usize, um: usize, un: usize, uk: usize) -> Region {
-        Region::new(0, m, 0, n, MicroKernel::new(MicroKernelId(0), um, un, uk, 4))
+        Region::new(
+            0,
+            m,
+            0,
+            n,
+            MicroKernel::new(MicroKernelId(0), um, un, uk, 4),
+        )
     }
 
     #[test]

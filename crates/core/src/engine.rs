@@ -119,8 +119,16 @@ impl Engine {
     ///
     /// Panics if the compilers target a different machine than `machine`.
     pub fn from_compilers(machine: MachineModel, gemm: Arc<MikPoly>, conv: Arc<MikPoly>) -> Self {
-        assert_eq!(gemm.machine().name, machine.name, "gemm compiler machine mismatch");
-        assert_eq!(conv.machine().name, machine.name, "conv compiler machine mismatch");
+        assert_eq!(
+            gemm.machine().name,
+            machine.name,
+            "gemm compiler machine mismatch"
+        );
+        assert_eq!(
+            conv.machine().name,
+            machine.name,
+            "conv compiler machine mismatch"
+        );
         Self {
             machine,
             gemm,
@@ -192,10 +200,7 @@ impl Engine {
 
     /// Runs a weighted operator list (one forward pass): each `(operator,
     /// count)` pair executes `count` times, compiled once.
-    pub fn run_graph<'a>(
-        &self,
-        ops: impl IntoIterator<Item = (&'a Operator, usize)>,
-    ) -> GraphRun {
+    pub fn run_graph<'a>(&self, ops: impl IntoIterator<Item = (&'a Operator, usize)>) -> GraphRun {
         let mut out = GraphRun::default();
         for (op, count) in ops {
             let result = self.run_operator(op);

@@ -133,7 +133,15 @@ mod tests {
     }
 
     fn compile(m: &MachineModel, l: &MicroKernelLibrary, op: Operator) -> CompiledProgram {
-        polymerize(m, l, &op.gemm_view(), op, &gpu_patterns(), CostModelKind::Full, true)
+        polymerize(
+            m,
+            l,
+            &op.gemm_view(),
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            true,
+        )
     }
 
     #[test]
@@ -163,7 +171,11 @@ mod tests {
         let filter = Tensor::random(&[7, 5, 3, 3], 4);
         let got = execute_conv2d(&prog, &input, &filter);
         let want = reference_conv2d(shape, &input, &filter);
-        assert!(got.approx_eq(&want, 1e-3), "max diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.approx_eq(&want, 1e-3),
+            "max diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl MicroKernel {
     pub fn new(id: MicroKernelId, um: usize, un: usize, uk: usize, warps: usize) -> Self {
         assert!(um > 0 && un > 0 && uk > 0, "tile extents must be positive");
         assert!(warps > 0, "a micro-kernel occupies at least one warp");
-        Self { id, um, un, uk, warps }
+        Self {
+            id,
+            um,
+            un,
+            uk,
+            warps,
+        }
     }
 
     /// The simulator task shape of one instance of this kernel for a given

@@ -48,9 +48,10 @@
 #![warn(missing_docs)]
 
 mod alloc;
+pub mod cache;
 mod compiler;
-mod engine;
 mod cost;
+mod engine;
 mod exec;
 mod kernel;
 mod offline;
@@ -58,11 +59,13 @@ pub mod pattern;
 mod perf_model;
 mod plan;
 mod search;
+pub mod serving;
 
 pub use alloc::{lpt_makespan, makespan, max_min_assign};
+pub use cache::{CacheOutcome, CacheStats, ShardedCache};
 pub use compiler::{MikPoly, OnlineOptions, OperatorRun, OracleResult};
-pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphRun};
 pub use cost::{f_pipe, f_wave, region_cost, CostModelKind};
+pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphRun};
 pub use exec::{execute_conv2d, execute_gemm};
 pub use kernel::{MicroKernel, MicroKernelId};
 pub use offline::{MicroKernelLibrary, OfflineOptions, TemplateKind, TunedKernel};
@@ -70,3 +73,7 @@ pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, Pattern
 pub use perf_model::{sample_schedule, PerfModel, Segment};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
 pub use search::{enumerate_strategies, improve_with_split_k, polymerize};
+pub use serving::{
+    poisson_arrivals, LatencySummary, Request, RequestRecord, ServingReport, ServingRuntime,
+    WorkerStats,
+};

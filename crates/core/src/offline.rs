@@ -171,7 +171,9 @@ impl MicroKernelLibrary {
 
         // Step 2+3: tune a schedule and fit g_predict per candidate, in
         // parallel.
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(16);
         let chunk = candidates.len().div_ceil(threads);
         let tuned: Vec<TunedKernel> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -329,7 +331,9 @@ fn synthetic_shapes(options: &OfflineOptions) -> Vec<GemmShape> {
     for i in 0..=options.n_syn {
         for j in 0..=options.n_syn {
             for l in 0..=options.n_syn {
-                if i == j && j == l || hash_f64(options.seed, &[i as u64, j as u64, l as u64]) < 0.18 {
+                if i == j && j == l
+                    || hash_f64(options.seed, &[i as u64, j as u64, l as u64]) < 0.18
+                {
                     shapes.push(GemmShape::new(1 << i, 1 << j, 1 << l));
                 }
             }
@@ -368,10 +372,7 @@ fn rank_and_prune(
         rel.push(row);
     }
     for si in 0..shapes.len() {
-        let best = rel
-            .iter()
-            .map(|row| row[si])
-            .fold(f64::INFINITY, f64::min);
+        let best = rel.iter().map(|row| row[si]).fold(f64::INFINITY, f64::min);
         for row in &mut rel {
             row[si] = best / row[si];
         }
@@ -390,7 +391,11 @@ fn rank_and_prune(
             .enumerate()
             .max_by(|(_, &a), (_, &b)| {
                 let gain = |k: usize| -> f64 {
-                    rel[k].iter().zip(&covered).map(|(r, c)| (r - c).max(0.0)).sum()
+                    rel[k]
+                        .iter()
+                        .zip(&covered)
+                        .map(|(r, c)| (r - c).max(0.0))
+                        .sum()
                 };
                 gain(a)
                     .total_cmp(&gain(b))

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn fit_recovers_affine_truth() {
         let truth = |t: usize| 500.0 + 12.5 * t as f64;
-        let samples: Vec<(usize, f64)> = sample_schedule(1024).iter().map(|&t| (t, truth(t))).collect();
+        let samples: Vec<(usize, f64)> = sample_schedule(1024)
+            .iter()
+            .map(|&t| (t, truth(t)))
+            .collect();
         let model = PerfModel::fit(&samples, 4);
         for &t in &[1, 7, 64, 500, 1024, 4096] {
             let err = (model.predict(t) - truth(t)).abs() / truth(t);
@@ -187,8 +190,12 @@ mod tests {
     fn fit_regresses_away_noise() {
         // ±2% multiplicative noise, deterministic per t.
         let truth = |t: usize| 300.0 + 8.0 * t as f64;
-        let noisy = |t: usize| truth(t) * (1.0 + 0.02 * if t % 2 == 0 { 1.0 } else { -1.0 });
-        let samples: Vec<(usize, f64)> = sample_schedule(2048).iter().map(|&t| (t, noisy(t))).collect();
+        let noisy =
+            |t: usize| truth(t) * (1.0 + 0.02 * if t.is_multiple_of(2) { 1.0 } else { -1.0 });
+        let samples: Vec<(usize, f64)> = sample_schedule(2048)
+            .iter()
+            .map(|&t| (t, noisy(t)))
+            .collect();
         let model = PerfModel::fit(&samples, 4);
         let pts: Vec<(usize, f64)> = (1..100).map(|t| (t * 20, truth(t * 20))).collect();
         assert!(model.mean_relative_error(&pts) < 0.03);
@@ -204,8 +211,10 @@ mod tests {
 
     #[test]
     fn predict_is_monotone_for_affine_truth() {
-        let samples: Vec<(usize, f64)> =
-            sample_schedule(512).iter().map(|&t| (t, 50.0 + 3.0 * t as f64)).collect();
+        let samples: Vec<(usize, f64)> = sample_schedule(512)
+            .iter()
+            .map(|&t| (t, 50.0 + 3.0 * t as f64))
+            .collect();
         let model = PerfModel::fit(&samples, 4);
         let mut prev = 0.0;
         for t in 1..600 {
@@ -234,13 +243,19 @@ mod tests {
         assert_eq!(s[0], 1);
         assert!(s.windows(2).all(|w| w[0] < w[1]));
         assert!(*s.last().expect("nonempty") <= 5120);
-        assert!(s.len() < 40, "schedule should stay cheap: {} points", s.len());
+        assert!(
+            s.len() < 40,
+            "schedule should stay cheap: {} points",
+            s.len()
+        );
     }
 
     #[test]
     fn segments_cover_sample_range() {
-        let samples: Vec<(usize, f64)> =
-            sample_schedule(256).iter().map(|&t| (t, 10.0 * t as f64)).collect();
+        let samples: Vec<(usize, f64)> = sample_schedule(256)
+            .iter()
+            .map(|&t| (t, 10.0 * t as f64))
+            .collect();
         let model = PerfModel::fit(&samples, 3);
         assert_eq!(model.segments().first().expect("nonempty").t_lo, 1);
         assert_eq!(model.segments().last().expect("nonempty").t_hi, 256);

@@ -37,7 +37,13 @@ impl Region {
     /// Panics if the rectangle is empty or inverted.
     pub fn new(row0: usize, row1: usize, col0: usize, col1: usize, kernel: MicroKernel) -> Self {
         assert!(row0 < row1 && col0 < col1, "region must be non-empty");
-        Self { row0, row1, col0, col1, kernel }
+        Self {
+            row0,
+            row1,
+            col0,
+            col1,
+            kernel,
+        }
     }
 
     /// Rows covered.
@@ -141,10 +147,7 @@ impl CompiledProgram {
                 .iter()
                 .map(|r| {
                     let instances = r.instances(k).div_ceil(ways);
-                    TaskGroup::new(
-                        r.kernel.task_spec(&self.view, instances),
-                        r.tasks() * ways,
-                    )
+                    TaskGroup::new(r.kernel.task_spec(&self.view, instances), r.tasks() * ways)
                 })
                 .collect(),
         )
@@ -245,7 +248,10 @@ impl CompiledProgram {
                     return if seg.col0 > col {
                         Err(CoverageError::Gap { row: *r0, col })
                     } else {
-                        Err(CoverageError::Overlap { row: *r0, col: seg.col0 })
+                        Err(CoverageError::Overlap {
+                            row: *r0,
+                            col: seg.col0,
+                        })
                     };
                 }
                 col = seg.col1;
@@ -270,7 +276,9 @@ impl std::fmt::Display for CompiledProgram {
         writeln!(
             f,
             "// {} via {} (predicted {:.1} us)",
-            self.operator, self.pattern, self.predicted_ns / 1e3
+            self.operator,
+            self.pattern,
+            self.predicted_ns / 1e3
         )?;
         let k = self.view.shape.k;
         if self.split_k > 1 {
@@ -407,7 +415,10 @@ mod tests {
                 Region::new(80, 100, 0, 64, mk(32, 64, 32)),
             ],
         );
-        assert_eq!(p.verify_coverage(), Err(CoverageError::Gap { row: 64, col: 0 }));
+        assert_eq!(
+            p.verify_coverage(),
+            Err(CoverageError::Gap { row: 64, col: 0 })
+        );
     }
 
     #[test]
@@ -421,13 +432,19 @@ mod tests {
                 Region::new(0, 64, 32, 100, mk(64, 64, 32)),
             ],
         );
-        assert!(matches!(p.verify_coverage(), Err(CoverageError::Overlap { .. })));
+        assert!(matches!(
+            p.verify_coverage(),
+            Err(CoverageError::Overlap { .. })
+        ));
     }
 
     #[test]
     fn coverage_detects_missing_tail() {
         let p = program(64, 64, 32, vec![Region::new(0, 48, 0, 64, mk(16, 64, 32))]);
-        assert_eq!(p.verify_coverage(), Err(CoverageError::Gap { row: 48, col: 0 }));
+        assert_eq!(
+            p.verify_coverage(),
+            Err(CoverageError::Gap { row: 48, col: 0 })
+        );
     }
 
     #[test]

@@ -232,7 +232,9 @@ impl<'a> Searcher<'a> {
                 1 => {
                     let region = Region::new(r0, r1, 0, self.n, lead.kernel);
                     let acc = self.extend(partial, &region, i);
-                    if self.prune && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                    if self.prune
+                        && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN
+                    {
                         self.stats.strategies_pruned += 1;
                         continue;
                     }
@@ -252,7 +254,10 @@ impl<'a> Searcher<'a> {
                     }
                     let left = Region::new(r0, r1, 0, w, lead.kernel);
                     let with_left = self.extend(partial, &left, i);
-                    if self.prune && self.lower_bound(with_left, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                    if self.prune
+                        && self.lower_bound(with_left, self.m - r1)
+                            >= self.best_cost() * PRUNE_MARGIN
+                    {
                         self.stats.strategies_pruned += 1;
                         continue;
                     }
@@ -265,7 +270,9 @@ impl<'a> Searcher<'a> {
                         let trail = self.kernels[j];
                         let right = Region::new(r0, r1, w, self.n, trail.kernel);
                         let acc = self.extend(with_left, &right, j);
-                        if self.prune && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN {
+                        if self.prune
+                            && self.lower_bound(acc, self.m - r1) >= self.best_cost() * PRUNE_MARGIN
+                        {
                             self.stats.strategies_pruned += 1;
                             continue;
                         }
@@ -301,8 +308,8 @@ fn pipe_cache(kernels: &[&TunedKernel], k_extent: usize) -> Vec<f64> {
 /// incumbent on its first descent, which lets branch-and-bound discard
 /// almost everything else — the ordering is what keeps polymerization at
 /// the paper's ~2 us scale.
-fn presort_by_pattern_i<'a>(
-    kernels: &mut Vec<&'a TunedKernel>,
+fn presort_by_pattern_i(
+    kernels: &mut Vec<&TunedKernel>,
     pipe: &mut Vec<f64>,
     m: usize,
     n: usize,
@@ -427,9 +434,7 @@ pub fn improve_with_split_k(
     view: &GemmView,
     mut program: CompiledProgram,
 ) -> CompiledProgram {
-    if machine.allocation != AllocationPolicy::DynamicHardware
-        || program.regions.len() != 1
-    {
+    if machine.allocation != AllocationPolicy::DynamicHardware || program.regions.len() != 1 {
         return program;
     }
     let (m, n, k) = (view.shape.m, view.shape.n, view.shape.k);
@@ -461,8 +466,7 @@ pub fn improve_with_split_k(
                 continue;
             }
             let waves = (base_tasks * ways).div_ceil(machine.num_pes) as f64;
-            let cost =
-                waves * t.perf.predict(instances.div_ceil(ways)) + reduce_ns(ways);
+            let cost = waves * t.perf.predict(instances.div_ceil(ways)) + reduce_ns(ways);
             if cost < best_cost {
                 best_cost = cost;
                 improved = true;
@@ -545,7 +549,12 @@ mod tests {
     #[test]
     fn polymerize_covers_output_exactly() {
         let (m, lib) = setup();
-        for &(mm, nn, kk) in &[(4096, 1024, 4096), (105, 1024, 544), (1, 1, 1), (33, 65, 17)] {
+        for &(mm, nn, kk) in &[
+            (4096, 1024, 4096),
+            (105, 1024, 544),
+            (1, 1, 1),
+            (33, 65, 17),
+        ] {
             let prog = compile(&m, &lib, GemmShape::new(mm, nn, kk));
             prog.verify_coverage().expect("coverage");
             assert!(prog.predicted_ns.is_finite());
@@ -592,8 +601,24 @@ mod tests {
         for &(mm, nn, kk) in &[(777, 512, 256), (2048, 384, 128), (96, 96, 96)] {
             let op = Operator::gemm(GemmShape::new(mm, nn, kk));
             let view = op.gemm_view();
-            let pruned = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, true);
-            let full = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, false);
+            let pruned = polymerize(
+                &m,
+                &lib,
+                &view,
+                op,
+                &gpu_patterns(),
+                CostModelKind::Full,
+                true,
+            );
+            let full = polymerize(
+                &m,
+                &lib,
+                &view,
+                op,
+                &gpu_patterns(),
+                CostModelKind::Full,
+                false,
+            );
             // Pruning keeps the result within the 2% branch-and-bound
             // margin of the true optimum.
             assert!(
@@ -611,10 +636,30 @@ mod tests {
         let (m, lib) = setup();
         let op = Operator::gemm(GemmShape::new(2048, 2048, 1024));
         let view = op.gemm_view();
-        let wave = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::WaveOnly, true);
-        let pipe = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::PipeOnly, true);
+        let wave = polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::WaveOnly,
+            true,
+        );
+        let pipe = polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::PipeOnly,
+            true,
+        );
         let area = |p: &CompiledProgram| {
-            p.regions.iter().map(|r| r.kernel.um * r.kernel.un).max().unwrap_or(0)
+            p.regions
+                .iter()
+                .map(|r| r.kernel.um * r.kernel.un)
+                .max()
+                .unwrap_or(0)
         };
         assert!(
             area(&wave) >= area(&pipe),
@@ -667,8 +712,24 @@ mod tests {
         let (m, lib) = setup();
         let op = Operator::gemm(GemmShape::new(1111, 999, 512));
         let view = op.gemm_view();
-        let pruned = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, true);
-        let full = polymerize(&m, &lib, &view, op, &gpu_patterns(), CostModelKind::Full, false);
+        let pruned = polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            true,
+        );
+        let full = polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            false,
+        );
         assert!(pruned.stats.strategies_pruned > 0);
         assert!(pruned.stats.strategies_evaluated < full.stats.strategies_evaluated);
     }
@@ -728,7 +789,11 @@ mod split_k_tests {
         let b = Tensor::random(&[3000, 40], 82);
         let got = execute_gemm(&program, &a, &b);
         let want = reference_gemm(shape, &a, &b);
-        assert!(got.approx_eq(&want, 2e-2), "max diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.approx_eq(&want, 2e-2),
+            "max diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]

@@ -259,9 +259,14 @@ impl CnnConfig {
         let spatial = |h: usize, k: usize, s: usize, p: usize| (h + 2 * p - k) / s + 1;
         for layer in &self.layers {
             match layer {
-                Layer::Conv { name, out_c, k, stride, pad } => {
-                    let shape =
-                        Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
+                Layer::Conv {
+                    name,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    let shape = Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
                     ops.push(
                         ModelOp::new(name.clone(), Operator::conv2d(shape), 1).with_stage(stage),
                     );
@@ -270,11 +275,16 @@ impl CnnConfig {
                     w = spatial(w, *k, *stride, *pad);
                     c = *out_c;
                 }
-                Layer::ParallelConv { name, out_c, k, stride, pad } => {
+                Layer::ParallelConv {
+                    name,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
                     // Runs concurrently with the *next* layer (the block's
                     // main path).
-                    let shape =
-                        Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
+                    let shape = Conv2dShape::new(batch, c, h, w, *out_c, *k, *k, *stride, *pad);
                     ops.push(
                         ModelOp::new(name.clone(), Operator::conv2d(shape), 1).with_stage(stage),
                     );
@@ -297,7 +307,13 @@ impl CnnConfig {
                     h = 1;
                     w = 1;
                 }
-                Layer::Inception { name, c1, c2, c3, c4 } => {
+                Layer::Inception {
+                    name,
+                    c1,
+                    c2,
+                    c3,
+                    c4,
+                } => {
                     // Branch heads (1x1 reduces and projections) are
                     // mutually independent; the branch tails (3x3 convs)
                     // depend only on their own reduce.
@@ -306,8 +322,7 @@ impl CnnConfig {
                     stage += 2;
                     let mut branch =
                         |suffix: &str, out_c: usize, k: usize, in_c: usize, st: usize| {
-                            let shape =
-                                Conv2dShape::new(batch, in_c, h, w, out_c, k, k, 1, k / 2);
+                            let shape = Conv2dShape::new(batch, in_c, h, w, out_c, k, k, 1, k / 2);
                             ops.push(
                                 ModelOp::new(
                                     format!("inception{name}.{suffix}"),
@@ -338,7 +353,11 @@ mod tests {
     #[test]
     fn resnet18_has_20_convs_and_a_fc() {
         let g = CnnConfig::resnet18().graph(1, 224);
-        let convs = g.ops.iter().filter(|o| o.operator.kind() == "conv2d").count();
+        let convs = g
+            .ops
+            .iter()
+            .filter(|o| o.operator.kind() == "conv2d")
+            .count();
         let fcs = g.ops.iter().filter(|o| o.operator.kind() == "gemm").count();
         // 1 stem + 16 block convs + 3 downsamples = 20.
         assert_eq!(convs, 20);
@@ -359,7 +378,11 @@ mod tests {
     #[test]
     fn alexnet_fc_sizes_match_torchvision() {
         let g = CnnConfig::alexnet().graph(4, 224);
-        let fc1 = g.ops.iter().find(|o| o.name == "classifier.1").expect("fc1");
+        let fc1 = g
+            .ops
+            .iter()
+            .find(|o| o.name == "classifier.1")
+            .expect("fc1");
         assert_eq!(
             fc1.operator,
             Operator::gemm(GemmShape::new(4, 4096, 256 * 6 * 6))
@@ -411,15 +434,27 @@ mod tests {
             .collect();
         assert_eq!(heads.len(), 4);
         assert!(heads.windows(2).all(|w| w[0].stage == w[1].stage));
-        let tail = g.ops.iter().find(|o| o.name == "inception3a.b2.conv").expect("tail");
+        let tail = g
+            .ops
+            .iter()
+            .find(|o| o.name == "inception3a.b2.conv")
+            .expect("tail");
         assert_eq!(tail.stage, heads[0].stage + 1);
     }
 
     #[test]
     fn resnet_downsample_shares_stage_with_main_path() {
         let g = CnnConfig::resnet18().graph(1, 224);
-        let down = g.ops.iter().find(|o| o.name == "layer2.0.downsample").expect("down");
-        let conv1 = g.ops.iter().find(|o| o.name == "layer2.0.conv1").expect("conv1");
+        let down = g
+            .ops
+            .iter()
+            .find(|o| o.name == "layer2.0.downsample")
+            .expect("down");
+        let conv1 = g
+            .ops
+            .iter()
+            .find(|o| o.name == "layer2.0.conv1")
+            .expect("conv1");
         assert_eq!(down.stage, conv1.stage);
     }
 

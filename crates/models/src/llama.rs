@@ -121,7 +121,12 @@ impl LlamaConfig {
     /// decode steps with the same padded cache length share a graph with
     /// multiplicity (the program-cache-friendly structure in-flight
     /// batching produces).
-    pub fn generation_graphs(&self, batch: usize, seq_in: usize, seq_out: usize) -> Vec<ModelGraph> {
+    pub fn generation_graphs(
+        &self,
+        batch: usize,
+        seq_in: usize,
+        seq_out: usize,
+    ) -> Vec<ModelGraph> {
         let mut graphs = vec![self.prefill_graph(batch, seq_in)];
         // Group decode steps by padded cache length.
         let mut step = 0usize;

@@ -93,7 +93,10 @@ impl TransformerConfig {
     ///
     /// Panics if `batch` or `seq_len` is zero.
     pub fn graph(&self, batch: usize, seq_len: usize) -> ModelGraph {
-        assert!(batch > 0 && seq_len > 0, "batch and sequence length must be positive");
+        assert!(
+            batch > 0 && seq_len > 0,
+            "batch and sequence length must be positive"
+        );
         let m = batch * seq_len;
         let h = self.hidden;
         let d = self.head_dim();
@@ -163,7 +166,10 @@ mod tests {
     fn albert_is_bigger_per_layer() {
         let a = TransformerConfig::albert_xlarge();
         assert_eq!(a.head_dim(), 128);
-        assert!(a.graph(1, 128).total_flops() > TransformerConfig::bert_base().graph(1, 128).total_flops());
+        assert!(
+            a.graph(1, 128).total_flops()
+                > TransformerConfig::bert_base().graph(1, 128).total_flops()
+        );
     }
 
     #[test]
@@ -171,10 +177,7 @@ mod tests {
         // BERT at seq 128: qkv is (128, 2304, 768).
         let g = TransformerConfig::bert_base().graph(1, 128);
         let qkv = &g.ops[0];
-        assert_eq!(
-            qkv.operator,
-            Operator::gemm(GemmShape::new(128, 2304, 768))
-        );
+        assert_eq!(qkv.operator, Operator::gemm(GemmShape::new(128, 2304, 768)));
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl VitConfig {
     /// size.
     pub fn tokens(&self, resolution: usize) -> usize {
         assert!(
-            resolution > 0 && resolution % self.patch == 0,
+            resolution > 0 && resolution.is_multiple_of(self.patch),
             "resolution {resolution} must be a positive multiple of the {} patch",
             self.patch
         );
@@ -70,15 +70,7 @@ impl VitConfig {
         let h = self.hidden;
         let d = h / self.heads;
         let embed = Conv2dShape::new(
-            batch,
-            3,
-            resolution,
-            resolution,
-            h,
-            self.patch,
-            self.patch,
-            self.patch,
-            0,
+            batch, 3, resolution, resolution, h, self.patch, self.patch, self.patch, 0,
         );
         let mut ops = vec![ModelOp::new("patch_embed", Operator::conv2d(embed), 1)];
         ops.extend([
@@ -112,7 +104,11 @@ impl VitConfig {
                 Operator::gemm(GemmShape::new(m, h, self.intermediate)),
                 self.layers,
             ),
-            ModelOp::new("head", Operator::gemm(GemmShape::new(batch, self.classes, h)), 1),
+            ModelOp::new(
+                "head",
+                Operator::gemm(GemmShape::new(batch, self.classes, h)),
+                1,
+            ),
         ]);
         ModelGraph::new(format!("{}@b{}r{}", self.name, batch, resolution), ops)
     }
@@ -148,7 +144,10 @@ mod tests {
     fn vit_b16_flops_match_public_numbers() {
         // ViT-B/16 at 224: ~35 GFLOPs (17.6 GMACs).
         let gflops = VitConfig::vit_b16().graph(1, 224).total_flops() / 1e9;
-        assert!((25.0..45.0).contains(&gflops), "vit-b16@224 = {gflops} GFLOPs");
+        assert!(
+            (25.0..45.0).contains(&gflops),
+            "vit-b16@224 = {gflops} GFLOPs"
+        );
     }
 
     #[test]

@@ -69,7 +69,12 @@ pub fn im2col(shape: Conv2dShape, input: &Tensor) -> Tensor {
 pub fn filter_as_matrix(shape: Conv2dShape, filter: &Tensor) -> Tensor {
     assert_eq!(
         filter.dims(),
-        &[shape.out_channels, shape.in_channels, shape.kernel_h, shape.kernel_w],
+        &[
+            shape.out_channels,
+            shape.in_channels,
+            shape.kernel_h,
+            shape.kernel_w
+        ],
         "filter must be OIHW and match the shape"
     );
     let k = shape.in_channels * shape.kernel_h * shape.kernel_w;
@@ -105,8 +110,8 @@ mod tests {
             for oc in 0..shape.out_channels {
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let d = direct.as_slice()
-                            [((n * shape.out_channels + oc) * oh + oy) * ow + ox];
+                        let d =
+                            direct.as_slice()[((n * shape.out_channels + oc) * oh + oy) * ow + ox];
                         let v = c.at2((n * oh + oy) * ow + ox, oc);
                         assert!((d - v).abs() < 1e-4, "mismatch at {n},{oc},{oy},{ox}");
                     }

@@ -135,7 +135,11 @@ impl Operator {
                 dtype,
                 load_scale: 1.0,
             },
-            Operator::BatchedGemm { batch, shape, dtype } => GemmView {
+            Operator::BatchedGemm {
+                batch,
+                shape,
+                dtype,
+            } => GemmView {
                 shape: GemmShape::new(batch * shape.m, shape.n, shape.k),
                 dtype,
                 load_scale: 1.0,
@@ -172,7 +176,11 @@ impl std::fmt::Display for Operator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             Operator::Gemm { shape, dtype } => write!(f, "gemm{shape} {dtype}"),
-            Operator::BatchedGemm { batch, shape, dtype } => {
+            Operator::BatchedGemm {
+                batch,
+                shape,
+                dtype,
+            } => {
                 write!(f, "bgemm[{batch}]{shape} {dtype}")
             }
             Operator::Conv2d { shape, dtype } => write!(f, "{shape} {dtype}"),

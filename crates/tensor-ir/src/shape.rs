@@ -92,7 +92,10 @@ impl Conv2dShape {
             batch > 0 && in_channels > 0 && height > 0 && width > 0 && out_channels > 0,
             "convolution extents must be positive"
         );
-        assert!(kernel_h > 0 && kernel_w > 0 && stride > 0, "filter and stride must be positive");
+        assert!(
+            kernel_h > 0 && kernel_w > 0 && stride > 0,
+            "filter and stride must be positive"
+        );
         assert!(
             height + 2 * padding >= kernel_h && width + 2 * padding >= kernel_w,
             "padded input must be at least as large as the filter"

@@ -29,7 +29,10 @@ impl Tensor {
     /// Panics if `dims` is empty or contains a zero extent.
     pub fn zeros(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "tensor must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "tensor extents must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "tensor extents must be positive"
+        );
         Self {
             dims: dims.to_vec(),
             data: vec![0.0; dims.iter().product()],
@@ -168,7 +171,12 @@ pub fn reference_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> 
     );
     assert_eq!(
         filter.dims(),
-        &[shape.out_channels, shape.in_channels, shape.kernel_h, shape.kernel_w],
+        &[
+            shape.out_channels,
+            shape.in_channels,
+            shape.kernel_h,
+            shape.kernel_w
+        ],
         "filter must be OIHW"
     );
     let (oh, ow) = (shape.out_h(), shape.out_w());
@@ -192,8 +200,7 @@ pub fn reference_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> 
                                 continue;
                             }
                             for kx in 0..shape.kernel_w {
-                                let ix =
-                                    (ox * shape.stride + kx) as isize - shape.padding as isize;
+                                let ix = (ox * shape.stride + kx) as isize - shape.padding as isize;
                                 if ix < 0 || ix >= shape.width as isize {
                                     continue;
                                 }

@@ -126,7 +126,10 @@ pub fn winograd_gemm_shape(shape: &Conv2dShape) -> GemmShape {
 /// Panics if the shape is not a unit-stride 3x3 convolution or operands
 /// mismatch.
 pub fn winograd_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> Tensor {
-    assert!(winograd_applicable(&shape), "not a Winograd-eligible shape: {shape}");
+    assert!(
+        winograd_applicable(&shape),
+        "not a Winograd-eligible shape: {shape}"
+    );
 
     assert_eq!(
         input.dims(),
@@ -171,11 +174,11 @@ pub fn winograd_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> T
                 let mut v = vec![[[0.0f32; 4]; 4]; shape.in_channels];
                 for (ic, vc) in v.iter_mut().enumerate() {
                     let mut d = [[0.0f32; 4]; 4];
-                    for r in 0..4 {
-                        for c in 0..4 {
+                    for (r, drow) in d.iter_mut().enumerate() {
+                        for (c, dv) in drow.iter_mut().enumerate() {
                             let iy = (2 * ty + r) as isize - pad;
                             let ix = (2 * tx + c) as isize - pad;
-                            d[r][c] = if iy < 0
+                            *dv = if iy < 0
                                 || iy >= shape.height as isize
                                 || ix < 0
                                 || ix >= shape.width as isize
@@ -204,12 +207,11 @@ pub fn winograd_conv2d(shape: Conv2dShape, input: &Tensor, filter: &Tensor) -> T
                         }
                     }
                     let y = output_transform(&m);
-                    for r in 0..2 {
-                        for c in 0..2 {
+                    for (r, yrow) in y.iter().enumerate() {
+                        for (c, &yv) in yrow.iter().enumerate() {
                             let (oy, ox) = (2 * ty + r, 2 * tx + c);
                             if oy < oh && ox < ow {
-                                out_data[((n * shape.out_channels + oc) * oh + oy) * ow + ox] =
-                                    y[r][c];
+                                out_data[((n * shape.out_channels + oc) * oh + oy) * ow + ox] = yv;
                             }
                         }
                     }
@@ -227,9 +229,11 @@ mod tests {
 
     #[test]
     fn winograd_matches_direct_convolution() {
-        for (b, ic, hw, oc, pad) in
-            [(1usize, 1usize, 8usize, 1usize, 1usize), (2, 3, 10, 4, 1), (1, 5, 7, 3, 0)]
-        {
+        for (b, ic, hw, oc, pad) in [
+            (1usize, 1usize, 8usize, 1usize, 1usize),
+            (2, 3, 10, 4, 1),
+            (1, 5, 7, 3, 0),
+        ] {
             let shape = Conv2dShape::new(b, ic, hw, hw, oc, 3, 3, 1, pad);
             let input = Tensor::random(&[b, ic, hw, hw], 51);
             let filter = Tensor::random(&[oc, ic, 3, 3], 52);
@@ -265,8 +269,12 @@ mod tests {
     #[test]
     fn applicability_is_3x3_stride_1_only() {
         assert!(winograd_applicable(&Conv2dShape::square(1, 8, 16, 8, 3, 1)));
-        assert!(!winograd_applicable(&Conv2dShape::square(1, 8, 16, 8, 3, 2)));
-        assert!(!winograd_applicable(&Conv2dShape::square(1, 8, 16, 8, 5, 1)));
+        assert!(!winograd_applicable(&Conv2dShape::square(
+            1, 8, 16, 8, 3, 2
+        )));
+        assert!(!winograd_applicable(&Conv2dShape::square(
+            1, 8, 16, 8, 5, 1
+        )));
     }
 
     #[test]

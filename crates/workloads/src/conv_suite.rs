@@ -133,7 +133,10 @@ mod tests {
     fn googlenet_dominates_the_suite() {
         // "The test case count can rise significantly for commonly-used
         // filter sizes ... (e.g., GoogLeNet)".
-        let g = conv_suite().iter().filter(|c| c.model == "GoogLeNet").count();
+        let g = conv_suite()
+            .iter()
+            .filter(|c| c.model == "GoogLeNet")
+            .count();
         assert!(g > 3000, "GoogLeNet has {g} cases");
     }
 

@@ -60,18 +60,72 @@ pub fn gemm_suite_rows() -> Vec<GemmSuiteRow> {
             k: (128, 500_000),
             cases: 166,
         },
-        row("transformer attention blocks (small)", (1, 256), (1, 256), (1, 256), 299),
-        row("transformer projections (narrow)", (1, 256), (257, 1024), (1, 65536), 218),
-        row("transformer FFN (wide)", (1, 256), (1025, 65536), (1, 65536), 97),
-        row("CNN fully-connected (mid batch)", (257, 1024), (1, 65536), (1, 65536), 64),
-        row("CNN fully-connected (large batch)", (1025, 8192), (1, 65536), (1, 65536), 87),
-        row("ResNet-style classifier heads", (257, 8192), (1, 65536), (1, 65536), 136),
-        row("VGG-style classifier heads", (1025, 65536), (1, 8192), (1, 8192), 69),
+        row(
+            "transformer attention blocks (small)",
+            (1, 256),
+            (1, 256),
+            (1, 256),
+            299,
+        ),
+        row(
+            "transformer projections (narrow)",
+            (1, 256),
+            (257, 1024),
+            (1, 65536),
+            218,
+        ),
+        row(
+            "transformer FFN (wide)",
+            (1, 256),
+            (1025, 65536),
+            (1, 65536),
+            97,
+        ),
+        row(
+            "CNN fully-connected (mid batch)",
+            (257, 1024),
+            (1, 65536),
+            (1, 65536),
+            64,
+        ),
+        row(
+            "CNN fully-connected (large batch)",
+            (1025, 8192),
+            (1, 65536),
+            (1, 65536),
+            87,
+        ),
+        row(
+            "ResNet-style classifier heads",
+            (257, 8192),
+            (1, 65536),
+            (1, 65536),
+            136,
+        ),
+        row(
+            "VGG-style classifier heads",
+            (1025, 65536),
+            (1, 8192),
+            (1, 8192),
+            69,
+        ),
         // Reconstructed rows (lost in the published table's extraction):
         // BERT/DistilBERT/RoBERTa/ALBERT hidden projections and CNN heads,
         // bringing the real-world total to the paper's 1433.
-        row("BERT-family hidden projections", (1, 512), (768, 4096), (768, 4096), 263),
-        row("CNN classifier heads (ImageNet)", (1, 128), (1000, 4096), (256, 9216), 200),
+        row(
+            "BERT-family hidden projections",
+            (1, 512),
+            (768, 4096),
+            (768, 4096),
+            263,
+        ),
+        row(
+            "CNN classifier heads (ImageNet)",
+            (1, 128),
+            (1000, 4096),
+            (256, 9216),
+            200,
+        ),
     ]
 }
 
@@ -167,7 +221,10 @@ mod tests {
 
     #[test]
     fn deepbench_row_has_166_cases() {
-        let db: Vec<_> = gemm_suite().into_iter().filter(|c| c.category == "DeepBench").collect();
+        let db: Vec<_> = gemm_suite()
+            .into_iter()
+            .filter(|c| c.category == "DeepBench")
+            .collect();
         assert_eq!(db.len(), 166);
     }
 
@@ -189,8 +246,8 @@ mod tests {
                 .iter()
                 .find(|r| r.source == case.source)
                 .expect("row exists");
-            let canonical = case.category == "DeepBench"
-                && deepbench_canonical().contains(&case.shape);
+            let canonical =
+                case.category == "DeepBench" && deepbench_canonical().contains(&case.shape);
             if canonical {
                 continue;
             }

@@ -26,7 +26,10 @@ fn main() {
 
     let bert = TransformerConfig::bert_base();
     println!("serving {} with dynamic sequence lengths\n", bert.name);
-    println!("{:>6} {:>14} {:>14} {:>9}", "seq", "cuBLAS (us)", "MikPoly (us)", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "seq", "cuBLAS (us)", "MikPoly (us)", "speedup"
+    );
 
     let mut total_base = 0.0;
     let mut total_mik = 0.0;

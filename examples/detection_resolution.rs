@@ -31,7 +31,10 @@ fn main() {
 
     let model = CnnConfig::resnet18();
     println!("{} at dynamic resolutions (batch 4)\n", model.name);
-    println!("{:>6} {:>8} {:>14} {:>14} {:>9}", "res", "convs", "vendor (us)", "MikPoly (us)", "speedup");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>9}",
+        "res", "convs", "vendor (us)", "MikPoly (us)", "speedup"
+    );
 
     for res in [64usize, 160, 224, 320, 448, 640] {
         let graph = model.graph(4, res);
@@ -47,7 +50,11 @@ fn main() {
         };
         let base = latency(&cublas, &cudnn);
         let mine = latency(&gemm, &conv);
-        let convs = graph.ops.iter().filter(|o| o.operator.kind() == "conv2d").count();
+        let convs = graph
+            .ops
+            .iter()
+            .filter(|o| o.operator.kind() == "conv2d")
+            .count();
         println!(
             "{res:>6} {convs:>8} {:>14.1} {:>14.1} {:>8.2}x",
             base / 1e3,

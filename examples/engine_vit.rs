@@ -22,7 +22,10 @@ fn main() {
     // ViT: resolution changes every GEMM in the network.
     let vit = VitConfig::vit_b16();
     println!("{} at dynamic resolutions (batch 2)\n", vit.name);
-    println!("{:>6} {:>8} {:>12} {:>14} {:>14}", "res", "tokens", "GFLOPs", "device (ms)", "compiles");
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>14}",
+        "res", "tokens", "GFLOPs", "device (ms)", "compiles"
+    );
     for res in [224usize, 288, 384, 512, 640] {
         let graph = vit.graph(2, res);
         let result = engine.run_graph(graph.ops.iter().map(|o| (&o.operator, o.count)));
@@ -44,7 +47,11 @@ fn main() {
             winograd_layers += 1;
         }
     }
-    let convs = graph.ops.iter().filter(|o| o.operator.kind() == "conv2d").count();
+    let convs = graph
+        .ops
+        .iter()
+        .filter(|o| o.operator.kind() == "conv2d")
+        .count();
     println!(
         "\n{}: the engine dispatched {winograd_layers} of {convs} convolutions to \
          Winograd F(2x2, 3x3) (cost-based selection; strided/large filters stay on \

@@ -38,8 +38,11 @@ fn main() {
                 .map(|op| {
                     // Attention stays with the baseline runtime, as in the
                     // paper's integration.
-                    let backend: &dyn Backend =
-                        if op.name.starts_with("attn.") { &ft } else { proj };
+                    let backend: &dyn Backend = if op.name.starts_with("attn.") {
+                        &ft
+                    } else {
+                        proj
+                    };
                     backend.run(&op.operator).expect("runs").report.time_ns * op.count as f64
                 })
                 .sum()

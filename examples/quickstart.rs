@@ -26,7 +26,11 @@ fn main() {
     );
 
     // ---- Online stage (per runtime shape) ------------------------------
-    for (m, n, k) in [(4096usize, 1024usize, 4096usize), (105, 1024, 12544), (37, 3072, 768)] {
+    for (m, n, k) in [
+        (4096usize, 1024usize, 4096usize),
+        (105, 1024, 12544),
+        (37, 3072, 768),
+    ] {
         let op = Operator::gemm(GemmShape::new(m, n, k));
         let run = compiler.run(&op);
         println!(

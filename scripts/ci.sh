@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, and the full test suite.
+#
+# Everything runs offline against the vendored dependency stand-ins (see
+# vendor/README.md); no network access is required or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --release --workspace"
+cargo test -q --release --offline --workspace
+
+echo "CI green."

@@ -139,11 +139,41 @@ fn compilation_is_deterministic_across_compiler_instances() {
     let machine = MachineModel::a100();
     let a = MikPoly::offline(machine.clone(), &options);
     let b = MikPoly::offline(machine, &options);
-    for (m, n, k) in [(100usize, 200usize, 300usize), (4096, 1024, 4096), (1, 1, 1)] {
+    for (m, n, k) in [
+        (100usize, 200usize, 300usize),
+        (4096, 1024, 4096),
+        (1, 1, 1),
+    ] {
         let op = Operator::gemm(GemmShape::new(m, n, k));
         let pa = a.compile(&op);
         let pb = b.compile(&op);
         assert_eq!(pa.regions, pb.regions);
         assert_eq!(pa.pattern, pb.pattern);
     }
+}
+
+/// Pinned regression from `compiler_properties.proptest-regressions`
+/// (`durations = [1.0], counts = [12], pes = 9`): twelve unit tasks on
+/// nine PEs once tripped the fast/reference makespan comparison. Kept as
+/// an explicit deterministic test because the vendored proptest stand-in
+/// does not replay regression files.
+#[test]
+fn regression_lpt_twelve_unit_tasks_on_nine_pes() {
+    let groups = [(1.0f64, 12usize)];
+    let pes = 9;
+    let fast = lpt_makespan(&groups, pes);
+    let ds = [1.0f64];
+    let cs = [12usize];
+    let assignment = max_min_assign(&ds, &cs, pes);
+    let slow = mikpoly_suite::mikpoly::makespan(&ds, &assignment, pes);
+    assert!(
+        (fast - slow).abs() < 1e-6,
+        "fast {fast} vs reference {slow}"
+    );
+    // 12 unit tasks over 9 PEs: three PEs take two tasks, makespan 2.
+    assert!((fast - 2.0).abs() < 1e-9, "expected 2.0, got {fast}");
+    let total = 12.0f64;
+    let lower = (total / pes as f64).max(1.0);
+    assert!(fast <= total / pes as f64 + 1.0 + 1e-9);
+    assert!(fast >= lower - 1e-9);
 }

@@ -66,7 +66,13 @@ fn conv_matches_reference_across_filter_geometries() {
     options.n_gen = 4;
     options = options.with_template(TemplateKind::Conv);
     let c = MikPoly::offline(MachineModel::a100(), &options);
-    for (kernel, stride, pad) in [(1usize, 1usize, 0usize), (3, 1, 1), (3, 2, 1), (5, 1, 2), (7, 2, 3)] {
+    for (kernel, stride, pad) in [
+        (1usize, 1usize, 0usize),
+        (3, 1, 1),
+        (3, 2, 1),
+        (5, 1, 2),
+        (7, 2, 3),
+    ] {
         let shape = Conv2dShape::new(2, 4, 14, 14, 6, kernel, kernel, stride, pad);
         let program = c.compile(&Operator::conv2d(shape));
         let input = Tensor::random(&[2, 4, 14, 14], 21);
@@ -100,7 +106,11 @@ fn every_cost_model_variant_compiles_correct_programs() {
     let a = Tensor::random(&[97, 33], 41);
     let b = Tensor::random(&[33, 61], 42);
     let want = reference_gemm(shape, &a, &b);
-    for kind in [CostModelKind::Full, CostModelKind::WaveOnly, CostModelKind::PipeOnly] {
+    for kind in [
+        CostModelKind::Full,
+        CostModelKind::WaveOnly,
+        CostModelKind::PipeOnly,
+    ] {
         let mut options = OfflineOptions::fast();
         options.n_gen = 4;
         let c = MikPoly::offline(MachineModel::a100(), &options).with_options(OnlineOptions {

@@ -80,9 +80,17 @@ fn range_compilers_fail_exactly_outside_their_ranges() {
     let inside = Operator::gemm(GemmShape::new(512, 512, 512));
     let outside = Operator::gemm(GemmShape::new(512, 2048, 512));
     for backend in [&dietcode as &dyn Backend, &nimble as &dyn Backend] {
-        assert!(backend.run(&inside).is_ok(), "{} failed in range", backend.name());
+        assert!(
+            backend.run(&inside).is_ok(),
+            "{} failed in range",
+            backend.name()
+        );
         match backend.run(&outside) {
-            Err(BackendError::OutOfRange { dimension: "N", value: 2048, .. }) => {}
+            Err(BackendError::OutOfRange {
+                dimension: "N",
+                value: 2048,
+                ..
+            }) => {}
             other => panic!("{}: expected N out of range, got {other:?}", backend.name()),
         }
     }
@@ -121,7 +129,11 @@ fn cnn_graph_runs_on_both_machines() {
         );
         let mut total = 0.0;
         for op in &graph.ops {
-            let c = if op.operator.kind() == "conv2d" { &conv } else { &gemm };
+            let c = if op.operator.kind() == "conv2d" {
+                &conv
+            } else {
+                &gemm
+            };
             let run = c.run(&op.operator);
             run.program.verify_coverage().expect("coverage");
             total += run.report.time_ns;
@@ -161,7 +173,11 @@ fn oracle_is_a_lower_bound_for_all_variants() {
     let op = Operator::gemm(GemmShape::new(700, 300, 150));
     let oracle = lib_owner.compile_oracle(&op);
     let oracle_ns = lib_owner.simulate(&oracle.program).time_ns;
-    for kind in [CostModelKind::Full, CostModelKind::WaveOnly, CostModelKind::PipeOnly] {
+    for kind in [
+        CostModelKind::Full,
+        CostModelKind::WaveOnly,
+        CostModelKind::PipeOnly,
+    ] {
         let variant = MikPoly::with_library(machine.clone(), lib_owner.library().clone())
             .with_options(OnlineOptions {
                 cost_model: kind,
@@ -182,7 +198,9 @@ fn winograd_path_compiles_and_is_profitable_on_compute_bound_convs() {
     // A compute-bound 3x3 stride-1 layer.
     let shape = Conv2dShape::square(8, 256, 56, 256, 3, 1);
     let direct = mik.run(&Operator::conv2d(shape)).expect("conv runs");
-    let wino = mik.run(&Operator::conv2d_winograd(shape)).expect("winograd runs");
+    let wino = mik
+        .run(&Operator::conv2d_winograd(shape))
+        .expect("winograd runs");
     assert!(wino.report.time_ns > 0.0);
     assert!(
         wino.report.time_ns < direct.report.time_ns,
@@ -194,9 +212,7 @@ fn winograd_path_compiles_and_is_profitable_on_compute_bound_convs() {
 
 #[test]
 fn winograd_reference_matches_direct_reference() {
-    use mikpoly_suite::tensor_ir::{
-        reference_conv2d, winograd_conv2d, Conv2dShape, Tensor,
-    };
+    use mikpoly_suite::tensor_ir::{reference_conv2d, winograd_conv2d, Conv2dShape, Tensor};
     let shape = Conv2dShape::square(2, 6, 12, 5, 3, 1);
     let input = Tensor::random(&[2, 6, 12, 12], 71);
     let filter = Tensor::random(&[5, 6, 3, 3], 72);

@@ -32,7 +32,10 @@ fn engine_runs_every_model_in_the_zoo() {
         let result = engine().run_graph(graph.ops.iter().map(|o| (&o.operator, o.count)));
         assert!(result.device_ns > 0.0, "{graph}");
         assert_eq!(result.executions, graph.num_executions(), "{graph}");
-        assert!(result.compilations <= graph.num_unique_shapes() * 2, "{graph}");
+        assert!(
+            result.compilations <= graph.num_unique_shapes() * 2,
+            "{graph}"
+        );
     }
 }
 
@@ -90,7 +93,10 @@ fn aot_bundles_move_between_engine_instances() {
     let path = std::env::temp_dir().join("mikpoly-engine-aot.json");
     producer.save_program_cache(&path).expect("save");
 
-    let consumer_gemm = Arc::new(MikPoly::with_library(machine.clone(), producer.library().clone()));
+    let consumer_gemm = Arc::new(MikPoly::with_library(
+        machine.clone(),
+        producer.library().clone(),
+    ));
     consumer_gemm.load_program_cache(&path).expect("load");
     let consumer = Engine::from_compilers(
         machine.clone(),

@@ -1,0 +1,178 @@
+//! Concurrent-compilation integrity: many threads hammering one compiler
+//! on an overlapping shape set must behave exactly like sequential
+//! compilation — every shape polymerized once (single flight), every
+//! resulting program functionally correct, every repeat sharing the cached
+//! program.
+
+use std::sync::Arc;
+
+use mikpoly_suite::accel_sim::{Cluster, Interconnect, MachineModel};
+use mikpoly_suite::mikpoly::serving::poisson_arrivals;
+use mikpoly_suite::mikpoly::{
+    execute_gemm, CacheOutcome, Engine, MikPoly, OfflineOptions, Request, ServingRuntime,
+};
+use mikpoly_suite::tensor_ir::{reference_gemm, GemmShape, Operator, Tensor};
+
+fn compiler() -> MikPoly {
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    MikPoly::offline(MachineModel::a100(), &options)
+}
+
+/// A shape menu small enough that eight threads constantly collide on it.
+fn shapes() -> Vec<GemmShape> {
+    [
+        (17, 31, 5),
+        (64, 64, 64),
+        (100, 200, 50),
+        (128, 96, 64),
+        (200, 130, 70),
+        (777, 512, 256),
+    ]
+    .into_iter()
+    .map(|(m, n, k)| GemmShape::new(m, n, k))
+    .collect()
+}
+
+#[test]
+fn eight_threads_overlapping_shapes_single_flight_and_correct() {
+    let c = Arc::new(compiler());
+    let shapes = shapes();
+    let threads = 8;
+    let rounds = 6;
+
+    // Each thread walks the menu from a different offset, so on every
+    // round several threads request the same shape near-simultaneously.
+    let programs: Vec<Vec<(GemmShape, Arc<mikpoly_suite::mikpoly::CompiledProgram>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let c = Arc::clone(&c);
+                    let shapes = shapes.clone();
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for round in 0..rounds {
+                            for i in 0..shapes.len() {
+                                let shape = shapes[(t + i + round) % shapes.len()];
+                                let program = c.compile(&Operator::gemm(shape));
+                                out.push((shape, program));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+    // Single flight: exactly one polymerization per unique shape, however
+    // the eight threads interleaved.
+    let stats = c.cache_stats();
+    assert_eq!(
+        stats.computations,
+        shapes.len() as u64,
+        "polymerization count must equal the unique shape count: {stats:?}"
+    );
+    assert_eq!(stats.misses, shapes.len() as u64);
+    assert_eq!(
+        stats.hits + stats.misses + stats.coalesced_waits,
+        (threads * rounds * shapes.len()) as u64,
+        "every compile call is accounted as hit, miss, or coalesced wait"
+    );
+
+    // All threads share one program per shape (same Arc as the cache's).
+    for per_thread in &programs {
+        for (shape, program) in per_thread {
+            let canonical = c.compile(&Operator::gemm(*shape));
+            assert!(
+                Arc::ptr_eq(program, &canonical),
+                "{shape:?} was recompiled behind the cache's back"
+            );
+        }
+    }
+
+    // Every cached program is functionally correct against the reference.
+    for shape in &shapes {
+        let program = c.compile(&Operator::gemm(*shape));
+        program.verify_coverage().expect("coverage");
+        let a = Tensor::random(&[shape.m, shape.k], 21);
+        let b = Tensor::random(&[shape.k, shape.n], 22);
+        let got = execute_gemm(&program, &a, &b);
+        let want = reference_gemm(*shape, &a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-3),
+            "{shape:?}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+}
+
+#[test]
+fn compile_with_outcome_roles_are_consistent() {
+    let c = Arc::new(compiler());
+    let op = Operator::gemm(GemmShape::new(640, 384, 128));
+    let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                scope.spawn(move || c.compile_with_outcome(&op).1)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let computed = outcomes
+        .iter()
+        .filter(|o| **o == CacheOutcome::Computed)
+        .count();
+    assert_eq!(computed, 1, "exactly one thread polymerizes: {outcomes:?}");
+    assert!(outcomes.iter().all(|o| matches!(
+        o,
+        CacheOutcome::Computed | CacheOutcome::Hit | CacheOutcome::Waited
+    )));
+}
+
+#[test]
+fn serving_runtime_end_to_end_counts_match() {
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    let engine = Arc::new(Engine::offline(MachineModel::a100(), &options));
+    let shapes = shapes();
+    let requests: Vec<Request> = poisson_arrivals(48, 10_000.0, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(id, arrival_ns)| {
+            let shape = shapes[id % shapes.len()];
+            Request::single(id, arrival_ns, Operator::gemm(shape))
+        })
+        .collect();
+    let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
+    let report = ServingRuntime::new(Arc::clone(&engine), cluster, 4).serve(&requests);
+
+    assert_eq!(report.records.len(), 48);
+    assert_eq!(
+        report.cache.computations,
+        shapes.len() as u64,
+        "serving polymerizes each unique shape once: {:?}",
+        report.cache
+    );
+    // Latency decomposition is internally consistent per request.
+    for record in &report.records {
+        let parts = record.queue_ns + record.compile_ns as f64 + record.device_ns;
+        assert!((record.total_ns() - parts).abs() < 1e-9);
+        assert!(record.finish_ns >= requests[record.id].arrival_ns);
+    }
+    // The stream repeats 6 shapes 8 times: later repeats are pure hits,
+    // so mean compile must be far below the cold polymerization cost.
+    let cold: u128 = report
+        .records
+        .iter()
+        .map(|r| r.compile_ns)
+        .max()
+        .expect("records");
+    assert!(cold > 0, "someone must have compiled");
+    let hit_requests = report.records.iter().filter(|r| r.compile_ns == 0).count();
+    assert!(
+        hit_requests >= 48 - 2 * shapes.len(),
+        "most repeats must be cache hits, got {hit_requests}"
+    );
+}

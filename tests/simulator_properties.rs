@@ -133,3 +133,30 @@ proptest! {
         prop_assert!((chained.time_ns - (ra.time_ns + rb.time_ns)).abs() < 1e-3);
     }
 }
+
+/// Pinned regression from `simulator_properties.proptest-regressions`
+/// (`(um, un, uk) = (16, 16, 16), instances = 1, count = 109`): the
+/// smallest tile with a single pipeline instance once violated the
+/// serial/perfect-parallel envelope. Kept as an explicit deterministic
+/// test because the vendored proptest stand-in does not replay regression
+/// files.
+#[test]
+fn regression_minimal_tile_single_instance_envelope() {
+    let machine = MachineModel::a100();
+    let shape = TaskShape::gemm_tile_f16(16, 16, 16);
+    assert!(shape.fits(&machine));
+    let warps = 4usize;
+    let spec = TaskSpec::new(shape, warps, 1);
+    let count = 109usize;
+    let one = pipelined_task_ns(&machine, &spec);
+    let report = simulate(&machine, &Launch::grid(spec, count), TimingMode::Evaluate);
+    let serial = one * count as f64;
+    let slots = machine.num_pes as f64 * machine.warp_cap_per_pe as f64 / warps as f64;
+    let perfect = serial / slots;
+    assert!(report.device_ns <= serial + 1e-6, "slower than serial");
+    assert!(
+        report.device_ns >= perfect - 1e-6,
+        "faster than perfect scaling: {} < {perfect}",
+        report.device_ns
+    );
+}

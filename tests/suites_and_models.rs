@@ -51,7 +51,10 @@ fn transformer_flops_roughly_match_public_numbers() {
     // attention = ~97 GFLOPs analytically.
     let g = TransformerConfig::bert_base().graph(1, 512);
     let gflops = g.total_flops() / 1e9;
-    assert!((80.0..130.0).contains(&gflops), "BERT-base@512 = {gflops} GFLOPs");
+    assert!(
+        (80.0..130.0).contains(&gflops),
+        "BERT-base@512 = {gflops} GFLOPs"
+    );
 }
 
 #[test]
@@ -59,7 +62,10 @@ fn resnet18_flops_roughly_match_public_numbers() {
     // ResNet-18 at 224x224 is ~3.6 GFLOPs (2 * 1.8 GMACs).
     let g = CnnConfig::resnet18().graph(1, 224);
     let gflops = g.total_flops() / 1e9;
-    assert!((2.5..5.0).contains(&gflops), "resnet18@224 = {gflops} GFLOPs");
+    assert!(
+        (2.5..5.0).contains(&gflops),
+        "resnet18@224 = {gflops} GFLOPs"
+    );
 }
 
 #[test]
@@ -67,7 +73,10 @@ fn vgg11_flops_roughly_match_public_numbers() {
     // VGG-11 at 224x224 is ~15.2 GFLOPs.
     let g = CnnConfig::vgg11().graph(1, 224);
     let gflops = g.total_flops() / 1e9;
-    assert!((11.0..20.0).contains(&gflops), "vgg11@224 = {gflops} GFLOPs");
+    assert!(
+        (11.0..20.0).contains(&gflops),
+        "vgg11@224 = {gflops} GFLOPs"
+    );
 }
 
 #[test]

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the builder surface the workspace's bench targets use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], `criterion_group!`/`criterion_main!`)
+//! but measures with a simple adaptive wall-clock loop: warm up once, then
+//! iterate until a time budget is spent and report mean/min per iteration.
+//! No statistical analysis, plots, or HTML reports.
+//!
+//! The generated `main` only runs benchmarks when the process was invoked
+//! with a `--bench` argument (which `cargo bench` passes); under any other
+//! harness invocation it exits immediately, keeping `cargo test` fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    /// Mean time per iteration from the measured phase.
+    mean: Duration,
+    /// Fastest observed iteration.
+    min: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Measures `f` repeatedly: one warm-up call, then an adaptive loop
+    /// bounded by a wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up (also seeds lazy statics)
+        let budget = Duration::from_millis(200);
+        let max_iters = 10_000u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut n = 0u64;
+        while total < budget && n < max_iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            n += 1;
+        }
+        self.mean = total / n.max(1) as u32;
+        self.min = min;
+        self.iterations = n;
+    }
+}
+
+/// Work-rate annotation for a benchmark (recorded, printed with results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean > Duration::ZERO => {
+            let per_s = n as f64 / b.mean.as_secs_f64();
+            format!("  ({per_s:.0} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) if b.mean > Duration::ZERO => {
+            let per_s = n as f64 / b.mean.as_secs_f64() / (1 << 20) as f64;
+            format!("  ({per_s:.1} MiB/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<50} mean {:>10}  min {:>10}  ({} iters){rate}",
+        human(b.mean),
+        human(b.min),
+        b.iterations
+    );
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; accepted for API compatibility (the adaptive loop
+    /// is bounded by wall-clock budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// True when the process was launched by `cargo bench` (which passes
+/// `--bench`); bench mains no-op otherwise.
+pub fn invoked_as_benchmark() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (under `cargo bench` only).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::invoked_as_benchmark() {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.iterations >= 1);
+        assert!(b.min <= b.mean);
+    }
+
+    #[test]
+    fn group_builder_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &4u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+        c.bench_function("single", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the surface this workspace uses: the [`Strategy`] trait over
+//! ranges / tuples / `prop_map`, `prop::collection::vec`,
+//! `prop::sample::select`, and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assume!`] macros with
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, deliberate for an offline vendored
+//! build: no shrinking (failures report the failing case's seed instead,
+//! so a failure is reproducible but not minimal), and
+//! `.proptest-regressions` files are not consulted — regressions worth
+//! pinning are written as explicit unit tests instead. Case generation is
+//! deterministic per test (seeded from the test's name), so CI runs are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is retried
+    /// with fresh inputs and does not count against the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) input.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Abort after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// A strategy always yielding clones of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy for `Vec`s of `element` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.start..self.size.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy drawing uniformly from a fixed set of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// FNV-1a, for deriving a per-test base seed from the test name.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: runs `config.cases` accepted cases with
+/// deterministic per-case seeds, retrying rejected cases. Panics (failing
+/// the enclosing `#[test]`) on the first assertion failure, reporting the
+/// case seed for reproduction.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let mut rejects = 0u32;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempts += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects >= config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejects}) after {accepted} accepted cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {accepted} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` that runs the
+/// body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_internal! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_internal! {
+            config = ($crate::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_internal {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(
+                &__config,
+                stringify!($name),
+                |__rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let ($($pat,)+) =
+                        ($($crate::Strategy::generate(&($strat), __rng),)+);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_internal! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format_args!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &($left);
+        let __right = &($right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &($left);
+        let __right = &($right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?}) — {}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right,
+                format_args!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; rejected cases are
+/// retried with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tile() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..8, 1usize..8).prop_map(|(a, b)| (a * 16, b * 16))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds; tuple + map strategies compose.
+        #[test]
+        fn strategies_respect_bounds(
+            x in 1usize..100,
+            f in 0.5f64..2.0,
+            (a, b) in tile(),
+            pick in prop::sample::select(vec![1usize, 2, 4, 8]),
+            xs in prop::collection::vec(1.0f64..100.0, 1..5),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert!(a % 16 == 0 && (16..128).contains(&a), "a={}", a);
+            prop_assert!(b % 16 == 0, "b={}", b);
+            prop_assert!([1usize, 2, 4, 8].contains(&pick));
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assume!(x != 1);
+            prop_assert_eq!(x.max(2), x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut rng1 = TestRng::seed_from_u64(name_seed("abc"));
+        let mut rng2 = TestRng::seed_from_u64(name_seed("abc"));
+        let s = (1usize..1000, 0.0f64..1.0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng1), s.generate(&mut rng2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn rejection_budget_is_enforced() {
+        let config = ProptestConfig {
+            cases: 4,
+            max_global_rejects: 64,
+        };
+        run_proptest(&config, "always_rejects", |_rng| {
+            Err(TestCaseError::reject("never satisfiable"))
+        });
+    }
+
+    use super::{name_seed, run_proptest, Strategy, TestCaseError, TestRng};
+    use rand::SeedableRng;
+}

@@ -1,0 +1,351 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde abstracts over data formats with a visitor architecture;
+//! this workspace only ever serializes to JSON, so the stand-in collapses
+//! the design to a single interchange type: [`json::Value`]. `Serialize`
+//! renders a value tree, `Deserialize` rebuilds from one, and the derive
+//! macros in `serde_derive` generate both using serde's externally-tagged
+//! enum representation so on-disk artifacts look like real serde_json
+//! output.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+use json::{Number, Value};
+use std::fmt;
+
+// Derive macros; same names as the traits, different namespace.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error: a message plus nothing else.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    fn from_json(value: &Value) -> Result<Self, DeError>;
+}
+
+fn type_err(expected: &str, got: &Value) -> DeError {
+    DeError::new(format!("expected {expected}, got {got}"))
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| type_err(stringify!($t), value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| type_err(stringify!($t), value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+// 128-bit integers exceed the JSON number model (u64/i64/f64); values
+// that fit in 64 bits serialize as numbers, larger ones as decimal
+// strings, and deserialization accepts both — round-trips stay exact.
+impl Serialize for u128 {
+    fn to_json(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::PosInt(v)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        if let Some(v) = value.as_u64() {
+            return Ok(v as u128);
+        }
+        value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| type_err("u128", value))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::from(v),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        if let Some(v) = value.as_i64() {
+            return Ok(v as i128);
+        }
+        value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| type_err("i128", value))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            // Non-finite floats serialize to null (serde_json convention).
+            Value::Null => Ok(f64::NAN),
+            _ => value.as_f64().ok_or_else(|| type_err("f64", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        f64::from_json(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| type_err("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_err("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// `&'static str` appears in derived types whose Deserialize impl is never
+// exercised at runtime (suite-row provenance labels). Real serde makes
+// this a call-site constraint via the 'de lifetime; this stand-in has no
+// lifetimes, so the impl exists but allocates a leaked string if ever
+// used. Fine for test-only metadata, wrong for hot paths — don't add
+// borrowed fields to types that actually round-trip through files.
+impl Deserialize for &'static str {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| type_err("string", value))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| type_err("array", value))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| type_err("tuple array", value))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected {}-tuple, got {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_json(&42usize.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-9i64).to_json()).unwrap(), -9);
+        assert_eq!(f64::from_json(&0.25f64.to_json()).unwrap(), 0.25);
+        assert!(f64::from_json(&f64::NAN.to_json()).unwrap().is_nan());
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(
+            <Option<u32>>::from_json(&None::<u32>.to_json()).unwrap(),
+            None
+        );
+        assert_eq!(
+            <(usize, usize)>::from_json(&(3usize, 4usize).to_json()).unwrap(),
+            (3, 4)
+        );
+        assert_eq!(
+            <Vec<u8>>::from_json(&vec![1u8, 2, 3].to_json()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_json(&300usize.to_json()).is_err());
+        assert!(bool::from_json(&1u8.to_json()).is_err());
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the shapes
+//! this workspace actually uses: structs with named fields, tuple/newtype
+//! structs, and enums with unit / newtype / tuple / struct variants, using
+//! serde's externally-tagged representation. Parsing is done directly over
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline); honors
+//! the two field attributes the codebase uses, `#[serde(default)]` and
+//! `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone)]
+enum FieldDefault {
+    /// Required: missing is an error.
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    DefaultImpl,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> serde::json::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_json(__value: &serde::json::Value) \
+                 -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tts = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments, #[serde(...)] on the container —
+    // none used here) and visibility.
+    loop {
+        match tts.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tts.next();
+                tts.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tts.next();
+                if let Some(TokenTree::Group(g)) = tts.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tts.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tts.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tts.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    // Skip generic parameters if present (unused in this workspace).
+    if let Some(TokenTree::Punct(p)) = tts.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tts.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tts.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tts.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body for {name}: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+/// Reads one attribute body (the `[...]` group after `#`), returning the
+/// field default it specifies, if it is a `#[serde(...)]` attribute.
+fn attr_default(group: &proc_macro::Group) -> Option<FieldDefault> {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match inner.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut args = args.into_iter();
+    match args.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!("unsupported #[serde(...)] argument: {other:?}"),
+    }
+    match args.next() {
+        None => Some(FieldDefault::DefaultImpl),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match args.next() {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!("expected string literal in #[serde(default = ...)]: {other:?}"),
+            };
+            Some(FieldDefault::Path(lit.trim_matches('"').to_string()))
+        }
+        other => panic!("unsupported #[serde(default ...)] form: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tts = stream.into_iter().peekable();
+    loop {
+        // Attributes before the field.
+        let mut default = FieldDefault::Required;
+        loop {
+            match tts.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tts.next();
+                    if let Some(TokenTree::Group(g)) = tts.next() {
+                        if let Some(d) = attr_default(&g) {
+                            default = d;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tts.next();
+                    if let Some(TokenTree::Group(g)) = tts.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tts.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tts.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma / end of fields
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tts.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in tts.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut depth = 0i32;
+    let mut tts = stream.into_iter().peekable();
+    while let Some(tt) = tts.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tts.next(); // attribute body
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tts = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments, #[default] from derive(Default), ...).
+        while let Some(TokenTree::Punct(p)) = tts.peek() {
+            if p.as_char() == '#' {
+                tts.next();
+                tts.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tts.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match tts.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tts.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tts.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume up to and including the separating comma (also skips
+        // explicit discriminants, which serde would reject anyway).
+        for tt in tts.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `{ "key": inner }` as a one-entry object expression.
+fn one_entry_object(key: &str, inner: &str) -> String {
+    format!(
+        "{{ let mut __map = serde::json::Map::new();\n\
+             __map.insert(String::from(\"{key}\"), {inner});\n\
+             serde::json::Value::Object(__map) }}"
+    )
+}
+
+fn named_fields_object(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from("{ let mut __map = serde::json::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__map.insert(String::from(\"{0}\"), serde::Serialize::to_json({1}{0}));\n",
+            f.name, access_prefix
+        ));
+    }
+    out.push_str("serde::json::Value::Object(__map) }");
+    out
+}
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "serde::json::Value::Null".to_string(),
+        Fields::Tuple(1) => "serde::Serialize::to_json(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => named_fields_object(fields, "&self."),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => serde::json::Value::String(String::from(\"{vn}\")),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(__f0) => {},\n",
+                one_entry_object(vn, "serde::Serialize::to_json(__f0)")
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_json({b})"))
+                    .collect();
+                let inner = format!("serde::json::Value::Array(vec![{}])", items.join(", "));
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {},\n",
+                    binds.join(", "),
+                    one_entry_object(vn, &inner)
+                ));
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let inner = named_fields_object(fields, "");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {},\n",
+                    binds.join(", "),
+                    one_entry_object(vn, &inner)
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Builds the field initializers of a named-fields constructor, reading
+/// from an object bound to `__obj`.
+fn named_fields_init(owner: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fallback = match &f.default {
+            FieldDefault::Required => format!(
+                "return Err(serde::DeError::new(\
+                     \"missing field `{}` in {}\"))",
+                f.name, owner
+            ),
+            FieldDefault::DefaultImpl => "std::default::Default::default()".to_string(),
+            FieldDefault::Path(path) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{0}: match __obj.get(\"{0}\") {{\n\
+                 Some(__v) => serde::Deserialize::from_json(__v)?,\n\
+                 None => {1},\n\
+             }},\n",
+            f.name, fallback
+        ));
+    }
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = __value; Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_json(__value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_json(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __value.as_array().ok_or_else(|| \
+                     serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return Err(serde::DeError::new(format!(\n\
+                         \"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(fields) => format!(
+            "{{ let __obj = __value.as_object().ok_or_else(|| \
+                 serde::DeError::new(\"expected object for {name}\"))?;\n\
+             Ok({name} {{\n{init}}}) }}",
+            init = named_fields_init(name, fields)
+        ),
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+            Fields::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_json(__v)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_json(&__items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __items = __v.as_array().ok_or_else(|| \
+                             serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return Err(serde::DeError::new(format!(\n\
+                                 \"expected {n} elements for {name}::{vn}, got {{}}\",\n\
+                                 __items.len())));\n\
+                         }}\n\
+                         Ok({name}::{vn}({items}))\n\
+                     }},\n",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => data_arms.push_str(&format!(
+                "\"{vn}\" => {{\n\
+                     let __obj = __v.as_object().ok_or_else(|| \
+                         serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                     Ok({name}::{vn} {{\n{init}}})\n\
+                 }},\n",
+                init = named_fields_init(&format!("{name}::{vn}"), fields)
+            )),
+        }
+    }
+    format!(
+        "match __value {{\n\
+             serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::DeError::new(format!(\n\
+                     \"unknown unit variant `{{}}` for {name}\", __other))),\n\
+             }},\n\
+             serde::json::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.iter().next()\
+                     .map(|(__k, __v)| (__k.as_str(), __v))\
+                     .expect(\"length checked\");\n\
+                 match __k {{\n\
+                     {data_arms}\
+                     __other => Err(serde::DeError::new(format!(\n\
+                         \"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }}\n\
+             }},\n\
+             __other => Err(serde::DeError::new(format!(\n\
+                 \"invalid value for enum {name}: {{}}\", __other))),\n\
+         }}"
+    )
+}

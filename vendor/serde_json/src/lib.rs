@@ -1,0 +1,111 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! crate's [`Value`] model: string conversion entry points plus the
+//! [`json!`] literal macro. Floats round-trip exactly (Rust's shortest
+//! representation formatting), matching the `float_roundtrip` feature of
+//! the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{Map, Number, Value};
+pub use serde::DeError as Error;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string())
+}
+
+/// Serializes a value to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string_pretty())
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json(&serde::json::parse(text)?)
+}
+
+/// Renders any serializable value as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json(&value)
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax.
+///
+/// Supports `null`, nested `[...]` arrays, `{"key": value}` objects with
+/// string-literal keys, and arbitrary expressions convertible into
+/// [`Value`] via `From`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_entries!(__map, $($body)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-entry muncher for [`json!`]: `null`, nested arrays and objects
+/// are dispatched structurally, everything else parses as an expression
+/// (so multi-token values like `&label` or `1 + 2` work).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident,) => {};
+    ($map:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(String::from($key), $crate::Value::Null);
+        $crate::json_entries!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(String::from($key), $crate::json!([ $($arr)* ]));
+        $crate::json_entries!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(String::from($key), $crate::json!({ $($obj)* }));
+        $crate::json_entries!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert(String::from($key), $crate::Value::from($value));
+        $crate::json_entries!($map, $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let label = String::from("speedup");
+        let value = 1.5f64;
+        let v = json!({ "metric": &label, "value": &value });
+        assert_eq!(v.get("metric").and_then(Value::as_str), Some("speedup"));
+        assert_eq!(v.get("value").and_then(Value::as_f64), Some(1.5));
+
+        let nested = json!({
+            "fig1": [{ "metric": "ratio", "value": 100.0 }],
+            "empty": [],
+            "flag": null
+        });
+        let arr = nested.get("fig1").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("value").and_then(Value::as_f64), Some(100.0));
+        assert!(nested.get("flag").unwrap().is_null());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({ "a": [1, 2, 3], "b": "text" });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
