@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/accel_sim-95ccc50cc3e0f8b6.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_sim-95ccc50cc3e0f8b6.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs Cargo.toml
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/cluster.rs:
+crates/accel-sim/src/counters.rs:
+crates/accel-sim/src/machine.rs:
+crates/accel-sim/src/noise.rs:
+crates/accel-sim/src/scheduler.rs:
+crates/accel-sim/src/task.rs:
+crates/accel-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

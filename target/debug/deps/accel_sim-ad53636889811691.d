@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/accel_sim-ad53636889811691.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libaccel_sim-ad53636889811691.rlib: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+/root/repo/target/debug/deps/libaccel_sim-ad53636889811691.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/cluster.rs:
+crates/accel-sim/src/counters.rs:
+crates/accel-sim/src/machine.rs:
+crates/accel-sim/src/noise.rs:
+crates/accel-sim/src/scheduler.rs:
+crates/accel-sim/src/task.rs:
+crates/accel-sim/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_properties-0aaaf982b27906f6.d: tests/baseline_properties.rs
+
+/root/repo/target/debug/deps/baseline_properties-0aaaf982b27906f6: tests/baseline_properties.rs
+
+tests/baseline_properties.rs:

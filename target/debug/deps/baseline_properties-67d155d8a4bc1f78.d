@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_properties-67d155d8a4bc1f78.d: tests/baseline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_properties-67d155d8a4bc1f78.rmeta: tests/baseline_properties.rs Cargo.toml
+
+tests/baseline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler_properties-963f1970c3f9597e.d: tests/compiler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler_properties-963f1970c3f9597e.rmeta: tests/compiler_properties.rs Cargo.toml
+
+tests/compiler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_properties-d5be378ac0d06947.d: tests/compiler_properties.rs
+
+/root/repo/target/debug/deps/compiler_properties-d5be378ac0d06947: tests/compiler_properties.rs
+
+tests/compiler_properties.rs:

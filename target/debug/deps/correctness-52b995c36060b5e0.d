@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-52b995c36060b5e0.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-52b995c36060b5e0: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-750a7a335cf5fe18.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-750a7a335cf5fe18.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model-eb282357ad9211b8.d: crates/bench/benches/cost_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model-eb282357ad9211b8.rmeta: crates/bench/benches/cost_model.rs Cargo.toml
+
+crates/bench/benches/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d185f9ea223b1413.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d185f9ea223b1413: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-21fad38daabd71bc.d: tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-21fad38daabd71bc.rmeta: tests/engine_integration.rs Cargo.toml
+
+tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

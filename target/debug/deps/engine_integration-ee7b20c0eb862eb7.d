@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-ee7b20c0eb862eb7.d: tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-ee7b20c0eb862eb7: tests/engine_integration.rs
+
+tests/engine_integration.rs:

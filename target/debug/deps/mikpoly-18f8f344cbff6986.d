@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mikpoly-18f8f344cbff6986.d: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly-18f8f344cbff6986.rmeta: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+crates/core/src/bin/mikpoly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mikpoly-9537282c1203a41a.d: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly-9537282c1203a41a.rmeta: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+crates/core/src/bin/mikpoly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

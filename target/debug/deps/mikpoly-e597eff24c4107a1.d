@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mikpoly-e597eff24c4107a1.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/cache.rs crates/core/src/compiler.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/offline.rs crates/core/src/pattern.rs crates/core/src/perf_model.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/serving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly-e597eff24c4107a1.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/cache.rs crates/core/src/compiler.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/offline.rs crates/core/src/pattern.rs crates/core/src/perf_model.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/serving.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/cache.rs:
+crates/core/src/compiler.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/exec.rs:
+crates/core/src/kernel.rs:
+crates/core/src/offline.rs:
+crates/core/src/pattern.rs:
+crates/core/src/perf_model.rs:
+crates/core/src/plan.rs:
+crates/core/src/search.rs:
+crates/core/src/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mikpoly_baselines-123639f0243453fa.d: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/debug/deps/libmikpoly_baselines-123639f0243453fa.rlib: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/debug/deps/libmikpoly_baselines-123639f0243453fa.rmeta: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/adapter.rs:
+crates/baselines/src/backend.rs:
+crates/baselines/src/cutlass.rs:
+crates/baselines/src/dietcode.rs:
+crates/baselines/src/nimble.rs:
+crates/baselines/src/vendor.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mikpoly_baselines-8bf9ee5da966165d.d: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly_baselines-8bf9ee5da966165d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/adapter.rs:
+crates/baselines/src/backend.rs:
+crates/baselines/src/cutlass.rs:
+crates/baselines/src/dietcode.rs:
+crates/baselines/src/nimble.rs:
+crates/baselines/src/vendor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mikpoly_models-ce5c6cf613550447.d: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libmikpoly_models-ce5c6cf613550447.rlib: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+/root/repo/target/debug/deps/libmikpoly_models-ce5c6cf613550447.rmeta: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnns.rs:
+crates/models/src/graph.rs:
+crates/models/src/llama.rs:
+crates/models/src/transformers.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mikpoly_suite-18645c5cb0cccf46.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmikpoly_suite-18645c5cb0cccf46.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmikpoly_suite-18645c5cb0cccf46.rmeta: src/lib.rs
+
+src/lib.rs:

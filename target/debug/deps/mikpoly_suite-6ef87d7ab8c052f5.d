@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mikpoly_suite-6ef87d7ab8c052f5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly_suite-6ef87d7ab8c052f5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mikpoly_suite-7139f333ae50d096.d: src/lib.rs
+
+/root/repo/target/debug/deps/mikpoly_suite-7139f333ae50d096: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mikpoly_suite-99e29e624349710e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmikpoly_suite-99e29e624349710e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mikpoly_workloads-72db4aff2667a4c1.d: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/debug/deps/libmikpoly_workloads-72db4aff2667a4c1.rlib: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/debug/deps/libmikpoly_workloads-72db4aff2667a4c1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/conv_suite.rs:
+crates/workloads/src/gemm_suite.rs:
+crates/workloads/src/sampling.rs:
+crates/workloads/src/sweeps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_stage-fcb867431ba0b226.d: crates/bench/benches/offline_stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_stage-fcb867431ba0b226.rmeta: crates/bench/benches/offline_stage.rs Cargo.toml
+
+crates/bench/benches/offline_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-ad1ae200edf4dc82.d: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-ad1ae200edf4dc82.rmeta: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+crates/bench/benches/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/polymerization-f627250953a75ce2.d: crates/bench/benches/polymerization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolymerization-f627250953a75ce2.rmeta: crates/bench/benches/polymerization.rs Cargo.toml
+
+crates/bench/benches/polymerization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c43aca01db646a62.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c43aca01db646a62.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c43aca01db646a62.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

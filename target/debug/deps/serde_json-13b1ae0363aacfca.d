@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-13b1ae0363aacfca.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-13b1ae0363aacfca.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-13b1ae0363aacfca.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_concurrency-68c093422f197bda.d: tests/serving_concurrency.rs
+
+/root/repo/target/debug/deps/serving_concurrency-68c093422f197bda: tests/serving_concurrency.rs
+
+tests/serving_concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serving_concurrency-6caf3150b8759b66.d: tests/serving_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving_concurrency-6caf3150b8759b66.rmeta: tests/serving_concurrency.rs Cargo.toml
+
+tests/serving_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_properties-de320dd9ade5e2ff.d: tests/simulator_properties.rs
+
+/root/repo/target/debug/deps/simulator_properties-de320dd9ade5e2ff: tests/simulator_properties.rs
+
+tests/simulator_properties.rs:

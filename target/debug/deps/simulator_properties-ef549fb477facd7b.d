@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_properties-ef549fb477facd7b.d: tests/simulator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_properties-ef549fb477facd7b.rmeta: tests/simulator_properties.rs Cargo.toml
+
+tests/simulator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

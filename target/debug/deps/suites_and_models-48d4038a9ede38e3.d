@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suites_and_models-48d4038a9ede38e3.d: tests/suites_and_models.rs
+
+/root/repo/target/debug/deps/suites_and_models-48d4038a9ede38e3: tests/suites_and_models.rs
+
+tests/suites_and_models.rs:

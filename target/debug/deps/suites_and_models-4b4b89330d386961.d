@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suites_and_models-4b4b89330d386961.d: tests/suites_and_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuites_and_models-4b4b89330d386961.rmeta: tests/suites_and_models.rs Cargo.toml
+
+tests/suites_and_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tensor_ir-0c7e9acf2225565b.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+/root/repo/target/debug/deps/libtensor_ir-0c7e9acf2225565b.rlib: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+/root/repo/target/debug/deps/libtensor_ir-0c7e9acf2225565b.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/dtype.rs:
+crates/tensor-ir/src/im2col.rs:
+crates/tensor-ir/src/operator.rs:
+crates/tensor-ir/src/shape.rs:
+crates/tensor-ir/src/template.rs:
+crates/tensor-ir/src/tensor.rs:
+crates/tensor-ir/src/winograd.rs:

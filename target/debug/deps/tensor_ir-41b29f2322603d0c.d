@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tensor_ir-41b29f2322603d0c.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_ir-41b29f2322603d0c.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs Cargo.toml
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/dtype.rs:
+crates/tensor-ir/src/im2col.rs:
+crates/tensor-ir/src/operator.rs:
+crates/tensor-ir/src/shape.rs:
+crates/tensor-ir/src/template.rs:
+crates/tensor-ir/src/tensor.rs:
+crates/tensor-ir/src/winograd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bert_serving-3ab7dd934e93e9a6.d: examples/bert_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbert_serving-3ab7dd934e93e9a6.rmeta: examples/bert_serving.rs Cargo.toml
+
+examples/bert_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bert_serving-c7a959a0aa3b0de1.d: examples/bert_serving.rs
+
+/root/repo/target/debug/examples/bert_serving-c7a959a0aa3b0de1: examples/bert_serving.rs
+
+examples/bert_serving.rs:

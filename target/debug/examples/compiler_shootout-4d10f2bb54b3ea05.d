@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiler_shootout-4d10f2bb54b3ea05.d: examples/compiler_shootout.rs
+
+/root/repo/target/debug/examples/compiler_shootout-4d10f2bb54b3ea05: examples/compiler_shootout.rs
+
+examples/compiler_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compiler_shootout-7f5b3cac19f00456.d: examples/compiler_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompiler_shootout-7f5b3cac19f00456.rmeta: examples/compiler_shootout.rs Cargo.toml
+
+examples/compiler_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detection_resolution-674ed93eb6bc36f1.d: examples/detection_resolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetection_resolution-674ed93eb6bc36f1.rmeta: examples/detection_resolution.rs Cargo.toml
+
+examples/detection_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_resolution-8555ebaabfc2322f.d: examples/detection_resolution.rs
+
+/root/repo/target/debug/examples/detection_resolution-8555ebaabfc2322f: examples/detection_resolution.rs
+
+examples/detection_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_vit-896d620d1289482a.d: examples/engine_vit.rs
+
+/root/repo/target/debug/examples/engine_vit-896d620d1289482a: examples/engine_vit.rs
+
+examples/engine_vit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_vit-98e421d92a1d20af.d: examples/engine_vit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_vit-98e421d92a1d20af.rmeta: examples/engine_vit.rs Cargo.toml
+
+examples/engine_vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

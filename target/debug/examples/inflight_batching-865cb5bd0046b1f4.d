@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inflight_batching-865cb5bd0046b1f4.d: examples/inflight_batching.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinflight_batching-865cb5bd0046b1f4.rmeta: examples/inflight_batching.rs Cargo.toml
+
+examples/inflight_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inflight_batching-cd4b360c44828113.d: examples/inflight_batching.rs
+
+/root/repo/target/debug/examples/inflight_batching-cd4b360c44828113: examples/inflight_batching.rs
+
+examples/inflight_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llama_inference-bbefe8f196e07c63.d: examples/llama_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllama_inference-bbefe8f196e07c63.rmeta: examples/llama_inference.rs Cargo.toml
+
+examples/llama_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

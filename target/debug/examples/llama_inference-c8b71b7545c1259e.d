@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llama_inference-c8b71b7545c1259e.d: examples/llama_inference.rs
+
+/root/repo/target/debug/examples/llama_inference-c8b71b7545c1259e: examples/llama_inference.rs
+
+examples/llama_inference.rs:

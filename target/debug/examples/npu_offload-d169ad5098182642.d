@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/npu_offload-d169ad5098182642.d: examples/npu_offload.rs
+
+/root/repo/target/debug/examples/npu_offload-d169ad5098182642: examples/npu_offload.rs
+
+examples/npu_offload.rs:

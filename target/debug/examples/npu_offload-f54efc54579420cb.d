@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/npu_offload-f54efc54579420cb.d: examples/npu_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnpu_offload-f54efc54579420cb.rmeta: examples/npu_offload.rs Cargo.toml
+
+examples/npu_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

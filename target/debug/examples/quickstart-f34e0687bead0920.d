@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f34e0687bead0920.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f34e0687bead0920: examples/quickstart.rs
+
+examples/quickstart.rs:

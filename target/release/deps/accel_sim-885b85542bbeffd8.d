@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/accel_sim-885b85542bbeffd8.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libaccel_sim-885b85542bbeffd8.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs Cargo.toml
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/cluster.rs:
+crates/accel-sim/src/counters.rs:
+crates/accel-sim/src/machine.rs:
+crates/accel-sim/src/noise.rs:
+crates/accel-sim/src/scheduler.rs:
+crates/accel-sim/src/task.rs:
+crates/accel-sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

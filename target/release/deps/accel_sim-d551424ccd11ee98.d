@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel_sim-d551424ccd11ee98.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+/root/repo/target/release/deps/accel_sim-d551424ccd11ee98: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/cluster.rs:
+crates/accel-sim/src/counters.rs:
+crates/accel-sim/src/machine.rs:
+crates/accel-sim/src/noise.rs:
+crates/accel-sim/src/scheduler.rs:
+crates/accel-sim/src/task.rs:
+crates/accel-sim/src/timing.rs:

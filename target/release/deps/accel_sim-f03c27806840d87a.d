@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/accel_sim-f03c27806840d87a.d: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+/root/repo/target/release/deps/libaccel_sim-f03c27806840d87a.rlib: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+/root/repo/target/release/deps/libaccel_sim-f03c27806840d87a.rmeta: crates/accel-sim/src/lib.rs crates/accel-sim/src/cluster.rs crates/accel-sim/src/counters.rs crates/accel-sim/src/machine.rs crates/accel-sim/src/noise.rs crates/accel-sim/src/scheduler.rs crates/accel-sim/src/task.rs crates/accel-sim/src/timing.rs
+
+crates/accel-sim/src/lib.rs:
+crates/accel-sim/src/cluster.rs:
+crates/accel-sim/src/counters.rs:
+crates/accel-sim/src/machine.rs:
+crates/accel-sim/src/noise.rs:
+crates/accel-sim/src/scheduler.rs:
+crates/accel-sim/src/task.rs:
+crates/accel-sim/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_properties-21f8075ff430dc42.d: tests/baseline_properties.rs
+
+/root/repo/target/release/deps/baseline_properties-21f8075ff430dc42: tests/baseline_properties.rs
+
+tests/baseline_properties.rs:

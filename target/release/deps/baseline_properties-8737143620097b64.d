@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_properties-8737143620097b64.d: tests/baseline_properties.rs
+
+/root/repo/target/release/deps/baseline_properties-8737143620097b64: tests/baseline_properties.rs
+
+tests/baseline_properties.rs:

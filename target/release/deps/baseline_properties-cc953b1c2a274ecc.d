@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baseline_properties-cc953b1c2a274ecc.d: tests/baseline_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaseline_properties-cc953b1c2a274ecc.rmeta: tests/baseline_properties.rs Cargo.toml
+
+tests/baseline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_properties-207294090cb1d88f.d: tests/compiler_properties.rs
+
+/root/repo/target/release/deps/compiler_properties-207294090cb1d88f: tests/compiler_properties.rs
+
+tests/compiler_properties.rs:

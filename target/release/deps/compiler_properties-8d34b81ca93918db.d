@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_properties-8d34b81ca93918db.d: tests/compiler_properties.rs
+
+/root/repo/target/release/deps/compiler_properties-8d34b81ca93918db: tests/compiler_properties.rs
+
+tests/compiler_properties.rs:

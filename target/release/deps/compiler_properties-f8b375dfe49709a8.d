@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compiler_properties-f8b375dfe49709a8.d: tests/compiler_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompiler_properties-f8b375dfe49709a8.rmeta: tests/compiler_properties.rs Cargo.toml
+
+tests/compiler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

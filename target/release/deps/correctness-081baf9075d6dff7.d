@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-081baf9075d6dff7.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-081baf9075d6dff7: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-69c26ef15d2d0dcb.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-69c26ef15d2d0dcb: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/correctness-e28bdbaff86dca73.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/release/deps/libcorrectness-e28bdbaff86dca73.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cost_model-3a656c8b0fe77376.d: crates/bench/benches/cost_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libcost_model-3a656c8b0fe77376.rmeta: crates/bench/benches/cost_model.rs Cargo.toml
+
+crates/bench/benches/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-75b4e81ff70bba8f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-75b4e81ff70bba8f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-02a566addb6db0c7.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-02a566addb6db0c7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

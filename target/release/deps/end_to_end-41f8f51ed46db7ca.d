@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-41f8f51ed46db7ca.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-41f8f51ed46db7ca: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_integration-10668662075e8324.d: tests/engine_integration.rs
+
+/root/repo/target/release/deps/engine_integration-10668662075e8324: tests/engine_integration.rs
+
+tests/engine_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_integration-2829662ef013d218.d: tests/engine_integration.rs
+
+/root/repo/target/release/deps/engine_integration-2829662ef013d218: tests/engine_integration.rs
+
+tests/engine_integration.rs:

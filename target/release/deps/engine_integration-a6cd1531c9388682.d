@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_integration-a6cd1531c9388682.d: tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_integration-a6cd1531c9388682.rmeta: tests/engine_integration.rs Cargo.toml
+
+tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

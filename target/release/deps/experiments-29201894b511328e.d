@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-29201894b511328e.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-29201894b511328e.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-295d5646847475e2.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-295d5646847475e2.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

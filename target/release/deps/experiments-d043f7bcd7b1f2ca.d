@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d043f7bcd7b1f2ca.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d043f7bcd7b1f2ca: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

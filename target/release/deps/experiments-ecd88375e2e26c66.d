@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ecd88375e2e26c66.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ecd88375e2e26c66: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

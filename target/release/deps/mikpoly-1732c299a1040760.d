@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mikpoly-1732c299a1040760.d: crates/core/src/bin/mikpoly.rs
+
+/root/repo/target/release/deps/mikpoly-1732c299a1040760: crates/core/src/bin/mikpoly.rs
+
+crates/core/src/bin/mikpoly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mikpoly-4ea1319b35e4df43.d: crates/core/src/bin/mikpoly.rs
+
+/root/repo/target/release/deps/mikpoly-4ea1319b35e4df43: crates/core/src/bin/mikpoly.rs
+
+crates/core/src/bin/mikpoly.rs:

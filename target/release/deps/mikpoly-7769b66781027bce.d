@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mikpoly-7769b66781027bce.d: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly-7769b66781027bce.rmeta: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+crates/core/src/bin/mikpoly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

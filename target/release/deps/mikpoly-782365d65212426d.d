@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mikpoly-782365d65212426d.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/cache.rs crates/core/src/compiler.rs crates/core/src/engine.rs crates/core/src/cost.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/offline.rs crates/core/src/pattern.rs crates/core/src/perf_model.rs crates/core/src/plan.rs crates/core/src/search.rs
+
+/root/repo/target/release/deps/libmikpoly-782365d65212426d.rlib: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/cache.rs crates/core/src/compiler.rs crates/core/src/engine.rs crates/core/src/cost.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/offline.rs crates/core/src/pattern.rs crates/core/src/perf_model.rs crates/core/src/plan.rs crates/core/src/search.rs
+
+/root/repo/target/release/deps/libmikpoly-782365d65212426d.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/cache.rs crates/core/src/compiler.rs crates/core/src/engine.rs crates/core/src/cost.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/offline.rs crates/core/src/pattern.rs crates/core/src/perf_model.rs crates/core/src/plan.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/cache.rs:
+crates/core/src/compiler.rs:
+crates/core/src/engine.rs:
+crates/core/src/cost.rs:
+crates/core/src/exec.rs:
+crates/core/src/kernel.rs:
+crates/core/src/offline.rs:
+crates/core/src/pattern.rs:
+crates/core/src/perf_model.rs:
+crates/core/src/plan.rs:
+crates/core/src/search.rs:

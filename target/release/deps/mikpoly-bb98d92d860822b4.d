@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mikpoly-bb98d92d860822b4.d: crates/core/src/bin/mikpoly.rs
+
+/root/repo/target/release/deps/mikpoly-bb98d92d860822b4: crates/core/src/bin/mikpoly.rs
+
+crates/core/src/bin/mikpoly.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mikpoly-be40859a5b4a7280.d: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly-be40859a5b4a7280.rmeta: crates/core/src/bin/mikpoly.rs Cargo.toml
+
+crates/core/src/bin/mikpoly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mikpoly_baselines-2671214f8ea265df.d: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/release/deps/libmikpoly_baselines-2671214f8ea265df.rlib: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/release/deps/libmikpoly_baselines-2671214f8ea265df.rmeta: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/adapter.rs:
+crates/baselines/src/backend.rs:
+crates/baselines/src/cutlass.rs:
+crates/baselines/src/dietcode.rs:
+crates/baselines/src/nimble.rs:
+crates/baselines/src/vendor.rs:

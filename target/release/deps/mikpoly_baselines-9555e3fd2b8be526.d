@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mikpoly_baselines-9555e3fd2b8be526.d: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/release/deps/libmikpoly_baselines-9555e3fd2b8be526.rlib: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/release/deps/libmikpoly_baselines-9555e3fd2b8be526.rmeta: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/adapter.rs:
+crates/baselines/src/backend.rs:
+crates/baselines/src/cutlass.rs:
+crates/baselines/src/dietcode.rs:
+crates/baselines/src/nimble.rs:
+crates/baselines/src/vendor.rs:

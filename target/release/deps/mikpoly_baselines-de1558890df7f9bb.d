@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mikpoly_baselines-de1558890df7f9bb.d: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+/root/repo/target/release/deps/mikpoly_baselines-de1558890df7f9bb: crates/baselines/src/lib.rs crates/baselines/src/adapter.rs crates/baselines/src/backend.rs crates/baselines/src/cutlass.rs crates/baselines/src/dietcode.rs crates/baselines/src/nimble.rs crates/baselines/src/vendor.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/adapter.rs:
+crates/baselines/src/backend.rs:
+crates/baselines/src/cutlass.rs:
+crates/baselines/src/dietcode.rs:
+crates/baselines/src/nimble.rs:
+crates/baselines/src/vendor.rs:

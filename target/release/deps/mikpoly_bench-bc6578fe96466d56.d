@@ -1,0 +1,39 @@
+/root/repo/target/release/deps/mikpoly_bench-bc6578fe96466d56.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/expectations.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/abl_patterns.rs crates/bench/src/experiments/abl_search.rs crates/bench/src/experiments/case_study.rs crates/bench/src/experiments/ext_colaunch.rs crates/bench/src/experiments/ext_fusion.rs crates/bench/src/experiments/ext_portability.rs crates/bench/src/experiments/ext_serving.rs crates/bench/src/experiments/ext_splitk.rs crates/bench/src/experiments/ext_winograd.rs crates/bench/src/experiments/fig01.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12a.rs crates/bench/src/experiments/fig12b.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/npu_e2e.rs crates/bench/src/experiments/tab05.rs crates/bench/src/experiments/tab08.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/setup.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly_bench-bc6578fe96466d56.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/expectations.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/abl_patterns.rs crates/bench/src/experiments/abl_search.rs crates/bench/src/experiments/case_study.rs crates/bench/src/experiments/ext_colaunch.rs crates/bench/src/experiments/ext_fusion.rs crates/bench/src/experiments/ext_portability.rs crates/bench/src/experiments/ext_serving.rs crates/bench/src/experiments/ext_splitk.rs crates/bench/src/experiments/ext_winograd.rs crates/bench/src/experiments/fig01.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12a.rs crates/bench/src/experiments/fig12b.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/npu_e2e.rs crates/bench/src/experiments/tab05.rs crates/bench/src/experiments/tab08.rs crates/bench/src/experiments/tables.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/setup.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/expectations.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/abl_patterns.rs:
+crates/bench/src/experiments/abl_search.rs:
+crates/bench/src/experiments/case_study.rs:
+crates/bench/src/experiments/ext_colaunch.rs:
+crates/bench/src/experiments/ext_fusion.rs:
+crates/bench/src/experiments/ext_portability.rs:
+crates/bench/src/experiments/ext_serving.rs:
+crates/bench/src/experiments/ext_splitk.rs:
+crates/bench/src/experiments/ext_winograd.rs:
+crates/bench/src/experiments/fig01.rs:
+crates/bench/src/experiments/fig06.rs:
+crates/bench/src/experiments/fig07.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12a.rs:
+crates/bench/src/experiments/fig12b.rs:
+crates/bench/src/experiments/fig13.rs:
+crates/bench/src/experiments/npu_e2e.rs:
+crates/bench/src/experiments/tab05.rs:
+crates/bench/src/experiments/tab08.rs:
+crates/bench/src/experiments/tables.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/setup.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mikpoly_models-4e30d478510adb46.d: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly_models-4e30d478510adb46.rmeta: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/cnns.rs:
+crates/models/src/graph.rs:
+crates/models/src/llama.rs:
+crates/models/src/transformers.rs:
+crates/models/src/vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

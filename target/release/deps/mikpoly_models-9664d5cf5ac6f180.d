@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mikpoly_models-9664d5cf5ac6f180.d: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/mikpoly_models-9664d5cf5ac6f180: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnns.rs:
+crates/models/src/graph.rs:
+crates/models/src/llama.rs:
+crates/models/src/transformers.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mikpoly_models-b958e59399224f50.d: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libmikpoly_models-b958e59399224f50.rlib: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+/root/repo/target/release/deps/libmikpoly_models-b958e59399224f50.rmeta: crates/models/src/lib.rs crates/models/src/cnns.rs crates/models/src/graph.rs crates/models/src/llama.rs crates/models/src/transformers.rs crates/models/src/vit.rs
+
+crates/models/src/lib.rs:
+crates/models/src/cnns.rs:
+crates/models/src/graph.rs:
+crates/models/src/llama.rs:
+crates/models/src/transformers.rs:
+crates/models/src/vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mikpoly_suite-8516f1637986be5d.d: src/lib.rs
+
+/root/repo/target/release/deps/mikpoly_suite-8516f1637986be5d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mikpoly_suite-a8a290015b708069.d: src/lib.rs
+
+/root/repo/target/release/deps/libmikpoly_suite-a8a290015b708069.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmikpoly_suite-a8a290015b708069.rmeta: src/lib.rs
+
+src/lib.rs:

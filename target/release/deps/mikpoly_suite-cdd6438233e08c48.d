@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mikpoly_suite-cdd6438233e08c48.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly_suite-cdd6438233e08c48.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mikpoly_suite-d2e3527c9acfae2b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmikpoly_suite-d2e3527c9acfae2b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmikpoly_suite-d2e3527c9acfae2b.rmeta: src/lib.rs
+
+src/lib.rs:

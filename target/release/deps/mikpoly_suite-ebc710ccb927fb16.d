@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mikpoly_suite-ebc710ccb927fb16.d: src/lib.rs
+
+/root/repo/target/release/deps/mikpoly_suite-ebc710ccb927fb16: src/lib.rs
+
+src/lib.rs:

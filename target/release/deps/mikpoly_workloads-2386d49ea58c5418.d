@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mikpoly_workloads-2386d49ea58c5418.d: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/release/deps/libmikpoly_workloads-2386d49ea58c5418.rlib: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/release/deps/libmikpoly_workloads-2386d49ea58c5418.rmeta: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/conv_suite.rs:
+crates/workloads/src/gemm_suite.rs:
+crates/workloads/src/sampling.rs:
+crates/workloads/src/sweeps.rs:

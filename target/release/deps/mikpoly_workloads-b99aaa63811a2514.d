@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mikpoly_workloads-b99aaa63811a2514.d: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+/root/repo/target/release/deps/mikpoly_workloads-b99aaa63811a2514: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/conv_suite.rs:
+crates/workloads/src/gemm_suite.rs:
+crates/workloads/src/sampling.rs:
+crates/workloads/src/sweeps.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mikpoly_workloads-cdefdceae67fbce7.d: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs Cargo.toml
+
+/root/repo/target/release/deps/libmikpoly_workloads-cdefdceae67fbce7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/conv_suite.rs crates/workloads/src/gemm_suite.rs crates/workloads/src/sampling.rs crates/workloads/src/sweeps.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/conv_suite.rs:
+crates/workloads/src/gemm_suite.rs:
+crates/workloads/src/sampling.rs:
+crates/workloads/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

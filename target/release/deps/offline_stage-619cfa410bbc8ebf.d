@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/offline_stage-619cfa410bbc8ebf.d: crates/bench/benches/offline_stage.rs Cargo.toml
+
+/root/repo/target/release/deps/liboffline_stage-619cfa410bbc8ebf.rmeta: crates/bench/benches/offline_stage.rs Cargo.toml
+
+crates/bench/benches/offline_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_experiments-aa69b3cbeb21642b.d: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_experiments-aa69b3cbeb21642b.rmeta: crates/bench/benches/paper_experiments.rs Cargo.toml
+
+crates/bench/benches/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/polymerization-cc0bcecf34971895.d: crates/bench/benches/polymerization.rs Cargo.toml
+
+/root/repo/target/release/deps/libpolymerization-cc0bcecf34971895.rmeta: crates/bench/benches/polymerization.rs Cargo.toml
+
+crates/bench/benches/polymerization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-078dee27b2f12523.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-078dee27b2f12523: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-5c2342604da36ffe.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5c2342604da36ffe.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5c2342604da36ffe.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-02c9acb9cbb485ee.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-02c9acb9cbb485ee.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-33fba34f0334fa84.d: vendor/serde/src/lib.rs vendor/serde/src/json.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-33fba34f0334fa84.rmeta: vendor/serde/src/lib.rs vendor/serde/src/json.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

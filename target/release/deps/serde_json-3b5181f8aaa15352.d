@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3b5181f8aaa15352.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b5181f8aaa15352.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3b5181f8aaa15352.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-6ab7c03ad7f66383.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-6ab7c03ad7f66383.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-d5f6ded4eea5f571.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-d5f6ded4eea5f571: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serving_concurrency-12ebf86135825516.d: tests/serving_concurrency.rs Cargo.toml
+
+/root/repo/target/release/deps/libserving_concurrency-12ebf86135825516.rmeta: tests/serving_concurrency.rs Cargo.toml
+
+tests/serving_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

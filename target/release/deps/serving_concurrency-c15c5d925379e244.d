@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_concurrency-c15c5d925379e244.d: tests/serving_concurrency.rs
+
+/root/repo/target/release/deps/serving_concurrency-c15c5d925379e244: tests/serving_concurrency.rs
+
+tests/serving_concurrency.rs:

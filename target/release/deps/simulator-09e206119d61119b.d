@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simulator-09e206119d61119b.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimulator-09e206119d61119b.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

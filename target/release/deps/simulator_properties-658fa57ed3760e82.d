@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_properties-658fa57ed3760e82.d: tests/simulator_properties.rs
+
+/root/repo/target/release/deps/simulator_properties-658fa57ed3760e82: tests/simulator_properties.rs
+
+tests/simulator_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_properties-9b27cbb9748c1f15.d: tests/simulator_properties.rs
+
+/root/repo/target/release/deps/simulator_properties-9b27cbb9748c1f15: tests/simulator_properties.rs
+
+tests/simulator_properties.rs:

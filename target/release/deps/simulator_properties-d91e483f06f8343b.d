@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simulator_properties-d91e483f06f8343b.d: tests/simulator_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libsimulator_properties-d91e483f06f8343b.rmeta: tests/simulator_properties.rs Cargo.toml
+
+tests/simulator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

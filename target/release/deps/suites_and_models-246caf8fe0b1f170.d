@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suites_and_models-246caf8fe0b1f170.d: tests/suites_and_models.rs
+
+/root/repo/target/release/deps/suites_and_models-246caf8fe0b1f170: tests/suites_and_models.rs
+
+tests/suites_and_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/suites_and_models-5a18baa669b4a28c.d: tests/suites_and_models.rs Cargo.toml
+
+/root/repo/target/release/deps/libsuites_and_models-5a18baa669b4a28c.rmeta: tests/suites_and_models.rs Cargo.toml
+
+tests/suites_and_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

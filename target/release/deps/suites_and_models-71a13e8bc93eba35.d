@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suites_and_models-71a13e8bc93eba35.d: tests/suites_and_models.rs
+
+/root/repo/target/release/deps/suites_and_models-71a13e8bc93eba35: tests/suites_and_models.rs
+
+tests/suites_and_models.rs:

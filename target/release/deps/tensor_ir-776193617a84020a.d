@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tensor_ir-776193617a84020a.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+/root/repo/target/release/deps/libtensor_ir-776193617a84020a.rlib: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+/root/repo/target/release/deps/libtensor_ir-776193617a84020a.rmeta: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/dtype.rs:
+crates/tensor-ir/src/im2col.rs:
+crates/tensor-ir/src/operator.rs:
+crates/tensor-ir/src/shape.rs:
+crates/tensor-ir/src/template.rs:
+crates/tensor-ir/src/tensor.rs:
+crates/tensor-ir/src/winograd.rs:

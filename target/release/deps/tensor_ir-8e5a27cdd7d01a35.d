@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tensor_ir-8e5a27cdd7d01a35.d: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+/root/repo/target/release/deps/tensor_ir-8e5a27cdd7d01a35: crates/tensor-ir/src/lib.rs crates/tensor-ir/src/dtype.rs crates/tensor-ir/src/im2col.rs crates/tensor-ir/src/operator.rs crates/tensor-ir/src/shape.rs crates/tensor-ir/src/template.rs crates/tensor-ir/src/tensor.rs crates/tensor-ir/src/winograd.rs
+
+crates/tensor-ir/src/lib.rs:
+crates/tensor-ir/src/dtype.rs:
+crates/tensor-ir/src/im2col.rs:
+crates/tensor-ir/src/operator.rs:
+crates/tensor-ir/src/shape.rs:
+crates/tensor-ir/src/template.rs:
+crates/tensor-ir/src/tensor.rs:
+crates/tensor-ir/src/winograd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bert_serving-0c6d3d51e991de76.d: examples/bert_serving.rs
+
+/root/repo/target/release/examples/bert_serving-0c6d3d51e991de76: examples/bert_serving.rs
+
+examples/bert_serving.rs:

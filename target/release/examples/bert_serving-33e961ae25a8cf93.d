@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bert_serving-33e961ae25a8cf93.d: examples/bert_serving.rs
+
+/root/repo/target/release/examples/bert_serving-33e961ae25a8cf93: examples/bert_serving.rs
+
+examples/bert_serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/bert_serving-c155beb85a50e29f.d: examples/bert_serving.rs Cargo.toml
+
+/root/repo/target/release/examples/libbert_serving-c155beb85a50e29f.rmeta: examples/bert_serving.rs Cargo.toml
+
+examples/bert_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

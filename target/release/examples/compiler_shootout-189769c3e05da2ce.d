@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_shootout-189769c3e05da2ce.d: examples/compiler_shootout.rs
+
+/root/repo/target/release/examples/compiler_shootout-189769c3e05da2ce: examples/compiler_shootout.rs
+
+examples/compiler_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/compiler_shootout-a0ee96e761d7e7fd.d: examples/compiler_shootout.rs Cargo.toml
+
+/root/repo/target/release/examples/libcompiler_shootout-a0ee96e761d7e7fd.rmeta: examples/compiler_shootout.rs Cargo.toml
+
+examples/compiler_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

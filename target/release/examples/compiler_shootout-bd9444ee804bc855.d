@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiler_shootout-bd9444ee804bc855.d: examples/compiler_shootout.rs
+
+/root/repo/target/release/examples/compiler_shootout-bd9444ee804bc855: examples/compiler_shootout.rs
+
+examples/compiler_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detection_resolution-91f1247291ffcee7.d: examples/detection_resolution.rs
+
+/root/repo/target/release/examples/detection_resolution-91f1247291ffcee7: examples/detection_resolution.rs
+
+examples/detection_resolution.rs:

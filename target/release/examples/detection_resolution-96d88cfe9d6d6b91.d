@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/detection_resolution-96d88cfe9d6d6b91.d: examples/detection_resolution.rs Cargo.toml
+
+/root/repo/target/release/examples/libdetection_resolution-96d88cfe9d6d6b91.rmeta: examples/detection_resolution.rs Cargo.toml
+
+examples/detection_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detection_resolution-d5e0bf72fc99c75e.d: examples/detection_resolution.rs
+
+/root/repo/target/release/examples/detection_resolution-d5e0bf72fc99c75e: examples/detection_resolution.rs
+
+examples/detection_resolution.rs:

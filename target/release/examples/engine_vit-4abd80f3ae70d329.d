@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_vit-4abd80f3ae70d329.d: examples/engine_vit.rs
+
+/root/repo/target/release/examples/engine_vit-4abd80f3ae70d329: examples/engine_vit.rs
+
+examples/engine_vit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/engine_vit-6cc3ac6c206d481c.d: examples/engine_vit.rs Cargo.toml
+
+/root/repo/target/release/examples/libengine_vit-6cc3ac6c206d481c.rmeta: examples/engine_vit.rs Cargo.toml
+
+examples/engine_vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_vit-cdea9920f328c3f8.d: examples/engine_vit.rs
+
+/root/repo/target/release/examples/engine_vit-cdea9920f328c3f8: examples/engine_vit.rs
+
+examples/engine_vit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inflight_batching-1e14dcbb88bcc038.d: examples/inflight_batching.rs
+
+/root/repo/target/release/examples/inflight_batching-1e14dcbb88bcc038: examples/inflight_batching.rs
+
+examples/inflight_batching.rs:

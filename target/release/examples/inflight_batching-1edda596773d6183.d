@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/inflight_batching-1edda596773d6183.d: examples/inflight_batching.rs Cargo.toml
+
+/root/repo/target/release/examples/libinflight_batching-1edda596773d6183.rmeta: examples/inflight_batching.rs Cargo.toml
+
+examples/inflight_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/inflight_batching-349502656c7f9a00.d: examples/inflight_batching.rs
+
+/root/repo/target/release/examples/inflight_batching-349502656c7f9a00: examples/inflight_batching.rs
+
+examples/inflight_batching.rs:

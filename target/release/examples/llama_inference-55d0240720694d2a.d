@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/llama_inference-55d0240720694d2a.d: examples/llama_inference.rs
+
+/root/repo/target/release/examples/llama_inference-55d0240720694d2a: examples/llama_inference.rs
+
+examples/llama_inference.rs:

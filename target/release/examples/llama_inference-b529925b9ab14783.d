@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/llama_inference-b529925b9ab14783.d: examples/llama_inference.rs Cargo.toml
+
+/root/repo/target/release/examples/libllama_inference-b529925b9ab14783.rmeta: examples/llama_inference.rs Cargo.toml
+
+examples/llama_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

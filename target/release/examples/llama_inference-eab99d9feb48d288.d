@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/llama_inference-eab99d9feb48d288.d: examples/llama_inference.rs
+
+/root/repo/target/release/examples/llama_inference-eab99d9feb48d288: examples/llama_inference.rs
+
+examples/llama_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/npu_offload-18ec8236917ddea3.d: examples/npu_offload.rs
+
+/root/repo/target/release/examples/npu_offload-18ec8236917ddea3: examples/npu_offload.rs
+
+examples/npu_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/npu_offload-49f5b5fa9f39145f.d: examples/npu_offload.rs
+
+/root/repo/target/release/examples/npu_offload-49f5b5fa9f39145f: examples/npu_offload.rs
+
+examples/npu_offload.rs:

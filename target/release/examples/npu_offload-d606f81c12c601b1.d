@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/npu_offload-d606f81c12c601b1.d: examples/npu_offload.rs Cargo.toml
+
+/root/repo/target/release/examples/libnpu_offload-d606f81c12c601b1.rmeta: examples/npu_offload.rs Cargo.toml
+
+examples/npu_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8301d7d9fca36ffc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8301d7d9fca36ffc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ecf7e1da8ff85bb0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ecf7e1da8ff85bb0: examples/quickstart.rs
+
+examples/quickstart.rs:
