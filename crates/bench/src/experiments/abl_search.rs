@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use accel_sim::MachineModel;
+use mikpoly::telemetry::Telemetry;
 use mikpoly::{MikPoly, OnlineOptions, TemplateKind};
 use tensor_ir::Operator;
 
@@ -15,14 +16,20 @@ use crate::report::mean;
 use crate::setup::Harness;
 use crate::Report;
 
-fn variant(h: &Harness, machine: &MachineModel, prune: bool) -> Arc<MikPoly> {
+fn variant(
+    h: &Harness,
+    machine: &MachineModel,
+    prune: bool,
+    telemetry: &Arc<Telemetry>,
+) -> Arc<MikPoly> {
     Arc::new(
         MikPoly::with_library(machine.clone(), h.library(machine, TemplateKind::Gemm))
             .with_options(OnlineOptions {
                 prune,
                 cache: false,
                 ..OnlineOptions::default()
-            }),
+            })
+            .with_telemetry(Arc::clone(telemetry)),
     )
 }
 
@@ -49,27 +56,45 @@ pub fn run(h: &Harness) -> Vec<Report> {
         ],
     );
     for machine in [h.gpu(), h.npu()] {
-        let heuristic = variant(h, &machine, true);
-        let exhaustive = variant(h, &machine, false);
+        // Each variant reports into its own telemetry registry: the
+        // compiler's search path records `search.*` counters and the
+        // `online.search_ns` histogram as it runs, so the ablation reads
+        // search efficiency off the registry instead of re-summing
+        // per-program `SearchStats` by hand.
+        let h_tel = Telemetry::enabled();
+        let e_tel = Telemetry::enabled();
+        let heuristic = variant(h, &machine, true, &h_tel);
+        let exhaustive = variant(h, &machine, false, &e_tel);
         let mut quality = Vec::new();
-        let (mut h_us, mut e_us) = (Vec::new(), Vec::new());
-        let (mut h_strats, mut e_strats) = (0usize, 0usize);
         for op in &cases {
             let a = heuristic.run(op);
             let b = exhaustive.run(op);
             quality.push(b.report.time_ns / a.report.time_ns);
-            h_us.push(a.program.stats.search_ns as f64 / 1e3);
-            e_us.push(b.program.stats.search_ns as f64 / 1e3);
-            h_strats += a.program.stats.strategies_evaluated;
-            e_strats += b.program.stats.strategies_evaluated;
         }
+        let h_snap = h_tel.registry().snapshot();
+        let e_snap = e_tel.registry().snapshot();
+        // Caching is off, so every request polymerizes: the registry must
+        // have seen exactly one search per case.
+        assert_eq!(
+            h_snap.counter("search.shapes"),
+            Some(cases.len() as u64),
+            "one recorded search per case with the cache disabled"
+        );
+        let mean_search_us = |snap: &mikpoly::telemetry::MetricsSnapshot| {
+            snap.histogram("online.search_ns")
+                .map(|s| s.mean_ns / 1e3)
+                .unwrap_or(0.0)
+        };
+        let (h_us, e_us) = (mean_search_us(&h_snap), mean_search_us(&e_snap));
+        let h_strats = h_snap.counter("search.strategies_evaluated").unwrap_or(0);
+        let e_strats = e_snap.counter("search.strategies_evaluated").unwrap_or(0);
         let worst = quality.iter().copied().fold(f64::MAX, f64::min);
         report.push_row(vec![
             machine.name.clone(),
             format!("{:.3}", mean(&quality)),
             format!("{:.3}", worst),
-            format!("{:.1}", mean(&h_us)),
-            format!("{:.1}", mean(&e_us)),
+            format!("{:.1}", h_us),
+            format!("{:.1}", e_us),
             h_strats.to_string(),
             e_strats.to_string(),
         ]);
@@ -82,7 +107,7 @@ pub fn run(h: &Harness) -> Vec<Report> {
         );
         report.headline(
             format!("{}: search speedup from the heuristics", machine.name),
-            mean(&e_us) / mean(&h_us).max(1e-9),
+            e_us / h_us.max(1e-9),
         );
     }
     vec![report]

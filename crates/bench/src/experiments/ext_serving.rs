@@ -23,7 +23,8 @@ use std::sync::Arc;
 
 use accel_sim::{Cluster, Interconnect};
 use mikpoly::serving::poisson_arrivals;
-use mikpoly::{Engine, Request, ServingRuntime, TemplateKind};
+use mikpoly::telemetry::Telemetry;
+use mikpoly::{Engine, MikPoly, Request, ServingRuntime, TemplateKind};
 use mikpoly_models::TransformerConfig;
 
 use crate::setup::Harness;
@@ -150,12 +151,12 @@ pub fn run(h: &Harness) -> Vec<Report> {
         throughputs.push((workers, rps));
         latency.push_row(vec![
             workers.to_string(),
-            format!("{:.2}", s.p50_ns / 1e6),
-            format!("{:.2}", s.p95_ns / 1e6),
-            format!("{:.2}", s.p99_ns / 1e6),
-            format!("{:.2}", s.mean_queue_ns / 1e6),
-            format!("{:.1}", s.mean_compile_ns / 1e3),
-            format!("{:.2}", s.mean_device_ns / 1e6),
+            format!("{:.2}", s.total.p50_ns / 1e6),
+            format!("{:.2}", s.total.p95_ns / 1e6),
+            format!("{:.2}", s.total.p99_ns / 1e6),
+            format!("{:.2}", s.queue.mean_ns / 1e6),
+            format!("{:.1}", s.compile.mean_ns / 1e3),
+            format!("{:.2}", s.device.mean_ns / 1e6),
             format!("{:.0}", rps),
         ]);
         let c = report.cache;
@@ -183,6 +184,58 @@ pub fn run(h: &Harness) -> Vec<Report> {
             .map(|(_, rps)| *rps)
             .expect("measured")
     };
+
+    // Telemetered replay at 4 workers: the same stream with tracing on.
+    // The trace goes to results/ as a Perfetto-loadable artifact, the
+    // registry must mirror the cache report exactly, and the virtual-time
+    // throughput must match the untraced run (telemetry observes the
+    // timeline; it must not shift it).
+    let telemetry = Telemetry::enabled();
+    let traced_engine = Arc::new(Engine::from_compilers(
+        gpu.clone(),
+        Arc::new(
+            MikPoly::with_library(gpu.clone(), h.library(&gpu, TemplateKind::Gemm))
+                .with_telemetry(Arc::clone(&telemetry)),
+        ),
+        Arc::new(
+            MikPoly::with_library(gpu.clone(), h.library(&gpu, TemplateKind::Conv))
+                .with_telemetry(Arc::clone(&telemetry)),
+        ),
+    ));
+    let cluster = Cluster::new(gpu.clone(), devices, Interconnect::nvlink3());
+    let traced = ServingRuntime::new(traced_engine, cluster, 4).serve(&requests);
+    let snap = telemetry.registry().snapshot();
+    for (counter, expected) in [
+        ("cache.hits", traced.cache.hits),
+        ("cache.computations", traced.cache.computations),
+        ("cache.coalesced_waits", traced.cache.coalesced_waits),
+        ("serving.requests", requests.len() as u64),
+    ] {
+        assert_eq!(
+            snap.counter(counter),
+            Some(expected),
+            "registry counter '{counter}' must equal the cache report"
+        );
+    }
+    let traced_rps = traced.throughput_rps();
+    assert!(
+        (traced_rps - rps_at(4)).abs() / rps_at(4) < 0.02,
+        "tracing shifted virtual-time throughput: {traced_rps:.0} vs {:.0} req/s",
+        rps_at(4)
+    );
+    let _ = std::fs::create_dir_all(&h.config.results_dir);
+    let trace_path = h.config.results_dir.join("ext-serving-trace.json");
+    if let Err(e) = std::fs::write(&trace_path, telemetry.render_chrome_trace()) {
+        eprintln!("ext-serving: cannot write {}: {e}", trace_path.display());
+    }
+    let metrics_path = h.config.results_dir.join("ext-serving-metrics.txt");
+    if let Err(e) = std::fs::write(&metrics_path, telemetry.registry().render_prometheus()) {
+        eprintln!("ext-serving: cannot write {}: {e}", metrics_path.display());
+    }
+    latency.headline("throughput ratio, traced / untraced at 4 workers", {
+        traced_rps / rps_at(4)
+    });
+
     latency.headline(
         "throughput scaling, 1 -> 4 workers (saturated stream)",
         rps_at(4) / rps_at(1),

@@ -6,6 +6,9 @@
 //! mikpoly library [--machine ...]            # show the tuned kernel library
 //! mikpoly serve [--workers N] [--devices N] [--requests N]
 //!               [--utilization F] [--seed N] [--machine ...]
+//!               [--trace-out trace.json] [--metrics-out metrics.txt]
+//! mikpoly stats [serve flags]                # telemetered serve + metrics table
+//! mikpoly trace-stats trace.json             # validate/summarize a trace file
 //! ```
 //!
 //! Runs the offline stage (cached in-process), polymerizes the requested
@@ -14,12 +17,18 @@
 //! concurrent serving runtime: a Poisson stream of transformer-layer GEMM
 //! requests with random sequence lengths, served by a worker pool over a
 //! simulated device pool, reporting tail latency, its decomposition, and
-//! program-cache behaviour.
+//! program-cache behaviour. With `--trace-out` / `--metrics-out` the run
+//! is telemetered and exports a Chrome trace-event file (loadable in
+//! Perfetto) and a Prometheus-style metrics snapshot. `stats` runs the
+//! same stream and prints the metrics registry as an aligned table;
+//! `trace-stats` parses a previously exported trace and reports event
+//! counts (the CI smoke test uses it to prove the JSON is well-formed).
 
 use std::sync::Arc;
 
 use accel_sim::{Cluster, Interconnect, MachineModel};
 use mikpoly::serving::poisson_arrivals;
+use mikpoly::telemetry::Telemetry;
 use mikpoly::{
     Engine, MikPoly, OfflineOptions, OnlineOptions, Request, ServingRuntime, TemplateKind,
 };
@@ -73,7 +82,17 @@ fn main() {
             run(machine, template, op, &args);
         }
         Some("serve") => {
-            serve(machine, &args);
+            serve(machine, &args, ServeMode::Report);
+        }
+        Some("stats") => {
+            serve(machine, &args, ServeMode::Stats);
+        }
+        Some("trace-stats") => {
+            let path = positional
+                .get(1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| usage("trace-stats needs a trace file path"));
+            trace_stats(path);
         }
         Some("library") => {
             let compiler = build(machine, TemplateKind::Gemm, &args);
@@ -145,8 +164,17 @@ fn run(machine: MachineModel, template: TemplateKind, op: Operator, args: &[Stri
     );
 }
 
+/// What `serve` prints at the end of the stream.
+#[derive(Clone, Copy, PartialEq)]
+enum ServeMode {
+    /// The human latency/cache report (`mikpoly serve`).
+    Report,
+    /// The metrics registry as an aligned table (`mikpoly stats`).
+    Stats,
+}
+
 /// Drives the serving runtime on a synthetic transformer-layer stream.
-fn serve(machine: MachineModel, args: &[String]) {
+fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
     let workers: usize = parsed_flag(args, "--workers").unwrap_or(4);
     let devices: usize = parsed_flag(args, "--devices").unwrap_or(workers);
     let n_requests: usize = parsed_flag(args, "--requests").unwrap_or(96);
@@ -155,12 +183,23 @@ fn serve(machine: MachineModel, args: &[String]) {
     if workers == 0 || devices == 0 || n_requests == 0 || utilization <= 0.0 {
         usage("serve needs positive --workers/--devices/--requests/--utilization");
     }
+    let trace_out = flag_value(args, "--trace-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() || mode == ServeMode::Stats {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
 
     // A reduced library keeps the offline stage interactive; the online
     // path (the thing `serve` exercises) is identical.
     eprintln!("offline: tuning micro-kernels for {} ...", machine.name);
     let t0 = std::time::Instant::now();
-    let engine = Arc::new(Engine::offline(machine.clone(), &OfflineOptions::fast()));
+    let engine = Arc::new(Engine::offline_with_telemetry(
+        machine.clone(),
+        &OfflineOptions::fast(),
+        Arc::clone(&telemetry),
+    ));
     eprintln!("offline: done in {:.1?}\n", t0.elapsed());
 
     // One request = the four GEMMs of a transformer encoder layer at a
@@ -199,49 +238,117 @@ fn serve(machine: MachineModel, args: &[String]) {
     let report = runtime.serve(&requests);
     let wall = t1.elapsed();
 
-    let unique: std::collections::HashSet<usize> = lengths.iter().copied().collect();
-    let s = report.latency_summary();
-    println!(
-        "served {n_requests} requests ({} unique lengths) with {workers} workers / {devices} devices at {:.0}% target load",
-        unique.len(),
-        utilization * 100.0
-    );
-    println!(
-        "throughput: {:.0} req/s over a {:.2} ms stream (host wall clock {:.1?})\n",
-        report.throughput_rps(),
-        report.makespan_ns / 1e6,
-        wall
-    );
-    println!(
-        "latency      P50 {:>9.1} us   P95 {:>9.1} us   P99 {:>9.1} us   mean {:>9.1} us",
-        s.p50_ns / 1e3,
-        s.p95_ns / 1e3,
-        s.p99_ns / 1e3,
-        s.mean_ns / 1e3
-    );
-    println!(
-        "decomposed   queue {:>7.1} us   compile {:>5.1} us   device {:>6.1} us  (means)\n",
-        s.mean_queue_ns / 1e3,
-        s.mean_compile_ns / 1e3,
-        s.mean_device_ns / 1e3
-    );
-    for w in &report.workers {
-        println!(
-            "worker {}: {:>4} requests, {:>5.1}% utilized",
-            w.worker,
-            w.requests,
-            w.utilization * 100.0
+    match mode {
+        ServeMode::Report => {
+            let unique: std::collections::HashSet<usize> = lengths.iter().copied().collect();
+            let s = report.latency_summary();
+            println!(
+                "served {n_requests} requests ({} unique lengths) with {workers} workers / {devices} devices at {:.0}% target load",
+                unique.len(),
+                utilization * 100.0
+            );
+            println!(
+                "throughput: {:.0} req/s over a {:.2} ms stream (host wall clock {:.1?})\n",
+                report.throughput_rps(),
+                report.makespan_ns / 1e6,
+                wall
+            );
+            println!(
+                "latency      P50 {:>9.1} us   P95 {:>9.1} us   P99 {:>9.1} us   mean {:>9.1} us  (virtual)",
+                s.total.p50_ns / 1e3,
+                s.total.p95_ns / 1e3,
+                s.total.p99_ns / 1e3,
+                s.total.mean_ns / 1e3
+            );
+            println!(
+                "decomposed   queue {:>7.1} us   compile {:>5.1} us ({}-clock)   device {:>6.1} us  (means)\n",
+                s.queue.mean_ns / 1e3,
+                s.compile.mean_ns / 1e3,
+                s.compile.clock,
+                s.device.mean_ns / 1e3
+            );
+            for w in &report.workers {
+                println!(
+                    "worker {}: {:>4} requests, {:>5.1}% utilized",
+                    w.worker,
+                    w.requests,
+                    w.utilization * 100.0
+                );
+            }
+            let c = report.cache;
+            println!(
+                "\nprogram cache: {} polymerizations for {} unique shapes; {} hits, {} coalesced waits ({:.1}% hit rate)",
+                c.computations,
+                c.entries,
+                c.hits,
+                c.coalesced_waits,
+                c.hit_rate() * 100.0
+            );
+        }
+        ServeMode::Stats => {
+            println!("{}", telemetry.registry().render_pretty());
+        }
+    }
+
+    if let Some(path) = metrics_out {
+        let text = telemetry.registry().render_prometheus();
+        std::fs::write(path, &text)
+            .unwrap_or_else(|e| usage(&format!("cannot write metrics to '{path}': {e}")));
+        eprintln!("metrics: wrote {} bytes to {path}", text.len());
+    }
+    if let Some(path) = trace_out {
+        let dropped = telemetry.dropped_spans();
+        let json = telemetry.render_chrome_trace();
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| usage(&format!("cannot write trace to '{path}': {e}")));
+        eprintln!(
+            "trace: wrote {} bytes to {path} ({} spans dropped under buffer pressure); open in https://ui.perfetto.dev",
+            json.len(),
+            dropped
         );
     }
-    let c = report.cache;
+}
+
+/// Parses a Chrome trace-event file and prints per-phase event counts.
+/// Exits non-zero when the file is not valid trace JSON, so CI can use it
+/// as a structural check on `serve --trace-out` artifacts.
+fn trace_stats(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage(&format!("cannot read '{path}': {e}")));
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| usage(&format!("'{path}' is not valid JSON: {e:?}")));
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| usage(&format!("'{path}' has no traceEvents array")));
+
+    let mut by_name: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    let mut pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| usage(&format!("'{path}': event without a 'ph' field")));
+        let name = event.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        if let Some(pid) = event.get("pid").and_then(|v| v.as_u64()) {
+            pids.insert(pid);
+        }
+        if ph == "M" {
+            continue; // metadata (process/thread names)
+        }
+        *by_name
+            .entry((name.to_string(), ph.to_string()))
+            .or_default() += 1;
+    }
     println!(
-        "\nprogram cache: {} polymerizations for {} unique shapes; {} hits, {} coalesced waits ({:.1}% hit rate)",
-        c.computations,
-        c.entries,
-        c.hits,
-        c.coalesced_waits,
-        c.hit_rate() * 100.0
+        "{path}: {} events across {} processes",
+        events.len(),
+        pids.len()
     );
+    for ((name, ph), count) in &by_name {
+        println!("  {ph}  {name:<28} {count:>6}");
+    }
 }
 
 fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -271,5 +378,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("  mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]");
     eprintln!("  mikpoly library [--machine ...]");
     eprintln!("  mikpoly serve [--workers N] [--devices N] [--requests N] [--utilization F] [--seed N] [--machine ...]");
+    eprintln!("                [--trace-out trace.json] [--metrics-out metrics.txt]");
+    eprintln!("  mikpoly stats [serve flags]        # telemetered serve + metrics table");
+    eprintln!("  mikpoly trace-stats trace.json     # validate/summarize a trace file");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

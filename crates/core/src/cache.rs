@@ -86,6 +86,25 @@ impl CacheStats {
             entries: self.entries + other.entries,
         }
     }
+
+    /// Publishes this snapshot into a telemetry registry (collector style:
+    /// the cache's own atomics stay authoritative; the registry's
+    /// `cache.*` counters are overwritten with the snapshot, so they
+    /// always equal a [`ShardedCache::stats`] call made at the same time).
+    pub fn export_to(&self, registry: &mikpoly_telemetry::Registry) {
+        registry.counter("cache.hits").store(self.hits);
+        registry.counter("cache.misses").store(self.misses);
+        registry
+            .counter("cache.computations")
+            .store(self.computations);
+        registry
+            .counter("cache.coalesced_waits")
+            .store(self.coalesced_waits);
+        registry
+            .counter("cache.direct_inserts")
+            .store(self.direct_inserts);
+        registry.counter("cache.entries").store(self.entries);
+    }
 }
 
 /// An in-flight computation other threads can await.

@@ -6,6 +6,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use accel_sim::{simulate, Launch, MachineModel, SimReport, TimingMode};
+use mikpoly_telemetry::{span, Clock, Telemetry};
 use tensor_ir::Operator;
 
 use crate::cache::{CacheOutcome, CacheStats, ShardedCache};
@@ -13,7 +14,7 @@ use crate::cost::CostModelKind;
 use crate::offline::{MicroKernelLibrary, OfflineOptions};
 use crate::pattern::{default_patterns, Pattern};
 use crate::plan::{CompiledProgram, Region};
-use crate::search::{enumerate_strategies, polymerize};
+use crate::search::{enumerate_strategies, polymerize_traced};
 
 /// Options of the online (polymerization) stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +57,10 @@ pub struct OperatorRun {
     pub report: SimReport,
     /// Online polymerization time for this call (0 on a cache hit).
     pub compile_ns: u128,
+    /// How the program cache answered this call: `compile_ns` is fresh
+    /// polymerization work on `Computed` but a coalesced wait on another
+    /// thread's flight on `Waited`.
+    pub outcome: CacheOutcome,
 }
 
 impl OperatorRun {
@@ -105,13 +110,24 @@ pub struct MikPoly {
     library: Arc<MicroKernelLibrary>,
     options: OnlineOptions,
     cache: ShardedCache<Operator, CompiledProgram>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl MikPoly {
     /// Runs the offline stage on `machine` and wraps the result.
     pub fn offline(machine: MachineModel, offline: &OfflineOptions) -> Self {
-        let library = MicroKernelLibrary::generate(&machine, offline);
-        Self::with_library(machine, library)
+        Self::offline_with_telemetry(machine, offline, Telemetry::disabled())
+    }
+
+    /// Like [`MikPoly::offline`], but the offline tuning and every later
+    /// online compilation record spans and metrics into `telemetry`.
+    pub fn offline_with_telemetry(
+        machine: MachineModel,
+        offline: &OfflineOptions,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        let library = MicroKernelLibrary::generate_with_telemetry(&machine, offline, &telemetry);
+        Self::with_library(machine, library).with_telemetry(telemetry)
     }
 
     /// Uses a pre-generated (e.g. cached-on-disk) micro-kernel library.
@@ -121,6 +137,7 @@ impl MikPoly {
             library: Arc::new(library),
             options: OnlineOptions::default(),
             cache: ShardedCache::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -131,6 +148,21 @@ impl MikPoly {
         self.options = options;
         self.cache = ShardedCache::new();
         self
+    }
+
+    /// Attaches a telemetry handle (builder style): online compilations
+    /// record `online.compile` / `online.search` spans and the
+    /// `search.*` / `online.*` metrics into it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle this compiler records into (the shared no-op
+    /// handle unless one was attached).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The machine this compiler targets.
@@ -280,7 +312,7 @@ impl MikPoly {
 
     fn compile_uncached(&self, operator: &Operator) -> CompiledProgram {
         let view = operator.gemm_view();
-        let program = polymerize(
+        let program = polymerize_traced(
             &self.machine,
             &self.library,
             &view,
@@ -288,6 +320,7 @@ impl MikPoly {
             &self.patterns(),
             self.options.cost_model,
             self.options.prune,
+            &self.telemetry,
         );
         if self.options.split_k && self.options.cost_model == CostModelKind::Full {
             crate::search::improve_with_split_k(&self.machine, &self.library, &view, program)
@@ -348,18 +381,44 @@ impl MikPoly {
     /// Compiles and simulates an operator in one call.
     pub fn run(&self, operator: &Operator) -> OperatorRun {
         let start = Instant::now();
-        let (program, outcome) = self.compile_with_outcome(operator);
+        let (program, outcome) = {
+            let mut span = span!(self.telemetry, "online.compile", op = operator.to_string());
+            let (program, outcome) = self.compile_with_outcome(operator);
+            span.arg(
+                "outcome",
+                match outcome {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Computed => "computed",
+                    CacheOutcome::Waited => "waited",
+                },
+            );
+            (program, outcome)
+        };
         let compile_ns = match outcome {
             CacheOutcome::Hit => 0,
             // Both a fresh polymerization and a coalesced wait spend real
             // wall-clock on the request path.
             CacheOutcome::Computed | CacheOutcome::Waited => start.elapsed().as_nanos(),
         };
+        if self.telemetry.is_enabled() {
+            let registry = self.telemetry.registry();
+            let clamped = compile_ns.min(u128::from(u64::MAX)) as u64;
+            match outcome {
+                CacheOutcome::Hit => {}
+                CacheOutcome::Computed => registry
+                    .histogram("online.compile_ns", Clock::Real)
+                    .record(clamped),
+                CacheOutcome::Waited => registry
+                    .histogram("cache.wait_ns", Clock::Real)
+                    .record(clamped),
+            }
+        }
         let report = self.simulate(&program);
         OperatorRun {
             program,
             report,
             compile_ns,
+            outcome,
         }
     }
 

@@ -14,8 +14,10 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use accel_sim::{MachineModel, SimReport};
+use mikpoly_telemetry::Telemetry;
 use tensor_ir::{winograd_applicable, Operator};
 
+use crate::cache::CacheOutcome;
 use crate::compiler::{MikPoly, OperatorRun};
 use crate::offline::OfflineOptions;
 use crate::offline::TemplateKind;
@@ -51,12 +53,19 @@ pub struct EngineRun {
 pub struct GraphRun {
     /// Total simulated device time, ns.
     pub device_ns: f64,
-    /// Total online compilation time paid (cache misses only), ns.
+    /// Total real wall-clock spent on the compile path (fresh
+    /// polymerizations plus coalesced waits; zero for cache hits), ns.
     pub compile_ns: u128,
+    /// Portion of `compile_ns` the polymerization search itself took
+    /// (fresh compilations only), ns.
+    pub search_ns: u128,
+    /// Portion of `compile_ns` spent blocked on another thread's
+    /// in-flight compilation of the same shape, ns.
+    pub cache_wait_ns: u128,
     /// Number of operator executions.
     pub executions: usize,
-    /// Number of online compilations (unique shapes seen for the first
-    /// time).
+    /// Number of online compilations this call performed (cache outcome
+    /// `Computed`; coalesced waits are not compilations).
     pub compilations: usize,
 }
 
@@ -96,13 +105,25 @@ pub struct Engine {
 impl Engine {
     /// Runs the offline stage for both templates on `machine`.
     pub fn offline(machine: MachineModel, options: &OfflineOptions) -> Self {
-        let gemm = Arc::new(MikPoly::offline(
+        Self::offline_with_telemetry(machine, options, Telemetry::disabled())
+    }
+
+    /// Like [`Engine::offline`], but both compilers (offline tuning and
+    /// online polymerization alike) record into the shared `telemetry`.
+    pub fn offline_with_telemetry(
+        machine: MachineModel,
+        options: &OfflineOptions,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        let gemm = Arc::new(MikPoly::offline_with_telemetry(
             machine.clone(),
             &options.clone().with_template(TemplateKind::Gemm),
+            Arc::clone(&telemetry),
         ));
-        let conv = Arc::new(MikPoly::offline(
+        let conv = Arc::new(MikPoly::offline_with_telemetry(
             machine.clone(),
             &options.clone().with_template(TemplateKind::Conv),
+            telemetry,
         ));
         Self {
             machine,
@@ -159,6 +180,13 @@ impl Engine {
         &self.conv
     }
 
+    /// The telemetry handle this engine's compilers record into (the
+    /// GEMM compiler's handle; [`Engine::offline_with_telemetry`] gives
+    /// both compilers the same one).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.gemm.telemetry()
+    }
+
     /// The operator the engine would actually dispatch for a request,
     /// after algorithm selection.
     pub fn select(&self, operator: &Operator) -> Operator {
@@ -206,8 +234,13 @@ impl Engine {
             let result = self.run_operator(op);
             out.device_ns += result.run.report.time_ns * count as f64;
             out.compile_ns += result.run.compile_ns;
-            if result.run.compile_ns > 0 {
-                out.compilations += 1;
+            match result.run.outcome {
+                CacheOutcome::Hit => {}
+                CacheOutcome::Computed => {
+                    out.compilations += 1;
+                    out.search_ns += result.run.program.stats.search_ns;
+                }
+                CacheOutcome::Waited => out.cache_wait_ns += result.run.compile_ns,
             }
             out.executions += count;
         }

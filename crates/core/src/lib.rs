@@ -72,8 +72,15 @@ pub use offline::{MicroKernelLibrary, OfflineOptions, TemplateKind, TunedKernel}
 pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, PatternId};
 pub use perf_model::{sample_schedule, PerfModel, Segment};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
-pub use search::{enumerate_strategies, improve_with_split_k, polymerize};
+pub use search::{
+    enumerate_strategies, improve_with_split_k, polymerize, polymerize_traced, record_search_stats,
+};
 pub use serving::{
     poisson_arrivals, LatencySummary, Request, RequestRecord, ServingReport, ServingRuntime,
     WorkerStats,
 };
+
+/// The observability layer (re-exported so downstream crates need no
+/// direct `mikpoly-telemetry` dependency): [`telemetry::Telemetry`],
+/// spans, histograms, and the Chrome-trace / Prometheus exporters.
+pub use mikpoly_telemetry as telemetry;

@@ -26,6 +26,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use accel_sim::{hash_f64, measure_pipelined_task, MachineModel, TaskSpec, TimingMode};
+use mikpoly_telemetry::{span, Telemetry};
 use tensor_ir::{DType, GemmShape, GemmView};
 
 use crate::cost::{region_cost, CostModelKind};
@@ -161,6 +162,22 @@ impl MicroKernelLibrary {
     ///
     /// Panics if no candidate tile fits the machine's `M_local`.
     pub fn generate(machine: &MachineModel, options: &OfflineOptions) -> Self {
+        Self::generate_with_telemetry(machine, options, &Telemetry::disabled())
+    }
+
+    /// Like [`MicroKernelLibrary::generate`], but records `offline.*`
+    /// spans (generate / per-chunk tune / rank) and registry counters
+    /// into `telemetry`. Identical output either way.
+    pub fn generate_with_telemetry(
+        machine: &MachineModel,
+        options: &OfflineOptions,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let mut generate_span = span!(
+            telemetry,
+            "offline.generate",
+            machine = machine.name.as_str()
+        );
         let view = options.view();
         let candidates = enumerate_candidates(machine, options, &view);
         assert!(
@@ -168,6 +185,7 @@ impl MicroKernelLibrary {
             "no candidate micro-kernel fits M_local on {}",
             machine.name
         );
+        generate_span.arg("candidates", candidates.len());
 
         // Step 2+3: tune a schedule and fit g_predict per candidate, in
         // parallel.
@@ -179,6 +197,7 @@ impl MicroKernelLibrary {
             let mut handles = Vec::new();
             for part in candidates.chunks(chunk.max(1)) {
                 handles.push(scope.spawn(move || {
+                    let _tune = span!(telemetry, "offline.tune", candidates = part.len());
                     part.iter()
                         .map(|&(um, un, uk)| tune_candidate(machine, options, &view, um, un, uk))
                         .collect::<Vec<_>>()
@@ -193,9 +212,21 @@ impl MicroKernelLibrary {
         // Step 4: rank over the synthetic workloads through Pattern-I
         // programs and retain a covering subset of n_mik kernels.
         let shapes = synthetic_shapes(options);
-        let mut tuned = rank_and_prune(machine, &shapes, tuned, options.n_mik);
+        let mut tuned = {
+            let _rank = span!(telemetry, "offline.rank", shapes = shapes.len());
+            rank_and_prune(machine, &shapes, tuned, options.n_mik)
+        };
         for (i, t) in tuned.iter_mut().enumerate() {
             t.kernel.id = MicroKernelId(i);
+        }
+        if telemetry.is_enabled() {
+            let registry = telemetry.registry();
+            registry
+                .counter("offline.candidates")
+                .add(candidates.len() as u64);
+            registry
+                .counter("offline.kernels_retained")
+                .add(tuned.len() as u64);
         }
 
         Self {

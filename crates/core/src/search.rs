@@ -17,6 +17,7 @@
 use std::time::Instant;
 
 use accel_sim::{AllocationPolicy, MachineModel};
+use mikpoly_telemetry::{span, Clock, Registry, Telemetry};
 use tensor_ir::GemmView;
 
 use crate::alloc::lpt_makespan;
@@ -418,6 +419,59 @@ pub fn polymerize(
         predicted_ns: best.cost,
         stats,
     }
+}
+
+/// Like [`polymerize`], but wrapped in an `online.search` span and with
+/// the resulting [`SearchStats`] accumulated into `telemetry`'s registry
+/// (see [`record_search_stats`] for the counter names). Identical to
+/// [`polymerize`] — including cost — when `telemetry` is disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn polymerize_traced(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+    patterns: &[Pattern],
+    kind: CostModelKind,
+    prune: bool,
+    telemetry: &Telemetry,
+) -> CompiledProgram {
+    if !telemetry.is_enabled() {
+        return polymerize(machine, library, view, operator, patterns, kind, prune);
+    }
+    let mut span = span!(
+        telemetry,
+        "online.search",
+        m = view.shape.m,
+        n = view.shape.n,
+        k = view.shape.k,
+    );
+    let program = polymerize(machine, library, view, operator, patterns, kind, prune);
+    span.arg("strategies_evaluated", program.stats.strategies_evaluated);
+    span.arg("strategies_pruned", program.stats.strategies_pruned);
+    span.arg("patterns_tried", program.stats.patterns_tried);
+    record_search_stats(&program.stats, telemetry.registry());
+    program
+}
+
+/// Accumulates one shape's [`SearchStats`] into the registry's
+/// search-efficiency counters (`search.shapes`, `search.strategies_*`,
+/// `search.patterns_tried`) and the real-clock `online.search_ns`
+/// histogram — the numbers the `fig*` / `abl_search` experiments report.
+pub fn record_search_stats(stats: &SearchStats, registry: &Registry) {
+    registry.counter("search.shapes").inc();
+    registry
+        .counter("search.strategies_evaluated")
+        .add(stats.strategies_evaluated as u64);
+    registry
+        .counter("search.strategies_pruned")
+        .add(stats.strategies_pruned as u64);
+    registry
+        .counter("search.patterns_tried")
+        .add(stats.patterns_tried as u64);
+    registry
+        .histogram("online.search_ns", Clock::Real)
+        .record(stats.search_ns.min(u128::from(u64::MAX)) as u64);
 }
 
 /// Split-K post-pass (extension; not part of the paper's pattern set).

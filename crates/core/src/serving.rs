@@ -30,15 +30,24 @@
 //! Workers pull requests in arrival order from a shared cursor (FIFO
 //! dispatch to the first idle worker), which is the M/G/m discipline the
 //! tail-latency experiment models.
+//!
+//! The real work (compilation) runs in parallel across OS threads, but
+//! the *virtual* bookkeeping — which worker slot and device a request
+//! takes, and when — is applied in strict arrival order behind a ticket
+//! sequencer. The virtual timeline is therefore a deterministic function
+//! of the request stream and the measured compile durations, never of OS
+//! scheduling: a starved thread cannot skew queueing, and enabling
+//! telemetry cannot shift throughput.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use accel_sim::Cluster;
+use mikpoly_telemetry::{Clock, ClockNs, Histogram, Lane, LatencyStats, SpanRecord, Telemetry};
 use tensor_ir::Operator;
 
 use crate::cache::CacheStats;
@@ -79,8 +88,16 @@ pub struct RequestRecord {
     pub device: usize,
     /// Virtual wait for a worker plus a device, ns.
     pub queue_ns: f64,
-    /// Real online-compilation wall clock, ns (0 when fully cache-hit).
-    pub compile_ns: u128,
+    /// Online-compilation wall clock, explicitly labelled as **real**
+    /// time (zero when fully cache-hit) — the clock tag is what keeps it
+    /// from being summed into virtual durations unannotated.
+    pub compile: ClockNs,
+    /// Portion of the compile window the polymerization search took
+    /// (real ns; fresh compilations only).
+    pub search_ns: u128,
+    /// Portion of the compile window spent blocked on another worker's
+    /// in-flight compilation of the same shape (real ns).
+    pub cache_wait_ns: u128,
     /// Simulated device time including dispatch, ns.
     pub device_ns: f64,
     /// Virtual completion time, ns from stream start.
@@ -88,9 +105,12 @@ pub struct RequestRecord {
 }
 
 impl RequestRecord {
-    /// End-to-end latency: queueing + compilation + device, ns.
-    pub fn total_ns(&self) -> f64 {
-        self.queue_ns + self.compile_ns as f64 + self.device_ns
+    /// End-to-end latency on the serving timeline: queueing + the compile
+    /// window (a real-clock measurement explicitly projected onto the
+    /// virtual timeline, 1:1 — the worker really is occupied that long
+    /// while virtual arrivals accumulate) + device, ns.
+    pub fn timeline_total_ns(&self) -> f64 {
+        self.queue_ns + self.compile.onto_virtual_timeline() + self.device_ns
     }
 }
 
@@ -127,45 +147,46 @@ impl ServingReport {
         self.records.len() as f64 / (self.makespan_ns / 1e9)
     }
 
-    /// Summarizes the latency distribution and its decomposition.
+    /// Summarizes the latency distribution and its decomposition by
+    /// feeding every record through the telemetry histogram type — one
+    /// clock-labelled readout per phase, so real (compile) and virtual
+    /// (queue/device/total) time can never be conflated in a summary.
+    /// Percentiles are log2-bucket estimates (within one bucket width of
+    /// exact — see [`percentile`] for the exact sorted-slice form); counts,
+    /// means, and maxima are exact.
     pub fn latency_summary(&self) -> LatencySummary {
-        let mut totals: Vec<f64> = self.records.iter().map(RequestRecord::total_ns).collect();
-        totals.sort_by(f64::total_cmp);
-        let n = self.records.len().max(1) as f64;
+        let total = Histogram::new(Clock::Virtual);
+        let queue = Histogram::new(Clock::Virtual);
+        let compile = Histogram::new(Clock::Real);
+        let device = Histogram::new(Clock::Virtual);
+        for r in &self.records {
+            total.record_f64(r.timeline_total_ns());
+            queue.record_f64(r.queue_ns);
+            compile.record_f64(r.compile.real_ns());
+            device.record_f64(r.device_ns);
+        }
         LatencySummary {
-            p50_ns: percentile(&totals, 0.50),
-            p95_ns: percentile(&totals, 0.95),
-            p99_ns: percentile(&totals, 0.99),
-            mean_ns: totals.iter().sum::<f64>() / n,
-            mean_queue_ns: self.records.iter().map(|r| r.queue_ns).sum::<f64>() / n,
-            mean_compile_ns: self
-                .records
-                .iter()
-                .map(|r| r.compile_ns as f64)
-                .sum::<f64>()
-                / n,
-            mean_device_ns: self.records.iter().map(|r| r.device_ns).sum::<f64>() / n,
+            total: total.stats(),
+            queue: queue.stats(),
+            compile: compile.stats(),
+            device: device.stats(),
         }
     }
 }
 
-/// Latency percentiles plus the mean decomposition, all ns.
+/// Per-phase latency readouts, each tagged with the clock it was measured
+/// on (`total`/`queue`/`device` are virtual serving time; `compile` is
+/// real host time).
 #[derive(Debug, Clone, Copy)]
 pub struct LatencySummary {
-    /// Median end-to-end latency.
-    pub p50_ns: f64,
-    /// 95th-percentile end-to-end latency.
-    pub p95_ns: f64,
-    /// 99th-percentile end-to-end latency.
-    pub p99_ns: f64,
-    /// Mean end-to-end latency.
-    pub mean_ns: f64,
-    /// Mean queueing component.
-    pub mean_queue_ns: f64,
-    /// Mean online-compilation component.
-    pub mean_compile_ns: f64,
-    /// Mean device component.
-    pub mean_device_ns: f64,
+    /// End-to-end timeline latency (virtual clock).
+    pub total: LatencyStats,
+    /// Queueing component (virtual clock).
+    pub queue: LatencyStats,
+    /// Online-compilation component (real clock).
+    pub compile: LatencyStats,
+    /// Device component including dispatch (virtual clock).
+    pub device: LatencyStats,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
@@ -199,10 +220,13 @@ pub struct ServingRuntime {
     engine: Arc<Engine>,
     cluster: Cluster,
     workers: usize,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ServingRuntime {
     /// Creates a runtime with `workers` threads over `cluster`'s devices.
+    /// Telemetry defaults to the engine's handle (so an engine built with
+    /// [`Engine::offline_with_telemetry`] gets serving spans for free).
     ///
     /// # Panics
     ///
@@ -216,11 +240,25 @@ impl ServingRuntime {
             engine.machine().name,
             "device pool and engine must model the same machine"
         );
+        let telemetry = Arc::clone(engine.telemetry());
         Self {
             engine,
             cluster,
             workers,
+            telemetry,
         }
+    }
+
+    /// Replaces the telemetry handle (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle serving spans and metrics are recorded into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The shared engine.
@@ -240,8 +278,14 @@ impl ServingRuntime {
         let mut ordered: Vec<&Request> = requests.iter().collect();
         ordered.sort_by(|a, b| f64::total_cmp(&a.arrival_ns, &b.arrival_ns));
         let cursor = AtomicUsize::new(0);
-        // Virtual free time per device; a request takes the earliest-free
-        // device once its compilation is done.
+        let sequencer = Sequencer::new();
+        // Virtual free time per worker slot and per device. A request is
+        // assigned (in arrival order) to the earliest-free worker slot,
+        // then takes the earliest-free device once its compilation is
+        // done. Slots are virtual-time identities, deliberately decoupled
+        // from the OS threads doing the real compile work, so the
+        // timeline cannot be skewed by thread starvation.
+        let worker_pool = Mutex::new(vec![0.0f64; self.workers]);
         let device_pool = Mutex::new(vec![0.0f64; self.cluster.devices]);
         // Dispatch over the interconnect only when the pool is remote.
         let dispatch_ns = if self.cluster.devices > 1 {
@@ -250,51 +294,77 @@ impl ServingRuntime {
             0.0
         };
 
-        let per_worker: Vec<Vec<RequestRecord>> = std::thread::scope(|scope| {
+        let telemetry = &self.telemetry;
+        let per_thread: Vec<Vec<RequestRecord>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
-                .map(|worker| {
+                .map(|_| {
                     let ordered = &ordered;
                     let cursor = &cursor;
+                    let sequencer = &sequencer;
+                    let worker_pool = &worker_pool;
                     let device_pool = &device_pool;
                     scope.spawn(move || {
                         let mut records = Vec::new();
-                        let mut free_at = 0.0f64;
                         loop {
-                            let next = cursor.fetch_add(1, Ordering::SeqCst);
-                            let Some(request) = ordered.get(next) else {
+                            let ticket = cursor.fetch_add(1, Ordering::SeqCst);
+                            let Some(request) = ordered.get(ticket) else {
                                 break;
                             };
-                            let start = request.arrival_ns.max(free_at);
                             // Real wall-clock compile (0 on cache hits),
-                            // simulated device time.
+                            // simulated device time — the expensive part,
+                            // running in parallel across threads.
                             let graph = self
                                 .engine
                                 .run_graph(request.ops.iter().map(|(op, count)| (op, *count)));
-                            let ready = start + graph.compile_ns as f64;
+                            // The worker is genuinely occupied for the real
+                            // compile wall-clock while virtual arrivals keep
+                            // accumulating — the one sanctioned projection
+                            // of real time onto the serving timeline.
+                            let compile = ClockNs::real(graph.compile_ns as f64);
+
+                            // Virtual bookkeeping in strict arrival order.
+                            sequencer.wait_for(ticket);
+                            // Only the turn holder touches the pools, so
+                            // the slot can be reserved after `finish` is
+                            // known below.
+                            let (worker, worker_free) = earliest_free(&worker_pool.lock());
+                            let start = request.arrival_ns.max(worker_free);
+                            let ready = start + compile.onto_virtual_timeline();
                             let (device, device_start) = {
                                 let mut pool = device_pool.lock();
-                                let (device, device_free) = pool
-                                    .iter()
-                                    .enumerate()
-                                    .min_by(|a, b| f64::total_cmp(a.1, b.1))
-                                    .map(|(i, &free)| (i, free))
-                                    .expect("cluster has devices");
+                                let (device, device_free) = earliest_free(&pool);
                                 let device_start = ready.max(device_free) + dispatch_ns;
                                 pool[device] = device_start + graph.device_ns;
                                 (device, device_start)
                             };
                             let finish = device_start + graph.device_ns;
-                            free_at = finish;
-                            records.push(RequestRecord {
+                            worker_pool.lock()[worker] = finish;
+                            sequencer.advance();
+
+                            let record = RequestRecord {
                                 id: request.id,
                                 worker,
                                 device,
                                 queue_ns: (start - request.arrival_ns)
                                     + (device_start - dispatch_ns - ready),
-                                compile_ns: graph.compile_ns,
+                                compile,
+                                search_ns: graph.search_ns,
+                                cache_wait_ns: graph.cache_wait_ns,
                                 device_ns: graph.device_ns + dispatch_ns,
                                 finish_ns: finish,
-                            });
+                            };
+                            if telemetry.is_enabled() {
+                                emit_request_telemetry(
+                                    telemetry,
+                                    request,
+                                    &record,
+                                    start,
+                                    ready,
+                                    device_start,
+                                    dispatch_ns,
+                                );
+                            }
+                            records.push(record);
                         }
                         records
                     })
@@ -307,35 +377,49 @@ impl ServingRuntime {
         });
 
         let first_arrival = ordered.first().map_or(0.0, |r| r.arrival_ns);
-        let last_finish = per_worker
+        let last_finish = per_thread
             .iter()
             .flatten()
             .map(|r| r.finish_ns)
             .fold(first_arrival, f64::max);
         let makespan_ns = (last_finish - first_arrival).max(f64::MIN_POSITIVE);
-        let workers = per_worker
-            .iter()
-            .enumerate()
-            .map(|(worker, records)| {
-                let busy_ns = records
-                    .iter()
-                    .map(|r| r.compile_ns as f64 + r.device_ns)
+        let mut records: Vec<RequestRecord> = per_thread.into_iter().flatten().collect();
+        records.sort_by_key(|r| r.id);
+        let workers = (0..self.workers)
+            .map(|worker| {
+                let mine = records.iter().filter(|r| r.worker == worker);
+                let busy_ns = mine
+                    .clone()
+                    .map(|r| r.compile.onto_virtual_timeline() + r.device_ns)
                     .sum::<f64>();
                 WorkerStats {
                     worker,
-                    requests: records.len(),
+                    requests: mine.count(),
                     busy_ns,
                     utilization: busy_ns / makespan_ns,
                 }
             })
             .collect();
-        let mut records: Vec<RequestRecord> = per_worker.into_iter().flatten().collect();
-        records.sort_by_key(|r| r.id);
         let cache = self
             .engine
             .gemm_compiler()
             .cache_stats()
             .merged(self.engine.conv_compiler().cache_stats());
+        if self.telemetry.is_enabled() {
+            let registry = self.telemetry.registry();
+            // Collector-style export: the registry's cache.* counters are
+            // overwritten with the caches' own (authoritative) atomics, so
+            // a metrics snapshot taken now exactly equals `cache`.
+            cache.export_to(registry);
+            registry.gauge("serving.workers").set(self.workers as f64);
+            registry
+                .gauge("serving.devices")
+                .set(self.cluster.devices as f64);
+            registry.gauge("serving.makespan_ms").set(makespan_ns / 1e6);
+            registry
+                .gauge("serving.throughput_rps")
+                .set(records.len() as f64 / (makespan_ns / 1e9));
+        }
         ServingReport {
             records,
             workers,
@@ -343,6 +427,142 @@ impl ServingRuntime {
             makespan_ns,
         }
     }
+}
+
+/// Hands out turns in ticket order: real compile work overlaps freely
+/// across threads, but each request's virtual bookkeeping runs alone, in
+/// arrival order, so the timeline is scheduling-independent.
+struct Sequencer {
+    turn: Mutex<usize>,
+    ready: Condvar,
+}
+
+impl Sequencer {
+    fn new() -> Self {
+        Self {
+            turn: Mutex::new(0),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until it is `ticket`'s turn.
+    fn wait_for(&self, ticket: usize) {
+        let mut turn = self.turn.lock();
+        while *turn != ticket {
+            self.ready.wait(&mut turn);
+        }
+    }
+
+    /// Passes the turn to the next ticket.
+    fn advance(&self) {
+        *self.turn.lock() += 1;
+        self.ready.notify_all();
+    }
+}
+
+/// The index and virtual free time of the earliest-free pool slot.
+fn earliest_free(pool: &[f64]) -> (usize, f64) {
+    pool.iter()
+        .enumerate()
+        .min_by(|a, b| f64::total_cmp(a.1, b.1))
+        .map(|(i, &free)| (i, free))
+        .expect("pool is non-empty")
+}
+
+/// Emits one served request's phase spans and latency metrics.
+///
+/// Worker lanes carry the request timeline: the queue phases as async
+/// (overlap-safe) spans, then a `serving.request` window containing the
+/// `serving.compile` window, which in turn contains the per-request search
+/// and coalesced-wait sub-phases (nested by time containment). The device
+/// execution lands on the device's own lane.
+#[allow(clippy::too_many_arguments)]
+fn emit_request_telemetry(
+    telemetry: &Telemetry,
+    request: &Request,
+    record: &RequestRecord,
+    start: f64,
+    ready: f64,
+    device_start: f64,
+    dispatch_ns: f64,
+) {
+    let rid = record.id as u64;
+    let lane = Lane::Worker(record.worker);
+    telemetry.record_span(SpanRecord::async_phase(
+        "serving.queue",
+        lane,
+        rid,
+        request.arrival_ns,
+        start - request.arrival_ns,
+    ));
+    let device_wait = device_start - dispatch_ns - ready;
+    if device_wait > 0.0 {
+        telemetry.record_span(SpanRecord::async_phase(
+            "serving.queue.device",
+            lane,
+            rid,
+            ready,
+            device_wait,
+        ));
+    }
+    telemetry.record_span(
+        SpanRecord::complete("serving.request", lane, start, record.finish_ns - start)
+            .with_arg("request", rid),
+    );
+    telemetry.record_span(
+        SpanRecord::complete(
+            "serving.compile",
+            lane,
+            start,
+            record.compile.onto_virtual_timeline(),
+        )
+        .with_arg("request", rid),
+    );
+    // The compile window's sub-phases, placed sequentially inside it
+    // (their real-clock durations sum to at most the window's).
+    let mut at = start;
+    if record.search_ns > 0 {
+        let dur = record.search_ns as f64;
+        telemetry.record_span(
+            SpanRecord::complete("serving.compile.search", lane, at, dur).with_arg("request", rid),
+        );
+        at += dur;
+    }
+    if record.cache_wait_ns > 0 {
+        telemetry.record_span(
+            SpanRecord::complete(
+                "serving.compile.wait",
+                lane,
+                at,
+                record.cache_wait_ns as f64,
+            )
+            .with_arg("request", rid),
+        );
+    }
+    telemetry.record_span(
+        SpanRecord::complete(
+            "serving.device",
+            Lane::Device(record.device),
+            device_start,
+            record.finish_ns - device_start,
+        )
+        .with_arg("request", rid)
+        .with_arg("worker", record.worker),
+    );
+    let registry = telemetry.registry();
+    registry.counter("serving.requests").inc();
+    registry
+        .histogram("serving.queue_ns", Clock::Virtual)
+        .record_f64(record.queue_ns);
+    registry
+        .histogram("serving.compile_ns", Clock::Real)
+        .record_f64(record.compile.real_ns());
+    registry
+        .histogram("serving.device_ns", Clock::Virtual)
+        .record_f64(record.device_ns);
+    registry
+        .histogram("serving.total_ns", Clock::Virtual)
+        .record_f64(record.timeline_total_ns());
 }
 
 #[cfg(test)]
@@ -374,7 +594,9 @@ mod tests {
     fn decomposition_adds_up_and_all_requests_complete() {
         let engine = engine();
         let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
-        let runtime = ServingRuntime::new(engine, cluster, 2);
+        let telemetry = mikpoly_telemetry::Telemetry::enabled();
+        let runtime =
+            ServingRuntime::new(engine, cluster, 2).with_telemetry(Arc::clone(&telemetry));
         let requests = stream(24, 50_000.0);
         let report = runtime.serve(&requests);
         assert_eq!(report.records.len(), 24);
@@ -382,12 +604,40 @@ mod tests {
             assert_eq!(r.id, i);
             assert!(r.queue_ns >= -1e-6, "negative queue: {r:?}");
             assert!(r.device_ns > 0.0);
-            assert!((r.total_ns() - (r.finish_ns - requests[i].arrival_ns)).abs() < 1e-3);
+            assert_eq!(r.compile.clock(), Clock::Real);
+            assert!((r.timeline_total_ns() - (r.finish_ns - requests[i].arrival_ns)).abs() < 1e-3);
         }
         // 3 unique shapes → 3 polymerizations, regardless of worker count.
         assert_eq!(report.cache.computations, 3);
         assert_eq!(report.workers.len(), 2);
         assert_eq!(report.workers.iter().map(|w| w.requests).sum::<usize>(), 24);
+        // Telemetry: every request got queue/request/compile/device spans,
+        // and the exported cache counters equal the report's snapshot.
+        let spans = telemetry.drain_spans();
+        for name in [
+            "serving.queue",
+            "serving.request",
+            "serving.compile",
+            "serving.device",
+        ] {
+            let count = spans.iter().filter(|s| s.name == name).count();
+            assert_eq!(count, 24, "{name}: {count} spans");
+        }
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(report.cache.hits));
+        assert_eq!(
+            snap.counter("cache.computations"),
+            Some(report.cache.computations)
+        );
+        assert_eq!(
+            snap.counter("cache.coalesced_waits"),
+            Some(report.cache.coalesced_waits)
+        );
+        assert_eq!(snap.counter("serving.requests"), Some(24));
+        let summary = report.latency_summary();
+        assert_eq!(summary.total.count, 24);
+        assert_eq!(summary.compile.clock, Clock::Real);
+        assert_eq!(summary.total.clock, Clock::Virtual);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! The emitted object is `{"traceEvents": [...]}` with timestamps in
+//! microseconds. Lanes map onto two processes:
+//!
+//! - **pid 1 — "serving (virtual time)"**: one thread row per serving
+//!   worker ([`Lane::Worker`], tid `w + 1`) and one per simulated device
+//!   ([`Lane::Device`], tid `10000 + d`). Processing phases are `"X"`
+//!   complete events; queue phases are `"b"`/`"e"` async pairs keyed by
+//!   request id so concurrent waits may overlap on one row.
+//! - **pid 2 — "host (real time)"**: one thread row per instrumented OS
+//!   thread ([`Lane::HostThread`], tid `lane + 1`), all `"X"` events
+//!   nesting by time containment.
+//!
+//! JSON is written by hand (this crate is dependency-free); only the
+//! string-escaping rules the trace viewer needs are implemented.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::span::{ArgValue, Lane, SpanKind, SpanRecord};
+
+const PID_VIRTUAL: u32 = 1;
+const PID_HOST: u32 = 2;
+const DEVICE_TID_BASE: u64 = 10_000;
+
+fn lane_pid_tid(lane: Lane) -> (u32, u64) {
+    match lane {
+        Lane::Worker(w) => (PID_VIRTUAL, w as u64 + 1),
+        Lane::Device(d) => (PID_VIRTUAL, DEVICE_TID_BASE + d as u64),
+        Lane::HostThread(t) => (PID_HOST, t + 1),
+    }
+}
+
+fn lane_thread_name(lane: Lane) -> String {
+    match lane {
+        Lane::Worker(w) => format!("worker {w}"),
+        Lane::Device(d) => format!("device {d}"),
+        Lane::HostThread(t) => format!("thread {t}"),
+    }
+}
+
+/// Appends `s` as a JSON string literal (with quotes) onto `out`.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in a JSON-safe decimal form.
+fn push_json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_args(out: &mut String, clock: &'static str, args: &[(&'static str, ArgValue)]) {
+    out.push_str(",\"args\":{\"clock\":");
+    push_json_string(out, clock);
+    for (key, value) in args {
+        out.push(',');
+        push_json_string(out, key);
+        out.push(':');
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::F64(v) => push_json_number(out, *v),
+            ArgValue::Str(s) => push_json_string(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn push_event_common(out: &mut String, name: &str, ph: char, pid: u32, tid: u64, ts_us: f64) {
+    out.push_str("{\"name\":");
+    push_json_string(out, name);
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":");
+    push_json_number(out, ts_us);
+}
+
+/// Renders `spans` as a complete Chrome trace-event JSON document.
+///
+/// Process/thread metadata events are generated for every lane that
+/// appears; callers just hand over `Telemetry::drain_spans()` output.
+pub fn render_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+
+    // Metadata: name the two processes and every lane that appears.
+    let pids: BTreeSet<u32> = spans.iter().map(|s| lane_pid_tid(s.lane).0).collect();
+    for pid in pids {
+        let pname = if pid == PID_VIRTUAL {
+            "serving (virtual time)"
+        } else {
+            "host (real time)"
+        };
+        push_sep(&mut out, &mut first);
+        push_event_common(&mut out, "process_name", 'M', pid, 0, 0.0);
+        out.push_str(",\"args\":{\"name\":");
+        push_json_string(&mut out, pname);
+        out.push_str("}}");
+    }
+    let mut named: BTreeSet<(u32, u64)> = BTreeSet::new();
+    for span in spans {
+        let (pid, tid) = lane_pid_tid(span.lane);
+        if named.insert((pid, tid)) {
+            push_sep(&mut out, &mut first);
+            push_event_common(&mut out, "thread_name", 'M', pid, tid, 0.0);
+            out.push_str(",\"args\":{\"name\":");
+            push_json_string(&mut out, &lane_thread_name(span.lane));
+            out.push_str("}}");
+        }
+    }
+
+    for span in spans {
+        let (pid, tid) = lane_pid_tid(span.lane);
+        let ts_us = span.start_ns / 1e3;
+        let dur_us = span.dur_ns / 1e3;
+        let clock = span.lane.clock_label();
+        match span.kind {
+            SpanKind::Complete => {
+                push_sep(&mut out, &mut first);
+                push_event_common(&mut out, span.name, 'X', pid, tid, ts_us);
+                out.push_str(",\"dur\":");
+                push_json_number(&mut out, dur_us);
+                push_args(&mut out, clock, &span.args);
+                out.push('}');
+            }
+            SpanKind::Async { id } => {
+                push_sep(&mut out, &mut first);
+                push_event_common(&mut out, span.name, 'b', pid, tid, ts_us);
+                let _ = write!(out, ",\"cat\":\"phase\",\"id\":{id}");
+                push_args(&mut out, clock, &span.args);
+                out.push('}');
+                push_sep(&mut out, &mut first);
+                push_event_common(&mut out, span.name, 'e', pid, tid, ts_us + dur_us);
+                let _ = write!(out, ",\"cat\":\"phase\",\"id\":{id}");
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn trace_has_metadata_and_both_event_kinds() {
+        let spans = vec![
+            SpanRecord::async_phase("serving.queue", Lane::Worker(0), 7, 0.0, 2000.0),
+            SpanRecord::complete("serving.compile", Lane::Worker(0), 2000.0, 1000.0)
+                .with_arg("shape", 64u64),
+            SpanRecord::complete("device.execute", Lane::Device(1), 3000.0, 500.0),
+            SpanRecord::complete("online.search", Lane::HostThread(0), 10.0, 5.0)
+                .with_arg("strategy", "best"),
+        ];
+        let json = render_chrome_trace(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("serving (virtual time)"));
+        assert!(json.contains("host (real time)"));
+        assert!(json.contains("\"name\":\"worker 0\""));
+        assert!(json.contains("\"name\":\"device 1\""));
+        // Async pair: begin at 0, end at 2 us, same id.
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"id\":7"));
+        // Complete event with dur in us and args.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1"));
+        assert!(json.contains("\"shape\":64"));
+        assert!(json.contains("\"clock\":\"virtual\""));
+        assert!(json.contains("\"clock\":\"real\""));
+        // Device tid namespace.
+        assert!(json.contains("\"tid\":10001"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            render_chrome_trace(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,554 @@
+//! Lock-free metrics: counters, gauges, and log2-bucketed latency
+//! histograms behind a name-keyed registry.
+//!
+//! The record path is wait-free — every instrument is a handful of relaxed
+//! atomics, so serving workers can record per-request latencies without a
+//! lock. The registry map itself is behind an `RwLock`, but callers cache
+//! the `Arc` handles they get from [`Registry::counter`] /
+//! [`Registry::histogram`], so the map is only touched at registration and
+//! snapshot time.
+//!
+//! Histograms bucket by `floor(log2(v)) + 1`: bucket `b` holds values in
+//! `[2^(b-1), 2^b)`. Percentile readout returns the inclusive upper bound
+//! of the bucket containing the nearest-rank sample, so an estimate `e`
+//! for an exact percentile `x` always satisfies `x <= e < 2x` — within one
+//! bucket width, which the property tests pin down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::clock::Clock;
+
+/// Number of histogram buckets: one for zero plus one per bit of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically-increasing (or collector-set) integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter — for collector-style metrics whose
+    /// authoritative value lives elsewhere (e.g. the program cache's own
+    /// atomics) and is copied in at snapshot time.
+    pub fn store(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time floating-point metric (utilization, rates, sizes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Percentile/mean readout of one histogram, all nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// The clock the samples were measured on.
+    pub clock: Clock,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: f64,
+    /// 95th percentile (bucket upper bound).
+    pub p95_ns: f64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: f64,
+    /// Largest recorded sample (exact).
+    pub max_ns: f64,
+    /// Mean (exact: running sum over count).
+    pub mean_ns: f64,
+}
+
+impl LatencyStats {
+    /// An empty readout on `clock`.
+    pub fn empty(clock: Clock) -> Self {
+        Self {
+            clock,
+            count: 0,
+            p50_ns: 0.0,
+            p95_ns: 0.0,
+            p99_ns: 0.0,
+            max_ns: 0.0,
+            mean_ns: 0.0,
+        }
+    }
+}
+
+/// A lock-free latency histogram with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    clock: Clock,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b`.
+fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram whose samples are measured on `clock`.
+    pub fn new(clock: Clock) -> Self {
+        Self {
+            clock,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The clock this histogram's samples are measured on.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Records one sample, in nanoseconds. Wait-free.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records a float sample, clamping negatives and non-finite values
+    /// to zero.
+    pub fn record_f64(&self, ns: f64) {
+        let clamped = if ns.is_finite() && ns > 0.0 { ns } else { 0.0 };
+        self.record(clamped as u64);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, ns.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The nearest-rank percentile, reported as the inclusive upper bound
+    /// of the bucket holding that rank (0 when empty). `p` in `[0, 1]`.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Same nearest-rank convention as a sorted slice: index
+        // round((n - 1) * p) of the ascending order.
+        let rank = ((total - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Snapshot of the standard readout.
+    pub fn stats(&self) -> LatencyStats {
+        let count = self.count();
+        if count == 0 {
+            return LatencyStats::empty(self.clock);
+        }
+        LatencyStats {
+            clock: self.clock,
+            count,
+            p50_ns: self.percentile_ns(0.50) as f64,
+            p95_ns: self.percentile_ns(0.95) as f64,
+            p99_ns: self.percentile_ns(0.99) as f64,
+            max_ns: self.max_ns.load(Ordering::Relaxed) as f64,
+            mean_ns: self.sum_ns() as f64 / count as f64,
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then_some((bucket_upper(b), count))
+            })
+            .collect()
+    }
+}
+
+/// One histogram in a [`MetricsSnapshot`]: its name, readout, and
+/// non-empty `(bucket upper bound, count)` pairs.
+pub type HistogramSnapshot = (String, LatencyStats, Vec<(u64, u64)>);
+
+/// A point-in-time copy of every instrument in a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, readout, buckets)` per histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks a histogram readout up by name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyStats> {
+        self.histograms
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, s, _)| s)
+    }
+}
+
+/// The name-keyed instrument registry.
+///
+/// Instruments are created on first use and shared afterwards; handles are
+/// `Arc`s, so hot paths resolve a name once and record lock-free from then
+/// on.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().expect("registry lock").get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use with `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram exists with a different clock — one metric
+    /// name must never mix clocks.
+    pub fn histogram(&self, name: &str, clock: Clock) -> Arc<Histogram> {
+        let existing = self
+            .histograms
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map(Arc::clone);
+        let h = match existing {
+            Some(h) => h,
+            None => {
+                let mut map = self.histograms.write().expect("registry lock");
+                Arc::clone(
+                    map.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(clock))),
+                )
+            }
+        };
+        assert_eq!(
+            h.clock(),
+            clock,
+            "histogram '{name}' already registered on the {} clock",
+            h.clock()
+        );
+        h
+    }
+
+    /// Copies every instrument out.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.stats(), h.buckets()))
+                .collect(),
+        }
+    }
+
+    /// Renders a Prometheus-style plain-text exposition of the registry.
+    ///
+    /// Metric names have `.` and `-` mapped to `_`; histograms carry a
+    /// `clock` label and cumulative `_bucket{le=...}` lines with
+    /// power-of-two bounds.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snap.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, stats, buckets) in &snap.histograms {
+            let name = prometheus_name(name);
+            let clock = stats.clock.label();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (upper, count) in buckets {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{clock=\"{clock}\",le=\"{upper}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{clock=\"{clock}\",le=\"+Inf\"}} {}",
+                stats.count
+            );
+            let _ = writeln!(
+                out,
+                "{name}_sum{{clock=\"{clock}\"}} {}",
+                (stats.mean_ns * stats.count as f64).round() as u64
+            );
+            let _ = writeln!(out, "{name}_count{{clock=\"{clock}\"}} {}", stats.count);
+        }
+        out
+    }
+
+    /// Renders an aligned human-readable snapshot table (the `mikpoly
+    /// stats` output).
+    pub fn render_pretty(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        if !snap.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            for (name, value) in &snap.counters {
+                let _ = writeln!(out, "  {name:<44} {value:>12}");
+            }
+        }
+        if !snap.gauges.is_empty() {
+            let _ = writeln!(out, "gauges");
+            for (name, value) in &snap.gauges {
+                let _ = writeln!(out, "  {name:<44} {value:>12.3}");
+            }
+        }
+        if !snap.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms (us){:<30} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "", "count", "p50", "p95", "p99", "max", "mean"
+            );
+            for (name, s, _) in &snap.histograms {
+                let us = |ns: f64| ns / 1e3;
+                let _ = writeln!(
+                    out,
+                    "  {:<43} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                    format!("{name}{{clock=\"{}\"}}", s.clock),
+                    s.count,
+                    us(s.p50_ns),
+                    us(s.p95_ns),
+                    us(s.p99_ns),
+                    us(s.max_ns),
+                    us(s.mean_ns),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [1u64, 2, 3, 5, 100, 1 << 40] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            assert!(b == 1 || v > bucket_upper(b - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_readout_brackets_the_exact_percentile() {
+        let h = Histogram::new(Clock::Real);
+        let mut samples: Vec<u64> = (1..=1000).map(|i| i * 7 + 3).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let exact = samples[((samples.len() - 1) as f64 * p).round() as usize];
+            let est = h.percentile_ns(p);
+            assert!(
+                est >= exact && est < exact * 2,
+                "p{p}: est {est} vs exact {exact}"
+            );
+        }
+        let stats = h.stats();
+        assert_eq!(stats.count, 1000);
+        assert_eq!(stats.max_ns, *samples.last().unwrap() as f64);
+        let exact_mean = samples.iter().sum::<u64>() as f64 / 1000.0;
+        assert!((stats.mean_ns - exact_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new(Clock::Virtual);
+        assert_eq!(h.percentile_ns(0.5), 0);
+        let s = h.stats();
+        assert_eq!((s.count, s.p99_ns, s.mean_ns), (0, 0.0, 0.0));
+        assert_eq!(s.clock, Clock::Virtual);
+    }
+
+    #[test]
+    fn registry_shares_handles_and_snapshots() {
+        let r = Registry::new();
+        let c1 = r.counter("cache.hits");
+        let c2 = r.counter("cache.hits");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(r.counter("cache.hits").get(), 4);
+        r.gauge("workers").set(4.0);
+        r.histogram("lat", Clock::Virtual).record(1000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(4));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert_eq!(snap.gauges, vec![("workers".to_string(), 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered on the real clock")]
+    fn histogram_clock_conflict_is_rejected() {
+        let r = Registry::new();
+        let _ = r.histogram("lat", Clock::Real);
+        let _ = r.histogram("lat", Clock::Virtual);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_labelled_and_cumulative() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(7);
+        let h = r.histogram("serving.request.total_ns", Clock::Virtual);
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("cache_hits 7"));
+        assert!(text.contains("serving_request_total_ns_bucket{clock=\"virtual\",le=\"3\"} 2"));
+        assert!(text.contains("serving_request_total_ns_bucket{clock=\"virtual\",le=\"127\"} 3"));
+        assert!(text.contains("serving_request_total_ns_count{clock=\"virtual\"} 3"));
+    }
+
+    #[test]
+    fn counter_store_overwrites() {
+        let c = Counter::default();
+        c.add(10);
+        c.store(4);
+        assert_eq!(c.get(), 4);
+    }
+}

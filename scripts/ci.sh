@@ -6,6 +6,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> guard: no build artifacts under version control"
+if git ls-files --error-unmatch target >/dev/null 2>&1 || [ -n "$(git ls-files 'target/*')" ]; then
+  echo "error: target/ is git-tracked; run 'git rm -r --cached target/'" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -17,5 +23,18 @@ cargo build --release --offline --workspace
 
 echo "==> cargo test -q --release --workspace"
 cargo test -q --release --offline --workspace
+
+echo "==> smoke: mikpoly serve --trace-out / --metrics-out"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/mikpoly serve --requests 24 --workers 2 --devices 2 \
+  --trace-out "$smoke_dir/trace.json" --metrics-out "$smoke_dir/metrics.txt"
+# trace-stats parses the file with serde_json and exits non-zero on
+# malformed JSON or a missing traceEvents array.
+./target/release/mikpoly trace-stats "$smoke_dir/trace.json"
+grep -q "^cache_hits " "$smoke_dir/metrics.txt" || {
+  echo "error: metrics snapshot is missing cache counters" >&2
+  exit 1
+}
 
 echo "CI green."

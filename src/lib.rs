@@ -9,6 +9,7 @@
 //! * [`mikpoly`] — the two-stage dynamic-shape compiler itself;
 //! * [`baselines`] — vendor / CUTLASS / DietCode / Nimble comparators;
 //! * [`models`] — the dynamic-shape model zoo;
+//! * [`telemetry`] — spans, metrics, Chrome-trace / Prometheus exporters;
 //! * [`workloads`] — the Table 3 / Table 4 shape suites.
 
 #![forbid(unsafe_code)]
@@ -17,5 +18,6 @@ pub use accel_sim;
 pub use mikpoly;
 pub use mikpoly_baselines as baselines;
 pub use mikpoly_models as models;
+pub use mikpoly_telemetry as telemetry;
 pub use mikpoly_workloads as workloads;
 pub use tensor_ir;

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use mikpoly_suite::accel_sim::{Cluster, Interconnect, MachineModel};
 use mikpoly_suite::mikpoly::serving::poisson_arrivals;
+use mikpoly_suite::mikpoly::telemetry::{Clock, Telemetry};
 use mikpoly_suite::mikpoly::{
     execute_gemm, CacheOutcome, Engine, MikPoly, OfflineOptions, Request, ServingRuntime,
 };
@@ -146,7 +147,12 @@ fn serving_runtime_end_to_end_counts_match() {
         })
         .collect();
     let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
-    let report = ServingRuntime::new(Arc::clone(&engine), cluster, 4).serve(&requests);
+    // Telemetry stays on for the whole run: concurrency guarantees must
+    // hold with every span/counter record path active.
+    let telemetry = Telemetry::enabled();
+    let report = ServingRuntime::new(Arc::clone(&engine), cluster, 4)
+        .with_telemetry(Arc::clone(&telemetry))
+        .serve(&requests);
 
     assert_eq!(report.records.len(), 48);
     assert_eq!(
@@ -155,24 +161,56 @@ fn serving_runtime_end_to_end_counts_match() {
         "serving polymerizes each unique shape once: {:?}",
         report.cache
     );
-    // Latency decomposition is internally consistent per request.
+    // Latency decomposition is internally consistent per request. The
+    // compile component is a real-clock measurement and only enters the
+    // virtual timeline through its explicit projection.
     for record in &report.records {
-        let parts = record.queue_ns + record.compile_ns as f64 + record.device_ns;
-        assert!((record.total_ns() - parts).abs() < 1e-9);
+        assert_eq!(record.compile.clock(), Clock::Real);
+        let parts = record.queue_ns + record.compile.onto_virtual_timeline() + record.device_ns;
+        assert!((record.timeline_total_ns() - parts).abs() < 1e-9);
         assert!(record.finish_ns >= requests[record.id].arrival_ns);
     }
     // The stream repeats 6 shapes 8 times: later repeats are pure hits,
     // so mean compile must be far below the cold polymerization cost.
-    let cold: u128 = report
+    let cold = report
         .records
         .iter()
-        .map(|r| r.compile_ns)
-        .max()
-        .expect("records");
-    assert!(cold > 0, "someone must have compiled");
-    let hit_requests = report.records.iter().filter(|r| r.compile_ns == 0).count();
+        .map(|r| r.compile.real_ns())
+        .fold(0.0f64, f64::max);
+    assert!(cold > 0.0, "someone must have compiled");
+    let hit_requests = report
+        .records
+        .iter()
+        .filter(|r| r.compile.is_zero())
+        .count();
     assert!(
         hit_requests >= 48 - 2 * shapes.len(),
         "most repeats must be cache hits, got {hit_requests}"
     );
+    // The registry mirrors the cache report exactly, and every request
+    // produced its phase spans.
+    let snap = telemetry.registry().snapshot();
+    assert_eq!(snap.counter("serving.requests"), Some(48));
+    assert_eq!(snap.counter("cache.hits"), Some(report.cache.hits));
+    assert_eq!(
+        snap.counter("cache.computations"),
+        Some(report.cache.computations)
+    );
+    assert_eq!(
+        snap.counter("cache.coalesced_waits"),
+        Some(report.cache.coalesced_waits)
+    );
+    let spans = telemetry.drain_spans();
+    for name in [
+        "serving.queue",
+        "serving.request",
+        "serving.compile",
+        "serving.device",
+    ] {
+        assert_eq!(
+            spans.iter().filter(|s| s.name == name).count(),
+            48,
+            "one '{name}' span per request"
+        );
+    }
 }

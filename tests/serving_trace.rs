@@ -1,0 +1,150 @@
+//! Acceptance: a telemetered BERT Poisson serving run exports a Chrome
+//! trace-event file that parses as JSON, carries the
+//! queue/compile(search, cache-wait)/device phase spans for every request
+//! with correct nesting and lane placement, and a metrics snapshot whose
+//! cache counters exactly mirror [`mikpoly::CacheStats`].
+
+use std::sync::Arc;
+
+use mikpoly_suite::accel_sim::{Cluster, Interconnect, MachineModel};
+use mikpoly_suite::mikpoly::serving::poisson_arrivals;
+use mikpoly_suite::mikpoly::{Engine, OfflineOptions, Request, ServingRuntime};
+use mikpoly_suite::models::TransformerConfig;
+use mikpoly_suite::telemetry::Telemetry;
+
+#[test]
+fn bert_poisson_stream_emits_valid_nested_trace() {
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    let telemetry = Telemetry::enabled();
+    let engine = Arc::new(Engine::offline_with_telemetry(
+        MachineModel::a100(),
+        &options,
+        Arc::clone(&telemetry),
+    ));
+
+    // A Poisson stream of BERT forward passes at four sequence lengths.
+    let bert = TransformerConfig::bert_base();
+    let n = 24;
+    let requests: Vec<Request> = poisson_arrivals(n, 50_000.0, 11)
+        .into_iter()
+        .enumerate()
+        .map(|(id, arrival_ns)| Request {
+            id,
+            arrival_ns,
+            ops: bert
+                .graph(1, 16 * (1 + id % 4))
+                .ops
+                .iter()
+                .map(|op| (op.operator, op.count))
+                .collect(),
+        })
+        .collect();
+    let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
+    let report = ServingRuntime::new(Arc::clone(&engine), cluster, 4).serve(&requests);
+    assert_eq!(report.records.len(), n);
+
+    // The metrics snapshot's cache counters equal the authoritative
+    // CacheStats, field for field.
+    let snap = telemetry.registry().snapshot();
+    for (counter, expected) in [
+        ("cache.hits", report.cache.hits),
+        ("cache.misses", report.cache.misses),
+        ("cache.computations", report.cache.computations),
+        ("cache.coalesced_waits", report.cache.coalesced_waits),
+        ("cache.entries", report.cache.entries),
+        ("serving.requests", n as u64),
+    ] {
+        assert_eq!(
+            snap.counter(counter),
+            Some(expected),
+            "registry counter '{counter}' out of sync with CacheStats"
+        );
+    }
+
+    // The exported trace is valid JSON with the trace-event envelope.
+    let json = telemetry.render_chrome_trace();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("trace must parse as JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+
+    // Index the phase events per request.
+    let arg_request = |event: &serde_json::Value| {
+        event
+            .get("args")
+            .and_then(|a| a.get("request"))
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize)
+    };
+    let window = |event: &serde_json::Value| {
+        let ts = event.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = event.get("dur").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        (ts, ts + dur)
+    };
+    let mut queue = vec![0usize; n];
+    let mut request_windows: Vec<Option<(f64, f64)>> = vec![None; n];
+    let mut compile_windows: Vec<Option<(f64, f64)>> = vec![None; n];
+    let mut device = vec![0usize; n];
+    let mut search_spans = 0usize;
+    let mut wait_spans = 0usize;
+    for event in events {
+        let ph = event.get("ph").and_then(|v| v.as_str()).expect("ph");
+        let name = event.get("name").and_then(|v| v.as_str()).expect("name");
+        match (ph, name) {
+            ("b", "serving.queue") => {
+                let id = event.get("id").and_then(|v| v.as_u64()).expect("async id");
+                queue[id as usize] += 1;
+            }
+            ("X", "serving.request") => {
+                request_windows[arg_request(event).expect("request arg")] = Some(window(event));
+            }
+            ("X", "serving.compile") => {
+                compile_windows[arg_request(event).expect("request arg")] = Some(window(event));
+            }
+            ("X", "serving.compile.search") => search_spans += 1,
+            ("X", "serving.compile.wait") => wait_spans += 1,
+            ("X", "serving.device") => {
+                device[arg_request(event).expect("request arg")] += 1;
+                // Device execution sits on a device lane of the
+                // virtual-time process.
+                assert_eq!(event.get("pid").and_then(|v| v.as_u64()), Some(1));
+                assert!(event.get("tid").and_then(|v| v.as_u64()).expect("tid") >= 10_000);
+            }
+            _ => {}
+        }
+    }
+    for id in 0..n {
+        assert_eq!(queue[id], 1, "request {id}: missing queue phase");
+        assert_eq!(device[id], 1, "request {id}: missing device phase");
+        let (req_start, req_end) = request_windows[id].expect("request span");
+        let (c_start, c_end) = compile_windows[id].expect("compile span");
+        // The compile window nests inside the request window by time
+        // containment (ts are microseconds; allow float slack).
+        assert!(
+            c_start >= req_start - 1e-6 && c_end <= req_end + 1e-6,
+            "request {id}: compile [{c_start}, {c_end}] escapes request [{req_start}, {req_end}]"
+        );
+    }
+    // Cold shapes were polymerized, so search sub-phases must appear, and
+    // they never outnumber the per-request compile windows.
+    assert!(search_spans > 0, "no serving.compile.search spans recorded");
+    assert!(search_spans + wait_spans <= 2 * n);
+
+    // The host (real-clock) side of the pipeline traced too: the offline
+    // stage and one online.compile span per operator run.
+    let count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some(name))
+            .count()
+    };
+    assert!(count("offline.generate") >= 1, "offline stage untraced");
+    assert!(count("online.compile") > 0, "online compile path untraced");
+    assert_eq!(
+        count("online.search") as u64,
+        report.cache.computations,
+        "exactly one real search per polymerization"
+    );
+}

@@ -1,0 +1,95 @@
+//! Telemetry histogram integrity: the log2-bucketed percentile readout
+//! must track the exact sorted-slice percentiles within one bucket width,
+//! and parallel recording must never lose a count.
+
+use std::sync::Arc;
+
+use mikpoly_suite::mikpoly::serving::percentile;
+use mikpoly_suite::telemetry::{Clock, Histogram, Telemetry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any sample set spanning many orders of magnitude, the bucketed
+    /// p50/p95/p99 never undershoot the exact nearest-rank percentile and
+    /// overshoot by less than one bucket width (a bucket holds
+    /// `[2^(b-1), 2^b - 1]`, so its upper bound is below twice any member).
+    #[test]
+    fn bucketed_percentiles_within_one_bucket(
+        values in proptest::collection::vec(
+            (0u32..52, 0u64..u64::MAX).prop_map(|(e, raw)| raw % (1u64 << e).max(1)),
+            1..400,
+        ),
+    ) {
+        let hist = Histogram::new(Clock::Real);
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.5, 0.95, 0.99] {
+            let exact = percentile(&sorted, p) as u64;
+            let est = hist.percentile_ns(p);
+            prop_assert!(
+                est >= exact,
+                "p{p}: bucketed {est} undershoots exact {exact}"
+            );
+            prop_assert!(
+                est < 2 * exact.max(1),
+                "p{p}: bucketed {est} is more than one bucket above exact {exact}"
+            );
+        }
+        // Count, max, and mean are exact, not bucketed.
+        let stats = hist.stats();
+        prop_assert_eq!(stats.count, values.len() as u64);
+        prop_assert_eq!(stats.max_ns, *sorted.last().expect("non-empty"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        prop_assert!(
+            (stats.mean_ns - mean).abs() <= mean * 1e-6 + 0.5,
+            "mean {} vs exact {}",
+            stats.mean_ns,
+            mean
+        );
+    }
+}
+
+/// Eight threads hammering one histogram and one counter: every record
+/// lands (the instruments are single atomic words, no read-modify-write
+/// races to lose).
+#[test]
+fn parallel_records_lose_nothing() {
+    let t = Telemetry::enabled();
+    let hist = t.registry().histogram("test.lat_ns", Clock::Real);
+    let counter = t.registry().counter("test.events");
+    let threads = 8u64;
+    let per_thread = 50_000u64;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let hist = Arc::clone(&hist);
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Distinct values per thread so the expected total sum
+                    // is the exact arithmetic series 0..threads*per_thread.
+                    hist.record(tid * per_thread + i);
+                    counter.inc();
+                }
+            });
+        }
+    });
+    let n = threads * per_thread;
+    assert_eq!(hist.count(), n, "histogram lost records under contention");
+    assert_eq!(counter.get(), n, "counter lost increments under contention");
+    assert_eq!(
+        hist.sum_ns(),
+        n * (n - 1) / 2,
+        "histogram sum must be the exact series total"
+    );
+    let snapshot = t.registry().snapshot();
+    assert_eq!(snapshot.counter("test.events"), Some(n));
+    assert_eq!(
+        snapshot.histogram("test.lat_ns").expect("registered").count,
+        n
+    );
+}
