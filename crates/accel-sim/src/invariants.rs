@@ -1,0 +1,405 @@
+//! Physical-plausibility invariants over simulation results.
+//!
+//! The simulator stands in for real hardware in every experiment, so a bug
+//! here silently corrupts the whole evaluation. This module states what any
+//! *physically realizable* schedule must satisfy — conservation laws the
+//! event-driven scheduler cannot violate unless it is wrong — and checks
+//! them against a [`SimReport`] and its task trace:
+//!
+//! * **Non-negative phases**: every task interval has `end > start ≥ 0`,
+//!   and report times/counters are non-negative with `time_ns ≥ device_ns`.
+//! * **Bounded utilization**: `sm_efficiency` and `achieved_occupancy` are
+//!   fractions in `[0, 1]`; no PE is busy longer than the device ran.
+//! * **Monotonic timeline**: traced task starts are non-decreasing and no
+//!   task outlives the device interval.
+//! * **Warp conservation**: at no instant does a PE's resident warp total
+//!   exceed the machine's per-PE cap (checked with an event sweep, not
+//!   sampling), and aggregate warp-time matches the occupancy counter.
+//! * **Task conservation**: the trace covers exactly `grid_size` tasks and
+//!   per-PE task counts agree with the per-PE utilization counters.
+//! * **Deterministic replay** ([`check_deterministic_replay`]): simulating
+//!   the same launch twice yields bit-identical reports and traces — the
+//!   property the conformance fuzzer and the oracle both depend on.
+//!
+//! Checks return all violations found rather than failing fast, so a fuzzer
+//! can report every broken invariant of a shrunk input at once.
+
+use crate::counters::SimReport;
+use crate::machine::MachineModel;
+use crate::scheduler::{simulate_traced, TraceEvent};
+use crate::task::Launch;
+use crate::timing::TimingMode;
+
+/// Slack for float comparisons, ns. Matches the scheduler's event epsilon
+/// in spirit: anything below this is accumulation noise, not a bug.
+const TOL_NS: f64 = 1e-3;
+
+/// Relative slack for conserved aggregates (warp-time, busy-time).
+const TOL_REL: f64 = 1e-6;
+
+/// One violated invariant, with enough context to reproduce and triage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// Stable name of the violated invariant (e.g. `"warp-cap"`).
+    pub invariant: &'static str,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn violation(out: &mut Vec<InvariantViolation>, invariant: &'static str, detail: String) {
+    out.push(InvariantViolation { invariant, detail });
+}
+
+/// True when `value` fails "non-negative": negative *or* NaN. Spelled out
+/// so NaN (incomparable, hence not `>= 0.0`) is visibly part of the check.
+fn not_non_negative(value: f64) -> bool {
+    value.is_nan() || value < 0.0
+}
+
+/// Checks the counter-level invariants of a report. `machine` must be the
+/// model the report was produced on.
+pub fn check_report(machine: &MachineModel, report: &SimReport) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    if not_non_negative(report.device_ns) {
+        violation(
+            &mut out,
+            "non-negative-time",
+            format!("device_ns = {}", report.device_ns),
+        );
+    }
+    if report.time_ns + TOL_NS < report.device_ns {
+        violation(
+            &mut out,
+            "wall-covers-device",
+            format!(
+                "time_ns = {} < device_ns = {}",
+                report.time_ns, report.device_ns
+            ),
+        );
+    }
+    for (name, value) in [
+        ("sm_efficiency", report.sm_efficiency),
+        ("achieved_occupancy", report.achieved_occupancy),
+    ] {
+        if !(0.0..=1.0 + TOL_REL).contains(&value) {
+            violation(
+                &mut out,
+                "utilization-fraction",
+                format!("{name} = {value} outside [0, 1]"),
+            );
+        }
+    }
+    if not_non_negative(report.elapsed_cycles_sm) || not_non_negative(report.total_flops) {
+        violation(
+            &mut out,
+            "non-negative-counters",
+            format!(
+                "elapsed_cycles_sm = {}, total_flops = {}",
+                report.elapsed_cycles_sm, report.total_flops
+            ),
+        );
+    }
+    let tasks: usize = report.per_pe.iter().map(|p| p.tasks).sum();
+    if tasks != report.grid_size {
+        violation(
+            &mut out,
+            "task-conservation",
+            format!(
+                "per-PE task counts sum to {tasks} but grid_size = {}",
+                report.grid_size
+            ),
+        );
+    }
+    for (pe, util) in report.per_pe.iter().enumerate() {
+        if util.busy_ns < 0.0 || util.warp_ns < 0.0 {
+            violation(
+                &mut out,
+                "non-negative-utilization",
+                format!(
+                    "PE {pe}: busy_ns = {}, warp_ns = {}",
+                    util.busy_ns, util.warp_ns
+                ),
+            );
+        }
+        if util.busy_ns > report.device_ns * (1.0 + TOL_REL) + TOL_NS {
+            violation(
+                &mut out,
+                "busy-within-device",
+                format!(
+                    "PE {pe} busy {} ns exceeds device interval {} ns",
+                    util.busy_ns, report.device_ns
+                ),
+            );
+        }
+        if util.warp_ns > util.busy_ns * machine.warp_cap_per_pe as f64 * (1.0 + TOL_REL) + TOL_NS {
+            violation(
+                &mut out,
+                "warp-time-within-cap",
+                format!(
+                    "PE {pe} warp-time {} ns exceeds busy {} ns x cap {}",
+                    util.warp_ns, util.busy_ns, machine.warp_cap_per_pe
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Checks the trace-level invariants of a traced simulation: interval
+/// sanity, timeline monotonicity, task coverage, and — via a boundary
+/// sweep, so *every* instant is covered — the per-PE warp cap and the
+/// warp-time conservation law tying the trace to the occupancy counters.
+pub fn check_trace(
+    machine: &MachineModel,
+    report: &SimReport,
+    trace: &[TraceEvent],
+) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    if trace.len() != report.grid_size {
+        violation(
+            &mut out,
+            "trace-coverage",
+            format!(
+                "trace has {} events but grid_size = {}",
+                trace.len(),
+                report.grid_size
+            ),
+        );
+    }
+    let mut last_start = f64::NEG_INFINITY;
+    for (i, e) in trace.iter().enumerate() {
+        if not_non_negative(e.start_ns) || e.end_ns <= e.start_ns {
+            violation(
+                &mut out,
+                "non-negative-phase",
+                format!("event {i}: [{}, {}] ns", e.start_ns, e.end_ns),
+            );
+        }
+        if e.end_ns > report.device_ns + TOL_NS {
+            violation(
+                &mut out,
+                "monotonic-timeline",
+                format!(
+                    "event {i} ends at {} ns, past device end {} ns",
+                    e.end_ns, report.device_ns
+                ),
+            );
+        }
+        if e.start_ns + TOL_NS < last_start {
+            violation(
+                &mut out,
+                "monotonic-timeline",
+                format!(
+                    "event {i} starts at {} ns before predecessor's {} ns",
+                    e.start_ns, last_start
+                ),
+            );
+        }
+        last_start = last_start.max(e.start_ns);
+        if e.pe >= machine.num_pes {
+            violation(
+                &mut out,
+                "pe-in-range",
+                format!("event {i} on PE {} of {}", e.pe, machine.num_pes),
+            );
+        }
+        if e.warps == 0 || e.warps > machine.warp_cap_per_pe {
+            violation(
+                &mut out,
+                "warp-cap",
+                format!(
+                    "event {i} occupies {} warps (cap {})",
+                    e.warps, machine.warp_cap_per_pe
+                ),
+            );
+        }
+    }
+
+    // Warp conservation per PE: sweep interval boundaries; between
+    // boundaries residency is constant, so checking each boundary covers
+    // every instant.
+    let mut per_pe_events: Vec<Vec<(f64, isize)>> = vec![Vec::new(); machine.num_pes];
+    let mut per_pe_warp_ns = vec![0.0f64; machine.num_pes];
+    let mut per_pe_tasks = vec![0usize; machine.num_pes];
+    for e in trace {
+        if e.pe >= machine.num_pes || e.end_ns <= e.start_ns {
+            continue; // already reported above
+        }
+        per_pe_events[e.pe].push((e.start_ns, e.warps as isize));
+        per_pe_events[e.pe].push((e.end_ns, -(e.warps as isize)));
+        per_pe_warp_ns[e.pe] += (e.end_ns - e.start_ns) * e.warps as f64;
+        per_pe_tasks[e.pe] += 1;
+    }
+    for (pe, boundaries) in per_pe_events.iter_mut().enumerate() {
+        // Ends sort before coincident starts so a back-to-back handoff at
+        // the same instant is not double counted.
+        boundaries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut resident: isize = 0;
+        for &(t, delta) in boundaries.iter() {
+            resident += delta;
+            if resident > machine.warp_cap_per_pe as isize {
+                violation(
+                    &mut out,
+                    "warp-cap",
+                    format!(
+                        "PE {pe} holds {resident} warps at t = {t} ns (cap {})",
+                        machine.warp_cap_per_pe
+                    ),
+                );
+                break; // one report per PE is enough
+            }
+        }
+        if resident != 0 {
+            violation(
+                &mut out,
+                "warp-conservation",
+                format!("PE {pe} ends the sweep with {resident} resident warps"),
+            );
+        }
+    }
+    for (pe, util) in report.per_pe.iter().enumerate() {
+        let traced = per_pe_warp_ns.get(pe).copied().unwrap_or(0.0);
+        if (traced - util.warp_ns).abs() > util.warp_ns.abs() * TOL_REL + TOL_NS {
+            violation(
+                &mut out,
+                "warp-conservation",
+                format!(
+                    "PE {pe}: trace warp-time {} ns != counter {} ns",
+                    traced, util.warp_ns
+                ),
+            );
+        }
+        let tasks = per_pe_tasks.get(pe).copied().unwrap_or(0);
+        if tasks != util.tasks {
+            violation(
+                &mut out,
+                "task-conservation",
+                format!("PE {pe}: {tasks} traced tasks != counter {}", util.tasks),
+            );
+        }
+    }
+    out
+}
+
+/// Simulates `launch` twice and verifies the runs are bit-identical —
+/// reports *and* traces. Returns the (first) report and trace alongside
+/// any violations, so callers don't pay for a third run.
+pub fn check_deterministic_replay(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+) -> (SimReport, Vec<TraceEvent>, Vec<InvariantViolation>) {
+    let (report_a, trace_a) = simulate_traced(machine, launch, mode);
+    let (report_b, trace_b) = simulate_traced(machine, launch, mode);
+    let mut out = Vec::new();
+    if report_a != report_b {
+        violation(
+            &mut out,
+            "deterministic-replay",
+            format!(
+                "replay diverged: device_ns {} vs {}",
+                report_a.device_ns, report_b.device_ns
+            ),
+        );
+    }
+    if trace_a != trace_b {
+        violation(
+            &mut out,
+            "deterministic-replay",
+            "replayed trace differs from the original".to_string(),
+        );
+    }
+    (report_a, trace_a, out)
+}
+
+/// Full sweep: deterministic replay plus every report- and trace-level
+/// invariant, in one call. This is the entry point the conformance fuzzer
+/// uses per case.
+pub fn check_launch(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+) -> Vec<InvariantViolation> {
+    let (report, trace, mut out) = check_deterministic_replay(machine, launch, mode);
+    out.extend(check_report(machine, &report));
+    out.extend(check_trace(machine, &report, &trace));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskGroup, TaskShape, TaskSpec};
+
+    fn spec(um: usize, un: usize, uk: usize, warps: usize, t: usize) -> TaskSpec {
+        TaskSpec::new(TaskShape::gemm_tile_f16(um, un, uk), warps, t)
+    }
+
+    #[test]
+    fn healthy_simulation_has_no_violations() {
+        let m = MachineModel::a100();
+        let a = TaskGroup::new(spec(256, 128, 32, 8, 64), 96);
+        let b = TaskGroup::new(spec(64, 64, 64, 4, 32), 200);
+        let launch = Launch::from_groups(vec![a, b]);
+        let violations = check_launch(&m, &launch, TimingMode::Evaluate);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn measure_mode_is_also_deterministic() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(128, 128, 32, 8, 16), 150);
+        let violations = check_launch(&m, &launch, TimingMode::Measure { seed: 11 });
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn corrupted_report_is_caught() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(128, 128, 32, 8, 16), 20);
+        let (mut report, trace) = simulate_traced(&m, &launch, TimingMode::Evaluate);
+        report.sm_efficiency = 1.5;
+        report.per_pe[0].warp_ns *= 2.0;
+        let violations: Vec<_> = check_report(&m, &report)
+            .into_iter()
+            .chain(check_trace(&m, &report, &trace))
+            .collect();
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == "utilization-fraction"));
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == "warp-conservation"));
+    }
+
+    #[test]
+    fn corrupted_trace_is_caught() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(64, 64, 64, 4, 16), 40);
+        let (report, mut trace) = simulate_traced(&m, &launch, TimingMode::Evaluate);
+        // An event claiming more warps than the PE cap at one instant.
+        let cap = m.warp_cap_per_pe;
+        trace[0].warps = cap + 1;
+        let violations = check_trace(&m, &report, &trace);
+        assert!(violations.iter().any(|v| v.invariant == "warp-cap"));
+    }
+
+    #[test]
+    fn negative_phase_is_caught() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(64, 64, 64, 4, 16), 8);
+        let (report, mut trace) = simulate_traced(&m, &launch, TimingMode::Evaluate);
+        let end = trace[3].end_ns;
+        trace[3].start_ns = end + 1.0;
+        let violations = check_trace(&m, &report, &trace);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == "non-negative-phase"));
+    }
+}

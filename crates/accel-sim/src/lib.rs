@@ -49,6 +49,7 @@
 
 mod cluster;
 mod counters;
+pub mod invariants;
 mod machine;
 mod noise;
 mod scheduler;
@@ -57,6 +58,9 @@ mod timing;
 
 pub use cluster::{Cluster, Interconnect};
 pub use counters::{PeUtilization, SimReport};
+pub use invariants::{
+    check_deterministic_replay, check_launch, check_report, check_trace, InvariantViolation,
+};
 pub use machine::{AllocationPolicy, MachineModel, MmaShape};
 pub use noise::{hash_f64, unit_noise};
 pub use scheduler::{simulate, simulate_launches, simulate_traced, TraceEvent};

@@ -56,26 +56,33 @@ fn main() {
         eprintln!("[{id}] finished in {:.1?}\n", start.elapsed());
     }
     // Machine-readable headline summary for tooling (and EXPERIMENTS.md
-    // regeneration).
+    // regeneration). Merged into the existing file keyed by experiment id,
+    // so running a subset does not drop the headlines of experiments that
+    // were not part of this invocation.
     if !summary.is_empty() {
         let path = harness.config.results_dir.join("summary.json");
-        let json: serde_json::Value = summary
-            .iter()
-            .map(|(id, headlines)| {
-                (
-                    id.clone(),
-                    serde_json::Value::from(
-                        headlines
-                            .iter()
-                            .map(|(label, value)| {
-                                serde_json::json!({ "metric": label, "value": value })
-                            })
-                            .collect::<Vec<_>>(),
-                    ),
-                )
+        let mut merged: serde_json::Map<String, serde_json::Value> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|raw| serde_json::from_str::<serde_json::Value>(&raw).ok())
+            .and_then(|v| match v {
+                serde_json::Value::Object(map) => Some(map),
+                _ => None,
             })
-            .collect::<serde_json::Map<String, serde_json::Value>>()
-            .into();
+            .unwrap_or_default();
+        for (id, headlines) in &summary {
+            merged.insert(
+                id.clone(),
+                serde_json::Value::from(
+                    headlines
+                        .iter()
+                        .map(
+                            |(label, value)| serde_json::json!({ "metric": label, "value": value }),
+                        )
+                        .collect::<Vec<_>>(),
+                ),
+            );
+        }
+        let json = serde_json::Value::from(merged);
         if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&json).expect("json")) {
             eprintln!("(summary write failed: {e})");
         } else {

@@ -22,6 +22,7 @@ pub mod fig12a;
 pub mod fig12b;
 pub mod fig13;
 pub mod npu_e2e;
+pub mod oracle_gap;
 pub mod tab05;
 pub mod tab08;
 pub mod tables;
@@ -63,6 +64,8 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),
+        // Conformance subsystem: the standing cost-model fidelity sweep.
+        ("oracle-gap", oracle_gap::run),
     ]
 }
 

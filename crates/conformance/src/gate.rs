@@ -1,0 +1,91 @@
+//! The cost-model-fidelity gate.
+//!
+//! A standing CI check that the analytic Eq. 2 cost model still picks
+//! near-optimal polymerizations: measure the oracle gap over a pinned
+//! shape corpus and fail when the p95 exceeds a threshold. A dropped cost
+//! term (say, losing `f_pipe` — the `MikPoly-Pipe` ablation) shows up
+//! here immediately instead of as silent benchmark drift.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fuzz::FuzzCase;
+use crate::oracle::{gap_for, summarize, GapSample, GapSummary};
+use crate::ConformanceEnv;
+
+/// Gate parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateConfig {
+    /// Maximum tolerated p95 oracle gap.
+    pub threshold_p95: f64,
+    /// Candidate cap per oracle search.
+    pub candidate_cap: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            threshold_p95: 1.10,
+            candidate_cap: 512,
+        }
+    }
+}
+
+/// Gate verdict plus the evidence behind it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateOutcome {
+    /// Whether the corpus passed the threshold.
+    pub passed: bool,
+    /// The threshold applied.
+    pub threshold_p95: f64,
+    /// Distributional summary of the gaps.
+    pub summary: GapSummary,
+    /// Per-shape measurements.
+    pub samples: Vec<GapSample>,
+}
+
+/// Measures the oracle gap of every corpus case on its own machine and
+/// compares the p95 against the threshold. Records `gate.runs` /
+/// `gate.failures` counters when telemetry is enabled. An empty corpus
+/// fails the gate: a gate that checks nothing must not report green.
+pub fn run_gate(env: &ConformanceEnv, corpus: &[FuzzCase], config: &GateConfig) -> GateOutcome {
+    let samples: Vec<GapSample> = corpus
+        .iter()
+        .map(|case| {
+            gap_for(
+                env.compiler_for(case),
+                case.machine,
+                &case.op,
+                config.candidate_cap,
+            )
+        })
+        .collect();
+    let summary = summarize(&samples);
+    let passed = !samples.is_empty() && summary.p95 <= config.threshold_p95;
+    let telemetry = env.telemetry();
+    if telemetry.is_enabled() {
+        let registry = telemetry.registry();
+        registry.counter("gate.runs").inc();
+        if !passed {
+            registry.counter("gate.failures").inc();
+        }
+    }
+    GateOutcome {
+        passed,
+        threshold_p95: config.threshold_p95,
+        summary,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_corpus_fails_closed() {
+        let env = ConformanceEnv::fast();
+        let outcome = run_gate(&env, &[], &GateConfig::default());
+        assert!(!outcome.passed);
+        assert_eq!(outcome.summary.count, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! ULP-aware comparison of executed programs against reference semantics.
+//!
+//! Every functional check in the workspace used to hand-roll
+//! `approx_eq(&want, 1e-3)` with an absolute tolerance — fine for values
+//! near 1, needlessly tight for large reductions and uselessly loose for
+//! tiny ones. This module is the single shared comparator: an element
+//! matches if it is close in *absolute* terms (for values near zero), in
+//! *relative* terms, or within a few float *ULPs* (units in the last
+//! place, the scale-free measure of rounding distance). A mismatch report
+//! pinpoints the worst element so a failing shape is debuggable from the
+//! panic message alone.
+
+use tensor_ir::Tensor;
+
+/// Element acceptance thresholds. An element passes if ANY of the three
+/// criteria holds, so the default is strictly looser than the historical
+/// `approx_eq(1e-3)` absolute check it replaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack, for values near zero.
+    pub abs: f32,
+    /// Relative slack against the reference magnitude.
+    pub rel: f32,
+    /// Maximum units-in-the-last-place distance.
+    pub max_ulps: u32,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            abs: 1e-3,
+            rel: 1e-4,
+            max_ulps: 128,
+        }
+    }
+}
+
+/// Distance in representable floats between `a` and `b` (`u32::MAX` when
+/// either is NaN). Uses the standard order-preserving bijection from IEEE
+/// bits to integers, so the measure is scale-free and crosses zero cleanly.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        // Negative floats sort descending by raw bits; flip them below zero.
+        i64::from(if bits < 0 { i32::MIN - bits } else { bits })
+    }
+    (ordered(a) - ordered(b))
+        .unsigned_abs()
+        .min(u64::from(u32::MAX)) as u32
+}
+
+/// The single worst element of a failed comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Flat index of the element.
+    pub index: usize,
+    /// Produced value.
+    pub got: f32,
+    /// Reference value.
+    pub want: f32,
+    /// Absolute difference.
+    pub abs_diff: f32,
+    /// ULP distance.
+    pub ulps: u32,
+}
+
+/// Outcome of a failed tensor comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MismatchReport {
+    /// Number of elements outside tolerance.
+    pub failed: usize,
+    /// Total elements compared.
+    pub total: usize,
+    /// The element with the largest absolute error.
+    pub worst: Mismatch,
+}
+
+impl std::fmt::Display for MismatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} elements out of tolerance; worst at [{}]: got {}, want {} (|diff| = {:.3e}, {} ulps)",
+            self.failed,
+            self.total,
+            self.worst.index,
+            self.worst.got,
+            self.worst.want,
+            self.worst.abs_diff,
+            self.worst.ulps
+        )
+    }
+}
+
+/// Compares `got` against the reference `want` under `tol`.
+///
+/// # Errors
+///
+/// Returns the mismatch report (shape mismatch is reported as every
+/// element failing with a sentinel worst entry) when tensors differ.
+pub fn compare_to_reference(
+    got: &Tensor,
+    want: &Tensor,
+    tol: Tolerance,
+) -> Result<(), MismatchReport> {
+    if got.dims() != want.dims() {
+        return Err(MismatchReport {
+            failed: want.len(),
+            total: want.len(),
+            worst: Mismatch {
+                index: 0,
+                got: got.len() as f32,
+                want: want.len() as f32,
+                abs_diff: f32::INFINITY,
+                ulps: u32::MAX,
+            },
+        });
+    }
+    let mut failed = 0usize;
+    let mut worst: Option<Mismatch> = None;
+    for (i, (&g, &w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        let abs_diff = (g - w).abs();
+        let ulps = ulp_distance(g, w);
+        let ok = !g.is_nan()
+            && (abs_diff <= tol.abs || abs_diff <= tol.rel * w.abs() || ulps <= tol.max_ulps);
+        if !ok {
+            failed += 1;
+            if worst.as_ref().is_none_or(|m| abs_diff > m.abs_diff) {
+                worst = Some(Mismatch {
+                    index: i,
+                    got: g,
+                    want: w,
+                    abs_diff,
+                    ulps,
+                });
+            }
+        }
+    }
+    match worst {
+        Some(worst) => Err(MismatchReport {
+            failed,
+            total: want.len(),
+            worst,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Asserts `got` matches the reference `want` under the default
+/// [`Tolerance`], panicking with a located worst-element report prefixed
+/// by `context` (e.g. the operator being verified).
+///
+/// # Panics
+///
+/// Panics when any element falls outside tolerance.
+pub fn assert_matches_reference(got: &Tensor, want: &Tensor, context: &str) {
+    if let Err(report) = compare_to_reference(got, want, Tolerance::default()) {
+        panic!("{context}: {report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_tensors_match() {
+        let t = Tensor::random(&[8, 8], 5);
+        assert!(compare_to_reference(&t, &t, Tolerance::default()).is_ok());
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        // Crossing zero counts both sides.
+        let tiny = f32::from_bits(1);
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+    }
+
+    #[test]
+    fn large_values_pass_on_relative_tolerance() {
+        // 1e6 with an absolute error of 0.05: fails abs=1e-3 but is well
+        // within rel=1e-4 — the case the old absolute check got wrong.
+        let want = Tensor::from_fn(&[4], |_| 1.0e6);
+        let got = Tensor::from_fn(&[4], |_| 1.0e6 + 0.05);
+        assert!(compare_to_reference(&got, &want, Tolerance::default()).is_ok());
+    }
+
+    #[test]
+    fn genuine_mismatch_is_located() {
+        let want = Tensor::zeros(&[2, 3]);
+        let mut got = Tensor::zeros(&[2, 3]);
+        got.as_mut_slice()[4] = 0.5;
+        let report = compare_to_reference(&got, &want, Tolerance::default()).unwrap_err();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.worst.index, 4);
+        assert_eq!(report.worst.got, 0.5);
+    }
+
+    #[test]
+    fn nan_never_matches() {
+        let want = Tensor::zeros(&[2]);
+        let mut got = Tensor::zeros(&[2]);
+        got.as_mut_slice()[0] = f32::NAN;
+        assert!(compare_to_reference(&got, &want, Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(compare_to_reference(&a, &b, Tolerance::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "demo-op")]
+    fn assert_panics_with_context() {
+        let want = Tensor::zeros(&[2]);
+        let mut got = Tensor::zeros(&[2]);
+        got.as_mut_slice()[1] = 9.0;
+        assert_matches_reference(&got, &want, "demo-op");
+    }
+}

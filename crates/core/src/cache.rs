@@ -20,6 +20,13 @@
 //!
 //! Counters are lock-free atomics; [`ShardedCache::stats`] snapshots them
 //! for serving telemetry.
+//!
+//! An optional **capacity bound** ([`ShardedCache::bounded`]) evicts the
+//! least recently *inserted* ready entry once the cache exceeds the bound
+//! (FIFO order, tracked globally across shards). Serving fleets whose
+//! shape universe outgrows memory re-polymerize evicted shapes on next
+//! sight; the `evictions` counter makes the churn observable. Unbounded
+//! caches (the default) never take the order-list lock.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -58,6 +65,8 @@ pub struct CacheStats {
     pub coalesced_waits: u64,
     /// Entries inserted directly (e.g. a loaded ahead-of-time bundle).
     pub direct_inserts: u64,
+    /// Ready entries evicted by the capacity bound (0 when unbounded).
+    pub evictions: u64,
     /// Cached entries at snapshot time.
     pub entries: u64,
 }
@@ -83,6 +92,7 @@ impl CacheStats {
             computations: self.computations + other.computations,
             coalesced_waits: self.coalesced_waits + other.coalesced_waits,
             direct_inserts: self.direct_inserts + other.direct_inserts,
+            evictions: self.evictions + other.evictions,
             entries: self.entries + other.entries,
         }
     }
@@ -103,6 +113,7 @@ impl CacheStats {
         registry
             .counter("cache.direct_inserts")
             .store(self.direct_inserts);
+        registry.counter("cache.evictions").store(self.evictions);
         registry.counter("cache.entries").store(self.entries);
     }
 }
@@ -131,6 +142,7 @@ struct Counters {
     computations: AtomicU64,
     coalesced_waits: AtomicU64,
     direct_inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Removes the in-flight slot and wakes waiters if the computation never
@@ -155,10 +167,14 @@ impl<K: Eq + Hash, V> Drop for FlightGuard<'_, K, V> {
 pub struct ShardedCache<K, V> {
     shards: Vec<RwLock<HashMap<K, Slot<V>>>>,
     counters: Counters,
+    /// Maximum ready entries; `None` means unbounded (no order tracking).
+    capacity: Option<usize>,
+    /// Global FIFO insertion order; only touched when `capacity` is set.
+    order: Mutex<std::collections::VecDeque<K>>,
 }
 
 impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
-    /// A cache with [`DEFAULT_SHARDS`] shards.
+    /// A cache with [`DEFAULT_SHARDS`] shards and no capacity bound.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
@@ -169,6 +185,18 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     ///
     /// Panics if `shards` is zero.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_capacity(shards, None)
+    }
+
+    /// A cache holding at most `capacity` ready entries; once full, the
+    /// oldest-inserted entry is evicted (FIFO). A `capacity` of zero is
+    /// treated as one — an empty bound would evict every fill before its
+    /// caller returned.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_shards_and_capacity(DEFAULT_SHARDS, Some(capacity.max(1)))
+    }
+
+    fn with_shards_and_capacity(shards: usize, capacity: Option<usize>) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
@@ -178,7 +206,39 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                 computations: AtomicU64::new(0),
                 coalesced_waits: AtomicU64::new(0),
                 direct_inserts: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
             },
+            capacity,
+            order: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Records a ready insert in the FIFO order list and evicts the oldest
+    /// ready entries until the bound holds again. No-op when unbounded.
+    /// Stale order entries (keys already evicted or replaced) are skipped
+    /// without counting as evictions. Lock order is order-list → shard;
+    /// nothing takes the order lock while holding a shard lock, so the
+    /// two cannot deadlock.
+    fn enforce_capacity(&self, key: &K) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let mut order = self.order.lock();
+        order.push_back(key.clone());
+        while self.len() > capacity {
+            let Some(victim) = order.pop_front() else {
+                break;
+            };
+            let mut shard = self.shard(&victim).write();
+            if matches!(shard.get(&victim), Some(Slot::Ready(_))) {
+                shard.remove(&victim);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -251,10 +311,13 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             };
             let value = Arc::new(compute());
             let key = guard.key.take().expect("guard armed"); // disarm
-            shard.write().insert(key, Slot::Ready(Arc::clone(&value)));
+            shard
+                .write()
+                .insert(key.clone(), Slot::Ready(Arc::clone(&value)));
             *flight.state.lock() = FlightState::Done(Arc::clone(&value));
             flight.ready.notify_all();
             self.counters.computations.fetch_add(1, Ordering::Relaxed);
+            self.enforce_capacity(&key);
             return (value, CacheOutcome::Computed);
         }
     }
@@ -277,7 +340,10 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// Inserts a ready value, replacing any previous entry.
     pub fn insert(&self, key: K, value: Arc<V>) {
         self.counters.direct_inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard(&key).write().insert(key, Slot::Ready(value));
+        self.shard(&key)
+            .write()
+            .insert(key.clone(), Slot::Ready(value));
+        self.enforce_capacity(&key);
     }
 
     /// Clones out every ready value — a consistent-enough snapshot taken
@@ -320,6 +386,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             computations: self.counters.computations.load(Ordering::Relaxed),
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             direct_inserts: self.counters.direct_inserts.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
             entries: self.len() as u64,
         }
     }
@@ -410,6 +477,46 @@ mod tests {
         values.sort_unstable();
         assert_eq!(values, (0..100).map(|k| k * 2).collect::<Vec<_>>());
         assert_eq!(cache.stats().direct_inserts, 100);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(1);
+        assert_eq!(cache.capacity(), Some(1));
+        let (_, o1) = cache.get_or_compute(&1, || 10);
+        let (_, o2) = cache.get_or_compute(&2, || 20);
+        // Key 1 was evicted to make room for key 2, so it recomputes.
+        let (v1, o3) = cache.get_or_compute(&1, || 11);
+        assert_eq!(
+            (o1, o2, o3),
+            (
+                CacheOutcome::Computed,
+                CacheOutcome::Computed,
+                CacheOutcome::Computed
+            )
+        );
+        assert_eq!(*v1, 11);
+        let stats = cache.stats();
+        assert_eq!(stats.computations, 3);
+        assert!(stats.entries <= 1);
+        assert!(stats.evictions >= 2, "evictions={}", stats.evictions);
+    }
+
+    #[test]
+    fn bounded_cache_keeps_newest_entries() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(4);
+        for k in 0..32 {
+            cache.insert(k, Arc::new(k));
+        }
+        assert_eq!(cache.len(), 4);
+        // The four newest keys survive; everything older is gone.
+        for k in 28..32 {
+            assert!(cache.get(&k).is_some(), "key {k} should survive");
+        }
+        for k in 0..28 {
+            assert!(cache.get(&k).is_none(), "key {k} should be evicted");
+        }
+        assert_eq!(cache.stats().evictions, 28);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::cost::CostModelKind;
 use crate::offline::{MicroKernelLibrary, OfflineOptions};
 use crate::pattern::{default_patterns, Pattern};
 use crate::plan::{CompiledProgram, Region};
-use crate::search::{enumerate_strategies, polymerize_traced};
+use crate::search::polymerize_traced;
 
 /// Options of the online (polymerization) stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +33,12 @@ pub struct OnlineOptions {
     /// Enable the split-K post-pass (extension; off by default so the
     /// reproduction matches the paper's pattern set).
     pub split_k: bool,
+    /// Bound on the number of cached compiled programs; `None` (the
+    /// default) keeps every program. With a bound, the least recently
+    /// inserted program is evicted first — a deployment knob for serving
+    /// fleets whose shape universe outgrows memory.
+    #[serde(default)]
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for OnlineOptions {
@@ -43,6 +49,7 @@ impl Default for OnlineOptions {
             prune: true,
             cache: true,
             split_k: false,
+            cache_capacity: None,
         }
     }
 }
@@ -80,6 +87,9 @@ pub struct OracleResult {
     pub program: CompiledProgram,
     /// Number of candidate strategies simulated.
     pub candidates: usize,
+    /// Whether the enumeration hit the candidate cap before exhausting
+    /// the strategy space (always `false` for [`MikPoly::compile_oracle`]).
+    pub truncated: bool,
     /// Wall-clock time the exhaustive search took.
     pub search: std::time::Duration,
 }
@@ -145,8 +155,11 @@ impl MikPoly {
     /// cache.
     #[must_use]
     pub fn with_options(mut self, options: OnlineOptions) -> Self {
+        self.cache = match options.cache_capacity {
+            Some(capacity) => ShardedCache::bounded(capacity),
+            None => ShardedCache::new(),
+        };
         self.options = options;
-        self.cache = ShardedCache::new();
         self
     }
 
@@ -428,15 +441,27 @@ impl MikPoly {
     /// polymerization solution, whereas MikPoly accomplishes the same task
     /// in just about 2 microseconds".
     pub fn compile_oracle(&self, operator: &Operator) -> OracleResult {
+        self.compile_oracle_capped(operator, usize::MAX)
+    }
+
+    /// Like [`MikPoly::compile_oracle`], but the enumeration visits at
+    /// most `cap` candidate descents — the conformance subsystem's bounded
+    /// oracle. Kernels are ranked, so a truncated search still simulates
+    /// the plausible candidates first; `truncated` reports whether the cap
+    /// cut the space. When telemetry is attached, records the
+    /// `oracle.searches` / `oracle.candidates` / `oracle.truncated`
+    /// counters.
+    pub fn compile_oracle_capped(&self, operator: &Operator, cap: usize) -> OracleResult {
         let start = Instant::now();
         let view = operator.gemm_view();
         let mut candidates = 0usize;
         let mut best: Option<(f64, CompiledProgram)> = None;
-        enumerate_strategies(
+        let truncated = crate::search::enumerate_strategies_capped(
             &self.machine,
             &self.library,
             &view,
             &self.patterns(),
+            cap.max(1),
             |pattern, regions| {
                 candidates += 1;
                 let prog = CompiledProgram {
@@ -454,11 +479,20 @@ impl MikPoly {
                 }
             },
         );
+        if self.telemetry.is_enabled() {
+            let registry = self.telemetry.registry();
+            registry.counter("oracle.searches").inc();
+            registry.counter("oracle.candidates").add(candidates as u64);
+            if truncated {
+                registry.counter("oracle.truncated").inc();
+            }
+        }
         let (ns, mut program) = best.expect("at least one strategy exists");
         program.predicted_ns = ns;
         OracleResult {
             program,
             candidates,
+            truncated,
             search: start.elapsed(),
         }
     }

@@ -154,10 +154,10 @@ mod tests {
             let b = Tensor::random(&[kk, nn], 2);
             let got = execute_gemm(&prog, &a, &b);
             let want = reference_gemm(shape, &a, &b);
-            assert!(
-                got.approx_eq(&want, 1e-3),
-                "shape ({mm},{nn},{kk}) max diff {}",
-                got.max_abs_diff(&want)
+            mikpoly_conformance::assert_matches_reference(
+                &got,
+                &want,
+                &format!("gemm ({mm},{nn},{kk})"),
             );
         }
     }
@@ -171,11 +171,7 @@ mod tests {
         let filter = Tensor::random(&[7, 5, 3, 3], 4);
         let got = execute_conv2d(&prog, &input, &filter);
         let want = reference_conv2d(shape, &input, &filter);
-        assert!(
-            got.approx_eq(&want, 1e-3),
-            "max diff {}",
-            got.max_abs_diff(&want)
-        );
+        mikpoly_conformance::assert_matches_reference(&got, &want, &format!("{shape}"));
     }
 
     #[test]

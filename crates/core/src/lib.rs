@@ -73,7 +73,8 @@ pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, Pattern
 pub use perf_model::{sample_schedule, PerfModel, Segment};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
 pub use search::{
-    enumerate_strategies, improve_with_split_k, polymerize, polymerize_traced, record_search_stats,
+    enumerate_strategies, enumerate_strategies_capped, improve_with_split_k, polymerize,
+    polymerize_traced, record_search_stats,
 };
 pub use serving::{
     poisson_arrivals, LatencySummary, Request, RequestRecord, ServingReport, ServingRuntime,

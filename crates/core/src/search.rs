@@ -219,7 +219,7 @@ impl<'a> Searcher<'a> {
         let last_band = band_idx + 1 == pattern.bands.len();
         let segs = pattern.bands[band_idx];
         for i in 0..self.kernel_limit {
-            if self.prune && self.budget == 0 {
+            if self.budget == 0 {
                 return;
             }
             let lead = self.kernels[i];
@@ -265,7 +265,7 @@ impl<'a> Searcher<'a> {
                     regions.push(left);
                     self.group_stack.push((self.pipe[i], left.tasks()));
                     for j in 0..self.kernel_limit {
-                        if self.prune && self.budget == 0 {
+                        if self.budget == 0 {
                             break;
                         }
                         let trail = self.kernels[j];
@@ -398,7 +398,10 @@ pub fn polymerize(
         flops_per_row,
         best_rate,
         group_stack: Vec::with_capacity(4),
-        budget: NODE_BUDGET,
+        // The anytime budget is part of the *heuristic* search; the
+        // unpruned search (overhead ablations, oracle baselines) must
+        // visit every strategy.
+        budget: if prune { NODE_BUDGET } else { usize::MAX },
         best: None,
         stats: SearchStats::default(),
     };
@@ -545,8 +548,27 @@ pub fn enumerate_strategies(
     library: &MicroKernelLibrary,
     view: &GemmView,
     patterns: &[Pattern],
-    mut cb: impl FnMut(PatternId, &[Region]),
+    cb: impl FnMut(PatternId, &[Region]),
 ) {
+    enumerate_strategies_capped(machine, library, view, patterns, usize::MAX, cb);
+}
+
+/// Like [`enumerate_strategies`], but the search visits at most `cap`
+/// descents before giving up on the remaining strategy space. Returns
+/// `true` when the enumeration was truncated by the cap.
+///
+/// The conformance oracle uses this to bound exhaustive searches on
+/// shapes whose strategy space explodes: the kernels are visited in the
+/// library's rank order, so even a truncated enumeration sees the
+/// plausible candidates first.
+pub fn enumerate_strategies_capped(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    patterns: &[Pattern],
+    cap: usize,
+    mut cb: impl FnMut(PatternId, &[Region]),
+) -> bool {
     let kernels = usable(machine, library, view);
     let pipe = pipe_cache(&kernels, view.shape.k);
     let mut searcher = Searcher {
@@ -562,7 +584,7 @@ pub fn enumerate_strategies(
         flops_per_row: 0.0,
         best_rate: 1e-9,
         group_stack: Vec::with_capacity(4),
-        budget: usize::MAX,
+        budget: cap,
         best: None,
         stats: SearchStats::default(),
     };
@@ -570,6 +592,7 @@ pub fn enumerate_strategies(
     for pattern in patterns {
         searcher.run_pattern(pattern, &mut Some(&mut collector));
     }
+    searcher.budget == 0
 }
 
 #[cfg(test)]

@@ -37,4 +37,16 @@ grep -q "^cache_hits " "$smoke_dir/metrics.txt" || {
   exit 1
 }
 
+# Conformance: a bounded differential-fuzz smoke (fixed seed, well under
+# 30 s in release) that replays the regression corpus first, then the
+# cost-model-fidelity gate over the pinned shape corpus. Scale the fuzz
+# case count with CONFORMANCE_CASES (e.g. a nightly might export 4096).
+echo "==> conformance fuzz (seed 7, ${CONFORMANCE_CASES:-256} cases + regression corpus)"
+CONFORMANCE_CASES="${CONFORMANCE_CASES:-256}" \
+  ./target/release/conformance fuzz --seed 7 --corpus tests/corpus/regressions.json
+
+echo "==> conformance gate (pinned corpus, p95 oracle gap <= 1.10)"
+./target/release/conformance gate --corpus tests/corpus/pinned-shapes.json \
+  --threshold 1.10 --out "$smoke_dir/oracle-gate.json"
+
 echo "CI green."

@@ -1,0 +1,146 @@
+//! Differential shape fuzzer, end to end: a seeded run over both machine
+//! models must find zero mismatches, the committed regression corpus must
+//! replay clean, and corpus persistence must round-trip losslessly.
+
+use std::path::PathBuf;
+
+use mikpoly_conformance::{
+    append_to_corpus, default_case_count, fuzz_run, load_corpus, save_corpus, shrink,
+    ConformanceEnv, FuzzCase, FuzzConfig, MachineKind, OpSpec,
+};
+
+fn corpus_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name)
+}
+
+#[test]
+fn seeded_fuzz_run_finds_zero_mismatches() {
+    let env = ConformanceEnv::fast();
+    let config = FuzzConfig {
+        seed: 7,
+        cases: 48,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz_run(&env, &config, &[]);
+    assert_eq!(report.cases_run, 48);
+    assert_eq!(report.corpus_replayed, 0);
+    assert!(
+        report.failures.is_empty(),
+        "differential fuzzer found mismatches: {:#?}",
+        report.failures
+    );
+    assert_eq!(report.shrink_steps, 0, "nothing failed, nothing to shrink");
+}
+
+#[test]
+fn committed_corpora_replay_clean() {
+    let env = ConformanceEnv::fast();
+    for name in ["pinned-shapes.json", "regressions.json"] {
+        let corpus = load_corpus(corpus_path(name)).expect("committed corpus must parse");
+        let config = FuzzConfig {
+            cases: 0,
+            ..FuzzConfig::default()
+        };
+        let report = fuzz_run(&env, &config, &corpus);
+        assert_eq!(report.corpus_replayed, corpus.len(), "{name}");
+        assert!(
+            report.failures.is_empty(),
+            "{name} replay failed: {:#?}",
+            report.failures
+        );
+    }
+    // The pinned corpus is the fidelity gate's input; it must not be empty.
+    let pinned = load_corpus(corpus_path("pinned-shapes.json")).expect("parse");
+    assert!(pinned.len() >= 20, "pinned corpus too small to gate on");
+}
+
+#[test]
+fn corpus_persistence_round_trips_and_deduplicates() {
+    let path = std::env::temp_dir().join(format!(
+        "mikpoly-conformance-corpus-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Missing file reads as an empty corpus.
+    assert!(load_corpus(&path).expect("missing is empty").is_empty());
+
+    let cases = [
+        FuzzCase {
+            machine: MachineKind::Gpu,
+            op: OpSpec::Gemm { m: 17, n: 31, k: 5 },
+            data_seed: 0xDEAD_BEEF,
+        },
+        FuzzCase {
+            machine: MachineKind::Npu,
+            op: OpSpec::Conv2d {
+                batch: 1,
+                in_channels: 3,
+                height: 8,
+                width: 8,
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            data_seed: 42,
+        },
+    ];
+    save_corpus(&path, &cases).expect("save");
+    assert_eq!(load_corpus(&path).expect("load"), cases);
+
+    // Appending an existing case is a no-op; a new one lands at the end.
+    append_to_corpus(&path, &cases[0]).expect("append dup");
+    assert_eq!(load_corpus(&path).expect("load").len(), 2);
+    let extra = FuzzCase {
+        machine: MachineKind::Gpu,
+        op: OpSpec::BatchedGemm {
+            batch: 3,
+            m: 16,
+            n: 16,
+            k: 8,
+        },
+        data_seed: 1,
+    };
+    append_to_corpus(&path, &extra).expect("append new");
+    let reread = load_corpus(&path).expect("load");
+    assert_eq!(reread.len(), 3);
+    assert_eq!(reread[2], extra);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shrinking_never_replaces_a_failure_with_a_passing_case() {
+    // On a healthy build every shrink candidate passes, so the shrinker
+    // must keep the original case and reason rather than "minimize" to a
+    // case that does not reproduce anything.
+    let env = ConformanceEnv::fast();
+    let case = FuzzCase {
+        machine: MachineKind::Gpu,
+        op: OpSpec::Gemm {
+            m: 24,
+            n: 20,
+            k: 12,
+        },
+        data_seed: 9,
+    };
+    let (minimal, reason, steps) = shrink(&env, case, "synthetic failure".into(), 64);
+    assert_eq!(minimal, case, "shrunk away from the reported failure");
+    assert_eq!(reason, "synthetic failure");
+    assert!(steps > 0, "shrinker must actually try candidates");
+    assert!(steps <= 64, "shrinker overran its budget");
+}
+
+#[test]
+fn conformance_cases_env_var_scales_the_default() {
+    // Serialized within this one test to avoid races on the process env.
+    std::env::set_var("CONFORMANCE_CASES", "5");
+    assert_eq!(default_case_count(), 5);
+    assert_eq!(FuzzConfig::default().cases, 5);
+    std::env::set_var("CONFORMANCE_CASES", "not-a-number");
+    assert_eq!(default_case_count(), 64, "garbage falls back to default");
+    std::env::remove_var("CONFORMANCE_CASES");
+    assert_eq!(default_case_count(), 64);
+}

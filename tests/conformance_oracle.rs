@@ -1,0 +1,111 @@
+//! The cost-model-fidelity gate: the committed pinned corpus must pass
+//! under the full Eq. 2 cost model, and a deliberately injected cost-model
+//! bug (dropping a term, as in the paper's Fig. 12b ablations) must be
+//! caught by the same gate — the demonstration that the gate gates.
+
+use std::path::PathBuf;
+
+use mikpoly_conformance::{
+    gap_for, load_corpus, run_gate, ConformanceEnv, GateConfig, MachineKind, OpSpec,
+};
+use mikpoly_suite::mikpoly::{CostModelKind, OnlineOptions};
+
+fn pinned_corpus() -> Vec<mikpoly_conformance::FuzzCase> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/pinned-shapes.json");
+    let corpus = load_corpus(path).expect("pinned corpus must parse");
+    assert!(!corpus.is_empty());
+    corpus
+}
+
+#[test]
+fn gate_passes_on_pinned_corpus_with_full_cost_model() {
+    let env = ConformanceEnv::fast();
+    let corpus = pinned_corpus();
+    let outcome = run_gate(&env, &corpus, &GateConfig::default());
+    assert_eq!(outcome.summary.count, corpus.len());
+    assert!(
+        outcome.passed,
+        "fidelity gate failed on the pinned corpus: p95 = {:.4} (threshold {:.2})",
+        outcome.summary.p95, outcome.threshold_p95
+    );
+    assert!(outcome.summary.p95 <= 1.10);
+    // Gaps are ratios of simulated latencies; they must be sane numbers.
+    for s in &outcome.samples {
+        assert!(s.gap.is_finite() && s.gap > 0.0, "degenerate gap: {s:?}");
+        assert!(s.oracle_ns > 0.0 && s.model_ns > 0.0);
+    }
+    // The outcome is the CI artifact: it must serialize and round-trip.
+    let json = serde_json::to_string(&outcome).expect("serialize");
+    let back: mikpoly_conformance::GateOutcome = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back.passed, outcome.passed);
+    assert_eq!(back.samples.len(), outcome.samples.len());
+}
+
+#[test]
+fn injected_cost_model_bug_is_caught_by_the_gate() {
+    // Drop the wave term from the cost model (the paper's MikPoly-Pipe
+    // ablation, Fig. 12b): polymerization now optimizes pipeline overlap
+    // while ignoring wave quantization, so its picks fall measurably
+    // behind the oracle and the same gate that passed above must fail.
+    let env = ConformanceEnv::fast().with_online_options(OnlineOptions {
+        cost_model: CostModelKind::PipeOnly,
+        ..OnlineOptions::default()
+    });
+    let corpus = pinned_corpus();
+    let outcome = run_gate(&env, &corpus, &GateConfig::default());
+    assert!(
+        !outcome.passed,
+        "gate did not catch the injected cost-model bug: p95 = {:.4}",
+        outcome.summary.p95
+    );
+    assert!(
+        outcome.summary.p95 > outcome.threshold_p95,
+        "expected a large oracle gap under the crippled model, got p95 = {:.4}",
+        outcome.summary.p95
+    );
+}
+
+#[test]
+fn untruncated_oracle_never_loses_to_the_cost_model() {
+    // On a shape small enough to enumerate exhaustively, the oracle's
+    // candidate set contains the cost model's pick, so the gap is >= 1 up
+    // to float noise.
+    let env = ConformanceEnv::fast();
+    let case = mikpoly_conformance::FuzzCase {
+        machine: MachineKind::Gpu,
+        op: OpSpec::Gemm {
+            m: 48,
+            n: 32,
+            k: 24,
+        },
+        data_seed: 0,
+    };
+    let sample = gap_for(env.compiler_for(&case), case.machine, &case.op, usize::MAX);
+    assert!(!sample.truncated, "exhaustive search must not truncate");
+    assert!(sample.candidates > 0);
+    assert!(
+        sample.gap >= 1.0 - 1e-9,
+        "oracle lost to the cost model on its own candidate superset: gap = {}",
+        sample.gap
+    );
+}
+
+#[test]
+fn candidate_cap_truncates_and_is_reported() {
+    let env = ConformanceEnv::fast();
+    let case = mikpoly_conformance::FuzzCase {
+        machine: MachineKind::Gpu,
+        op: OpSpec::Gemm {
+            m: 512,
+            n: 384,
+            k: 128,
+        },
+        data_seed: 0,
+    };
+    let sample = gap_for(env.compiler_for(&case), case.machine, &case.op, 4);
+    assert!(
+        sample.truncated,
+        "a 4-candidate cap must truncate this shape"
+    );
+    assert!(sample.candidates <= 4);
+}

@@ -4,6 +4,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use mikpoly_conformance::{assert_matches_reference, compare_to_reference, Tolerance};
 use mikpoly_suite::accel_sim::MachineModel;
 use mikpoly_suite::mikpoly::{
     execute_conv2d, execute_gemm, MikPoly, OfflineOptions, OnlineOptions, TemplateKind,
@@ -52,11 +53,7 @@ fn gemm_matches_reference_on_selected_shapes() {
         let b = Tensor::random(&[k, n], 12);
         let got = execute_gemm(&program, &a, &b);
         let want = reference_gemm(shape, &a, &b);
-        assert!(
-            got.approx_eq(&want, 1e-3),
-            "({m},{n},{k}): max diff {}",
-            got.max_abs_diff(&want)
-        );
+        assert_matches_reference(&got, &want, &format!("gemm ({m},{n},{k})"));
     }
 }
 
@@ -79,11 +76,7 @@ fn conv_matches_reference_across_filter_geometries() {
         let filter = Tensor::random(&[6, 4, kernel, kernel], 22);
         let got = execute_conv2d(&program, &input, &filter);
         let want = reference_conv2d(shape, &input, &filter);
-        assert!(
-            got.approx_eq(&want, 1e-3),
-            "{shape}: max diff {}",
-            got.max_abs_diff(&want)
-        );
+        assert_matches_reference(&got, &want, &format!("{shape}"));
     }
 }
 
@@ -96,7 +89,7 @@ fn npu_programs_are_functionally_identical_to_gpu_programs() {
     let b = Tensor::random(&[45, 77], 32);
     let via_gpu = execute_gemm(&gpu.compile(&Operator::gemm(shape)), &a, &b);
     let via_npu = execute_gemm(&npu.compile(&Operator::gemm(shape)), &a, &b);
-    assert!(via_gpu.approx_eq(&via_npu, 1e-3));
+    assert_matches_reference(&via_gpu, &via_npu, "gpu-vs-npu gemm (123,77,45)");
 }
 
 #[test]
@@ -118,7 +111,7 @@ fn every_cost_model_variant_compiles_correct_programs() {
             ..OnlineOptions::default()
         });
         let got = execute_gemm(&c.compile(&Operator::gemm(shape)), &a, &b);
-        assert!(got.approx_eq(&want, 1e-3), "{kind} produced wrong values");
+        assert_matches_reference(&got, &want, &format!("cost model {kind}"));
     }
 }
 
@@ -141,7 +134,9 @@ proptest! {
         let b = Tensor::random(&[k, n], 8);
         let got = execute_gemm(&program, &a, &b);
         let want = reference_gemm(shape, &a, &b);
-        prop_assert!(got.approx_eq(&want, 1e-3), "max diff {}", got.max_abs_diff(&want));
+        if let Err(report) = compare_to_reference(&got, &want, Tolerance::default()) {
+            prop_assert!(false, "gemm ({m},{n},{k}): {report}");
+        }
     }
 
     /// The NPU path (all nine patterns + static allocation) preserves the
@@ -159,7 +154,9 @@ proptest! {
         let b = Tensor::random(&[k, n], 10);
         let got = execute_gemm(&program, &a, &b);
         let want = reference_gemm(shape, &a, &b);
-        prop_assert!(got.approx_eq(&want, 1e-3));
+        if let Err(report) = compare_to_reference(&got, &want, Tolerance::default()) {
+            prop_assert!(false, "npu gemm ({m},{n},{k}): {report}");
+        }
     }
 
     /// Batched GEMM flattening covers each instance exactly once.
@@ -180,6 +177,8 @@ proptest! {
         let b = Tensor::random(&[flat.k, flat.n], 14);
         let got = execute_gemm(&program, &a, &b);
         let want = reference_gemm(flat, &a, &b);
-        prop_assert!(got.approx_eq(&want, 1e-3));
+        if let Err(report) = compare_to_reference(&got, &want, Tolerance::default()) {
+            prop_assert!(false, "batched gemm {batch}x({m},{n},{k}): {report}");
+        }
     }
 }

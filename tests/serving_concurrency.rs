@@ -214,3 +214,128 @@ fn serving_runtime_end_to_end_counts_match() {
         );
     }
 }
+
+#[test]
+fn empty_request_stream_is_a_clean_noop() {
+    let engine = Arc::new(Engine::offline(MachineModel::a100(), &{
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        o
+    }));
+    let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
+    let report = ServingRuntime::new(engine, cluster, 4).serve(&[]);
+    assert!(report.records.is_empty());
+    assert_eq!(report.workers.len(), 4);
+    assert!(report.workers.iter().all(|w| w.requests == 0));
+    assert_eq!(report.cache.hits, 0);
+    assert_eq!(report.cache.misses, 0);
+    assert_eq!(report.cache.computations, 0);
+    assert_eq!(report.cache.evictions, 0);
+    // Makespan is clamped positive so derived rates stay finite.
+    assert!(report.makespan_ns > 0.0);
+    assert!(report.throughput_rps().is_finite());
+}
+
+#[test]
+fn single_worker_burst_is_served_fifo() {
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    let engine = Arc::new(Engine::offline(MachineModel::a100(), &options));
+    let shapes = shapes();
+    // Everything arrives at t=0: a pure burst against one worker and one
+    // device must serialize in request-id order.
+    let requests: Vec<Request> = (0..12)
+        .map(|id| Request::single(id, 0.0, Operator::gemm(shapes[id % shapes.len()])))
+        .collect();
+    let cluster = Cluster::new(MachineModel::a100(), 1, Interconnect::nvlink3());
+    let report = ServingRuntime::new(engine, cluster, 1).serve(&requests);
+
+    assert_eq!(report.records.len(), 12);
+    assert!(report
+        .records
+        .iter()
+        .all(|r| r.worker == 0 && r.device == 0));
+    // Records are reported in id order; with a single worker the virtual
+    // timeline must finish them in that same order, back to back.
+    let mut prev_finish = 0.0f64;
+    for r in &report.records {
+        assert!(
+            r.finish_ns >= prev_finish,
+            "request {} finished at {} before its predecessor at {}",
+            r.id,
+            r.finish_ns,
+            prev_finish
+        );
+        prev_finish = r.finish_ns;
+        // Burst arrival: everyone after the first waits in queue.
+        assert!(r.queue_ns >= 0.0);
+    }
+    // The lone worker served every request.
+    assert_eq!(report.workers[0].requests, 12);
+    // Makespan equals the sum of per-request busy time (no idle gaps in a
+    // burst against one worker/one device).
+    let busy: f64 = report
+        .records
+        .iter()
+        .map(|r| r.compile.onto_virtual_timeline() + r.device_ns)
+        .sum();
+    assert!((report.makespan_ns - busy).abs() < 1e-6 * busy.max(1.0));
+}
+
+#[test]
+fn capacity_one_cache_thrashes_and_evicts_under_alternation() {
+    use mikpoly_suite::mikpoly::{OnlineOptions, TemplateKind};
+    let mut offline = OfflineOptions::fast();
+    offline.n_gen = 4;
+    let bounded = OnlineOptions {
+        cache_capacity: Some(1),
+        ..OnlineOptions::default()
+    };
+    let gemm =
+        Arc::new(MikPoly::offline(MachineModel::a100(), &offline).with_options(bounded.clone()));
+    let conv = Arc::new(
+        MikPoly::offline(
+            MachineModel::a100(),
+            &offline.clone().with_template(TemplateKind::Conv),
+        )
+        .with_options(bounded),
+    );
+    let engine = Arc::new(Engine::from_compilers(MachineModel::a100(), gemm, conv));
+
+    // Two shapes alternating through a capacity-1 cache: every compile
+    // after the first evicts the other entry, so nothing is ever a hit.
+    let a = GemmShape::new(64, 64, 64);
+    let b = GemmShape::new(100, 200, 50);
+    let rounds = 4;
+    let requests: Vec<Request> = (0..2 * rounds)
+        .map(|id| {
+            let shape = if id % 2 == 0 { a } else { b };
+            Request::single(id, id as f64 * 50_000.0, Operator::gemm(shape))
+        })
+        .collect();
+    let cluster = Cluster::new(MachineModel::a100(), 1, Interconnect::nvlink3());
+    let report = ServingRuntime::new(Arc::clone(&engine), cluster, 1).serve(&requests);
+
+    assert_eq!(report.records.len(), 2 * rounds);
+    assert_eq!(
+        report.cache.computations,
+        2 * rounds as u64,
+        "capacity 1 + alternation recompiles every request: {:?}",
+        report.cache
+    );
+    assert_eq!(report.cache.hits, 0, "{:?}", report.cache);
+    assert!(
+        report.cache.evictions >= 2 * rounds as u64 - 1,
+        "each insert past the first evicts: {:?}",
+        report.cache
+    );
+    assert!(report.cache.entries <= 1, "{:?}", report.cache);
+    // Sanity: the same engine still computes correct results after all
+    // that thrashing.
+    let program = engine.gemm_compiler().compile(&Operator::gemm(a));
+    let ta = Tensor::random(&[a.m, a.k], 51);
+    let tb = Tensor::random(&[a.k, a.n], 52);
+    let got = execute_gemm(&program, &ta, &tb);
+    let want = reference_gemm(a, &ta, &tb);
+    mikpoly_conformance::assert_matches_reference(&got, &want, "post-eviction gemm");
+}

@@ -148,3 +148,117 @@ fn bert_poisson_stream_emits_valid_nested_trace() {
         "exactly one real search per polymerization"
     );
 }
+
+/// Every complete ('X') event on a lane must either be disjoint from or
+/// strictly nested inside the spans around it — a partially-overlapping
+/// pair renders as garbage in Perfetto, and async begin/end ('b'/'e')
+/// pairs must balance per id. Validated on a real telemetered stream.
+#[test]
+fn chrome_trace_spans_nest_strictly_per_lane() {
+    let mut options = OfflineOptions::fast();
+    options.n_gen = 4;
+    let telemetry = Telemetry::enabled();
+    let engine = Arc::new(Engine::offline_with_telemetry(
+        MachineModel::a100(),
+        &options,
+        Arc::clone(&telemetry),
+    ));
+    let bert = TransformerConfig::bert_base();
+    let requests: Vec<Request> = poisson_arrivals(12, 40_000.0, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(id, arrival_ns)| Request {
+            id,
+            arrival_ns,
+            ops: bert
+                .graph(1, 16 * (1 + id % 3))
+                .ops
+                .iter()
+                .map(|op| (op.operator, op.count))
+                .collect(),
+        })
+        .collect();
+    let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
+    ServingRuntime::new(Arc::clone(&engine), cluster, 3).serve(&requests);
+
+    let json = telemetry.render_chrome_trace();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("trace must parse as JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Group complete events into per-lane interval lists and collect
+    // async begin/end pairs.
+    use std::collections::HashMap;
+    let mut lanes: HashMap<(u64, u64), Vec<(f64, f64)>> = HashMap::new();
+    let mut asyncs: HashMap<(String, u64), (usize, usize, f64, f64)> = HashMap::new();
+    for event in events {
+        let ph = event.get("ph").and_then(|v| v.as_str()).expect("ph");
+        let pid = event.get("pid").and_then(|v| v.as_u64()).expect("pid");
+        let tid = event.get("tid").and_then(|v| v.as_u64()).expect("tid");
+        let ts = event.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        match ph {
+            "X" => {
+                let dur = event.get("dur").and_then(|v| v.as_f64()).expect("dur");
+                assert!(dur >= 0.0, "negative duration at ts {ts}");
+                lanes.entry((pid, tid)).or_default().push((ts, ts + dur));
+            }
+            "b" | "e" => {
+                let name = event.get("name").and_then(|v| v.as_str()).expect("name");
+                let id = event.get("id").and_then(|v| v.as_u64()).expect("async id");
+                let slot = asyncs.entry((name.to_string(), id)).or_insert((
+                    0,
+                    0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                ));
+                if ph == "b" {
+                    slot.0 += 1;
+                    slot.2 = slot.2.min(ts);
+                } else {
+                    slot.1 += 1;
+                    slot.3 = slot.3.max(ts);
+                }
+            }
+            "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+
+    // Async pairs balance, and every end is at or after its begin.
+    assert!(!asyncs.is_empty(), "no async phase events recorded");
+    for ((name, id), (begins, ends, first_b, last_e)) in &asyncs {
+        assert_eq!(begins, ends, "unbalanced b/e for {name} id {id}");
+        assert!(
+            last_e >= first_b,
+            "{name} id {id}: end {last_e} before begin {first_b}"
+        );
+    }
+
+    // Strict nesting per lane: sweep intervals sorted by (start asc,
+    // end desc); each span must close inside whatever span encloses it.
+    const EPS: f64 = 1e-6; // trace timestamps are microseconds
+    for ((pid, tid), mut spans) in lanes {
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        for (start, end) in spans {
+            while let Some(&(_, open_end)) = stack.last() {
+                if open_end <= start + EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(open_start, open_end)) = stack.last() {
+                assert!(
+                    end <= open_end + EPS,
+                    "lane ({pid},{tid}): span [{start}, {end}] partially overlaps \
+                     enclosing [{open_start}, {open_end}]"
+                );
+            }
+            stack.push((start, end));
+        }
+    }
+}

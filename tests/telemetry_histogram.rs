@@ -93,3 +93,138 @@ fn parallel_records_lose_nothing() {
         n
     );
 }
+
+/// The Prometheus rendering must be a well-formed text exposition: every
+/// line is a `# TYPE` declaration or a `name[{labels}] value` sample with
+/// a legal metric name, every sample's family is declared before use, and
+/// histogram bucket counts are cumulative with `+Inf` equal to `_count`.
+#[test]
+fn prometheus_rendering_is_valid_text_exposition() {
+    let t = Telemetry::enabled();
+    let r = t.registry();
+    r.counter("cache.hits").store(41);
+    r.counter("serving.requests").inc();
+    r.gauge("worker-pool.utilization").set(0.625);
+    let h = r.histogram("serving.latency_ns", Clock::Virtual);
+    for v in [1u64, 3, 900, 4096, 70_000, 1 << 33] {
+        h.record(v);
+    }
+    let text = r.render_prometheus();
+
+    let valid_name = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut declared: Vec<(String, String)> = Vec::new();
+    // Per-histogram running check state: (family, last cumulative, last le).
+    let mut cumulative: std::collections::HashMap<String, (u64, f64)> =
+        std::collections::HashMap::new();
+    let mut bucket_totals: std::collections::HashMap<String, u64> =
+        std::collections::HashMap::new();
+    let mut count_values: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE name");
+            let kind = parts.next().expect("TYPE kind");
+            assert!(valid_name(name), "illegal metric name {name:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind:?}"
+            );
+            assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            declared.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form {line:?}");
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample needs a value");
+        let value: f64 = value.parse().unwrap_or_else(|e| {
+            panic!("unparseable sample value in {line:?}: {e}");
+        });
+        assert!(value >= 0.0, "negative sample in {line:?}");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest.strip_suffix('}').expect("unterminated label set");
+                (n, Some(labels))
+            }
+            None => (series, None),
+        };
+        assert!(valid_name(name), "illegal metric name {name:?}");
+        // The sample must belong to a previously declared family (the
+        // histogram suffixes map back to their base name).
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| declared.iter().any(|(n, k)| n == base && k == "histogram"))
+            .unwrap_or(name);
+        assert!(
+            declared.iter().any(|(n, _)| n == family),
+            "sample {name} has no preceding # TYPE for {family}"
+        );
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label needs key=value");
+                assert!(valid_name(k), "illegal label name {k:?}");
+                assert!(
+                    v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                    "unquoted label value in {line:?}"
+                );
+            }
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .split(',')
+                    .find_map(|p| p.strip_prefix("le=\""))
+                    .and_then(|v| v.strip_suffix('"'))
+                    .expect("bucket needs le");
+                let bound: f64 = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().expect("numeric le")
+                };
+                let entry = cumulative
+                    .entry(family.to_string())
+                    .or_insert((0, f64::NEG_INFINITY));
+                assert!(
+                    bound > entry.1,
+                    "bucket bounds must increase: {le} in {line:?}"
+                );
+                assert!(
+                    value as u64 >= entry.0,
+                    "bucket counts must be cumulative in {line:?}"
+                );
+                *entry = (value as u64, bound);
+                bucket_totals.insert(family.to_string(), value as u64);
+            }
+        }
+        if let Some(base) = name.strip_suffix("_count") {
+            count_values.insert(base.to_string(), value as u64);
+        }
+        samples += 1;
+    }
+    assert!(
+        samples >= 4,
+        "expected counters, gauge, and histogram lines"
+    );
+    // The final (+Inf) bucket of each histogram equals its _count.
+    assert!(!bucket_totals.is_empty(), "histogram rendered no buckets");
+    for (family, total) in &bucket_totals {
+        assert_eq!(
+            count_values.get(family),
+            Some(total),
+            "{family}: +Inf bucket disagrees with _count"
+        );
+    }
+    assert_eq!(count_values.get("serving_latency_ns"), Some(&6));
+}
