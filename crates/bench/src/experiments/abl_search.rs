@@ -80,6 +80,30 @@ pub fn run(h: &Harness) -> Vec<Report> {
             Some(cases.len() as u64),
             "one recorded search per case with the cache disabled"
         );
+        // The staged-search stage counters must be present (zero is fine —
+        // the default budget rarely exhausts on this suite) and coherent:
+        // escalations only happen on budget-exhausted rounds, and the
+        // exhaustive variant (pruning off, unlimited budget) never
+        // escalates.
+        let h_exhausted = h_snap.counter("search.budget_exhausted").unwrap_or(0);
+        let h_escalations = h_snap.counter("search.escalations").unwrap_or(0);
+        assert!(
+            h_escalations <= h_exhausted,
+            "escalations ({h_escalations}) without budget exhaustion ({h_exhausted})"
+        );
+        assert_eq!(
+            e_snap.counter("search.escalations").unwrap_or(0),
+            0,
+            "the exhaustive variant has no budget to escalate"
+        );
+        // Refinement changes at most one pick per searched shape, and
+        // shortlist truncation only arises on deep (3+ region) patterns.
+        let h_refined = h_snap.counter("search.refined").unwrap_or(0);
+        assert!(h_refined <= cases.len() as u64);
+        let h_truncated = h_snap.counter("search.shortlist_truncated").unwrap_or(0);
+        if machine.name.contains("a100") {
+            assert_eq!(h_truncated, 0, "GPU patterns I-II never cut the shortlist");
+        }
         let mean_search_us = |snap: &mikpoly::telemetry::MetricsSnapshot| {
             snap.histogram("online.search_ns")
                 .map(|s| s.mean_ns / 1e3)

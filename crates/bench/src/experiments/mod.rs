@@ -23,6 +23,7 @@ pub mod fig12b;
 pub mod fig13;
 pub mod npu_e2e;
 pub mod oracle_gap;
+pub mod oracle_gap_hard;
 pub mod tab05;
 pub mod tab08;
 pub mod tables;
@@ -64,8 +65,9 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),
-        // Conformance subsystem: the standing cost-model fidelity sweep.
+        // Conformance subsystem: the standing cost-model fidelity sweeps.
         ("oracle-gap", oracle_gap::run),
+        ("oracle-gap-hard", oracle_gap_hard::run),
     ]
 }
 

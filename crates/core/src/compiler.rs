@@ -14,7 +14,7 @@ use crate::cost::CostModelKind;
 use crate::offline::{MicroKernelLibrary, OfflineOptions};
 use crate::pattern::{default_patterns, Pattern};
 use crate::plan::{CompiledProgram, Region};
-use crate::search::polymerize_traced;
+use crate::search::{polymerize_traced, SearchPolicy};
 
 /// Options of the online (polymerization) stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +39,12 @@ pub struct OnlineOptions {
     /// fleets whose shape universe outgrows memory.
     #[serde(default)]
     pub cache_capacity: Option<usize>,
+    /// Knobs of the staged polymerization search (shortlist size, node
+    /// budget, prune margin, selection refinement, escalation). One policy
+    /// flows to the compiler, the serving runtime, the conformance gate,
+    /// and the bench ablations alike.
+    #[serde(default)]
+    pub search: SearchPolicy,
 }
 
 impl Default for OnlineOptions {
@@ -50,6 +56,7 @@ impl Default for OnlineOptions {
             cache: true,
             split_k: false,
             cache_capacity: None,
+            search: SearchPolicy::default(),
         }
     }
 }
@@ -333,6 +340,7 @@ impl MikPoly {
             &self.patterns(),
             self.options.cost_model,
             self.options.prune,
+            &self.options.search,
             &self.telemetry,
         );
         if self.options.split_k && self.options.cost_model == CostModelKind::Full {

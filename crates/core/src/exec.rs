@@ -121,7 +121,7 @@ mod tests {
     use crate::cost::CostModelKind;
     use crate::offline::{MicroKernelLibrary, OfflineOptions};
     use crate::pattern::gpu_patterns;
-    use crate::search::polymerize;
+    use crate::search::{polymerize, SearchPolicy};
     use accel_sim::MachineModel;
     use tensor_ir::{reference_conv2d, reference_gemm, GemmShape};
 
@@ -141,6 +141,7 @@ mod tests {
             &gpu_patterns(),
             CostModelKind::Full,
             true,
+            &SearchPolicy::default(),
         )
     }
 

@@ -68,13 +68,16 @@ pub use cost::{f_pipe, f_wave, region_cost, CostModelKind};
 pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphRun};
 pub use exec::{execute_conv2d, execute_gemm};
 pub use kernel::{MicroKernel, MicroKernelId};
-pub use offline::{MicroKernelLibrary, OfflineOptions, TemplateKind, TunedKernel};
+pub use offline::{
+    MicroKernelLibrary, OfflineOptions, TemplateKind, TileArea, TileAspect, TileIndex, TileStratum,
+    TunedKernel,
+};
 pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, PatternId};
 pub use perf_model::{sample_schedule, PerfModel, Segment};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
 pub use search::{
     enumerate_strategies, enumerate_strategies_capped, improve_with_split_k, polymerize,
-    polymerize_traced, record_search_stats,
+    polymerize_traced, record_search_stats, SearchPolicy,
 };
 pub use serving::{
     poisson_arrivals, LatencySummary, Request, RequestRecord, ServingReport, ServingRuntime,

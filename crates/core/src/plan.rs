@@ -88,6 +88,21 @@ pub struct SearchStats {
     pub patterns_tried: usize,
     /// Wall-clock nanoseconds spent polymerizing.
     pub search_ns: u128,
+    /// Times a deep pattern drew from a truncated kernel shortlist.
+    #[serde(default)]
+    pub shortlist_truncated: usize,
+    /// Search rounds that ran out of node budget before covering the
+    /// strategy space.
+    #[serde(default)]
+    pub budget_exhausted: usize,
+    /// Anytime escalation rounds taken (bounded by
+    /// `SearchPolicy::max_escalations`).
+    #[serde(default)]
+    pub escalations: usize,
+    /// Whether the occupancy-aware refinement changed the selected
+    /// strategy away from the Eq. 2 pick.
+    #[serde(default)]
+    pub refined: bool,
 }
 
 fn default_split_k() -> usize {

@@ -1,0 +1,230 @@
+//! Stage 2: shape-aware shortlisting — per-shape kernel ranking by
+//! predicted *region efficiency*, plus the stratified-diversity shortlist
+//! that replaces the old global top-`DEEP_PATTERN_KERNELS` cut.
+//!
+//! Eq. 2's wave term charges every task a whole PE, but dynamically
+//! scheduled machines co-schedule several small-warp tasks per PE (bounded
+//! by warp slots and local memory) and throttle under bandwidth
+//! congestion. On large shapes that ranking error — not pruning, not
+//! library coverage — was the measured source of the 1.2–1.45 hard-shape
+//! oracle gap: the simulator's best kernel loses under Eq. 2 because its
+//! co-residency is invisible to `f_wave`. The occupancy-aware estimator
+//! here folds both effects into a closed form that stays O(1) per region,
+//! so it can rank kernels per shape *and* re-rank complete strategies (the
+//! selection-refinement step in [`super::polymerize`]) without touching
+//! the simulator on the online path.
+
+use accel_sim::MachineModel;
+use tensor_ir::GemmView;
+
+use crate::offline::{TileIndex, TileStratum, TunedKernel};
+
+/// Per-kernel occupancy constants, precomputed once per shape.
+#[derive(Debug, Clone, Copy)]
+struct KernelOccupancy {
+    /// Co-resident task slots per PE: warp-slot and local-memory bound.
+    slots: usize,
+    /// Bytes a resident task moves per ns of pipelined execution.
+    bw_per_task: f64,
+    /// `g_predict` for the shape's reduction extent.
+    pipe: f64,
+}
+
+/// The occupancy-aware region-efficiency estimator: predicts the
+/// effective latency of a region, accounting for task co-residency
+/// (multiple small-warp tasks share a PE's warp slots and local memory)
+/// and bandwidth congestion among resident tasks.
+#[derive(Debug)]
+pub(crate) struct OccupancyModel {
+    num_pes: usize,
+    pe_bw: f64,
+    /// Parallel to the search's kernel order.
+    profiles: Vec<KernelOccupancy>,
+}
+
+impl OccupancyModel {
+    pub(crate) fn new(
+        machine: &MachineModel,
+        kernels: &[&TunedKernel],
+        pipe: &[f64],
+        view: &GemmView,
+    ) -> Self {
+        let profiles = kernels
+            .iter()
+            .zip(pipe)
+            .map(|(t, &p)| {
+                let spec = t
+                    .kernel
+                    .task_spec(view, t.kernel.instances_for(view.shape.k));
+                let slots_w = machine.warp_cap_per_pe / t.kernel.warps.max(1);
+                let slots_m = machine.local_mem_bytes / spec.shape.local_mem_bytes().max(1);
+                KernelOccupancy {
+                    slots: slots_w.min(slots_m).max(1),
+                    bw_per_task: spec.total_bytes() / p.max(1e-9),
+                    pipe: p,
+                }
+            })
+            .collect();
+        Self {
+            num_pes: machine.num_pes,
+            pe_bw: machine.pe_bandwidth_bytes_per_ns(),
+            profiles,
+        }
+    }
+
+    /// Effective latency of a `tasks`-task region under kernel
+    /// `kernel_idx`: waves over the *co-residency* capacity (not the PE
+    /// count), scaled by the bandwidth-congestion factor of the resident
+    /// set. O(1) — nothing here depends on region geometry beyond the
+    /// task count.
+    pub(crate) fn region_ns(&self, kernel_idx: usize, tasks: usize) -> f64 {
+        let p = &self.profiles[kernel_idx];
+        let cap = self.num_pes * p.slots;
+        let resident = p.slots.min(tasks.div_ceil(self.num_pes)).max(1);
+        let congestion = (resident as f64 * p.bw_per_task / self.pe_bw).max(1.0);
+        tasks.div_ceil(cap) as f64 * p.pipe * congestion
+    }
+}
+
+/// Ranks the usable kernels for one shape, best predicted region
+/// efficiency first, and (when a `shortlist` cut will apply) promotes the
+/// best kernel of each tile-geometry stratum into the shortlist prefix so
+/// a truncated deep-pattern search keeps geometric diversity instead of
+/// drowning in near-duplicates of the front-runner. Returns a permutation
+/// of kernel indices.
+///
+/// Dynamic machines rank by the occupancy-aware estimator; static
+/// (compiler-placed) machines rank by the makespan estimate
+/// `max(tasks·g/|P|, g)` of a single-region program — both are this
+/// shape's Pattern-I cost under the respective machine's execution model,
+/// which places a near-optimal incumbent on the search's first descent.
+pub(crate) fn shape_order(
+    machine: &MachineModel,
+    kernels: &[&TunedKernel],
+    pipe: &[f64],
+    view: &GemmView,
+    static_alloc: bool,
+    index: &TileIndex,
+    shortlist: usize,
+) -> Vec<usize> {
+    let (m, n) = (view.shape.m, view.shape.n);
+    let score: Vec<f64> = if static_alloc {
+        kernels
+            .iter()
+            .zip(pipe)
+            .map(|(t, &p)| {
+                let tasks = t.kernel.tasks_for(m, n);
+                (tasks as f64 * p / machine.num_pes as f64).max(p)
+            })
+            .collect()
+    } else {
+        let occ = OccupancyModel::new(machine, kernels, pipe, view);
+        kernels
+            .iter()
+            .enumerate()
+            .map(|(i, t)| occ.region_ns(i, t.kernel.tasks_for(m, n)))
+            .collect()
+    };
+    let mut order: Vec<usize> = (0..kernels.len()).collect();
+    order.sort_by(|&a, &b| score[a].total_cmp(&score[b]));
+    if shortlist >= order.len() {
+        return order;
+    }
+    // Stratified-diversity promotion: the first occurrence of each
+    // geometry stratum (in efficiency order) moves to the front, so any
+    // shortlist prefix of at least `strata` kernels covers every tile
+    // regime the library retained.
+    let mut anchors: Vec<usize> = Vec::new();
+    let mut rest: Vec<usize> = Vec::new();
+    let mut seen: Vec<TileStratum> = Vec::new();
+    for &i in &order {
+        let stratum = index
+            .stratum_of(kernels[i].kernel.id)
+            .unwrap_or_else(|| TileStratum::of(&kernels[i].kernel));
+        if seen.contains(&stratum) {
+            rest.push(i);
+        } else {
+            seen.push(stratum);
+            anchors.push(i);
+        }
+    }
+    anchors.extend(rest);
+    anchors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::{MicroKernelLibrary, OfflineOptions};
+    use tensor_ir::GemmShape;
+
+    fn setup() -> (MachineModel, MicroKernelLibrary) {
+        let m = MachineModel::a100();
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        (m.clone(), MicroKernelLibrary::generate(&m, &o))
+    }
+
+    fn view(m: usize, n: usize, k: usize) -> GemmView {
+        tensor_ir::Operator::gemm(GemmShape::new(m, n, k)).gemm_view()
+    }
+
+    #[test]
+    fn region_efficiency_never_beats_the_pipelined_task_itself() {
+        let (machine, lib) = setup();
+        let v = view(512, 512, 256);
+        let kernels: Vec<_> = lib.usable_kernels(&machine, &v);
+        let pipe = super::super::candidates::pipe_cache(&kernels, v.shape.k);
+        let occ = OccupancyModel::new(&machine, &kernels, &pipe, &v);
+        for (i, t) in kernels.iter().enumerate() {
+            let tasks = t.kernel.tasks_for(512, 512);
+            assert!(occ.region_ns(i, tasks) >= pipe[i] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn co_residency_discounts_small_warp_kernels_under_plain_waves() {
+        // A kernel whose warp count is below the PE cap gets charged fewer
+        // effective waves than Eq. 2's tasks/|P| whenever its tasks
+        // co-reside — the exact effect the hard-shape gap came from.
+        let (machine, lib) = setup();
+        let v = view(512, 512, 256);
+        let kernels: Vec<_> = lib.usable_kernels(&machine, &v);
+        let pipe = super::super::candidates::pipe_cache(&kernels, v.shape.k);
+        let occ = OccupancyModel::new(&machine, &kernels, &pipe, &v);
+        let mut discounted = 0;
+        for (i, t) in kernels.iter().enumerate() {
+            let tasks = t.kernel.tasks_for(512, 512);
+            let eq2 = tasks.div_ceil(machine.num_pes) as f64 * pipe[i];
+            if t.kernel.warps < machine.warp_cap_per_pe && tasks > machine.num_pes {
+                assert!(occ.region_ns(i, tasks) <= eq2 + 1e-9);
+                if occ.region_ns(i, tasks) < eq2 * 0.75 {
+                    discounted += 1;
+                }
+            }
+        }
+        assert!(discounted > 0, "no kernel benefits from co-residency");
+    }
+
+    #[test]
+    fn shape_order_is_a_permutation_and_diversity_prefix_covers_strata() {
+        let (machine, lib) = setup();
+        let v = view(777, 333, 111);
+        let kernels: Vec<_> = lib.usable_kernels(&machine, &v);
+        let pipe = super::super::candidates::pipe_cache(&kernels, v.shape.k);
+        let index = lib.stratified_index().into_owned();
+        let order = shape_order(&machine, &kernels, &pipe, &v, false, &index, 2);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..kernels.len()).collect::<Vec<_>>());
+        // With a cut in play, the distinct strata of the usable set appear
+        // before any repeat.
+        let strata: Vec<TileStratum> = order
+            .iter()
+            .map(|&i| TileStratum::of(&kernels[i].kernel))
+            .collect();
+        let distinct: std::collections::HashSet<_> = strata.iter().collect();
+        let prefix: std::collections::HashSet<_> = strata[..distinct.len()].iter().collect();
+        assert_eq!(prefix.len(), distinct.len(), "prefix must cover all strata");
+    }
+}

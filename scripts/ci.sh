@@ -49,4 +49,11 @@ echo "==> conformance gate (pinned corpus, p95 oracle gap <= 1.10)"
 ./target/release/conformance gate --corpus tests/corpus/pinned-shapes.json \
   --threshold 1.10 --out "$smoke_dir/oracle-gate.json"
 
+# The "hard" tier: shapes whose gap sat at 1.2-1.5 before the
+# occupancy-aware selection refinement; ratcheted to the same 1.10 now
+# that the staged search closes them.
+echo "==> conformance gate (hard corpus, p95 oracle gap <= 1.10)"
+./target/release/conformance gate --corpus tests/corpus/hard-shapes.json \
+  --threshold 1.10 --out "$smoke_dir/oracle-gate-hard.json"
+
 echo "CI green."

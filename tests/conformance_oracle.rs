@@ -10,11 +10,17 @@ use mikpoly_conformance::{
 };
 use mikpoly_suite::mikpoly::{CostModelKind, OnlineOptions};
 
-fn pinned_corpus() -> Vec<mikpoly_conformance::FuzzCase> {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/pinned-shapes.json");
-    let corpus = load_corpus(path).expect("pinned corpus must parse");
+fn corpus(name: &str) -> Vec<mikpoly_conformance::FuzzCase> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    let corpus = load_corpus(path).expect("corpus must parse");
     assert!(!corpus.is_empty());
     corpus
+}
+
+fn pinned_corpus() -> Vec<mikpoly_conformance::FuzzCase> {
+    corpus("pinned-shapes.json")
 }
 
 #[test]
@@ -39,6 +45,42 @@ fn gate_passes_on_pinned_corpus_with_full_cost_model() {
     let back: mikpoly_conformance::GateOutcome = serde_json::from_str(&json).expect("parse");
     assert_eq!(back.passed, outcome.passed);
     assert_eq!(back.samples.len(), outcome.samples.len());
+}
+
+#[test]
+fn gate_passes_on_hard_corpus_at_the_ratcheted_threshold() {
+    // The "hard" tier: shapes whose oracle gap sat at 1.2–1.5 before the
+    // occupancy-aware selection refinement. The staged search must keep
+    // them at p95 <= 1.10 — the ratchet that pins the fix in place.
+    let env = ConformanceEnv::standard();
+    let corpus = corpus("hard-shapes.json");
+    let outcome = run_gate(&env, &corpus, &GateConfig::default());
+    assert_eq!(outcome.summary.count, corpus.len());
+    assert!(
+        outcome.passed,
+        "hard-tier fidelity gate failed: p95 = {:.4} (threshold {:.2})",
+        outcome.summary.p95, outcome.threshold_p95
+    );
+    assert!(outcome.summary.p95 <= 1.10);
+}
+
+#[test]
+fn hard_corpus_gap_regresses_without_selection_refinement() {
+    // The demonstration that the hard tier gates what it claims to gate:
+    // under the legacy policy (refinement off) the same corpus blows
+    // through the threshold.
+    use mikpoly_suite::mikpoly::SearchPolicy;
+    let env = ConformanceEnv::standard().with_online_options(OnlineOptions {
+        search: SearchPolicy::legacy(),
+        ..OnlineOptions::default()
+    });
+    let corpus = corpus("hard-shapes.json");
+    let outcome = run_gate(&env, &corpus, &GateConfig::default());
+    assert!(
+        !outcome.passed,
+        "hard corpus no longer distinguishes the legacy policy: p95 = {:.4}",
+        outcome.summary.p95
+    );
 }
 
 #[test]
