@@ -1,0 +1,224 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Production serving must survive transient device faults, slow searches,
+//! and corrupted cache entries. A [`FaultPlan`] describes a reproducible
+//! schedule of such faults: every decision is a pure function of the plan's
+//! seed and the identity of the event (request id and attempt for device
+//! faults, shape key for compile-path faults), driven by the same
+//! [`hash_f64`](crate::hash_f64) mixer the measurement-noise model uses.
+//! The same plan therefore injects exactly the same faults on every run —
+//! chaos tests replay byte-identical schedules, and a failure seen in CI
+//! reproduces locally from the seed alone.
+//!
+//! The plan is pure policy: it decides *whether* an event faults; the
+//! compiler and serving runtime own *what happens next* (retry, degrade,
+//! shed). Rates are probabilities in `[0, 1]`; a rate of zero disables the
+//! fault class, and [`FaultPlan::none`] disables everything.
+
+use serde::{Deserialize, Serialize};
+
+use crate::noise::hash_f64;
+
+/// Domain-separation salts so the fault classes draw independent streams
+/// from one seed.
+const DEVICE_SALT: u64 = 0xD0_DE;
+const STALL_SALT: u64 = 0x57A1;
+const CORRUPT_SALT: u64 = 0xC0_44;
+const PANIC_SALT: u64 = 0xBAD_C0DE;
+
+/// A reproducible fault-injection schedule.
+///
+/// All decisions are deterministic in `(seed, event identity)`; see the
+/// per-method docs for what identifies each event class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; all fault classes derive independent streams from it.
+    pub seed: u64,
+    /// Probability that one device execution attempt of a request faults
+    /// transiently (per `(request, attempt)` pair, so retries re-roll).
+    #[serde(default)]
+    pub device_fault_rate: f64,
+    /// Probability that compiling a shape stalls for
+    /// [`FaultPlan::search_stall_ns`] of real time before the search
+    /// (per shape).
+    #[serde(default)]
+    pub search_stall_rate: f64,
+    /// Stall duration injected before the search, real nanoseconds.
+    #[serde(default)]
+    pub search_stall_ns: u64,
+    /// Probability that a shape's *first* compilation produces a corrupted
+    /// program — a poisoned cache entry the validation layer must detect
+    /// and evict (per shape; the recompile after eviction is clean).
+    #[serde(default)]
+    pub cache_corrupt_rate: f64,
+    /// Probability that compiling a shape panics outright (per shape).
+    #[serde(default)]
+    pub compile_panic_rate: f64,
+    /// How many consecutive compile attempts of a panicking shape panic
+    /// before the fault clears. `u32::MAX` models a persistent fault (the
+    /// circuit-breaker case); small values model transients that a retry
+    /// or a breaker probe eventually gets past.
+    #[serde(default)]
+    pub panic_attempts: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            device_fault_rate: 0.0,
+            search_stall_rate: 0.0,
+            search_stall_ns: 0,
+            cache_corrupt_rate: 0.0,
+            compile_panic_rate: 0.0,
+            panic_attempts: 1,
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.device_fault_rate > 0.0
+            || (self.search_stall_rate > 0.0 && self.search_stall_ns > 0)
+            || self.cache_corrupt_rate > 0.0
+            || self.compile_panic_rate > 0.0
+    }
+
+    /// Whether device-execution `attempt` (0-based) of `request_id`
+    /// faults. Each attempt re-rolls, so transient faults clear under
+    /// retry with probability `1 - rate` per attempt.
+    pub fn device_fault(&self, request_id: u64, attempt: u32) -> bool {
+        self.device_fault_rate > 0.0
+            && hash_f64(self.seed ^ DEVICE_SALT, &[request_id, u64::from(attempt)])
+                < self.device_fault_rate
+    }
+
+    /// The real-time stall, in nanoseconds, injected before searching
+    /// `shape_key`, or `None` when this shape does not stall.
+    pub fn search_stall(&self, shape_key: u64) -> Option<u64> {
+        (self.search_stall_rate > 0.0
+            && self.search_stall_ns > 0
+            && hash_f64(self.seed ^ STALL_SALT, &[shape_key]) < self.search_stall_rate)
+            .then_some(self.search_stall_ns)
+    }
+
+    /// Whether compile `attempt` (0-based) of `shape_key` produces a
+    /// corrupted program. Only the first attempt corrupts: the recompile
+    /// after the poisoned entry is evicted comes out clean.
+    pub fn corrupts_program(&self, shape_key: u64, attempt: u32) -> bool {
+        attempt == 0
+            && self.cache_corrupt_rate > 0.0
+            && hash_f64(self.seed ^ CORRUPT_SALT, &[shape_key]) < self.cache_corrupt_rate
+    }
+
+    /// Whether compile `attempt` (0-based) of `shape_key` panics. The
+    /// first [`FaultPlan::panic_attempts`] attempts of an afflicted shape
+    /// panic; later attempts succeed (the fault has cleared).
+    pub fn compile_panics(&self, shape_key: u64, attempt: u32) -> bool {
+        attempt < self.panic_attempts
+            && self.compile_panic_rate > 0.0
+            && hash_f64(self.seed ^ PANIC_SALT, &[shape_key]) < self.compile_panic_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for id in 0..100 {
+            assert!(!plan.device_fault(id, 0));
+            assert!(plan.search_stall(id).is_none());
+            assert!(!plan.corrupts_program(id, 0));
+            assert!(!plan.compile_panics(id, 0));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan {
+            seed: 42,
+            device_fault_rate: 0.5,
+            search_stall_rate: 0.5,
+            search_stall_ns: 1000,
+            cache_corrupt_rate: 0.5,
+            compile_panic_rate: 0.5,
+            panic_attempts: 2,
+        };
+        let again = plan.clone();
+        for id in 0..200u64 {
+            assert_eq!(plan.device_fault(id, 3), again.device_fault(id, 3));
+            assert_eq!(plan.search_stall(id), again.search_stall(id));
+            assert_eq!(plan.corrupts_program(id, 0), again.corrupts_program(id, 0));
+            assert_eq!(plan.compile_panics(id, 1), again.compile_panics(id, 1));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan {
+            seed: 7,
+            device_fault_rate: 0.01,
+            ..FaultPlan::none()
+        };
+        let faults = (0..10_000u64)
+            .filter(|&id| plan.device_fault(id, 0))
+            .count();
+        assert!((50..200).contains(&faults), "1% of 10k ~ 100, got {faults}");
+    }
+
+    #[test]
+    fn panic_attempts_clear_and_corruption_is_once() {
+        let plan = FaultPlan {
+            seed: 3,
+            compile_panic_rate: 1.0,
+            panic_attempts: 2,
+            cache_corrupt_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        assert!(plan.compile_panics(9, 0));
+        assert!(plan.compile_panics(9, 1));
+        assert!(!plan.compile_panics(9, 2), "fault clears after 2 attempts");
+        assert!(plan.corrupts_program(9, 0));
+        assert!(!plan.corrupts_program(9, 1), "recompile is clean");
+    }
+
+    #[test]
+    fn fault_classes_are_independent_streams() {
+        let plan = FaultPlan {
+            seed: 11,
+            device_fault_rate: 0.5,
+            search_stall_rate: 0.5,
+            search_stall_ns: 10,
+            ..FaultPlan::none()
+        };
+        // The two classes must not fault on exactly the same ids.
+        let device: Vec<bool> = (0..64).map(|id| plan.device_fault(id, 0)).collect();
+        let stall: Vec<bool> = (0..64).map(|id| plan.search_stall(id).is_some()).collect();
+        assert_ne!(device, stall);
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan {
+            seed: 99,
+            device_fault_rate: 0.01,
+            search_stall_rate: 0.02,
+            search_stall_ns: 5000,
+            cache_corrupt_rate: 0.03,
+            compile_panic_rate: 0.04,
+            panic_attempts: 3,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), plan);
+    }
+}

@@ -49,6 +49,7 @@
 
 mod cluster;
 mod counters;
+mod fault;
 pub mod invariants;
 mod machine;
 mod noise;
@@ -58,6 +59,7 @@ mod timing;
 
 pub use cluster::{Cluster, Interconnect};
 pub use counters::{PeUtilization, SimReport};
+pub use fault::FaultPlan;
 pub use invariants::{
     check_deterministic_replay, check_launch, check_report, check_trace, InvariantViolation,
 };

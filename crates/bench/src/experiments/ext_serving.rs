@@ -66,6 +66,7 @@ fn merged_stream(
                     .iter()
                     .map(|op| (op.operator, op.count))
                     .collect(),
+                deadline_ns: None,
             });
         }
     }

@@ -5,6 +5,7 @@
 pub mod abl_patterns;
 pub mod abl_search;
 pub mod case_study;
+pub mod chaos_serving;
 pub mod ext_colaunch;
 pub mod ext_fusion;
 pub mod ext_portability;
@@ -62,6 +63,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-portability", ext_portability::run),
         ("ext-splitk", ext_splitk::run),
         ("ext-serving", ext_serving::run),
+        ("chaos-serving", chaos_serving::run),
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),

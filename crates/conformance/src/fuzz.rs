@@ -21,7 +21,9 @@
 use serde::{Deserialize, Serialize};
 
 use accel_sim::{MachineModel, TimingMode};
-use mikpoly::{execute_conv2d, execute_gemm, CacheOutcome};
+use mikpoly::{
+    execute_conv2d, execute_gemm, panic_reason, CacheOutcome, CompileBudget, MikPolyError,
+};
 use tensor_ir::{reference_conv2d, reference_gemm, Conv2dShape, GemmShape, Operator, Tensor};
 
 use crate::reference::{compare_to_reference, Tolerance};
@@ -256,6 +258,56 @@ impl OpSpec {
     }
 }
 
+/// Deterministic fault dimensions a case can optionally carry: each
+/// enabled dimension fires on the shape's first compile (rate 1 under the
+/// seeded [`accel_sim::FaultPlan`] schedule), so the case must recover —
+/// retry the injected panic, evict the corrupted entry — and still pass
+/// every differential property. Boolean dimensions (rather than float
+/// rates) keep the spec `Eq + Hash` and the corpus replay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Inject a search stall (bounded, well under any test timeout).
+    pub stall: bool,
+    /// Corrupt the compiled program so cache validation must evict it.
+    pub corrupt: bool,
+    /// Panic the first compile attempt (recovered by one retry).
+    pub panic: bool,
+}
+
+impl FaultSpec {
+    /// The concrete fault-injection schedule this spec denotes.
+    pub fn plan(&self) -> accel_sim::FaultPlan {
+        accel_sim::FaultPlan {
+            seed: self.seed,
+            device_fault_rate: 0.0,
+            search_stall_rate: if self.stall { 1.0 } else { 0.0 },
+            // Visible in traces, negligible against the offline stage.
+            search_stall_ns: 100_000,
+            cache_corrupt_rate: if self.corrupt { 1.0 } else { 0.0 },
+            compile_panic_rate: if self.panic { 1.0 } else { 0.0 },
+            panic_attempts: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault(seed={:#x}", self.seed)?;
+        for (on, name) in [
+            (self.stall, "stall"),
+            (self.corrupt, "corrupt"),
+            (self.panic, "panic"),
+        ] {
+            if on {
+                write!(f, "+{name}")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
 /// One deterministic fuzz case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FuzzCase {
@@ -265,6 +317,10 @@ pub struct FuzzCase {
     pub op: OpSpec,
     /// Seed for the pseudo-random operand data.
     pub data_seed: u64,
+    /// Optional injected-fault dimensions the pipeline must recover from
+    /// (absent in corpora written before fault fuzzing existed).
+    #[serde(default)]
+    pub fault: Option<FaultSpec>,
 }
 
 impl std::fmt::Display for FuzzCase {
@@ -275,7 +331,11 @@ impl std::fmt::Display for FuzzCase {
             self.machine,
             self.op.operator(),
             self.data_seed
-        )
+        )?;
+        if let Some(fault) = &self.fault {
+            write!(f, " {fault}")?;
+        }
+        Ok(())
     }
 }
 
@@ -373,7 +433,32 @@ pub fn gen_op(rng: &mut XorShift64) -> OpSpec {
 pub fn run_case(env: &ConformanceEnv, case: &FuzzCase) -> Result<(), String> {
     let op = case.op.operator();
     let compiler = env.compiler_for(case);
-    let program = compiler.compile(&op);
+    let program = match &case.fault {
+        None => compiler.compile(&op),
+        Some(spec) => {
+            // The injected faults hit a shape's first compile attempt;
+            // panic isolation plus one retry is exactly the serving
+            // runtime's recovery contract, and poisoned-entry eviction
+            // happens inside `try_compile` itself.
+            compiler.set_fault_plan(Some(std::sync::Arc::new(spec.plan())));
+            let compile = || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    compiler.try_compile(&op, CompileBudget::default())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(MikPolyError::CompilePanicked {
+                        reason: panic_reason(&*payload),
+                    })
+                })
+            };
+            let result = compile().or_else(|first| match first {
+                MikPolyError::CompilePanicked { .. } => compile(),
+                other => Err(other),
+            });
+            compiler.set_fault_plan(None);
+            result.map_err(|e| format!("fault recovery: {e}"))?.program
+        }
+    };
 
     // Coverage: the program must tile the output exactly.
     program
@@ -452,6 +537,20 @@ pub fn shrink(
     let mut best = case;
     let mut best_reason = reason;
     let mut steps = 0usize;
+    // Try dropping the fault dimension before shrinking the shape: a
+    // failure that still reproduces fault-free is a plain shape bug, and
+    // the fault-free case is the more minimal regression corpus entry.
+    if best.fault.is_some() && steps < max_steps {
+        let candidate = FuzzCase {
+            fault: None,
+            ..best
+        };
+        steps += 1;
+        if let Err(reason) = run_case(env, &candidate) {
+            best = candidate;
+            best_reason = reason;
+        }
+    }
     'outer: while steps < max_steps {
         for candidate_op in best.op.shrink_candidates() {
             if steps >= max_steps {
@@ -498,12 +597,25 @@ pub fn fuzz_run(env: &ConformanceEnv, config: &FuzzConfig, corpus: &[FuzzCase]) 
         let machine = *rng.pick(&config.machines);
         let op = gen_op(&mut rng);
         let data_seed = rng.next_u64();
+        // About a quarter of the cases also carry injected faults the
+        // pipeline must recover from before the properties are checked.
+        let fault = if rng.range(0, 3) == 0 {
+            Some(FaultSpec {
+                seed: rng.next_u64(),
+                stall: rng.range(0, 1) == 1,
+                corrupt: rng.range(0, 1) == 1,
+                panic: rng.range(0, 1) == 1,
+            })
+        } else {
+            None
+        };
         execute(
             env,
             FuzzCase {
                 machine,
                 op,
                 data_seed,
+                fault,
             },
             &mut report,
         );
@@ -615,6 +727,7 @@ mod tests {
                 machine: MachineKind::Gpu,
                 op: OpSpec::Gemm { m: 7, n: 9, k: 3 },
                 data_seed: 42,
+                fault: None,
             },
             FuzzCase {
                 machine: MachineKind::Npu,
@@ -629,6 +742,7 @@ mod tests {
                     padding: 1,
                 },
                 data_seed: 43,
+                fault: None,
             },
         ];
         let path = std::env::temp_dir().join("mikpoly-conformance-corpus-test.json");
@@ -641,6 +755,7 @@ mod tests {
             machine: MachineKind::Gpu,
             op: OpSpec::Gemm { m: 1, n: 1, k: 1 },
             data_seed: 1,
+            fault: None,
         };
         append_to_corpus(&path, &extra).expect("append new");
         assert_eq!(load_corpus(&path).expect("load").len(), 3);

@@ -38,7 +38,7 @@ pub mod rng;
 
 pub use fuzz::{
     append_to_corpus, default_case_count, fuzz_run, gen_op, load_corpus, run_case, save_corpus,
-    shrink, CaseFailure, FuzzCase, FuzzConfig, FuzzReport, MachineKind, OpSpec,
+    shrink, CaseFailure, FaultSpec, FuzzCase, FuzzConfig, FuzzReport, MachineKind, OpSpec,
 };
 pub use gate::{run_gate, GateConfig, GateOutcome};
 pub use oracle::{gap_for, sample_shapes, summarize, GapSample, GapSummary};

@@ -9,6 +9,9 @@
 //!               [--trace-out trace.json] [--metrics-out metrics.txt]
 //! mikpoly stats [serve flags]                # telemetered serve + metrics table
 //! mikpoly trace-stats trace.json             # validate/summarize a trace file
+//! mikpoly chaos [--requests N] [--workers N] [--seed N] [--fault-rate F]
+//!               [--stall-ns N] [--queue-capacity N] [--deadline-us N]
+//!               [--compile-budget-us N] [--machine ...]
 //! ```
 //!
 //! Runs the offline stage (cached in-process), polymerizes the requested
@@ -23,14 +26,20 @@
 //! same stream and prints the metrics registry as an aligned table;
 //! `trace-stats` parses a previously exported trace and reports event
 //! counts (the CI smoke test uses it to prove the JSON is well-formed).
+//! `chaos` replays a request stream under a deterministic fault plan
+//! (device faults, search stalls, compile panics, cache corruption) plus
+//! admission control, prints the disposition table, and exits non-zero if
+//! any request lacks exactly one terminal disposition — the CI chaos
+//! smoke.
 
 use std::sync::Arc;
 
-use accel_sim::{Cluster, Interconnect, MachineModel};
+use accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
 use mikpoly::serving::poisson_arrivals;
 use mikpoly::telemetry::Telemetry;
 use mikpoly::{
-    Engine, MikPoly, OfflineOptions, OnlineOptions, Request, ServingRuntime, TemplateKind,
+    BreakerPolicy, Disposition, Engine, MikPoly, OfflineOptions, OnlineOptions, Request,
+    ServingOptions, ServingRuntime, TemplateKind,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -86,6 +95,9 @@ fn main() {
         }
         Some("stats") => {
             serve(machine, &args, ServeMode::Stats);
+        }
+        Some("chaos") => {
+            chaos(machine, &args);
         }
         Some("trace-stats") => {
             let path = positional
@@ -229,6 +241,7 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
             id,
             arrival_ns,
             ops: layer(len),
+            deadline_ns: None,
         })
         .collect();
 
@@ -309,6 +322,130 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
     }
 }
 
+/// Replays a GEMM stream under a deterministic fault plan and admission
+/// control, prints the disposition table, and exits non-zero when the
+/// exhaustive-disposition invariant is violated. CI runs this with fixed
+/// seeds as the chaos smoke.
+fn chaos(machine: MachineModel, args: &[String]) {
+    let n_requests: usize = parsed_flag(args, "--requests").unwrap_or(48);
+    let workers: usize = parsed_flag(args, "--workers").unwrap_or(4);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(7);
+    let fault_rate: f64 = parsed_flag(args, "--fault-rate").unwrap_or(0.05);
+    let stall_ns: u64 = parsed_flag(args, "--stall-ns").unwrap_or(200_000);
+    let queue_capacity: Option<usize> = parsed_flag(args, "--queue-capacity");
+    let deadline_us: Option<f64> = parsed_flag(args, "--deadline-us");
+    let compile_budget_us: u64 = parsed_flag(args, "--compile-budget-us").unwrap_or(20_000);
+    if n_requests == 0 || workers == 0 || !(0.0..=1.0).contains(&fault_rate) {
+        usage("chaos needs positive --requests/--workers and --fault-rate in [0, 1]");
+    }
+
+    eprintln!("offline: tuning micro-kernels for {} ...", machine.name);
+    let mut offline = OfflineOptions::fast();
+    offline.n_gen = 4;
+    let engine = Arc::new(Engine::offline(machine.clone(), &offline));
+    eprintln!("offline: done\n");
+
+    // One injected-fault rate drives every fault dimension; the stall
+    // dimension only participates when a stall duration is configured.
+    let plan = FaultPlan {
+        seed,
+        device_fault_rate: fault_rate,
+        search_stall_rate: if stall_ns > 0 { fault_rate * 4.0 } else { 0.0 }.min(1.0),
+        search_stall_ns: stall_ns,
+        cache_corrupt_rate: fault_rate * 2.0,
+        compile_panic_rate: fault_rate * 2.0,
+        panic_attempts: 2,
+    };
+    let options = ServingOptions {
+        queue_capacity,
+        compile_budget: Some(std::time::Duration::from_micros(compile_budget_us)),
+        breaker: Some(BreakerPolicy::default()),
+        fault_plan: Some(Arc::new(plan)),
+        ..ServingOptions::default()
+    };
+    let shapes = [
+        GemmShape::new(256, 256, 256),
+        GemmShape::new(777, 512, 256),
+        GemmShape::new(1111, 999, 512),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(320, 192, 128),
+        GemmShape::new(511, 257, 96),
+        GemmShape::new(900, 300, 300),
+        GemmShape::new(128, 1024, 64),
+    ];
+    let requests: Vec<Request> = poisson_arrivals(n_requests, 30_000.0, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, arrival_ns)| {
+            let r = Request::single(id, arrival_ns, Operator::gemm(shapes[id % shapes.len()]));
+            match deadline_us {
+                Some(us) => r.with_deadline(arrival_ns + us * 1e3),
+                None => r,
+            }
+        })
+        .collect();
+
+    let cluster = Cluster::new(machine, workers, Interconnect::nvlink3());
+    let runtime = ServingRuntime::new(engine, cluster, workers).with_options(options);
+    // Injected compile panics are caught at the worker boundary; silence
+    // the default panic hook's backtrace spam while the stream runs.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = runtime.serve(&requests);
+    std::panic::set_hook(prev_hook);
+
+    // The invariant under chaos: every request terminates with exactly
+    // one disposition, shed reasons appear iff the request was shed, and
+    // shed requests consume no virtual resources.
+    let counts = report.dispositions();
+    let mut violations = 0usize;
+    if report.records.len() != n_requests || counts.total() != n_requests {
+        eprintln!(
+            "invariant violated: {} records / {} dispositions for {n_requests} requests",
+            report.records.len(),
+            counts.total()
+        );
+        violations += 1;
+    }
+    for r in &report.records {
+        if r.shed_reason.is_some() != (r.disposition == Disposition::Shed) {
+            eprintln!(
+                "invariant violated: request {} shed reason mismatch: {r:?}",
+                r.id
+            );
+            violations += 1;
+        }
+        if r.disposition == Disposition::Shed && r.executed() {
+            eprintln!(
+                "invariant violated: shed request {} booked a device: {r:?}",
+                r.id
+            );
+            violations += 1;
+        }
+    }
+
+    let retried: u32 = report.records.iter().map(|r| r.retries).sum();
+    println!("chaos: {n_requests} requests, {workers} workers, fault seed {seed}");
+    println!("  completed  {:>6}", counts.completed);
+    println!("  degraded   {:>6}", counts.degraded);
+    println!("  shed       {:>6}", counts.shed);
+    println!("  failed     {:>6}", counts.failed);
+    println!(
+        "  retries       {retried:>3}   breaker opens {:>3}",
+        report.breaker_opens
+    );
+    println!(
+        "  goodput {:.0} req/s of {:.0} req/s offered",
+        report.goodput_rps(),
+        report.throughput_rps()
+    );
+    if violations > 0 {
+        eprintln!("chaos: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    println!("chaos: disposition invariant holds");
+}
+
 /// Parses a Chrome trace-event file and prints per-phase event counts.
 /// Exits non-zero when the file is not valid trace JSON, so CI can use it
 /// as a structural check on `serve --trace-out` artifacts.
@@ -381,5 +518,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("                [--trace-out trace.json] [--metrics-out metrics.txt]");
     eprintln!("  mikpoly stats [serve flags]        # telemetered serve + metrics table");
     eprintln!("  mikpoly trace-stats trace.json     # validate/summarize a trace file");
+    eprintln!(
+        "  mikpoly chaos [--requests N] [--workers N] [--seed N] [--fault-rate F] [--stall-ns N]"
+    );
+    eprintln!("                [--queue-capacity N] [--deadline-us N] [--compile-budget-us N] [--machine ...]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -27,6 +27,16 @@
 //! shape universe outgrows memory re-polymerize evicted shapes on next
 //! sight; the `evictions` counter makes the churn observable. Unbounded
 //! caches (the default) never take the order-list lock.
+//!
+//! Failure story: a computing closure that returns `Err` (or panics) never
+//! caches its result — the in-flight slot is cleared, waiters are woken,
+//! and the next caller retries from scratch
+//! ([`ShardedCache::try_get_or_compute`]). Entries found invalid after the
+//! fact are evicted with [`ShardedCache::remove`] (counted as
+//! `invalidations`).
+
+// Online hot path: failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -67,6 +77,9 @@ pub struct CacheStats {
     pub direct_inserts: u64,
     /// Ready entries evicted by the capacity bound (0 when unbounded).
     pub evictions: u64,
+    /// Ready entries explicitly evicted by [`ShardedCache::remove`]
+    /// (e.g. entries that failed post-fill validation — poisoned entries).
+    pub invalidations: u64,
     /// Cached entries at snapshot time.
     pub entries: u64,
 }
@@ -93,6 +106,7 @@ impl CacheStats {
             coalesced_waits: self.coalesced_waits + other.coalesced_waits,
             direct_inserts: self.direct_inserts + other.direct_inserts,
             evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
             entries: self.entries + other.entries,
         }
     }
@@ -114,6 +128,9 @@ impl CacheStats {
             .counter("cache.direct_inserts")
             .store(self.direct_inserts);
         registry.counter("cache.evictions").store(self.evictions);
+        registry
+            .counter("cache.invalidations")
+            .store(self.invalidations);
         registry.counter("cache.entries").store(self.entries);
     }
 }
@@ -143,6 +160,7 @@ struct Counters {
     coalesced_waits: AtomicU64,
     direct_inserts: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 /// Removes the in-flight slot and wakes waiters if the computation never
@@ -207,6 +225,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                 coalesced_waits: AtomicU64::new(0),
                 direct_inserts: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                invalidations: AtomicU64::new(0),
             },
             capacity,
             order: Mutex::new(std::collections::VecDeque::new()),
@@ -264,13 +283,30 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// a miss. Concurrent callers for the same key coalesce onto a single
     /// computation; the outcome says which role this call played.
     pub fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> (Arc<V>, CacheOutcome) {
+        match self.try_get_or_compute(key, || Ok::<V, std::convert::Infallible>(compute())) {
+            Ok(found) => found,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Like [`ShardedCache::get_or_compute`], but the computation may
+    /// fail. An `Err` is **never cached**: the in-flight slot is removed
+    /// and every coalesced waiter is woken to retry (one of them becomes
+    /// the next leader), exactly as if the closure had panicked. The
+    /// error is returned to the leader only; waiters re-run `compute`
+    /// under their own call's closure.
+    pub fn try_get_or_compute<E>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Arc<V>, CacheOutcome), E> {
         let shard = self.shard(key);
         // Fast path: shared lock only.
         {
             let guard = shard.read();
             if let Some(Slot::Ready(v)) = guard.get(key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(v), CacheOutcome::Hit);
+                return Ok((Arc::clone(v), CacheOutcome::Hit));
             }
         }
         loop {
@@ -280,15 +316,15 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                 match guard.get(key) {
                     Some(Slot::Ready(v)) => {
                         self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                        return (Arc::clone(v), CacheOutcome::Hit);
+                        return Ok((Arc::clone(v), CacheOutcome::Hit));
                     }
                     Some(Slot::InFlight(flight)) => {
                         let flight = Arc::clone(flight);
                         drop(guard);
                         match self.await_flight(&flight) {
-                            Some(v) => return (v, CacheOutcome::Waited),
-                            // Computing thread panicked: retry and take
-                            // over the flight.
+                            Some(v) => return Ok((v, CacheOutcome::Waited)),
+                            // Computing thread panicked or failed: retry
+                            // and take over the flight.
                             None => continue,
                         }
                     }
@@ -303,22 +339,39 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                     }
                 }
             };
-            // …then compute outside any shard lock.
+            // …then compute outside any shard lock. The guard clears the
+            // in-flight slot and wakes waiters on *any* early exit —
+            // panic or `Err` — so a failed leader can never wedge them.
             let mut guard = FlightGuard {
                 shard,
                 key: Some(key.clone()),
                 flight: Arc::clone(&flight),
             };
-            let value = Arc::new(compute());
-            let key = guard.key.take().expect("guard armed"); // disarm
+            let value = Arc::new(compute()?);
+            guard.key = None; // disarm: the fill is committing
             shard
                 .write()
                 .insert(key.clone(), Slot::Ready(Arc::clone(&value)));
             *flight.state.lock() = FlightState::Done(Arc::clone(&value));
             flight.ready.notify_all();
             self.counters.computations.fetch_add(1, Ordering::Relaxed);
-            self.enforce_capacity(&key);
-            return (value, CacheOutcome::Computed);
+            self.enforce_capacity(key);
+            return Ok((value, CacheOutcome::Computed));
+        }
+    }
+
+    /// Evicts `key`'s ready entry, if any (counted as an invalidation —
+    /// the knob for entries found corrupt after the fact). An in-flight
+    /// slot is left alone: its leader still owns the fill and its waiters
+    /// its condvar.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut guard = self.shard(key).write();
+        if matches!(guard.get(key), Some(Slot::Ready(_))) {
+            guard.remove(key);
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
@@ -387,6 +440,7 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             direct_inserts: self.counters.direct_inserts.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            invalidations: self.counters.invalidations.load(Ordering::Relaxed),
             entries: self.len() as u64,
         }
     }
@@ -408,6 +462,7 @@ impl<K: Eq + Hash + Clone, V> std::fmt::Debug for ShardedCache<K, V> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -464,6 +519,111 @@ mod tests {
         // The key is not wedged: the next caller computes it.
         let (v, outcome) = cache.get_or_compute(&1, || 11);
         assert_eq!((*v, outcome), (11, CacheOutcome::Computed));
+    }
+
+    #[test]
+    fn failed_flight_is_not_cached_and_retries() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let err = cache
+            .try_get_or_compute(&5, || Err::<u64, &str>("injected"))
+            .expect_err("leader must see its own error");
+        assert_eq!(err, "injected");
+        assert_eq!(cache.len(), 0, "errors are never cached");
+        assert!(cache.get(&5).is_none());
+        // The key is not wedged: the next caller computes fresh.
+        let (v, outcome) = cache
+            .try_get_or_compute(&5, || Ok::<u64, &str>(55))
+            .expect("retry succeeds");
+        assert_eq!((*v, outcome), (55, CacheOutcome::Computed));
+        let stats = cache.stats();
+        assert_eq!(stats.computations, 1, "only the success counts");
+        assert_eq!(stats.misses, 2, "both calls missed");
+    }
+
+    #[test]
+    fn followers_of_failed_leader_retry_instead_of_hanging() {
+        // One leader fails (errors or panics) while several followers are
+        // already blocked on its flight. Every follower must terminate:
+        // one takes over and computes, the rest share the result.
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let _ = cache.try_get_or_compute(&9, || {
+                    started.wait(); // followers may now pile on
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Err::<u64, &str>("leader fails")
+                });
+            })
+        };
+        started.wait();
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let (v, _) = cache
+                        .try_get_or_compute(&9, || Ok::<u64, &str>(99))
+                        .expect("follower retry must succeed");
+                    *v
+                })
+            })
+            .collect();
+        leader.join().expect("leader thread must not die");
+        for f in followers {
+            assert_eq!(f.join().expect("follower must terminate"), 99);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.computations, 1, "exactly one successful fill");
+        assert!(cache.get(&9).is_some());
+    }
+
+    #[test]
+    fn followers_of_panicked_leader_do_not_hang() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let _ = cache.get_or_compute(&3, || {
+                    started.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("injected compile panic");
+                });
+            })
+        };
+        started.wait();
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let (v, _) = cache.get_or_compute(&3, || 33);
+                    *v
+                })
+            })
+            .collect();
+        assert!(leader.join().is_err(), "leader panics");
+        for f in followers {
+            assert_eq!(f.join().expect("follower must terminate"), 33);
+        }
+    }
+
+    #[test]
+    fn remove_evicts_ready_entries_and_counts_invalidations() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        cache.insert(1, Arc::new(10));
+        assert!(cache.remove(&1), "ready entry removed");
+        assert!(!cache.remove(&1), "second remove is a no-op");
+        assert!(!cache.remove(&2), "absent key is a no-op");
+        assert!(cache.get(&1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0);
+        // Removed keys recompute on next sight.
+        let (_, outcome) = cache.get_or_compute(&1, || 11);
+        assert_eq!(outcome, CacheOutcome::Computed);
     }
 
     #[test]

@@ -1,20 +1,36 @@
 //! The `MikPoly` facade: two-stage compilation end to end.
+//!
+//! Fault tolerance: [`MikPoly::try_compile`] is the budgeted, fallible
+//! entry point — it honors a per-request compile deadline (falling back to
+//! the degraded single-kernel plan when the search cannot finish in time),
+//! validates cache entries when a [`FaultPlan`] is active (evicting and
+//! recompiling poisoned entries), and reports every failure as a typed
+//! [`MikPolyError`]. The infallible [`MikPoly::compile`] / [`MikPoly::run`]
+//! remain for deadline-free, fault-free callers.
 
+// Online hot path: failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use accel_sim::{simulate, Launch, MachineModel, SimReport, TimingMode};
+use accel_sim::{simulate, FaultPlan, Launch, MachineModel, SimReport, TimingMode};
 use mikpoly_telemetry::{span, Clock, Telemetry};
 use tensor_ir::Operator;
 
 use crate::cache::{CacheOutcome, CacheStats, ShardedCache};
 use crate::cost::CostModelKind;
+use crate::error::MikPolyError;
 use crate::offline::{MicroKernelLibrary, OfflineOptions};
 use crate::pattern::{default_patterns, Pattern};
 use crate::plan::{CompiledProgram, Region};
-use crate::search::{polymerize_traced, SearchPolicy};
+use crate::search::{polymerize_degraded, try_polymerize_traced, SearchPolicy};
 
 /// Options of the online (polymerization) stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +77,53 @@ impl Default for OnlineOptions {
     }
 }
 
+/// Per-request constraints on one online compilation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileBudget {
+    /// Hard wall-clock deadline for the compile. The search itself aborts
+    /// at a *soft* deadline (80% of the remaining time) so the degraded
+    /// fallback still fits inside the hard one.
+    pub deadline: Option<Instant>,
+    /// Skip the full search entirely and take the degraded path — the
+    /// circuit breaker's open-state routing.
+    pub degrade_only: bool,
+}
+
+impl CompileBudget {
+    /// A budget of `limit` from now, full path allowed.
+    pub fn within(limit: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + limit),
+            degrade_only: false,
+        }
+    }
+}
+
+/// Which rung of the degradation ladder produced a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileGrade {
+    /// The full staged search ran to its normal termination.
+    Full,
+    /// The deadline cut the search (incumbent returned), or the degraded
+    /// single-kernel fallback ran. The program is numerically identical to
+    /// a full-grade one — only its predicted performance may be worse.
+    Degraded,
+}
+
+/// Outcome of one budgeted compilation.
+#[derive(Debug, Clone)]
+pub struct CompileReply {
+    /// The compiled program (always coverage-complete).
+    pub program: Arc<CompiledProgram>,
+    /// How the program cache answered.
+    pub outcome: CacheOutcome,
+    /// Which rung of the degradation ladder answered.
+    pub grade: CompileGrade,
+    /// Poisoned cache entries evicted and recompiled on the way (only
+    /// non-zero under an active fault plan).
+    pub poison_retries: u32,
+}
+
 /// One operator execution: the compiled program, the device timing, and the
 /// online compilation overhead MikPoly paid for it.
 #[derive(Debug, Clone)]
@@ -75,6 +138,8 @@ pub struct OperatorRun {
     /// polymerization work on `Computed` but a coalesced wait on another
     /// thread's flight on `Waited`.
     pub outcome: CacheOutcome,
+    /// Which rung of the degradation ladder compiled the program.
+    pub grade: CompileGrade,
 }
 
 impl OperatorRun {
@@ -127,7 +192,25 @@ pub struct MikPoly {
     library: Arc<MicroKernelLibrary>,
     options: OnlineOptions,
     cache: ShardedCache<Operator, CompiledProgram>,
+    /// Programs from the degraded fallback path, cached separately: a
+    /// degraded plan must never shadow (or be shadowed by) the full
+    /// search's plan for the same shape.
+    degraded: ShardedCache<Operator, CompiledProgram>,
+    /// Deterministic fault-injection schedule; `None` (production) makes
+    /// every fault hook a no-op.
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Per-shape compile-attempt counters driving the fault schedule's
+    /// `attempt` dimension (transient faults clear on retry).
+    fault_attempts: Mutex<HashMap<u64, u32>>,
     telemetry: Arc<Telemetry>,
+}
+
+/// The stable per-shape key used by the fault plan, the circuit breaker,
+/// and the attempt counters.
+pub fn shape_key(operator: &Operator) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    operator.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl MikPoly {
@@ -154,6 +237,9 @@ impl MikPoly {
             library: Arc::new(library),
             options: OnlineOptions::default(),
             cache: ShardedCache::new(),
+            degraded: ShardedCache::new(),
+            fault_plan: RwLock::new(None),
+            fault_attempts: Mutex::new(HashMap::new()),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -166,8 +252,32 @@ impl MikPoly {
             Some(capacity) => ShardedCache::bounded(capacity),
             None => ShardedCache::new(),
         };
+        self.degraded = ShardedCache::new();
         self.options = options;
         self
+    }
+
+    /// Installs (or clears, with `None`) the deterministic fault-injection
+    /// schedule. Clears the per-shape attempt counters so a fresh plan
+    /// replays its schedule from attempt zero.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault_plan.write() = plan;
+        self.fault_attempts.lock().clear();
+    }
+
+    /// The active fault-injection schedule, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.read().clone()
+    }
+
+    /// Returns the current compile-attempt number for `key` and advances
+    /// the counter (0-based; the fault schedule is indexed by attempt).
+    fn next_attempt(&self, key: u64) -> u32 {
+        let mut attempts = self.fault_attempts.lock();
+        let slot = attempts.entry(key).or_insert(0);
+        let current = *slot;
+        *slot += 1;
+        current
     }
 
     /// Attaches a telemetry handle (builder style): online compilations
@@ -221,14 +331,126 @@ impl MikPoly {
         &self,
         operator: &Operator,
     ) -> (Arc<CompiledProgram>, CacheOutcome) {
-        if !self.options.cache {
-            return (
-                Arc::new(self.compile_uncached(operator)),
-                CacheOutcome::Computed,
-            );
+        match self.try_compile(operator, CompileBudget::default()) {
+            Ok(reply) => (reply.program, reply.outcome),
+            // With no deadline and no fault plan every failure is the
+            // logic bug the infallible contract documents as a panic.
+            Err(err) => panic!("infallible compilation failed: {err}"),
         }
-        self.cache
-            .get_or_compute(operator, || self.compile_uncached(operator))
+    }
+
+    /// Budgeted, fallible compilation — the serving runtime's entry point.
+    ///
+    /// The degradation ladder, top to bottom:
+    ///
+    /// 1. full staged search (possibly cut at the deadline, returning the
+    ///    incumbent — still [`CompileGrade::Degraded`] for *this* request,
+    ///    though the cached program serves later hits at full grade);
+    /// 2. the search-free single-kernel fallback, when the deadline left
+    ///    no room for any search or `degrade_only` routed here directly.
+    ///
+    /// Under an active [`FaultPlan`], returned programs are validated and
+    /// poisoned cache entries are evicted ([`CacheStats::invalidations`])
+    /// and recompiled, bounded by an internal retry cap.
+    ///
+    /// # Errors
+    ///
+    /// [`MikPolyError::NoFeasibleStrategy`] when the library has no usable
+    /// kernel, [`MikPolyError::CachePoisoned`] when recompiles keep
+    /// producing invalid programs. A deadline that cuts even the fallback
+    /// is *not* an error: the fallback is search-free, so it always
+    /// completes. Injected compile panics propagate as panics — isolation
+    /// is the caller's `catch_unwind` at the worker boundary.
+    pub fn try_compile(
+        &self,
+        operator: &Operator,
+        budget: CompileBudget,
+    ) -> Result<CompileReply, MikPolyError> {
+        if budget.degrade_only {
+            return self.degraded_reply(operator, 0);
+        }
+        match self.try_compile_full(operator, budget.deadline) {
+            Ok(reply) => Ok(reply),
+            // The search ran out of time before costing any strategy:
+            // drop to the bottom rung.
+            Err(MikPolyError::DeadlineExceeded { .. }) => self.degraded_reply(operator, 0),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// The full-search rung: cached, single-flight, deadline-aware, with
+    /// poisoned-entry validation under an active fault plan.
+    fn try_compile_full(
+        &self,
+        operator: &Operator,
+        deadline: Option<Instant>,
+    ) -> Result<CompileReply, MikPolyError> {
+        // Validation is only meaningful when faults can corrupt programs;
+        // clean builds skip the coverage re-check on every hit.
+        let validate = self.fault_plan().is_some_and(|p| p.is_active());
+        const MAX_POISON_RETRIES: u32 = 2;
+        let mut poison_retries = 0u32;
+        loop {
+            let deadline_cut = Cell::new(false);
+            let attempt = if self.options.cache {
+                self.cache.try_get_or_compute(operator, || {
+                    self.try_compile_uncached(operator, deadline, &deadline_cut)
+                })
+            } else {
+                self.try_compile_uncached(operator, deadline, &deadline_cut)
+                    .map(|p| (Arc::new(p), CacheOutcome::Computed))
+            };
+            let (program, outcome) = attempt?;
+            if validate && program.verify_coverage().is_err() {
+                // Poisoned entry: evict and recompile. The fault schedule
+                // corrupts only a shape's first compile, so the retry
+                // normally comes back clean; the cap bounds the pathological
+                // always-corrupt schedule.
+                self.cache.remove(operator);
+                poison_retries += 1;
+                if poison_retries > MAX_POISON_RETRIES {
+                    return Err(MikPolyError::CachePoisoned {
+                        operator: *operator,
+                        attempts: poison_retries,
+                    });
+                }
+                continue;
+            }
+            let grade = if deadline_cut.get() {
+                CompileGrade::Degraded
+            } else {
+                CompileGrade::Full
+            };
+            return Ok(CompileReply {
+                program,
+                outcome,
+                grade,
+                poison_retries,
+            });
+        }
+    }
+
+    /// The bottom rung: the search-free single-kernel plan, cached in the
+    /// dedicated degraded cache.
+    fn degraded_reply(
+        &self,
+        operator: &Operator,
+        poison_retries: u32,
+    ) -> Result<CompileReply, MikPolyError> {
+        let (program, outcome) = self.degraded.try_get_or_compute(operator, || {
+            polymerize_degraded(
+                &self.machine,
+                &self.library,
+                &operator.gemm_view(),
+                *operator,
+            )
+        })?;
+        Ok(CompileReply {
+            program,
+            outcome,
+            grade: CompileGrade::Degraded,
+            poison_retries,
+        })
     }
 
     /// Counter snapshot of the program cache (hits, polymerizations,
@@ -270,7 +492,13 @@ impl MikPoly {
                 }
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("compile thread panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(pairs) => pairs,
+                        // `compile` takes no budget and no faults reach
+                        // this path, so a panic here is a logic bug —
+                        // resume the unwind rather than mask it.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
         operators
@@ -330,9 +558,35 @@ impl MikPoly {
         Ok(count)
     }
 
-    fn compile_uncached(&self, operator: &Operator) -> CompiledProgram {
+    /// One fresh polymerization with the fault hooks applied, in schedule
+    /// order: injected panic → injected search stall → deadline-aware
+    /// search → injected program corruption. `deadline_cut` reports (via
+    /// the captured cell — the closure runs inside the cache's single
+    /// flight, so a plain return channel is unavailable) whether the
+    /// deadline cut the search for *this* computation.
+    fn try_compile_uncached(
+        &self,
+        operator: &Operator,
+        deadline: Option<Instant>,
+        deadline_cut: &Cell<bool>,
+    ) -> Result<CompiledProgram, MikPolyError> {
+        let plan = self.fault_plan();
+        let key = shape_key(operator);
+        let attempt = match plan.as_ref() {
+            Some(p) if p.is_active() => self.next_attempt(key),
+            _ => 0,
+        };
+        if let Some(plan) = plan.as_ref() {
+            if plan.compile_panics(key, attempt) {
+                panic!("injected compile fault for {operator}");
+            }
+            if let Some(stall_ns) = plan.search_stall(key) {
+                self.stall(operator, stall_ns, deadline)?;
+            }
+        }
         let view = operator.gemm_view();
-        let program = polymerize_traced(
+        let soft = deadline.map(soft_deadline);
+        let run = try_polymerize_traced(
             &self.machine,
             &self.library,
             &view,
@@ -341,12 +595,58 @@ impl MikPoly {
             self.options.cost_model,
             self.options.prune,
             &self.options.search,
+            soft,
             &self.telemetry,
-        );
-        if self.options.split_k && self.options.cost_model == CostModelKind::Full {
-            crate::search::improve_with_split_k(&self.machine, &self.library, &view, program)
-        } else {
-            program
+        )?;
+        deadline_cut.set(run.deadline_cut);
+        let mut program = run.program;
+        if self.options.split_k
+            && self.options.cost_model == CostModelKind::Full
+            && !run.deadline_cut
+        {
+            program =
+                crate::search::improve_with_split_k(&self.machine, &self.library, &view, program);
+        }
+        if plan
+            .as_ref()
+            .is_some_and(|p| p.corrupts_program(key, attempt))
+        {
+            // Drop a region so `verify_coverage` fails: the poisoned
+            // program is structurally plausible but provably incomplete.
+            program.regions.pop();
+        }
+        Ok(program)
+    }
+
+    /// Sleeps out an injected search stall, honoring the deadline: a stall
+    /// that cannot finish before the *soft* deadline burns only the time
+    /// up to it and reports [`MikPolyError::DeadlineExceeded`] so the
+    /// caller can still fall back within the hard deadline.
+    fn stall(
+        &self,
+        operator: &Operator,
+        stall_ns: u64,
+        deadline: Option<Instant>,
+    ) -> Result<(), MikPolyError> {
+        let stall = Duration::from_nanos(stall_ns);
+        match deadline {
+            None => {
+                std::thread::sleep(stall);
+                Ok(())
+            }
+            Some(hard) => {
+                let soft = soft_deadline(hard);
+                let now = Instant::now();
+                if now + stall < soft {
+                    std::thread::sleep(stall);
+                    Ok(())
+                } else {
+                    std::thread::sleep(soft.saturating_duration_since(now));
+                    Err(MikPolyError::DeadlineExceeded {
+                        operator: *operator,
+                    })
+                }
+            }
         }
     }
 
@@ -401,21 +701,45 @@ impl MikPoly {
 
     /// Compiles and simulates an operator in one call.
     pub fn run(&self, operator: &Operator) -> OperatorRun {
+        match self.try_run(operator, CompileBudget::default()) {
+            Ok(run) => run,
+            // With no deadline and no fault plan every failure is the
+            // logic bug the infallible contract documents as a panic.
+            Err(err) => panic!("infallible run failed: {err}"),
+        }
+    }
+
+    /// Budgeted compile-and-simulate: [`MikPoly::try_compile`] followed by
+    /// device simulation, with the `online.compile` span, the
+    /// `online.compile_ns` / `cache.wait_ns` histograms, and the
+    /// `compile.degraded` / `cache.poisoned` fault counters recorded.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MikPoly::try_compile`].
+    pub fn try_run(
+        &self,
+        operator: &Operator,
+        budget: CompileBudget,
+    ) -> Result<OperatorRun, MikPolyError> {
         let start = Instant::now();
-        let (program, outcome) = {
+        let reply = {
             let mut span = span!(self.telemetry, "online.compile", op = operator.to_string());
-            let (program, outcome) = self.compile_with_outcome(operator);
+            let reply = self.try_compile(operator, budget)?;
             span.arg(
                 "outcome",
-                match outcome {
+                match reply.outcome {
                     CacheOutcome::Hit => "hit",
                     CacheOutcome::Computed => "computed",
                     CacheOutcome::Waited => "waited",
                 },
             );
-            (program, outcome)
+            if reply.grade == CompileGrade::Degraded {
+                span.arg("grade", "degraded");
+            }
+            reply
         };
-        let compile_ns = match outcome {
+        let compile_ns = match reply.outcome {
             CacheOutcome::Hit => 0,
             // Both a fresh polymerization and a coalesced wait spend real
             // wall-clock on the request path.
@@ -424,7 +748,7 @@ impl MikPoly {
         if self.telemetry.is_enabled() {
             let registry = self.telemetry.registry();
             let clamped = compile_ns.min(u128::from(u64::MAX)) as u64;
-            match outcome {
+            match reply.outcome {
                 CacheOutcome::Hit => {}
                 CacheOutcome::Computed => registry
                     .histogram("online.compile_ns", Clock::Real)
@@ -433,14 +757,23 @@ impl MikPoly {
                     .histogram("cache.wait_ns", Clock::Real)
                     .record(clamped),
             }
+            if reply.grade == CompileGrade::Degraded {
+                registry.counter("compile.degraded").inc();
+            }
+            if reply.poison_retries > 0 {
+                registry
+                    .counter("cache.poisoned")
+                    .add(u64::from(reply.poison_retries));
+            }
         }
-        let report = self.simulate(&program);
-        OperatorRun {
-            program,
+        let report = self.simulate(&reply.program);
+        Ok(OperatorRun {
+            program: reply.program,
             report,
             compile_ns,
-            outcome,
-        }
+            outcome: reply.outcome,
+            grade: reply.grade,
+        })
     }
 
     /// The Oracle of Fig. 12(b): exhaustively simulates every strategy and
@@ -495,7 +828,10 @@ impl MikPoly {
                 registry.counter("oracle.truncated").inc();
             }
         }
-        let (ns, mut program) = best.expect("at least one strategy exists");
+        let Some((ns, mut program)) = best else {
+            // `cap.max(1)` admits at least pattern I's first strategy.
+            unreachable!("enumeration visits at least one strategy");
+        };
         program.predicted_ns = ns;
         OracleResult {
             program,
@@ -503,6 +839,18 @@ impl MikPoly {
             truncated,
             search: start.elapsed(),
         }
+    }
+}
+
+/// The search's soft deadline: 80% of the time remaining to the hard
+/// deadline, reserving the tail for the degraded fallback so the hard
+/// deadline holds even when the search uses its whole allowance.
+fn soft_deadline(hard: Instant) -> Instant {
+    let now = Instant::now();
+    match hard.checked_duration_since(now) {
+        Some(remaining) => now + remaining.mul_f64(0.8),
+        // Already past: the search gets no time at all.
+        None => hard,
     }
 }
 
@@ -515,6 +863,7 @@ fn region_view(region: &Region) -> tensor_ir::GemmView {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use tensor_ir::GemmShape;
@@ -598,6 +947,127 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod fault_tests {
+    use super::*;
+    use tensor_ir::GemmShape;
+
+    fn compiler() -> MikPoly {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        MikPoly::offline(MachineModel::a100(), &o)
+    }
+
+    #[test]
+    fn degrade_only_budget_takes_the_fallback_path() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(1024, 512, 256));
+        let reply = c
+            .try_compile(
+                &op,
+                CompileBudget {
+                    deadline: None,
+                    degrade_only: true,
+                },
+            )
+            .expect("degraded path cannot fail on a generated library");
+        assert_eq!(reply.grade, CompileGrade::Degraded);
+        assert!(reply.program.stats.degraded);
+        assert_eq!(reply.program.regions.len(), 1);
+        reply.program.verify_coverage().expect("coverage");
+        // The degraded cache is separate: a later full compile still
+        // searches and the full program shadows nothing.
+        let full = c
+            .try_compile(&op, CompileBudget::default())
+            .expect("full path");
+        assert_eq!(full.grade, CompileGrade::Full);
+        assert!(!full.program.stats.degraded);
+        // And the degraded plan is now a hit in its own cache.
+        let again = c
+            .try_compile(
+                &op,
+                CompileBudget {
+                    deadline: None,
+                    degrade_only: true,
+                },
+            )
+            .expect("degraded path");
+        assert_eq!(again.outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&again.program, &reply.program));
+    }
+
+    #[test]
+    fn injected_compile_panic_fires_then_clears() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(640, 320, 160));
+        c.set_fault_plan(Some(Arc::new(FaultPlan {
+            compile_panic_rate: 1.0,
+            panic_attempts: 1,
+            ..FaultPlan::none()
+        })));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.try_compile(&op, CompileBudget::default())
+        }));
+        assert!(caught.is_err(), "attempt 0 must panic");
+        // Attempt 1: the transient fault has cleared and (crucially) the
+        // panicked flight did not wedge the cache.
+        let reply = c
+            .try_compile(&op, CompileBudget::default())
+            .expect("attempt 1 compiles");
+        assert_eq!(reply.grade, CompileGrade::Full);
+        reply.program.verify_coverage().expect("coverage");
+    }
+
+    #[test]
+    fn corrupted_cache_entry_is_evicted_and_recompiled() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(777, 512, 256));
+        c.set_fault_plan(Some(Arc::new(FaultPlan {
+            cache_corrupt_rate: 1.0,
+            ..FaultPlan::none()
+        })));
+        let reply = c
+            .try_compile(&op, CompileBudget::default())
+            .expect("poison retry must recover");
+        assert!(reply.poison_retries > 0, "attempt 0 was corrupted");
+        reply.program.verify_coverage().expect("recompile is clean");
+        assert!(c.cache_stats().invalidations > 0);
+        // Clearing the plan restores the fast path: no more validation.
+        c.set_fault_plan(None);
+        let hit = c.try_compile(&op, CompileBudget::default()).expect("hit");
+        assert_eq!(hit.outcome, CacheOutcome::Hit);
+        assert_eq!(hit.poison_retries, 0);
+    }
+
+    #[test]
+    fn search_stall_degrades_within_the_deadline() {
+        let c = compiler();
+        let op = Operator::gemm(GemmShape::new(1111, 999, 512));
+        // A 50 ms stall against a 5 ms budget: the full path cannot finish,
+        // so the compile must degrade — and stay within the hard deadline.
+        c.set_fault_plan(Some(Arc::new(FaultPlan {
+            search_stall_rate: 1.0,
+            search_stall_ns: 50_000_000,
+            ..FaultPlan::none()
+        })));
+        let budget = Duration::from_millis(5);
+        let start = Instant::now();
+        let reply = c
+            .try_compile(&op, CompileBudget::within(budget))
+            .expect("must degrade, not fail");
+        let elapsed = start.elapsed();
+        assert_eq!(reply.grade, CompileGrade::Degraded);
+        assert!(reply.program.stats.degraded, "fallback plan expected");
+        reply.program.verify_coverage().expect("coverage");
+        assert!(
+            elapsed < budget + Duration::from_millis(20),
+            "compile took {elapsed:?} against a {budget:?} budget"
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod aot_bundle_tests {
     use super::*;
     use tensor_ir::GemmShape;
@@ -648,6 +1118,7 @@ mod aot_bundle_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod compile_many_tests {
     use super::*;
     use tensor_ir::GemmShape;

@@ -18,7 +18,8 @@ use mikpoly_telemetry::Telemetry;
 use tensor_ir::{winograd_applicable, Operator};
 
 use crate::cache::CacheOutcome;
-use crate::compiler::{MikPoly, OperatorRun};
+use crate::compiler::{CompileBudget, CompileGrade, MikPoly, OperatorRun};
+use crate::error::MikPolyError;
 use crate::offline::OfflineOptions;
 use crate::offline::TemplateKind;
 
@@ -67,6 +68,9 @@ pub struct GraphRun {
     /// Number of online compilations this call performed (cache outcome
     /// `Computed`; coalesced waits are not compilations).
     pub compilations: usize,
+    /// Operators answered at [`CompileGrade::Degraded`] — deadline-cut
+    /// searches or single-kernel fallbacks (0 without a budget).
+    pub degraded: usize,
 }
 
 impl GraphRun {
@@ -213,6 +217,25 @@ impl Engine {
 
     /// Compiles (with caching) and simulates one operator.
     pub fn run_operator(&self, operator: &Operator) -> EngineRun {
+        match self.try_run_operator(operator, CompileBudget::default()) {
+            Ok(run) => run,
+            // With no deadline and no fault plan every failure is the
+            // logic bug the infallible contract documents as a panic.
+            Err(err) => panic!("infallible engine run failed: {err}"),
+        }
+    }
+
+    /// Budgeted compile-and-simulate for one operator, routed through the
+    /// right template compiler.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`MikPoly::try_run`].
+    pub fn try_run_operator(
+        &self,
+        operator: &Operator,
+        budget: CompileBudget,
+    ) -> Result<EngineRun, MikPolyError> {
         let dispatched = self.select(operator);
         let compiler = match dispatched {
             // Winograd's transform-domain GEMMs have plain GEMM access
@@ -220,18 +243,39 @@ impl Engine {
             Operator::Conv2d { .. } => &self.conv,
             _ => &self.gemm,
         };
-        EngineRun {
+        Ok(EngineRun {
             dispatched,
-            run: compiler.run(&dispatched),
-        }
+            run: compiler.try_run(&dispatched, budget)?,
+        })
     }
 
     /// Runs a weighted operator list (one forward pass): each `(operator,
     /// count)` pair executes `count` times, compiled once.
     pub fn run_graph<'a>(&self, ops: impl IntoIterator<Item = (&'a Operator, usize)>) -> GraphRun {
+        match self.try_run_graph(ops, CompileBudget::default()) {
+            Ok(run) => run,
+            // See `run_operator`: unreachable without a budget or faults.
+            Err(err) => panic!("infallible graph run failed: {err}"),
+        }
+    }
+
+    /// Budgeted [`Engine::run_graph`]: every operator's compile shares the
+    /// one `budget` (the per-request deadline bounds the whole request,
+    /// not each operator separately).
+    ///
+    /// # Errors
+    ///
+    /// The first [`MikPolyError`] any operator reports; operators already
+    /// run are discarded (their programs stay cached, so a retry is
+    /// cheap).
+    pub fn try_run_graph<'a>(
+        &self,
+        ops: impl IntoIterator<Item = (&'a Operator, usize)>,
+        budget: CompileBudget,
+    ) -> Result<GraphRun, MikPolyError> {
         let mut out = GraphRun::default();
         for (op, count) in ops {
-            let result = self.run_operator(op);
+            let result = self.try_run_operator(op, budget)?;
             out.device_ns += result.run.report.time_ns * count as f64;
             out.compile_ns += result.run.compile_ns;
             match result.run.outcome {
@@ -242,9 +286,19 @@ impl Engine {
                 }
                 CacheOutcome::Waited => out.cache_wait_ns += result.run.compile_ns,
             }
+            if result.run.grade == CompileGrade::Degraded {
+                out.degraded += 1;
+            }
             out.executions += count;
         }
-        out
+        Ok(out)
+    }
+
+    /// Installs (or clears) the fault-injection schedule on both template
+    /// compilers.
+    pub fn set_fault_plan(&self, plan: Option<Arc<accel_sim::FaultPlan>>) {
+        self.gemm.set_fault_plan(plan.clone());
+        self.conv.set_fault_plan(plan);
     }
 
     /// Simulates a previously compiled program on this engine's machine.

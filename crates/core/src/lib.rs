@@ -52,20 +52,26 @@ pub mod cache;
 mod compiler;
 mod cost;
 mod engine;
+mod error;
 mod exec;
 mod kernel;
 mod offline;
 pub mod pattern;
 mod perf_model;
 mod plan;
+mod resilience;
 mod search;
 pub mod serving;
 
 pub use alloc::{lpt_makespan, makespan, max_min_assign};
 pub use cache::{CacheOutcome, CacheStats, ShardedCache};
-pub use compiler::{MikPoly, OnlineOptions, OperatorRun, OracleResult};
+pub use compiler::{
+    shape_key, CompileBudget, CompileGrade, CompileReply, MikPoly, OnlineOptions, OperatorRun,
+    OracleResult,
+};
 pub use cost::{f_pipe, f_wave, region_cost, CostModelKind};
 pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphRun};
+pub use error::{panic_reason, MikPolyError};
 pub use exec::{execute_conv2d, execute_gemm};
 pub use kernel::{MicroKernel, MicroKernelId};
 pub use offline::{
@@ -75,13 +81,15 @@ pub use offline::{
 pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, PatternId};
 pub use perf_model::{sample_schedule, PerfModel, Segment};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
+pub use resilience::{BreakerDecision, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use search::{
     enumerate_strategies, enumerate_strategies_capped, improve_with_split_k, polymerize,
-    polymerize_traced, record_search_stats, SearchPolicy,
+    polymerize_degraded, polymerize_traced, record_search_stats, try_polymerize,
+    try_polymerize_traced, SearchPolicy, SearchRun,
 };
 pub use serving::{
-    poisson_arrivals, LatencySummary, Request, RequestRecord, ServingReport, ServingRuntime,
-    WorkerStats,
+    percentile, poisson_arrivals, Disposition, DispositionCounts, LatencySummary, Request,
+    RequestRecord, ServingOptions, ServingReport, ServingRuntime, ShedReason, WorkerStats,
 };
 
 /// The observability layer (re-exported so downstream crates need no

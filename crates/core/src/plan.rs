@@ -103,6 +103,10 @@ pub struct SearchStats {
     /// strategy away from the Eq. 2 pick.
     #[serde(default)]
     pub refined: bool,
+    /// Whether this program came from the degraded fallback path (a
+    /// single-region shortlist-top-1 plan, not a full staged search).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 fn default_split_k() -> usize {

@@ -1,0 +1,265 @@
+//! Retry and circuit-breaker policies for the serving runtime.
+//!
+//! Two failure regimes need different medicine. *Transient* faults (a
+//! one-off device error) clear on their own: the right response is a
+//! bounded retry with exponential backoff, paid in virtual device time.
+//! *Persistent* faults (a shape whose compilation panics every time) do
+//! not: retrying burns the full failure cost on every request of that
+//! shape. The per-shape [`CircuitBreaker`] cuts that loss — after
+//! [`BreakerPolicy::failure_threshold`] consecutive failures the shape's
+//! breaker *opens* and requests route straight to the degraded compile
+//! path; after [`BreakerPolicy::cooldown_ns`] of virtual time it
+//! *half-opens* and lets exactly one probe retry the full path, closing
+//! again on success.
+//!
+//! The breaker is keyed by shape (not request): a poisoned shape must not
+//! affect healthy traffic. State updates happen from concurrently
+//! compiling workers, so with more than one worker the order of
+//! success/failure observations is scheduling-dependent; the serving
+//! *dispositions* remain exhaustive regardless, and single-worker runs
+//! (the breaker unit tests) are fully deterministic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Bounded retry with exponential backoff, for transient faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Virtual backoff before the first retry, ns.
+    pub backoff_ns: f64,
+    /// Backoff multiplier per subsequent retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_ns: 2_000.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The virtual backoff before retry number `retry` (0-based).
+    pub fn backoff_for(&self, retry: u32) -> f64 {
+        self.backoff_ns * self.backoff_multiplier.powi(retry as i32)
+    }
+}
+
+/// When a shape's breaker opens and how long it stays open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive full-path failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Virtual time an open breaker blocks the full path before
+    /// half-opening for a probe, ns.
+    pub cooldown_ns: f64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_ns: 1_000_000.0, // 1 ms of virtual serving time
+        }
+    }
+}
+
+/// Observable state of one shape's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests take the full compile path.
+    Closed,
+    /// Tripped: requests route straight to the degraded path.
+    Open,
+    /// Cooldown elapsed: one probe may retry the full path.
+    HalfOpen,
+}
+
+/// What the breaker allows for one request of a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Breaker closed: take the full path.
+    Allow,
+    /// Breaker half-open and this request is the probe: take the full
+    /// path; its outcome decides whether the breaker closes or re-opens.
+    Probe,
+    /// Breaker open (or a probe is already in flight): take the degraded
+    /// path without attempting the full one.
+    Degrade,
+}
+
+#[derive(Debug, Default)]
+struct ShapeBreaker {
+    consecutive_failures: u32,
+    open: bool,
+    open_until_ns: f64,
+    probe_outstanding: bool,
+}
+
+/// Per-shape circuit breaker over virtual serving time.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    shapes: Mutex<HashMap<u64, ShapeBreaker>>,
+    opens: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A breaker with the given policy and no tripped shapes.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            shapes: Mutex::new(HashMap::new()),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Decides how a request of shape `key` arriving at virtual `now_ns`
+    /// may proceed. A [`BreakerDecision::Probe`] reserves the single
+    /// half-open probe slot; the caller must report the probe's outcome
+    /// via [`CircuitBreaker::record_success`] or
+    /// [`CircuitBreaker::record_failure`].
+    pub fn check(&self, key: u64, now_ns: f64) -> BreakerDecision {
+        let mut shapes = self.shapes.lock();
+        let Some(state) = shapes.get_mut(&key) else {
+            return BreakerDecision::Allow;
+        };
+        if !state.open {
+            return BreakerDecision::Allow;
+        }
+        if now_ns < state.open_until_ns || state.probe_outstanding {
+            return BreakerDecision::Degrade;
+        }
+        state.probe_outstanding = true;
+        BreakerDecision::Probe
+    }
+
+    /// The observable state of shape `key`'s breaker at virtual `now_ns`.
+    pub fn state(&self, key: u64, now_ns: f64) -> BreakerState {
+        let shapes = self.shapes.lock();
+        match shapes.get(&key) {
+            Some(s) if s.open && now_ns < s.open_until_ns => BreakerState::Open,
+            Some(s) if s.open => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Reports a full-path success for shape `key`: closes the breaker
+    /// and resets the failure count.
+    pub fn record_success(&self, key: u64) {
+        let mut shapes = self.shapes.lock();
+        if let Some(state) = shapes.get_mut(&key) {
+            *state = ShapeBreaker::default();
+        }
+    }
+
+    /// Reports a full-path failure for shape `key` at virtual `now_ns`.
+    /// Returns `true` when this failure opened (or re-opened) the breaker.
+    pub fn record_failure(&self, key: u64, now_ns: f64) -> bool {
+        let mut shapes = self.shapes.lock();
+        let state = shapes.entry(key).or_default();
+        state.consecutive_failures += 1;
+        let was_probe = state.probe_outstanding;
+        state.probe_outstanding = false;
+        let trip = was_probe || state.consecutive_failures >= self.policy.failure_threshold;
+        if trip {
+            state.open = true;
+            state.open_until_ns = now_ns + self.policy.cooldown_ns;
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+        trip
+    }
+
+    /// How many times any shape's breaker opened (including re-opens
+    /// after a failed probe).
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Shapes whose breaker is currently open or half-open.
+    pub fn tripped_shapes(&self) -> usize {
+        self.shapes.lock().values().filter(|s| s.open).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let retry = RetryPolicy {
+            max_retries: 3,
+            backoff_ns: 100.0,
+            backoff_multiplier: 2.0,
+        };
+        assert_eq!(retry.backoff_for(0), 100.0);
+        assert_eq!(retry.backoff_for(1), 200.0);
+        assert_eq!(retry.backoff_for(2), 400.0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        let breaker = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_ns: 1000.0,
+        });
+        assert_eq!(breaker.check(7, 0.0), BreakerDecision::Allow);
+        assert!(!breaker.record_failure(7, 0.0));
+        assert_eq!(breaker.state(7, 1.0), BreakerState::Closed);
+        assert!(breaker.record_failure(7, 10.0), "second failure trips");
+        assert_eq!(breaker.state(7, 11.0), BreakerState::Open);
+        assert_eq!(breaker.check(7, 500.0), BreakerDecision::Degrade);
+        // Cooldown elapsed: half-open, exactly one probe.
+        assert_eq!(breaker.state(7, 1010.0 + 1.0), BreakerState::HalfOpen);
+        assert_eq!(breaker.check(7, 1011.0), BreakerDecision::Probe);
+        assert_eq!(
+            breaker.check(7, 1012.0),
+            BreakerDecision::Degrade,
+            "only one probe at a time"
+        );
+        assert_eq!(breaker.opens(), 1);
+    }
+
+    #[test]
+    fn successful_probe_closes_failed_probe_reopens() {
+        let breaker = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown_ns: 100.0,
+        });
+        assert!(breaker.record_failure(1, 0.0));
+        assert_eq!(breaker.check(1, 200.0), BreakerDecision::Probe);
+        assert!(breaker.record_failure(1, 200.0), "failed probe re-opens");
+        assert_eq!(breaker.state(1, 250.0), BreakerState::Open);
+        assert_eq!(breaker.check(1, 400.0), BreakerDecision::Probe);
+        breaker.record_success(1);
+        assert_eq!(breaker.state(1, 401.0), BreakerState::Closed);
+        assert_eq!(breaker.check(1, 402.0), BreakerDecision::Allow);
+        assert_eq!(breaker.opens(), 2);
+        assert_eq!(breaker.tripped_shapes(), 0);
+    }
+
+    #[test]
+    fn shapes_are_independent() {
+        let breaker = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown_ns: 1e9,
+        });
+        assert!(breaker.record_failure(1, 0.0));
+        assert_eq!(breaker.check(1, 1.0), BreakerDecision::Degrade);
+        assert_eq!(breaker.check(2, 1.0), BreakerDecision::Allow);
+        assert_eq!(breaker.tripped_shapes(), 1);
+    }
+}

@@ -33,6 +33,17 @@
 //!    the search re-runs with escalated budget and shortlist (bounded by
 //!    [`SearchPolicy::max_escalations`]); outcomes land in [`SearchStats`]
 //!    and the `search.*` telemetry counters.
+//!
+//! Under a serving deadline the search is *anytime*: [`try_polymerize`]
+//! takes an optional wall-clock deadline, checks it every few dozen
+//! descents, and on expiry stops exploring and returns the incumbent
+//! (flagged `deadline_cut`). When even pattern I's first strategy did not
+//! complete in time, it reports [`MikPolyError::DeadlineExceeded`] and the
+//! caller falls back to [`polymerize_degraded`] — a search-free
+//! single-region plan under the shape's shortlist-top-1 kernel.
+
+// Online hot path: failures must surface as typed errors, not panics.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub(crate) mod bound;
 pub(crate) mod candidates;
@@ -48,6 +59,7 @@ use tensor_ir::GemmView;
 
 use crate::alloc::lpt_makespan;
 use crate::cost::CostModelKind;
+use crate::error::MikPolyError;
 use crate::offline::MicroKernelLibrary;
 use crate::pattern::{Pattern, PatternId};
 use crate::plan::{CompiledProgram, Region, SearchStats};
@@ -58,6 +70,25 @@ use shortlist::OccupancyModel;
 
 pub use policy::SearchPolicy;
 pub use splitk::improve_with_split_k;
+
+/// How often the branch-and-bound walk consults the wall clock when a
+/// deadline is set: every this-many admitted descents. Cheap enough to
+/// bound deadline overshoot to the cost of a few dozen node expansions
+/// (single-digit microseconds), rare enough not to tax deadline-free runs.
+const DEADLINE_CHECK_INTERVAL: usize = 32;
+
+/// Outcome of a deadline-aware polymerization search.
+#[derive(Debug, Clone)]
+pub struct SearchRun {
+    /// The selected program — the full search's pick, or the incumbent at
+    /// the moment the deadline cut exploration short.
+    pub program: CompiledProgram,
+    /// Whether the deadline stopped the search before it covered the
+    /// space it would otherwise have explored. The program is still a
+    /// valid, coverage-complete plan — just possibly not the one the full
+    /// search would have chosen.
+    pub deadline_cut: bool,
+}
 
 /// Result of a polymerization search before packaging into a
 /// [`CompiledProgram`].
@@ -101,6 +132,14 @@ struct BnbVisitor<'a, 'o> {
     evaluated: usize,
     pruned: usize,
     observer: Option<StrategyObserver<'o>>,
+    /// Wall-clock search deadline; `None` disables the clock entirely.
+    deadline: Option<Instant>,
+    /// Admitted descents since the walk began (drives the periodic
+    /// deadline check).
+    admits: usize,
+    /// Latched once the deadline fires; every later admit prunes, so the
+    /// walk unwinds in microseconds.
+    deadline_cut: bool,
 }
 
 impl<'a, 'o> BnbVisitor<'a, 'o> {
@@ -109,6 +148,7 @@ impl<'a, 'o> BnbVisitor<'a, 'o> {
         occ: Option<&'a OccupancyModel>,
         prune: bool,
         margin: f64,
+        deadline: Option<Instant>,
         observer: Option<StrategyObserver<'o>>,
     ) -> Self {
         Self {
@@ -124,6 +164,9 @@ impl<'a, 'o> BnbVisitor<'a, 'o> {
             evaluated: 0,
             pruned: 0,
             observer,
+            deadline,
+            admits: 0,
+            deadline_cut: false,
         }
     }
 
@@ -132,8 +175,24 @@ impl<'a, 'o> BnbVisitor<'a, 'o> {
     }
 }
 
+// Invariant behind the `expect`s below: `partials`/`eff_stack` are seeded
+// with one root element in `new()` and every `retract()` pairs with a
+// prior `admit()`, so `last()` is always `Some` — an empty stack is the
+// logic bug the message names, not a runtime condition.
+#[allow(clippy::expect_used)]
 impl StrategyVisitor for BnbVisitor<'_, '_> {
     fn admit(&mut self, kernel_idx: usize, region: &Region, rows_remaining: usize) -> Admit {
+        if let Some(deadline) = self.deadline {
+            self.admits += 1;
+            if self.deadline_cut
+                || (self.admits.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                    && Instant::now() >= deadline)
+            {
+                self.deadline_cut = true;
+                self.pruned += 1;
+                return Admit::Prune;
+            }
+        }
         let acc = self.eval.extend(
             *self.partials.last().expect("root partial"),
             region,
@@ -209,6 +268,16 @@ impl StrategyVisitor for BnbVisitor<'_, '_> {
                 });
             }
         }
+        // A completed strategy is the natural cut point: an incumbent now
+        // exists, so latching here (in addition to the admit-interval
+        // sample, which covers long strategy-free stretches) guarantees a
+        // blown deadline stops the search even when heavy pruning keeps
+        // the admit count below the check interval.
+        if let Some(deadline) = self.deadline {
+            if !self.deadline_cut && Instant::now() >= deadline {
+                self.deadline_cut = true;
+            }
+        }
     }
 
     fn degenerate(&mut self) {
@@ -223,7 +292,9 @@ impl StrategyVisitor for BnbVisitor<'_, '_> {
 ///
 /// Panics if the library contains no usable kernel for this view (which
 /// cannot happen for libraries produced by
-/// [`MicroKernelLibrary::generate`] on the same machine).
+/// [`MicroKernelLibrary::generate`] on the same machine). Deadline-bound
+/// callers use [`try_polymerize`], which reports that condition (and a
+/// blown deadline) as a typed error instead.
 #[allow(clippy::too_many_arguments)]
 pub fn polymerize(
     machine: &MachineModel,
@@ -237,6 +308,32 @@ pub fn polymerize(
 ) -> CompiledProgram {
     polymerize_observed(
         machine, library, view, operator, patterns, kind, prune, policy, None,
+    )
+}
+
+/// Deadline-aware, fallible polymerization. With `deadline: None` this is
+/// [`polymerize`] behind a `Result`; with a deadline the search checks the
+/// clock every [`DEADLINE_CHECK_INTERVAL`] descents and, on expiry,
+/// returns the incumbent flagged [`SearchRun::deadline_cut`]. Errors:
+///
+/// * [`MikPolyError::DeadlineExceeded`] — the deadline fired before any
+///   complete strategy was costed (no incumbent to return);
+/// * [`MikPolyError::NoFeasibleStrategy`] — the library holds no kernel
+///   usable for this view.
+#[allow(clippy::too_many_arguments)]
+pub fn try_polymerize(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+    patterns: &[Pattern],
+    kind: CostModelKind,
+    prune: bool,
+    policy: &SearchPolicy,
+    deadline: Option<Instant>,
+) -> Result<SearchRun, MikPolyError> {
+    try_polymerize_observed(
+        machine, library, view, operator, patterns, kind, prune, policy, deadline, None,
     )
 }
 
@@ -255,9 +352,36 @@ fn polymerize_observed(
     policy: &SearchPolicy,
     observer: Option<StrategyObserver<'_>>,
 ) -> CompiledProgram {
+    match try_polymerize_observed(
+        machine, library, view, operator, patterns, kind, prune, policy, None, observer,
+    ) {
+        Ok(run) => run.program,
+        // No deadline was set, so the only representable failure is a
+        // library with no usable kernel — the logic bug the infallible
+        // contract documents as a panic.
+        Err(err) => panic!("infallible polymerization failed: {err}"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_polymerize_observed(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+    patterns: &[Pattern],
+    kind: CostModelKind,
+    prune: bool,
+    policy: &SearchPolicy,
+    deadline: Option<Instant>,
+    observer: Option<StrategyObserver<'_>>,
+) -> Result<SearchRun, MikPolyError> {
     let start = Instant::now();
     let static_alloc = machine.allocation == AllocationPolicy::StaticCompilerAssigned;
-    let raw_kernels = usable(machine, library, view);
+    let raw_kernels = library.usable_kernels(machine, view);
+    if raw_kernels.is_empty() {
+        return Err(MikPolyError::NoFeasibleStrategy { operator });
+    }
     let raw_pipe = pipe_cache(&raw_kernels, view.shape.k);
 
     // Stage 2: shape-aware ordering with stratified-diversity promotion.
@@ -303,7 +427,14 @@ fn polymerize_observed(
     // The visitor persists across escalation rounds: an escalated round
     // re-walks the (larger) space with the previous round's incumbents
     // already in place, so revisited prefixes prune immediately.
-    let mut visitor = BnbVisitor::new(&eval, occ.as_ref(), prune, policy.prune_margin, observer);
+    let mut visitor = BnbVisitor::new(
+        &eval,
+        occ.as_ref(),
+        prune,
+        policy.prune_margin,
+        deadline,
+        observer,
+    );
     let mut round = 0usize;
     loop {
         let budget = if prune {
@@ -330,8 +461,9 @@ fn polymerize_observed(
         }
         // Stage 5: escalate only while the budget is the binding
         // constraint *and* the incumbent is demonstrably far from the
-        // shape's admissible lower bound.
-        if exhausted && prune && round < policy.max_escalations {
+        // shape's admissible lower bound. A blown deadline trumps both:
+        // escalation would only dig the hole deeper.
+        if exhausted && prune && !visitor.deadline_cut && round < policy.max_escalations {
             let floor = eval.lower_bound(Partial::default(), view.shape.m);
             let incumbent = visitor.best_cost();
             if floor > 0.0 && incumbent > floor * policy.escalate_ratio {
@@ -344,9 +476,14 @@ fn polymerize_observed(
     }
     stats.strategies_evaluated = visitor.evaluated;
     stats.strategies_pruned = visitor.pruned;
+    let deadline_cut = visitor.deadline_cut;
     let (best, best_eff) = (visitor.best, visitor.best_eff);
 
-    let model_best = best.expect("pattern I always yields at least one strategy");
+    // Pattern I always yields at least one strategy, so an empty incumbent
+    // means the deadline fired before even that first strategy completed.
+    let Some(model_best) = best else {
+        return Err(MikPolyError::DeadlineExceeded { operator });
+    };
     let chosen = match best_eff {
         Some(eff_best) if refine => {
             stats.refined =
@@ -356,15 +493,86 @@ fn polymerize_observed(
         _ => model_best,
     };
     stats.search_ns = start.elapsed().as_nanos();
-    CompiledProgram {
+    Ok(SearchRun {
+        program: CompiledProgram {
+            operator,
+            view: *view,
+            pattern: chosen.pattern,
+            regions: chosen.regions,
+            split_k: 1,
+            predicted_ns: chosen.model_cost,
+            stats,
+        },
+        deadline_cut,
+    })
+}
+
+/// The search-free degraded compile path: a single region covering the
+/// whole output under the shape's shortlist-top-1 micro-kernel. This is
+/// the bottom rung of the degradation ladder — taken when the deadline
+/// left no room for any search, or when a shape's circuit breaker is open.
+/// The resulting program is coverage-complete and numerically identical to
+/// a full-search program (only slower), and its
+/// [`SearchStats::degraded`] flag is set so it is never mistaken for a
+/// searched plan.
+pub fn polymerize_degraded(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+) -> Result<CompiledProgram, MikPolyError> {
+    let start = Instant::now();
+    let static_alloc = machine.allocation == AllocationPolicy::StaticCompilerAssigned;
+    let kernels = library.usable_kernels(machine, view);
+    if kernels.is_empty() {
+        return Err(MikPolyError::NoFeasibleStrategy { operator });
+    }
+    let pipe = pipe_cache(&kernels, view.shape.k);
+    // Rank with the same shape-aware ordering the full search uses, but
+    // keep only the head: one kernel, one region, zero search.
+    let index = library.stratified_index();
+    let order = shortlist::shape_order(machine, &kernels, &pipe, view, static_alloc, &index, 1);
+    let Some(&top) = order.first() else {
+        return Err(MikPolyError::NoFeasibleStrategy { operator });
+    };
+    let region = Region::new(0, view.shape.m, 0, view.shape.n, kernels[top].kernel);
+
+    // Cost the plan with the same Eq. 2 evaluator as the full search so
+    // `predicted_ns` stays comparable across grades.
+    let flops_per_row = 2.0 * view.shape.n as f64 * view.shape.k as f64;
+    let best_rate = kernels
+        .iter()
+        .zip(&pipe)
+        .map(|(t, &p)| {
+            t.kernel.flops_per_instance() * t.kernel.instances_for(view.shape.k) as f64 / p
+        })
+        .fold(1e-9, f64::max);
+    let eval = CostEval {
+        pipe: &pipe,
+        kind: CostModelKind::Full,
+        static_alloc,
+        num_pes: machine.num_pes,
+        flops_per_row,
+        best_rate,
+    };
+    let predicted_ns = eval.finish(eval.extend(Partial::default(), &region, top));
+
+    let stats = SearchStats {
+        strategies_evaluated: 1,
+        patterns_tried: 1,
+        degraded: true,
+        search_ns: start.elapsed().as_nanos(),
+        ..SearchStats::default()
+    };
+    Ok(CompiledProgram {
         operator,
         view: *view,
-        pattern: chosen.pattern,
-        regions: chosen.regions,
+        pattern: PatternId(1),
+        regions: vec![region],
         split_k: 1,
-        predicted_ns: chosen.model_cost,
+        predicted_ns,
         stats,
-    }
+    })
 }
 
 /// Like [`polymerize`], but wrapped in an `online.search` span and with
@@ -404,6 +612,51 @@ pub fn polymerize_traced(
     span.arg("escalations", program.stats.escalations);
     record_search_stats(&program.stats, telemetry.registry());
     program
+}
+
+/// [`try_polymerize`] under an `online.search` span, with the stats
+/// recorded into `telemetry`'s registry — the deadline-aware sibling of
+/// [`polymerize_traced`]. Errors are not recorded as search stats (no
+/// program was produced); the caller accounts for them in its own
+/// disposition counters.
+#[allow(clippy::too_many_arguments)]
+pub fn try_polymerize_traced(
+    machine: &MachineModel,
+    library: &MicroKernelLibrary,
+    view: &GemmView,
+    operator: tensor_ir::Operator,
+    patterns: &[Pattern],
+    kind: CostModelKind,
+    prune: bool,
+    policy: &SearchPolicy,
+    deadline: Option<Instant>,
+    telemetry: &Telemetry,
+) -> Result<SearchRun, MikPolyError> {
+    if !telemetry.is_enabled() {
+        return try_polymerize(
+            machine, library, view, operator, patterns, kind, prune, policy, deadline,
+        );
+    }
+    let mut span = span!(
+        telemetry,
+        "online.search",
+        m = view.shape.m,
+        n = view.shape.n,
+        k = view.shape.k,
+    );
+    let run = try_polymerize(
+        machine, library, view, operator, patterns, kind, prune, policy, deadline,
+    )?;
+    span.arg(
+        "strategies_evaluated",
+        run.program.stats.strategies_evaluated,
+    );
+    span.arg("strategies_pruned", run.program.stats.strategies_pruned);
+    span.arg("patterns_tried", run.program.stats.patterns_tried);
+    span.arg("escalations", run.program.stats.escalations);
+    span.arg("deadline_cut", usize::from(run.deadline_cut));
+    record_search_stats(&run.program.stats, telemetry.registry());
+    Ok(run)
 }
 
 /// Accumulates one shape's [`SearchStats`] into the registry's
@@ -500,6 +753,7 @@ pub fn enumerate_strategies_capped(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::offline::OfflineOptions;
@@ -825,6 +1079,95 @@ mod tests {
             refined_any,
             "refinement should change the pick on at least one hard shape"
         );
+    }
+
+    /// An already-expired deadline still yields a valid program — the
+    /// incumbent at the cut — and reports the cut, while exploring a tiny
+    /// fraction of the space.
+    #[test]
+    fn expired_deadline_returns_incumbent_and_flags_the_cut() {
+        let (m, lib) = setup();
+        let op = Operator::gemm(GemmShape::new(1111, 999, 512));
+        let view = op.gemm_view();
+        let full = polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            false,
+            &SearchPolicy::default(),
+        );
+        let cut = try_polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            true,
+            &SearchPolicy::default(),
+            Some(Instant::now() - std::time::Duration::from_millis(1)),
+        )
+        .expect("the first strategies complete before the deadline check");
+        assert!(cut.deadline_cut, "expired deadline must cut the search");
+        cut.program.verify_coverage().expect("coverage");
+        assert!(cut.program.predicted_ns.is_finite());
+        assert!(
+            cut.program.stats.strategies_evaluated < full.stats.strategies_evaluated,
+            "cut search must explore less than the exhaustive one"
+        );
+        assert_eq!(cut.program.stats.escalations, 0, "no escalation past a cut");
+    }
+
+    /// Without a deadline, `try_polymerize` is `polymerize` behind a
+    /// `Result` — bit-identical program, no cut.
+    #[test]
+    fn try_polymerize_without_deadline_matches_polymerize() {
+        let (m, lib) = setup();
+        let op = Operator::gemm(GemmShape::new(777, 512, 256));
+        let view = op.gemm_view();
+        let plain = compile(&m, &lib, GemmShape::new(777, 512, 256));
+        let run = try_polymerize(
+            &m,
+            &lib,
+            &view,
+            op,
+            &gpu_patterns(),
+            CostModelKind::Full,
+            true,
+            &SearchPolicy::default(),
+            None,
+        )
+        .expect("deadline-free search cannot fail");
+        assert!(!run.deadline_cut);
+        assert_eq!(run.program.pattern, plain.pattern);
+        assert_eq!(run.program.regions, plain.regions);
+    }
+
+    /// The degraded fallback is search-free, single-region, coverage
+    /// complete, and flagged.
+    #[test]
+    fn degraded_fallback_is_single_region_and_flagged() {
+        let (m, lib) = setup();
+        for &(mm, nn, kk) in &[(4096, 1024, 4096), (105, 1024, 544), (1, 1, 1)] {
+            let op = Operator::gemm(GemmShape::new(mm, nn, kk));
+            let prog = polymerize_degraded(&m, &lib, &op.gemm_view(), op)
+                .expect("generated library always has a usable kernel");
+            assert_eq!(prog.regions.len(), 1, "degraded plan is one region");
+            prog.verify_coverage().expect("coverage");
+            assert!(prog.stats.degraded, "degraded plans must say so");
+            assert!(prog.predicted_ns.is_finite() && prog.predicted_ns > 0.0);
+            // Never better than what the full search would pick.
+            let full = compile(&m, &lib, GemmShape::new(mm, nn, kk));
+            assert!(
+                prog.predicted_ns >= full.predicted_ns * 0.999,
+                "degraded ({}) cannot beat the searched plan ({})",
+                prog.predicted_ns,
+                full.predicted_ns
+            );
+        }
     }
 
     /// Escalation rounds are visible in the stats and bounded by the

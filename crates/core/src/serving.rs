@@ -38,20 +38,60 @@
 //! of the request stream and the measured compile durations, never of OS
 //! scheduling: a starved thread cannot skew queueing, and enabling
 //! telemetry cannot shift throughput.
+//!
+//! # Fault tolerance
+//!
+//! With [`ServingOptions`] the runtime becomes a fault-tolerant server:
+//! every request terminates with exactly one [`Disposition`], and a
+//! poisoned request can degrade *its own* answer but never wedge a worker
+//! or a follower.
+//!
+//! * **Admission control** — a request whose [`Request::deadline_ns`]
+//!   already passed at arrival is shed *before any compile work*; one
+//!   whose service would start past its deadline is shed at dispatch; and
+//!   when [`ServingOptions::queue_capacity`] is set, a request that would
+//!   have to wait behind a full queue is shed rather than enqueued. Shed
+//!   requests consume no virtual resources.
+//! * **Degradation ladder** — the compile phase runs under
+//!   [`ServingOptions::compile_budget`]: the staged search first yields
+//!   its deadline-cut incumbent, and if the full path fails outright
+//!   (typed error or panic — both isolated with `catch_unwind`), a
+//!   search-free fallback compile produces a correct, slower program. Only
+//!   when the fallback fails too is the request [`Disposition::Failed`].
+//! * **Transient retries** — injected device faults
+//!   ([`ServingOptions::fault_plan`]) are retried with exponential
+//!   backoff in virtual device time per [`ServingOptions::retry`];
+//!   exhausting the budget fails the request.
+//! * **Circuit breaker** — [`ServingOptions::breaker`] keys a
+//!   [`CircuitBreaker`] by request shape: persistently failing shapes
+//!   route straight to the degraded path until a cooldown elapses and a
+//!   single probe retries the full path.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use accel_sim::Cluster;
+use accel_sim::{Cluster, FaultPlan};
 use mikpoly_telemetry::{Clock, ClockNs, Histogram, Lane, LatencyStats, SpanRecord, Telemetry};
 use tensor_ir::Operator;
 
 use crate::cache::CacheStats;
-use crate::engine::Engine;
+use crate::compiler::CompileBudget;
+use crate::engine::{Engine, GraphRun};
+use crate::resilience::{BreakerDecision, BreakerPolicy, CircuitBreaker, RetryPolicy};
+
+/// Sentinel for "no worker/device slot": shed requests never occupy one.
+const NO_SLOT: usize = usize::MAX;
 
 /// One inference request: a weighted operator list (one forward pass)
 /// arriving at a virtual timestamp.
@@ -63,17 +103,77 @@ pub struct Request {
     pub arrival_ns: f64,
     /// The operators of the forward pass, each with an execution count.
     pub ops: Vec<(Operator, usize)>,
+    /// Virtual deadline, ns from stream start: the request is shed unless
+    /// its service can *start* by this time. `None` means no deadline.
+    pub deadline_ns: Option<f64>,
 }
 
 impl Request {
-    /// A single-operator request.
+    /// A single-operator request with no deadline.
     pub fn single(id: usize, arrival_ns: f64, operator: Operator) -> Self {
         Self {
             id,
             arrival_ns,
             ops: vec![(operator, 1)],
+            deadline_ns: None,
         }
     }
+
+    /// Sets the virtual deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+}
+
+/// How a request's service terminated. Every request gets exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served with a fully-searched program.
+    Completed,
+    /// Served correctly but with a degraded program (deadline-cut search
+    /// incumbent, search-free fallback, or an open breaker's detour).
+    Degraded,
+    /// Rejected by admission control before consuming virtual resources
+    /// (see [`RequestRecord::shed_reason`]).
+    Shed,
+    /// Admitted but not served: both compile paths failed, or device
+    /// retries were exhausted.
+    Failed,
+}
+
+/// Why admission control rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The deadline had already passed when the request arrived; it was
+    /// shed before any compile work.
+    DeadlineAtEnqueue,
+    /// Service would have started after the deadline.
+    DeadlineAtDispatch,
+    /// The bounded wait queue was full at enqueue time.
+    QueueFull,
+}
+
+/// Fault-tolerance policy for one [`ServingRuntime`]. The default is the
+/// fault-free fast path: no deadlines enforced beyond the requests' own,
+/// unbounded queue, no breaker, no injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct ServingOptions {
+    /// Bound on requests admitted but waiting for a worker; `None` is
+    /// unbounded. A request that would wait behind a full queue is shed.
+    pub queue_capacity: Option<usize>,
+    /// Per-request real-time compile budget. The staged search degrades
+    /// to its incumbent (and then to the search-free fallback) rather
+    /// than overrun it.
+    pub compile_budget: Option<Duration>,
+    /// Retry schedule for transient device faults.
+    pub retry: RetryPolicy,
+    /// Per-shape circuit breaker for persistent compile failures.
+    pub breaker: Option<BreakerPolicy>,
+    /// Deterministic fault-injection plan, installed into the engine's
+    /// compilers for the duration of each [`ServingRuntime::serve`] call.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// Per-request latency decomposition (see the module docs for which parts
@@ -82,9 +182,10 @@ impl Request {
 pub struct RequestRecord {
     /// The request's id.
     pub id: usize,
-    /// Worker thread that served it.
+    /// Worker slot that served it (`usize::MAX` for shed requests,
+    /// which never occupy one — see [`RequestRecord::executed`]).
     pub worker: usize,
-    /// Device that executed it.
+    /// Device that executed it (`usize::MAX` when none did).
     pub device: usize,
     /// Virtual wait for a worker plus a device, ns.
     pub queue_ns: f64,
@@ -98,10 +199,19 @@ pub struct RequestRecord {
     /// Portion of the compile window spent blocked on another worker's
     /// in-flight compilation of the same shape (real ns).
     pub cache_wait_ns: u128,
-    /// Simulated device time including dispatch, ns.
+    /// Simulated device time including dispatch and any fault retries
+    /// with their backoffs, ns.
     pub device_ns: f64,
-    /// Virtual completion time, ns from stream start.
+    /// Virtual completion time, ns from stream start (arrival time for
+    /// shed requests).
     pub finish_ns: f64,
+    /// How service terminated.
+    pub disposition: Disposition,
+    /// Set iff `disposition` is [`Disposition::Shed`].
+    pub shed_reason: Option<ShedReason>,
+    /// Device-fault retries this request paid for (in backoff + re-run
+    /// virtual time).
+    pub retries: u32,
 }
 
 impl RequestRecord {
@@ -111,6 +221,12 @@ impl RequestRecord {
     /// while virtual arrivals accumulate) + device, ns.
     pub fn timeline_total_ns(&self) -> f64 {
         self.queue_ns + self.compile.onto_virtual_timeline() + self.device_ns
+    }
+
+    /// Whether the request ran on a device (shed requests and
+    /// compile-failed requests did not).
+    pub fn executed(&self) -> bool {
+        self.device != NO_SLOT
     }
 }
 
@@ -127,6 +243,31 @@ pub struct WorkerStats {
     pub utilization: f64,
 }
 
+/// How many requests ended in each [`Disposition`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispositionCounts {
+    /// Served with a fully-searched program.
+    pub completed: usize,
+    /// Served with a degraded program.
+    pub degraded: usize,
+    /// Rejected by admission control.
+    pub shed: usize,
+    /// Admitted but not served.
+    pub failed: usize,
+}
+
+impl DispositionCounts {
+    /// Total requests across all dispositions.
+    pub fn total(&self) -> usize {
+        self.completed + self.degraded + self.shed + self.failed
+    }
+
+    /// Requests that produced an answer (completed + degraded).
+    pub fn served(&self) -> usize {
+        self.completed + self.degraded
+    }
+}
+
 /// Everything one `serve` call observed.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
@@ -139,12 +280,36 @@ pub struct ServingReport {
     pub cache: CacheStats,
     /// Virtual time from first arrival to last completion, ns.
     pub makespan_ns: f64,
+    /// Times any shape's circuit breaker opened (0 without a breaker).
+    pub breaker_opens: u64,
 }
 
 impl ServingReport {
-    /// Completed requests per virtual second.
+    /// Requests (of any disposition) per virtual second.
     pub fn throughput_rps(&self) -> f64 {
         self.records.len() as f64 / (self.makespan_ns / 1e9)
+    }
+
+    /// *Served* requests (completed + degraded) per virtual second — the
+    /// throughput that survives shedding and failures.
+    pub fn goodput_rps(&self) -> f64 {
+        self.dispositions().served() as f64 / (self.makespan_ns / 1e9)
+    }
+
+    /// Tallies every record's disposition. By construction each request
+    /// contributes exactly one, so `dispositions().total()` equals
+    /// `records.len()`.
+    pub fn dispositions(&self) -> DispositionCounts {
+        let mut counts = DispositionCounts::default();
+        for r in &self.records {
+            match r.disposition {
+                Disposition::Completed => counts.completed += 1,
+                Disposition::Degraded => counts.degraded += 1,
+                Disposition::Shed => counts.shed += 1,
+                Disposition::Failed => counts.failed += 1,
+            }
+        }
+        counts
     }
 
     /// Summarizes the latency distribution and its decomposition by
@@ -214,6 +379,35 @@ pub fn poisson_arrivals(count: usize, mean_gap_ns: f64, seed: u64) -> Vec<f64> {
         .collect()
 }
 
+/// The breaker key for a request: a hash of its full operator list, so a
+/// poisoned shape cannot trip healthy traffic's breaker.
+fn request_shape_key(request: &Request) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for (op, count) in &request.ops {
+        op.hash(&mut hasher);
+        count.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// What the parallel (pre-sequencer) compile phase produced.
+struct CompileOutcome {
+    /// The compiled forward pass; `None` when both the full path and the
+    /// degraded fallback failed.
+    graph: Option<GraphRun>,
+    /// Real wall-clock of the whole compile phase, ns (the graph's own
+    /// measurement on the clean path; the measured window including the
+    /// failed attempt when the fallback ran).
+    compile_ns: u128,
+    /// Device-fault retries the request will pay for.
+    retries: u32,
+    /// All retries faulted too: the request fails after occupying the
+    /// device for every attempt.
+    device_failed: bool,
+    /// Total virtual device time across attempts and backoffs, ns.
+    total_device_ns: f64,
+}
+
 /// A multi-worker request executor over a shared engine and a simulated
 /// device pool.
 pub struct ServingRuntime {
@@ -221,6 +415,8 @@ pub struct ServingRuntime {
     cluster: Cluster,
     workers: usize,
     telemetry: Arc<Telemetry>,
+    options: ServingOptions,
+    breaker: Option<CircuitBreaker>,
 }
 
 impl ServingRuntime {
@@ -246,6 +442,8 @@ impl ServingRuntime {
             cluster,
             workers,
             telemetry,
+            options: ServingOptions::default(),
+            breaker: None,
         }
     }
 
@@ -253,6 +451,15 @@ impl ServingRuntime {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the fault-tolerance policy (builder style). Creates the
+    /// per-shape circuit breaker when the options ask for one.
+    #[must_use]
+    pub fn with_options(mut self, options: ServingOptions) -> Self {
+        self.breaker = options.breaker.map(CircuitBreaker::new);
+        self.options = options;
         self
     }
 
@@ -271,10 +478,106 @@ impl ServingRuntime {
         self.workers
     }
 
+    /// The fault-tolerance policy in force.
+    pub fn options(&self) -> &ServingOptions {
+        &self.options
+    }
+
+    /// The per-shape circuit breaker, when enabled.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// The parallel compile phase for one admitted request: breaker check,
+    /// panic-isolated full compile under the budget, degraded fallback,
+    /// and the deterministic device-fault retry schedule.
+    fn compile_request(&self, request: &Request) -> CompileOutcome {
+        let key = request_shape_key(request);
+        let breaker = self.breaker.as_ref();
+        let decision = breaker.map_or(BreakerDecision::Allow, |b| b.check(key, request.arrival_ns));
+        let degrade_only = decision == BreakerDecision::Degrade;
+        let compile_start = Instant::now();
+        let budget = CompileBudget {
+            deadline: self
+                .options
+                .compile_budget
+                .map(|limit| compile_start + limit),
+            degrade_only,
+        };
+        let run = |budget: CompileBudget| {
+            catch_unwind(AssertUnwindSafe(|| {
+                self.engine
+                    .try_run_graph(request.ops.iter().map(|(op, count)| (op, *count)), budget)
+            }))
+        };
+        let (graph, fell_back) = match run(budget) {
+            Ok(Ok(graph)) => {
+                if !degrade_only {
+                    if let Some(b) = breaker {
+                        b.record_success(key);
+                    }
+                }
+                (Some(graph), false)
+            }
+            // Typed failure or panic: both feed the breaker and fall
+            // through to the search-free fallback, itself panic-isolated
+            // so a poisoned shape cannot kill the worker.
+            Ok(Err(_)) | Err(_) => {
+                if !degrade_only {
+                    if let Some(b) = breaker {
+                        b.record_failure(key, request.arrival_ns);
+                    }
+                }
+                let fallback = CompileBudget {
+                    deadline: None,
+                    degrade_only: true,
+                };
+                match run(fallback) {
+                    Ok(Ok(graph)) => (Some(graph), true),
+                    Ok(Err(_)) | Err(_) => (None, true),
+                }
+            }
+        };
+        let compile_ns = match (&graph, fell_back) {
+            (Some(graph), false) => graph.compile_ns,
+            _ => compile_start.elapsed().as_nanos(),
+        };
+        // Device faults are a pure function of (plan, request id, attempt),
+        // so the whole retry schedule — and its virtual cost — is known
+        // before the request reaches the sequenced section.
+        let mut retries = 0u32;
+        let mut device_failed = false;
+        let mut total_device_ns = graph.as_ref().map_or(0.0, |g| g.device_ns);
+        if let (Some(graph), Some(plan)) = (&graph, self.options.fault_plan.as_deref()) {
+            let retry = self.options.retry;
+            let mut attempt = 0u32;
+            while plan.device_fault(request.id as u64, attempt) {
+                if attempt >= retry.max_retries {
+                    device_failed = true;
+                    break;
+                }
+                total_device_ns += retry.backoff_for(attempt) + graph.device_ns;
+                retries += 1;
+                attempt += 1;
+            }
+        }
+        CompileOutcome {
+            graph,
+            compile_ns,
+            retries,
+            device_failed,
+            total_device_ns,
+        }
+    }
+
     /// Serves `requests` (any order; they are dispatched by arrival time)
     /// to completion and reports per-request latency decompositions plus
-    /// worker and cache counters.
+    /// worker and cache counters. Every request terminates with exactly
+    /// one [`Disposition`].
     pub fn serve(&self, requests: &[Request]) -> ServingReport {
+        if let Some(plan) = &self.options.fault_plan {
+            self.engine.set_fault_plan(Some(Arc::clone(plan)));
+        }
         let mut ordered: Vec<&Request> = requests.iter().collect();
         ordered.sort_by(|a, b| f64::total_cmp(&a.arrival_ns, &b.arrival_ns));
         let cursor = AtomicUsize::new(0);
@@ -287,6 +590,12 @@ impl ServingRuntime {
         // timeline cannot be skewed by thread starvation.
         let worker_pool = Mutex::new(vec![0.0f64; self.workers]);
         let device_pool = Mutex::new(vec![0.0f64; self.cluster.devices]);
+        // Service-start times of admitted requests still waiting for
+        // their worker. Starts are monotone non-decreasing across tickets,
+        // so the front entries with `start <= arrival` have begun service
+        // by the time a later request arrives — popping them yields the
+        // exact queue depth at that arrival instant.
+        let waiting = Mutex::new(VecDeque::<f64>::new());
         // Dispatch over the interconnect only when the pool is remote.
         let dispatch_ns = if self.cluster.devices > 1 {
             self.cluster.interconnect.latency_ns
@@ -303,6 +612,7 @@ impl ServingRuntime {
                     let sequencer = &sequencer;
                     let worker_pool = &worker_pool;
                     let device_pool = &device_pool;
+                    let waiting = &waiting;
                     scope.spawn(move || {
                         let mut records = Vec::new();
                         loop {
@@ -310,57 +620,138 @@ impl ServingRuntime {
                             let Some(request) = ordered.get(ticket) else {
                                 break;
                             };
+                            // Pre-admission shed: a deadline that passed
+                            // before arrival means the request is never
+                            // compiled at all — it only takes (and
+                            // immediately passes) its sequencer turn.
+                            if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                                sequencer.wait_for(ticket);
+                                sequencer.advance();
+                                let record = shed_record(request, ShedReason::DeadlineAtEnqueue);
+                                if telemetry.is_enabled() {
+                                    emit_request_telemetry(
+                                        telemetry,
+                                        request,
+                                        &record,
+                                        request.arrival_ns,
+                                        None,
+                                        dispatch_ns,
+                                    );
+                                }
+                                records.push(record);
+                                continue;
+                            }
                             // Real wall-clock compile (0 on cache hits),
                             // simulated device time — the expensive part,
-                            // running in parallel across threads.
-                            let graph = self
-                                .engine
-                                .run_graph(request.ops.iter().map(|(op, count)| (op, *count)));
+                            // running in parallel across threads and
+                            // panic-isolated inside `compile_request`.
+                            let outcome = self.compile_request(request);
                             // The worker is genuinely occupied for the real
                             // compile wall-clock while virtual arrivals keep
                             // accumulating — the one sanctioned projection
                             // of real time onto the serving timeline.
-                            let compile = ClockNs::real(graph.compile_ns as f64);
+                            let compile = ClockNs::real(outcome.compile_ns as f64);
 
                             // Virtual bookkeeping in strict arrival order.
+                            // Everything from here to `advance` must be
+                            // panic-free: a panic would strand every later
+                            // ticket on the sequencer.
                             sequencer.wait_for(ticket);
-                            // Only the turn holder touches the pools, so
-                            // the slot can be reserved after `finish` is
-                            // known below.
+                            let mut waiting_q = waiting.lock();
+                            while waiting_q.front().is_some_and(|&s| s <= request.arrival_ns) {
+                                waiting_q.pop_front();
+                            }
                             let (worker, worker_free) = earliest_free(&worker_pool.lock());
                             let start = request.arrival_ns.max(worker_free);
-                            let ready = start + compile.onto_virtual_timeline();
-                            let (device, device_start) = {
-                                let mut pool = device_pool.lock();
-                                let (device, device_free) = earliest_free(&pool);
-                                let device_start = ready.max(device_free) + dispatch_ns;
-                                pool[device] = device_start + graph.device_ns;
-                                (device, device_start)
+                            let shed = if request.deadline_ns.is_some_and(|d| start > d) {
+                                Some(ShedReason::DeadlineAtDispatch)
+                            } else if start > request.arrival_ns
+                                && self
+                                    .options
+                                    .queue_capacity
+                                    .is_some_and(|cap| waiting_q.len() >= cap)
+                            {
+                                Some(ShedReason::QueueFull)
+                            } else {
+                                if start > request.arrival_ns {
+                                    waiting_q.push_back(start);
+                                }
+                                None
                             };
-                            let finish = device_start + graph.device_ns;
-                            worker_pool.lock()[worker] = finish;
+                            drop(waiting_q);
+
+                            let (record, exec) = if let Some(reason) = shed {
+                                // Shed: no virtual resources consumed.
+                                (shed_record(request, reason), None)
+                            } else if let Some(graph) = &outcome.graph {
+                                let ready = start + compile.onto_virtual_timeline();
+                                let (device, device_start) = {
+                                    let mut pool = device_pool.lock();
+                                    let (device, device_free) = earliest_free(&pool);
+                                    let device_start = ready.max(device_free) + dispatch_ns;
+                                    pool[device] = device_start + outcome.total_device_ns;
+                                    (device, device_start)
+                                };
+                                let finish = device_start + outcome.total_device_ns;
+                                worker_pool.lock()[worker] = finish;
+                                let disposition = if outcome.device_failed {
+                                    Disposition::Failed
+                                } else if graph.degraded > 0 {
+                                    Disposition::Degraded
+                                } else {
+                                    Disposition::Completed
+                                };
+                                (
+                                    RequestRecord {
+                                        id: request.id,
+                                        worker,
+                                        device,
+                                        queue_ns: (start - request.arrival_ns)
+                                            + (device_start - dispatch_ns - ready),
+                                        compile,
+                                        search_ns: graph.search_ns,
+                                        cache_wait_ns: graph.cache_wait_ns,
+                                        device_ns: outcome.total_device_ns + dispatch_ns,
+                                        finish_ns: finish,
+                                        disposition,
+                                        shed_reason: None,
+                                        retries: outcome.retries,
+                                    },
+                                    Some((ready, device_start)),
+                                )
+                            } else {
+                                // Both compile paths failed: the worker was
+                                // occupied for the compile window, but no
+                                // device was ever dispatched.
+                                let finish = start + compile.onto_virtual_timeline();
+                                worker_pool.lock()[worker] = finish;
+                                (
+                                    RequestRecord {
+                                        id: request.id,
+                                        worker,
+                                        device: NO_SLOT,
+                                        queue_ns: start - request.arrival_ns,
+                                        compile,
+                                        search_ns: 0,
+                                        cache_wait_ns: 0,
+                                        device_ns: 0.0,
+                                        finish_ns: finish,
+                                        disposition: Disposition::Failed,
+                                        shed_reason: None,
+                                        retries: outcome.retries,
+                                    },
+                                    None,
+                                )
+                            };
                             sequencer.advance();
 
-                            let record = RequestRecord {
-                                id: request.id,
-                                worker,
-                                device,
-                                queue_ns: (start - request.arrival_ns)
-                                    + (device_start - dispatch_ns - ready),
-                                compile,
-                                search_ns: graph.search_ns,
-                                cache_wait_ns: graph.cache_wait_ns,
-                                device_ns: graph.device_ns + dispatch_ns,
-                                finish_ns: finish,
-                            };
                             if telemetry.is_enabled() {
                                 emit_request_telemetry(
                                     telemetry,
                                     request,
                                     &record,
                                     start,
-                                    ready,
-                                    device_start,
+                                    exec,
                                     dispatch_ns,
                                 );
                             }
@@ -372,7 +763,13 @@ impl ServingRuntime {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("serving worker panicked"))
+                .map(|h| {
+                    // The per-ticket body is panic-isolated; if a worker
+                    // dies anyway, surface the panic rather than silently
+                    // dropping its records.
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .collect()
         });
 
@@ -405,6 +802,7 @@ impl ServingRuntime {
             .gemm_compiler()
             .cache_stats()
             .merged(self.engine.conv_compiler().cache_stats());
+        let breaker_opens = self.breaker.as_ref().map_or(0, CircuitBreaker::opens);
         if self.telemetry.is_enabled() {
             let registry = self.telemetry.registry();
             // Collector-style export: the registry's cache.* counters are
@@ -419,12 +817,16 @@ impl ServingRuntime {
             registry
                 .gauge("serving.throughput_rps")
                 .set(records.len() as f64 / (makespan_ns / 1e9));
+            registry
+                .gauge("serving.breaker_opens")
+                .set(breaker_opens as f64);
         }
         ServingReport {
             records,
             workers,
             cache,
             makespan_ns,
+            breaker_opens,
         }
     }
 }
@@ -461,12 +863,46 @@ impl Sequencer {
 }
 
 /// The index and virtual free time of the earliest-free pool slot.
+/// Panic-free (it runs inside the sequenced section): an empty pool —
+/// excluded by the constructor asserts — would return the infinity
+/// sentinel rather than panicking.
 fn earliest_free(pool: &[f64]) -> (usize, f64) {
-    pool.iter()
-        .enumerate()
-        .min_by(|a, b| f64::total_cmp(a.1, b.1))
-        .map(|(i, &free)| (i, free))
-        .expect("pool is non-empty")
+    let mut best = (0usize, f64::INFINITY);
+    for (slot, &free_at) in pool.iter().enumerate() {
+        if free_at <= best.1 {
+            best = (slot, free_at);
+        }
+    }
+    best
+}
+
+/// The record for a request rejected by admission control: sentinel
+/// worker/device slots, zero resource use, finish at arrival.
+fn shed_record(request: &Request, reason: ShedReason) -> RequestRecord {
+    RequestRecord {
+        id: request.id,
+        worker: NO_SLOT,
+        device: NO_SLOT,
+        queue_ns: 0.0,
+        compile: ClockNs::real(0.0),
+        search_ns: 0,
+        cache_wait_ns: 0,
+        device_ns: 0.0,
+        finish_ns: request.arrival_ns,
+        disposition: Disposition::Shed,
+        shed_reason: Some(reason),
+        retries: 0,
+    }
+}
+
+/// The counter a record's disposition increments.
+fn disposition_counter(disposition: Disposition) -> &'static str {
+    match disposition {
+        Disposition::Completed => "serving.completed",
+        Disposition::Degraded => "serving.degraded",
+        Disposition::Shed => "serving.shed",
+        Disposition::Failed => "serving.failed",
+    }
 }
 
 /// Emits one served request's phase spans and latency metrics.
@@ -475,18 +911,41 @@ fn earliest_free(pool: &[f64]) -> (usize, f64) {
 /// (overlap-safe) spans, then a `serving.request` window containing the
 /// `serving.compile` window, which in turn contains the per-request search
 /// and coalesced-wait sub-phases (nested by time containment). The device
-/// execution lands on the device's own lane.
-#[allow(clippy::too_many_arguments)]
+/// execution lands on the device's own lane when one ran (`exec` carries
+/// its `(ready, device_start)` times). Shed requests get a zero-duration
+/// `serving.shed` marker and their disposition counter only.
 fn emit_request_telemetry(
     telemetry: &Telemetry,
     request: &Request,
     record: &RequestRecord,
     start: f64,
-    ready: f64,
-    device_start: f64,
+    exec: Option<(f64, f64)>,
     dispatch_ns: f64,
 ) {
+    let registry = telemetry.registry();
+    registry.counter("serving.requests").inc();
+    registry
+        .counter(disposition_counter(record.disposition))
+        .inc();
+    if record.retries > 0 {
+        registry
+            .counter("serving.retried")
+            .add(u64::from(record.retries));
+    }
     let rid = record.id as u64;
+    if record.disposition == Disposition::Shed {
+        telemetry.record_span(
+            SpanRecord::async_phase(
+                "serving.shed",
+                Lane::HostThread(0),
+                rid,
+                request.arrival_ns,
+                0.0,
+            )
+            .with_arg("request", rid),
+        );
+        return;
+    }
     let lane = Lane::Worker(record.worker);
     telemetry.record_span(SpanRecord::async_phase(
         "serving.queue",
@@ -495,16 +954,6 @@ fn emit_request_telemetry(
         request.arrival_ns,
         start - request.arrival_ns,
     ));
-    let device_wait = device_start - dispatch_ns - ready;
-    if device_wait > 0.0 {
-        telemetry.record_span(SpanRecord::async_phase(
-            "serving.queue.device",
-            lane,
-            rid,
-            ready,
-            device_wait,
-        ));
-    }
     telemetry.record_span(
         SpanRecord::complete("serving.request", lane, start, record.finish_ns - start)
             .with_arg("request", rid),
@@ -539,18 +988,28 @@ fn emit_request_telemetry(
             .with_arg("request", rid),
         );
     }
-    telemetry.record_span(
-        SpanRecord::complete(
-            "serving.device",
-            Lane::Device(record.device),
-            device_start,
-            record.finish_ns - device_start,
-        )
-        .with_arg("request", rid)
-        .with_arg("worker", record.worker),
-    );
-    let registry = telemetry.registry();
-    registry.counter("serving.requests").inc();
+    if let Some((ready, device_start)) = exec {
+        let device_wait = device_start - dispatch_ns - ready;
+        if device_wait > 0.0 {
+            telemetry.record_span(SpanRecord::async_phase(
+                "serving.queue.device",
+                lane,
+                rid,
+                ready,
+                device_wait,
+            ));
+        }
+        telemetry.record_span(
+            SpanRecord::complete(
+                "serving.device",
+                Lane::Device(record.device),
+                device_start,
+                record.finish_ns - device_start,
+            )
+            .with_arg("request", rid)
+            .with_arg("worker", record.worker),
+        );
+    }
     registry
         .histogram("serving.queue_ns", Clock::Virtual)
         .record_f64(record.queue_ns);
@@ -566,6 +1025,7 @@ fn emit_request_telemetry(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::offline::OfflineOptions;
@@ -576,6 +1036,10 @@ mod tests {
         let mut o = OfflineOptions::fast();
         o.n_gen = 4;
         Arc::new(Engine::offline(MachineModel::a100(), &o))
+    }
+
+    fn local_cluster(engine: &Engine) -> Cluster {
+        Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3())
     }
 
     fn stream(n: usize, gap: f64) -> Vec<Request> {
@@ -593,7 +1057,7 @@ mod tests {
     #[test]
     fn decomposition_adds_up_and_all_requests_complete() {
         let engine = engine();
-        let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+        let cluster = local_cluster(&engine);
         let telemetry = mikpoly_telemetry::Telemetry::enabled();
         let runtime =
             ServingRuntime::new(engine, cluster, 2).with_telemetry(Arc::clone(&telemetry));
@@ -605,12 +1069,18 @@ mod tests {
             assert!(r.queue_ns >= -1e-6, "negative queue: {r:?}");
             assert!(r.device_ns > 0.0);
             assert_eq!(r.compile.clock(), Clock::Real);
+            assert_eq!(r.disposition, Disposition::Completed);
+            assert!(r.executed());
             assert!((r.timeline_total_ns() - (r.finish_ns - requests[i].arrival_ns)).abs() < 1e-3);
         }
         // 3 unique shapes → 3 polymerizations, regardless of worker count.
         assert_eq!(report.cache.computations, 3);
         assert_eq!(report.workers.len(), 2);
         assert_eq!(report.workers.iter().map(|w| w.requests).sum::<usize>(), 24);
+        let counts = report.dispositions();
+        assert_eq!(counts.completed, 24);
+        assert_eq!(counts.total(), 24);
+        assert_eq!(report.breaker_opens, 0);
         // Telemetry: every request got queue/request/compile/device spans,
         // and the exported cache counters equal the report's snapshot.
         let spans = telemetry.drain_spans();
@@ -634,6 +1104,7 @@ mod tests {
             Some(report.cache.coalesced_waits)
         );
         assert_eq!(snap.counter("serving.requests"), Some(24));
+        assert_eq!(snap.counter("serving.completed"), Some(24));
         let summary = report.latency_summary();
         assert_eq!(summary.total.count, 24);
         assert_eq!(summary.compile.clock, Clock::Real);
@@ -665,6 +1136,119 @@ mod tests {
                 "{workers} workers: {rps} rps after {last}"
             );
             last = rps;
+        }
+    }
+
+    #[test]
+    fn expired_deadline_requests_are_shed_without_compiling() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let runtime = ServingRuntime::new(engine, cluster, 2);
+        let requests: Vec<Request> = (0..6)
+            .map(|i| {
+                let arrival = i as f64 * 10_000.0;
+                Request::single(i, arrival, Operator::gemm(GemmShape::new(256, 256, 256)))
+                    .with_deadline(arrival - 1.0)
+            })
+            .collect();
+        let report = runtime.serve(&requests);
+        assert_eq!(report.records.len(), 6);
+        for r in &report.records {
+            assert_eq!(r.disposition, Disposition::Shed);
+            assert_eq!(r.shed_reason, Some(ShedReason::DeadlineAtEnqueue));
+            assert!(!r.executed());
+            assert_eq!(r.compile.real_ns(), 0.0);
+        }
+        // The whole point: a request shed at enqueue is never compiled.
+        assert_eq!(report.cache.computations, 0);
+        assert_eq!(report.dispositions().shed, 6);
+        assert_eq!(report.goodput_rps(), 0.0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_bursts_and_late_starts_shed_on_deadline() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let runtime = ServingRuntime::new(engine, cluster, 1).with_options(ServingOptions {
+            queue_capacity: Some(2),
+            ..ServingOptions::default()
+        });
+        let op = || Operator::gemm(GemmShape::new(256, 256, 256));
+        // A burst of 8 simultaneous arrivals against 1 worker and a
+        // 2-deep queue: the first starts immediately, two wait, the rest
+        // overflow. A ninth, slightly later request has a deadline far
+        // tighter than the backlog, so it sheds at dispatch (the deadline
+        // check dominates the queue check).
+        let mut requests: Vec<Request> = (0..8).map(|i| Request::single(i, 0.0, op())).collect();
+        requests.push(Request::single(8, 1.0, op()).with_deadline(2.0));
+        let report = runtime.serve(&requests);
+        let counts = report.dispositions();
+        assert_eq!(counts.completed, 3, "{counts:?}");
+        assert_eq!(counts.shed, 6, "{counts:?}");
+        assert_eq!(counts.total(), 9);
+        let queue_full = report
+            .records
+            .iter()
+            .filter(|r| r.shed_reason == Some(ShedReason::QueueFull))
+            .count();
+        assert_eq!(queue_full, 5);
+        assert_eq!(
+            report.records[8].shed_reason,
+            Some(ShedReason::DeadlineAtDispatch)
+        );
+        // Shed requests never occupy a worker slot.
+        assert!(report
+            .records
+            .iter()
+            .filter(|r| r.disposition == Disposition::Shed)
+            .all(|r| r.worker == usize::MAX && !r.executed()));
+    }
+
+    #[test]
+    fn breaker_opens_probes_and_recovers() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        // Compilation of the (single) shape panics on its first 5
+        // attempts, then heals. Threshold 2 and a cooldown shorter than
+        // the arrival gap give a fully deterministic single-worker
+        // timeline: fail, fail-and-open, three failed probes (re-opens),
+        // a successful probe that closes, then cache hits.
+        let plan = FaultPlan {
+            seed: 11,
+            compile_panic_rate: 1.0,
+            panic_attempts: 5,
+            ..FaultPlan::none()
+        };
+        let runtime = ServingRuntime::new(engine, cluster, 1).with_options(ServingOptions {
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 2,
+                cooldown_ns: 5_000.0,
+            }),
+            fault_plan: Some(Arc::new(plan)),
+            ..ServingOptions::default()
+        });
+        let requests: Vec<Request> = (0..8)
+            .map(|i| {
+                Request::single(
+                    i,
+                    i as f64 * 10_000.0,
+                    Operator::gemm(GemmShape::new(256, 256, 256)),
+                )
+            })
+            .collect();
+        let report = runtime.serve(&requests);
+        let counts = report.dispositions();
+        assert_eq!(counts.degraded, 5, "{counts:?}");
+        assert_eq!(counts.completed, 3, "{counts:?}");
+        assert_eq!(counts.failed, 0, "{counts:?}");
+        // Open on the second failure, then three failed probes re-open.
+        assert_eq!(report.breaker_opens, 4);
+        for r in &report.records[..5] {
+            assert_eq!(r.disposition, Disposition::Degraded, "{r:?}");
+            assert!(r.executed(), "degraded requests still run: {r:?}");
+        }
+        for r in &report.records[5..] {
+            assert_eq!(r.disposition, Disposition::Completed, "{r:?}");
         }
     }
 

@@ -37,6 +37,14 @@ grep -q "^cache_hits " "$smoke_dir/metrics.txt" || {
   exit 1
 }
 
+# Chaos smoke: fixed-seed fault injection (device faults, search stalls,
+# compile panics, cache corruption) plus admission control; the binary
+# exits non-zero if any request lacks exactly one terminal disposition.
+echo "==> chaos smoke: mikpoly chaos (fixed seeds)"
+./target/release/mikpoly chaos --requests 48 --workers 4 --seed 7 \
+  --queue-capacity 8 --deadline-us 5000
+./target/release/mikpoly chaos --requests 32 --workers 2 --seed 11 --fault-rate 0.1
+
 # Conformance: a bounded differential-fuzz smoke (fixed seed, well under
 # 30 s in release) that replays the regression corpus first, then the
 # cost-model-fidelity gate over the pinned shape corpus. Scale the fuzz

@@ -5,8 +5,8 @@
 use std::path::PathBuf;
 
 use mikpoly_conformance::{
-    append_to_corpus, default_case_count, fuzz_run, load_corpus, save_corpus, shrink,
-    ConformanceEnv, FuzzCase, FuzzConfig, MachineKind, OpSpec,
+    append_to_corpus, default_case_count, fuzz_run, load_corpus, run_case, save_corpus, shrink,
+    ConformanceEnv, FaultSpec, FuzzCase, FuzzConfig, MachineKind, OpSpec,
 };
 
 fn corpus_path(name: &str) -> PathBuf {
@@ -72,6 +72,7 @@ fn corpus_persistence_round_trips_and_deduplicates() {
             machine: MachineKind::Gpu,
             op: OpSpec::Gemm { m: 17, n: 31, k: 5 },
             data_seed: 0xDEAD_BEEF,
+            fault: None,
         },
         FuzzCase {
             machine: MachineKind::Npu,
@@ -86,6 +87,7 @@ fn corpus_persistence_round_trips_and_deduplicates() {
                 padding: 1,
             },
             data_seed: 42,
+            fault: None,
         },
     ];
     save_corpus(&path, &cases).expect("save");
@@ -103,12 +105,104 @@ fn corpus_persistence_round_trips_and_deduplicates() {
             k: 8,
         },
         data_seed: 1,
+        fault: None,
     };
     append_to_corpus(&path, &extra).expect("append new");
     let reread = load_corpus(&path).expect("load");
     assert_eq!(reread.len(), 3);
     assert_eq!(reread[2], extra);
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn faulted_cases_recover_and_still_pass_every_property() {
+    // A case carrying every fault dimension at once — injected compile
+    // panic, corrupted cache entry, search stall — must recover (one
+    // retry, poisoned-entry eviction) and then pass the same differential
+    // properties as a clean case.
+    let env = ConformanceEnv::fast();
+    let case = FuzzCase {
+        machine: MachineKind::Gpu,
+        op: OpSpec::Gemm {
+            m: 37,
+            n: 29,
+            k: 11,
+        },
+        data_seed: 0xFA_017,
+        fault: Some(FaultSpec {
+            seed: 0xBAD,
+            stall: true,
+            corrupt: true,
+            panic: true,
+        }),
+    };
+    run_case(&env, &case).expect("faulted case must recover and pass");
+    // The display form names the live fault dimensions for corpus triage.
+    assert!(case
+        .to_string()
+        .contains("fault(seed=0xbad+stall+corrupt+panic"));
+}
+
+#[test]
+fn pre_fault_corpora_still_parse_and_faulted_cases_round_trip() {
+    // Corpora written before the fault dimension existed have no `fault`
+    // key; they must load as fault-free cases.
+    let legacy = r#"[{"machine":"Gpu","op":{"Gemm":{"m":8,"n":8,"k":8}},"data_seed":3}]"#;
+    let path = std::env::temp_dir().join(format!(
+        "mikpoly-conformance-legacy-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, legacy).expect("write");
+    let corpus = load_corpus(&path).expect("legacy corpus parses");
+    assert_eq!(corpus.len(), 1);
+    assert_eq!(corpus[0].fault, None);
+
+    // A faulted case survives the save/load round trip intact.
+    let faulted = FuzzCase {
+        machine: MachineKind::Npu,
+        op: OpSpec::Gemm { m: 9, n: 7, k: 5 },
+        data_seed: 11,
+        fault: Some(FaultSpec {
+            seed: 13,
+            stall: false,
+            corrupt: true,
+            panic: false,
+        }),
+    };
+    append_to_corpus(&path, &faulted).expect("append");
+    let reread = load_corpus(&path).expect("load");
+    assert_eq!(reread.len(), 2);
+    assert_eq!(reread[1], faulted);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shrinking_drops_the_fault_dimension_when_failure_is_fault_free() {
+    // On a healthy build a faulted case passes, so the shrinker keeps the
+    // original (synthetic) failure — but it must have *tried* the
+    // fault-free variant first, which costs exactly one extra step
+    // compared to the fault-free shrink of the same shape.
+    let env = ConformanceEnv::fast();
+    let shape = OpSpec::Gemm { m: 12, n: 10, k: 6 };
+    let clean = FuzzCase {
+        machine: MachineKind::Gpu,
+        op: shape,
+        data_seed: 9,
+        fault: None,
+    };
+    let faulted = FuzzCase {
+        fault: Some(FaultSpec {
+            seed: 1,
+            stall: false,
+            corrupt: false,
+            panic: true,
+        }),
+        ..clean
+    };
+    let (_, _, clean_steps) = shrink(&env, clean, "synthetic".into(), 64);
+    let (minimal, _, fault_steps) = shrink(&env, faulted, "synthetic".into(), 64);
+    assert_eq!(minimal, faulted, "healthy build: nothing reproduces");
+    assert_eq!(fault_steps, clean_steps + 1, "fault-drop must be attempted");
 }
 
 #[test]
@@ -125,6 +219,7 @@ fn shrinking_never_replaces_a_failure_with_a_passing_case() {
             k: 12,
         },
         data_seed: 9,
+        fault: None,
     };
     let (minimal, reason, steps) = shrink(&env, case, "synthetic failure".into(), 64);
     assert_eq!(minimal, case, "shrunk away from the reported failure");

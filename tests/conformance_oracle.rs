@@ -121,6 +121,7 @@ fn untruncated_oracle_never_loses_to_the_cost_model() {
             k: 24,
         },
         data_seed: 0,
+        fault: None,
     };
     let sample = gap_for(env.compiler_for(&case), case.machine, &case.op, usize::MAX);
     assert!(!sample.truncated, "exhaustive search must not truncate");
@@ -143,6 +144,7 @@ fn candidate_cap_truncates_and_is_reported() {
             k: 128,
         },
         data_seed: 0,
+        fault: None,
     };
     let sample = gap_for(env.compiler_for(&case), case.machine, &case.op, 4);
     assert!(

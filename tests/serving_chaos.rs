@@ -1,0 +1,278 @@
+//! Chaos suite: the serving runtime under deterministic fault injection.
+//!
+//! The invariant under test is *exhaustive disposition*: whatever mix of
+//! injected faults a stream hits — compile panics, search stalls,
+//! corrupted cache entries, transient device faults, deadlines, queue
+//! overflow — every request terminates with exactly one
+//! [`Disposition`], no worker dies, and the telemetry counters agree
+//! with the per-request records to the last increment.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mikpoly_conformance::assert_matches_reference;
+use mikpoly_suite::accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
+use mikpoly_suite::mikpoly::{
+    execute_gemm, poisson_arrivals, BreakerPolicy, CompileBudget, Disposition, Engine, MikPoly,
+    OfflineOptions, Request, ServingOptions, ServingRuntime,
+};
+use mikpoly_suite::tensor_ir::{reference_gemm, GemmShape, Operator, Tensor};
+
+fn engine() -> Arc<Engine> {
+    let mut o = OfflineOptions::fast();
+    o.n_gen = 4;
+    Arc::new(Engine::offline(MachineModel::a100(), &o))
+}
+
+fn shapes() -> Vec<GemmShape> {
+    vec![
+        GemmShape::new(256, 256, 256),
+        GemmShape::new(777, 512, 256),
+        GemmShape::new(1111, 999, 512),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(320, 192, 128),
+        GemmShape::new(511, 257, 96),
+        GemmShape::new(900, 300, 300),
+        GemmShape::new(128, 1024, 64),
+    ]
+}
+
+fn stream(n: usize, gap: f64, seed: u64) -> Vec<Request> {
+    let shapes = shapes();
+    poisson_arrivals(n, gap, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Request::single(i, t, Operator::gemm(shapes[i % shapes.len()])))
+        .collect()
+}
+
+/// Every request under a mixed fault plan ends in exactly one
+/// disposition, and the serving counters equal the record tallies.
+#[test]
+fn chaos_mix_yields_exactly_one_disposition_per_request() {
+    let engine = engine();
+    let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+    let telemetry = mikpoly_suite::mikpoly::telemetry::Telemetry::enabled();
+    let plan = FaultPlan {
+        seed: 0xC4A05,
+        device_fault_rate: 0.05,
+        search_stall_rate: 0.2,
+        search_stall_ns: 200_000,
+        cache_corrupt_rate: 0.2,
+        compile_panic_rate: 0.1,
+        panic_attempts: 2,
+    };
+    let runtime = ServingRuntime::new(engine, cluster, 4)
+        .with_telemetry(Arc::clone(&telemetry))
+        .with_options(ServingOptions {
+            queue_capacity: Some(8),
+            compile_budget: Some(Duration::from_millis(20)),
+            breaker: Some(BreakerPolicy::default()),
+            fault_plan: Some(Arc::new(plan)),
+            ..ServingOptions::default()
+        });
+    // Half the stream carries a (loose) deadline so the admission paths
+    // are live too; the seeds are fixed, so the fault schedule is
+    // reproducible even though thread interleaving is not.
+    let requests: Vec<Request> = stream(60, 30_000.0, 9)
+        .into_iter()
+        .map(|r| {
+            if r.id % 2 == 0 {
+                let deadline = r.arrival_ns + 5_000_000.0;
+                r.with_deadline(deadline)
+            } else {
+                r
+            }
+        })
+        .collect();
+    let report = runtime.serve(&requests);
+
+    // Exhaustive disposition: one record per request, in id order, each
+    // with exactly one terminal state.
+    assert_eq!(report.records.len(), 60);
+    let counts = report.dispositions();
+    assert_eq!(counts.total(), 60, "{counts:?}");
+    for (i, r) in report.records.iter().enumerate() {
+        assert_eq!(r.id, i);
+        assert_eq!(
+            r.shed_reason.is_some(),
+            r.disposition == Disposition::Shed,
+            "shed reason iff shed: {r:?}"
+        );
+        if r.disposition == Disposition::Shed {
+            assert!(!r.executed(), "shed requests consume nothing: {r:?}");
+        } else {
+            assert!(r.finish_ns >= requests[i].arrival_ns);
+        }
+    }
+    // The faults were actually live: something degraded or retried.
+    let retried: u32 = report.records.iter().map(|r| r.retries).sum();
+    assert!(
+        counts.degraded > 0 || retried > 0,
+        "fault plan had no effect: {counts:?}"
+    );
+
+    // Counter fidelity: the registry's serving.* counters equal the
+    // per-request tallies exactly.
+    let snap = telemetry.registry().snapshot();
+    assert_eq!(snap.counter("serving.requests"), Some(60));
+    for (name, want) in [
+        ("serving.completed", counts.completed),
+        ("serving.degraded", counts.degraded),
+        ("serving.shed", counts.shed),
+        ("serving.failed", counts.failed),
+    ] {
+        assert_eq!(
+            snap.counter(name).unwrap_or(0),
+            want as u64,
+            "{name} disagrees with records"
+        );
+    }
+    assert_eq!(
+        snap.counter("serving.retried").unwrap_or(0),
+        u64::from(retried)
+    );
+}
+
+/// A leader whose compile panics must not strand coalesced followers:
+/// one of them takes the flight over and everyone gets an answer.
+#[test]
+fn followers_survive_a_panicking_leader() {
+    let engine = engine();
+    let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+    let plan = FaultPlan {
+        seed: 21,
+        compile_panic_rate: 1.0,
+        panic_attempts: 1,
+        ..FaultPlan::none()
+    };
+    let runtime = ServingRuntime::new(engine, cluster, 4).with_options(ServingOptions {
+        fault_plan: Some(Arc::new(plan)),
+        ..ServingOptions::default()
+    });
+    // Eight simultaneous requests of one shape: whoever leads the
+    // single-flight panics on the first attempt; the takeover compiles
+    // cleanly on the second.
+    let requests: Vec<Request> = (0..8)
+        .map(|i| Request::single(i, 0.0, Operator::gemm(GemmShape::new(320, 192, 128))))
+        .collect();
+    let report = runtime.serve(&requests);
+    let counts = report.dispositions();
+    assert_eq!(counts.total(), 8);
+    assert_eq!(counts.failed, 0, "{counts:?}");
+    assert_eq!(counts.shed, 0, "{counts:?}");
+    assert_eq!(
+        counts.degraded, 1,
+        "exactly the panicked leader degrades: {counts:?}"
+    );
+    assert_eq!(counts.completed, 7, "{counts:?}");
+}
+
+/// Goodput under a 1% transient device-fault rate stays within 10% of
+/// the fault-free run (the retries are paid in bounded virtual backoff).
+#[test]
+fn goodput_floor_under_one_percent_device_faults() {
+    let serve = |fault_rate: f64| {
+        let engine = engine();
+        // Warm the cache so the virtual timeline is compile-free and the
+        // two runs differ only in injected device faults.
+        for s in shapes() {
+            engine.run_operator(&Operator::gemm(s));
+        }
+        let cluster = Cluster::new(engine.machine().clone(), 2, Interconnect::nvlink3());
+        let mut options = ServingOptions::default();
+        if fault_rate > 0.0 {
+            options.fault_plan = Some(Arc::new(FaultPlan {
+                seed: 77,
+                device_fault_rate: fault_rate,
+                ..FaultPlan::none()
+            }));
+        }
+        let runtime = ServingRuntime::new(engine, cluster, 2).with_options(options);
+        runtime.serve(&stream(80, 10_000.0, 13))
+    };
+    let clean = serve(0.0);
+    let faulty = serve(0.01);
+    assert_eq!(clean.dispositions().served(), 80);
+    let counts = faulty.dispositions();
+    assert_eq!(counts.total(), 80);
+    let ratio = faulty.goodput_rps() / clean.goodput_rps();
+    assert!(
+        ratio >= 0.9,
+        "goodput under 1% device faults fell to {ratio:.3} of fault-free"
+    );
+}
+
+/// Degraded programs are slower, not wrong: the search-free fallback and
+/// a poison-evicted recompile both still match the reference semantics.
+#[test]
+fn degraded_and_poison_recovered_programs_match_reference() {
+    let mut o = OfflineOptions::fast();
+    o.n_gen = 4;
+    let compiler = MikPoly::offline(MachineModel::a100(), &o);
+    let shape = GemmShape::new(200, 130, 70);
+    let op = Operator::gemm(shape);
+    let a = Tensor::random(&[shape.m, shape.k], 31);
+    let b = Tensor::random(&[shape.k, shape.n], 32);
+    let want = reference_gemm(shape, &a, &b);
+
+    // Bottom of the degradation ladder: the search-free fallback.
+    let degraded = compiler
+        .try_compile(
+            &op,
+            CompileBudget {
+                deadline: None,
+                degrade_only: true,
+            },
+        )
+        .expect("degraded compile succeeds");
+    degraded.program.verify_coverage().expect("coverage");
+    let got = execute_gemm(&degraded.program, &a, &b);
+    assert_matches_reference(&got, &want, "degraded gemm");
+
+    // Poisoned-entry path: every first compile of a shape is corrupted;
+    // validation must evict and recompile to a correct program.
+    compiler.set_fault_plan(Some(Arc::new(FaultPlan {
+        seed: 5,
+        cache_corrupt_rate: 1.0,
+        ..FaultPlan::none()
+    })));
+    let recovered = compiler
+        .try_compile(&op, CompileBudget::default())
+        .expect("poison recovery succeeds");
+    assert!(
+        recovered.poison_retries > 0,
+        "corruption must have been detected and evicted"
+    );
+    recovered.program.verify_coverage().expect("coverage");
+    let got = execute_gemm(&recovered.program, &a, &b);
+    assert_matches_reference(&got, &want, "poison-recovered gemm");
+}
+
+/// An expired deadline on a cold shape still cuts the compile short but
+/// returns a correct, degraded answer end to end through the runtime.
+#[test]
+fn expired_budget_degrades_but_stays_correct() {
+    let engine = engine();
+    let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+    let runtime =
+        ServingRuntime::new(Arc::clone(&engine), cluster, 1).with_options(ServingOptions {
+            compile_budget: Some(Duration::from_nanos(1)),
+            ..ServingOptions::default()
+        });
+    let t0 = Instant::now();
+    let report = runtime.serve(&[Request::single(
+        0,
+        0.0,
+        Operator::gemm(GemmShape::new(777, 512, 256)),
+    )]);
+    let counts = report.dispositions();
+    assert_eq!(counts.total(), 1);
+    assert_eq!(counts.failed, 0, "{counts:?}");
+    assert_eq!(
+        counts.degraded, 1,
+        "a 1 ns budget cannot finish a cold search: {counts:?}"
+    );
+    // Degradation is fast: nowhere near a full uncut search.
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}

@@ -38,6 +38,7 @@ fn bert_poisson_stream_emits_valid_nested_trace() {
                 .iter()
                 .map(|op| (op.operator, op.count))
                 .collect(),
+            deadline_ns: None,
         })
         .collect();
     let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
@@ -176,6 +177,7 @@ fn chrome_trace_spans_nest_strictly_per_lane() {
                 .iter()
                 .map(|op| (op.operator, op.count))
                 .collect(),
+            deadline_ns: None,
         })
         .collect();
     let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
