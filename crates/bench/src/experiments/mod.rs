@@ -4,6 +4,7 @@
 
 pub mod abl_patterns;
 pub mod abl_search;
+pub mod cache_bench;
 pub mod case_study;
 pub mod chaos_serving;
 pub mod ext_colaunch;
@@ -64,6 +65,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-splitk", ext_splitk::run),
         ("ext-serving", ext_serving::run),
         ("chaos-serving", chaos_serving::run),
+        ("cache-bench", cache_bench::run),
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),

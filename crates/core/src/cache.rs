@@ -1,4 +1,5 @@
-//! Sharded, read-mostly program cache with single-flight compilation.
+//! Sharded, read-mostly program cache with lock-free hits, single-flight
+//! fills, and a segmented-LRU capacity bound.
 //!
 //! The online stage is on the request path: under concurrent serving, a
 //! single `Mutex<HashMap>` serializes every lookup, and the naive
@@ -6,10 +7,16 @@
 //! all run the (micro- to millisecond) polymerization, N−1 of them
 //! wasted — a classic cache stampede. This cache fixes both:
 //!
-//! * **Sharding** — keys hash to one of N shards, each behind its own
-//!   `parking_lot::RwLock`. Hits take a shard *read* lock, so the steady
-//!   state (every hot shape cached) is reader-parallel across threads and
-//!   contention-free across shards.
+//! * **Lock-free hits** — each shard publishes an immutable
+//!   [`Arc`]`<HashMap>` snapshot stamped with a generation counter.
+//!   Readers keep a thread-local copy of the snapshot and revalidate it
+//!   with a single atomic generation load per lookup; a steady-state hit
+//!   therefore touches *no lock* and performs *no shared writes* beyond
+//!   the returned `Arc`'s refcount and a striped hit counter. Writers
+//!   mutate copy-on-write under a per-shard mutex and publish a new
+//!   snapshot + generation, so they never block readers (readers at worst
+//!   serve one generation stale, which a concurrent lookup is always
+//!   allowed to do).
 //! * **Single flight** — a miss installs an in-flight slot before
 //!   computing. Concurrent misses on the same key find the slot and block
 //!   on its condvar instead of re-running the computation; exactly one
@@ -18,15 +25,22 @@
 //!   abandoned and one waiter takes over, so a poisoned key cannot wedge
 //!   the cache.
 //!
-//! Counters are lock-free atomics; [`ShardedCache::stats`] snapshots them
-//! for serving telemetry.
+//! Counters are lock-free atomics (the hot hit counter is striped across
+//! cache lines); [`ShardedCache::stats`] snapshots them for serving
+//! telemetry, with the entry count served from an exact atomic that is
+//! maintained at fill/insert/remove/evict time — no shard scans.
 //!
-//! An optional **capacity bound** ([`ShardedCache::bounded`]) evicts the
-//! least recently *inserted* ready entry once the cache exceeds the bound
-//! (FIFO order, tracked globally across shards). Serving fleets whose
-//! shape universe outgrows memory re-polymerize evicted shapes on next
-//! sight; the `evictions` counter makes the churn observable. Unbounded
-//! caches (the default) never take the order-list lock.
+//! An optional **capacity bound** ([`ShardedCache::bounded`]) evicts with
+//! a segmented-LRU policy: new entries enter a probation queue; an entry
+//! that was hit while resident is promoted to a protected queue at its
+//! first eviction scan (and given halved-frequency second chances there),
+//! while unreferenced entries are evicted in insertion order. Hot shapes
+//! therefore survive a churning tail instead of being FIFO-thrashed.
+//! Queue records carry a per-fill stamp, so a removed or re-inserted key
+//! leaves only a *stale* record that is skipped (never evicting the new
+//! incarnation) and periodically compacted away — the order state is
+//! bounded by a small multiple of the live entry count. Unbounded caches
+//! (the default) never touch the eviction state.
 //!
 //! Failure story: a computing closure that returns `Err` (or panics) never
 //! caches its result — the in-flight slot is cleared, waiters are woken,
@@ -38,16 +52,27 @@
 // Online hot path: failures must surface as typed errors, not panics.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
-use std::collections::HashMap;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 
 /// Default shard count: enough to make cross-shard collisions rare at
 /// serving-realistic thread counts, small enough to stay cheap to snapshot.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Stripes of the hot hit counter (each on its own cache line).
+const HIT_STRIPES: usize = 8;
+
+/// Thread-local read-snapshot slots (direct-mapped by cache id + shard).
+const TLS_SLOTS: usize = 256;
+
+/// Frequencies saturate here; far beyond any promotion threshold.
+const FREQ_CEILING: u32 = 1 << 20;
 
 /// How a value came out of [`ShardedCache::get_or_compute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,9 +115,13 @@ impl CacheStats {
         self.misses.saturating_sub(self.computations)
     }
 
-    /// Fraction of lookups answered without computing, `NaN` if none.
+    /// Fraction of lookups answered without computing; `0.0` before the
+    /// first lookup (never `NaN` — this value reaches exported metrics).
     pub fn hit_rate(&self) -> f64 {
         let lookups = self.hits + self.misses + self.coalesced_waits;
+        if lookups == 0 {
+            return 0.0;
+        }
         self.hits as f64 / lookups as f64
     }
 
@@ -132,6 +161,9 @@ impl CacheStats {
             .counter("cache.invalidations")
             .store(self.invalidations);
         registry.counter("cache.entries").store(self.entries);
+        // hit_rate is 0.0 before the first lookup, so the gauge (and the
+        // Prometheus exposition rendered from it) can never carry a NaN.
+        registry.gauge("cache.hit_rate").set(self.hit_rate());
     }
 }
 
@@ -148,50 +180,320 @@ enum FlightState<V> {
     Abandoned,
 }
 
+/// Identity and hotness of one ready entry. Shared (via `Arc`) by every
+/// published snapshot holding the entry and by the eviction queues, so a
+/// hit recorded against a one-generation-stale snapshot still lands on
+/// the live entry's frequency.
+struct EntryMeta {
+    /// Fill stamp: globally unique per (key, fill). Eviction-queue records
+    /// carry the stamp they were enqueued with, which is how a record left
+    /// behind by `remove` + re-`insert` is recognized as stale instead of
+    /// prematurely evicting the key's new incarnation.
+    stamp: u64,
+    /// Lookup hits since the entry was filled (or last promoted); drives
+    /// the segmented-LRU promotion decision.
+    freq: AtomicU32,
+}
+
+/// A ready cache entry: the value plus its eviction metadata.
+struct ReadyEntry<V> {
+    value: Arc<V>,
+    meta: Arc<EntryMeta>,
+}
+
+impl<V> Clone for ReadyEntry<V> {
+    fn clone(&self) -> Self {
+        Self {
+            value: Arc::clone(&self.value),
+            meta: Arc::clone(&self.meta),
+        }
+    }
+}
+
 enum Slot<V> {
-    Ready(Arc<V>),
+    Ready(ReadyEntry<V>),
     InFlight(Arc<Flight<V>>),
 }
 
+impl<V> Clone for Slot<V> {
+    fn clone(&self) -> Self {
+        match self {
+            Slot::Ready(e) => Slot::Ready(e.clone()),
+            Slot::InFlight(f) => Slot::InFlight(Arc::clone(f)),
+        }
+    }
+}
+
+/// One cache-line-padded counter cell.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A counter striped across cache lines so 8 threads hammering the hit
+/// path don't serialize on one line. `sum` folds the stripes.
+struct StripedU64 {
+    cells: [PaddedU64; HIT_STRIPES],
+}
+
+impl StripedU64 {
+    fn new() -> Self {
+        Self {
+            cells: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))),
+        }
+    }
+
+    #[inline]
+    fn add(&self, stripe: usize, n: u64) {
+        self.cells[stripe & (HIT_STRIPES - 1)]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
 struct Counters {
-    hits: AtomicU64,
+    hits: StripedU64,
     misses: AtomicU64,
     computations: AtomicU64,
     coalesced_waits: AtomicU64,
     direct_inserts: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    /// Exact count of ready entries, maintained at fill/insert/remove/
+    /// evict time — `stats()` and capacity checks never scan the shards.
+    ready: AtomicUsize,
+    /// Fill-stamp source for [`EntryMeta::stamp`].
+    stamp: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Self {
+            hits: StripedU64::new(),
+            misses: AtomicU64::new(0),
+            computations: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            direct_inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            ready: AtomicUsize::new(0),
+            stamp: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One shard: a published immutable snapshot plus its generation.
+///
+/// Readers revalidate their thread-local snapshot against `gen` with one
+/// atomic load; writers rebuild the map copy-on-write under `map`'s mutex
+/// and bump `gen` before releasing it, so a reader that observes the new
+/// generation and takes the mutex to refresh is guaranteed the new
+/// snapshot (mutex acquire/release ordering), and a reader that observes
+/// the old generation serves at most one generation stale.
+struct Shard<K, V> {
+    gen: AtomicU64,
+    map: Mutex<Arc<HashMap<K, Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    fn new() -> Self {
+        Self {
+            gen: AtomicU64::new(0),
+            map: Mutex::new(Arc::new(HashMap::new())),
+        }
+    }
+
+    /// Rebuilds the shard map copy-on-write and publishes the result.
+    /// The generation bump happens while the writer mutex is still held,
+    /// which is what makes the readers' revalidate-then-refresh safe.
+    fn mutate<R>(&self, f: impl FnOnce(&mut HashMap<K, Slot<V>>) -> R) -> R {
+        let mut guard = self.map.lock();
+        let mut next: HashMap<K, Slot<V>> = (**guard).clone();
+        let out = f(&mut next);
+        *guard = Arc::new(next);
+        self.gen.fetch_add(1, Ordering::Release);
+        out
+    }
+}
+
+/// One eviction-order record: the key plus the fill stamp it was enqueued
+/// for. A record whose stamp no longer matches the key's live entry is
+/// stale (the entry was removed or replaced) and is skipped.
+struct OrderRecord<K> {
+    key: K,
+    stamp: u64,
+}
+
+/// Capacity-bound bookkeeping, touched only on the write path (fills,
+/// direct inserts, removes, evictions) and only when the cache is
+/// bounded. The hit path never takes this lock.
+struct EvictionState<K> {
+    /// Probation segment: entries that have not earned a promotion.
+    probation: VecDeque<OrderRecord<K>>,
+    /// Protected segment: entries hit while resident.
+    protected: VecDeque<OrderRecord<K>>,
+    /// Live stamp + frequency per resident key — lets the eviction scan
+    /// test staleness and hotness without touching any shard.
+    live: HashMap<K, Arc<EntryMeta>>,
+}
+
+impl<K: Eq + Hash + Clone> EvictionState<K> {
+    fn new() -> Self {
+        Self {
+            probation: VecDeque::new(),
+            protected: VecDeque::new(),
+            live: HashMap::new(),
+        }
+    }
+
+    fn order_len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    /// Drops stale records once the queues exceed a small multiple of the
+    /// live count — this is the bound that the FIFO order list lacked
+    /// (remove/re-insert used to leak a dead record forever).
+    fn compact(&mut self) {
+        if self.order_len() <= 2 * self.live.len() + 64 {
+            return;
+        }
+        let live = &self.live;
+        let keep = |r: &OrderRecord<K>| live.get(&r.key).is_some_and(|m| m.stamp == r.stamp);
+        self.probation.retain(keep);
+        self.protected.retain(keep);
+    }
+}
+
+/// Thread-local cache of published shard snapshots, keyed by (cache id,
+/// shard index) into a direct-mapped table. The `Arc<dyn Any>` erases the
+/// key/value types so one `thread_local!` serves every `ShardedCache`
+/// instantiation; the (globally unique) cache id makes a type confusion
+/// impossible, and a mismatched slot simply refreshes.
+struct TlsSlot {
+    /// Owning cache id; 0 = empty (ids start at 1).
+    cache: u64,
+    shard: u32,
+    gen: u64,
+    map: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+struct ReadCache {
+    slots: Vec<TlsSlot>,
+    /// This thread's hit-counter stripe.
+    stripe: usize,
+}
+
+static STRIPE_SEQ: AtomicUsize = AtomicUsize::new(0);
+static CACHE_IDS: AtomicU64 = AtomicU64::new(1);
+
+impl ReadCache {
+    fn new() -> Self {
+        Self {
+            slots: (0..TLS_SLOTS)
+                .map(|_| TlsSlot {
+                    cache: 0,
+                    shard: 0,
+                    gen: 0,
+                    map: None,
+                })
+                .collect(),
+            stripe: STRIPE_SEQ.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn index(cache: u64, shard: u32) -> usize {
+        (cache as usize)
+            .wrapping_mul(31)
+            .wrapping_add(shard as usize)
+            & (TLS_SLOTS - 1)
+    }
+
+    /// The current snapshot of `shard`, refreshed (under the shard's
+    /// writer mutex, briefly) only when the generation moved or the slot
+    /// belongs to another cache.
+    fn current<K, V>(
+        &mut self,
+        cache: u64,
+        shard_idx: u32,
+        shard: &Shard<K, V>,
+    ) -> &Arc<dyn Any + Send + Sync>
+    where
+        K: Eq + Hash + Clone + Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        let slot = &mut self.slots[Self::index(cache, shard_idx)];
+        let gen = shard.gen.load(Ordering::Acquire);
+        let fresh =
+            slot.cache == cache && slot.shard == shard_idx && slot.gen == gen && slot.map.is_some();
+        if !fresh {
+            let guard = shard.map.lock();
+            // Re-read under the mutex: writers bump `gen` while holding
+            // it, so this pairing is exact.
+            slot.gen = shard.gen.load(Ordering::Acquire);
+            slot.map = Some(Arc::clone(&*guard) as Arc<dyn Any + Send + Sync>);
+            slot.cache = cache;
+            slot.shard = shard_idx;
+        }
+        match &slot.map {
+            Some(map) => map,
+            // `fresh` requires `map.is_some()`; the refresh stores one.
+            None => unreachable!("refreshed TLS slot holds a snapshot"),
+        }
+    }
+}
+
+thread_local! {
+    static READ_CACHE: RefCell<ReadCache> = RefCell::new(ReadCache::new());
 }
 
 /// Removes the in-flight slot and wakes waiters if the computation never
-/// completed (i.e. the closure panicked).
-struct FlightGuard<'a, K: Eq + Hash, V> {
-    shard: &'a RwLock<HashMap<K, Slot<V>>>,
+/// completed (i.e. the closure panicked). Removal is identity-checked: if
+/// something else (a direct insert) already replaced the slot, it is left
+/// alone.
+struct FlightGuard<'a, K: Eq + Hash + Clone, V> {
+    shard: &'a Shard<K, V>,
     key: Option<K>,
     flight: Arc<Flight<V>>,
 }
 
-impl<K: Eq + Hash, V> Drop for FlightGuard<'_, K, V> {
+impl<K: Eq + Hash + Clone, V> Drop for FlightGuard<'_, K, V> {
     fn drop(&mut self) {
         if let Some(key) = self.key.take() {
-            self.shard.write().remove(&key);
+            self.shard.mutate(|map| {
+                if let Some(Slot::InFlight(f)) = map.get(&key) {
+                    if Arc::ptr_eq(f, &self.flight) {
+                        map.remove(&key);
+                    }
+                }
+            });
             *self.flight.state.lock() = FlightState::Abandoned;
             self.flight.ready.notify_all();
         }
     }
 }
 
-/// A sharded map from keys to `Arc`'d values with single-flight fills.
+/// A sharded map from keys to `Arc`'d values with lock-free hits,
+/// single-flight fills, and an optional segmented-LRU capacity bound.
 pub struct ShardedCache<K, V> {
-    shards: Vec<RwLock<HashMap<K, Slot<V>>>>,
+    /// Globally unique instance id (keys the thread-local snapshots).
+    id: u64,
+    shards: Vec<Shard<K, V>>,
     counters: Counters,
     /// Maximum ready entries; `None` means unbounded (no order tracking).
     capacity: Option<usize>,
-    /// Global FIFO insertion order; only touched when `capacity` is set.
-    order: Mutex<std::collections::VecDeque<K>>,
+    /// Segmented-LRU order state; only touched when `capacity` is set,
+    /// and only by the write path.
+    eviction: Mutex<EvictionState<K>>,
 }
 
-impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
+impl<K, V> ShardedCache<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
     /// A cache with [`DEFAULT_SHARDS`] shards and no capacity bound.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -206,10 +508,11 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         Self::with_shards_and_capacity(shards, None)
     }
 
-    /// A cache holding at most `capacity` ready entries; once full, the
-    /// oldest-inserted entry is evicted (FIFO). A `capacity` of zero is
-    /// treated as one — an empty bound would evict every fill before its
-    /// caller returned.
+    /// A cache holding at most `capacity` ready entries; once over the
+    /// bound, the segmented-LRU policy evicts unreferenced entries in
+    /// insertion order and gives hit-while-resident entries a protected
+    /// second life. A `capacity` of zero is treated as one — an empty
+    /// bound would evict every fill before its caller returned.
     pub fn bounded(capacity: usize) -> Self {
         Self::with_shards_and_capacity(DEFAULT_SHARDS, Some(capacity.max(1)))
     }
@@ -217,18 +520,11 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     fn with_shards_and_capacity(shards: usize, capacity: Option<usize>) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
         Self {
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
-            counters: Counters {
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                computations: AtomicU64::new(0),
-                coalesced_waits: AtomicU64::new(0),
-                direct_inserts: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
-                invalidations: AtomicU64::new(0),
-            },
+            id: CACHE_IDS.fetch_add(1, Ordering::Relaxed),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            counters: Counters::new(),
             capacity,
-            order: Mutex::new(std::collections::VecDeque::new()),
+            eviction: Mutex::new(EvictionState::new()),
         }
     }
 
@@ -237,43 +533,64 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         self.capacity
     }
 
-    /// Records a ready insert in the FIFO order list and evicts the oldest
-    /// ready entries until the bound holds again. No-op when unbounded.
-    /// Stale order entries (keys already evicted or replaced) are skipped
-    /// without counting as evictions. Lock order is order-list → shard;
-    /// nothing takes the order lock while holding a shard lock, so the
-    /// two cannot deadlock.
-    fn enforce_capacity(&self, key: &K) {
-        let Some(capacity) = self.capacity else {
-            return;
-        };
-        let mut order = self.order.lock();
-        order.push_back(key.clone());
-        while self.len() > capacity {
-            let Some(victim) = order.pop_front() else {
-                break;
-            };
-            let mut shard = self.shard(&victim).write();
-            if matches!(shard.get(&victim), Some(Slot::Ready(_))) {
-                shard.remove(&victim);
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    fn shard_index(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// The lock-free read path: looks `key` up in this thread's cached
+    /// snapshot of its shard, refreshing the snapshot only when the
+    /// shard's generation moved. Returns the slot (cloned `Arc`s) and the
+    /// thread's hit-counter stripe.
+    fn read_slot(&self, key: &K) -> (Option<Slot<V>>, usize) {
+        let idx = self.shard_index(key);
+        let shard = &self.shards[idx];
+        let looked = READ_CACHE.try_with(|rc| {
+            let mut rc = rc.borrow_mut();
+            let stripe = rc.stripe;
+            let snapshot = rc.current(self.id, idx as u32, shard);
+            let found = snapshot
+                .downcast_ref::<HashMap<K, Slot<V>>>()
+                .and_then(|map| map.get(key))
+                .cloned();
+            (found, stripe)
+        });
+        match looked {
+            Ok(found) => found,
+            // Thread-local storage is gone (thread teardown): fall back
+            // to a brief lock on the published snapshot.
+            Err(_) => (self.shard(key).map.lock().get(key).cloned(), 0),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Slot<V>>> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    fn note_hit(&self, meta: &EntryMeta, stripe: usize) {
+        self.counters.hits.add(stripe, 1);
+        if self.capacity.is_some() && meta.freq.load(Ordering::Relaxed) < FREQ_CEILING {
+            meta.freq.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn new_entry(&self, value: Arc<V>) -> ReadyEntry<V> {
+        ReadyEntry {
+            value,
+            meta: Arc::new(EntryMeta {
+                stamp: self.counters.stamp.fetch_add(1, Ordering::Relaxed) + 1,
+                freq: AtomicU32::new(0),
+            }),
+        }
     }
 
     /// Looks `key` up without filling; counts as a hit when present.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        let guard = self.shard(key).read();
-        match guard.get(key) {
-            Some(Slot::Ready(v)) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(v))
+        match self.read_slot(key) {
+            (Some(Slot::Ready(e)), stripe) => {
+                self.note_hit(&e.meta, stripe);
+                Some(e.value)
             }
             _ => None,
         }
@@ -300,23 +617,33 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
         key: &K,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<(Arc<V>, CacheOutcome), E> {
-        let shard = self.shard(key);
-        // Fast path: shared lock only.
-        {
-            let guard = shard.read();
-            if let Some(Slot::Ready(v)) = guard.get(key) {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(v), CacheOutcome::Hit));
+        // Fast path: no lock. A ready hit returns directly; a visible
+        // in-flight slot is awaited without ever taking the shard mutex.
+        match self.read_slot(key) {
+            (Some(Slot::Ready(e)), stripe) => {
+                self.note_hit(&e.meta, stripe);
+                return Ok((e.value, CacheOutcome::Hit));
             }
+            (Some(Slot::InFlight(flight)), _) => {
+                if let Some(v) = self.await_flight(&flight) {
+                    return Ok((v, CacheOutcome::Waited));
+                }
+                // Abandoned: fall through and contend for the takeover.
+            }
+            (None, _) => {}
         }
+        let shard = self.shard(key);
         loop {
-            // Decide this thread's role under the exclusive lock…
+            // Decide this thread's role against the canonical map, under
+            // the shard's writer mutex…
             let flight = {
-                let mut guard = shard.write();
+                let mut guard = shard.map.lock();
                 match guard.get(key) {
-                    Some(Slot::Ready(v)) => {
-                        self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((Arc::clone(v), CacheOutcome::Hit));
+                    Some(Slot::Ready(e)) => {
+                        let e = e.clone();
+                        drop(guard);
+                        self.note_hit(&e.meta, 0);
+                        return Ok((e.value, CacheOutcome::Hit));
                     }
                     Some(Slot::InFlight(flight)) => {
                         let flight = Arc::clone(flight);
@@ -334,7 +661,10 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
                             state: Mutex::new(FlightState::Pending),
                             ready: Condvar::new(),
                         });
-                        guard.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                        let mut next: HashMap<K, Slot<V>> = (**guard).clone();
+                        next.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                        *guard = Arc::new(next);
+                        shard.gen.fetch_add(1, Ordering::Release);
                         flight
                     }
                 }
@@ -349,13 +679,20 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             };
             let value = Arc::new(compute()?);
             guard.key = None; // disarm: the fill is committing
-            shard
-                .write()
-                .insert(key.clone(), Slot::Ready(Arc::clone(&value)));
+            let entry = self.new_entry(Arc::clone(&value));
+            let replaced_ready = shard.mutate(|map| {
+                matches!(
+                    map.insert(key.clone(), Slot::Ready(entry.clone())),
+                    Some(Slot::Ready(_))
+                )
+            });
+            if !replaced_ready {
+                self.counters.ready.fetch_add(1, Ordering::Relaxed);
+            }
             *flight.state.lock() = FlightState::Done(Arc::clone(&value));
             flight.ready.notify_all();
             self.counters.computations.fetch_add(1, Ordering::Relaxed);
-            self.enforce_capacity(key);
+            self.register_fill(key, &entry);
             return Ok((value, CacheOutcome::Computed));
         }
     }
@@ -365,14 +702,37 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// slot is left alone: its leader still owns the fill and its waiters
     /// its condvar.
     pub fn remove(&self, key: &K) -> bool {
-        let mut guard = self.shard(key).write();
-        if matches!(guard.get(key), Some(Slot::Ready(_))) {
-            guard.remove(key);
-            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
+        let removed = self.shard(key).mutate(|map| {
+            if matches!(map.get(key), Some(Slot::Ready(_))) {
+                match map.remove(key) {
+                    Some(Slot::Ready(e)) => Some(e),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        });
+        let Some(entry) = removed else {
+            return false;
+        };
+        self.counters.ready.fetch_sub(1, Ordering::Relaxed);
+        self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+        if self.capacity.is_some() {
+            let mut ev = self.eviction.lock();
+            // Drop the live record only for *this* incarnation: a racing
+            // re-fill may already have registered a newer stamp. The
+            // order record goes stale and is skipped/compacted later —
+            // never evicting the new incarnation (the stale-order fix).
+            if ev
+                .live
+                .get(key)
+                .is_some_and(|m| m.stamp == entry.meta.stamp)
+            {
+                ev.live.remove(key);
+            }
+            ev.compact();
         }
+        true
     }
 
     /// Blocks until `flight` resolves; `None` means it was abandoned.
@@ -393,10 +753,144 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     /// Inserts a ready value, replacing any previous entry.
     pub fn insert(&self, key: K, value: Arc<V>) {
         self.counters.direct_inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard(&key)
-            .write()
-            .insert(key.clone(), Slot::Ready(value));
-        self.enforce_capacity(&key);
+        let entry = self.new_entry(value);
+        let replaced_ready = self.shard(&key).mutate(|map| {
+            matches!(
+                map.insert(key.clone(), Slot::Ready(entry.clone())),
+                Some(Slot::Ready(_))
+            )
+        });
+        if !replaced_ready {
+            self.counters.ready.fetch_add(1, Ordering::Relaxed);
+        }
+        self.register_fill(&key, &entry);
+    }
+
+    /// Bulk [`ShardedCache::insert`]: groups the batch by shard so each
+    /// shard republishes its snapshot **once** instead of once per entry
+    /// — this is what makes warm restarts from a large ahead-of-time
+    /// bundle O(n) instead of O(n · shard size).
+    pub fn insert_many(&self, entries: impl IntoIterator<Item = (K, Arc<V>)>) {
+        let mut by_shard: Vec<Vec<(K, ReadyEntry<V>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut n = 0u64;
+        for (key, value) in entries {
+            let idx = self.shard_index(&key);
+            by_shard[idx].push((key, self.new_entry(value)));
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        self.counters.direct_inserts.fetch_add(n, Ordering::Relaxed);
+        let mut registered: Vec<(K, ReadyEntry<V>)> = Vec::new();
+        for (idx, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let added = self.shards[idx].mutate(|map| {
+                let mut added = 0usize;
+                for (key, entry) in &batch {
+                    if !matches!(
+                        map.insert(key.clone(), Slot::Ready(entry.clone())),
+                        Some(Slot::Ready(_))
+                    ) {
+                        added += 1;
+                    }
+                }
+                added
+            });
+            self.counters.ready.fetch_add(added, Ordering::Relaxed);
+            registered.extend(batch);
+        }
+        if let Some(capacity) = self.capacity {
+            let mut ev = self.eviction.lock();
+            for (key, entry) in &registered {
+                ev.live.insert(key.clone(), Arc::clone(&entry.meta));
+                ev.probation.push_back(OrderRecord {
+                    key: key.clone(),
+                    stamp: entry.meta.stamp,
+                });
+            }
+            self.evict_to_capacity(&mut ev, capacity);
+            ev.compact();
+        }
+    }
+
+    /// Registers a completed fill with the eviction state and trims back
+    /// to capacity. No-op when unbounded (the default never takes the
+    /// order lock). Lock order is eviction-state → shard; no caller holds
+    /// a shard mutex while acquiring the eviction lock, so the two cannot
+    /// deadlock.
+    fn register_fill(&self, key: &K, entry: &ReadyEntry<V>) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let mut ev = self.eviction.lock();
+        ev.live.insert(key.clone(), Arc::clone(&entry.meta));
+        ev.probation.push_back(OrderRecord {
+            key: key.clone(),
+            stamp: entry.meta.stamp,
+        });
+        self.evict_to_capacity(&mut ev, capacity);
+        ev.compact();
+    }
+
+    /// The segmented-LRU eviction scan. Victims come from the probation
+    /// queue first (insertion order); an entry that was hit while
+    /// resident is promoted to the protected queue on its first scan
+    /// instead of dying, and protected entries earn halved-frequency
+    /// second chances. The scan budget (one full pass over the order
+    /// records) guarantees termination even when everything is hot: once
+    /// it runs out, the next live record is evicted regardless.
+    fn evict_to_capacity(&self, ev: &mut EvictionState<K>, capacity: usize) {
+        let mut budget = ev.order_len();
+        while self.counters.ready.load(Ordering::Relaxed) > capacity {
+            let forced = budget == 0;
+            let (record, from_probation) = if let Some(r) = ev.probation.pop_front() {
+                (r, true)
+            } else if let Some(r) = ev.protected.pop_front() {
+                (r, false)
+            } else {
+                // Entries committed but not yet registered (a racing
+                // fill) can leave `ready` transiently above the bound;
+                // their own registration will re-run this scan.
+                break;
+            };
+            budget = budget.saturating_sub(1);
+            let meta = match ev.live.get(&record.key) {
+                Some(m) if m.stamp == record.stamp => Arc::clone(m),
+                // Stale record (key removed or re-filled since it was
+                // enqueued): drop it without counting an eviction.
+                _ => continue,
+            };
+            let freq = meta.freq.load(Ordering::Relaxed);
+            if !forced && freq > 0 {
+                // Promote (probation → protected) or rotate (protected)
+                // with decayed frequency instead of evicting a hot entry.
+                meta.freq
+                    .store(if from_probation { 0 } else { freq / 2 }, Ordering::Relaxed);
+                ev.protected.push_back(record);
+                continue;
+            }
+            // Evict under the victim shard's writer mutex, re-checking
+            // identity by stamp: a concurrent remove + re-fill of the key
+            // must never have its *new* entry evicted by this record.
+            let evicted = self.shard(&record.key).mutate(|map| {
+                if matches!(map.get(&record.key), Some(Slot::Ready(e)) if e.meta.stamp == record.stamp)
+                {
+                    map.remove(&record.key);
+                    true
+                } else {
+                    false
+                }
+            });
+            ev.live.remove(&record.key);
+            if evicted {
+                self.counters.ready.fetch_sub(1, Ordering::Relaxed);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Clones out every ready value — a consistent-enough snapshot taken
@@ -404,21 +898,24 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
     pub fn snapshot(&self) -> Vec<Arc<V>> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let guard = shard.read();
-            out.extend(guard.values().filter_map(|slot| match slot {
-                Slot::Ready(v) => Some(Arc::clone(v)),
+            let map = Arc::clone(&*shard.map.lock());
+            out.extend(map.values().filter_map(|slot| match slot {
+                Slot::Ready(e) => Some(Arc::clone(&e.value)),
                 Slot::InFlight(_) => None,
             }));
         }
         out
     }
 
-    /// Number of ready entries.
+    /// Number of ready entries, counted by scanning the shards — the
+    /// ground truth the [`ShardedCache::ready_entries`] atomic is tested
+    /// against. Prefer `ready_entries` (O(1)) on hot paths.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
             .map(|s| {
-                s.read()
+                s.map
+                    .lock()
                     .values()
                     .filter(|slot| matches!(slot, Slot::Ready(_)))
                     .count()
@@ -426,33 +923,85 @@ impl<K: Eq + Hash + Clone, V> ShardedCache<K, V> {
             .sum()
     }
 
-    /// Whether the cache holds no ready entries.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Exact ready-entry count from the maintained atomic (no scans).
+    pub fn ready_entries(&self) -> usize {
+        self.counters.ready.load(Ordering::Relaxed)
     }
 
-    /// Snapshots the counters.
+    /// Whether the cache holds no ready entries.
+    pub fn is_empty(&self) -> bool {
+        self.ready_entries() == 0
+    }
+
+    /// Snapshots the counters. `entries` comes from the maintained atomic
+    /// ready count — this never scans the shards.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
+            hits: self.counters.hits.sum(),
             misses: self.counters.misses.load(Ordering::Relaxed),
             computations: self.counters.computations.load(Ordering::Relaxed),
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             direct_inserts: self.counters.direct_inserts.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             invalidations: self.counters.invalidations.load(Ordering::Relaxed),
-            entries: self.len() as u64,
+            entries: self.counters.ready.load(Ordering::Relaxed) as u64,
         }
+    }
+
+    /// Checks the cache's structural invariants, intended for tests and
+    /// the `cache-bench` smoke at quiescence (no concurrent mutators):
+    /// the atomic ready count equals a full scan, and when bounded, the
+    /// order state is consistent with and bounded by the live entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let scanned = self.len();
+        let ready = self.ready_entries();
+        if scanned != ready {
+            return Err(format!(
+                "ready-entry counter {ready} != scanned entry count {scanned}"
+            ));
+        }
+        if let Some(capacity) = self.capacity {
+            if ready > capacity {
+                return Err(format!("{ready} ready entries exceed capacity {capacity}"));
+            }
+            let ev = self.eviction.lock();
+            if ev.live.len() != ready {
+                return Err(format!(
+                    "live-stamp index holds {} keys for {ready} ready entries",
+                    ev.live.len()
+                ));
+            }
+            let bound = 2 * ev.live.len() + 64 + 1;
+            if ev.order_len() > bound {
+                return Err(format!(
+                    "order queues hold {} records, over the compaction bound {bound}",
+                    ev.order_len()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
-impl<K: Eq + Hash + Clone, V> Default for ShardedCache<K, V> {
+impl<K, V> Default for ShardedCache<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Eq + Hash + Clone, V> std::fmt::Debug for ShardedCache<K, V> {
+impl<K, V> std::fmt::Debug for ShardedCache<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedCache")
             .field("shards", &self.shards.len())
@@ -480,6 +1029,18 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.computations), (1, 1, 1));
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_before_first_lookup_and_never_nan() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0, "empty stats must not be NaN");
+        assert!(stats.hit_rate().is_finite());
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        assert!(cache.stats().hit_rate().is_finite());
+        let _ = cache.get_or_compute(&1, || 1);
+        let _ = cache.get(&1);
+        assert_eq!(cache.stats().hit_rate(), 0.5);
     }
 
     #[test]
@@ -637,10 +1198,29 @@ mod tests {
         values.sort_unstable();
         assert_eq!(values, (0..100).map(|k| k * 2).collect::<Vec<_>>());
         assert_eq!(cache.stats().direct_inserts, 100);
+        cache.check_invariants().expect("invariants");
     }
 
     #[test]
-    fn bounded_cache_evicts_fifo() {
+    fn insert_many_matches_individual_inserts() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        cache.insert_many((0..500).map(|k| (k, Arc::new(k * 3))));
+        assert_eq!(cache.len(), 500);
+        assert_eq!(cache.ready_entries(), 500);
+        for k in 0..500 {
+            assert_eq!(*cache.get(&k).expect("present"), k * 3);
+        }
+        assert_eq!(cache.stats().direct_inserts, 500);
+        cache.check_invariants().expect("invariants");
+        // Re-inserting the same keys replaces, never double-counts.
+        cache.insert_many((0..500).map(|k| (k, Arc::new(k * 4))));
+        assert_eq!(cache.ready_entries(), 500);
+        assert_eq!(*cache.get(&7).expect("present"), 28);
+        cache.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_unreferenced_entries_in_insertion_order() {
         let cache: ShardedCache<u64, u64> = ShardedCache::bounded(1);
         assert_eq!(cache.capacity(), Some(1));
         let (_, o1) = cache.get_or_compute(&1, || 10);
@@ -660,16 +1240,18 @@ mod tests {
         assert_eq!(stats.computations, 3);
         assert!(stats.entries <= 1);
         assert!(stats.evictions >= 2, "evictions={}", stats.evictions);
+        cache.check_invariants().expect("invariants");
     }
 
     #[test]
     fn bounded_cache_keeps_newest_entries() {
+        // Without any hits, the segmented-LRU policy degenerates to
+        // insertion order: the newest entries survive.
         let cache: ShardedCache<u64, u64> = ShardedCache::bounded(4);
         for k in 0..32 {
             cache.insert(k, Arc::new(k));
         }
         assert_eq!(cache.len(), 4);
-        // The four newest keys survive; everything older is gone.
         for k in 28..32 {
             assert!(cache.get(&k).is_some(), "key {k} should survive");
         }
@@ -677,6 +1259,145 @@ mod tests {
             assert!(cache.get(&k).is_none(), "key {k} should be evicted");
         }
         assert_eq!(cache.stats().evictions, 28);
+        cache.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn hot_entries_survive_a_churning_tail() {
+        // The capacity-thrash fix: a hit-while-resident entry is promoted
+        // to the protected segment and outlives a stream of one-shot keys
+        // that would have FIFO-evicted it.
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(4);
+        cache.insert(1000, Arc::new(1));
+        for _ in 0..3 {
+            assert!(cache.get(&1000).is_some());
+        }
+        for k in 0..64 {
+            cache.insert(k, Arc::new(k));
+        }
+        assert!(
+            cache.get(&1000).is_some(),
+            "hot key must survive 64 cold inserts at capacity 4"
+        );
+        assert_eq!(cache.len(), 4);
+        cache.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn stale_order_records_do_not_leak_or_evict_reinserted_keys() {
+        // Regression for the FIFO-order leak: an invalidate/re-insert
+        // loop used to grow the order list without bound, and the stale
+        // front records could evict a re-inserted key prematurely.
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(8);
+        for k in 0..8 {
+            cache.insert(k, Arc::new(k));
+        }
+        for round in 0..1000u64 {
+            let k = round % 8;
+            assert!(cache.remove(&k), "round {round}: live entry removed");
+            cache.insert(k, Arc::new(k + round));
+        }
+        // Survivor set: exactly the 8 keys, all at their newest values.
+        assert_eq!(cache.len(), 8);
+        for k in 0..8 {
+            assert!(cache.get(&k).is_some(), "key {k} must survive the churn");
+        }
+        // No evictions ever happened — the cache never exceeded capacity,
+        // so any eviction would have been a stale-record bug.
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0, "stale records must not evict");
+        assert_eq!(stats.invalidations, 1000);
+        // The order state stayed bounded (the old design held 1008 dead
+        // records here; compaction keeps it near the live count).
+        let order_len = cache.eviction.lock().order_len();
+        assert!(
+            order_len <= 2 * 8 + 64 + 1,
+            "order list leaked: {order_len} records for 8 live entries"
+        );
+        cache.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn ready_counter_matches_scan_under_mixed_operations() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::bounded(16);
+        for k in 0..64 {
+            cache.insert(k, Arc::new(k));
+            if k % 3 == 0 {
+                cache.remove(&(k / 2));
+            }
+            if k % 5 == 0 {
+                let _ = cache.get_or_compute(&(k + 1000), || k);
+            }
+            assert_eq!(
+                cache.ready_entries(),
+                cache.len(),
+                "counter diverged at step {k}"
+            );
+        }
+        cache.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn ready_counter_matches_scan_under_concurrent_churn() {
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::bounded(32));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 1000 + i) % 96;
+                        match i % 4 {
+                            0 => cache.insert(k, Arc::new(i)),
+                            1 => {
+                                let _ = cache.get_or_compute(&k, || i);
+                            }
+                            2 => {
+                                let _ = cache.get(&k);
+                            }
+                            _ => {
+                                let _ = cache.remove(&k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        cache.check_invariants().expect("invariants after churn");
+    }
+
+    #[test]
+    fn eviction_racing_a_committing_flight_strands_no_one() {
+        // A bounded cache under simultaneous fills: flights commit while
+        // other threads' eviction scans trim the same shards. Nobody may
+        // hang, every caller gets its value, and the counters stay
+        // consistent (evictions never exceed successful fills).
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::bounded(4));
+        let threads = 8u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (t + i) % 32;
+                        let (v, _) = cache.get_or_compute(&k, || k * 7);
+                        assert_eq!(*v, k * 7, "wrong value for key {k}");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        let fills = stats.computations + stats.direct_inserts;
+        assert!(
+            stats.evictions <= fills,
+            "evictions {} exceed fills {fills} — double-counted",
+            stats.evictions
+        );
+        assert_eq!(
+            stats.entries as usize,
+            cache.len(),
+            "ready counter diverged under racing eviction"
+        );
+        cache.check_invariants().expect("invariants");
     }
 
     #[test]
@@ -685,7 +1406,29 @@ mod tests {
         for k in 0..256 {
             cache.insert(k, Arc::new(k));
         }
-        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.map.lock().is_empty())
+            .count();
         assert!(occupied >= 12, "only {occupied}/16 shards occupied");
+    }
+
+    #[test]
+    fn cross_thread_visibility_through_generation_refresh() {
+        // A value inserted on one thread is visible to a fresh thread
+        // (cold TLS) and to this thread after the generation bump.
+        let cache: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new());
+        cache.insert(5, Arc::new(50));
+        assert_eq!(*cache.get(&5).expect("same-thread read"), 50);
+        let c2 = Arc::clone(&cache);
+        let handle = std::thread::spawn(move || c2.get(&5).map(|v| *v));
+        assert_eq!(handle.join().expect("reader thread"), Some(50));
+        // Mutate and re-read on this thread: the bump invalidates the
+        // cached snapshot immediately.
+        cache.insert(5, Arc::new(51));
+        assert_eq!(*cache.get(&5).expect("post-update read"), 51);
+        cache.remove(&5);
+        assert!(cache.get(&5).is_none(), "removal visible immediately");
     }
 }

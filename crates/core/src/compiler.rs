@@ -50,9 +50,11 @@ pub struct OnlineOptions {
     /// reproduction matches the paper's pattern set).
     pub split_k: bool,
     /// Bound on the number of cached compiled programs; `None` (the
-    /// default) keeps every program. With a bound, the least recently
-    /// inserted program is evicted first — a deployment knob for serving
-    /// fleets whose shape universe outgrows memory.
+    /// default) keeps every program. With a bound, a segmented-LRU policy
+    /// evicts unreferenced programs in insertion order while shapes that
+    /// were hit while resident are promoted and survive churn — a
+    /// deployment knob for serving fleets whose shape universe outgrows
+    /// memory.
     #[serde(default)]
     pub cache_capacity: Option<usize>,
     /// Knobs of the staged polymerization search (shortlist size, node
@@ -507,10 +509,14 @@ impl MikPoly {
             .collect()
     }
 
-    /// Persists every cached compiled program to a JSON file — an
+    /// Persists every cached compiled program to a binary bundle — an
     /// ahead-of-time bundle for deployments with a known shape menu
     /// (compile once with [`MikPoly::compile_many`], ship the bundle,
-    /// [`MikPoly::load_program_cache`] at startup).
+    /// [`MikPoly::load_program_cache`] at startup). The format is the
+    /// length-prefixed record layout of [`crate::persist`]
+    /// (magic `MPAC`, versioned); [`MikPoly::save_program_cache_json`]
+    /// still writes the legacy JSON format, and
+    /// [`MikPoly::load_program_cache`] reads both.
     ///
     /// # Errors
     ///
@@ -519,24 +525,58 @@ impl MikPoly {
         // Snapshot Arc clones shard by shard, then serialize and write with
         // no cache lock held — concurrent compiles proceed during the I/O.
         let programs: Vec<Arc<CompiledProgram>> = self.cache.snapshot();
+        std::fs::write(
+            path,
+            crate::persist::encode_bundle(programs.iter().map(|p| &**p)),
+        )
+    }
+
+    /// Persists the program cache in the legacy (version 1) JSON format —
+    /// for tooling that still parses bundles as JSON. New deployments
+    /// should prefer [`MikPoly::save_program_cache`]: the binary format
+    /// loads an order of magnitude faster.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from serializing or writing the file.
+    pub fn save_program_cache_json(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let programs: Vec<Arc<CompiledProgram>> = self.cache.snapshot();
         let refs: Vec<&CompiledProgram> = programs.iter().map(|p| &**p).collect();
         let json = serde_json::to_string(&refs).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
 
-    /// Loads an ahead-of-time program bundle into the cache. Programs whose
-    /// kernels are not in this compiler's library are rejected (a bundle
-    /// from a different machine or library version).
+    /// Loads an ahead-of-time program bundle into the cache. The format is
+    /// sniffed from the first bytes: the `MPAC` magic routes to the binary
+    /// decoder, a leading `[` to the legacy JSON decoder, so bundles saved
+    /// by any prior version keep loading. Programs whose kernels are not
+    /// in this compiler's library are rejected (a bundle from a different
+    /// machine or library version), and the batch is inserted through the
+    /// cache's bulk path — one snapshot republish per shard, which is what
+    /// keeps restart-to-warm fast for large bundles.
     ///
     /// # Errors
     ///
     /// Returns an I/O error if the file cannot be read or parsed, or an
-    /// [`std::io::ErrorKind::InvalidData`] error if a program references
-    /// unknown kernels.
+    /// [`std::io::ErrorKind::InvalidData`] error if the format is
+    /// unrecognized or a program references unknown kernels.
     pub fn load_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
-        let json = std::fs::read_to_string(path)?;
-        let programs: Vec<CompiledProgram> =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let bytes = std::fs::read(path)?;
+        let programs: Vec<CompiledProgram> = if crate::persist::is_binary_bundle(&bytes) {
+            crate::persist::decode_bundle(&bytes)?
+        } else if crate::persist::is_legacy_json_bundle(&bytes) {
+            let json = std::str::from_utf8(&bytes)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            serde_json::from_str(json).map_err(std::io::Error::other)?
+        } else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a program bundle: neither MPAC binary nor legacy JSON",
+            ));
+        };
         for p in &programs {
             for r in &p.regions {
                 if self.library.get(r.kernel.id).map(|t| t.kernel) != Some(r.kernel) {
@@ -551,10 +591,9 @@ impl MikPoly {
             }
         }
         let count = programs.len();
-        // Validation done; inserts take each shard's write lock briefly.
-        for p in programs {
-            self.cache.insert(p.operator, Arc::new(p));
-        }
+        // Validation done; the bulk insert republishes each shard once.
+        self.cache
+            .insert_many(programs.into_iter().map(|p| (p.operator, Arc::new(p))));
         Ok(count)
     }
 
@@ -1093,6 +1132,44 @@ mod aot_bundle_tests {
             assert_eq!(run.compile_ns, 0, "bundle must pre-warm the cache");
             assert_eq!(run.program.regions, a.compile(op).regions);
         }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_json_bundle_still_loads() {
+        // Bundles saved before the binary format existed start with `[`
+        // (a serde_json array); the loader must keep reading them.
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let machine = MachineModel::a100();
+        let a = MikPoly::offline(machine.clone(), &o);
+        let ops: Vec<Operator> = [(64, 64, 64), (320, 192, 128)]
+            .into_iter()
+            .map(|(m, n, k)| Operator::gemm(GemmShape::new(m, n, k)))
+            .collect();
+        a.compile_many(&ops);
+        let path = std::env::temp_dir().join("mikpoly-aot-legacy.json");
+        a.save_program_cache_json(&path).expect("save legacy");
+        let raw = std::fs::read(&path).expect("read back");
+        assert_eq!(raw.first(), Some(&b'['), "legacy format is a JSON array");
+
+        let b = MikPoly::with_library(machine, a.library().clone());
+        assert_eq!(b.load_program_cache(&path).expect("load legacy"), 2);
+        for op in &ops {
+            assert_eq!(b.run(op).compile_ns, 0, "legacy bundle pre-warms");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unrecognized_bundle_format_is_rejected() {
+        let mut o = OfflineOptions::fast();
+        o.n_gen = 4;
+        let a = MikPoly::offline(MachineModel::a100(), &o);
+        let path = std::env::temp_dir().join("mikpoly-aot-garbage.bin");
+        std::fs::write(&path, b"not a bundle at all").expect("write");
+        let err = a.load_program_cache(&path).expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(path);
     }
 

@@ -308,6 +308,43 @@ impl Engine {
             _ => self.gemm.simulate(program),
         }
     }
+
+    /// Persists both template compilers' program caches as binary bundles
+    /// (`gemm.mpac` and `conv.mpac`) under `dir`, creating it if needed —
+    /// the warm state a restarting serving process reloads with
+    /// [`Engine::load_program_caches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing a
+    /// bundle.
+    pub fn save_program_caches(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        self.gemm.save_program_cache(dir.join("gemm.mpac"))?;
+        self.conv.save_program_cache(dir.join("conv.mpac"))
+    }
+
+    /// Loads the warm state written by [`Engine::save_program_caches`],
+    /// returning the total number of programs restored. A missing bundle
+    /// file is treated as empty (a cold compiler), so a first boot against
+    /// a fresh state directory succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a present bundle is unreadable, malformed,
+    /// or references kernels absent from the corresponding library.
+    pub fn load_program_caches(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let dir = dir.as_ref();
+        let mut restored = 0;
+        for (compiler, name) in [(&self.gemm, "gemm.mpac"), (&self.conv, "conv.mpac")] {
+            let path = dir.join(name);
+            if path.exists() {
+                restored += compiler.load_program_cache(path)?;
+            }
+        }
+        Ok(restored)
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +423,26 @@ mod tests {
         let result = e.run_graph([(&conv, 2), (&gemm, 1)]);
         assert_eq!(result.executions, 3);
         assert!(result.device_ns > 0.0);
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_bundle_directory() {
+        let dir = std::env::temp_dir().join("mikpoly-engine-warm-state");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = engine(ConvAlgorithm::ImplicitGemm);
+        // A fresh state directory loads as cold, not as an error.
+        assert_eq!(a.load_program_caches(&dir).unwrap_or(99), 0);
+        let gemm = Operator::gemm(GemmShape::new(320, 192, 128));
+        let conv = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1));
+        a.run_operator(&gemm);
+        a.run_operator(&conv);
+        a.save_program_caches(&dir).expect("save warm state");
+
+        let b = engine(ConvAlgorithm::ImplicitGemm);
+        assert_eq!(b.load_program_caches(&dir).expect("load warm state"), 2);
+        assert_eq!(b.run_operator(&gemm).run.compile_ns, 0, "gemm warm");
+        assert_eq!(b.run_operator(&conv).run.compile_ns, 0, "conv warm");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

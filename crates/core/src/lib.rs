@@ -58,6 +58,7 @@ mod kernel;
 mod offline;
 pub mod pattern;
 mod perf_model;
+pub mod persist;
 mod plan;
 mod resilience;
 mod search;
@@ -80,6 +81,7 @@ pub use offline::{
 };
 pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, PatternId};
 pub use perf_model::{sample_schedule, PerfModel, Segment};
+pub use persist::{decode_bundle, encode_bundle, is_binary_bundle, is_legacy_json_bundle};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
 pub use resilience::{BreakerDecision, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use search::{

@@ -1,0 +1,520 @@
+//! Binary ahead-of-time program bundles: the warm-restart format.
+//!
+//! [`MikPoly::save_program_cache`](crate::MikPoly::save_program_cache)
+//! originally serialized the whole cache as one `serde_json` string —
+//! simple, but restart-to-warm for a production-sized cache (tens of
+//! thousands of shapes) paid text parsing for every field. This module
+//! replaces it with a length-prefixed binary record format:
+//!
+//! ```text
+//! magic   b"MPAC"                          4 bytes
+//! version u32 LE                           (currently 2; version 1 is the
+//!                                           implicit legacy JSON format)
+//! count   u64 LE                           number of program records
+//! index   count x u64 LE                   byte length of each record
+//! records count variable-length records, concatenated in index order
+//! ```
+//!
+//! The index header makes the bundle seekable — a loader knows every
+//! record boundary after reading `16 + 8·count` bytes, so records can be
+//! decoded independently (and, later, in parallel or lazily). All scalars
+//! are little-endian; record fields are fixed-width, so decoding is a
+//! bounds-checked copy with no text parsing and no allocation beyond the
+//! program's own region vector.
+//!
+//! **Version story**: a loader sniffs the first bytes. `b"MPAC"` routes
+//! here, where the version field gates decoding (unknown versions are
+//! rejected as [`std::io::ErrorKind::InvalidData`], never misparsed). A
+//! leading `[` is a legacy v1 JSON bundle and takes the old serde_json
+//! path — existing saved bundles keep loading forever. Anything else is
+//! rejected. New fields must bump [`FORMAT_VERSION`]; decoders for old
+//! versions stay.
+
+use std::io;
+
+use tensor_ir::{Conv2dShape, DType, GemmShape, GemmView, Operator};
+
+use crate::kernel::{MicroKernel, MicroKernelId};
+use crate::pattern::PatternId;
+use crate::plan::{CompiledProgram, Region, SearchStats};
+
+/// The bundle magic: first four bytes of every binary bundle.
+pub const BUNDLE_MAGIC: [u8; 4] = *b"MPAC";
+
+/// Current binary format version. Version 1 is the implicit legacy JSON
+/// format (no magic, starts with `[`).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Whether `bytes` starts like a binary bundle (any version).
+pub fn is_binary_bundle(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == BUNDLE_MAGIC
+}
+
+/// Whether `bytes` starts like a legacy JSON bundle (a serde_json array).
+pub fn is_legacy_json_bundle(bytes: &[u8]) -> bool {
+    bytes
+        .iter()
+        .find(|b| !b.is_ascii_whitespace())
+        .is_some_and(|b| *b == b'[')
+}
+
+/// Encodes `programs` as a version-[`FORMAT_VERSION`] binary bundle.
+pub fn encode_bundle<'a>(programs: impl IntoIterator<Item = &'a CompiledProgram>) -> Vec<u8> {
+    let records: Vec<Vec<u8>> = programs.into_iter().map(encode_program).collect();
+    let body: usize = records.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(16 + 8 * records.len() + body);
+    out.extend_from_slice(&BUNDLE_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in &records {
+        out.extend_from_slice(&(r.len() as u64).to_le_bytes());
+    }
+    for r in &records {
+        out.extend_from_slice(r);
+    }
+    out
+}
+
+/// Decodes a binary bundle produced by [`encode_bundle`].
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an unknown
+/// version, or any truncated/malformed record.
+pub fn decode_bundle(bytes: &[u8]) -> io::Result<Vec<CompiledProgram>> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != BUNDLE_MAGIC {
+        return Err(invalid("not a program bundle: bad magic"));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(invalid(&format!(
+            "unsupported bundle version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let count = usize_from(r.u64()?)?;
+    // Guard the index allocation against a hostile count before trusting
+    // it: the index alone needs 8 bytes per record.
+    if count > r.remaining() / 8 {
+        return Err(invalid("bundle index longer than the file"));
+    }
+    let mut lengths = Vec::with_capacity(count);
+    for _ in 0..count {
+        lengths.push(usize_from(r.u64()?)?);
+    }
+    let mut programs = Vec::with_capacity(count);
+    for (i, len) in lengths.into_iter().enumerate() {
+        let record = r
+            .take(len)
+            .map_err(|_| invalid(&format!("record {i} truncated: wanted {len} more bytes")))?;
+        let mut rr = Reader::new(record);
+        let program =
+            decode_program(&mut rr).map_err(|e| invalid(&format!("record {i} malformed: {e}")))?;
+        if rr.remaining() != 0 {
+            return Err(invalid(&format!(
+                "record {i} has {} trailing bytes",
+                rr.remaining()
+            )));
+        }
+        programs.push(program);
+    }
+    if r.remaining() != 0 {
+        return Err(invalid(&format!(
+            "bundle has {} trailing bytes after the last record",
+            r.remaining()
+        )));
+    }
+    Ok(programs)
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn usize_from(v: u64) -> io::Result<usize> {
+    usize::try_from(v).map_err(|_| invalid("length overflows usize"))
+}
+
+/// A bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if n > self.bytes.len() {
+            return Err(invalid("unexpected end of bundle"));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn u128(&mut self) -> io::Result<u128> {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(self.take(16)?);
+        Ok(u128::from_le_bytes(b))
+    }
+
+    fn usize(&mut self) -> io::Result<usize> {
+        usize_from(self.u64()?)
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> io::Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(invalid(&format!("bad bool byte {other}"))),
+        }
+    }
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&(v as u64).to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn encode_dtype(out: &mut Vec<u8>, dtype: DType) {
+    out.push(match dtype {
+        DType::F16 => 0,
+        DType::Bf16 => 1,
+        DType::F32 => 2,
+        DType::I8 => 3,
+    });
+}
+
+fn decode_dtype(r: &mut Reader<'_>) -> io::Result<DType> {
+    match r.u8()? {
+        0 => Ok(DType::F16),
+        1 => Ok(DType::Bf16),
+        2 => Ok(DType::F32),
+        3 => Ok(DType::I8),
+        other => Err(invalid(&format!("bad dtype tag {other}"))),
+    }
+}
+
+fn encode_gemm_shape(out: &mut Vec<u8>, s: GemmShape) {
+    put_usize(out, s.m);
+    put_usize(out, s.n);
+    put_usize(out, s.k);
+}
+
+fn decode_gemm_shape(r: &mut Reader<'_>) -> io::Result<GemmShape> {
+    Ok(GemmShape {
+        m: r.usize()?,
+        n: r.usize()?,
+        k: r.usize()?,
+    })
+}
+
+fn encode_conv_shape(out: &mut Vec<u8>, s: Conv2dShape) {
+    for v in [
+        s.batch,
+        s.in_channels,
+        s.height,
+        s.width,
+        s.out_channels,
+        s.kernel_h,
+        s.kernel_w,
+        s.stride,
+        s.padding,
+    ] {
+        put_usize(out, v);
+    }
+}
+
+fn decode_conv_shape(r: &mut Reader<'_>) -> io::Result<Conv2dShape> {
+    Ok(Conv2dShape {
+        batch: r.usize()?,
+        in_channels: r.usize()?,
+        height: r.usize()?,
+        width: r.usize()?,
+        out_channels: r.usize()?,
+        kernel_h: r.usize()?,
+        kernel_w: r.usize()?,
+        stride: r.usize()?,
+        padding: r.usize()?,
+    })
+}
+
+fn encode_operator(out: &mut Vec<u8>, op: &Operator) {
+    match op {
+        Operator::Gemm { shape, dtype } => {
+            out.push(0);
+            encode_gemm_shape(out, *shape);
+            encode_dtype(out, *dtype);
+        }
+        Operator::BatchedGemm {
+            batch,
+            shape,
+            dtype,
+        } => {
+            out.push(1);
+            put_usize(out, *batch);
+            encode_gemm_shape(out, *shape);
+            encode_dtype(out, *dtype);
+        }
+        Operator::Conv2d { shape, dtype } => {
+            out.push(2);
+            encode_conv_shape(out, *shape);
+            encode_dtype(out, *dtype);
+        }
+        Operator::Conv2dWinograd { shape, dtype } => {
+            out.push(3);
+            encode_conv_shape(out, *shape);
+            encode_dtype(out, *dtype);
+        }
+    }
+}
+
+fn decode_operator(r: &mut Reader<'_>) -> io::Result<Operator> {
+    match r.u8()? {
+        0 => Ok(Operator::Gemm {
+            shape: decode_gemm_shape(r)?,
+            dtype: decode_dtype(r)?,
+        }),
+        1 => Ok(Operator::BatchedGemm {
+            batch: r.usize()?,
+            shape: decode_gemm_shape(r)?,
+            dtype: decode_dtype(r)?,
+        }),
+        2 => Ok(Operator::Conv2d {
+            shape: decode_conv_shape(r)?,
+            dtype: decode_dtype(r)?,
+        }),
+        3 => Ok(Operator::Conv2dWinograd {
+            shape: decode_conv_shape(r)?,
+            dtype: decode_dtype(r)?,
+        }),
+        other => Err(invalid(&format!("bad operator tag {other}"))),
+    }
+}
+
+fn encode_program(p: &CompiledProgram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + 72 * p.regions.len());
+    encode_operator(&mut out, &p.operator);
+    encode_gemm_shape(&mut out, p.view.shape);
+    encode_dtype(&mut out, p.view.dtype);
+    put_f64(&mut out, p.view.load_scale);
+    out.push(p.pattern.0);
+    put_usize(&mut out, p.split_k);
+    put_f64(&mut out, p.predicted_ns);
+    put_usize(&mut out, p.stats.strategies_evaluated);
+    put_usize(&mut out, p.stats.strategies_pruned);
+    put_usize(&mut out, p.stats.patterns_tried);
+    out.extend_from_slice(&p.stats.search_ns.to_le_bytes());
+    put_usize(&mut out, p.stats.shortlist_truncated);
+    put_usize(&mut out, p.stats.budget_exhausted);
+    put_usize(&mut out, p.stats.escalations);
+    out.push(u8::from(p.stats.refined));
+    out.push(u8::from(p.stats.degraded));
+    put_usize(&mut out, p.regions.len());
+    for region in &p.regions {
+        for v in [region.row0, region.row1, region.col0, region.col1] {
+            put_usize(&mut out, v);
+        }
+        let k = region.kernel;
+        put_usize(&mut out, k.id.0);
+        for v in [k.um, k.un, k.uk, k.warps] {
+            put_usize(&mut out, v);
+        }
+    }
+    out
+}
+
+fn decode_program(r: &mut Reader<'_>) -> io::Result<CompiledProgram> {
+    let operator = decode_operator(r)?;
+    let view = GemmView {
+        shape: decode_gemm_shape(r)?,
+        dtype: decode_dtype(r)?,
+        load_scale: r.f64()?,
+    };
+    let pattern = PatternId(r.u8()?);
+    let split_k = r.usize()?;
+    let predicted_ns = r.f64()?;
+    let stats = SearchStats {
+        strategies_evaluated: r.usize()?,
+        strategies_pruned: r.usize()?,
+        patterns_tried: r.usize()?,
+        search_ns: r.u128()?,
+        shortlist_truncated: r.usize()?,
+        budget_exhausted: r.usize()?,
+        escalations: r.usize()?,
+        refined: r.bool()?,
+        degraded: r.bool()?,
+    };
+    let n_regions = r.usize()?;
+    // Each region record is 9 u64 fields; reject a hostile count before
+    // the Vec allocation.
+    if n_regions > r.remaining() / 72 {
+        return Err(invalid("region list longer than the record"));
+    }
+    let mut regions = Vec::with_capacity(n_regions);
+    for _ in 0..n_regions {
+        let (row0, row1, col0, col1) = (r.usize()?, r.usize()?, r.usize()?, r.usize()?);
+        let id = MicroKernelId(r.usize()?);
+        let (um, un, uk, warps) = (r.usize()?, r.usize()?, r.usize()?, r.usize()?);
+        if row0 >= row1 || col0 >= col1 {
+            return Err(invalid("empty or inverted region rectangle"));
+        }
+        if um == 0 || un == 0 || uk == 0 || warps == 0 {
+            return Err(invalid("zero-sized micro-kernel"));
+        }
+        regions.push(Region::new(
+            row0,
+            row1,
+            col0,
+            col1,
+            MicroKernel::new(id, um, un, uk, warps),
+        ));
+    }
+    Ok(CompiledProgram {
+        operator,
+        view,
+        pattern,
+        regions,
+        split_k,
+        predicted_ns,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program(seed: usize) -> CompiledProgram {
+        let shape = GemmShape::new(64 + seed, 128 + seed, 32 + seed);
+        let kernel = MicroKernel::new(MicroKernelId(seed % 7), 16, 8, 4, 2);
+        CompiledProgram {
+            operator: Operator::gemm(shape),
+            view: GemmView {
+                shape,
+                dtype: DType::F16,
+                load_scale: 1.0 + seed as f64 * 0.25,
+            },
+            pattern: PatternId((seed % 4) as u8 + 1),
+            regions: vec![
+                Region::new(0, shape.m, 0, 64, kernel),
+                Region::new(0, shape.m, 64, shape.n, kernel),
+            ],
+            split_k: 1 + seed % 3,
+            predicted_ns: 123.456 + seed as f64,
+            stats: SearchStats {
+                strategies_evaluated: seed * 10,
+                strategies_pruned: seed * 3,
+                patterns_tried: 4,
+                search_ns: 1_000_000 + seed as u128,
+                shortlist_truncated: seed % 2,
+                budget_exhausted: 0,
+                escalations: seed % 5,
+                refined: seed.is_multiple_of(2),
+                degraded: seed.is_multiple_of(3),
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_every_operator_kind() {
+        let conv = Conv2dShape::new(2, 16, 28, 28, 32, 3, 3, 1, 1);
+        let mut programs: Vec<CompiledProgram> = (0..8).map(sample_program).collect();
+        programs[1].operator = Operator::batched_gemm(12, GemmShape::new(64, 64, 64));
+        programs[2].operator = Operator::conv2d(conv);
+        programs[3].operator = Operator::conv2d_winograd(conv);
+        programs[4].view.dtype = DType::Bf16;
+        programs[5].view.dtype = DType::F32;
+        programs[6].view.dtype = DType::I8;
+        let bytes = encode_bundle(programs.iter());
+        assert!(is_binary_bundle(&bytes));
+        assert!(!is_legacy_json_bundle(&bytes));
+        let decoded = decode_bundle(&bytes).expect("round trip");
+        assert_eq!(decoded, programs);
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let bytes = encode_bundle(std::iter::empty());
+        assert_eq!(decode_bundle(&bytes).expect("empty bundle"), vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let programs = [sample_program(1)];
+        let good = encode_bundle(programs.iter());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_bundle(&bad_magic).is_err(), "bad magic must fail");
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(
+            decode_bundle(&bad_version).is_err(),
+            "unknown version must fail"
+        );
+
+        for cut in [3, 10, 17, good.len() / 2, good.len() - 1] {
+            assert!(
+                decode_bundle(&good[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(
+            decode_bundle(&trailing).is_err(),
+            "trailing bytes must fail"
+        );
+    }
+
+    #[test]
+    fn rejects_hostile_counts_without_allocating() {
+        // A bundle claiming u64::MAX records must fail fast on the index
+        // bound, not attempt the allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BUNDLE_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_bundle(&bytes).is_err());
+    }
+
+    #[test]
+    fn sniffers_distinguish_formats() {
+        assert!(is_legacy_json_bundle(b"  [ {\"x\": 1} ]"));
+        assert!(!is_legacy_json_bundle(b"MPAC...."));
+        assert!(!is_binary_bundle(b"["));
+        assert!(!is_binary_bundle(b""));
+    }
+}

@@ -371,6 +371,11 @@ impl Registry {
         }
         for (name, value) in &snap.gauges {
             let name = prometheus_name(name);
+            // The exposition format technically allows NaN/Inf, but a
+            // non-finite gauge is always an upstream accounting bug here
+            // (e.g. a 0/0 rate) and poisons downstream aggregation;
+            // render it as 0 so a scrape never ingests one.
+            let value = if value.is_finite() { *value } else { 0.0 };
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
@@ -542,6 +547,20 @@ mod tests {
         assert!(text.contains("serving_request_total_ns_bucket{clock=\"virtual\",le=\"3\"} 2"));
         assert!(text.contains("serving_request_total_ns_bucket{clock=\"virtual\",le=\"127\"} 3"));
         assert!(text.contains("serving_request_total_ns_count{clock=\"virtual\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_rendering_never_emits_non_finite_gauges() {
+        let r = Registry::new();
+        r.gauge("cache.hit_rate").set(f64::NAN);
+        r.gauge("queue.depth").set(f64::INFINITY);
+        r.gauge("goodput.rps").set(2.5);
+        let text = r.render_prometheus();
+        assert!(!text.contains("NaN"), "NaN leaked into exposition:\n{text}");
+        assert!(!text.contains("inf"), "inf leaked into exposition:\n{text}");
+        assert!(text.contains("cache_hit_rate 0"));
+        assert!(text.contains("queue_depth 0"));
+        assert!(text.contains("goodput_rps 2.5"));
     }
 
     #[test]

@@ -45,6 +45,16 @@ echo "==> chaos smoke: mikpoly chaos (fixed seeds)"
   --queue-capacity 8 --deadline-us 5000
 ./target/release/mikpoly chaos --requests 32 --workers 2 --seed 11 --fault-rate 0.1
 
+# Cache smoke: Zipfian stress on the bounded program cache (exact-once
+# computation, counter coherence, capacity bound — the binary exits
+# non-zero on any invariant violation or a hit rate below floor), then
+# the warm-restart gates: a 10k-program binary bundle must load inside
+# 1 s, and a legacy JSON bundle must still round-trip through the new
+# writer/loader pair.
+echo "==> cache smoke: mikpoly cache-bench (stress + restart gates)"
+./target/release/mikpoly cache-bench --threads 4 --ops 100000 --keys 2048 \
+  --restart-entries 10000 --restart-budget-ms 1000
+
 # Conformance: a bounded differential-fuzz smoke (fixed seed, well under
 # 30 s in release) that replays the regression corpus first, then the
 # cost-model-fidelity gate over the pinned shape corpus. Scale the fuzz

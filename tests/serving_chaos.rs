@@ -14,7 +14,7 @@ use mikpoly_conformance::assert_matches_reference;
 use mikpoly_suite::accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
 use mikpoly_suite::mikpoly::{
     execute_gemm, poisson_arrivals, BreakerPolicy, CompileBudget, Disposition, Engine, MikPoly,
-    OfflineOptions, Request, ServingOptions, ServingRuntime,
+    OfflineOptions, OnlineOptions, Request, ServingOptions, ServingRuntime, TemplateKind,
 };
 use mikpoly_suite::tensor_ir::{reference_gemm, GemmShape, Operator, Tensor};
 
@@ -201,6 +201,88 @@ fn goodput_floor_under_one_percent_device_faults() {
         ratio >= 0.9,
         "goodput under 1% device faults fell to {ratio:.3} of fault-free"
     );
+}
+
+/// A capacity-bounded program cache under chaos: eviction churn racing
+/// single-flight fills, injected panics, and poison invalidations must
+/// never strand a request (every one terminates with exactly one
+/// disposition) and must keep the cache counters coherent — entries
+/// within the bound, evictions really happening, and no double counting
+/// against the fills that produced them.
+#[test]
+fn bounded_cache_survives_chaos_with_coherent_counters() {
+    let mut o = OfflineOptions::fast();
+    o.n_gen = 4;
+    let machine = MachineModel::a100();
+    // Eight distinct shapes against a four-program bound: steady-state
+    // serving *must* evict, so every fill contends with the trimmer.
+    let capacity = 4usize;
+    let bounded = OnlineOptions {
+        cache_capacity: Some(capacity),
+        ..OnlineOptions::default()
+    };
+    let gemm = Arc::new(MikPoly::offline(machine.clone(), &o).with_options(bounded.clone()));
+    let conv = Arc::new(
+        MikPoly::offline(
+            machine.clone(),
+            &o.clone().with_template(TemplateKind::Conv),
+        )
+        .with_options(bounded),
+    );
+    let engine = Arc::new(Engine::from_compilers(machine.clone(), gemm, conv));
+    let cluster = Cluster::new(machine, 1, Interconnect::nvlink3());
+    let plan = FaultPlan {
+        seed: 0xBCA,
+        device_fault_rate: 0.02,
+        cache_corrupt_rate: 0.15, // poison invalidations during churn
+        compile_panic_rate: 0.1,  // abandoned flights during churn
+        panic_attempts: 2,
+        ..FaultPlan::none()
+    };
+    let runtime =
+        ServingRuntime::new(Arc::clone(&engine), cluster, 4).with_options(ServingOptions {
+            fault_plan: Some(Arc::new(plan)),
+            ..ServingOptions::default()
+        });
+    let report = runtime.serve(&stream(80, 20_000.0, 17));
+
+    // The suite completed — no waiter was stranded by an eviction racing
+    // its flight — and every request has exactly one disposition.
+    let counts = report.dispositions();
+    assert_eq!(report.records.len(), 80);
+    assert_eq!(counts.total(), 80, "{counts:?}");
+    assert_eq!(counts.shed, 0, "nothing admits-fails without a queue bound");
+
+    let stats = engine.gemm_compiler().cache_stats();
+    assert!(
+        stats.entries as usize <= capacity,
+        "{} entries exceed the bound {capacity}",
+        stats.entries
+    );
+    assert!(
+        stats.evictions > 0,
+        "8 shapes against capacity 4 must evict: {stats:?}"
+    );
+    // Eviction accounting: every eviction corresponds to a completed
+    // fill, and what was filled is either still resident, evicted, or
+    // was invalidated by the poison path.
+    let fills = stats.computations + stats.direct_inserts;
+    assert!(
+        stats.evictions <= fills,
+        "evictions double-counted: {stats:?}"
+    );
+    assert_eq!(
+        stats.entries + stats.evictions + stats.invalidations,
+        fills,
+        "fill disposition accounting leaks entries: {stats:?}"
+    );
+    // Single flight under churn: a computation only ever runs for a
+    // missed lookup, and the lookup ledger balances the request stream.
+    assert!(
+        stats.computations <= stats.misses,
+        "more computations than misses: {stats:?}"
+    );
+    assert!(stats.hit_rate().is_finite());
 }
 
 /// Degraded programs are slower, not wrong: the search-free fallback and
