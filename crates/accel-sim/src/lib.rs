@@ -65,7 +65,9 @@ pub use invariants::{
 };
 pub use machine::{AllocationPolicy, MachineModel, MmaShape};
 pub use noise::{hash_f64, unit_noise};
-pub use scheduler::{simulate, simulate_launches, simulate_traced, TraceEvent};
+pub use scheduler::{
+    simulate, simulate_launches, simulate_profiled, simulate_traced, SimProfile, TraceEvent,
+};
 pub use task::{Launch, TaskGroup, TaskShape, TaskSpec};
 pub use timing::{
     compute_efficiency, measure_pipelined_task, pipelined_task_ns, KernelTiming, TimingMode,

@@ -14,6 +14,7 @@
 //! empty tail wave shows up as a drop in `sm_efficiency` (Fig. 15, Table 9).
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +155,59 @@ impl PeState {
     }
 }
 
+/// Self-profile of one simulator run: event-loop counters plus real
+/// wall-clock attribution per phase of the hot loop. Collected only by
+/// [`simulate_profiled`] — the plain [`simulate`] path takes no clock
+/// reads and pays nothing.
+///
+/// The per-phase times come from a single relayed lap timer (one
+/// `Instant::now()` per phase boundary), so
+/// [`SimProfile::attributed_ns`] accounts for the whole run by
+/// construction; the only unattributed time is the clock reads
+/// themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimProfile {
+    /// Event-loop iterations, including the final empty pass that
+    /// detects completion.
+    pub iterations: u64,
+    /// Tasks admitted to a PE (equals the grid size at completion).
+    pub admissions: u64,
+    /// Iterations in which some PE drained to idle — wave boundaries.
+    pub wave_closes: u64,
+    /// Flattening the launch and building the pending queues, ns.
+    pub setup_ns: u64,
+    /// Admitting pending tasks to PEs, ns.
+    pub admission_ns: u64,
+    /// Finding the earliest completion across PEs, ns.
+    pub pick_ns: u64,
+    /// Advancing PE residents and retiring completions, ns.
+    pub advance_ns: u64,
+    /// Aggregating utilization counters into the report, ns.
+    pub finalize_ns: u64,
+}
+
+impl SimProfile {
+    /// Total wall time attributed to a phase. Within clock-read noise of
+    /// the run's true wall time (the lap timer is relayed, never reset).
+    pub fn attributed_ns(&self) -> u64 {
+        self.setup_ns + self.admission_ns + self.pick_ns + self.advance_ns + self.finalize_ns
+    }
+}
+
+/// Relays the lap timer: charges the time since the last boundary to the
+/// bucket `pick` selects. No-op (and no clock read) when not profiling.
+fn lap(
+    last: &mut Option<Instant>,
+    profile: &mut Option<&mut SimProfile>,
+    pick: fn(&mut SimProfile) -> &mut u64,
+) {
+    if let (Some(last), Some(p)) = (last.as_mut(), profile.as_deref_mut()) {
+        let now = Instant::now();
+        *pick(p) += now.duration_since(*last).as_nanos() as u64;
+        *last = now;
+    }
+}
+
 fn flatten(
     machine: &MachineModel,
     launch: &Launch,
@@ -219,7 +273,21 @@ fn flatten(
 /// assignment is malformed, or if the machine requires static placement but
 /// a group has none.
 pub fn simulate(machine: &MachineModel, launch: &Launch, mode: TimingMode) -> SimReport {
-    simulate_impl(machine, launch, mode, None)
+    simulate_impl(machine, launch, mode, None, None)
+}
+
+/// Like [`simulate`], additionally self-profiling the event loop: phase
+/// wall-clock attribution and iteration/admission/wave counters. The
+/// returned report is bit-identical to the unprofiled one (profiling
+/// never touches the virtual timeline).
+pub fn simulate_profiled(
+    machine: &MachineModel,
+    launch: &Launch,
+    mode: TimingMode,
+) -> (SimReport, SimProfile) {
+    let mut profile = SimProfile::default();
+    let report = simulate_impl(machine, launch, mode, None, Some(&mut profile));
+    (report, profile)
 }
 
 /// Like [`simulate`], additionally returning every task's `(pe, start,
@@ -231,7 +299,7 @@ pub fn simulate_traced(
     mode: TimingMode,
 ) -> (SimReport, Vec<TraceEvent>) {
     let mut trace = Vec::with_capacity(launch.grid_size());
-    let report = simulate_impl(machine, launch, mode, Some(&mut trace));
+    let report = simulate_impl(machine, launch, mode, Some(&mut trace), None);
     trace.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns).then(a.pe.cmp(&b.pe)));
     (report, trace)
 }
@@ -241,7 +309,9 @@ fn simulate_impl(
     launch: &Launch,
     mode: TimingMode,
     mut trace: Option<&mut Vec<TraceEvent>>,
+    mut profile: Option<&mut SimProfile>,
 ) -> SimReport {
+    let mut last_lap = profile.as_ref().map(|_| Instant::now());
     let tasks = flatten(machine, launch, mode);
     let pe_bw = machine.pe_bandwidth_bytes_per_ns();
     let mut pes: Vec<PeState> = (0..machine.num_pes)
@@ -271,8 +341,16 @@ fn simulate_impl(
     let mut now = 0.0f64;
     let mut remaining = total_tasks;
     let mut running = 0usize;
+    // Loop counters are plain locals (no clock reads, no atomics) and are
+    // published into the profile only at finalize, so the unprofiled path
+    // stays hot-loop clean.
+    let mut iterations = 0u64;
+    let mut admissions = 0u64;
+    let mut wave_closes = 0u64;
+    lap(&mut last_lap, &mut profile, |p| &mut p.setup_ns);
 
     loop {
+        iterations += 1;
         // Admission phase.
         if static_alloc {
             for (pe, queue) in pes.iter_mut().zip(pe_queues.iter_mut()) {
@@ -281,6 +359,7 @@ fn simulate_impl(
                         let t = queue.pop_front().expect("front checked");
                         pe.admit(&t, pe_bw, now);
                         running += 1;
+                        admissions += 1;
                     } else {
                         break;
                     }
@@ -303,11 +382,14 @@ fn simulate_impl(
                         let t = global_queue.pop_front().expect("front checked");
                         pes[i].admit(&t, pe_bw, now);
                         running += 1;
+                        admissions += 1;
                     }
                     None => break,
                 }
             }
         }
+
+        lap(&mut last_lap, &mut profile, |p| &mut p.admission_ns);
 
         if running == 0 {
             assert_eq!(remaining, 0, "deadlock: pending tasks fit on no PE");
@@ -322,14 +404,19 @@ fn simulate_impl(
             .expect("running > 0 implies a completion exists");
         let dt = dt.max(EPS_NS);
         now += dt;
+        lap(&mut last_lap, &mut profile, |p| &mut p.pick_ns);
 
+        let mut wave_closed = false;
         for (pe_index, pe) in pes.iter_mut().enumerate() {
             let before = pe.residents.len();
             pe.advance(dt, pe_bw, now, pe_index, trace.as_deref_mut());
             let done = before - pe.residents.len();
             running -= done;
             remaining -= done;
+            wave_closed |= done > 0 && pe.residents.is_empty();
         }
+        wave_closes += u64::from(wave_closed);
+        lap(&mut last_lap, &mut profile, |p| &mut p.advance_ns);
     }
 
     let device_ns = now;
@@ -347,7 +434,7 @@ fn simulate_impl(
         0.0
     };
 
-    SimReport {
+    let report = SimReport {
         time_ns,
         device_ns,
         grid_size: total_tasks,
@@ -356,7 +443,14 @@ fn simulate_impl(
         achieved_occupancy,
         total_flops: launch.total_flops(),
         per_pe: pes.into_iter().map(|p| p.util).collect(),
+    };
+    if let Some(p) = profile.as_deref_mut() {
+        p.iterations = iterations;
+        p.admissions = admissions;
+        p.wave_closes = wave_closes;
     }
+    lap(&mut last_lap, &mut profile, |p| &mut p.finalize_ns);
+    report
 }
 
 /// Simulates a sequence of launches executed back to back (one operator
@@ -542,6 +636,29 @@ mod tests {
             }
             assert!(per_pe.iter().all(|&w| w <= m.warp_cap_per_pe));
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_and_attributes_time() {
+        let m = MachineModel::a100();
+        let launch = Launch::grid(spec(128, 128, 32, 8, 16), 3 * m.num_pes + 1);
+        let plain = simulate(&m, &launch, TimingMode::Evaluate);
+        let wall = Instant::now();
+        let (report, profile) = simulate_profiled(&m, &launch, TimingMode::Evaluate);
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        assert_eq!(plain, report, "profiling must not perturb the timeline");
+        assert_eq!(profile.admissions, launch.grid_size() as u64);
+        assert!(profile.iterations >= 4, "{profile:?}"); // >= one per wave
+        assert!(
+            (1..=profile.iterations).contains(&profile.wave_closes),
+            "{profile:?}"
+        );
+        let attributed = profile.attributed_ns();
+        assert!(attributed > 0);
+        assert!(
+            attributed <= wall_ns,
+            "attribution cannot exceed the enclosing wall clock: {attributed} vs {wall_ns}"
+        );
     }
 
     #[test]

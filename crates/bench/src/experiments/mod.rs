@@ -26,6 +26,7 @@ pub mod fig13;
 pub mod npu_e2e;
 pub mod oracle_gap;
 pub mod oracle_gap_hard;
+pub mod sim_profile;
 pub mod tab05;
 pub mod tab08;
 pub mod tables;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-serving", ext_serving::run),
         ("chaos-serving", chaos_serving::run),
         ("cache-bench", cache_bench::run),
+        ("sim-profile", sim_profile::run),
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),

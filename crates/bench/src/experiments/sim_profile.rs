@@ -1,0 +1,139 @@
+//! Extension: simulator self-profiling — where the event loop's host
+//! time goes.
+//!
+//! Every experiment in this suite is bottlenecked on `accel_sim`'s event
+//! loop, so before optimizing it we need attribution: how much host time
+//! the setup, admission, completion-pick, and advance phases each cost,
+//! and how the loop's iteration count relates to the wave structure. The
+//! profiled run uses a relayed lap timer (one clock read per phase
+//! boundary), so the per-phase attribution sums to the run's wall time
+//! by construction — the experiment asserts the two agree within 2% and
+//! writes `results/sim-profile.json` as the optimization baseline.
+
+use std::time::Instant;
+
+use accel_sim::{simulate_profiled, Launch, TaskGroup, TaskShape, TaskSpec, TimingMode};
+
+use crate::setup::Harness;
+use crate::Report;
+
+fn spec(um: usize, un: usize, uk: usize, warps: usize, t: usize) -> TaskSpec {
+    TaskSpec::new(TaskShape::gemm_tile_f16(um, un, uk), warps, t)
+}
+
+/// Runs the simulator self-profiling study and writes
+/// `results/sim-profile.json`.
+pub fn run(h: &Harness) -> Vec<Report> {
+    let m = h.gpu();
+    let scale = if h.config.stride > 1 { 4 } else { 16 };
+    let cases = vec![
+        (
+            "full-waves-plus-tail",
+            Launch::grid(spec(256, 128, 32, 8, 64), scale * m.num_pes + 1),
+        ),
+        (
+            "co-resident-small-tiles",
+            Launch::grid(spec(64, 64, 64, 4, 32), 2 * scale * m.num_pes),
+        ),
+        (
+            "mixed-groups",
+            Launch::from_groups(vec![
+                TaskGroup::new(spec(256, 128, 32, 8, 64), scale * 96),
+                TaskGroup::new(spec(64, 64, 64, 4, 32), scale * 256),
+            ]),
+        ),
+    ];
+
+    let mut report = Report::new(
+        "sim-profile",
+        "accel-sim event-loop self-profile (extension)",
+        &[
+            "workload",
+            "tasks",
+            "iterations",
+            "wave closes",
+            "setup (%)",
+            "admission (%)",
+            "pick (%)",
+            "advance (%)",
+            "wall (us)",
+        ],
+    );
+
+    let mut rows_json = Vec::new();
+    let mut total_wall_ns = 0u64;
+    let mut total_attributed_ns = 0u64;
+    let mut total_tasks = 0usize;
+    for (name, launch) in &cases {
+        let wall = Instant::now();
+        let (sim, profile) = simulate_profiled(&m, launch, TimingMode::Evaluate);
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        let attributed = profile.attributed_ns();
+        total_wall_ns += wall_ns;
+        total_attributed_ns += attributed;
+        total_tasks += sim.grid_size;
+        let pct = |ns: u64| 100.0 * ns as f64 / attributed.max(1) as f64;
+        report.push_row(vec![
+            (*name).to_string(),
+            sim.grid_size.to_string(),
+            profile.iterations.to_string(),
+            profile.wave_closes.to_string(),
+            format!("{:.1}", pct(profile.setup_ns)),
+            format!("{:.1}", pct(profile.admission_ns)),
+            format!("{:.1}", pct(profile.pick_ns)),
+            format!("{:.1}", pct(profile.advance_ns)),
+            format!("{:.1}", wall_ns as f64 / 1e3),
+        ]);
+        rows_json.push(serde_json::json!({
+            "workload": *name,
+            "tasks": sim.grid_size,
+            "device_ns": sim.device_ns,
+            "iterations": profile.iterations,
+            "admissions": profile.admissions,
+            "wave_closes": profile.wave_closes,
+            "setup_ns": profile.setup_ns,
+            "admission_ns": profile.admission_ns,
+            "pick_ns": profile.pick_ns,
+            "advance_ns": profile.advance_ns,
+            "finalize_ns": profile.finalize_ns,
+            "attributed_ns": attributed,
+            "wall_ns": wall_ns,
+        }));
+    }
+
+    // The lap timer is relayed, never reset, so the phase attribution
+    // must account for the whole run: any larger gap means a phase of
+    // the hot loop escaped instrumentation.
+    let coverage = total_attributed_ns as f64 / total_wall_ns.max(1) as f64;
+    assert!(
+        (coverage - 1.0).abs() < 0.02,
+        "per-phase attribution covers {:.1}% of wall time (must be within 2%)",
+        coverage * 100.0
+    );
+    let tasks_per_sec = total_tasks as f64 / (total_wall_ns as f64 / 1e9);
+    report.headline(
+        "attribution coverage of wall time (gate 0.98..1.02)",
+        coverage,
+    );
+    report.headline("simulated tasks per host second (baseline)", tasks_per_sec);
+
+    let artifact = serde_json::json!({
+        "machine": m.name,
+        "attribution_coverage": coverage,
+        "coverage_gate": 0.02,
+        "tasks_per_host_second": tasks_per_sec,
+        "cases": rows_json,
+    });
+    let path = h.config.results_dir.join("sim-profile.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&artifact).expect("json"),
+    ) {
+        Ok(()) => println!("   (artifact: {})", path.display()),
+        Err(e) => eprintln!("   (artifact write failed: {e})"),
+    }
+    vec![report]
+}

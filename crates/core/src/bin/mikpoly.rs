@@ -5,9 +5,12 @@
 //! mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]
 //! mikpoly library [--machine ...]            # show the tuned kernel library
 //! mikpoly serve [--workers N] [--devices N] [--requests N]
-//!               [--utilization F] [--seed N] [--machine ...]
+//!               [--utilization F] [--seed N] [--deadline-us N] [--machine ...]
 //!               [--trace-out trace.json] [--metrics-out metrics.txt]
-//! mikpoly stats [serve flags]                # telemetered serve + metrics table
+//!               [--blackbox-out blackbox.json]
+//! mikpoly stats [serve flags] [--json]       # telemetered serve + metrics table
+//! mikpoly health [--requests N] [--workers N] [--seed N] [--fault-rate F]
+//!               [--deadline-us N] [--compile-budget-us N] [--json] [--machine ...]
 //! mikpoly trace-stats trace.json             # validate/summarize a trace file
 //! mikpoly chaos [--requests N] [--workers N] [--seed N] [--fault-rate F]
 //!               [--stall-ns N] [--queue-capacity N] [--deadline-us N]
@@ -25,8 +28,15 @@
 //! simulated device pool, reporting tail latency, its decomposition, and
 //! program-cache behaviour. With `--trace-out` / `--metrics-out` the run
 //! is telemetered and exports a Chrome trace-event file (loadable in
-//! Perfetto) and a Prometheus-style metrics snapshot. `stats` runs the
-//! same stream and prints the metrics registry as an aligned table;
+//! Perfetto) and a Prometheus-style metrics snapshot; with
+//! `--blackbox-out` the stream is additionally evaluated against the
+//! default SLO policy and, on violation, a black-box dump (SLO report +
+//! every retained flight-recorder chain) is written for offline triage.
+//! `stats` runs the same stream and prints the metrics registry as an
+//! aligned table (`--json` for the machine-readable snapshot); `health`
+//! runs a fixed-seed stream, evaluates windowed SLIs and multi-window
+//! burn rates, prints the health snapshot, and self-validates that the
+//! snapshot's disposition counts equal the serving report's.
 //! `trace-stats` parses a previously exported trace and reports event
 //! counts (the CI smoke test uses it to prove the JSON is well-formed).
 //! `chaos` replays a request stream under a deterministic fault plan
@@ -39,7 +49,7 @@ use std::sync::Arc;
 
 use accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
 use mikpoly::serving::poisson_arrivals;
-use mikpoly::telemetry::Telemetry;
+use mikpoly::telemetry::{render_blackbox, SloPolicy, Telemetry};
 use mikpoly::{
     encode_bundle, BreakerPolicy, CacheStats, CompiledProgram, Disposition, Engine, MikPoly,
     OfflineOptions, OnlineOptions, PatternId, Region, Request, ServingOptions, ServingRuntime,
@@ -99,6 +109,9 @@ fn main() {
         }
         Some("stats") => {
             serve(machine, &args, ServeMode::Stats);
+        }
+        Some("health") => {
+            health(machine, &args);
         }
         Some("chaos") => {
             chaos(machine, &args);
@@ -202,9 +215,15 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
     if workers == 0 || devices == 0 || n_requests == 0 || utilization <= 0.0 {
         usage("serve needs positive --workers/--devices/--requests/--utilization");
     }
+    let deadline_us: Option<f64> = parsed_flag(args, "--deadline-us");
     let trace_out = flag_value(args, "--trace-out");
     let metrics_out = flag_value(args, "--metrics-out");
-    let telemetry = if trace_out.is_some() || metrics_out.is_some() || mode == ServeMode::Stats {
+    let blackbox_out = flag_value(args, "--blackbox-out");
+    let telemetry = if trace_out.is_some()
+        || metrics_out.is_some()
+        || blackbox_out.is_some()
+        || mode == ServeMode::Stats
+    {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
@@ -248,7 +267,7 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
             id,
             arrival_ns,
             ops: layer(len),
-            deadline_ns: None,
+            deadline_ns: deadline_us.map(|us| arrival_ns + us * 1e3),
         })
         .collect();
 
@@ -306,7 +325,11 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
             );
         }
         ServeMode::Stats => {
-            println!("{}", telemetry.registry().render_pretty());
+            if has_flag(args, "--json") {
+                println!("{}", telemetry.registry().render_json());
+            } else {
+                println!("{}", telemetry.registry().render_pretty());
+            }
         }
     }
 
@@ -315,6 +338,31 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
         std::fs::write(path, &text)
             .unwrap_or_else(|e| usage(&format!("cannot write metrics to '{path}': {e}")));
         eprintln!("metrics: wrote {} bytes to {path}", text.len());
+    }
+    if let Some(path) = blackbox_out {
+        let slo = report.evaluate_slo(SloPolicy::default());
+        if slo.violated {
+            let chains = telemetry.recorder().snapshot();
+            let json = render_blackbox(
+                &slo,
+                &chains,
+                telemetry.recorder(),
+                telemetry.dropped_spans(),
+            );
+            if let Err(e) = serde_json::from_str::<serde_json::Value>(&json) {
+                eprintln!("blackbox: rendered dump is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| usage(&format!("cannot write blackbox to '{path}': {e}")));
+            eprintln!(
+                "blackbox: SLO violated; wrote {} bytes ({} retained chains) to {path}",
+                json.len(),
+                chains.len()
+            );
+        } else {
+            eprintln!("blackbox: SLO healthy; no dump written to {path}");
+        }
     }
     if let Some(path) = trace_out {
         let dropped = telemetry.dropped_spans();
@@ -451,6 +499,170 @@ fn chaos(machine: MachineModel, args: &[String]) {
         std::process::exit(1);
     }
     println!("chaos: disposition invariant holds");
+}
+
+/// Replays a fixed-seed GEMM stream through the serving runtime (with
+/// admission control and, optionally, injected faults and deadlines),
+/// evaluates it against the SLO policy, and prints the health snapshot —
+/// a table by default, the snapshot JSON with `--json`. Self-validating:
+/// the rendered JSON is parsed back and its disposition counts compared
+/// field by field against [`mikpoly::ServingReport::dispositions`]; a
+/// malformed snapshot or any mismatch exits non-zero, so CI can use this
+/// as the observability smoke. An SLO violation alone does not fail the
+/// command (an unhealthy service still has healthy telemetry).
+fn health(machine: MachineModel, args: &[String]) {
+    let n_requests: usize = parsed_flag(args, "--requests").unwrap_or(48);
+    let workers: usize = parsed_flag(args, "--workers").unwrap_or(2);
+    let seed: u64 = parsed_flag(args, "--seed").unwrap_or(7);
+    let fault_rate: f64 = parsed_flag(args, "--fault-rate").unwrap_or(0.0);
+    let deadline_us: Option<f64> = parsed_flag(args, "--deadline-us");
+    let compile_budget_us: u64 = parsed_flag(args, "--compile-budget-us").unwrap_or(20_000);
+    let json = has_flag(args, "--json");
+    if n_requests == 0 || workers == 0 || !(0.0..=1.0).contains(&fault_rate) {
+        usage("health needs positive --requests/--workers and --fault-rate in [0, 1]");
+    }
+
+    eprintln!("offline: tuning micro-kernels for {} ...", machine.name);
+    let mut offline = OfflineOptions::fast();
+    offline.n_gen = 4;
+    let telemetry = Telemetry::enabled();
+    let engine = Arc::new(Engine::offline_with_telemetry(
+        machine.clone(),
+        &offline,
+        Arc::clone(&telemetry),
+    ));
+    eprintln!("offline: done\n");
+
+    let options = ServingOptions {
+        queue_capacity: Some(8),
+        compile_budget: Some(std::time::Duration::from_micros(compile_budget_us)),
+        breaker: Some(BreakerPolicy::default()),
+        fault_plan: (fault_rate > 0.0).then(|| {
+            Arc::new(FaultPlan {
+                seed,
+                device_fault_rate: fault_rate,
+                compile_panic_rate: fault_rate * 2.0,
+                panic_attempts: 2,
+                ..FaultPlan::none()
+            })
+        }),
+        ..ServingOptions::default()
+    };
+    let shapes = [
+        GemmShape::new(256, 256, 256),
+        GemmShape::new(777, 512, 256),
+        GemmShape::new(1111, 999, 512),
+        GemmShape::new(64, 64, 64),
+        GemmShape::new(320, 192, 128),
+        GemmShape::new(511, 257, 96),
+        GemmShape::new(900, 300, 300),
+        GemmShape::new(128, 1024, 64),
+    ];
+    let requests: Vec<Request> = poisson_arrivals(n_requests, 30_000.0, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, arrival_ns)| {
+            let r = Request::single(id, arrival_ns, Operator::gemm(shapes[id % shapes.len()]));
+            match deadline_us {
+                Some(us) => r.with_deadline(arrival_ns + us * 1e3),
+                None => r,
+            }
+        })
+        .collect();
+
+    let cluster = Cluster::new(machine, workers, Interconnect::nvlink3());
+    let runtime = ServingRuntime::new(engine, cluster, workers).with_options(options);
+    // Injected compile panics are caught at the worker boundary; silence
+    // the default panic hook's backtrace spam while the stream runs.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = runtime.serve(&requests);
+    std::panic::set_hook(prev_hook);
+
+    let policy = SloPolicy {
+        compile_p99_budget_ns: Some(compile_budget_us as f64 * 1e3),
+        ..SloPolicy::default()
+    };
+    let slo = report.evaluate_slo(policy);
+    let rendered = slo.render_json();
+
+    // Self-validation: the snapshot must parse, and its disposition
+    // counts must equal the serving report's exactly.
+    let value: serde_json::Value = match serde_json::from_str(&rendered) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("health: snapshot is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let counts = report.dispositions();
+    let mut mismatches = 0usize;
+    for (field, expected) in [
+        ("completed", counts.completed),
+        ("degraded", counts.degraded),
+        ("shed", counts.shed),
+        ("failed", counts.failed),
+        ("total", counts.total()),
+    ] {
+        let got = value
+            .get("dispositions")
+            .and_then(|d| d.get(field))
+            .and_then(|v| v.as_u64());
+        if got != Some(expected as u64) {
+            eprintln!(
+                "health: snapshot dispositions.{field} = {got:?}, serving report says {expected}"
+            );
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("health: {mismatches} disposition mismatch(es) between snapshot and report");
+        std::process::exit(1);
+    }
+
+    if json {
+        println!("{rendered}");
+        return;
+    }
+    println!("health: {n_requests} requests, {workers} workers, seed {seed}");
+    println!(
+        "  dispositions  completed {} / degraded {} / shed {} / failed {}",
+        counts.completed, counts.degraded, counts.shed, counts.failed
+    );
+    for (label, sli) in [
+        ("overall", &slo.overall),
+        ("short", &slo.short),
+        ("long", &slo.long),
+    ] {
+        println!(
+            "  {label:<8} goodput {:.3}  deadline-hit {:.3}  degraded {:.3}  ({} requests)",
+            sli.goodput_ratio, sli.deadline_hit_rate, sli.degraded_fraction, sli.requests
+        );
+    }
+    for rule in &slo.rules {
+        println!(
+            "  burn [{}] short {:.2} long {:.2} vs threshold {:.2} -> {}",
+            rule.sli,
+            rule.short_burn,
+            rule.long_burn,
+            rule.threshold,
+            if rule.breached { "BREACHED" } else { "ok" }
+        );
+    }
+    println!(
+        "  compile p99 {:.1} us vs budget {:.1} us -> {}",
+        slo.compile_p99_ns as f64 / 1e3,
+        slo.compile_budget_ns.unwrap_or(0.0) / 1e3,
+        if slo.compile_budget_breached {
+            "BREACHED"
+        } else {
+            "ok"
+        }
+    );
+    println!(
+        "health: SLO {} (snapshot self-validated)",
+        if slo.violated { "VIOLATED" } else { "holding" }
+    );
 }
 
 /// Parses a Chrome trace-event file and prints per-phase event counts.
@@ -793,9 +1005,11 @@ fn usage(msg: &str) -> ! {
     eprintln!("  mikpoly gemm M N K [--machine a100|h100|910a|a100-cc] [--oracle] [--split-k]");
     eprintln!("  mikpoly conv N C H W OC KH KW STRIDE PAD [--machine ...] [--winograd]");
     eprintln!("  mikpoly library [--machine ...]");
-    eprintln!("  mikpoly serve [--workers N] [--devices N] [--requests N] [--utilization F] [--seed N] [--machine ...]");
-    eprintln!("                [--trace-out trace.json] [--metrics-out metrics.txt]");
-    eprintln!("  mikpoly stats [serve flags]        # telemetered serve + metrics table");
+    eprintln!("  mikpoly serve [--workers N] [--devices N] [--requests N] [--utilization F] [--seed N] [--deadline-us N] [--machine ...]");
+    eprintln!("                [--trace-out trace.json] [--metrics-out metrics.txt] [--blackbox-out blackbox.json]");
+    eprintln!("  mikpoly stats [serve flags] [--json]  # telemetered serve + metrics table/JSON");
+    eprintln!("  mikpoly health [--requests N] [--workers N] [--seed N] [--fault-rate F] [--deadline-us N]");
+    eprintln!("                [--compile-budget-us N] [--json] [--machine ...]");
     eprintln!("  mikpoly trace-stats trace.json     # validate/summarize a trace file");
     eprintln!(
         "  mikpoly chaos [--requests N] [--workers N] [--seed N] [--fault-rate F] [--stall-ns N]"

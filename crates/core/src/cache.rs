@@ -145,6 +145,31 @@ impl CacheStats {
     /// `cache.*` counters are overwritten with the snapshot, so they
     /// always equal a [`ShardedCache::stats`] call made at the same time).
     pub fn export_to(&self, registry: &mikpoly_telemetry::Registry) {
+        for (name, help) in [
+            (
+                "cache.hits",
+                "program-cache lookups answered from the cache",
+            ),
+            ("cache.misses", "program-cache lookups that missed"),
+            ("cache.computations", "programs compiled on a cache miss"),
+            (
+                "cache.coalesced_waits",
+                "lookups that waited for an in-flight compile of the same key",
+            ),
+            ("cache.direct_inserts", "programs inserted without a lookup"),
+            ("cache.evictions", "entries evicted by the LRU policy"),
+            (
+                "cache.invalidations",
+                "entries dropped by explicit invalidation",
+            ),
+            ("cache.entries", "resident program-cache entries"),
+            (
+                "cache.hit_rate",
+                "hits over lookups, 0 before the first lookup",
+            ),
+        ] {
+            registry.describe(name, help);
+        }
         registry.counter("cache.hits").store(self.hits);
         registry.counter("cache.misses").store(self.misses);
         registry

@@ -287,6 +287,35 @@ impl MikPoly {
     /// `search.*` / `online.*` metrics into it.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        if telemetry.is_enabled() {
+            let registry = telemetry.registry();
+            for (name, help) in [
+                (
+                    "online.compile_ns",
+                    "real wall-clock per fresh polymerization",
+                ),
+                (
+                    "cache.wait_ns",
+                    "real wall-clock spent coalesced behind an in-flight compile",
+                ),
+                (
+                    "compile.degraded",
+                    "requests answered by the degraded compile path",
+                ),
+                ("cache.poisoned", "poisoned cache entries retried past"),
+                ("oracle.searches", "exhaustive oracle searches run"),
+                (
+                    "oracle.candidates",
+                    "candidate strategies the oracle simulated",
+                ),
+                (
+                    "oracle.truncated",
+                    "oracle searches cut short by the candidate cap",
+                ),
+            ] {
+                registry.describe(name, help);
+            }
+        }
         self.telemetry = telemetry;
         self
     }

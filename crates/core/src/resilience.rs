@@ -157,11 +157,17 @@ impl CircuitBreaker {
     }
 
     /// Reports a full-path success for shape `key`: closes the breaker
-    /// and resets the failure count.
-    pub fn record_success(&self, key: u64) {
+    /// and resets the failure count. Returns `true` when this success
+    /// closed an **open** breaker (a half-open probe came back healthy)
+    /// — the transition flight-recorder chains tag as `"closed"`.
+    pub fn record_success(&self, key: u64) -> bool {
         let mut shapes = self.shapes.lock();
         if let Some(state) = shapes.get_mut(&key) {
+            let was_open = state.open;
             *state = ShapeBreaker::default();
+            was_open
+        } else {
+            false
         }
     }
 
@@ -244,7 +250,14 @@ mod tests {
         assert!(breaker.record_failure(1, 200.0), "failed probe re-opens");
         assert_eq!(breaker.state(1, 250.0), BreakerState::Open);
         assert_eq!(breaker.check(1, 400.0), BreakerDecision::Probe);
-        breaker.record_success(1);
+        assert!(
+            breaker.record_success(1),
+            "probe success reports the open->closed transition"
+        );
+        assert!(
+            !breaker.record_success(1),
+            "a second success is not a transition"
+        );
         assert_eq!(breaker.state(1, 401.0), BreakerState::Closed);
         assert_eq!(breaker.check(1, 402.0), BreakerDecision::Allow);
         assert_eq!(breaker.opens(), 2);

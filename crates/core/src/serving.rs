@@ -82,7 +82,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use accel_sim::{Cluster, FaultPlan};
-use mikpoly_telemetry::{Clock, ClockNs, Histogram, Lane, LatencyStats, SpanRecord, Telemetry};
+use mikpoly_telemetry::{
+    ChainDisposition, ChainRecord, Clock, ClockNs, Histogram, Lane, LatencyStats, SloEngine,
+    SloObservation, SloPolicy, SloReport, SpanRecord, Telemetry,
+};
 use tensor_ir::Operator;
 
 use crate::cache::CacheStats;
@@ -155,6 +158,18 @@ pub enum ShedReason {
     QueueFull,
 }
 
+impl ShedReason {
+    /// Stable lowercase label, used as the flight-recorder chain's error
+    /// string for shed requests.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::DeadlineAtEnqueue => "deadline-at-enqueue",
+            ShedReason::DeadlineAtDispatch => "deadline-at-dispatch",
+            ShedReason::QueueFull => "queue-full",
+        }
+    }
+}
+
 /// Fault-tolerance policy for one [`ServingRuntime`]. The default is the
 /// fault-free fast path: no deadlines enforced beyond the requests' own,
 /// unbounded queue, no breaker, no injected faults.
@@ -212,6 +227,14 @@ pub struct RequestRecord {
     /// Device-fault retries this request paid for (in backoff + re-run
     /// virtual time).
     pub retries: u32,
+    /// The request's deadline, copied through so SLO evaluation can
+    /// compute deadline-hit rates from records alone.
+    pub deadline_ns: Option<f64>,
+    /// Circuit-breaker transition observed while serving this request:
+    /// `"opened"` (this request's failure tripped the breaker),
+    /// `"closed"` (its probe succeeded), or `"short-circuit"` (an open
+    /// breaker routed it straight to the degraded path).
+    pub breaker_event: Option<&'static str>,
 }
 
 impl RequestRecord {
@@ -337,6 +360,28 @@ impl ServingReport {
             device: device.stats(),
         }
     }
+
+    /// Evaluates the stream against `policy`: every record becomes one
+    /// [`SloObservation`] (deadline verdicts only for requests that
+    /// carried a deadline), and the engine's disposition tally is built
+    /// from the same records as [`ServingReport::dispositions`], so the
+    /// two always agree — `mikpoly health` asserts this equality.
+    pub fn evaluate_slo(&self, policy: SloPolicy) -> SloReport {
+        let mut engine = SloEngine::new(policy);
+        for r in &self.records {
+            let served = matches!(
+                r.disposition,
+                Disposition::Completed | Disposition::Degraded
+            );
+            engine.observe(SloObservation {
+                finish_ns: r.finish_ns,
+                disposition: chain_disposition(r.disposition),
+                deadline_met: r.deadline_ns.map(|d| served && r.finish_ns <= d),
+                compile_ns: r.compile.real_ns(),
+            });
+        }
+        engine.evaluate()
+    }
 }
 
 /// Per-phase latency readouts, each tagged with the clock it was measured
@@ -406,6 +451,8 @@ struct CompileOutcome {
     device_failed: bool,
     /// Total virtual device time across attempts and backoffs, ns.
     total_device_ns: f64,
+    /// Breaker transition this compile triggered or rode, if any.
+    breaker_event: Option<&'static str>,
 }
 
 /// A multi-worker request executor over a shared engine and a simulated
@@ -510,11 +557,17 @@ impl ServingRuntime {
                     .try_run_graph(request.ops.iter().map(|(op, count)| (op, *count)), budget)
             }))
         };
+        // Breaker transitions are recorded onto the request's chain: a
+        // `Degrade` decision short-circuits, a tripping failure opens,
+        // and a successful half-open probe closes.
+        let mut breaker_event = degrade_only.then_some("short-circuit");
         let (graph, fell_back) = match run(budget) {
             Ok(Ok(graph)) => {
                 if !degrade_only {
                     if let Some(b) = breaker {
-                        b.record_success(key);
+                        if b.record_success(key) {
+                            breaker_event = Some("closed");
+                        }
                     }
                 }
                 (Some(graph), false)
@@ -525,7 +578,9 @@ impl ServingRuntime {
             Ok(Err(_)) | Err(_) => {
                 if !degrade_only {
                     if let Some(b) = breaker {
-                        b.record_failure(key, request.arrival_ns);
+                        if b.record_failure(key, request.arrival_ns) {
+                            breaker_event = Some("opened");
+                        }
                     }
                 }
                 let fallback = CompileBudget {
@@ -567,6 +622,7 @@ impl ServingRuntime {
             retries,
             device_failed,
             total_device_ns,
+            breaker_event,
         }
     }
 
@@ -716,6 +772,8 @@ impl ServingRuntime {
                                         disposition,
                                         shed_reason: None,
                                         retries: outcome.retries,
+                                        deadline_ns: request.deadline_ns,
+                                        breaker_event: outcome.breaker_event,
                                     },
                                     Some((ready, device_start)),
                                 )
@@ -739,6 +797,8 @@ impl ServingRuntime {
                                         disposition: Disposition::Failed,
                                         shed_reason: None,
                                         retries: outcome.retries,
+                                        deadline_ns: request.deadline_ns,
+                                        breaker_event: outcome.breaker_event,
                                     },
                                     None,
                                 )
@@ -820,6 +880,8 @@ impl ServingRuntime {
             registry
                 .gauge("serving.breaker_opens")
                 .set(breaker_opens as f64);
+            describe_serving_metrics(registry);
+            self.telemetry.export_health();
         }
         ServingReport {
             records,
@@ -892,6 +954,8 @@ fn shed_record(request: &Request, reason: ShedReason) -> RequestRecord {
         disposition: Disposition::Shed,
         shed_reason: Some(reason),
         retries: 0,
+        deadline_ns: request.deadline_ns,
+        breaker_event: None,
     }
 }
 
@@ -903,6 +967,115 @@ fn disposition_counter(disposition: Disposition) -> &'static str {
         Disposition::Shed => "serving.shed",
         Disposition::Failed => "serving.failed",
     }
+}
+
+/// Maps a serving disposition onto the telemetry crate's mirror enum.
+fn chain_disposition(disposition: Disposition) -> ChainDisposition {
+    match disposition {
+        Disposition::Completed => ChainDisposition::Completed,
+        Disposition::Degraded => ChainDisposition::Degraded,
+        Disposition::Shed => ChainDisposition::Shed,
+        Disposition::Failed => ChainDisposition::Failed,
+    }
+}
+
+/// The terminal error label a record's chain carries (`None` for served
+/// requests). The chaos suite asserts every `Failed`/`Shed` record's
+/// retained chain reproduces exactly this string.
+pub fn record_error_label(record: &RequestRecord) -> Option<&'static str> {
+    match record.disposition {
+        Disposition::Shed => record.shed_reason.map(ShedReason::label),
+        Disposition::Failed => Some(if record.executed() {
+            "device-retries-exhausted"
+        } else {
+            "compile-failed"
+        }),
+        Disposition::Completed | Disposition::Degraded => None,
+    }
+}
+
+/// Registers `# HELP` text for every serving-layer metric so Prometheus
+/// snapshots are self-describing.
+fn describe_serving_metrics(registry: &mikpoly_telemetry::Registry) {
+    for (name, help) in [
+        ("serving.requests", "requests entering the serving pipeline"),
+        (
+            "serving.completed",
+            "requests served on the full compile path",
+        ),
+        ("serving.degraded", "requests served on the degraded path"),
+        ("serving.shed", "requests rejected before execution"),
+        (
+            "serving.failed",
+            "requests that exhausted retries or failed to compile",
+        ),
+        (
+            "serving.retried",
+            "device retry attempts across all requests",
+        ),
+        ("serving.workers", "serving worker threads in the run"),
+        ("serving.devices", "simulated devices in the run"),
+        (
+            "serving.makespan_ms",
+            "virtual time from first arrival to last completion",
+        ),
+        (
+            "serving.throughput_rps",
+            "requests per virtual second over the makespan",
+        ),
+        (
+            "serving.breaker_opens",
+            "circuit-breaker open transitions across all shapes",
+        ),
+        ("serving.queue_ns", "virtual queueing latency per request"),
+        (
+            "serving.compile_ns",
+            "real host compile latency per request",
+        ),
+        ("serving.device_ns", "virtual device latency per request"),
+        ("serving.total_ns", "end-to-end virtual latency per request"),
+    ] {
+        registry.describe(name, help);
+    }
+}
+
+/// Builds and records the request's flight-recorder chain, returning
+/// whether it was retained (retained requests get histogram exemplars,
+/// so every exemplar resolves to a chain [`FlightRecorder::find`] can
+/// produce).
+///
+/// [`FlightRecorder::find`]: mikpoly_telemetry::FlightRecorder::find
+fn record_chain(telemetry: &Telemetry, request: &Request, record: &RequestRecord) -> bool {
+    let cache_outcome = if record.disposition == Disposition::Shed {
+        "none"
+    } else if record.cache_wait_ns > 0 {
+        "waited"
+    } else if record.compile.real_ns() == 0.0 {
+        "hit"
+    } else {
+        "computed"
+    };
+    let chain = ChainRecord {
+        id: record.id as u64,
+        shape_key: request_shape_key(request),
+        worker: if record.worker == NO_SLOT {
+            u64::MAX
+        } else {
+            record.worker as u64
+        },
+        queue_ns: record.queue_ns,
+        compile_real_ns: record.compile.real_ns(),
+        search_ns: record.search_ns as f64,
+        cache_wait_ns: record.cache_wait_ns as f64,
+        device_ns: record.device_ns,
+        finish_ns: record.finish_ns,
+        retries: record.retries,
+        cache_outcome,
+        breaker_event: record.breaker_event,
+        disposition: chain_disposition(record.disposition),
+        error: record_error_label(record).map(str::to_string),
+    };
+    telemetry.recorder().record(chain).is_some()
 }
 
 /// Emits one served request's phase spans and latency metrics.
@@ -933,6 +1106,9 @@ fn emit_request_telemetry(
             .add(u64::from(record.retries));
     }
     let rid = record.id as u64;
+    // Chains are recorded before the histograms so exemplar stamping can
+    // be gated on retention: every stamped exemplar id is resolvable.
+    let retained = record_chain(telemetry, request, record);
     if record.disposition == Disposition::Shed {
         telemetry.record_span(
             SpanRecord::async_phase(
@@ -1010,18 +1186,22 @@ fn emit_request_telemetry(
             .with_arg("worker", record.worker),
         );
     }
-    registry
-        .histogram("serving.queue_ns", Clock::Virtual)
-        .record_f64(record.queue_ns);
-    registry
-        .histogram("serving.compile_ns", Clock::Real)
-        .record_f64(record.compile.real_ns());
-    registry
-        .histogram("serving.device_ns", Clock::Virtual)
-        .record_f64(record.device_ns);
-    registry
-        .histogram("serving.total_ns", Clock::Virtual)
-        .record_f64(record.timeline_total_ns());
+    let observe = |name: &str, clock: Clock, value: f64| {
+        let histogram = registry.histogram(name, clock);
+        if retained {
+            histogram.record_f64_with_exemplar(value, rid);
+        } else {
+            histogram.record_f64(value);
+        }
+    };
+    observe("serving.queue_ns", Clock::Virtual, record.queue_ns);
+    observe("serving.compile_ns", Clock::Real, record.compile.real_ns());
+    observe("serving.device_ns", Clock::Virtual, record.device_ns);
+    observe(
+        "serving.total_ns",
+        Clock::Virtual,
+        record.timeline_total_ns(),
+    );
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ fn lane_thread_name(lane: Lane) -> String {
 }
 
 /// Appends `s` as a JSON string literal (with quotes) onto `out`.
-fn push_json_string(out: &mut String, s: &str) {
+///
+/// Shared with the other hand-written JSON emitters in this crate
+/// (flight-recorder blackbox dumps, SLO snapshots, metric snapshots).
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -60,7 +63,7 @@ fn push_json_string(out: &mut String, s: &str) {
 }
 
 /// Appends an `f64` in a JSON-safe decimal form.
-fn push_json_number(out: &mut String, v: f64) {
+pub(crate) fn push_json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {

@@ -27,6 +27,8 @@
 pub mod chrome;
 pub mod clock;
 pub mod metrics;
+pub mod recorder;
+pub mod slo;
 pub mod span;
 
 use std::sync::{Arc, OnceLock};
@@ -35,6 +37,14 @@ use std::time::Instant;
 pub use chrome::render_chrome_trace;
 pub use clock::{Clock, ClockNs};
 pub use metrics::{Counter, Gauge, Histogram, LatencyStats, MetricsSnapshot, Registry};
+pub use recorder::{
+    ChainDisposition, ChainRecord, FlightRecorder, RecorderConfig, RetainReason, RetainedChain,
+    RECORDER_SHARDS,
+};
+pub use slo::{
+    render_blackbox, BurnRule, DispositionTally, SloEngine, SloObservation, SloPolicy, SloReport,
+    WindowSli,
+};
 pub use span::{ArgValue, Lane, SpanKind, SpanRecord, SpanSink};
 
 /// The shared telemetry handle: a metrics registry, a span sink, and a
@@ -49,16 +59,24 @@ pub struct Telemetry {
     epoch: Instant,
     registry: Registry,
     spans: SpanSink,
+    recorder: FlightRecorder,
 }
 
 impl Telemetry {
-    /// A live handle: spans and metrics are recorded.
+    /// A live handle: spans, metrics, and flight-recorder chains are
+    /// recorded.
     pub fn enabled() -> Arc<Self> {
+        Self::enabled_with_recorder(RecorderConfig::default())
+    }
+
+    /// A live handle with explicit flight-recorder tuning.
+    pub fn enabled_with_recorder(config: RecorderConfig) -> Arc<Self> {
         Arc::new(Self {
             enabled: true,
             epoch: Instant::now(),
             registry: Registry::new(),
             spans: SpanSink::new(),
+            recorder: FlightRecorder::new(config, true),
         })
     }
 
@@ -71,6 +89,7 @@ impl Telemetry {
                 epoch: Instant::now(),
                 registry: Registry::new(),
                 spans: SpanSink::new(),
+                recorder: FlightRecorder::new(RecorderConfig::default(), false),
             })
         }))
     }
@@ -120,6 +139,10 @@ impl Telemetry {
 
     /// Takes every buffered span (emptying the buffer), sorted by start
     /// time.
+    ///
+    /// **Draining is destructive**: the buffer is emptied, so a second
+    /// consumer sees nothing. A pipeline with both a Chrome-trace export
+    /// and its own span analysis must drain once and share the vec.
     pub fn drain_spans(&self) -> Vec<SpanRecord> {
         self.spans.drain()
     }
@@ -129,7 +152,44 @@ impl Telemetry {
         self.spans.dropped()
     }
 
+    /// The flight recorder holding retained per-request chains (inert
+    /// on a disabled handle).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Publishes telemetry self-health into the registry: span-ring
+    /// drops as the `telemetry.spans_dropped` gauge (silent span loss
+    /// used to be invisible in metric snapshots) plus flight-recorder
+    /// retention/eviction gauges. No-op when disabled; call before
+    /// exporting a snapshot.
+    pub fn export_health(&self) {
+        if !self.enabled {
+            return;
+        }
+        let r = &self.registry;
+        r.describe(
+            "telemetry.spans_dropped",
+            "spans evicted from the bounded span ring under pressure",
+        );
+        r.gauge("telemetry.spans_dropped")
+            .set(self.spans.dropped() as f64);
+        r.describe(
+            "telemetry.chains_retained",
+            "flight-recorder chains retained over the run",
+        );
+        r.gauge("telemetry.chains_retained")
+            .set(self.recorder.retained() as f64);
+        r.describe(
+            "telemetry.chains_evicted",
+            "retained chains later shed to honor the recorder memory budget",
+        );
+        r.gauge("telemetry.chains_evicted")
+            .set(self.recorder.evicted() as f64);
+    }
+
     /// Drains the span buffer and renders it as Chrome trace-event JSON.
+    /// Destructive, like [`Telemetry::drain_spans`].
     pub fn render_chrome_trace(&self) -> String {
         chrome::render_chrome_trace(&self.drain_spans())
     }

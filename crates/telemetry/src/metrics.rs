@@ -107,10 +107,17 @@ impl LatencyStats {
 }
 
 /// A lock-free latency histogram with power-of-two buckets.
+///
+/// Each bucket also carries an optional **exemplar** request id — the
+/// most recent flight-recorder-retained request that landed in the
+/// bucket — so a percentile readout can be traced back to a concrete
+/// retained chain (`FlightRecorder::find`).
 #[derive(Debug)]
 pub struct Histogram {
     clock: Clock,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Exemplar slots store `request id + 1`; 0 means "no exemplar".
+    exemplars: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
@@ -136,6 +143,7 @@ impl Histogram {
         Self {
             clock,
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
@@ -160,6 +168,21 @@ impl Histogram {
     pub fn record_f64(&self, ns: f64) {
         let clamped = if ns.is_finite() && ns > 0.0 { ns } else { 0.0 };
         self.record(clamped as u64);
+    }
+
+    /// Records one sample and stamps the bucket's exemplar with
+    /// `request_id`. Callers should only pass ids whose chain the
+    /// flight recorder retained, so every exemplar resolves.
+    pub fn record_with_exemplar(&self, ns: u64, request_id: u64) {
+        self.record(ns);
+        self.exemplars[bucket_of(ns)].store(request_id.saturating_add(1), Ordering::Relaxed);
+    }
+
+    /// Float variant of [`Histogram::record_with_exemplar`], with the
+    /// same clamping as [`Histogram::record_f64`].
+    pub fn record_f64_with_exemplar(&self, ns: f64, request_id: u64) {
+        let clamped = if ns.is_finite() && ns > 0.0 { ns } else { 0.0 };
+        self.record_with_exemplar(clamped as u64, request_id);
     }
 
     /// Samples recorded so far.
@@ -226,6 +249,19 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Occupied exemplar slots as `(inclusive upper bound, request id)`
+    /// pairs, in ascending bound order.
+    pub fn exemplars(&self) -> Vec<(u64, u64)> {
+        self.exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(b, slot)| {
+                let stamped = slot.load(Ordering::Relaxed);
+                (stamped > 0).then(|| (bucket_upper(b), stamped - 1))
+            })
+            .collect()
+    }
 }
 
 /// One histogram in a [`MetricsSnapshot`]: its name, readout, and
@@ -241,6 +277,9 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, readout, buckets)` per histogram, name-sorted.
     pub histograms: Vec<HistogramSnapshot>,
+    /// `(name, (bucket upper bound, request id) pairs)` per histogram
+    /// with at least one exemplar, name-sorted.
+    pub exemplars: Vec<(String, Vec<(u64, u64)>)>,
 }
 
 impl MetricsSnapshot {
@@ -259,6 +298,14 @@ impl MetricsSnapshot {
             .find(|(n, _, _)| n == name)
             .map(|(_, s, _)| s)
     }
+
+    /// Looks a histogram's exemplars up by name.
+    pub fn histogram_exemplars(&self, name: &str) -> Option<&[(u64, u64)]> {
+        self.exemplars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e.as_slice())
+    }
 }
 
 /// The name-keyed instrument registry.
@@ -271,6 +318,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    descriptions: RwLock<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -329,6 +377,24 @@ impl Registry {
         h
     }
 
+    /// Attaches a help string to `name`, emitted as the `# HELP` line
+    /// in the Prometheus exposition. Idempotent; the latest call wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.descriptions
+            .write()
+            .expect("registry lock")
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// The help string attached to `name`, if any.
+    pub fn description(&self, name: &str) -> Option<String> {
+        self.descriptions
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
     /// Copies every instrument out.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -353,35 +419,189 @@ impl Registry {
                 .iter()
                 .map(|(n, h)| (n.clone(), h.stats(), h.buckets()))
                 .collect(),
+            exemplars: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .filter_map(|(n, h)| {
+                    let exemplars = h.exemplars();
+                    (!exemplars.is_empty()).then(|| (n.clone(), exemplars))
+                })
+                .collect(),
         }
+    }
+
+    /// Checks every registered metric name against the naming contract:
+    /// lowercase dotted (`[a-z0-9._]`, no leading/trailing/double dots),
+    /// unique across instrument kinds, and still unique after Prometheus
+    /// sanitization (`.` → `_`). Returns one finding per violation; an
+    /// empty vec means the registry is clean.
+    pub fn lint(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        let kinds: [(&str, Vec<String>); 3] = [
+            (
+                "counter",
+                self.counters
+                    .read()
+                    .expect("registry lock")
+                    .keys()
+                    .cloned()
+                    .collect(),
+            ),
+            (
+                "gauge",
+                self.gauges
+                    .read()
+                    .expect("registry lock")
+                    .keys()
+                    .cloned()
+                    .collect(),
+            ),
+            (
+                "histogram",
+                self.histograms
+                    .read()
+                    .expect("registry lock")
+                    .keys()
+                    .cloned()
+                    .collect(),
+            ),
+        ];
+        let mut seen: BTreeMap<String, &str> = BTreeMap::new();
+        let mut sanitized: BTreeMap<String, String> = BTreeMap::new();
+        for (kind, names) in &kinds {
+            for name in names {
+                let well_formed = !name.is_empty()
+                    && !name.starts_with('.')
+                    && !name.ends_with('.')
+                    && !name.contains("..")
+                    && name.chars().all(|c| {
+                        c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'
+                    });
+                if !well_formed {
+                    findings.push(format!(
+                        "{kind} '{name}': not lowercase dotted ([a-z0-9._], no stray dots)"
+                    ));
+                }
+                if let Some(other) = seen.insert(name.clone(), kind) {
+                    findings.push(format!("'{name}': registered as both {other} and {kind}"));
+                }
+                let flat = prometheus_name(name);
+                if let Some(other) = sanitized.insert(flat.clone(), name.clone()) {
+                    if other != *name {
+                        findings.push(format!(
+                            "'{name}' and '{other}' collide after Prometheus sanitization ('{flat}')"
+                        ));
+                    }
+                }
+            }
+        }
+        findings
+    }
+
+    /// Renders the snapshot as a JSON object (hand-written; this crate
+    /// is dependency-free). The machine-readable `mikpoly stats --json`
+    /// output.
+    pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::chrome::push_json_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::chrome::push_json_string(&mut out, name);
+            out.push(':');
+            crate::chrome::push_json_number(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, stats, buckets)) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::chrome::push_json_string(&mut out, name);
+            out.push_str(":{\"clock\":");
+            crate::chrome::push_json_string(&mut out, stats.clock.label());
+            let _ = write!(out, ",\"count\":{}", stats.count);
+            for (label, value) in [
+                ("p50_ns", stats.p50_ns),
+                ("p95_ns", stats.p95_ns),
+                ("p99_ns", stats.p99_ns),
+                ("max_ns", stats.max_ns),
+                ("mean_ns", stats.mean_ns),
+            ] {
+                let _ = write!(out, ",\"{label}\":");
+                crate::chrome::push_json_number(&mut out, value);
+            }
+            out.push_str(",\"buckets\":[");
+            for (j, (upper, count)) in buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{upper},{count}]");
+            }
+            out.push_str("],\"exemplars\":[");
+            let exemplars = snap.histogram_exemplars(name).unwrap_or(&[]);
+            for (j, (upper, id)) in exemplars.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{upper},{id}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
     }
 
     /// Renders a Prometheus-style plain-text exposition of the registry.
     ///
     /// Metric names have `.` and `-` mapped to `_`; histograms carry a
     /// `clock` label and cumulative `_bucket{le=...}` lines with
-    /// power-of-two bounds.
+    /// power-of-two bounds. Every metric gets a `# HELP`/`# TYPE` pair;
+    /// the help text comes from [`Registry::describe`], falling back to
+    /// the original dotted name for undescribed metrics.
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
+        let help_for = |dotted: &str| -> String {
+            self.description(dotted)
+                .map(|h| h.replace('\n', " "))
+                .unwrap_or_else(|| dotted.to_string())
+        };
         let mut out = String::new();
         for (name, value) in &snap.counters {
+            let help = help_for(name);
             let name = prometheus_name(name);
+            let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, value) in &snap.gauges {
+            let help = help_for(name);
             let name = prometheus_name(name);
             // The exposition format technically allows NaN/Inf, but a
             // non-finite gauge is always an upstream accounting bug here
             // (e.g. a 0/0 rate) and poisons downstream aggregation;
             // render it as 0 so a scrape never ingests one.
             let value = if value.is_finite() { *value } else { 0.0 };
+            let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, stats, buckets) in &snap.histograms {
+            let help = help_for(name);
             let name = prometheus_name(name);
             let clock = stats.clock.label();
+            let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (upper, count) in buckets {
@@ -569,5 +789,100 @@ mod tests {
         c.add(10);
         c.store(4);
         assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn exposition_pairs_every_type_with_a_help_line() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(7);
+        r.describe("cache.hits", "program cache hits");
+        r.gauge("serving.workers").set(4.0);
+        r.histogram("serving.total_ns", Clock::Virtual).record(100);
+        let text = r.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut type_lines = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                type_lines += 1;
+                let metric = rest.split_whitespace().next().unwrap();
+                let prev = lines.get(i.wrapping_sub(1)).copied().unwrap_or("");
+                assert!(
+                    prev.starts_with(&format!("# HELP {metric} ")),
+                    "TYPE for {metric} not preceded by its HELP line:\n{text}"
+                );
+            }
+        }
+        assert_eq!(type_lines, 3);
+        assert!(text.contains("# HELP cache_hits program cache hits"));
+        // Undescribed metrics fall back to their dotted name.
+        assert!(text.contains("# HELP serving_workers serving.workers"));
+    }
+
+    #[test]
+    fn exemplars_stamp_the_sample_bucket_and_survive_snapshots() {
+        let r = Registry::new();
+        let h = r.histogram("serving.compile_ns", Clock::Real);
+        h.record(5);
+        h.record_with_exemplar(100, 42);
+        h.record_with_exemplar(101, 43); // same bucket: latest wins
+        assert_eq!(h.exemplars(), vec![(127, 43)]);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.histogram_exemplars("serving.compile_ns"),
+            Some(&[(127u64, 43u64)][..])
+        );
+        // Plain records never stamp exemplars.
+        assert!(snap.histogram_exemplars("missing").is_none());
+    }
+
+    #[test]
+    fn exemplar_id_zero_is_representable() {
+        let h = Histogram::new(Clock::Virtual);
+        h.record_with_exemplar(8, 0);
+        assert_eq!(h.exemplars(), vec![(15, 0)]);
+    }
+
+    #[test]
+    fn lint_accepts_the_house_naming_style() {
+        let r = Registry::new();
+        r.counter("cache.hits").inc();
+        r.counter("serving.requests").inc();
+        r.gauge("serving.throughput_rps").set(1.0);
+        r.histogram("online.compile_ns", Clock::Real).record(1);
+        assert!(r.lint().is_empty(), "findings: {:?}", r.lint());
+    }
+
+    #[test]
+    fn lint_flags_bad_charset_cross_kind_duplicates_and_sanitization_collisions() {
+        let r = Registry::new();
+        r.counter("Bad.Name").inc();
+        r.counter("cache.hits").inc();
+        r.gauge("cache.hits").set(1.0);
+        r.counter("a.b").inc();
+        r.counter("a_b").inc();
+        let findings = r.lint();
+        assert!(findings.iter().any(|f| f.contains("not lowercase dotted")));
+        assert!(findings
+            .iter()
+            .any(|f| f.contains("both counter and gauge")));
+        assert!(findings
+            .iter()
+            .any(|f| f.contains("collide after Prometheus sanitization")));
+    }
+
+    #[test]
+    fn json_snapshot_is_parsable_shape() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(2);
+        r.gauge("serving.workers").set(4.0);
+        let h = r.histogram("serving.total_ns", Clock::Virtual);
+        h.record_with_exemplar(100, 7);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"cache.hits\":2"));
+        assert!(json.contains("\"serving.workers\":4"));
+        assert!(json.contains("\"clock\":\"virtual\""));
+        assert!(json.contains("\"exemplars\":[[127,7]]"));
+        assert!(json.ends_with("}}"));
     }
 }

@@ -1,0 +1,594 @@
+//! The flight recorder: an always-on, bounded store of per-request
+//! event chains with tail-based retention.
+//!
+//! Aggregate histograms answer "what is compile p99?" but not *which*
+//! request hit it or *why* it degraded. The recorder closes that gap:
+//! every served request deposits a structured [`ChainRecord`] (shape
+//! key, per-phase timings, cache outcome, retry count, breaker
+//! transition, disposition, error), and a tail-based retention policy
+//! decides what to keep:
+//!
+//! - **100% of anomalous chains** — any non-`Completed` disposition,
+//!   any chain carrying a breaker open/close/short-circuit event, and
+//!   any chain whose timeline latency exceeds a rolling p99 estimate;
+//! - a **deterministic downsample** of the healthy majority (one in
+//!   [`RecorderConfig::sample_every`] by request id), so exemplars and
+//!   dumps still show what "normal" looks like.
+//!
+//! Storage is a set of [`RECORDER_SHARDS`] rings indexed by the calling
+//! thread's lane (the same scheme as the span sink), so concurrent
+//! serving workers never contend on one lock. Each shard enforces its
+//! slice of [`RecorderConfig::memory_budget_bytes`] by evicting the
+//! oldest *downsampled* chain first; anomalous chains are only evicted
+//! when nothing else is left. The budget is a hard bound: under
+//! adversarial error-string sizes the recorder sheds retained chains
+//! (counted in [`FlightRecorder::evicted`]) rather than grow.
+//!
+//! The recorder is created disabled alongside [`crate::Telemetry::disabled`]
+//! and costs nothing on that path: [`FlightRecorder::record`] is a
+//! single branch, and serving only builds chains when telemetry is
+//! enabled.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::chrome::{push_json_number, push_json_string};
+use crate::clock::Clock;
+use crate::metrics::Histogram;
+use crate::span::current_thread_lane;
+
+/// Number of independent chain rings; callers hash onto one by thread
+/// lane so the hot path is contention-free under the worker counts the
+/// serving runtime uses.
+pub const RECORDER_SHARDS: usize = 16;
+
+/// Terminal disposition of a request chain, mirroring the serving
+/// runtime's dispositions one-to-one (the telemetry crate is
+/// dependency-free, so it keeps its own copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainDisposition {
+    /// Served at full fidelity.
+    Completed,
+    /// Served by a degraded (search-free or truncated-search) program.
+    Degraded,
+    /// Never executed: rejected by admission control.
+    Shed,
+    /// Executed but failed (device retries exhausted or compile failure).
+    Failed,
+}
+
+impl ChainDisposition {
+    /// Stable lowercase label used in dumps and JSON snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChainDisposition::Completed => "completed",
+            ChainDisposition::Degraded => "degraded",
+            ChainDisposition::Shed => "shed",
+            ChainDisposition::Failed => "failed",
+        }
+    }
+
+    /// Anomalous chains are retained unconditionally.
+    pub fn is_anomalous(self) -> bool {
+        !matches!(self, ChainDisposition::Completed)
+    }
+}
+
+/// Why a chain was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetainReason {
+    /// Non-`Completed` disposition: kept unconditionally.
+    Disposition,
+    /// The chain carries a circuit-breaker transition.
+    BreakerEvent,
+    /// Timeline latency above the rolling p99 estimate.
+    TailLatency,
+    /// Healthy chain kept by the deterministic downsample.
+    Sampled,
+}
+
+impl RetainReason {
+    /// Stable lowercase label used in dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            RetainReason::Disposition => "disposition",
+            RetainReason::BreakerEvent => "breaker-event",
+            RetainReason::TailLatency => "tail-latency",
+            RetainReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// One request's structured event chain.
+///
+/// Timings are in nanoseconds. Virtual-timeline phases (`queue_ns`,
+/// `device_ns`, `finish_ns`) and the real-clock compile phases
+/// (`compile_real_ns`, `search_ns`, `cache_wait_ns`) are kept side by
+/// side; `timeline_total_ns` projects the compile cost onto the virtual
+/// timeline the same way the serving runtime does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRecord {
+    /// Request id.
+    pub id: u64,
+    /// Hash of the request's operator/shape sequence.
+    pub shape_key: u64,
+    /// Worker slot that served the request; `u64::MAX` when shed.
+    pub worker: u64,
+    /// Virtual nanoseconds spent queued (admission + device wait).
+    pub queue_ns: f64,
+    /// Real nanoseconds spent in the compile lane.
+    pub compile_real_ns: f64,
+    /// Real nanoseconds of online strategy search within the compile.
+    pub search_ns: f64,
+    /// Real nanoseconds blocked on another worker's in-flight compile.
+    pub cache_wait_ns: f64,
+    /// Virtual nanoseconds on the device (including dispatch overhead).
+    pub device_ns: f64,
+    /// Virtual-timeline completion timestamp.
+    pub finish_ns: f64,
+    /// Device retry attempts consumed.
+    pub retries: u32,
+    /// Program-cache outcome: `"hit"`, `"waited"`, `"computed"`, `"none"`.
+    pub cache_outcome: &'static str,
+    /// Circuit-breaker transition observed while serving this request
+    /// (`"opened"`, `"closed"`, `"short-circuit"`), if any.
+    pub breaker_event: Option<&'static str>,
+    /// Terminal disposition.
+    pub disposition: ChainDisposition,
+    /// Terminal error label for `Shed`/`Failed` chains.
+    pub error: Option<String>,
+}
+
+impl ChainRecord {
+    /// Total latency with the real compile phase projected onto the
+    /// virtual timeline — the quantity the retention policy ranks.
+    pub fn timeline_total_ns(&self) -> f64 {
+        self.queue_ns + self.compile_real_ns + self.device_ns
+    }
+
+    /// Estimated resident size used for the memory budget. Covers the
+    /// record itself plus the heap behind the error string, with a
+    /// small allowance for ring bookkeeping.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.error.as_ref().map_or(0, |e| e.len()) + 32
+    }
+}
+
+/// A retained chain plus the reason it survived retention.
+#[derive(Debug, Clone)]
+pub struct RetainedChain {
+    /// The chain itself.
+    pub chain: ChainRecord,
+    /// Why it was kept.
+    pub reason: RetainReason,
+}
+
+/// Flight-recorder tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Hard cap on retained-chain memory across all shards, in bytes.
+    pub memory_budget_bytes: usize,
+    /// Keep one in `sample_every` healthy `Completed` chains (by
+    /// request id). `0` disables the healthy downsample entirely.
+    pub sample_every: u64,
+    /// Refresh the cached rolling-p99 estimate every this many records.
+    pub p99_refresh_every: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self {
+            memory_budget_bytes: 4 << 20,
+            sample_every: 16,
+            p99_refresh_every: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    chains: VecDeque<RetainedChain>,
+    bytes: usize,
+}
+
+/// The bounded per-request chain store. See the module docs for the
+/// retention policy.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: bool,
+    config: RecorderConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Rolling latency distribution feeding the tail-retention rule.
+    latency: Histogram,
+    p99_ns: AtomicU64,
+    observed: AtomicU64,
+    retained: AtomicU64,
+    evicted: AtomicU64,
+    bytes: AtomicUsize,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder. A disabled recorder drops every record at
+    /// the cost of one branch.
+    pub fn new(config: RecorderConfig, enabled: bool) -> Self {
+        Self {
+            enabled,
+            config,
+            shards: (0..RECORDER_SHARDS).map(|_| Mutex::default()).collect(),
+            latency: Histogram::new(Clock::Virtual),
+            p99_ns: AtomicU64::new(0),
+            observed: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether this recorder keeps anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Observes one finished chain, returning the retention reason if
+    /// the chain was kept (callers use this to attach histogram
+    /// exemplars only to requests that can actually be looked up).
+    pub fn record(&self, chain: ChainRecord) -> Option<RetainReason> {
+        if !self.enabled {
+            return None;
+        }
+        let total = chain.timeline_total_ns();
+        self.latency.record_f64(total);
+        let seen = self.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen == 1 || seen.is_multiple_of(self.config.p99_refresh_every.max(1)) {
+            self.p99_ns
+                .store(self.latency.percentile_ns(0.99), Ordering::Relaxed);
+        }
+        let p99 = self.p99_ns.load(Ordering::Relaxed);
+        let reason = if chain.disposition.is_anomalous() {
+            Some(RetainReason::Disposition)
+        } else if chain.breaker_event.is_some() {
+            Some(RetainReason::BreakerEvent)
+        } else if p99 > 0 && total > p99 as f64 {
+            Some(RetainReason::TailLatency)
+        } else if self.config.sample_every > 0 && chain.id.is_multiple_of(self.config.sample_every)
+        {
+            Some(RetainReason::Sampled)
+        } else {
+            None
+        };
+        let reason = reason?;
+        self.retain(RetainedChain { chain, reason });
+        Some(reason)
+    }
+
+    fn retain(&self, record: RetainedChain) {
+        let shard_budget = (self.config.memory_budget_bytes / RECORDER_SHARDS).max(1);
+        let index = (current_thread_lane() as usize) % RECORDER_SHARDS;
+        let mut shard = match self.shards[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let added = record.chain.approx_bytes();
+        shard.bytes += added;
+        shard.chains.push_back(record);
+        self.retained.fetch_add(1, Ordering::Relaxed);
+        let mut freed = 0usize;
+        let mut evictions = 0u64;
+        while shard.bytes > shard_budget {
+            // The budget is a hard bound: shed the oldest downsampled
+            // chain first, and anomalous chains only when no
+            // downsampled chain remains.
+            let victim_at = shard
+                .chains
+                .iter()
+                .position(|c| c.reason == RetainReason::Sampled)
+                .unwrap_or(0);
+            match shard.chains.remove(victim_at) {
+                Some(victim) => {
+                    let size = victim.chain.approx_bytes();
+                    shard.bytes -= size.min(shard.bytes);
+                    freed += size;
+                    evictions += 1;
+                }
+                None => break,
+            }
+        }
+        drop(shard);
+        if evictions > 0 {
+            self.evicted.fetch_add(evictions, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(added, Ordering::Relaxed);
+        if freed > 0 {
+            // Every freed chain was added with the same deterministic
+            // size estimate, so the counter cannot underflow.
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+
+    /// Chains observed (retained or not).
+    pub fn observed(&self) -> u64 {
+        self.observed.load(Ordering::Relaxed)
+    }
+
+    /// Chains retained over the recorder's lifetime (including later
+    /// evictions).
+    pub fn retained(&self) -> u64 {
+        self.retained.load(Ordering::Relaxed)
+    }
+
+    /// Retained chains later shed to honor the memory budget.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Estimated resident bytes across all shards.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Rolling p99 of timeline latency, as last refreshed.
+    pub fn rolling_p99_ns(&self) -> u64 {
+        self.p99_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of chains currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(guard) => guard.chains.len(),
+                Err(poisoned) => poisoned.into_inner().chains.len(),
+            })
+            .sum()
+    }
+
+    /// Whether no chains are currently resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-destructive snapshot of every resident chain, sorted by
+    /// request id. Unlike `drain_spans`, snapshots may be taken
+    /// repeatedly.
+    pub fn snapshot(&self) -> Vec<RetainedChain> {
+        let mut chains: Vec<RetainedChain> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let shard = match s.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                shard.chains.iter().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        chains.sort_by_key(|c| c.chain.id);
+        chains
+    }
+
+    /// Looks up the retained chain for a request id (exemplar
+    /// resolution).
+    pub fn find(&self, id: u64) -> Option<RetainedChain> {
+        self.shards.iter().find_map(|s| {
+            let shard = match s.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            shard.chains.iter().find(|c| c.chain.id == id).cloned()
+        })
+    }
+}
+
+/// Renders one retained chain as a JSON object (used by the blackbox
+/// dump and the `health` snapshot).
+pub fn render_chain_json(out: &mut String, retained: &RetainedChain) {
+    use std::fmt::Write as _;
+    let c = &retained.chain;
+    out.push_str("{\"id\":");
+    let _ = write!(out, "{}", c.id);
+    let _ = write!(out, ",\"shape_key\":\"{:016x}\"", c.shape_key);
+    if c.worker != u64::MAX {
+        let _ = write!(out, ",\"worker\":{}", c.worker);
+    } else {
+        out.push_str(",\"worker\":null");
+    }
+    out.push_str(",\"disposition\":");
+    push_json_string(out, c.disposition.label());
+    out.push_str(",\"retained\":");
+    push_json_string(out, retained.reason.label());
+    out.push_str(",\"queue_ns\":");
+    push_json_number(out, c.queue_ns);
+    out.push_str(",\"compile_ns\":");
+    push_json_number(out, c.compile_real_ns);
+    out.push_str(",\"search_ns\":");
+    push_json_number(out, c.search_ns);
+    out.push_str(",\"cache_wait_ns\":");
+    push_json_number(out, c.cache_wait_ns);
+    out.push_str(",\"device_ns\":");
+    push_json_number(out, c.device_ns);
+    out.push_str(",\"finish_ns\":");
+    push_json_number(out, c.finish_ns);
+    let _ = write!(out, ",\"retries\":{}", c.retries);
+    out.push_str(",\"cache\":");
+    push_json_string(out, c.cache_outcome);
+    out.push_str(",\"breaker\":");
+    match c.breaker_event {
+        Some(event) => push_json_string(out, event),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"error\":");
+    match &c.error {
+        Some(error) => push_json_string(out, error),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(id: u64, disposition: ChainDisposition) -> ChainRecord {
+        ChainRecord {
+            id,
+            shape_key: 0xFEED,
+            worker: 0,
+            queue_ns: 100.0,
+            compile_real_ns: 1000.0,
+            search_ns: 400.0,
+            cache_wait_ns: 0.0,
+            device_ns: 500.0,
+            finish_ns: 1600.0 + id as f64,
+            retries: 0,
+            cache_outcome: "computed",
+            breaker_event: None,
+            disposition,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let recorder = FlightRecorder::new(RecorderConfig::default(), false);
+        assert_eq!(recorder.record(chain(0, ChainDisposition::Failed)), None);
+        assert_eq!(recorder.observed(), 0);
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn anomalous_chains_are_always_retained() {
+        let config = RecorderConfig {
+            sample_every: 0,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        for id in 0..100 {
+            let disposition = if id % 3 == 0 {
+                ChainDisposition::Failed
+            } else if id % 3 == 1 {
+                ChainDisposition::Shed
+            } else {
+                ChainDisposition::Completed
+            };
+            let reason = recorder.record(chain(id, disposition));
+            if disposition.is_anomalous() {
+                assert_eq!(reason, Some(RetainReason::Disposition));
+            }
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.len(), 67);
+        assert!(snapshot
+            .iter()
+            .all(|c| c.chain.disposition.is_anomalous() && c.reason == RetainReason::Disposition));
+    }
+
+    #[test]
+    fn healthy_chains_are_downsampled_deterministically() {
+        let config = RecorderConfig {
+            sample_every: 10,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        for id in 0..100 {
+            recorder.record(chain(id, ChainDisposition::Completed));
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.len(), 10);
+        assert!(snapshot.iter().all(|c| c.chain.id % 10 == 0));
+        assert!(snapshot.iter().all(|c| c.reason == RetainReason::Sampled));
+    }
+
+    #[test]
+    fn breaker_events_retain_completed_chains() {
+        let config = RecorderConfig {
+            sample_every: 0,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        let mut with_event = chain(3, ChainDisposition::Completed);
+        with_event.breaker_event = Some("closed");
+        assert_eq!(
+            recorder.record(with_event),
+            Some(RetainReason::BreakerEvent)
+        );
+        assert!(recorder.find(3).is_some());
+    }
+
+    #[test]
+    fn tail_latency_outliers_are_retained() {
+        let config = RecorderConfig {
+            sample_every: 0,
+            p99_refresh_every: 1,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        for id in 0..200 {
+            recorder.record(chain(id, ChainDisposition::Completed));
+        }
+        // All-constant latencies sit inside their own bucket's upper
+        // bound, so nothing is an outlier yet.
+        assert!(recorder.is_empty());
+        let mut slow = chain(900, ChainDisposition::Completed);
+        slow.device_ns = 1e9;
+        assert_eq!(recorder.record(slow), Some(RetainReason::TailLatency));
+    }
+
+    #[test]
+    fn memory_budget_is_a_hard_bound() {
+        let config = RecorderConfig {
+            memory_budget_bytes: RECORDER_SHARDS * 2048,
+            sample_every: 1,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        for id in 0..64 {
+            let mut c = chain(id, ChainDisposition::Completed);
+            c.error = Some("x".repeat(512));
+            recorder.record(c);
+        }
+        assert!(recorder.approx_bytes() <= config.memory_budget_bytes);
+        assert!(recorder.evicted() > 0);
+        // The newest chains survive; the oldest were shed.
+        let snapshot = recorder.snapshot();
+        assert_eq!(
+            snapshot.last().map(|c| c.chain.id),
+            Some(63),
+            "eviction must shed oldest-first"
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_downsampled_over_anomalous() {
+        let config = RecorderConfig {
+            memory_budget_bytes: RECORDER_SHARDS * 1200,
+            sample_every: 1,
+            ..RecorderConfig::default()
+        };
+        let recorder = FlightRecorder::new(config, true);
+        recorder.record(chain(0, ChainDisposition::Failed));
+        for id in 1..32 {
+            let mut c = chain(id, ChainDisposition::Completed);
+            c.error = Some("pad".repeat(64));
+            recorder.record(c);
+        }
+        // The lone anomalous chain outlives every healthy one that
+        // arrived after it.
+        assert!(recorder.find(0).is_some());
+    }
+
+    #[test]
+    fn chain_json_is_well_formed() {
+        let mut retained = RetainedChain {
+            chain: chain(7, ChainDisposition::Failed),
+            reason: RetainReason::Disposition,
+        };
+        retained.chain.error = Some("device-retries-exhausted".to_string());
+        let mut out = String::new();
+        render_chain_json(&mut out, &retained);
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(out.contains("\"disposition\":\"failed\""));
+        assert!(out.contains("\"error\":\"device-retries-exhausted\""));
+        assert!(out.contains("\"retained\":\"disposition\""));
+    }
+}

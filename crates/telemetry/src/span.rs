@@ -232,6 +232,9 @@ impl SpanSink {
 
     /// Takes every buffered span, sorted by start time within lanes as
     /// encountered; leaves the sink empty.
+    ///
+    /// **Destructive**: a second consumer sees an empty sink. Drain once
+    /// and share the result when multiple exporters need the spans.
     pub fn drain(&self) -> Vec<SpanRecord> {
         let mut out = Vec::new();
         for shard in &self.shards {

@@ -37,6 +37,29 @@ grep -q "^cache_hits " "$smoke_dir/metrics.txt" || {
   exit 1
 }
 
+# Observability smoke: a deadline-starved serve must trip the SLO
+# engine and auto-dump the flight-recorder blackbox, and the health
+# subcommand must emit a JSON snapshot it has already self-validated
+# against the serving report (it exits non-zero on malformed JSON or
+# any disposition-count mismatch).
+echo "==> observability smoke: serve --blackbox-out + mikpoly health --json"
+./target/release/mikpoly serve --requests 24 --workers 2 --devices 2 \
+  --deadline-us 1 --blackbox-out "$smoke_dir/blackbox.json"
+test -s "$smoke_dir/blackbox.json" || {
+  echo "error: SLO violation did not produce a blackbox dump" >&2
+  exit 1
+}
+grep -q '"chains"' "$smoke_dir/blackbox.json" || {
+  echo "error: blackbox dump carries no retained chains section" >&2
+  exit 1
+}
+./target/release/mikpoly health --requests 32 --workers 2 --seed 7 \
+  --fault-rate 0.1 --json > "$smoke_dir/health.json"
+grep -q '"completed"' "$smoke_dir/health.json" || {
+  echo "error: health snapshot is missing disposition counts" >&2
+  exit 1
+}
+
 # Chaos smoke: fixed-seed fault injection (device faults, search stalls,
 # compile panics, cache corruption) plus admission control; the binary
 # exits non-zero if any request lacks exactly one terminal disposition.

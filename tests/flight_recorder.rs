@@ -1,0 +1,150 @@
+//! Property-based tests on the flight recorder's two load-bearing
+//! contracts: the memory budget is a hard bound no matter what sizes
+//! arrive, and retention keeps every anomalous chain while healthy
+//! chains never exceed the configured sample rate.
+
+use mikpoly_suite::mikpoly::telemetry::{
+    ChainDisposition, ChainRecord, FlightRecorder, RecorderConfig, RetainReason, RECORDER_SHARDS,
+};
+use proptest::prelude::*;
+
+/// A chain with a fixed, constant timeline so the rolling-p99 tail
+/// trigger can never fire (the p99 estimate is a bucket upper bound,
+/// hence >= the constant latency). Anomalous chains carry an error
+/// string of the requested length; healthy ones carry none.
+fn chain(id: u64, disposition: ChainDisposition, error_len: usize) -> ChainRecord {
+    ChainRecord {
+        id,
+        shape_key: id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        worker: 0,
+        queue_ns: 1_000.0,
+        compile_real_ns: 0.0,
+        search_ns: 0.0,
+        cache_wait_ns: 0.0,
+        device_ns: 10_000.0,
+        finish_ns: 11_000.0,
+        retries: 0,
+        cache_outcome: "hit",
+        breaker_event: None,
+        disposition,
+        error: disposition
+            .is_anomalous()
+            .then(|| "e".repeat(error_len.max(1))),
+    }
+}
+
+fn disposition_of(tag: u8) -> ChainDisposition {
+    match tag % 4 {
+        0 => ChainDisposition::Completed,
+        1 => ChainDisposition::Degraded,
+        2 => ChainDisposition::Shed,
+        _ => ChainDisposition::Failed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memory budget is a hard bound under adversarial event sizes:
+    /// whatever mix of dispositions and error-string lengths arrives —
+    /// including single chains larger than a whole shard's budget — the
+    /// resident estimate never exceeds the configured cap, and the
+    /// resident accounting stays consistent.
+    #[test]
+    fn memory_budget_is_a_hard_bound_under_adversarial_sizes(
+        events in prop::collection::vec((0u8..4, 0usize..4096), 1..200),
+        budget_per_shard in 256usize..2048,
+    ) {
+        let budget = RECORDER_SHARDS * budget_per_shard;
+        let recorder = FlightRecorder::new(
+            RecorderConfig {
+                memory_budget_bytes: budget,
+                sample_every: 1, // retain every healthy chain: max pressure
+                p99_refresh_every: 64,
+            },
+            true,
+        );
+        for (id, (tag, error_len)) in events.iter().enumerate() {
+            recorder.record(chain(id as u64, disposition_of(*tag), *error_len));
+        }
+        prop_assert!(
+            recorder.approx_bytes() <= budget,
+            "resident estimate {} exceeds budget {}",
+            recorder.approx_bytes(),
+            budget
+        );
+        let snapshot = recorder.snapshot();
+        prop_assert_eq!(snapshot.len(), recorder.len());
+        prop_assert_eq!(
+            recorder.retained() - recorder.evicted(),
+            recorder.len() as u64
+        );
+        prop_assert_eq!(recorder.observed(), events.len() as u64);
+        // Everything in the snapshot resolves through the exemplar path.
+        for retained in &snapshot {
+            prop_assert!(recorder.find(retained.chain.id).is_some());
+        }
+    }
+
+    /// Tail-based retention: with an ample budget, 100% of non-Completed
+    /// chains are retained (reason: disposition), while Completed chains
+    /// are kept exactly at the deterministic downsample — never more
+    /// than the configured sample rate.
+    #[test]
+    fn retention_keeps_all_anomalies_and_samples_healthy_chains(
+        tags in prop::collection::vec(0u8..4, 1..300),
+        sample_every in 1u64..32,
+    ) {
+        let recorder = FlightRecorder::new(
+            RecorderConfig {
+                memory_budget_bytes: 64 << 20, // never evicts at this scale
+                sample_every,
+                p99_refresh_every: 64,
+            },
+            true,
+        );
+        let mut completed = 0u64;
+        let mut expected_sampled = 0u64;
+        let mut anomalous_ids = Vec::new();
+        for (id, tag) in tags.iter().enumerate() {
+            let disposition = disposition_of(*tag);
+            recorder.record(chain(id as u64, disposition, 16));
+            if disposition.is_anomalous() {
+                anomalous_ids.push(id as u64);
+            } else {
+                completed += 1;
+                expected_sampled += u64::from((id as u64).is_multiple_of(sample_every));
+            }
+        }
+        prop_assert_eq!(recorder.evicted(), 0);
+        // Every anomalous chain is resident, kept for its disposition.
+        for id in &anomalous_ids {
+            let retained = recorder.find(*id);
+            prop_assert!(retained.is_some(), "anomalous chain {} missing", id);
+            prop_assert_eq!(
+                retained.expect("present").reason,
+                RetainReason::Disposition
+            );
+        }
+        // Healthy chains: exactly the deterministic downsample survives
+        // (constant latency means the tail trigger cannot fire). The
+        // downsample is keyed on the request id, so the retained count
+        // never exceeds the sample rate over the id space.
+        let healthy_retained = recorder
+            .snapshot()
+            .iter()
+            .filter(|c| !c.chain.disposition.is_anomalous())
+            .map(|c| {
+                assert_eq!(c.reason, RetainReason::Sampled);
+                assert_eq!(c.chain.id % sample_every, 0);
+            })
+            .count() as u64;
+        prop_assert_eq!(healthy_retained, expected_sampled);
+        prop_assert!(healthy_retained <= tags.len() as u64 / sample_every + 1);
+        prop_assert!(healthy_retained <= completed);
+        prop_assert_eq!(
+            recorder.len() as u64,
+            healthy_retained + anomalous_ids.len() as u64
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Metric-name lint over the real instrument set.
+//!
+//! The unit tests in `mikpoly-telemetry` prove the linter flags bad
+//! names; this test proves the names the serving stack actually
+//! registers — serving, cache, and recorder-health instruments — pass
+//! it: unique across kinds, lowercase dotted, and still unique after
+//! Prometheus sanitization (`.` -> `_`).
+
+use std::sync::Arc;
+
+use mikpoly_suite::accel_sim::{Cluster, Interconnect, MachineModel};
+use mikpoly_suite::mikpoly::telemetry::Telemetry;
+use mikpoly_suite::mikpoly::{poisson_arrivals, Engine, OfflineOptions, Request, ServingRuntime};
+use mikpoly_suite::tensor_ir::{GemmShape, Operator};
+
+#[test]
+fn every_registered_metric_name_passes_lint() {
+    let mut o = OfflineOptions::fast();
+    o.n_gen = 4;
+    let engine = Arc::new(Engine::offline(MachineModel::a100(), &o));
+    let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+    let telemetry = Telemetry::enabled();
+    let shapes = [GemmShape::new(256, 256, 256), GemmShape::new(64, 64, 64)];
+    let requests: Vec<Request> = poisson_arrivals(16, 30_000.0, 11)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| Request::single(i, t, Operator::gemm(shapes[i % shapes.len()])))
+        .collect();
+    let report = ServingRuntime::new(engine, cluster, 2)
+        .with_telemetry(Arc::clone(&telemetry))
+        .serve(&requests);
+    assert_eq!(report.records.len(), requests.len());
+
+    let registry = telemetry.registry();
+    let findings = registry.lint();
+    assert!(
+        findings.is_empty(),
+        "registered metric names fail lint:\n{}",
+        findings.join("\n")
+    );
+    // The lint ran over the real instrument set, not an empty registry.
+    let snap = registry.snapshot();
+    let instruments = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+    assert!(
+        instruments >= 20,
+        "expected a fully instrumented serve, found {instruments} instruments"
+    );
+    // And the health gauges the recorder exports are part of that set.
+    for gauge in [
+        "telemetry.spans_dropped",
+        "telemetry.chains_retained",
+        "telemetry.chains_evicted",
+    ] {
+        assert!(
+            snap.gauges.iter().any(|(n, _)| n == gauge),
+            "missing recorder health gauge '{gauge}'"
+        );
+    }
+}

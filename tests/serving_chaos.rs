@@ -132,6 +132,31 @@ fn chaos_mix_yields_exactly_one_disposition_per_request() {
         snap.counter("serving.retried").unwrap_or(0),
         u64::from(retried)
     );
+
+    // Flight recorder: every anomalous request (Shed or Failed) must
+    // have a retained chain whose error reproduces the record's
+    // terminal label — the black box holds the whole story, not a
+    // sample of it.
+    let recorder = telemetry.recorder();
+    for r in &report.records {
+        if matches!(r.disposition, Disposition::Shed | Disposition::Failed) {
+            let chain = recorder
+                .find(r.id as u64)
+                .unwrap_or_else(|| panic!("no retained chain for anomalous request {}", r.id));
+            assert!(
+                chain.chain.disposition.is_anomalous(),
+                "request {} retained with a healthy disposition: {chain:?}",
+                r.id
+            );
+            let want = mikpoly_suite::mikpoly::serving::record_error_label(r);
+            assert_eq!(
+                chain.chain.error.as_deref(),
+                want,
+                "chain error for request {} disagrees with the record",
+                r.id
+            );
+        }
+    }
 }
 
 /// A leader whose compile panics must not strand coalesced followers:

@@ -122,6 +122,7 @@ fn prometheus_rendering_is_valid_text_exposition() {
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     };
     let mut declared: Vec<(String, String)> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
     // Per-histogram running check state: (family, last cumulative, last le).
     let mut cumulative: std::collections::HashMap<String, (u64, f64)> =
         std::collections::HashMap::new();
@@ -131,6 +132,17 @@ fn prometheus_rendering_is_valid_text_exposition() {
     let mut samples = 0usize;
     for line in text.lines() {
         if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().expect("HELP name");
+            assert!(valid_name(name), "illegal metric name {name:?}");
+            assert!(
+                parts.next().is_some_and(|help| !help.trim().is_empty()),
+                "HELP with no text in {line:?}"
+            );
+            helped.push(name.to_string());
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -143,6 +155,12 @@ fn prometheus_rendering_is_valid_text_exposition() {
                 "unknown TYPE {kind:?}"
             );
             assert!(parts.next().is_none(), "trailing tokens in {line:?}");
+            // Every family's HELP line immediately precedes its TYPE.
+            assert_eq!(
+                helped.last().map(String::as_str),
+                Some(name),
+                "TYPE for {name} not preceded by its HELP line"
+            );
             declared.push((name.to_string(), kind.to_string()));
             continue;
         }
