@@ -1,0 +1,161 @@
+//! Typed simulation errors.
+//!
+//! The scheduler used to enforce launch well-formedness with `assert!`
+//! and `panic!`, which meant a malformed launch reaching a serving
+//! worker outside its `catch_unwind` boundary could take the worker
+//! down. [`crate::try_simulate`] reports these as values instead; the
+//! infallible [`crate::simulate`] wrapper preserves the historical
+//! panic contract (and panic messages) for callers that treat a
+//! malformed launch as a logic bug.
+
+/// Why a launch could not be simulated.
+///
+/// Display strings deliberately match the panic messages the scheduler
+/// raised before these were typed, so `#[should_panic(expected = ...)]`
+/// pins and log scrapers keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A task group requests more warps than one PE offers.
+    WarpCapExceeded {
+        /// Warps the task needs.
+        warps: usize,
+        /// The machine's per-PE warp cap.
+        cap: usize,
+        /// Machine name.
+        machine: String,
+    },
+    /// A task's local-memory footprint exceeds `M_local`.
+    LocalMemExceeded {
+        /// The task's footprint in bytes.
+        bytes: usize,
+        /// `M_local` capacity in bytes.
+        capacity: usize,
+        /// Machine name.
+        machine: String,
+    },
+    /// A static assignment's length disagrees with its group's count.
+    AssignmentLengthMismatch {
+        /// Assignment entries provided.
+        len: usize,
+        /// Tasks in the group.
+        count: usize,
+    },
+    /// A static assignment names a PE the machine does not have.
+    AssignmentOutOfRange {
+        /// The offending PE index.
+        pe: usize,
+        /// PEs on the machine.
+        num_pes: usize,
+    },
+    /// The machine requires compiler-assigned placement but a non-empty
+    /// group carries none.
+    MissingAssignment {
+        /// Machine name.
+        machine: String,
+    },
+    /// No pending task fits on any PE while work remains — the launch
+    /// can never finish.
+    Deadlock {
+        /// Tasks still pending when progress stopped.
+        pending: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WarpCapExceeded {
+                warps,
+                cap,
+                machine,
+            } => {
+                write!(
+                    f,
+                    "task needs {warps} warps but {machine} caps PEs at {cap}"
+                )
+            }
+            SimError::LocalMemExceeded {
+                bytes,
+                capacity,
+                machine,
+            } => write!(
+                f,
+                "task local-memory footprint {bytes} B exceeds M_local = {capacity} B on {machine}"
+            ),
+            SimError::AssignmentLengthMismatch { len, count } => write!(
+                f,
+                "static assignment length must equal group count ({len} entries for {count} tasks)"
+            ),
+            SimError::AssignmentOutOfRange { pe, num_pes } => write!(
+                f,
+                "assignment targets PE out of range (PE {pe} on a {num_pes}-PE machine)"
+            ),
+            SimError::MissingAssignment { machine } => write!(
+                f,
+                "machine {machine} requires compiler-assigned placement but a task group has none"
+            ),
+            SimError::Deadlock { pending } => {
+                write!(
+                    f,
+                    "deadlock: pending tasks fit on no PE ({pending} pending)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_historical_panic_messages() {
+        // The exact substrings external `#[should_panic]` pins rely on.
+        let cases: Vec<(SimError, &str)> = vec![
+            (
+                SimError::WarpCapExceeded {
+                    warps: 9,
+                    cap: 8,
+                    machine: "a100".into(),
+                },
+                "task needs 9 warps but a100 caps PEs at 8",
+            ),
+            (
+                SimError::LocalMemExceeded {
+                    bytes: 300_000,
+                    capacity: 196_608,
+                    machine: "a100".into(),
+                },
+                "exceeds M_local",
+            ),
+            (
+                SimError::AssignmentLengthMismatch { len: 3, count: 4 },
+                "static assignment length must equal group count",
+            ),
+            (
+                SimError::AssignmentOutOfRange {
+                    pe: 40,
+                    num_pes: 32,
+                },
+                "assignment targets PE out of range",
+            ),
+            (
+                SimError::MissingAssignment {
+                    machine: "ascend910a".into(),
+                },
+                "requires compiler-assigned placement",
+            ),
+            (
+                SimError::Deadlock { pending: 7 },
+                "deadlock: pending tasks fit on no PE",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+            let _: &dyn std::error::Error = &err;
+        }
+    }
+}

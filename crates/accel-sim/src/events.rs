@@ -1,0 +1,289 @@
+//! Completion-event tracking for the fast scheduler core.
+//!
+//! The reference loop finds the next event by rescanning every resident
+//! of every PE (`min` over `remaining * factor`). The event core keeps
+//! that scan out of the hot loop with two structures:
+//!
+//! * a **busy-PE bitset** ([`PeSet`]) so the per-iteration completion
+//!   pick and the advance sweep only touch PEs that hold residents —
+//!   idle PEs cost nothing, exactly as the reference's early return;
+//! * a **cached earliest resident** per PE ([`EventPe::min_idx`]). All
+//!   residents of one PE share the congestion factor and receive the
+//!   same per-iteration progress subtraction, and IEEE-754 subtraction
+//!   of a common value (like multiplication by a common positive
+//!   factor) is monotone — so the argmin by `remaining_base_ns` is
+//!   invariant between structural changes. It is updated in O(1) on
+//!   admission and recomputed only when a resident retires.
+//!
+//! Together these make the completion pick O(busy PEs) and keep every
+//! floating-point operation **bit-identical** to the reference loop:
+//! the same subtractions in the same order on the same values, with the
+//! scans merely *located* rather than recomputed.
+
+use crate::counters::PeUtilization;
+use crate::machine::MachineModel;
+use crate::scheduler::TraceEvent;
+
+/// Completion-time comparison tolerance (ns), shared with the scheduler:
+/// residents whose remaining work is at or below this retire together,
+/// which keeps the event count proportional to the number of waves for
+/// homogeneous grids.
+pub(crate) const EPS_NS: f64 = 1e-6;
+
+/// One not-yet-admitted task, materialized lazily from its group run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingTask {
+    /// Uncontended duration, ns.
+    pub base_ns: f64,
+    /// Warp slots occupied while resident.
+    pub warps: usize,
+    /// `M_local` footprint, bytes.
+    pub local_mem: usize,
+    /// Average bandwidth demand, bytes/ns.
+    pub avg_bw: f64,
+    /// Index of the task's group within the launch.
+    pub group: usize,
+}
+
+/// One task currently resident on a PE.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    remaining_base_ns: f64,
+    warps: usize,
+    local_mem: usize,
+    avg_bw: f64,
+    group: usize,
+    start_ns: f64,
+}
+
+/// Per-PE state for the fast core: the reference `PeState` plus the
+/// cached index of the earliest-finishing resident.
+#[derive(Debug, Default)]
+pub(crate) struct EventPe {
+    residents: Vec<Resident>,
+    /// Warp slots currently occupied.
+    pub used_warps: usize,
+    /// `M_local` bytes currently occupied.
+    pub used_mem: usize,
+    bw_demand: f64,
+    factor: f64,
+    /// Utilization counters, identical to the reference accumulation.
+    pub util: PeUtilization,
+    /// Index into `residents` of the task with the least remaining base
+    /// work. Meaningless while `residents` is empty.
+    min_idx: usize,
+}
+
+impl EventPe {
+    /// A fresh idle PE (congestion factor 1.0).
+    pub fn idle() -> Self {
+        EventPe {
+            factor: 1.0,
+            ..EventPe::default()
+        }
+    }
+
+    fn recompute_factor(&mut self, pe_bw: f64) {
+        self.factor = (self.bw_demand / pe_bw).max(1.0);
+    }
+
+    /// Whether the PE currently holds residents.
+    pub fn is_busy(&self) -> bool {
+        !self.residents.is_empty()
+    }
+
+    /// Resident count (used by the advance sweep to count retirements).
+    pub fn resident_count(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Whether `t` fits in the remaining warp slots and `M_local`.
+    pub fn fits(&self, machine: &MachineModel, t: &PendingTask) -> bool {
+        self.used_warps + t.warps <= machine.warp_cap_per_pe
+            && self.used_mem + t.local_mem <= machine.local_mem_bytes
+    }
+
+    /// Whether a task with footprint `(warps, local_mem)` fits. The
+    /// admission index checks warp headroom through its buckets; this
+    /// only needs to veto on `M_local`.
+    pub fn fits_mem(&self, machine: &MachineModel, local_mem: usize) -> bool {
+        self.used_mem + local_mem <= machine.local_mem_bytes
+    }
+
+    /// Admits `t`, updating the cached argmin in O(1): a new resident
+    /// can only displace the minimum if it carries strictly less work.
+    pub fn admit(&mut self, t: &PendingTask, pe_bw: f64, now: f64) {
+        if self.residents.is_empty() || t.base_ns < self.residents[self.min_idx].remaining_base_ns {
+            self.min_idx = self.residents.len();
+        }
+        self.residents.push(Resident {
+            remaining_base_ns: t.base_ns,
+            warps: t.warps,
+            local_mem: t.local_mem,
+            avg_bw: t.avg_bw,
+            group: t.group,
+            start_ns: now,
+        });
+        self.used_warps += t.warps;
+        self.used_mem += t.local_mem;
+        self.bw_demand += t.avg_bw;
+        self.recompute_factor(pe_bw);
+    }
+
+    /// Wall-clock ns until this PE's next completion. Must only be
+    /// called while busy. Bit-identical to the reference's
+    /// `min(remaining * factor)`: multiplication by the shared positive
+    /// factor is monotone, so the cached argmin's product *is* the min.
+    pub fn next_completion_ns(&self) -> f64 {
+        debug_assert!(!self.residents.is_empty());
+        self.residents[self.min_idx].remaining_base_ns * self.factor
+    }
+
+    /// Advances the (busy) PE by `dt` ns; returns `true` if any
+    /// resident finished. The accumulation and retirement arithmetic is
+    /// a verbatim transcription of the reference `PeState::advance`.
+    pub fn advance(
+        &mut self,
+        dt: f64,
+        pe_bw: f64,
+        now: f64,
+        pe_index: usize,
+        trace: Option<&mut Vec<TraceEvent>>,
+    ) -> bool {
+        self.util.busy_ns += dt;
+        self.util.warp_ns += dt * self.used_warps as f64;
+        let progress = dt / self.factor;
+        let mut finished = false;
+        for r in &mut self.residents {
+            r.remaining_base_ns -= progress;
+        }
+        let mut events = trace;
+        self.residents.retain(|r| {
+            if r.remaining_base_ns <= EPS_NS {
+                self.used_warps -= r.warps;
+                self.used_mem -= r.local_mem;
+                self.bw_demand -= r.avg_bw;
+                self.util.tasks += 1;
+                if let Some(events) = events.as_deref_mut() {
+                    events.push(TraceEvent {
+                        pe: pe_index,
+                        group: r.group,
+                        start_ns: r.start_ns,
+                        end_ns: now,
+                        warps: r.warps,
+                    });
+                }
+                finished = true;
+                false
+            } else {
+                true
+            }
+        });
+        if finished {
+            self.recompute_factor(pe_bw);
+            // Retirement compacts `residents`; rebuild the argmin. The
+            // uniform subtraction above cannot change which survivor is
+            // minimal (monotone), so no rebuild is needed otherwise.
+            self.min_idx = 0;
+            for (i, r) in self.residents.iter().enumerate() {
+                if r.remaining_base_ns < self.residents[self.min_idx].remaining_base_ns {
+                    self.min_idx = i;
+                }
+            }
+        }
+        finished
+    }
+}
+
+/// A fixed-capacity bitset over PE indices. Backs the busy set, the
+/// static-placement dirty set, and the admission index's buckets.
+#[derive(Debug, Clone)]
+pub(crate) struct PeSet {
+    words: Vec<u64>,
+}
+
+impl PeSet {
+    /// An empty set with capacity for `num_pes` PEs.
+    pub fn new(num_pes: usize) -> Self {
+        PeSet {
+            words: vec![0; num_pes.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `pe` (idempotent).
+    pub fn insert(&mut self, pe: usize) {
+        self.words[pe / 64] |= 1 << (pe % 64);
+    }
+
+    /// Removes `pe` (idempotent).
+    pub fn remove(&mut self, pe: usize) {
+        self.words[pe / 64] &= !(1 << (pe % 64));
+    }
+
+    /// Number of backing words (for snapshot iteration).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `i`-th backing word. Snapshot a word, then walk its set bits
+    /// with `trailing_zeros` — this stays correct while bits of the
+    /// *live* set are concurrently cleared, which the advance sweep and
+    /// the dirty-set drain both rely on.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Calls `f` for every member in ascending PE order.
+    pub fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let pe = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(pe);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peset_insert_remove_iterates_ascending() {
+        let mut s = PeSet::new(130);
+        for pe in [0, 63, 64, 65, 129, 5] {
+            s.insert(pe);
+        }
+        s.remove(64);
+        s.insert(5); // idempotent
+        let mut seen = Vec::new();
+        s.for_each(|pe| seen.push(pe));
+        assert_eq!(seen, vec![0, 5, 63, 65, 129]);
+    }
+
+    #[test]
+    fn cached_argmin_tracks_admissions_and_retirements() {
+        let m = MachineModel::a100();
+        let pe_bw = m.pe_bandwidth_bytes_per_ns();
+        let mut pe = EventPe::idle();
+        let task = |base_ns: f64| PendingTask {
+            base_ns,
+            warps: 1,
+            local_mem: 1024,
+            avg_bw: 0.001,
+            group: 0,
+        };
+        pe.admit(&task(300.0), pe_bw, 0.0);
+        pe.admit(&task(100.0), pe_bw, 0.0);
+        pe.admit(&task(200.0), pe_bw, 0.0);
+        assert!((pe.next_completion_ns() - 100.0).abs() < 1e-9);
+        // Advance to the earliest completion: the 100 ns task retires
+        // and the argmin is rebuilt over the survivors.
+        let dt = pe.next_completion_ns();
+        assert!(pe.advance(dt, pe_bw, dt, 0, None));
+        assert_eq!(pe.resident_count(), 2);
+        assert!((pe.next_completion_ns() - 100.0).abs() < 1e-6);
+    }
+}

@@ -47,26 +47,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod cluster;
 mod counters;
+mod error;
+mod events;
 mod fault;
 pub mod invariants;
 mod machine;
 mod noise;
+#[cfg(any(test, feature = "reference-sim"))]
+pub mod reference;
 mod scheduler;
 mod task;
 mod timing;
 
 pub use cluster::{Cluster, Interconnect};
 pub use counters::{PeUtilization, SimReport};
+pub use error::SimError;
 pub use fault::FaultPlan;
 pub use invariants::{
     check_deterministic_replay, check_launch, check_report, check_trace, InvariantViolation,
 };
 pub use machine::{AllocationPolicy, MachineModel, MmaShape};
 pub use noise::{hash_f64, unit_noise};
+#[cfg(any(test, feature = "reference-sim"))]
+pub use reference::{simulate_reference, simulate_reference_profiled, simulate_reference_traced};
 pub use scheduler::{
-    simulate, simulate_launches, simulate_profiled, simulate_traced, SimProfile, TraceEvent,
+    simulate, simulate_launches, simulate_profiled, simulate_traced, try_simulate,
+    try_simulate_launches, try_simulate_traced, SimProfile, TraceEvent,
 };
 pub use task::{Launch, TaskGroup, TaskShape, TaskSpec};
 pub use timing::{

@@ -27,6 +27,7 @@ pub mod npu_e2e;
 pub mod oracle_gap;
 pub mod oracle_gap_hard;
 pub mod sim_profile;
+pub mod sim_throughput;
 pub mod tab05;
 pub mod tab08;
 pub mod tables;
@@ -68,6 +69,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("chaos-serving", chaos_serving::run),
         ("cache-bench", cache_bench::run),
         ("sim-profile", sim_profile::run),
+        ("sim-throughput", sim_throughput::run),
         ("ext-colaunch", ext_colaunch::run),
         ("abl-patterns", abl_patterns::run),
         ("abl-search", abl_search::run),

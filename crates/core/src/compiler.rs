@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use accel_sim::{simulate, FaultPlan, Launch, MachineModel, SimReport, TimingMode};
+use accel_sim::{FaultPlan, Launch, MachineModel, SimReport, TimingMode};
 use mikpoly_telemetry::{span, Clock, Telemetry};
 use tensor_ir::Operator;
 
@@ -752,19 +752,37 @@ impl MikPoly {
 
     /// Simulates a compiled program on the target (noise-free evaluation
     /// mode), including the split-K reduction pass when present.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program's launch is malformed; the serving path
+    /// goes through [`MikPoly::try_simulate`] instead.
     pub fn simulate(&self, program: &CompiledProgram) -> SimReport {
+        self.try_simulate(program).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`MikPoly::simulate`]: a launch the simulator
+    /// rejects surfaces as [`MikPolyError::MalformedLaunch`] so a bad
+    /// program reaching a serving worker is a disposition, not a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`MikPolyError::MalformedLaunch`] carrying the simulator's typed
+    /// rejection.
+    pub fn try_simulate(&self, program: &CompiledProgram) -> Result<SimReport, MikPolyError> {
         match program.reduction_launch() {
-            None => simulate(
+            None => accel_sim::try_simulate(
                 &self.machine,
                 &self.launch_for(program),
                 TimingMode::Evaluate,
             ),
-            Some(reduction) => accel_sim::simulate_launches(
+            Some(reduction) => accel_sim::try_simulate_launches(
                 &self.machine,
                 &[self.launch_for(program), reduction],
                 TimingMode::Evaluate,
             ),
         }
+        .map_err(|source| MikPolyError::MalformedLaunch { source })
     }
 
     /// Compiles and simulates an operator in one call.
@@ -784,7 +802,9 @@ impl MikPoly {
     ///
     /// # Errors
     ///
-    /// Exactly those of [`MikPoly::try_compile`].
+    /// Those of [`MikPoly::try_compile`], plus
+    /// [`MikPolyError::MalformedLaunch`] when the compiled program's
+    /// device launch is rejected by the simulator.
     pub fn try_run(
         &self,
         operator: &Operator,
@@ -834,7 +854,7 @@ impl MikPoly {
                     .add(u64::from(reply.poison_retries));
             }
         }
-        let report = self.simulate(&reply.program);
+        let report = self.try_simulate(&reply.program)?;
         Ok(OperatorRun {
             program: reply.program,
             report,

@@ -55,6 +55,15 @@ pub enum MikPolyError {
         /// The panic payload, when it was a string.
         reason: String,
     },
+    /// The compiled program produced a device launch the simulator
+    /// rejected (warp cap, `M_local`, malformed static placement, or an
+    /// admission deadlock). Reported as a value so a malformed launch
+    /// cannot take a serving worker down outside its `catch_unwind`
+    /// boundary.
+    MalformedLaunch {
+        /// The simulator's typed rejection.
+        source: accel_sim::SimError,
+    },
 }
 
 impl std::fmt::Display for MikPolyError {
@@ -79,11 +88,21 @@ impl std::fmt::Display for MikPolyError {
             MikPolyError::CompilePanicked { reason } => {
                 write!(f, "compilation panicked: {reason}")
             }
+            MikPolyError::MalformedLaunch { source } => {
+                write!(f, "malformed device launch: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for MikPolyError {}
+impl std::error::Error for MikPolyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MikPolyError::MalformedLaunch { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Renders a `catch_unwind` payload as the human-readable reason it
 /// usually carries (panics raised via `panic!("...")` are `String` or
@@ -138,6 +157,12 @@ mod tests {
                     reason: "boom".into(),
                 },
                 "boom",
+            ),
+            (
+                MikPolyError::MalformedLaunch {
+                    source: accel_sim::SimError::Deadlock { pending: 3 },
+                },
+                "malformed device launch",
             ),
         ];
         for (err, needle) in cases {

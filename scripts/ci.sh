@@ -78,6 +78,14 @@ echo "==> cache smoke: mikpoly cache-bench (stress + restart gates)"
 ./target/release/mikpoly cache-bench --threads 4 --ops 100000 --keys 2048 \
   --restart-entries 10000 --restart-budget-ms 1000
 
+# Simulator throughput gate: the event-driven scheduler core must hold
+# >= 10x the frozen reference loop (compiled via the `reference-sim`
+# feature) and an absolute floor of 14M simulated tasks per host second
+# — 10x the pre-rebuild scan-loop baseline. Records the measurement in
+# results/sim-throughput.json; the run exits non-zero below either gate.
+echo "==> sim-throughput gate (event core >= 10x reference, floor 14M tasks/s)"
+./target/release/experiments sim-throughput
+
 # Conformance: a bounded differential-fuzz smoke (fixed seed, well under
 # 30 s in release) that replays the regression corpus first, then the
 # cost-model-fidelity gate over the pinned shape corpus. Scale the fuzz
