@@ -8,8 +8,15 @@
 //! the task groups of all its compiled programs into one launch — is free
 //! composition: the hardware scheduler interleaves them, recovering the
 //! parallelism each small operator leaves on the table.
+//!
+//! The wave planning is shared with the serving dispatcher
+//! ([`mikpoly::serving::colaunch`]): a stage's programs are packed into
+//! waves by warp-slot demand against the machine's capacity, so this
+//! offline study and online batched serving cannot drift apart on what
+//! "co-launch" means.
 
-use accel_sim::{simulate, Launch, TimingMode};
+use accel_sim::{simulate, TimingMode};
+use mikpoly::serving::colaunch::{merge_launches, plan_waves, warp_capacity, warp_slots};
 use mikpoly::TemplateKind;
 use mikpoly_models::CnnConfig;
 
@@ -40,6 +47,7 @@ pub fn run(h: &Harness) -> Vec<Report> {
         ],
     );
     let sweep: &[(usize, usize)] = &[(1, 224), (4, 224), (1, 96), (8, 320)];
+    let capacity = warp_capacity(&gpu);
     let mut per_model: Vec<(String, Vec<f64>)> = Vec::new();
     for cfg in [CnnConfig::googlenet(), CnnConfig::resnet18()] {
         let mut speedups = Vec::new();
@@ -48,15 +56,21 @@ pub fn run(h: &Harness) -> Vec<Report> {
             let mut sequential = 0.0;
             let mut colaunched = 0.0;
             for stage in graph.stages() {
-                let mut merged: Vec<accel_sim::TaskGroup> = Vec::new();
+                let mut launches = Vec::new();
                 for op in &stage {
                     let compiler = compiler_for(&op.operator);
                     let program = compiler.compile(&op.operator);
                     sequential += compiler.simulate(&program).time_ns * op.count as f64;
-                    merged.extend(program.launch_dynamic().groups);
+                    launches.push(program.launch_dynamic());
                 }
-                let launch = Launch::from_groups(merged);
-                colaunched += simulate(&gpu, &launch, TimingMode::Evaluate).time_ns;
+                // Pack the stage into waves under the machine's warp-slot
+                // capacity (the serving planner's resource-fit rule), then
+                // time each merged wave.
+                let demands: Vec<u64> = launches.iter().map(warp_slots).collect();
+                for wave in plan_waves(&demands, capacity) {
+                    let launch = merge_launches(wave.iter().map(|&i| &launches[i]));
+                    colaunched += simulate(&gpu, &launch, TimingMode::Evaluate).time_ns;
+                }
             }
             speedups.push(sequential / colaunched);
             report.push_row(vec![

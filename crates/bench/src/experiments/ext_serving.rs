@@ -67,6 +67,7 @@ fn merged_stream(
                     .map(|op| (op.operator, op.count))
                     .collect(),
                 deadline_ns: None,
+                tenant: 0,
             });
         }
     }

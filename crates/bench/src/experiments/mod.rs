@@ -4,6 +4,7 @@
 
 pub mod abl_patterns;
 pub mod abl_search;
+pub mod batch_serving;
 pub mod cache_bench;
 pub mod case_study;
 pub mod chaos_serving;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("ext-portability", ext_portability::run),
         ("ext-splitk", ext_splitk::run),
         ("ext-serving", ext_serving::run),
+        ("batch-serving", batch_serving::run),
         ("chaos-serving", chaos_serving::run),
         ("cache-bench", cache_bench::run),
         ("sim-profile", sim_profile::run),

@@ -6,6 +6,7 @@
 //! mikpoly library [--machine ...]            # show the tuned kernel library
 //! mikpoly serve [--workers N] [--devices N] [--requests N]
 //!               [--utilization F] [--seed N] [--deadline-us N] [--machine ...]
+//!               [--tenants N] [--batch-window-us N] [--max-batch N]
 //!               [--trace-out trace.json] [--metrics-out metrics.txt]
 //!               [--blackbox-out blackbox.json]
 //! mikpoly stats [serve flags] [--json]       # telemetered serve + metrics table
@@ -51,9 +52,9 @@ use accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
 use mikpoly::serving::poisson_arrivals;
 use mikpoly::telemetry::{render_blackbox, SloPolicy, Telemetry};
 use mikpoly::{
-    encode_bundle, BreakerPolicy, CacheStats, CompiledProgram, Disposition, Engine, MikPoly,
-    OfflineOptions, OnlineOptions, PatternId, Region, Request, ServingOptions, ServingRuntime,
-    ShardedCache, TemplateKind,
+    encode_bundle, BatchingOptions, BreakerPolicy, CacheStats, CompiledProgram, Disposition,
+    Engine, MikPoly, OfflineOptions, OnlineOptions, PatternId, Region, Request, ServingOptions,
+    ServingRuntime, ShardedCache, TemplateKind, TenantPolicy, TenantQuota,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -216,6 +217,12 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
         usage("serve needs positive --workers/--devices/--requests/--utilization");
     }
     let deadline_us: Option<f64> = parsed_flag(args, "--deadline-us");
+    let tenants: u32 = parsed_flag(args, "--tenants").unwrap_or(1);
+    let batch_window_us: Option<f64> = parsed_flag(args, "--batch-window-us");
+    let max_batch: usize = parsed_flag(args, "--max-batch").unwrap_or(8);
+    if tenants == 0 || max_batch == 0 || batch_window_us.is_some_and(|w| w < 0.0) {
+        usage("serve needs positive --tenants/--max-batch and a non-negative --batch-window-us");
+    }
     let trace_out = flag_value(args, "--trace-out");
     let metrics_out = flag_value(args, "--metrics-out");
     let blackbox_out = flag_value(args, "--blackbox-out");
@@ -268,11 +275,29 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
             arrival_ns,
             ops: layer(len),
             deadline_ns: deadline_us.map(|us| arrival_ns + us * 1e3),
+            tenant: id as u32 % tenants,
         })
         .collect();
 
+    // Batching and tenancy are strictly opt-in: without the flags the
+    // options below are the defaults and the solo dispatcher runs.
+    let options = ServingOptions {
+        batching: batch_window_us.map(|us| BatchingOptions::new(us * 1e3, max_batch)),
+        tenancy: (tenants > 1).then(|| {
+            TenantPolicy::new(
+                (0..tenants)
+                    .map(|t| TenantQuota {
+                        tenant: t,
+                        weight: 1.0,
+                        max_waiting: None,
+                    })
+                    .collect(),
+            )
+        }),
+        ..ServingOptions::default()
+    };
     let cluster = Cluster::new(machine, devices, Interconnect::nvlink3());
-    let runtime = ServingRuntime::new(engine, cluster, workers);
+    let runtime = ServingRuntime::new(engine, cluster, workers).with_options(options);
     let t1 = std::time::Instant::now();
     let report = runtime.serve(&requests);
     let wall = t1.elapsed();
@@ -323,6 +348,24 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
                 c.coalesced_waits,
                 c.hit_rate() * 100.0
             );
+            if batch_window_us.is_some() {
+                println!(
+                    "batching: {:.2} mean wave size over executed requests",
+                    report.mean_batch_size()
+                );
+            }
+            if tenants > 1 {
+                for t in report.tenant_stats() {
+                    println!(
+                        "tenant {}: {:>4} requests, {:>4} served, {:>3} shed, {:.0} req/s goodput",
+                        t.tenant,
+                        t.requests,
+                        t.dispositions.served(),
+                        t.dispositions.shed,
+                        t.goodput_rps
+                    );
+                }
+            }
         }
         ServeMode::Stats => {
             if has_flag(args, "--json") {

@@ -80,6 +80,36 @@ impl GraphRun {
     }
 }
 
+/// The device launches behind one operator of a compiled forward pass —
+/// what the serving co-launch planner merges across requests. Solo
+/// execution simulates `launch` (then `reduction`, when split-K produced
+/// one) `count` times; a co-launched wave instead merges the launches of
+/// several requests and simulates the merged grid once.
+#[derive(Debug, Clone)]
+pub struct OpPlan {
+    /// The operator's device launch (dynamic or static placement, per the
+    /// machine's allocation policy).
+    pub launch: accel_sim::Launch,
+    /// The split-K reduction pass chained after `launch`, when present.
+    pub reduction: Option<accel_sim::Launch>,
+    /// Executions of this operator per request (the graph's weight).
+    pub count: usize,
+    /// Simulated solo device time of one execution (launch plus
+    /// reduction), ns — the co-launch planner's no-merge baseline.
+    pub solo_ns: f64,
+}
+
+/// A compiled forward pass with its per-operator launches retained:
+/// [`GraphRun`] aggregates plus everything needed to co-launch the
+/// request into a shared wave.
+#[derive(Debug, Clone, Default)]
+pub struct GraphPlan {
+    /// The aggregate timing/accounting of the compile-and-simulate pass.
+    pub run: GraphRun,
+    /// Per-operator launches, in graph order.
+    pub ops: Vec<OpPlan>,
+}
+
 /// A dynamic-shape inference engine: per-template MikPoly compilers plus
 /// algorithm selection.
 ///
@@ -273,25 +303,56 @@ impl Engine {
         ops: impl IntoIterator<Item = (&'a Operator, usize)>,
         budget: CompileBudget,
     ) -> Result<GraphRun, MikPolyError> {
-        let mut out = GraphRun::default();
+        Ok(self.try_plan_graph(ops, budget)?.run)
+    }
+
+    /// Like [`Engine::try_run_graph`], but also retains each operator's
+    /// device launches so the caller can co-launch the request with
+    /// others (see [`crate::serving::colaunch`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Engine::try_run_graph`].
+    pub fn try_plan_graph<'a>(
+        &self,
+        ops: impl IntoIterator<Item = (&'a Operator, usize)>,
+        budget: CompileBudget,
+    ) -> Result<GraphPlan, MikPolyError> {
+        let mut out = GraphPlan::default();
         for (op, count) in ops {
             let result = self.try_run_operator(op, budget)?;
-            out.device_ns += result.run.report.time_ns * count as f64;
-            out.compile_ns += result.run.compile_ns;
+            out.run.device_ns += result.run.report.time_ns * count as f64;
+            out.run.compile_ns += result.run.compile_ns;
             match result.run.outcome {
                 CacheOutcome::Hit => {}
                 CacheOutcome::Computed => {
-                    out.compilations += 1;
-                    out.search_ns += result.run.program.stats.search_ns;
+                    out.run.compilations += 1;
+                    out.run.search_ns += result.run.program.stats.search_ns;
                 }
-                CacheOutcome::Waited => out.cache_wait_ns += result.run.compile_ns,
+                CacheOutcome::Waited => out.run.cache_wait_ns += result.run.compile_ns,
             }
             if result.run.grade == CompileGrade::Degraded {
-                out.degraded += 1;
+                out.run.degraded += 1;
             }
-            out.executions += count;
+            out.run.executions += count;
+            out.ops.push(OpPlan {
+                launch: self.launch_for(&result.run.program),
+                reduction: result.run.program.reduction_launch(),
+                count,
+                solo_ns: result.run.report.time_ns,
+            });
         }
         Ok(out)
+    }
+
+    /// The device launch for a compiled program, routed through the
+    /// template compiler that owns its placement policy (mirrors
+    /// [`Engine::simulate`]).
+    pub fn launch_for(&self, program: &crate::plan::CompiledProgram) -> accel_sim::Launch {
+        match program.operator {
+            Operator::Conv2d { .. } => self.conv.launch_for(program),
+            _ => self.gemm.launch_for(program),
+        }
     }
 
     /// Installs (or clears) the fault-injection schedule on both template
@@ -410,6 +471,25 @@ mod tests {
         assert_eq!(result.executions, 5);
         assert_eq!(result.compilations, 1);
         assert!(result.device_ns > 0.0);
+    }
+
+    #[test]
+    fn plan_graph_matches_run_graph_and_carries_launches() {
+        let e = engine(ConvAlgorithm::ImplicitGemm);
+        let a = Operator::gemm(GemmShape::new(300, 200, 100));
+        let b = Operator::gemm(GemmShape::new(64, 64, 64));
+        let plan = e
+            .try_plan_graph([(&a, 2), (&b, 1)], CompileBudget::default())
+            .expect("plan");
+        assert_eq!(plan.ops.len(), 2);
+        assert_eq!(plan.run.executions, 3);
+        // The retained launches reproduce the aggregate device time.
+        let from_plans: f64 = plan.ops.iter().map(|p| p.solo_ns * p.count as f64).sum();
+        assert!((from_plans - plan.run.device_ns).abs() < 1e-6);
+        for op in &plan.ops {
+            assert!(op.launch.grid_size() > 0);
+            assert!(op.solo_ns > 0.0);
+        }
     }
 
     #[test]

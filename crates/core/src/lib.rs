@@ -71,7 +71,7 @@ pub use compiler::{
     OracleResult,
 };
 pub use cost::{f_pipe, f_wave, region_cost, CostModelKind};
-pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphRun};
+pub use engine::{ConvAlgorithm, Engine, EngineRun, GraphPlan, GraphRun, OpPlan};
 pub use error::{panic_reason, MikPolyError};
 pub use exec::{execute_conv2d, execute_gemm};
 pub use kernel::{MicroKernel, MicroKernelId};
@@ -90,8 +90,9 @@ pub use search::{
     try_polymerize_traced, SearchPolicy, SearchRun,
 };
 pub use serving::{
-    percentile, poisson_arrivals, Disposition, DispositionCounts, LatencySummary, Request,
-    RequestRecord, ServingOptions, ServingReport, ServingRuntime, ShedReason, WorkerStats,
+    percentile, poisson_arrivals, BatchingOptions, Disposition, DispositionCounts, LatencySummary,
+    Request, RequestRecord, ServingOptions, ServingReport, ServingRuntime, ShedReason, TenantId,
+    TenantPolicy, TenantQuota, TenantStats, WorkerStats,
 };
 
 /// The observability layer (re-exported so downstream crates need no

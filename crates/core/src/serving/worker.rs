@@ -1,178 +1,52 @@
-//! Concurrent serving runtime over a shared [`Engine`].
+//! The serving runtime: worker pools, the solo dispatcher, and the
+//! batched/co-launch dispatcher.
 //!
-//! The paper motivates dynamic-shape compilation with model serving, where
-//! requests with runtime-determined shapes arrive continuously. This
-//! module closes that loop: a pool of worker threads serves a request
-//! stream from one shared engine, exercising the sharded single-flight
-//! program cache exactly as a real server would — concurrent first-sight
-//! shapes coalesce onto one polymerization, repeats hit without blocking
-//! writers.
+//! Both dispatchers share admission semantics, the compile phase
+//! ([`ServingRuntime::compile_request`]: breaker check, panic-isolated
+//! budgeted compile, degraded fallback, deterministic device-fault retry
+//! schedule), and the reporting tail. They differ in what happens after
+//! a request's program is ready:
 //!
-//! # Timing methodology
-//!
-//! Each request's latency decomposes into three parts measured on two
-//! different clocks:
-//!
-//! * **compile** — *real* wall-clock nanoseconds the worker spent in
-//!   online polymerization (zero on a cache hit; the coalesced-wait time
-//!   when another worker was compiling the same shape). This is the
-//!   overhead MikPoly actually pays on the host.
-//! * **device** — *simulated* device nanoseconds from the accelerator
-//!   model, plus the cluster's dispatch latency when the device pool is
-//!   remote (more than one device behind an interconnect).
-//! * **queue** — *virtual* waiting time: from arrival until a worker and
-//!   a device were both free. Arrivals are virtual timestamps (e.g.
-//!   Poisson via [`poisson_arrivals`]); each worker advances a virtual
-//!   clock `free_at`, and the device pool keeps a per-device virtual
-//!   free time, so queueing behaviour is deterministic under a seed while
-//!   compile times remain real measurements.
-//!
-//! Workers pull requests in arrival order from a shared cursor (FIFO
-//! dispatch to the first idle worker), which is the M/G/m discipline the
-//! tail-latency experiment models.
-//!
-//! The real work (compilation) runs in parallel across OS threads, but
-//! the *virtual* bookkeeping — which worker slot and device a request
-//! takes, and when — is applied in strict arrival order behind a ticket
-//! sequencer. The virtual timeline is therefore a deterministic function
-//! of the request stream and the measured compile durations, never of OS
-//! scheduling: a starved thread cannot skew queueing, and enabling
-//! telemetry cannot shift throughput.
-//!
-//! # Fault tolerance
-//!
-//! With [`ServingOptions`] the runtime becomes a fault-tolerant server:
-//! every request terminates with exactly one [`Disposition`], and a
-//! poisoned request can degrade *its own* answer but never wedge a worker
-//! or a follower.
-//!
-//! * **Admission control** — a request whose [`Request::deadline_ns`]
-//!   already passed at arrival is shed *before any compile work*; one
-//!   whose service would start past its deadline is shed at dispatch; and
-//!   when [`ServingOptions::queue_capacity`] is set, a request that would
-//!   have to wait behind a full queue is shed rather than enqueued. Shed
-//!   requests consume no virtual resources.
-//! * **Degradation ladder** — the compile phase runs under
-//!   [`ServingOptions::compile_budget`]: the staged search first yields
-//!   its deadline-cut incumbent, and if the full path fails outright
-//!   (typed error or panic — both isolated with `catch_unwind`), a
-//!   search-free fallback compile produces a correct, slower program. Only
-//!   when the fallback fails too is the request [`Disposition::Failed`].
-//! * **Transient retries** — injected device faults
-//!   ([`ServingOptions::fault_plan`]) are retried with exponential
-//!   backoff in virtual device time per [`ServingOptions::retry`];
-//!   exhausting the budget fails the request.
-//! * **Circuit breaker** — [`ServingOptions::breaker`] keys a
-//!   [`CircuitBreaker`] by request shape: persistently failing shapes
-//!   route straight to the degraded path until a cooldown elapses and a
-//!   single probe retries the full path.
+//! * **solo** (default) — the worker holds the request through device
+//!   execution; virtual bookkeeping runs in strict arrival order behind
+//!   a ticket [`Sequencer`] while real compile work overlaps across OS
+//!   threads (PR 5 behaviour, bit-for-bit).
+//! * **batched** ([`ServingOptions::batching`]) — the worker is released
+//!   at compile-done; ready requests enter shape buckets
+//!   ([`super::batching`]) and flushed buckets are packed into co-launch
+//!   waves ([`super::colaunch`]) that share one device launch. Compiles
+//!   still run in parallel (phase A); the dispatch timeline is then
+//!   computed single-threaded (phase B), which is deterministic by
+//!   construction — no sequencer needed.
 
-#![warn(clippy::unwrap_used, clippy::expect_used)]
-
-use std::collections::hash_map::DefaultHasher;
-use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use accel_sim::{Cluster, FaultPlan};
-use mikpoly_telemetry::{
-    ChainDisposition, ChainRecord, Clock, ClockNs, Histogram, Lane, LatencyStats, SloEngine,
-    SloObservation, SloPolicy, SloReport, SpanRecord, Telemetry,
-};
-use tensor_ir::Operator;
+use mikpoly_telemetry::{Clock, ClockNs, Telemetry};
 
-use crate::cache::CacheStats;
+use super::admission::{FairMeter, TenantPolicy, WaitQueue};
+use super::batching::{form_batches, BatchingOptions, ReadyEvent};
+use super::colaunch::{plan_demand, plan_waves, warp_capacity, wave_device_ns};
+use super::report::{
+    describe_serving_metrics, emit_request_telemetry, EmitContext, ServingReport, WorkerStats,
+};
+use super::request::{
+    request_shape_key, shed_record, Disposition, Request, RequestRecord, ShedReason, NO_SLOT,
+};
 use crate::compiler::CompileBudget;
-use crate::engine::{Engine, GraphRun};
+use crate::engine::{Engine, GraphPlan};
 use crate::resilience::{BreakerDecision, BreakerPolicy, CircuitBreaker, RetryPolicy};
 
-/// Sentinel for "no worker/device slot": shed requests never occupy one.
-const NO_SLOT: usize = usize::MAX;
-
-/// One inference request: a weighted operator list (one forward pass)
-/// arriving at a virtual timestamp.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Stream-unique id (records are reported in id order).
-    pub id: usize,
-    /// Virtual arrival time, ns from stream start.
-    pub arrival_ns: f64,
-    /// The operators of the forward pass, each with an execution count.
-    pub ops: Vec<(Operator, usize)>,
-    /// Virtual deadline, ns from stream start: the request is shed unless
-    /// its service can *start* by this time. `None` means no deadline.
-    pub deadline_ns: Option<f64>,
-}
-
-impl Request {
-    /// A single-operator request with no deadline.
-    pub fn single(id: usize, arrival_ns: f64, operator: Operator) -> Self {
-        Self {
-            id,
-            arrival_ns,
-            ops: vec![(operator, 1)],
-            deadline_ns: None,
-        }
-    }
-
-    /// Sets the virtual deadline (builder style).
-    #[must_use]
-    pub fn with_deadline(mut self, deadline_ns: f64) -> Self {
-        self.deadline_ns = Some(deadline_ns);
-        self
-    }
-}
-
-/// How a request's service terminated. Every request gets exactly one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Disposition {
-    /// Served with a fully-searched program.
-    Completed,
-    /// Served correctly but with a degraded program (deadline-cut search
-    /// incumbent, search-free fallback, or an open breaker's detour).
-    Degraded,
-    /// Rejected by admission control before consuming virtual resources
-    /// (see [`RequestRecord::shed_reason`]).
-    Shed,
-    /// Admitted but not served: both compile paths failed, or device
-    /// retries were exhausted.
-    Failed,
-}
-
-/// Why admission control rejected a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ShedReason {
-    /// The deadline had already passed when the request arrived; it was
-    /// shed before any compile work.
-    DeadlineAtEnqueue,
-    /// Service would have started after the deadline.
-    DeadlineAtDispatch,
-    /// The bounded wait queue was full at enqueue time.
-    QueueFull,
-}
-
-impl ShedReason {
-    /// Stable lowercase label, used as the flight-recorder chain's error
-    /// string for shed requests.
-    pub fn label(self) -> &'static str {
-        match self {
-            ShedReason::DeadlineAtEnqueue => "deadline-at-enqueue",
-            ShedReason::DeadlineAtDispatch => "deadline-at-dispatch",
-            ShedReason::QueueFull => "queue-full",
-        }
-    }
-}
-
-/// Fault-tolerance policy for one [`ServingRuntime`]. The default is the
-/// fault-free fast path: no deadlines enforced beyond the requests' own,
-/// unbounded queue, no breaker, no injected faults.
+/// Fault-tolerance and dispatch policy for one [`ServingRuntime`]. The
+/// default is the fault-free solo fast path: no deadlines enforced beyond
+/// the requests' own, unbounded queue, no breaker, no injected faults,
+/// no batching, no tenant quotas.
 #[derive(Debug, Clone, Default)]
 pub struct ServingOptions {
     /// Bound on requests admitted but waiting for a worker; `None` is
@@ -189,257 +63,19 @@ pub struct ServingOptions {
     /// Deterministic fault-injection plan, installed into the engine's
     /// compilers for the duration of each [`ServingRuntime::serve`] call.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Continuous batching + co-launch. `None` (default) keeps the solo
+    /// dispatcher.
+    pub batching: Option<BatchingOptions>,
+    /// Per-tenant quotas and fair-share weights. `None` (default) treats
+    /// the stream as single-tenant.
+    pub tenancy: Option<TenantPolicy>,
 }
 
-/// Per-request latency decomposition (see the module docs for which parts
-/// are real versus virtual time).
-#[derive(Debug, Clone, Copy)]
-pub struct RequestRecord {
-    /// The request's id.
-    pub id: usize,
-    /// Worker slot that served it (`usize::MAX` for shed requests,
-    /// which never occupy one — see [`RequestRecord::executed`]).
-    pub worker: usize,
-    /// Device that executed it (`usize::MAX` when none did).
-    pub device: usize,
-    /// Virtual wait for a worker plus a device, ns.
-    pub queue_ns: f64,
-    /// Online-compilation wall clock, explicitly labelled as **real**
-    /// time (zero when fully cache-hit) — the clock tag is what keeps it
-    /// from being summed into virtual durations unannotated.
-    pub compile: ClockNs,
-    /// Portion of the compile window the polymerization search took
-    /// (real ns; fresh compilations only).
-    pub search_ns: u128,
-    /// Portion of the compile window spent blocked on another worker's
-    /// in-flight compilation of the same shape (real ns).
-    pub cache_wait_ns: u128,
-    /// Simulated device time including dispatch and any fault retries
-    /// with their backoffs, ns.
-    pub device_ns: f64,
-    /// Virtual completion time, ns from stream start (arrival time for
-    /// shed requests).
-    pub finish_ns: f64,
-    /// How service terminated.
-    pub disposition: Disposition,
-    /// Set iff `disposition` is [`Disposition::Shed`].
-    pub shed_reason: Option<ShedReason>,
-    /// Device-fault retries this request paid for (in backoff + re-run
-    /// virtual time).
-    pub retries: u32,
-    /// The request's deadline, copied through so SLO evaluation can
-    /// compute deadline-hit rates from records alone.
-    pub deadline_ns: Option<f64>,
-    /// Circuit-breaker transition observed while serving this request:
-    /// `"opened"` (this request's failure tripped the breaker),
-    /// `"closed"` (its probe succeeded), or `"short-circuit"` (an open
-    /// breaker routed it straight to the degraded path).
-    pub breaker_event: Option<&'static str>,
-}
-
-impl RequestRecord {
-    /// End-to-end latency on the serving timeline: queueing + the compile
-    /// window (a real-clock measurement explicitly projected onto the
-    /// virtual timeline, 1:1 — the worker really is occupied that long
-    /// while virtual arrivals accumulate) + device, ns.
-    pub fn timeline_total_ns(&self) -> f64 {
-        self.queue_ns + self.compile.onto_virtual_timeline() + self.device_ns
-    }
-
-    /// Whether the request ran on a device (shed requests and
-    /// compile-failed requests did not).
-    pub fn executed(&self) -> bool {
-        self.device != NO_SLOT
-    }
-}
-
-/// Per-worker accounting over one [`ServingRuntime::serve`] call.
-#[derive(Debug, Clone, Copy)]
-pub struct WorkerStats {
-    /// Worker index.
-    pub worker: usize,
-    /// Requests this worker served.
-    pub requests: usize,
-    /// Virtual busy time (compile + device across its requests), ns.
-    pub busy_ns: f64,
-    /// `busy_ns` over the stream's makespan.
-    pub utilization: f64,
-}
-
-/// How many requests ended in each [`Disposition`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DispositionCounts {
-    /// Served with a fully-searched program.
-    pub completed: usize,
-    /// Served with a degraded program.
-    pub degraded: usize,
-    /// Rejected by admission control.
-    pub shed: usize,
-    /// Admitted but not served.
-    pub failed: usize,
-}
-
-impl DispositionCounts {
-    /// Total requests across all dispositions.
-    pub fn total(&self) -> usize {
-        self.completed + self.degraded + self.shed + self.failed
-    }
-
-    /// Requests that produced an answer (completed + degraded).
-    pub fn served(&self) -> usize {
-        self.completed + self.degraded
-    }
-}
-
-/// Everything one `serve` call observed.
-#[derive(Debug, Clone)]
-pub struct ServingReport {
-    /// Per-request records, in request-id order.
-    pub records: Vec<RequestRecord>,
-    /// Per-worker accounting.
-    pub workers: Vec<WorkerStats>,
-    /// Engine program-cache counters after the stream (GEMM and conv
-    /// caches merged).
-    pub cache: CacheStats,
-    /// Virtual time from first arrival to last completion, ns.
-    pub makespan_ns: f64,
-    /// Times any shape's circuit breaker opened (0 without a breaker).
-    pub breaker_opens: u64,
-}
-
-impl ServingReport {
-    /// Requests (of any disposition) per virtual second.
-    pub fn throughput_rps(&self) -> f64 {
-        self.records.len() as f64 / (self.makespan_ns / 1e9)
-    }
-
-    /// *Served* requests (completed + degraded) per virtual second — the
-    /// throughput that survives shedding and failures.
-    pub fn goodput_rps(&self) -> f64 {
-        self.dispositions().served() as f64 / (self.makespan_ns / 1e9)
-    }
-
-    /// Tallies every record's disposition. By construction each request
-    /// contributes exactly one, so `dispositions().total()` equals
-    /// `records.len()`.
-    pub fn dispositions(&self) -> DispositionCounts {
-        let mut counts = DispositionCounts::default();
-        for r in &self.records {
-            match r.disposition {
-                Disposition::Completed => counts.completed += 1,
-                Disposition::Degraded => counts.degraded += 1,
-                Disposition::Shed => counts.shed += 1,
-                Disposition::Failed => counts.failed += 1,
-            }
-        }
-        counts
-    }
-
-    /// Summarizes the latency distribution and its decomposition by
-    /// feeding every record through the telemetry histogram type — one
-    /// clock-labelled readout per phase, so real (compile) and virtual
-    /// (queue/device/total) time can never be conflated in a summary.
-    /// Percentiles are log2-bucket estimates (within one bucket width of
-    /// exact — see [`percentile`] for the exact sorted-slice form); counts,
-    /// means, and maxima are exact.
-    pub fn latency_summary(&self) -> LatencySummary {
-        let total = Histogram::new(Clock::Virtual);
-        let queue = Histogram::new(Clock::Virtual);
-        let compile = Histogram::new(Clock::Real);
-        let device = Histogram::new(Clock::Virtual);
-        for r in &self.records {
-            total.record_f64(r.timeline_total_ns());
-            queue.record_f64(r.queue_ns);
-            compile.record_f64(r.compile.real_ns());
-            device.record_f64(r.device_ns);
-        }
-        LatencySummary {
-            total: total.stats(),
-            queue: queue.stats(),
-            compile: compile.stats(),
-            device: device.stats(),
-        }
-    }
-
-    /// Evaluates the stream against `policy`: every record becomes one
-    /// [`SloObservation`] (deadline verdicts only for requests that
-    /// carried a deadline), and the engine's disposition tally is built
-    /// from the same records as [`ServingReport::dispositions`], so the
-    /// two always agree — `mikpoly health` asserts this equality.
-    pub fn evaluate_slo(&self, policy: SloPolicy) -> SloReport {
-        let mut engine = SloEngine::new(policy);
-        for r in &self.records {
-            let served = matches!(
-                r.disposition,
-                Disposition::Completed | Disposition::Degraded
-            );
-            engine.observe(SloObservation {
-                finish_ns: r.finish_ns,
-                disposition: chain_disposition(r.disposition),
-                deadline_met: r.deadline_ns.map(|d| served && r.finish_ns <= d),
-                compile_ns: r.compile.real_ns(),
-            });
-        }
-        engine.evaluate()
-    }
-}
-
-/// Per-phase latency readouts, each tagged with the clock it was measured
-/// on (`total`/`queue`/`device` are virtual serving time; `compile` is
-/// real host time).
-#[derive(Debug, Clone, Copy)]
-pub struct LatencySummary {
-    /// End-to-end timeline latency (virtual clock).
-    pub total: LatencyStats,
-    /// Queueing component (virtual clock).
-    pub queue: LatencyStats,
-    /// Online-compilation component (real clock).
-    pub compile: LatencyStats,
-    /// Device component including dispatch (virtual clock).
-    pub device: LatencyStats,
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-/// Virtual Poisson arrival times: `count` timestamps with exponential
-/// inter-arrival gaps of mean `mean_gap_ns`, deterministic under `seed`.
-pub fn poisson_arrivals(count: usize, mean_gap_ns: f64, seed: u64) -> Vec<f64> {
-    assert!(mean_gap_ns > 0.0, "mean gap must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut t = 0.0f64;
-    (0..count)
-        .map(|_| {
-            let u: f64 = rng.gen();
-            // Inverse-CDF exponential; clamp away u == 1 to keep ln finite.
-            t += -mean_gap_ns * (1.0 - u).max(1e-12).ln();
-            t
-        })
-        .collect()
-}
-
-/// The breaker key for a request: a hash of its full operator list, so a
-/// poisoned shape cannot trip healthy traffic's breaker.
-fn request_shape_key(request: &Request) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    for (op, count) in &request.ops {
-        op.hash(&mut hasher);
-        count.hash(&mut hasher);
-    }
-    hasher.finish()
-}
-
-/// What the parallel (pre-sequencer) compile phase produced.
+/// What the parallel (pre-dispatch) compile phase produced.
 struct CompileOutcome {
-    /// The compiled forward pass; `None` when both the full path and the
-    /// degraded fallback failed.
-    graph: Option<GraphRun>,
+    /// The compiled forward pass with its retained launches; `None` when
+    /// both the full path and the degraded fallback failed.
+    plan: Option<GraphPlan>,
     /// Real wall-clock of the whole compile phase, ns (the graph's own
     /// measurement on the clean path; the measured window including the
     /// failed attempt when the fallback ran).
@@ -452,6 +88,25 @@ struct CompileOutcome {
     /// Total virtual device time across attempts and backoffs, ns.
     total_device_ns: f64,
     /// Breaker transition this compile triggered or rode, if any.
+    breaker_event: Option<&'static str>,
+}
+
+/// A compiled request awaiting batching in the phase-B dispatcher.
+struct Pending<'a> {
+    request: &'a Request,
+    /// Index into the arrival-ordered record table.
+    slot: usize,
+    worker: usize,
+    start_ns: f64,
+    ready_ns: f64,
+    compile: ClockNs,
+    plan: GraphPlan,
+    retries: u32,
+    device_failed: bool,
+    /// Virtual device time beyond one clean execution (fault backoffs
+    /// plus solo re-runs), charged to the member's record but not to the
+    /// shared wave.
+    retry_extra_ns: f64,
     breaker_event: Option<&'static str>,
 }
 
@@ -501,8 +156,9 @@ impl ServingRuntime {
         self
     }
 
-    /// Sets the fault-tolerance policy (builder style). Creates the
-    /// per-shape circuit breaker when the options ask for one.
+    /// Sets the fault-tolerance and dispatch policy (builder style).
+    /// Creates the per-shape circuit breaker when the options ask for
+    /// one.
     #[must_use]
     pub fn with_options(mut self, options: ServingOptions) -> Self {
         self.breaker = options.breaker.map(CircuitBreaker::new);
@@ -535,6 +191,19 @@ impl ServingRuntime {
         self.breaker.as_ref()
     }
 
+    /// Whether a tenant policy is configured (gates per-tenant metrics).
+    fn tenancy(&self) -> bool {
+        self.options.tenancy.is_some()
+    }
+
+    /// The tenant's waiting-slot bound under the configured policy.
+    fn tenant_waiting_cap(&self, request: &Request) -> Option<usize> {
+        self.options
+            .tenancy
+            .as_ref()
+            .and_then(|p| p.max_waiting_for(request.tenant))
+    }
+
     /// The parallel compile phase for one admitted request: breaker check,
     /// panic-isolated full compile under the budget, degraded fallback,
     /// and the deterministic device-fault retry schedule.
@@ -554,15 +223,15 @@ impl ServingRuntime {
         let run = |budget: CompileBudget| {
             catch_unwind(AssertUnwindSafe(|| {
                 self.engine
-                    .try_run_graph(request.ops.iter().map(|(op, count)| (op, *count)), budget)
+                    .try_plan_graph(request.ops.iter().map(|(op, count)| (op, *count)), budget)
             }))
         };
         // Breaker transitions are recorded onto the request's chain: a
         // `Degrade` decision short-circuits, a tripping failure opens,
         // and a successful half-open probe closes.
         let mut breaker_event = degrade_only.then_some("short-circuit");
-        let (graph, fell_back) = match run(budget) {
-            Ok(Ok(graph)) => {
+        let (plan, fell_back) = match run(budget) {
+            Ok(Ok(plan)) => {
                 if !degrade_only {
                     if let Some(b) = breaker {
                         if b.record_success(key) {
@@ -570,7 +239,7 @@ impl ServingRuntime {
                         }
                     }
                 }
-                (Some(graph), false)
+                (Some(plan), false)
             }
             // Typed failure or panic: both feed the breaker and fall
             // through to the search-free fallback, itself panic-isolated
@@ -588,36 +257,36 @@ impl ServingRuntime {
                     degrade_only: true,
                 };
                 match run(fallback) {
-                    Ok(Ok(graph)) => (Some(graph), true),
+                    Ok(Ok(plan)) => (Some(plan), true),
                     Ok(Err(_)) | Err(_) => (None, true),
                 }
             }
         };
-        let compile_ns = match (&graph, fell_back) {
-            (Some(graph), false) => graph.compile_ns,
+        let compile_ns = match (&plan, fell_back) {
+            (Some(plan), false) => plan.run.compile_ns,
             _ => compile_start.elapsed().as_nanos(),
         };
         // Device faults are a pure function of (plan, request id, attempt),
         // so the whole retry schedule — and its virtual cost — is known
-        // before the request reaches the sequenced section.
+        // before the request reaches the dispatch section.
         let mut retries = 0u32;
         let mut device_failed = false;
-        let mut total_device_ns = graph.as_ref().map_or(0.0, |g| g.device_ns);
-        if let (Some(graph), Some(plan)) = (&graph, self.options.fault_plan.as_deref()) {
+        let mut total_device_ns = plan.as_ref().map_or(0.0, |p| p.run.device_ns);
+        if let (Some(plan), Some(fault_plan)) = (&plan, self.options.fault_plan.as_deref()) {
             let retry = self.options.retry;
             let mut attempt = 0u32;
-            while plan.device_fault(request.id as u64, attempt) {
+            while fault_plan.device_fault(request.id as u64, attempt) {
                 if attempt >= retry.max_retries {
                     device_failed = true;
                     break;
                 }
-                total_device_ns += retry.backoff_for(attempt) + graph.device_ns;
+                total_device_ns += retry.backoff_for(attempt) + plan.run.device_ns;
                 retries += 1;
                 attempt += 1;
             }
         }
         CompileOutcome {
-            graph,
+            plan,
             compile_ns,
             retries,
             device_failed,
@@ -629,11 +298,21 @@ impl ServingRuntime {
     /// Serves `requests` (any order; they are dispatched by arrival time)
     /// to completion and reports per-request latency decompositions plus
     /// worker and cache counters. Every request terminates with exactly
-    /// one [`Disposition`].
+    /// one [`Disposition`]. Routes to the batched dispatcher when
+    /// [`ServingOptions::batching`] is set, the solo dispatcher
+    /// otherwise.
     pub fn serve(&self, requests: &[Request]) -> ServingReport {
         if let Some(plan) = &self.options.fault_plan {
             self.engine.set_fault_plan(Some(Arc::clone(plan)));
         }
+        match self.options.batching {
+            Some(batching) => self.serve_batched(requests, batching),
+            None => self.serve_solo(requests),
+        }
+    }
+
+    /// The solo dispatcher: each worker holds its request end to end.
+    fn serve_solo(&self, requests: &[Request]) -> ServingReport {
         let mut ordered: Vec<&Request> = requests.iter().collect();
         ordered.sort_by(|a, b| f64::total_cmp(&a.arrival_ns, &b.arrival_ns));
         let cursor = AtomicUsize::new(0);
@@ -646,18 +325,14 @@ impl ServingRuntime {
         // timeline cannot be skewed by thread starvation.
         let worker_pool = Mutex::new(vec![0.0f64; self.workers]);
         let device_pool = Mutex::new(vec![0.0f64; self.cluster.devices]);
-        // Service-start times of admitted requests still waiting for
-        // their worker. Starts are monotone non-decreasing across tickets,
-        // so the front entries with `start <= arrival` have begun service
-        // by the time a later request arrives — popping them yields the
-        // exact queue depth at that arrival instant.
-        let waiting = Mutex::new(VecDeque::<f64>::new());
+        let waiting = Mutex::new(WaitQueue::new());
         // Dispatch over the interconnect only when the pool is remote.
         let dispatch_ns = if self.cluster.devices > 1 {
             self.cluster.interconnect.latency_ns
         } else {
             0.0
         };
+        let tenancy = self.tenancy();
 
         let telemetry = &self.telemetry;
         let per_thread: Vec<Vec<RequestRecord>> = std::thread::scope(|scope| {
@@ -689,9 +364,13 @@ impl ServingRuntime {
                                         telemetry,
                                         request,
                                         &record,
-                                        request.arrival_ns,
-                                        None,
-                                        dispatch_ns,
+                                        &EmitContext {
+                                            start: request.arrival_ns,
+                                            exec: None,
+                                            dispatch_ns,
+                                            tenancy,
+                                            batched: false,
+                                        },
                                     );
                                 }
                                 records.push(record);
@@ -714,13 +393,17 @@ impl ServingRuntime {
                             // ticket on the sequencer.
                             sequencer.wait_for(ticket);
                             let mut waiting_q = waiting.lock();
-                            while waiting_q.front().is_some_and(|&s| s <= request.arrival_ns) {
-                                waiting_q.pop_front();
-                            }
+                            waiting_q.expire(request.arrival_ns);
                             let (worker, worker_free) = earliest_free(&worker_pool.lock());
                             let start = request.arrival_ns.max(worker_free);
                             let shed = if request.deadline_ns.is_some_and(|d| start > d) {
                                 Some(ShedReason::DeadlineAtDispatch)
+                            } else if start > request.arrival_ns
+                                && self
+                                    .tenant_waiting_cap(request)
+                                    .is_some_and(|cap| waiting_q.tenant_len(request.tenant) >= cap)
+                            {
+                                Some(ShedReason::TenantThrottled)
                             } else if start > request.arrival_ns
                                 && self
                                     .options
@@ -730,7 +413,7 @@ impl ServingRuntime {
                                 Some(ShedReason::QueueFull)
                             } else {
                                 if start > request.arrival_ns {
-                                    waiting_q.push_back(start);
+                                    waiting_q.push(start, request.tenant);
                                 }
                                 None
                             };
@@ -739,7 +422,7 @@ impl ServingRuntime {
                             let (record, exec) = if let Some(reason) = shed {
                                 // Shed: no virtual resources consumed.
                                 (shed_record(request, reason), None)
-                            } else if let Some(graph) = &outcome.graph {
+                            } else if let Some(plan) = &outcome.plan {
                                 let ready = start + compile.onto_virtual_timeline();
                                 let (device, device_start) = {
                                     let mut pool = device_pool.lock();
@@ -752,7 +435,7 @@ impl ServingRuntime {
                                 worker_pool.lock()[worker] = finish;
                                 let disposition = if outcome.device_failed {
                                     Disposition::Failed
-                                } else if graph.degraded > 0 {
+                                } else if plan.run.degraded > 0 {
                                     Disposition::Degraded
                                 } else {
                                     Disposition::Completed
@@ -760,13 +443,14 @@ impl ServingRuntime {
                                 (
                                     RequestRecord {
                                         id: request.id,
+                                        tenant: request.tenant,
                                         worker,
                                         device,
                                         queue_ns: (start - request.arrival_ns)
                                             + (device_start - dispatch_ns - ready),
                                         compile,
-                                        search_ns: graph.search_ns,
-                                        cache_wait_ns: graph.cache_wait_ns,
+                                        search_ns: plan.run.search_ns,
+                                        cache_wait_ns: plan.run.cache_wait_ns,
                                         device_ns: outcome.total_device_ns + dispatch_ns,
                                         finish_ns: finish,
                                         disposition,
@@ -774,6 +458,7 @@ impl ServingRuntime {
                                         retries: outcome.retries,
                                         deadline_ns: request.deadline_ns,
                                         breaker_event: outcome.breaker_event,
+                                        batch_size: 1,
                                     },
                                     Some((ready, device_start)),
                                 )
@@ -786,6 +471,7 @@ impl ServingRuntime {
                                 (
                                     RequestRecord {
                                         id: request.id,
+                                        tenant: request.tenant,
                                         worker,
                                         device: NO_SLOT,
                                         queue_ns: start - request.arrival_ns,
@@ -799,6 +485,7 @@ impl ServingRuntime {
                                         retries: outcome.retries,
                                         deadline_ns: request.deadline_ns,
                                         breaker_event: outcome.breaker_event,
+                                        batch_size: 0,
                                     },
                                     None,
                                 )
@@ -810,9 +497,13 @@ impl ServingRuntime {
                                     telemetry,
                                     request,
                                     &record,
-                                    start,
-                                    exec,
-                                    dispatch_ns,
+                                    &EmitContext {
+                                        start,
+                                        exec,
+                                        dispatch_ns,
+                                        tenancy,
+                                        batched: false,
+                                    },
                                 );
                             }
                             records.push(record);
@@ -834,20 +525,322 @@ impl ServingRuntime {
         });
 
         let first_arrival = ordered.first().map_or(0.0, |r| r.arrival_ns);
-        let last_finish = per_thread
+        let records: Vec<RequestRecord> = per_thread.into_iter().flatten().collect();
+        self.build_report(records, first_arrival, true)
+    }
+
+    /// The batched dispatcher: phase A compiles every admissible request
+    /// in parallel; phase B replays the virtual timeline single-threaded —
+    /// admission and worker placement in arrival order, then shape-bucket
+    /// formation over compile-ready events, then co-launch waves onto the
+    /// device pool in flush order.
+    fn serve_batched(&self, requests: &[Request], batching: BatchingOptions) -> ServingReport {
+        let mut ordered: Vec<&Request> = requests.iter().collect();
+        ordered.sort_by(|a, b| f64::total_cmp(&a.arrival_ns, &b.arrival_ns));
+        let n = ordered.len();
+        let tenancy = self.tenancy();
+        let policy = self.options.tenancy.clone().unwrap_or_default();
+        let dispatch_ns = if self.cluster.devices > 1 {
+            self.cluster.interconnect.latency_ns
+        } else {
+            0.0
+        };
+        let telemetry = &self.telemetry;
+
+        // Phase A: parallel compile across the worker threads. Requests
+        // already expired at arrival are never compiled (the enqueue-shed
+        // guarantee the solo path makes).
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CompileOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| {
+                    let ordered = &ordered;
+                    let cursor = &cursor;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::SeqCst);
+                        let Some(request) = ordered.get(i) else {
+                            break;
+                        };
+                        if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                            continue;
+                        }
+                        *slots[i].lock() = Some(self.compile_request(request));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            }
+        });
+        let mut outcomes: Vec<Option<CompileOutcome>> =
+            slots.into_iter().map(Mutex::into_inner).collect();
+
+        // Phase B step 1: admission and worker placement in arrival
+        // order. Workers are released at compile-done — the defining move
+        // of continuous batching — so `worker_pool` tracks compile
+        // occupancy only.
+        let mut worker_pool = vec![0.0f64; self.workers];
+        let mut device_pool = vec![0.0f64; self.cluster.devices];
+        let mut waiting = WaitQueue::new();
+        let mut records: Vec<Option<RequestRecord>> = vec![None; n];
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+        for (slot, request) in ordered.iter().enumerate() {
+            if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                let record = shed_record(request, ShedReason::DeadlineAtEnqueue);
+                if telemetry.is_enabled() {
+                    emit_request_telemetry(
+                        telemetry,
+                        request,
+                        &record,
+                        &EmitContext {
+                            start: request.arrival_ns,
+                            exec: None,
+                            dispatch_ns,
+                            tenancy,
+                            batched: true,
+                        },
+                    );
+                }
+                records[slot] = Some(record);
+                continue;
+            }
+            let Some(outcome) = outcomes[slot].take() else {
+                // Unreachable: phase A compiled every non-expired request.
+                records[slot] = Some(shed_record(request, ShedReason::DeadlineAtEnqueue));
+                continue;
+            };
+            let compile = ClockNs::real(outcome.compile_ns as f64);
+            waiting.expire(request.arrival_ns);
+            let (worker, worker_free) = earliest_free(&worker_pool);
+            let start = request.arrival_ns.max(worker_free);
+            let shed = if request.deadline_ns.is_some_and(|d| start > d) {
+                Some(ShedReason::DeadlineAtDispatch)
+            } else if start > request.arrival_ns
+                && self
+                    .tenant_waiting_cap(request)
+                    .is_some_and(|cap| waiting.tenant_len(request.tenant) >= cap)
+            {
+                Some(ShedReason::TenantThrottled)
+            } else if start > request.arrival_ns
+                && self
+                    .options
+                    .queue_capacity
+                    .is_some_and(|cap| waiting.len() >= cap)
+            {
+                Some(ShedReason::QueueFull)
+            } else {
+                if start > request.arrival_ns {
+                    waiting.push(start, request.tenant);
+                }
+                None
+            };
+            if let Some(reason) = shed {
+                let record = shed_record(request, reason);
+                if telemetry.is_enabled() {
+                    emit_request_telemetry(
+                        telemetry,
+                        request,
+                        &record,
+                        &EmitContext {
+                            start: request.arrival_ns,
+                            exec: None,
+                            dispatch_ns,
+                            tenancy,
+                            batched: true,
+                        },
+                    );
+                }
+                records[slot] = Some(record);
+                continue;
+            }
+            let Some(plan) = outcome.plan else {
+                // Both compile paths failed: the worker was occupied for
+                // the compile window; no device is ever dispatched.
+                let finish = start + compile.onto_virtual_timeline();
+                worker_pool[worker] = finish;
+                let record = RequestRecord {
+                    id: request.id,
+                    tenant: request.tenant,
+                    worker,
+                    device: NO_SLOT,
+                    queue_ns: start - request.arrival_ns,
+                    compile,
+                    search_ns: 0,
+                    cache_wait_ns: 0,
+                    device_ns: 0.0,
+                    finish_ns: finish,
+                    disposition: Disposition::Failed,
+                    shed_reason: None,
+                    retries: outcome.retries,
+                    deadline_ns: request.deadline_ns,
+                    breaker_event: outcome.breaker_event,
+                    batch_size: 0,
+                };
+                if telemetry.is_enabled() {
+                    emit_request_telemetry(
+                        telemetry,
+                        request,
+                        &record,
+                        &EmitContext {
+                            start,
+                            exec: None,
+                            dispatch_ns,
+                            tenancy,
+                            batched: true,
+                        },
+                    );
+                }
+                records[slot] = Some(record);
+                continue;
+            };
+            let ready = start + compile.onto_virtual_timeline();
+            worker_pool[worker] = ready;
+            let retry_extra_ns = outcome.total_device_ns - plan.run.device_ns;
+            pending.push(Pending {
+                request,
+                slot,
+                worker,
+                start_ns: start,
+                ready_ns: ready,
+                compile,
+                plan,
+                retries: outcome.retries,
+                device_failed: outcome.device_failed,
+                retry_extra_ns,
+                breaker_event: outcome.breaker_event,
+            });
+        }
+
+        // Phase B step 2: shape-bucket formation over ready events.
+        let mut events: Vec<ReadyEvent> = pending
             .iter()
-            .flatten()
+            .enumerate()
+            .map(|(index, p)| ReadyEvent {
+                pending: index,
+                id: p.request.id,
+                ready_ns: p.ready_ns,
+                shape_key: request_shape_key(p.request),
+            })
+            .collect();
+        events.sort_by(|a, b| f64::total_cmp(&a.ready_ns, &b.ready_ns).then(a.id.cmp(&b.id)));
+        let flushes = form_batches(&events, batching);
+
+        // Phase B step 3: co-launch waves onto the device pool in flush
+        // order. Bucket members run identical programs, so a wave of k
+        // members is k merged copies of one launch sequence; its
+        // simulated duration is cached per (shape, k).
+        let capacity = warp_capacity(&self.cluster.machine);
+        let mut meter = FairMeter::new();
+        let mut wave_cache: HashMap<(u64, usize), f64> = HashMap::new();
+        for flush in flushes {
+            let mut members = flush.members;
+            meter.order_by_fairness(&policy, &mut members, |index| pending[index].request.tenant);
+            let demands: Vec<u64> = members
+                .iter()
+                .map(|&index| plan_demand(&pending[index].plan.ops))
+                .collect();
+            for wave in plan_waves(&demands, capacity) {
+                let k = wave.len();
+                let lead = &pending[members[wave[0]]];
+                let wave_ns = *wave_cache
+                    .entry((flush.shape_key, k))
+                    .or_insert_with(|| wave_device_ns(&self.cluster.machine, &lead.plan.ops, k));
+                let (device, device_free) = earliest_free(&device_pool);
+                let wave_start = flush.flush_ns.max(device_free) + dispatch_ns;
+                device_pool[device] = wave_start + wave_ns;
+                if telemetry.is_enabled() {
+                    let registry = telemetry.registry();
+                    registry.counter("serving.waves").inc();
+                    let load: u64 = wave.iter().map(|&w| demands[w]).sum();
+                    registry
+                        .histogram("serving.wave_occupancy_pct", Clock::Virtual)
+                        .record_f64(100.0 * load as f64 / capacity.max(1) as f64);
+                }
+                for &w in &wave {
+                    let p = &pending[members[w]];
+                    let finish = wave_start + wave_ns + p.retry_extra_ns;
+                    let disposition = if p.device_failed {
+                        Disposition::Failed
+                    } else if p.plan.run.degraded > 0 {
+                        Disposition::Degraded
+                    } else {
+                        Disposition::Completed
+                    };
+                    let record = RequestRecord {
+                        id: p.request.id,
+                        tenant: p.request.tenant,
+                        worker: p.worker,
+                        device,
+                        queue_ns: (p.start_ns - p.request.arrival_ns)
+                            + (wave_start - dispatch_ns - p.ready_ns),
+                        compile: p.compile,
+                        search_ns: p.plan.run.search_ns,
+                        cache_wait_ns: p.plan.run.cache_wait_ns,
+                        device_ns: wave_ns + dispatch_ns + p.retry_extra_ns,
+                        finish_ns: finish,
+                        disposition,
+                        shed_reason: None,
+                        retries: p.retries,
+                        deadline_ns: p.request.deadline_ns,
+                        breaker_event: p.breaker_event,
+                        batch_size: k,
+                    };
+                    meter.charge(p.request.tenant, wave_ns / k as f64);
+                    if telemetry.is_enabled() {
+                        emit_request_telemetry(
+                            telemetry,
+                            p.request,
+                            &record,
+                            &EmitContext {
+                                start: p.start_ns,
+                                exec: Some((p.ready_ns, wave_start)),
+                                dispatch_ns,
+                                tenancy,
+                                batched: true,
+                            },
+                        );
+                    }
+                    records[p.slot] = Some(record);
+                }
+            }
+        }
+
+        let first_arrival = ordered.first().map_or(0.0, |r| r.arrival_ns);
+        let records: Vec<RequestRecord> = records.into_iter().flatten().collect();
+        debug_assert_eq!(records.len(), n, "every request gets exactly one record");
+        self.build_report(records, first_arrival, false)
+    }
+
+    /// The shared reporting tail: makespan, per-worker accounting, cache
+    /// counters, and the collector-style metric export.
+    ///
+    /// `device_on_worker` states whether workers held their requests
+    /// through device execution (solo) or only through compile (batched);
+    /// worker busy time follows.
+    fn build_report(
+        &self,
+        mut records: Vec<RequestRecord>,
+        first_arrival: f64,
+        device_on_worker: bool,
+    ) -> ServingReport {
+        let last_finish = records
+            .iter()
             .map(|r| r.finish_ns)
             .fold(first_arrival, f64::max);
         let makespan_ns = (last_finish - first_arrival).max(f64::MIN_POSITIVE);
-        let mut records: Vec<RequestRecord> = per_thread.into_iter().flatten().collect();
         records.sort_by_key(|r| r.id);
         let workers = (0..self.workers)
             .map(|worker| {
                 let mine = records.iter().filter(|r| r.worker == worker);
                 let busy_ns = mine
                     .clone()
-                    .map(|r| r.compile.onto_virtual_timeline() + r.device_ns)
+                    .map(|r| {
+                        let device = if device_on_worker { r.device_ns } else { 0.0 };
+                        r.compile.onto_virtual_timeline() + device
+                    })
                     .sum::<f64>();
                 WorkerStats {
                     worker,
@@ -938,279 +931,15 @@ fn earliest_free(pool: &[f64]) -> (usize, f64) {
     best
 }
 
-/// The record for a request rejected by admission control: sentinel
-/// worker/device slots, zero resource use, finish at arrival.
-fn shed_record(request: &Request, reason: ShedReason) -> RequestRecord {
-    RequestRecord {
-        id: request.id,
-        worker: NO_SLOT,
-        device: NO_SLOT,
-        queue_ns: 0.0,
-        compile: ClockNs::real(0.0),
-        search_ns: 0,
-        cache_wait_ns: 0,
-        device_ns: 0.0,
-        finish_ns: request.arrival_ns,
-        disposition: Disposition::Shed,
-        shed_reason: Some(reason),
-        retries: 0,
-        deadline_ns: request.deadline_ns,
-        breaker_event: None,
-    }
-}
-
-/// The counter a record's disposition increments.
-fn disposition_counter(disposition: Disposition) -> &'static str {
-    match disposition {
-        Disposition::Completed => "serving.completed",
-        Disposition::Degraded => "serving.degraded",
-        Disposition::Shed => "serving.shed",
-        Disposition::Failed => "serving.failed",
-    }
-}
-
-/// Maps a serving disposition onto the telemetry crate's mirror enum.
-fn chain_disposition(disposition: Disposition) -> ChainDisposition {
-    match disposition {
-        Disposition::Completed => ChainDisposition::Completed,
-        Disposition::Degraded => ChainDisposition::Degraded,
-        Disposition::Shed => ChainDisposition::Shed,
-        Disposition::Failed => ChainDisposition::Failed,
-    }
-}
-
-/// The terminal error label a record's chain carries (`None` for served
-/// requests). The chaos suite asserts every `Failed`/`Shed` record's
-/// retained chain reproduces exactly this string.
-pub fn record_error_label(record: &RequestRecord) -> Option<&'static str> {
-    match record.disposition {
-        Disposition::Shed => record.shed_reason.map(ShedReason::label),
-        Disposition::Failed => Some(if record.executed() {
-            "device-retries-exhausted"
-        } else {
-            "compile-failed"
-        }),
-        Disposition::Completed | Disposition::Degraded => None,
-    }
-}
-
-/// Registers `# HELP` text for every serving-layer metric so Prometheus
-/// snapshots are self-describing.
-fn describe_serving_metrics(registry: &mikpoly_telemetry::Registry) {
-    for (name, help) in [
-        ("serving.requests", "requests entering the serving pipeline"),
-        (
-            "serving.completed",
-            "requests served on the full compile path",
-        ),
-        ("serving.degraded", "requests served on the degraded path"),
-        ("serving.shed", "requests rejected before execution"),
-        (
-            "serving.failed",
-            "requests that exhausted retries or failed to compile",
-        ),
-        (
-            "serving.retried",
-            "device retry attempts across all requests",
-        ),
-        ("serving.workers", "serving worker threads in the run"),
-        ("serving.devices", "simulated devices in the run"),
-        (
-            "serving.makespan_ms",
-            "virtual time from first arrival to last completion",
-        ),
-        (
-            "serving.throughput_rps",
-            "requests per virtual second over the makespan",
-        ),
-        (
-            "serving.breaker_opens",
-            "circuit-breaker open transitions across all shapes",
-        ),
-        ("serving.queue_ns", "virtual queueing latency per request"),
-        (
-            "serving.compile_ns",
-            "real host compile latency per request",
-        ),
-        ("serving.device_ns", "virtual device latency per request"),
-        ("serving.total_ns", "end-to-end virtual latency per request"),
-    ] {
-        registry.describe(name, help);
-    }
-}
-
-/// Builds and records the request's flight-recorder chain, returning
-/// whether it was retained (retained requests get histogram exemplars,
-/// so every exemplar resolves to a chain [`FlightRecorder::find`] can
-/// produce).
-///
-/// [`FlightRecorder::find`]: mikpoly_telemetry::FlightRecorder::find
-fn record_chain(telemetry: &Telemetry, request: &Request, record: &RequestRecord) -> bool {
-    let cache_outcome = if record.disposition == Disposition::Shed {
-        "none"
-    } else if record.cache_wait_ns > 0 {
-        "waited"
-    } else if record.compile.real_ns() == 0.0 {
-        "hit"
-    } else {
-        "computed"
-    };
-    let chain = ChainRecord {
-        id: record.id as u64,
-        shape_key: request_shape_key(request),
-        worker: if record.worker == NO_SLOT {
-            u64::MAX
-        } else {
-            record.worker as u64
-        },
-        queue_ns: record.queue_ns,
-        compile_real_ns: record.compile.real_ns(),
-        search_ns: record.search_ns as f64,
-        cache_wait_ns: record.cache_wait_ns as f64,
-        device_ns: record.device_ns,
-        finish_ns: record.finish_ns,
-        retries: record.retries,
-        cache_outcome,
-        breaker_event: record.breaker_event,
-        disposition: chain_disposition(record.disposition),
-        error: record_error_label(record).map(str::to_string),
-    };
-    telemetry.recorder().record(chain).is_some()
-}
-
-/// Emits one served request's phase spans and latency metrics.
-///
-/// Worker lanes carry the request timeline: the queue phases as async
-/// (overlap-safe) spans, then a `serving.request` window containing the
-/// `serving.compile` window, which in turn contains the per-request search
-/// and coalesced-wait sub-phases (nested by time containment). The device
-/// execution lands on the device's own lane when one ran (`exec` carries
-/// its `(ready, device_start)` times). Shed requests get a zero-duration
-/// `serving.shed` marker and their disposition counter only.
-fn emit_request_telemetry(
-    telemetry: &Telemetry,
-    request: &Request,
-    record: &RequestRecord,
-    start: f64,
-    exec: Option<(f64, f64)>,
-    dispatch_ns: f64,
-) {
-    let registry = telemetry.registry();
-    registry.counter("serving.requests").inc();
-    registry
-        .counter(disposition_counter(record.disposition))
-        .inc();
-    if record.retries > 0 {
-        registry
-            .counter("serving.retried")
-            .add(u64::from(record.retries));
-    }
-    let rid = record.id as u64;
-    // Chains are recorded before the histograms so exemplar stamping can
-    // be gated on retention: every stamped exemplar id is resolvable.
-    let retained = record_chain(telemetry, request, record);
-    if record.disposition == Disposition::Shed {
-        telemetry.record_span(
-            SpanRecord::async_phase(
-                "serving.shed",
-                Lane::HostThread(0),
-                rid,
-                request.arrival_ns,
-                0.0,
-            )
-            .with_arg("request", rid),
-        );
-        return;
-    }
-    let lane = Lane::Worker(record.worker);
-    telemetry.record_span(SpanRecord::async_phase(
-        "serving.queue",
-        lane,
-        rid,
-        request.arrival_ns,
-        start - request.arrival_ns,
-    ));
-    telemetry.record_span(
-        SpanRecord::complete("serving.request", lane, start, record.finish_ns - start)
-            .with_arg("request", rid),
-    );
-    telemetry.record_span(
-        SpanRecord::complete(
-            "serving.compile",
-            lane,
-            start,
-            record.compile.onto_virtual_timeline(),
-        )
-        .with_arg("request", rid),
-    );
-    // The compile window's sub-phases, placed sequentially inside it
-    // (their real-clock durations sum to at most the window's).
-    let mut at = start;
-    if record.search_ns > 0 {
-        let dur = record.search_ns as f64;
-        telemetry.record_span(
-            SpanRecord::complete("serving.compile.search", lane, at, dur).with_arg("request", rid),
-        );
-        at += dur;
-    }
-    if record.cache_wait_ns > 0 {
-        telemetry.record_span(
-            SpanRecord::complete(
-                "serving.compile.wait",
-                lane,
-                at,
-                record.cache_wait_ns as f64,
-            )
-            .with_arg("request", rid),
-        );
-    }
-    if let Some((ready, device_start)) = exec {
-        let device_wait = device_start - dispatch_ns - ready;
-        if device_wait > 0.0 {
-            telemetry.record_span(SpanRecord::async_phase(
-                "serving.queue.device",
-                lane,
-                rid,
-                ready,
-                device_wait,
-            ));
-        }
-        telemetry.record_span(
-            SpanRecord::complete(
-                "serving.device",
-                Lane::Device(record.device),
-                device_start,
-                record.finish_ns - device_start,
-            )
-            .with_arg("request", rid)
-            .with_arg("worker", record.worker),
-        );
-    }
-    let observe = |name: &str, clock: Clock, value: f64| {
-        let histogram = registry.histogram(name, clock);
-        if retained {
-            histogram.record_f64_with_exemplar(value, rid);
-        } else {
-            histogram.record_f64(value);
-        }
-    };
-    observe("serving.queue_ns", Clock::Virtual, record.queue_ns);
-    observe("serving.compile_ns", Clock::Real, record.compile.real_ns());
-    observe("serving.device_ns", Clock::Virtual, record.device_ns);
-    observe(
-        "serving.total_ns",
-        Clock::Virtual,
-        record.timeline_total_ns(),
-    );
-}
-
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
+    use super::super::admission::TenantQuota;
+    use super::super::request::poisson_arrivals;
     use super::*;
     use crate::offline::OfflineOptions;
     use accel_sim::{Interconnect, MachineModel};
-    use tensor_ir::GemmShape;
+    use tensor_ir::{GemmShape, Operator};
 
     fn engine() -> Arc<Engine> {
         let mut o = OfflineOptions::fast();
@@ -1251,6 +980,7 @@ mod tests {
             assert_eq!(r.compile.clock(), Clock::Real);
             assert_eq!(r.disposition, Disposition::Completed);
             assert!(r.executed());
+            assert_eq!(r.batch_size, 1, "solo records are singleton waves");
             assert!((r.timeline_total_ns() - (r.finish_ns - requests[i].arrival_ns)).abs() < 1e-3);
         }
         // 3 unique shapes → 3 polymerizations, regardless of worker count.
@@ -1285,6 +1015,8 @@ mod tests {
         );
         assert_eq!(snap.counter("serving.requests"), Some(24));
         assert_eq!(snap.counter("serving.completed"), Some(24));
+        // Single-tenant stream without a policy: no per-tenant counters.
+        assert_eq!(snap.counter("serving.tenant.0.requests"), None);
         let summary = report.latency_summary();
         assert_eq!(summary.total.count, 24);
         assert_eq!(summary.compile.clock, Clock::Real);
@@ -1433,21 +1165,148 @@ mod tests {
     }
 
     #[test]
-    fn poisson_arrivals_are_deterministic_and_increasing() {
-        let a = poisson_arrivals(100, 1000.0, 42);
-        let b = poisson_arrivals(100, 1000.0, 42);
-        assert_eq!(a, b);
-        assert!(a.windows(2).all(|w| w[0] < w[1]));
-        let mean_gap = a.last().unwrap() / 100.0;
-        assert!(mean_gap > 300.0 && mean_gap < 3000.0, "mean gap {mean_gap}");
+    fn batched_dispatcher_preserves_invariants_and_forms_waves() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let telemetry = mikpoly_telemetry::Telemetry::enabled();
+        let runtime = ServingRuntime::new(engine, cluster, 4)
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_options(ServingOptions {
+                batching: Some(BatchingOptions::new(200_000.0, 8)),
+                ..ServingOptions::default()
+            });
+        // A tight burst of one small shape: the whole burst should share
+        // waves instead of running 16 solo launches.
+        let requests: Vec<Request> = (0..16)
+            .map(|i| {
+                Request::single(
+                    i,
+                    i as f64 * 100.0,
+                    Operator::gemm(GemmShape::new(64, 64, 64)),
+                )
+            })
+            .collect();
+        let report = runtime.serve(&requests);
+        assert_eq!(report.records.len(), 16);
+        let counts = report.dispositions();
+        assert_eq!(counts.completed, 16, "{counts:?}");
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.id, i);
+            assert!(r.executed());
+            assert!(r.batch_size >= 1);
+            assert!(r.queue_ns >= -1e-6, "negative queue: {r:?}");
+            // The timeline identity holds under batching too: queueing
+            // (including batch-forming delay) + compile + wave device
+            // time equals end-to-end latency.
+            assert!(
+                (r.timeline_total_ns() - (r.finish_ns - requests[i].arrival_ns)).abs() < 1e-3,
+                "identity broken: {r:?}"
+            );
+        }
+        assert!(
+            report.mean_batch_size() > 1.0,
+            "burst formed no waves: mean batch {}",
+            report.mean_batch_size()
+        );
+        let snap = telemetry.registry().snapshot();
+        let waves = snap.counter("serving.waves").unwrap_or(0);
+        assert!(waves >= 1, "no waves counted");
+        assert!(
+            (waves as usize) < 16,
+            "every request launched solo: {waves} waves"
+        );
+        assert_eq!(snap.counter("serving.requests"), Some(16));
     }
 
     #[test]
-    fn percentile_nearest_rank() {
-        let v: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 1.0), 100.0);
-        assert_eq!(percentile(&v, 0.5), 51.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    fn batched_waves_beat_solo_execution_on_a_homogeneous_burst() {
+        // The co-launch claim itself: for a burst of identical small
+        // kernels, merged waves recover idle PEs, so batched serving
+        // finishes the burst no later than solo serving. Compile cost is
+        // excluded by warming the cache first (both runtimes share one
+        // engine).
+        let engine = engine();
+        let shape = GemmShape::new(64, 64, 64);
+        engine.run_operator(&Operator::gemm(shape));
+        let requests: Vec<Request> = (0..24)
+            .map(|i| Request::single(i, i as f64, Operator::gemm(shape)))
+            .collect();
+        let solo =
+            ServingRuntime::new(Arc::clone(&engine), local_cluster(&engine), 4).serve(&requests);
+        let batched = ServingRuntime::new(Arc::clone(&engine), local_cluster(&engine), 4)
+            .with_options(ServingOptions {
+                batching: Some(BatchingOptions::new(100_000.0, 8)),
+                ..ServingOptions::default()
+            })
+            .serve(&requests);
+        assert_eq!(batched.dispositions().completed, 24);
+        assert!(
+            batched.makespan_ns <= solo.makespan_ns * 1.001,
+            "batched {} ns vs solo {} ns",
+            batched.makespan_ns,
+            solo.makespan_ns
+        );
+        assert!(batched.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn tenant_quota_isolates_a_flooding_tenant() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let telemetry = mikpoly_telemetry::Telemetry::enabled();
+        let runtime = ServingRuntime::new(engine, cluster, 1)
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_options(ServingOptions {
+                queue_capacity: Some(8),
+                tenancy: Some(TenantPolicy::new(vec![
+                    TenantQuota::new(1, 2),
+                    TenantQuota::new(2, 8).with_weight(2.0),
+                ])),
+                ..ServingOptions::default()
+            });
+        let op = || Operator::gemm(GemmShape::new(256, 256, 256));
+        // Tenant 1 floods 12 simultaneous requests; tenant 2 sends 4
+        // well-spaced ones afterward. The flood saturates its own
+        // 2-waiting-slot quota, not the global queue, so every tenant-2
+        // request is served.
+        let mut requests: Vec<Request> = (0..12)
+            .map(|i| Request::single(i, 0.0, op()).with_tenant(1))
+            .collect();
+        for i in 0..4 {
+            requests.push(Request::single(12 + i, 1e9 + i as f64 * 1e9, op()).with_tenant(2));
+        }
+        let report = runtime.serve(&requests);
+        let throttled = report
+            .records
+            .iter()
+            .filter(|r| r.shed_reason == Some(ShedReason::TenantThrottled))
+            .count();
+        assert_eq!(throttled, 9, "flood beyond the quota is throttled");
+        let tenants = report.tenant_stats();
+        let t1 = tenants.iter().find(|t| t.tenant == 1).unwrap();
+        let t2 = tenants.iter().find(|t| t.tenant == 2).unwrap();
+        assert_eq!(t1.dispositions.served(), 3, "{t1:?}");
+        assert_eq!(
+            t2.dispositions.served(),
+            4,
+            "victim tenant fully served: {t2:?}"
+        );
+        assert_eq!(t2.dispositions.shed, 0);
+        // Per-tenant counters are live once a policy is configured, and
+        // throttled chains land in the flight recorder with their tenant.
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("serving.tenant.1.requests"), Some(12));
+        assert_eq!(snap.counter("serving.tenant.2.requests"), Some(4));
+        assert_eq!(snap.counter("serving.tenant.2.served"), Some(4));
+        assert_eq!(snap.counter("serving.tenant.1.shed"), Some(9));
+        let shed_id = report
+            .records
+            .iter()
+            .find(|r| r.shed_reason == Some(ShedReason::TenantThrottled))
+            .unwrap()
+            .id;
+        let chain = telemetry.recorder().find(shed_id as u64).unwrap();
+        assert_eq!(chain.chain.tenant, 1);
+        assert_eq!(chain.chain.error.as_deref(), Some("tenant-throttled"));
     }
 }

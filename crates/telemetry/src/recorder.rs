@@ -115,6 +115,8 @@ pub struct ChainRecord {
     pub shape_key: u64,
     /// Worker slot that served the request; `u64::MAX` when shed.
     pub worker: u64,
+    /// Tenant the request billed against (0 for single-tenant streams).
+    pub tenant: u32,
     /// Virtual nanoseconds spent queued (admission + device wait).
     pub queue_ns: f64,
     /// Real nanoseconds spent in the compile lane.
@@ -393,6 +395,7 @@ pub fn render_chain_json(out: &mut String, retained: &RetainedChain) {
     } else {
         out.push_str(",\"worker\":null");
     }
+    let _ = write!(out, ",\"tenant\":{}", c.tenant);
     out.push_str(",\"disposition\":");
     push_json_string(out, c.disposition.label());
     out.push_str(",\"retained\":");
@@ -434,6 +437,7 @@ mod tests {
             id,
             shape_key: 0xFEED,
             worker: 0,
+            tenant: 0,
             queue_ns: 100.0,
             compile_real_ns: 1000.0,
             search_ns: 400.0,

@@ -29,6 +29,7 @@ mod conv_suite;
 mod gemm_suite;
 pub mod sampling;
 pub mod sweeps;
+pub mod traffic;
 
 pub use conv_suite::{conv_suite, conv_suite_rows, ConvCase, ConvSuiteRow};
 pub use gemm_suite::{
@@ -36,3 +37,6 @@ pub use gemm_suite::{
     GemmSuiteRow,
 };
 pub use sweeps::{cnn_sweep, llama_sweep, overhead_shapes, sentence_lengths, LLAMA_OUTPUT_TOKENS};
+pub use traffic::{
+    adversarial_traffic, bursty_traffic, diurnal_traffic, TrafficEvent, LENGTH_PALETTE,
+};

@@ -1,0 +1,223 @@
+//! Deterministic serving-traffic generators.
+//!
+//! The batch-serving experiment needs request streams with *structure*:
+//! load that swings over the day, bursts that arrive together (and so
+//! can share a co-launch wave), and an adversary that churns shapes to
+//! bust the program cache. Each generator here is a pure function of its
+//! parameters and seed — same inputs, byte-identical event stream — and
+//! every stream has monotone non-decreasing arrival times (both
+//! properties are enforced by proptests).
+//!
+//! Events are deliberately model-neutral: an arrival instant, a tenant,
+//! and a *sequence length*. The consumer maps lengths onto whatever
+//! operator graph it serves (the batch-serving experiment uses
+//! transformer encoder layers), so the generators stay free of any
+//! compiler or engine dependency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated request arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEvent {
+    /// Virtual arrival instant, ns from stream start. Non-decreasing
+    /// within a generated stream.
+    pub arrival_ns: f64,
+    /// Tenant the request bills against, in `0..tenants`.
+    pub tenant: u32,
+    /// Sequence length selecting the request's operator shapes.
+    pub seq_len: usize,
+}
+
+/// The bounded sequence-length palette the well-behaved generators draw
+/// from. A small palette is what real serving looks like after length
+/// bucketing, and it is what makes shape-bucketed batching (and the
+/// program cache) effective.
+pub const LENGTH_PALETTE: [usize; 4] = [16, 32, 64, 128];
+
+/// An exponential inter-arrival gap with the given mean.
+fn exp_gap(rng: &mut SmallRng, mean_ns: f64) -> f64 {
+    // 1 - u is in (0, 1], so the log is finite.
+    -(1.0 - rng.gen::<f64>()).ln() * mean_ns
+}
+
+/// A tenant drawn uniformly from `0..tenants` (tenant 0 when `tenants`
+/// is zero or one).
+fn draw_tenant(rng: &mut SmallRng, tenants: u32) -> u32 {
+    if tenants <= 1 {
+        0
+    } else {
+        rng.gen_range(0..tenants as usize) as u32
+    }
+}
+
+/// Diurnal traffic: Poisson arrivals whose rate swings sinusoidally
+/// between ~0.25x and ~1.75x the base rate over `period_ns`, modelling a
+/// daily load curve compressed into the stream. Lengths come from
+/// [`LENGTH_PALETTE`]; tenants are drawn uniformly.
+///
+/// # Panics
+///
+/// Panics if `mean_gap_ns` or `period_ns` is not positive.
+pub fn diurnal_traffic(
+    count: usize,
+    mean_gap_ns: f64,
+    period_ns: f64,
+    tenants: u32,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(mean_gap_ns > 0.0, "mean gap must be positive");
+    assert!(period_ns > 0.0, "diurnal period must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD10C_4A11);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|_| {
+            // Thinning-free modulation: scale the local mean gap by the
+            // inverse of the instantaneous rate multiplier.
+            let phase = (t / period_ns) * std::f64::consts::TAU;
+            let rate = 1.0 + 0.75 * phase.sin();
+            t += exp_gap(&mut rng, mean_gap_ns / rate.max(0.25));
+            TrafficEvent {
+                arrival_ns: t,
+                tenant: draw_tenant(&mut rng, tenants),
+                seq_len: LENGTH_PALETTE[rng.gen_range(0..LENGTH_PALETTE.len())],
+            }
+        })
+        .collect()
+}
+
+/// Bursty traffic: arrivals come in bursts of up to `burst` requests.
+/// Bursts are spaced so the long-run mean gap is `mean_gap_ns`; within a
+/// burst, requests arrive back to back (sub-microsecond jitter), share
+/// one tenant, and share one sequence length — the co-launch-friendly
+/// pattern (identical shapes, near-identical ready times) that
+/// continuous batching is built to exploit.
+///
+/// # Panics
+///
+/// Panics if `mean_gap_ns` is not positive or `burst` is zero.
+pub fn bursty_traffic(
+    count: usize,
+    mean_gap_ns: f64,
+    burst: usize,
+    tenants: u32,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(mean_gap_ns > 0.0, "mean gap must be positive");
+    assert!(burst >= 1, "bursts must hold at least one request");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB5B5_7A11);
+    let mut events = Vec::with_capacity(count);
+    let mut t = 0.0f64;
+    while events.len() < count {
+        let size = rng.gen_range(0..burst) + 1;
+        let size = size.min(count - events.len());
+        // The whole burst's worth of load arrives at one instant, so the
+        // inter-burst gap carries the burst's share of the mean.
+        t += exp_gap(&mut rng, mean_gap_ns * size as f64);
+        let tenant = draw_tenant(&mut rng, tenants);
+        let seq_len = LENGTH_PALETTE[rng.gen_range(0..LENGTH_PALETTE.len())];
+        for i in 0..size {
+            events.push(TrafficEvent {
+                arrival_ns: t + i as f64 * 100.0,
+                tenant,
+                seq_len,
+            });
+        }
+        // The next burst gap is measured from this burst's tail, so a
+        // short exponential draw can never rewind past the jitter.
+        t += (size - 1) as f64 * 100.0;
+    }
+    events
+}
+
+/// Adversarial traffic: steady Poisson arrivals whose sequence lengths
+/// *never repeat* (a deterministic non-repeating walk over a wide length
+/// range), so every request is a first-sight shape — the worst case for
+/// the program cache and for shape-bucketed batching. Useful as the
+/// lower bound in batching experiments and as a cache-churn stressor.
+///
+/// # Panics
+///
+/// Panics if `mean_gap_ns` is not positive.
+pub fn adversarial_traffic(
+    count: usize,
+    mean_gap_ns: f64,
+    tenants: u32,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    assert!(mean_gap_ns > 0.0, "mean gap must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xAD5E_4A11);
+    let mut t = 0.0f64;
+    // A seeded offset into a stride-walk over odd lengths: `base + 2i`
+    // never revisits a value, and the odd stride keeps lengths off the
+    // bucket-friendly powers of two.
+    let base = 129 + 2 * (rng.gen_range(0..1000));
+    (0..count)
+        .map(|i| {
+            t += exp_gap(&mut rng, mean_gap_ns);
+            TrafficEvent {
+                arrival_ns: t,
+                tenant: draw_tenant(&mut rng, tenants),
+                seq_len: base + 2 * i,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_monotone() {
+        let streams = [
+            diurnal_traffic(200, 10_000.0, 1e8, 3, 7),
+            bursty_traffic(200, 10_000.0, 8, 3, 7),
+            adversarial_traffic(200, 10_000.0, 3, 7),
+        ];
+        let again = [
+            diurnal_traffic(200, 10_000.0, 1e8, 3, 7),
+            bursty_traffic(200, 10_000.0, 8, 3, 7),
+            adversarial_traffic(200, 10_000.0, 3, 7),
+        ];
+        for (a, b) in streams.iter().zip(&again) {
+            assert_eq!(a.len(), 200);
+            assert_eq!(a, b, "same seed must give the identical stream");
+            assert!(
+                a.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+                "arrivals must be monotone"
+            );
+            assert!(a.iter().all(|e| e.tenant < 3));
+        }
+    }
+
+    #[test]
+    fn bursts_share_shape_and_tenant() {
+        let events = bursty_traffic(64, 50_000.0, 6, 2, 42);
+        // Events closer than 1 µs belong to one burst: same length, same
+        // tenant.
+        for w in events.windows(2) {
+            if w[1].arrival_ns - w[0].arrival_ns < 1_000.0 {
+                assert_eq!(w[0].seq_len, w[1].seq_len);
+                assert_eq!(w[0].tenant, w[1].tenant);
+            }
+        }
+        assert!(events.iter().all(|e| LENGTH_PALETTE.contains(&e.seq_len)));
+    }
+
+    #[test]
+    fn adversarial_lengths_never_repeat() {
+        let events = adversarial_traffic(500, 5_000.0, 1, 3);
+        let mut seen = std::collections::HashSet::new();
+        for e in &events {
+            assert!(seen.insert(e.seq_len), "length {} repeated", e.seq_len);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = diurnal_traffic(50, 10_000.0, 1e8, 2, 1);
+        let b = diurnal_traffic(50, 10_000.0, 1e8, 2, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -86,6 +86,17 @@ echo "==> cache smoke: mikpoly cache-bench (stress + restart gates)"
 echo "==> sim-throughput gate (event core >= 10x reference, floor 14M tasks/s)"
 ./target/release/experiments sim-throughput
 
+# Batched-serving gate: shape-bucketed continuous batching plus co-launch
+# waves must beat solo dispatch under overload on both goodput and P99,
+# and per-tenant waiting-slot quotas must isolate a flooding tenant (the
+# victim tenant is served in full, the flood sheds as tenant-throttled).
+# The experiment asserts its gates and exits non-zero on violation;
+# records the measurement in results/batch-serving.json. Quick mode keeps
+# the offline stage bounded — the serving timelines are virtual, so the
+# gated ratios are the same regime CI measures on full runs.
+echo "==> batch-serving gate (batched >= solo under overload + tenant isolation)"
+./target/release/experiments --quick batch-serving
+
 # Conformance: a bounded differential-fuzz smoke (fixed seed, well under
 # 30 s in release) that replays the regression corpus first, then the
 # cost-model-fidelity gate over the pinned shape corpus. Scale the fuzz

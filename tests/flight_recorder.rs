@@ -17,6 +17,7 @@ fn chain(id: u64, disposition: ChainDisposition, error_len: usize) -> ChainRecor
         id,
         shape_key: id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         worker: 0,
+        tenant: 0,
         queue_ns: 1_000.0,
         compile_real_ns: 0.0,
         search_ns: 0.0,

@@ -39,6 +39,7 @@ fn bert_poisson_stream_emits_valid_nested_trace() {
                 .map(|op| (op.operator, op.count))
                 .collect(),
             deadline_ns: None,
+            tenant: 0,
         })
         .collect();
     let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());
@@ -178,6 +179,7 @@ fn chrome_trace_spans_nest_strictly_per_lane() {
                 .map(|op| (op.operator, op.count))
                 .collect(),
             deadline_ns: None,
+            tenant: 0,
         })
         .collect();
     let cluster = Cluster::new(MachineModel::a100(), 2, Interconnect::nvlink3());

@@ -1,0 +1,72 @@
+//! Property tests on the serving-traffic generators: any valid parameter
+//! set must yield a stream that is (a) byte-identical when regenerated
+//! under the same seed and (b) monotone in arrival time — the two
+//! invariants the batch-serving experiment and the batched dispatcher
+//! rely on.
+
+use mikpoly_suite::workloads::{
+    adversarial_traffic, bursty_traffic, diurnal_traffic, TrafficEvent, LENGTH_PALETTE,
+};
+use proptest::prelude::*;
+
+fn assert_deterministic_and_monotone(a: &[TrafficEvent], b: &[TrafficEvent], tenants: u32) {
+    assert_eq!(a, b, "same seed must regenerate the identical stream");
+    assert!(
+        a.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+        "arrivals must be monotone non-decreasing"
+    );
+    assert!(a
+        .iter()
+        .all(|e| e.arrival_ns.is_finite() && e.arrival_ns >= 0.0));
+    assert!(a.iter().all(|e| e.tenant < tenants.max(1)));
+    assert!(a.iter().all(|e| e.seq_len >= 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diurnal_streams_are_deterministic_and_monotone(
+        count in 1usize..300,
+        mean_gap in 100.0f64..1e7,
+        period in 1e6f64..1e10,
+        tenants in 0u32..6,
+        seed in 0u64..100_000,
+    ) {
+        let a = diurnal_traffic(count, mean_gap, period, tenants, seed);
+        let b = diurnal_traffic(count, mean_gap, period, tenants, seed);
+        prop_assert_eq!(a.len(), count);
+        assert_deterministic_and_monotone(&a, &b, tenants);
+        prop_assert!(a.iter().all(|e| LENGTH_PALETTE.contains(&e.seq_len)));
+    }
+
+    #[test]
+    fn bursty_streams_are_deterministic_and_monotone(
+        count in 1usize..300,
+        mean_gap in 100.0f64..1e7,
+        burst in 1usize..12,
+        tenants in 0u32..6,
+        seed in 0u64..100_000,
+    ) {
+        let a = bursty_traffic(count, mean_gap, burst, tenants, seed);
+        let b = bursty_traffic(count, mean_gap, burst, tenants, seed);
+        prop_assert_eq!(a.len(), count, "bursts must not over- or under-fill");
+        assert_deterministic_and_monotone(&a, &b, tenants);
+    }
+
+    #[test]
+    fn adversarial_streams_are_deterministic_monotone_and_cache_busting(
+        count in 1usize..300,
+        mean_gap in 100.0f64..1e7,
+        tenants in 0u32..6,
+        seed in 0u64..100_000,
+    ) {
+        let a = adversarial_traffic(count, mean_gap, tenants, seed);
+        let b = adversarial_traffic(count, mean_gap, tenants, seed);
+        prop_assert_eq!(a.len(), count);
+        assert_deterministic_and_monotone(&a, &b, tenants);
+        // The adversary's defining property: no shape ever repeats.
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(a.iter().all(|e| seen.insert(e.seq_len)));
+    }
+}
