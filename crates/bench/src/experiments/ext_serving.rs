@@ -255,6 +255,62 @@ pub fn run(h: &Harness) -> Vec<Report> {
     if let Err(e) = std::fs::write(&metrics_path, telemetry.registry().render_prometheus()) {
         eprintln!("ext-serving: cannot write {}: {e}", metrics_path.display());
     }
+
+    // Snapshot-while-serving gate: replay the same stream at 4 workers
+    // with the background snapshotter persisting the warm caches at a
+    // short interval. Snapshots read the lock-free published cache
+    // snapshot and commit atomically on a separate thread, so the
+    // virtual-time throughput must stay within 5% of the plain run — any
+    // gap means snapshotting contended with the serving path.
+    let snapshot_dir = h.config.results_dir.join("ext-serving-snapshots");
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    let snap_engine = Arc::new(Engine::from_compilers(
+        gpu.clone(),
+        h.compiler(&gpu, TemplateKind::Gemm),
+        h.compiler(&gpu, TemplateKind::Conv),
+    ));
+    let snapshotter = mikpoly::Snapshotter::start(
+        Arc::clone(&snap_engine),
+        snapshot_dir.clone(),
+        std::time::Duration::from_millis(10),
+    );
+    let cluster = Cluster::new(gpu.clone(), devices, Interconnect::nvlink3());
+    let snapshotted = ServingRuntime::new(snap_engine, cluster, 4).serve(&requests);
+    let stats = snapshotter.stop();
+    assert!(
+        stats.snapshots >= 1 && stats.errors == 0,
+        "snapshotter took {} snapshot(s) with {} error(s)",
+        stats.snapshots,
+        stats.errors
+    );
+    let snapshotted_rps = snapshotted.throughput_rps();
+    assert!(
+        (snapshotted_rps - rps_at(4)).abs() / rps_at(4) < 0.05,
+        "live snapshotting shifted virtual-time throughput: {snapshotted_rps:.0} vs {:.0} req/s",
+        rps_at(4)
+    );
+    // The committed generation must restore clean into a fresh engine
+    // built on the same library.
+    let restored_engine = Engine::from_compilers(
+        gpu.clone(),
+        h.compiler(&gpu, TemplateKind::Gemm),
+        h.compiler(&gpu, TemplateKind::Conv),
+    );
+    let restore = restored_engine.restore_program_caches(&snapshot_dir);
+    assert!(
+        restore.clean() && restore.restored() > 0,
+        "live snapshot did not restore clean: {restore}"
+    );
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+
+    latency.headline(
+        "throughput ratio, snapshotting / plain at 4 workers (gate 0.95..1.05)",
+        snapshotted_rps / rps_at(4),
+    );
+    latency.headline(
+        "programs restored from the live snapshot",
+        restore.restored() as f64,
+    );
     latency.headline(
         "throughput ratio, recorder+traced / untraced at 4 workers (gate 0.95..1.05)",
         traced_rps / rps_at(4),

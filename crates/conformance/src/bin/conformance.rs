@@ -5,26 +5,31 @@
 //! conformance fuzz [--seed N] [--cases N] [--corpus PATH] [--machines gpu,npu]
 //! conformance gate --corpus PATH [--threshold F] [--cap N] [--out PATH]
 //!                  [--cost-model full|wave-only|pipe-only]
+//! conformance crash [--seed N] [--flips N] [--fuzz-blobs N]
 //! ```
 //!
 //! `fuzz` replays the regression corpus, then runs seeded random cases;
 //! any failure is shrunk, appended to the corpus (when given), and fails
 //! the process. `gate` measures the oracle gap over the pinned corpus and
-//! fails when the p95 exceeds the threshold.
+//! fails when the p95 exceeds the threshold. `crash` runs the durable
+//! warm-state crash matrix: every-offset truncation, seeded bit flips,
+//! and arbitrary bytes must never panic the loader, and salvage must
+//! recover exactly the valid record prefix.
 
 use std::process::ExitCode;
 
 use mikpoly::{CostModelKind, OnlineOptions};
 use mikpoly_conformance::{
-    append_to_corpus, default_case_count, fuzz_run, load_corpus, run_gate, ConformanceEnv,
-    FuzzConfig, GateConfig, MachineKind,
+    append_to_corpus, crash_run, default_case_count, fuzz_run, load_corpus, run_gate,
+    ConformanceEnv, CrashConfig, FuzzConfig, GateConfig, MachineKind,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: conformance fuzz [--seed N] [--cases N] [--corpus PATH] [--machines gpu,npu]\n\
          \x20      conformance gate --corpus PATH [--threshold F] [--cap N] [--out PATH]\n\
-         \x20                       [--cost-model full|wave-only|pipe-only]"
+         \x20                       [--cost-model full|wave-only|pipe-only]\n\
+         \x20      conformance crash [--seed N] [--flips N] [--fuzz-blobs N]"
     );
     ExitCode::from(2)
 }
@@ -158,6 +163,44 @@ fn gate_cmd(flags: &[(String, String)]) -> Result<ExitCode, String> {
     })
 }
 
+fn crash_cmd(flags: &[(String, String)]) -> Result<ExitCode, String> {
+    let mut config = CrashConfig::default();
+    if let Some(seed) = find(flags, "seed") {
+        config.seed = seed.parse().map_err(|_| format!("bad --seed {seed}"))?;
+    }
+    if let Some(flips) = find(flags, "flips") {
+        config.flips = flips.parse().map_err(|_| format!("bad --flips {flips}"))?;
+    }
+    if let Some(blobs) = find(flags, "fuzz-blobs") {
+        config.fuzz_blobs = blobs
+            .parse()
+            .map_err(|_| format!("bad --fuzz-blobs {blobs}"))?;
+    }
+    // A panicking loader is a *finding* here, not a crash: silence the
+    // default hook so a violating trial reports one line instead of a
+    // backtrace per offset.
+    std::panic::set_hook(Box::new(|_| {}));
+    let env = ConformanceEnv::fast();
+    let report = crash_run(&env, &config);
+    let _ = std::panic::take_hook();
+    println!(
+        "crash: seed {:#x}: {} truncation offsets, {} bit flips, {} fuzz blobs: {} violation(s)",
+        config.seed,
+        report.truncations,
+        report.flips,
+        report.fuzz_blobs,
+        report.violations.len()
+    );
+    for violation in &report.violations {
+        eprintln!("FAIL {violation}");
+    }
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -173,6 +216,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "fuzz" => fuzz_cmd(&flags),
         "gate" => gate_cmd(&flags),
+        "crash" => crash_cmd(&flags),
         _ => return usage(),
     };
     match result {

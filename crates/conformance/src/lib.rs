@@ -18,8 +18,13 @@
 //!   (cost-model pick latency / exhaustive-oracle pick latency) over a
 //!   pinned corpus and fails when the p95 exceeds a threshold, so a
 //!   regression in the Eq. 2 model is caught in CI, not as benchmark drift.
+//! * **Crash-injection matrix** ([`crash_run`]): truncates the durable
+//!   warm-state bundle at every byte offset, flips seeded bits, and feeds
+//!   arbitrary bytes through the loaders, proving recovery never panics
+//!   and salvage recovers exactly the valid record prefix.
 //!
-//! The `conformance` binary exposes the fuzzer and gate to `scripts/ci.sh`.
+//! The `conformance` binary exposes the fuzzer, gate, and crash matrix to
+//! `scripts/ci.sh`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +35,14 @@ use accel_sim::MachineModel;
 use mikpoly::telemetry::Telemetry;
 use mikpoly::{Engine, MikPoly, OfflineOptions, OnlineOptions, TemplateKind};
 
+pub mod crash;
 pub mod fuzz;
 pub mod gate;
 pub mod oracle;
 pub mod reference;
 pub mod rng;
 
+pub use crash::{crash_run, CrashConfig, CrashReport};
 pub use fuzz::{
     append_to_corpus, default_case_count, fuzz_run, gen_op, load_corpus, run_case, save_corpus,
     shrink, CaseFailure, FaultSpec, FuzzCase, FuzzConfig, FuzzReport, MachineKind, OpSpec,

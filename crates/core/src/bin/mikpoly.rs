@@ -9,6 +9,8 @@
 //!               [--tenants N] [--batch-window-us N] [--max-batch N]
 //!               [--trace-out trace.json] [--metrics-out metrics.txt]
 //!               [--blackbox-out blackbox.json]
+//!               [--snapshot-dir DIR] [--snapshot-interval-ms N]
+//!               [--drain-after-us N]
 //! mikpoly stats [serve flags] [--json]       # telemetered serve + metrics table
 //! mikpoly health [--requests N] [--workers N] [--seed N] [--fault-rate F]
 //!               [--deadline-us N] [--compile-budget-us N] [--json] [--machine ...]
@@ -19,6 +21,7 @@
 //! mikpoly cache-bench [--threads N] [--ops N] [--keys N] [--capacity N]
 //!               [--theta F] [--seed N] [--min-hit-rate F]
 //!               [--restart-entries N] [--restart-budget-ms N] [--machine ...]
+//!               [--crash-programs N] [--crash-flips N]
 //! ```
 //!
 //! Runs the offline stage (cached in-process), polymerizes the requested
@@ -33,6 +36,13 @@
 //! `--blackbox-out` the stream is additionally evaluated against the
 //! default SLO policy and, on violation, a black-box dump (SLO report +
 //! every retained flight-recorder chain) is written for offline triage.
+//! With `--snapshot-dir` the serve restores whatever warm-state
+//! generation the directory holds before taking traffic (salvaging torn
+//! bundles, quarantining damage), snapshots the caches live in the
+//! background every `--snapshot-interval-ms`, and ends with a graceful
+//! drain that persists a final generation and prints the drain report;
+//! `--drain-after-us` pins a deterministic virtual drain point, shedding
+//! later arrivals as `draining`.
 //! `stats` runs the same stream and prints the metrics registry as an
 //! aligned table (`--json` for the machine-readable snapshot); `health`
 //! runs a fixed-seed stream, evaluates windowed SLIs and multi-window
@@ -52,9 +62,10 @@ use accel_sim::{Cluster, FaultPlan, Interconnect, MachineModel};
 use mikpoly::serving::poisson_arrivals;
 use mikpoly::telemetry::{render_blackbox, SloPolicy, Telemetry};
 use mikpoly::{
-    encode_bundle, BatchingOptions, BreakerPolicy, CacheStats, CompiledProgram, Disposition,
-    Engine, MikPoly, OfflineOptions, OnlineOptions, PatternId, Region, Request, ServingOptions,
-    ServingRuntime, ShardedCache, TemplateKind, TenantPolicy, TenantQuota,
+    decode_bundle, encode_bundle, record_end_offsets, salvage_bundle, BatchingOptions,
+    BreakerPolicy, CacheStats, CompiledProgram, Disposition, Engine, MikPoly, OfflineOptions,
+    OnlineOptions, PatternId, Region, Request, ServingOptions, ServingRuntime, ShardedCache,
+    Snapshotter, TemplateKind, TenantPolicy, TenantQuota,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -226,6 +237,12 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
     let trace_out = flag_value(args, "--trace-out");
     let metrics_out = flag_value(args, "--metrics-out");
     let blackbox_out = flag_value(args, "--blackbox-out");
+    let snapshot_dir = flag_value(args, "--snapshot-dir");
+    let snapshot_interval_ms: u64 = parsed_flag(args, "--snapshot-interval-ms").unwrap_or(200);
+    let drain_after_us: Option<f64> = parsed_flag(args, "--drain-after-us");
+    if snapshot_interval_ms == 0 || drain_after_us.is_some_and(|us| us < 0.0) {
+        usage("serve needs a positive --snapshot-interval-ms and non-negative --drain-after-us");
+    }
     let telemetry = if trace_out.is_some()
         || metrics_out.is_some()
         || blackbox_out.is_some()
@@ -246,6 +263,14 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
         Arc::clone(&telemetry),
     ));
     eprintln!("offline: done in {:.1?}\n", t0.elapsed());
+
+    // Warm restart: restore whatever generation the snapshot directory
+    // holds (salvaging torn bundles, quarantining damage) before taking
+    // traffic. An absent directory is a normal cold start.
+    if let Some(dir) = snapshot_dir {
+        let restore = engine.restore_program_caches(dir);
+        eprintln!("{restore}");
+    }
 
     // One request = the four GEMMs of a transformer encoder layer at a
     // random sequence length (quantized to 16, the serving bucket size).
@@ -297,10 +322,30 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
         ..ServingOptions::default()
     };
     let cluster = Cluster::new(machine, devices, Interconnect::nvlink3());
-    let runtime = ServingRuntime::new(engine, cluster, workers).with_options(options);
+    let runtime = ServingRuntime::new(Arc::clone(&engine), cluster, workers).with_options(options);
+    // A virtual drain point closes admission deterministically: requests
+    // arriving at or after the point are shed as draining.
+    if let Some(us) = drain_after_us {
+        runtime.lifecycle().request_drain_at(us * 1e3);
+    }
+    // Live snapshotting runs beside the serve, persisting the warm caches
+    // off the lock-free cache read path.
+    let snapshotter = snapshot_dir.map(|dir| {
+        Snapshotter::start(
+            Arc::clone(&engine),
+            std::path::PathBuf::from(dir),
+            std::time::Duration::from_millis(snapshot_interval_ms),
+        )
+    });
     let t1 = std::time::Instant::now();
     let report = runtime.serve(&requests);
     let wall = t1.elapsed();
+
+    // Stop the snapshotter (it takes one final snapshot) before the drain
+    // accounting, so saves stay single-writer.
+    let snapshot_stats = snapshotter.map(Snapshotter::stop);
+    let drain_report = (snapshot_dir.is_some() || drain_after_us.is_some())
+        .then(|| runtime.drain(&report, snapshot_dir.map(std::path::Path::new)));
 
     match mode {
         ServeMode::Report => {
@@ -373,6 +418,27 @@ fn serve(machine: MachineModel, args: &[String], mode: ServeMode) {
             } else {
                 println!("{}", telemetry.registry().render_pretty());
             }
+        }
+    }
+
+    if let Some(stats) = snapshot_stats {
+        println!(
+            "snapshot: {} live snapshot(s), {} error(s), last committed generation {}",
+            stats.snapshots,
+            stats.errors,
+            stats
+                .last_generation
+                .map_or_else(|| "none".to_string(), |g| g.to_string())
+        );
+    }
+    if let Some(drain) = &drain_report {
+        println!("{drain}");
+        if drain.dispositions.total() != n_requests {
+            eprintln!(
+                "drain: disposition invariant violated: {} dispositions for {n_requests} requests",
+                drain.dispositions.total()
+            );
+            std::process::exit(1);
         }
     }
 
@@ -1015,6 +1081,51 @@ fn cache_bench(machine: MachineModel, args: &[String]) {
     let _ = std::fs::remove_file(&bin_path);
     let _ = std::fs::remove_file(&json_path);
 
+    // Phase 3: crash matrix over the checksummed format. Truncate a
+    // bundle at every byte offset — salvage must recover exactly the
+    // records whose bytes end before the cut — then flip seeded bits —
+    // the strict decoder must reject every one (CRC32 catches any
+    // single-bit flip). The conformance crate's `crash` subcommand runs
+    // the larger matrix; this phase keeps the persistence benchmark
+    // honest about its own format.
+    let crash_programs: usize = parsed_flag(args, "--crash-programs").unwrap_or(8);
+    let crash_flips: usize = parsed_flag(args, "--crash-flips").unwrap_or(128);
+    let bundle = encode_bundle(programs.iter().take(crash_programs.max(1)));
+    match record_end_offsets(&bundle) {
+        Ok(ends) => {
+            for cut in 0..=bundle.len() {
+                let salvage = salvage_bundle(&bundle[..cut]);
+                let expected = ends.iter().filter(|&&end| end <= cut).count();
+                if salvage.programs.len() != expected {
+                    violation(format!(
+                        "truncation at {cut}: salvaged {} records, expected the exact \
+                         prefix of {expected}",
+                        salvage.programs.len()
+                    ));
+                    break;
+                }
+            }
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a5);
+            for _ in 0..crash_flips {
+                let pos = rng.gen_range(0..bundle.len());
+                let bit: u8 = rng.gen_range(0..8);
+                let mut damaged = bundle.clone();
+                damaged[pos] ^= 1 << bit;
+                if decode_bundle(&damaged).is_ok() {
+                    violation(format!(
+                        "bit flip at byte {pos} bit {bit} went undetected by the strict decoder"
+                    ));
+                }
+                let _ = salvage_bundle(&damaged);
+            }
+            println!(
+                "crash: {} truncation offsets and {crash_flips} bit flips held the salvage contract",
+                bundle.len() + 1
+            );
+        }
+        Err(e) => violation(format!("record_end_offsets rejected a fresh bundle: {e}")),
+    }
+
     if violations > 0 {
         eprintln!("\ncache-bench: {violations} invariant violation(s)");
         std::process::exit(1);
@@ -1050,6 +1161,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("  mikpoly library [--machine ...]");
     eprintln!("  mikpoly serve [--workers N] [--devices N] [--requests N] [--utilization F] [--seed N] [--deadline-us N] [--machine ...]");
     eprintln!("                [--trace-out trace.json] [--metrics-out metrics.txt] [--blackbox-out blackbox.json]");
+    eprintln!(
+        "                [--snapshot-dir DIR] [--snapshot-interval-ms N] [--drain-after-us N]"
+    );
     eprintln!("  mikpoly stats [serve flags] [--json]  # telemetered serve + metrics table/JSON");
     eprintln!("  mikpoly health [--requests N] [--workers N] [--seed N] [--fault-rate F] [--deadline-us N]");
     eprintln!("                [--compile-budget-us N] [--json] [--machine ...]");
@@ -1060,5 +1174,6 @@ fn usage(msg: &str) -> ! {
     eprintln!("                [--queue-capacity N] [--deadline-us N] [--compile-budget-us N] [--machine ...]");
     eprintln!("  mikpoly cache-bench [--threads N] [--ops N] [--keys N] [--capacity N] [--theta F] [--seed N]");
     eprintln!("                [--min-hit-rate F] [--restart-entries N] [--restart-budget-ms N] [--machine ...]");
+    eprintln!("                [--crash-programs N] [--crash-flips N]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -551,13 +551,18 @@ impl MikPoly {
     ///
     /// Returns any I/O error from writing the file.
     pub fn save_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        // Snapshot Arc clones shard by shard, then serialize and write with
-        // no cache lock held — concurrent compiles proceed during the I/O.
+        // The write goes through the temp-file + fsync + rename protocol,
+        // so a crash mid-save can never tear the bundle under `path`.
+        crate::persist::write_bytes_atomic(path.as_ref(), &self.encode_program_cache())
+    }
+
+    /// Serializes the current program cache as a checksummed binary
+    /// bundle in memory — the byte image [`MikPoly::save_program_cache`]
+    /// writes. Snapshots Arc clones shard by shard, so concurrent
+    /// compiles proceed during encoding (no cache lock is held).
+    pub fn encode_program_cache(&self) -> Vec<u8> {
         let programs: Vec<Arc<CompiledProgram>> = self.cache.snapshot();
-        std::fs::write(
-            path,
-            crate::persist::encode_bundle(programs.iter().map(|p| &**p)),
-        )
+        crate::persist::encode_bundle(programs.iter().map(|p| &**p))
     }
 
     /// Persists the program cache in the legacy (version 1) JSON format —
@@ -594,10 +599,40 @@ impl MikPoly {
     /// unrecognized or a program references unknown kernels.
     pub fn load_program_cache(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
         let bytes = std::fs::read(path)?;
-        let programs: Vec<CompiledProgram> = if crate::persist::is_binary_bundle(&bytes) {
-            crate::persist::decode_bundle(&bytes)?
-        } else if crate::persist::is_legacy_json_bundle(&bytes) {
-            let json = std::str::from_utf8(&bytes)
+        self.load_program_cache_bytes(&bytes)
+    }
+
+    /// The in-memory half of [`MikPoly::load_program_cache`]: sniffs,
+    /// decodes, validates, and bulk-inserts a bundle already read into
+    /// memory. The recovery path uses this directly so a strict failure
+    /// can fall back to salvage without re-reading the file.
+    ///
+    /// # Errors
+    ///
+    /// As [`MikPoly::load_program_cache`], minus the file read.
+    pub fn load_program_cache_bytes(&self, bytes: &[u8]) -> std::io::Result<usize> {
+        let programs: Vec<CompiledProgram> = if crate::persist::is_binary_bundle(bytes) {
+            crate::persist::decode_bundle(bytes)?
+        } else if crate::persist::is_legacy_json_bundle(bytes) {
+            // The vendored JSON parser is superlinear in input size; a
+            // huge (or hostile) legacy file must not wedge startup.
+            if bytes.len() > crate::persist::LEGACY_JSON_MAX_BYTES {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "legacy JSON bundle is {} bytes, over the {} byte parse cap — \
+                         re-save it in the binary format (see docs/cache.md)",
+                        bytes.len(),
+                        crate::persist::LEGACY_JSON_MAX_BYTES
+                    ),
+                ));
+            }
+            eprintln!(
+                "mikpoly: loading a legacy JSON bundle ({} bytes); \
+                 re-save in the binary format for checksums and fast loads",
+                bytes.len()
+            );
+            let json = std::str::from_utf8(bytes)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             serde_json::from_str(json).map_err(std::io::Error::other)?
         } else {
@@ -607,23 +642,38 @@ impl MikPoly {
             ));
         };
         for p in &programs {
-            for r in &p.regions {
-                if self.library.get(r.kernel.id).map(|t| t.kernel) != Some(r.kernel) {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!(
-                            "program for {} references {} absent from this library",
-                            p.operator, r.kernel
-                        ),
-                    ));
-                }
-            }
+            self.validate_restored_program(p)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         }
         let count = programs.len();
         // Validation done; the bulk insert republishes each shard once.
         self.cache
             .insert_many(programs.into_iter().map(|p| (p.operator, Arc::new(p))));
         Ok(count)
+    }
+
+    /// Checks that a restored program's kernels all exist in this
+    /// compiler's library — the guard against adopting a bundle from a
+    /// different machine or library version.
+    pub(crate) fn validate_restored_program(&self, p: &CompiledProgram) -> Result<(), String> {
+        for r in &p.regions {
+            if self.library.get(r.kernel.id).map(|t| t.kernel) != Some(r.kernel) {
+                return Err(format!(
+                    "program for {} references {} absent from this library",
+                    p.operator, r.kernel
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-inserts already-validated restored programs through the
+    /// cache's one-republish-per-shard path. Used by the salvage loader.
+    pub(crate) fn adopt_restored_programs(&self, programs: Vec<CompiledProgram>) -> usize {
+        let count = programs.len();
+        self.cache
+            .insert_many(programs.into_iter().map(|p| (p.operator, Arc::new(p))));
+        count
     }
 
     /// One fresh polymerization with the fault hooks applied, in schedule

@@ -370,41 +370,209 @@ impl Engine {
         }
     }
 
-    /// Persists both template compilers' program caches as binary bundles
-    /// (`gemm.mpac` and `conv.mpac`) under `dir`, creating it if needed —
-    /// the warm state a restarting serving process reloads with
-    /// [`Engine::load_program_caches`].
+    /// Persists both template compilers' program caches under `dir`
+    /// (creating it if needed) through the crash-consistent protocol:
+    /// each bundle is written atomically under a generation-numbered
+    /// name (`gemm.mpac.<g>`), then a checksummed
+    /// [`Manifest`](crate::recovery::Manifest) referencing the whole
+    /// generation is renamed into place as the single commit point — a
+    /// crash at any step leaves the previous committed generation fully
+    /// intact, never a mix of old and new bundles. Files from superseded
+    /// generations are removed after the commit. Returns the committed
+    /// generation number.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating the directory or writing a
-    /// bundle.
-    pub fn save_program_caches(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Returns any I/O error from creating the directory, writing a
+    /// bundle, or committing the manifest. On error nothing is
+    /// committed: readers keep seeing the previous generation.
+    pub fn save_program_caches(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<u64> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        self.gemm.save_program_cache(dir.join("gemm.mpac"))?;
-        self.conv.save_program_cache(dir.join("conv.mpac"))
+        let previous = crate::recovery::Manifest::read(dir).ok().flatten();
+        let generation = previous.as_ref().map_or(1, |m| m.generation + 1);
+        let mut manifest = crate::recovery::Manifest {
+            generation,
+            bundles: Vec::new(),
+        };
+        for (compiler, stem) in [(&self.gemm, "gemm"), (&self.conv, "conv")] {
+            let name = format!("{stem}.mpac.{generation}");
+            let bytes = compiler.encode_program_cache();
+            crate::persist::write_bytes_atomic(&dir.join(&name), &bytes)?;
+            manifest
+                .bundles
+                .push((name, bytes.len() as u64, crate::persist::crc32(&bytes)));
+        }
+        manifest.commit(dir)?;
+        // The old generation is unreferenced now; reclaim its files.
+        // (Quarantined files live under quarantine/ and are never touched.)
+        if let Some(previous) = previous {
+            for (name, _, _) in previous.bundles {
+                if !manifest.bundles.iter().any(|(n, _, _)| *n == name) {
+                    let _ = std::fs::remove_file(dir.join(name));
+                }
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Restores warm state from `dir` with full recovery semantics,
+    /// returning a typed [`RestoreReport`](crate::recovery::RestoreReport)
+    /// that distinguishes, per bundle: **clean** (every checksum
+    /// verified), **salvaged** (damaged, the longest valid record prefix
+    /// was loaded and the file quarantined), **quarantined** (damaged
+    /// beyond salvage, nothing loaded, file moved aside), and **absent**
+    /// (cold start). Never errors and never panics: damage is an outcome,
+    /// not an exception. Damaged files are moved into `dir/quarantine/`,
+    /// never deleted. The report is also exported as `cache.restore.*`
+    /// counters on this engine's telemetry registry.
+    pub fn restore_program_caches(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> crate::recovery::RestoreReport {
+        use crate::recovery::{BundleRestore, Manifest, RestoreOutcome, RestoreReport};
+        let dir = dir.as_ref();
+        let mut report = RestoreReport::default();
+        let manifest = match Manifest::read(dir) {
+            Ok(m) => m,
+            Err(e) => {
+                // A torn or tampered manifest: quarantine it and fall back
+                // to the flat legacy file names below.
+                report.bundles.push(BundleRestore {
+                    bundle: "manifest".to_string(),
+                    outcome: RestoreOutcome::Quarantined,
+                    restored: 0,
+                    claimed: None,
+                    quarantined_to: crate::recovery::quarantine_file(
+                        &dir.join(crate::recovery::MANIFEST_NAME),
+                    )
+                    .ok(),
+                    detail: Some(e.to_string()),
+                });
+                None
+            }
+        };
+        report.generation = manifest.as_ref().map(|m| m.generation);
+        for (compiler, stem) in [(&self.gemm, "gemm"), (&self.conv, "conv")] {
+            let flat = dir.join(format!("{stem}.mpac"));
+            let (path, committed) = match &manifest {
+                Some(m) => match m
+                    .bundles
+                    .iter()
+                    .find(|(n, _, _)| n.starts_with(&format!("{stem}.mpac")))
+                {
+                    Some((name, len, crc)) => (dir.join(name), Some((*len, *crc))),
+                    None => (flat, None),
+                },
+                None => (flat, None),
+            };
+            report
+                .bundles
+                .push(restore_one_bundle(compiler, stem, &path, committed));
+        }
+        report.export_to(self.telemetry().registry());
+        report
     }
 
     /// Loads the warm state written by [`Engine::save_program_caches`],
     /// returning the total number of programs restored. A missing bundle
     /// file is treated as empty (a cold compiler), so a first boot against
-    /// a fresh state directory succeeds.
+    /// a fresh state directory succeeds — `Ok(0)` means *no warm state*,
+    /// while damage is a typed error, never silently conflated with a
+    /// cold start. Built on [`Engine::restore_program_caches`]; callers
+    /// that want to keep the salvaged prefix of a damaged directory (and
+    /// the per-bundle outcomes) should use that instead.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if a present bundle is unreadable, malformed,
-    /// or references kernels absent from the corresponding library.
+    /// Returns [`std::io::ErrorKind::InvalidData`] if any present bundle
+    /// was damaged or failed validation — even when a prefix was
+    /// salvaged into the cache and the damaged file quarantined.
     pub fn load_program_caches(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
-        let dir = dir.as_ref();
-        let mut restored = 0;
-        for (compiler, name) in [(&self.gemm, "gemm.mpac"), (&self.conv, "conv.mpac")] {
-            let path = dir.join(name);
-            if path.exists() {
-                restored += compiler.load_program_cache(path)?;
-            }
+        let report = self.restore_program_caches(dir);
+        if report.degraded() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                crate::MikPolyError::WarmStateDamaged {
+                    report: report.to_string(),
+                },
+            ));
         }
-        Ok(restored)
+        Ok(report.restored())
+    }
+}
+
+/// Restores one bundle file with the clean → salvage → quarantine
+/// ladder. `committed` carries the manifest's length and CRC32 when the
+/// file belongs to a committed generation; a mismatch against it is
+/// treated as damage even if the bundle's own checksums pass (the
+/// manifest is the commit point — a non-matching file is not the state
+/// that was committed).
+fn restore_one_bundle(
+    compiler: &MikPoly,
+    stem: &str,
+    path: &std::path::Path,
+    committed: Option<(u64, u32)>,
+) -> crate::recovery::BundleRestore {
+    use crate::recovery::{BundleRestore, RestoreOutcome};
+    let mut restore = BundleRestore {
+        bundle: stem.to_string(),
+        outcome: RestoreOutcome::Absent,
+        restored: 0,
+        claimed: None,
+        quarantined_to: None,
+        detail: None,
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return restore,
+        Err(e) => {
+            restore.outcome = RestoreOutcome::Quarantined;
+            restore.detail = Some(format!("unreadable: {e}"));
+            restore.quarantined_to = crate::recovery::quarantine_file(path).ok();
+            return restore;
+        }
+    };
+    let strict = if committed
+        .is_none_or(|(len, crc)| bytes.len() as u64 == len && crate::persist::crc32(&bytes) == crc)
+    {
+        compiler.load_program_cache_bytes(&bytes)
+    } else {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bundle does not match the committed manifest (length or checksum)",
+        ))
+    };
+    match strict {
+        Ok(n) => {
+            restore.outcome = RestoreOutcome::Clean;
+            restore.restored = n;
+            restore.claimed = Some(n as u64);
+            restore
+        }
+        Err(e) => {
+            restore.detail = Some(e.to_string());
+            let salvage = crate::persist::salvage_bundle(&bytes);
+            restore.claimed = salvage.claimed;
+            // Salvaged records must still belong to this library; the
+            // prefix stops at the first foreign program.
+            let mut valid = Vec::new();
+            for program in salvage.programs {
+                if let Err(v) = compiler.validate_restored_program(&program) {
+                    restore.detail = Some(v);
+                    break;
+                }
+                valid.push(program);
+            }
+            restore.restored = compiler.adopt_restored_programs(valid);
+            restore.quarantined_to = crate::recovery::quarantine_file(path).ok();
+            restore.outcome = if restore.restored > 0 {
+                RestoreOutcome::Salvaged
+            } else {
+                RestoreOutcome::Quarantined
+            };
+            restore
+        }
     }
 }
 
@@ -522,6 +690,129 @@ mod tests {
         assert_eq!(b.load_program_caches(&dir).expect("load warm state"), 2);
         assert_eq!(b.run_operator(&gemm).run.compile_ns, 0, "gemm warm");
         assert_eq!(b.run_operator(&conv).run.compile_ns, 0, "conv warm");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_commits_generations_and_reclaims_old_files() {
+        let dir = std::env::temp_dir().join(format!("mikpoly-engine-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = engine(ConvAlgorithm::ImplicitGemm);
+        let gemm = Operator::gemm(GemmShape::new(320, 192, 128));
+        let conv = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1));
+        a.run_operator(&gemm);
+        a.run_operator(&conv);
+        assert_eq!(a.save_program_caches(&dir).expect("first save"), 1);
+        assert_eq!(a.save_program_caches(&dir).expect("second save"), 2);
+        // The superseded generation is reclaimed; the committed one stays.
+        assert!(!dir.join("gemm.mpac.1").exists());
+        assert!(dir.join("gemm.mpac.2").exists());
+        assert!(dir.join("conv.mpac.2").exists());
+
+        let b = engine(ConvAlgorithm::ImplicitGemm);
+        let report = b.restore_program_caches(&dir);
+        assert!(report.clean(), "clean directory must restore clean");
+        assert_eq!(report.generation, Some(2));
+        assert_eq!(report.restored(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restore_salvages_torn_bundles_and_quarantines_the_evidence() {
+        let dir = std::env::temp_dir().join(format!("mikpoly-engine-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = engine(ConvAlgorithm::ImplicitGemm);
+        let gemm = Operator::gemm(GemmShape::new(320, 192, 128));
+        let conv = Operator::conv2d(Conv2dShape::square(1, 16, 14, 16, 3, 1));
+        a.run_operator(&gemm);
+        a.run_operator(&conv);
+        a.save_program_caches(&dir).expect("save warm state");
+        // Tear the gemm bundle's footer off: the record itself survives.
+        let path = dir.join("gemm.mpac.1");
+        let bytes = std::fs::read(&path).expect("read bundle");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear bundle");
+
+        let b = engine(ConvAlgorithm::ImplicitGemm);
+        let report = b.restore_program_caches(&dir);
+        assert!(report.degraded());
+        let by_name = |name: &str| {
+            report
+                .bundles
+                .iter()
+                .find(|b| b.bundle == name)
+                .unwrap_or_else(|| panic!("no {name} entry"))
+        };
+        let g = by_name("gemm");
+        assert_eq!(g.outcome, crate::recovery::RestoreOutcome::Salvaged);
+        assert_eq!(g.restored, 1, "the one intact record must salvage");
+        assert!(g.quarantined_to.as_ref().is_some_and(|q| q.exists()));
+        assert!(!path.exists(), "damaged file must be moved aside");
+        assert_eq!(
+            by_name("conv").outcome,
+            crate::recovery::RestoreOutcome::Clean
+        );
+        // The salvaged program is a real warm hit.
+        assert_eq!(b.run_operator(&gemm).run.compile_ns, 0, "salvaged warm");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restore_quarantines_garbage_and_distinguishes_cold_starts() {
+        let dir = std::env::temp_dir().join(format!("mikpoly-engine-cold-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = engine(ConvAlgorithm::ImplicitGemm);
+        // A cold directory is absent, not a failure.
+        let cold = a.restore_program_caches(&dir);
+        assert!(cold.clean());
+        assert_eq!(cold.generation, None);
+        assert!(cold
+            .bundles
+            .iter()
+            .all(|b| b.outcome == crate::recovery::RestoreOutcome::Absent));
+        // Arbitrary garbage under a flat legacy name: quarantined, and
+        // `load_program_caches` fails closed instead of reporting 0.
+        std::fs::write(dir.join("gemm.mpac"), b"MPAC garbage here").expect("write");
+        let report = a.restore_program_caches(&dir);
+        let g = report
+            .bundles
+            .iter()
+            .find(|b| b.bundle == "gemm")
+            .expect("gemm entry");
+        assert_eq!(g.outcome, crate::recovery::RestoreOutcome::Quarantined);
+        assert_eq!(g.restored, 0);
+        std::fs::write(dir.join("conv.mpac"), b"not a bundle").expect("write");
+        assert!(
+            a.load_program_caches(&dir).is_err(),
+            "damage must be an error, not zero"
+        );
+        // The report exports typed outcome counters.
+        let telemetry = Telemetry::enabled();
+        report.export_to(telemetry.registry());
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("cache.restore.quarantined"), Some(1));
+        assert_eq!(snap.counter("cache.restore.absent"), Some(1));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn restore_reads_flat_directories_from_the_pre_manifest_era() {
+        let dir = std::env::temp_dir().join(format!("mikpoly-engine-flat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = engine(ConvAlgorithm::ImplicitGemm);
+        let gemm = Operator::gemm(GemmShape::new(320, 192, 128));
+        a.run_operator(&gemm);
+        // Old layout: bundles under flat names, no manifest.
+        a.gemm_compiler()
+            .save_program_cache(dir.join("gemm.mpac"))
+            .expect("flat save");
+        let b = engine(ConvAlgorithm::ImplicitGemm);
+        let report = b.restore_program_caches(&dir);
+        assert_eq!(report.generation, None);
+        assert!(report.clean());
+        assert_eq!(report.restored(), 1);
+        assert_eq!(b.run_operator(&gemm).run.compile_ns, 0, "flat warm");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -60,6 +60,7 @@ pub mod pattern;
 mod perf_model;
 pub mod persist;
 mod plan;
+pub mod recovery;
 mod resilience;
 mod search;
 pub mod serving;
@@ -81,8 +82,12 @@ pub use offline::{
 };
 pub use pattern::{all_patterns, default_patterns, gpu_patterns, Pattern, PatternId};
 pub use perf_model::{sample_schedule, PerfModel, Segment};
-pub use persist::{decode_bundle, encode_bundle, is_binary_bundle, is_legacy_json_bundle};
+pub use persist::{
+    crc32, decode_bundle, encode_bundle, encode_bundle_v2, is_binary_bundle, is_legacy_json_bundle,
+    record_end_offsets, salvage_bundle, write_bytes_atomic, SalvagedBundle,
+};
 pub use plan::{CompiledProgram, CoverageError, Region, SearchStats};
+pub use recovery::{quarantine_file, BundleRestore, Manifest, RestoreOutcome, RestoreReport};
 pub use resilience::{BreakerDecision, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use search::{
     enumerate_strategies, enumerate_strategies_capped, improve_with_split_k, polymerize,
@@ -90,9 +95,10 @@ pub use search::{
     try_polymerize_traced, SearchPolicy, SearchRun,
 };
 pub use serving::{
-    percentile, poisson_arrivals, BatchingOptions, Disposition, DispositionCounts, LatencySummary,
-    Request, RequestRecord, ServingOptions, ServingReport, ServingRuntime, ShedReason, TenantId,
-    TenantPolicy, TenantQuota, TenantStats, WorkerStats,
+    percentile, poisson_arrivals, BatchingOptions, Disposition, DispositionCounts, DrainReport,
+    LatencySummary, Lifecycle, Request, RequestRecord, ServingOptions, ServingReport,
+    ServingRuntime, ShedReason, SnapshotStats, Snapshotter, TenantId, TenantPolicy, TenantQuota,
+    TenantStats, WorkerStats,
 };
 
 /// The observability layer (re-exported so downstream crates need no

@@ -8,8 +8,9 @@
 //!
 //! ```text
 //! magic   b"MPAC"                          4 bytes
-//! version u32 LE                           (currently 2; version 1 is the
-//!                                           implicit legacy JSON format)
+//! version u32 LE                           (2 for this layout; version 1
+//!                                           is the implicit legacy JSON
+//!                                           format)
 //! count   u64 LE                           number of program records
 //! index   count x u64 LE                   byte length of each record
 //! records count variable-length records, concatenated in index order
@@ -29,8 +30,34 @@
 //! path — existing saved bundles keep loading forever. Anything else is
 //! rejected. New fields must bump [`FORMAT_VERSION`]; decoders for old
 //! versions stay.
+//!
+//! **Version 3 — the checksummed format** extends the layout above with
+//! end-to-end integrity:
+//!
+//! ```text
+//! magic    b"MPAC"                         4 bytes
+//! version  u32 LE                          (3)
+//! count    u64 LE                          number of program records
+//! index    count x u64 LE                  byte length of each record
+//! records  count x (record ++ crc32 LE)    each record followed by the
+//!                                           CRC32 of its own bytes
+//! footer   count u64 LE                    must equal the header count
+//!          crc32  u32 LE                   CRC32 of every preceding byte
+//!          magic  b"CAPM"                  4 bytes
+//! ```
+//!
+//! The per-record checksum makes *prefix salvage* possible: a torn or
+//! bit-flipped bundle yields exactly the records whose bytes and checksum
+//! survived, via [`salvage_bundle`] — which never errors and never
+//! panics. The footer detects silent truncation of whole trailing
+//! records (the strict loader treats a missing footer as damage). Writers
+//! should pair [`encode_bundle`] with [`write_bytes_atomic`] so a crash
+//! mid-write can never leave a half-written file under the final name.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io;
+use std::path::{Path, PathBuf};
 
 use tensor_ir::{Conv2dShape, DType, GemmShape, GemmView, Operator};
 
@@ -41,9 +68,28 @@ use crate::plan::{CompiledProgram, Region, SearchStats};
 /// The bundle magic: first four bytes of every binary bundle.
 pub const BUNDLE_MAGIC: [u8; 4] = *b"MPAC";
 
-/// Current binary format version. Version 1 is the implicit legacy JSON
-/// format (no magic, starts with `[`).
-pub const FORMAT_VERSION: u32 = 2;
+/// The footer magic: last four bytes of every version-3 bundle.
+pub const FOOTER_MAGIC: [u8; 4] = *b"CAPM";
+
+/// Current binary format version: the checksummed layout. Version 1 is
+/// the implicit legacy JSON format (no magic, starts with `[`); version
+/// 2 is the original binary layout without checksums.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The original binary layout (no per-record checksums, no footer).
+/// Still decoded forever; no longer written.
+pub const FORMAT_VERSION_V2: u32 = 2;
+
+/// Byte size of the version-3 footer (count + file CRC + magic).
+pub const FOOTER_LEN: usize = 16;
+
+/// Upper bound accepted for a legacy JSON bundle. The vendored JSON
+/// parser is superlinear in input size (~minutes at 10k entries, see
+/// docs/cache.md), so a huge — or hostile — legacy file must not wedge
+/// startup. A megabyte holds over a thousand entries, far beyond any
+/// bundle the JSON writer era produced; bigger caches should be
+/// re-saved in the binary format.
+pub const LEGACY_JSON_MAX_BYTES: usize = 1 << 20;
 
 /// Whether `bytes` starts like a binary bundle (any version).
 pub fn is_binary_bundle(bytes: &[u8]) -> bool {
@@ -58,13 +104,37 @@ pub fn is_legacy_json_bundle(bytes: &[u8]) -> bool {
         .is_some_and(|b| *b == b'[')
 }
 
-/// Encodes `programs` as a version-[`FORMAT_VERSION`] binary bundle.
+/// Encodes `programs` as a version-[`FORMAT_VERSION`] checksummed bundle.
 pub fn encode_bundle<'a>(programs: impl IntoIterator<Item = &'a CompiledProgram>) -> Vec<u8> {
+    let records: Vec<Vec<u8>> = programs.into_iter().map(encode_program).collect();
+    let body: usize = records.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(16 + 12 * records.len() + body + FOOTER_LEN);
+    out.extend_from_slice(&BUNDLE_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    for r in &records {
+        out.extend_from_slice(&(r.len() as u64).to_le_bytes());
+    }
+    for r in &records {
+        out.extend_from_slice(r);
+        out.extend_from_slice(&crc32(r).to_le_bytes());
+    }
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out.extend_from_slice(&FOOTER_MAGIC);
+    out
+}
+
+/// Encodes `programs` in the old version-2 layout (no checksums).
+///
+/// Only used by tests and the crash harness to prove the v2 decoder
+/// stays alive; production writers always emit [`FORMAT_VERSION`].
+pub fn encode_bundle_v2<'a>(programs: impl IntoIterator<Item = &'a CompiledProgram>) -> Vec<u8> {
     let records: Vec<Vec<u8>> = programs.into_iter().map(encode_program).collect();
     let body: usize = records.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(16 + 8 * records.len() + body);
     out.extend_from_slice(&BUNDLE_MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
     out.extend_from_slice(&(records.len() as u64).to_le_bytes());
     for r in &records {
         out.extend_from_slice(&(r.len() as u64).to_le_bytes());
@@ -75,24 +145,36 @@ pub fn encode_bundle<'a>(programs: impl IntoIterator<Item = &'a CompiledProgram>
     out
 }
 
-/// Decodes a binary bundle produced by [`encode_bundle`].
+/// Decodes a binary bundle produced by [`encode_bundle`] (version 3) or
+/// by the old writer ([`encode_bundle_v2`], version 2).
 ///
 /// # Errors
 ///
-/// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an unknown
-/// version, or any truncated/malformed record.
+/// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic, an
+/// unknown version, any truncated/malformed record, a checksum mismatch,
+/// or (v3) a missing or inconsistent footer. For best-effort recovery of
+/// a damaged bundle use [`salvage_bundle`] instead.
 pub fn decode_bundle(bytes: &[u8]) -> io::Result<Vec<CompiledProgram>> {
     let mut r = Reader::new(bytes);
     if r.take(4)? != BUNDLE_MAGIC {
         return Err(invalid("not a program bundle: bad magic"));
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
-        return Err(invalid(&format!(
-            "unsupported bundle version {version} (this build reads {FORMAT_VERSION})"
-        )));
+    match version {
+        FORMAT_VERSION => decode_records_v3(bytes, &mut r),
+        FORMAT_VERSION_V2 => decode_records_v2(&mut r),
+        _ => Err(invalid(&format!(
+            "unsupported bundle version {version} (this build reads {FORMAT_VERSION_V2} and {FORMAT_VERSION})"
+        ))),
     }
-    let count = usize_from(r.u64()?)?;
+}
+
+/// The strict version-3 body: checksummed records, then the footer.
+/// `bytes` is the whole bundle (needed for the whole-file checksum);
+/// `r` sits just past the version field.
+fn decode_records_v3(bytes: &[u8], r: &mut Reader<'_>) -> io::Result<Vec<CompiledProgram>> {
+    let count64 = r.u64()?;
+    let count = usize_from(count64)?;
     // Guard the index allocation against a hostile count before trusting
     // it: the index alone needs 8 bytes per record.
     if count > r.remaining() / 8 {
@@ -107,16 +189,62 @@ pub fn decode_bundle(bytes: &[u8]) -> io::Result<Vec<CompiledProgram>> {
         let record = r
             .take(len)
             .map_err(|_| invalid(&format!("record {i} truncated: wanted {len} more bytes")))?;
-        let mut rr = Reader::new(record);
-        let program =
-            decode_program(&mut rr).map_err(|e| invalid(&format!("record {i} malformed: {e}")))?;
-        if rr.remaining() != 0 {
-            return Err(invalid(&format!(
-                "record {i} has {} trailing bytes",
-                rr.remaining()
-            )));
+        let stored = r
+            .u32()
+            .map_err(|_| invalid(&format!("record {i} checksum truncated")))?;
+        if crc32(record) != stored {
+            return Err(invalid(&format!("record {i} failed its checksum")));
         }
-        programs.push(program);
+        programs.push(decode_record(record, i)?);
+    }
+    let footer_count = r
+        .u64()
+        .map_err(|_| invalid("bundle footer truncated: record count"))?;
+    if footer_count != count64 {
+        return Err(invalid(&format!(
+            "footer claims {footer_count} records, header claims {count64}"
+        )));
+    }
+    // The whole-file checksum covers every byte before itself, footer
+    // count included.
+    let covered = bytes.len() - r.remaining();
+    let stored = r
+        .u32()
+        .map_err(|_| invalid("bundle footer truncated: file checksum"))?;
+    if crc32(&bytes[..covered]) != stored {
+        return Err(invalid("bundle failed its whole-file checksum"));
+    }
+    if r.take(4)
+        .map_err(|_| invalid("bundle footer truncated: magic"))?
+        != FOOTER_MAGIC
+    {
+        return Err(invalid("bad footer magic"));
+    }
+    if r.remaining() != 0 {
+        return Err(invalid(&format!(
+            "bundle has {} trailing bytes after the footer",
+            r.remaining()
+        )));
+    }
+    Ok(programs)
+}
+
+/// The strict version-2 body: bare records, no checksums, no footer.
+fn decode_records_v2(r: &mut Reader<'_>) -> io::Result<Vec<CompiledProgram>> {
+    let count = usize_from(r.u64()?)?;
+    if count > r.remaining() / 8 {
+        return Err(invalid("bundle index longer than the file"));
+    }
+    let mut lengths = Vec::with_capacity(count);
+    for _ in 0..count {
+        lengths.push(usize_from(r.u64()?)?);
+    }
+    let mut programs = Vec::with_capacity(count);
+    for (i, len) in lengths.into_iter().enumerate() {
+        let record = r
+            .take(len)
+            .map_err(|_| invalid(&format!("record {i} truncated: wanted {len} more bytes")))?;
+        programs.push(decode_record(record, i)?);
     }
     if r.remaining() != 0 {
         return Err(invalid(&format!(
@@ -125,6 +253,223 @@ pub fn decode_bundle(bytes: &[u8]) -> io::Result<Vec<CompiledProgram>> {
         )));
     }
     Ok(programs)
+}
+
+/// Decodes one record slice, rejecting trailing bytes inside it.
+fn decode_record(record: &[u8], i: usize) -> io::Result<CompiledProgram> {
+    let mut rr = Reader::new(record);
+    let program =
+        decode_program(&mut rr).map_err(|e| invalid(&format!("record {i} malformed: {e}")))?;
+    if rr.remaining() != 0 {
+        return Err(invalid(&format!(
+            "record {i} has {} trailing bytes",
+            rr.remaining()
+        )));
+    }
+    Ok(program)
+}
+
+/// Best-effort decoding of a possibly-damaged binary bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedBundle {
+    /// The longest prefix of records that decoded and checksummed clean.
+    pub programs: Vec<CompiledProgram>,
+    /// The record count the header claims, when the header was readable.
+    pub claimed: Option<u64>,
+    /// Whether the strict decoder accepted the whole bundle (checksums
+    /// and footer included). When `true`, `programs` is the full bundle.
+    pub clean: bool,
+    /// The strict decoder's rejection, when `clean` is false.
+    pub detail: Option<String>,
+}
+
+/// Decodes as much of `bytes` as survived: the longest valid record
+/// prefix of a torn, bit-flipped, or otherwise damaged bundle.
+///
+/// Never errors and never panics, whatever the input — arbitrary bytes
+/// yield an empty salvage with the strict decoder's rejection attached.
+/// A record is kept only if its bytes are fully present, its stored
+/// CRC32 matches (version 3), and it decodes with no trailing bytes;
+/// the scan stops at the first record failing any of those, because
+/// record boundaries downstream of damage cannot be trusted.
+pub fn salvage_bundle(bytes: &[u8]) -> SalvagedBundle {
+    match decode_bundle(bytes) {
+        Ok(programs) => SalvagedBundle {
+            claimed: Some(programs.len() as u64),
+            clean: true,
+            detail: None,
+            programs,
+        },
+        Err(strict) => {
+            let (programs, claimed) = salvage_prefix(bytes);
+            SalvagedBundle {
+                programs,
+                claimed,
+                clean: false,
+                detail: Some(strict.to_string()),
+            }
+        }
+    }
+}
+
+/// The record-prefix scan behind [`salvage_bundle`]: header best-effort,
+/// then records in index order until the first damaged one.
+fn salvage_prefix(bytes: &[u8]) -> (Vec<CompiledProgram>, Option<u64>) {
+    let mut r = Reader::new(bytes);
+    let with_crc = match r.take(4) {
+        Ok(magic) if magic == BUNDLE_MAGIC => match r.u32() {
+            Ok(FORMAT_VERSION) => true,
+            Ok(FORMAT_VERSION_V2) => false,
+            _ => return (Vec::new(), None),
+        },
+        _ => return (Vec::new(), None),
+    };
+    let Ok(count64) = r.u64() else {
+        return (Vec::new(), None);
+    };
+    let claimed = Some(count64);
+    let Ok(count) = usize_from(count64) else {
+        return (Vec::new(), claimed);
+    };
+    // A count beyond what the file could index means the count itself is
+    // damaged — record boundaries are unknowable, salvage nothing.
+    if count > r.remaining() / 8 {
+        return (Vec::new(), claimed);
+    }
+    let mut lengths = Vec::with_capacity(count);
+    for _ in 0..count {
+        match r.u64().map(usize_from) {
+            Ok(Ok(len)) => lengths.push(len),
+            _ => return (Vec::new(), claimed),
+        }
+    }
+    let mut programs = Vec::new();
+    for len in lengths {
+        let Ok(record) = r.take(len) else { break };
+        if with_crc {
+            let Ok(stored) = r.u32() else { break };
+            if crc32(record) != stored {
+                break;
+            }
+        }
+        let mut rr = Reader::new(record);
+        let Ok(program) = decode_program(&mut rr) else {
+            break;
+        };
+        if rr.remaining() != 0 {
+            break;
+        }
+        programs.push(program);
+    }
+    (programs, claimed)
+}
+
+/// Absolute end offset (exclusive, checksum included) of each record in
+/// an intact version-3 bundle.
+///
+/// The crash harness uses this as the salvage oracle: truncating the
+/// bundle at byte offset `t` must salvage exactly the records with
+/// `end <= t`.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidData`] unless `bytes` carries a
+/// well-formed version-3 header and index.
+pub fn record_end_offsets(bytes: &[u8]) -> io::Result<Vec<usize>> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != BUNDLE_MAGIC {
+        return Err(invalid("not a program bundle: bad magic"));
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return Err(invalid("record offsets need a version-3 bundle"));
+    }
+    let count = usize_from(r.u64()?)?;
+    if count > r.remaining() / 8 {
+        return Err(invalid("bundle index longer than the file"));
+    }
+    let mut pos = 16 + 8 * count;
+    let mut ends = Vec::with_capacity(count);
+    for _ in 0..count {
+        pos += usize_from(r.u64()?)? + 4;
+        ends.push(pos);
+    }
+    Ok(ends)
+}
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// stamped on every version-3 record and bundle. Implemented here so the
+/// format needs no external dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Writes `bytes` to `path` through the crash-safe protocol: a hidden
+/// temp file in the same directory, `fsync`, atomic rename over the
+/// final name, then a best-effort directory `fsync` so the rename itself
+/// is durable. A crash at any point leaves either the old file intact or
+/// the new file complete — never a torn file under the final name.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename; the temp file is removed
+/// on a failed rename.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Directory fsync makes the rename durable. Not all platforms allow
+    // opening a directory for sync; treat failure as best-effort.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -412,6 +757,8 @@ fn decode_program(r: &mut Reader<'_>) -> io::Result<CompiledProgram> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn sample_program(seed: usize) -> CompiledProgram {
@@ -516,5 +863,114 @@ mod tests {
         assert!(!is_legacy_json_bundle(b"MPAC...."));
         assert!(!is_binary_bundle(b"["));
         assert!(!is_binary_bundle(b""));
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn version_2_bundles_still_load() {
+        let programs: Vec<CompiledProgram> = (0..5).map(sample_program).collect();
+        let v2 = encode_bundle_v2(programs.iter());
+        assert_eq!(u32::from_le_bytes([v2[4], v2[5], v2[6], v2[7]]), 2);
+        assert_eq!(decode_bundle(&v2).expect("v2 decodes"), programs);
+        let salvage = salvage_bundle(&v2);
+        assert!(salvage.clean);
+        assert_eq!(salvage.programs, programs);
+    }
+
+    #[test]
+    fn strict_decoder_rejects_checksum_damage() {
+        let programs: Vec<CompiledProgram> = (0..3).map(sample_program).collect();
+        let good = encode_bundle(programs.iter());
+        let ends = record_end_offsets(&good).expect("offsets");
+        // Flip one bit inside record 1's bytes.
+        let mut flipped = good.clone();
+        flipped[ends[0] + 2] ^= 0x40;
+        assert!(decode_bundle(&flipped).is_err(), "bit flip must be caught");
+        // Flip one bit inside the footer's file checksum.
+        let mut footer = good.clone();
+        let n = footer.len();
+        footer[n - 6] ^= 0x01;
+        assert!(
+            decode_bundle(&footer).is_err(),
+            "footer flip must be caught"
+        );
+    }
+
+    #[test]
+    fn salvage_recovers_the_exact_prefix_under_truncation() {
+        let programs: Vec<CompiledProgram> = (0..4).map(sample_program).collect();
+        let good = encode_bundle(programs.iter());
+        let ends = record_end_offsets(&good).expect("offsets");
+        for cut in 0..good.len() {
+            let salvage = salvage_bundle(&good[..cut]);
+            let expected = ends.iter().take_while(|&&e| e <= cut).count();
+            assert!(!salvage.clean, "a truncated bundle is never clean");
+            assert_eq!(
+                salvage.programs.len(),
+                expected,
+                "truncation at {cut} must salvage exactly the valid prefix"
+            );
+            assert_eq!(salvage.programs[..], programs[..expected]);
+        }
+        assert!(salvage_bundle(&good).clean, "intact bundle is clean");
+    }
+
+    #[test]
+    fn salvage_stops_at_the_first_flipped_record() {
+        let programs: Vec<CompiledProgram> = (0..4).map(sample_program).collect();
+        let good = encode_bundle(programs.iter());
+        let ends = record_end_offsets(&good).expect("offsets");
+        // Damage record 2: everything before it salvages, nothing after.
+        let mut bytes = good.clone();
+        bytes[ends[1] + 5] ^= 0x80;
+        let salvage = salvage_bundle(&bytes);
+        assert!(!salvage.clean);
+        assert_eq!(salvage.programs, programs[..2].to_vec());
+        assert_eq!(salvage.claimed, Some(4));
+    }
+
+    #[test]
+    fn salvage_never_panics_on_arbitrary_bytes() {
+        for bytes in [
+            &b""[..],
+            b"MPAC",
+            b"MPAC\x03\x00\x00\x00",
+            b"not a bundle at all",
+            b"[{\"json\": true}]",
+            &[0xFFu8; 64][..],
+        ] {
+            let salvage = salvage_bundle(bytes);
+            assert!(!salvage.clean);
+            assert!(salvage.programs.is_empty());
+            assert!(salvage.detail.is_some());
+        }
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("mpac-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bundle.mpac");
+        let programs: Vec<CompiledProgram> = (0..2).map(sample_program).collect();
+        let bytes = encode_bundle(programs.iter());
+        write_bytes_atomic(&path, &bytes).expect("atomic write");
+        assert_eq!(std::fs::read(&path).expect("read back"), bytes);
+        // Overwrite in place: the old file must be replaced atomically.
+        let rewritten = encode_bundle(programs[..1].iter());
+        write_bytes_atomic(&path, &rewritten).expect("atomic rewrite");
+        assert_eq!(std::fs::read(&path).expect("read back"), rewritten);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive success");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,6 +26,9 @@
 //! * [`worker`] — the [`ServingRuntime`] itself: the solo dispatcher
 //!   (PR 5 behaviour, the default) and the batched dispatcher wiring the
 //!   layers above together.
+//! * [`lifecycle`] — long-lived-process concerns: graceful drain
+//!   ([`Lifecycle`], [`DrainReport`]) and live warm-state snapshots
+//!   ([`Snapshotter`]) taken off the lock-free cache read path.
 //! * [`report`] — [`ServingReport`], latency summaries, per-tenant
 //!   stats, and the telemetry emission shared by both dispatchers.
 //!
@@ -103,12 +106,14 @@
 pub mod admission;
 pub mod batching;
 pub mod colaunch;
+pub mod lifecycle;
 pub mod report;
 pub mod request;
 pub mod worker;
 
 pub use admission::{TenantPolicy, TenantQuota};
 pub use batching::BatchingOptions;
+pub use lifecycle::{DrainReport, Lifecycle, SnapshotStats, Snapshotter};
 pub use report::{
     percentile, DispositionCounts, LatencySummary, ServingReport, TenantStats, WorkerStats,
 };

@@ -315,6 +315,14 @@ pub(crate) fn describe_serving_metrics(registry: &mikpoly_telemetry::Registry) {
             "serving.wave_occupancy_pct",
             "per-wave resident-warp demand as a percentage of machine capacity",
         ),
+        (
+            "serving.drain.drained",
+            "requests shed because admission was closed by a graceful drain",
+        ),
+        (
+            "serving.drain.generation",
+            "warm-state generation the drain persisted the caches under",
+        ),
     ] {
         registry.describe(name, help);
     }

@@ -96,6 +96,11 @@ pub enum ShedReason {
     /// The request's tenant had exhausted its waiting-slot quota; other
     /// tenants' capacity is untouched (the isolation mechanism).
     TenantThrottled,
+    /// The runtime was draining: admission was closed by a graceful
+    /// shutdown (see [`crate::serving::Lifecycle`]). The request still
+    /// gets a disposition and a retained chain — a drain loses nothing
+    /// silently.
+    Draining,
 }
 
 impl ShedReason {
@@ -107,6 +112,7 @@ impl ShedReason {
             ShedReason::DeadlineAtDispatch => "deadline-at-dispatch",
             ShedReason::QueueFull => "queue-full",
             ShedReason::TenantThrottled => "tenant-throttled",
+            ShedReason::Draining => "draining",
         }
     }
 }

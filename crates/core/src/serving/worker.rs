@@ -33,6 +33,7 @@ use mikpoly_telemetry::{Clock, ClockNs, Telemetry};
 use super::admission::{FairMeter, TenantPolicy, WaitQueue};
 use super::batching::{form_batches, BatchingOptions, ReadyEvent};
 use super::colaunch::{plan_demand, plan_waves, warp_capacity, wave_device_ns};
+use super::lifecycle::{drained_count, DrainReport, Lifecycle};
 use super::report::{
     describe_serving_metrics, emit_request_telemetry, EmitContext, ServingReport, WorkerStats,
 };
@@ -119,6 +120,7 @@ pub struct ServingRuntime {
     telemetry: Arc<Telemetry>,
     options: ServingOptions,
     breaker: Option<CircuitBreaker>,
+    lifecycle: Arc<Lifecycle>,
 }
 
 impl ServingRuntime {
@@ -146,6 +148,7 @@ impl ServingRuntime {
             telemetry,
             options: ServingOptions::default(),
             breaker: None,
+            lifecycle: Arc::new(Lifecycle::new()),
         }
     }
 
@@ -189,6 +192,67 @@ impl ServingRuntime {
     /// The per-shape circuit breaker, when enabled.
     pub fn breaker(&self) -> Option<&CircuitBreaker> {
         self.breaker.as_ref()
+    }
+
+    /// The drain handle. Clone it out to trigger a graceful shutdown
+    /// from another thread ([`Lifecycle::request_drain`]) or pin a
+    /// deterministic virtual drain point before serving
+    /// ([`Lifecycle::request_drain_at`]); requests arriving past the
+    /// drain point are shed as [`ShedReason::Draining`].
+    pub fn lifecycle(&self) -> &Arc<Lifecycle> {
+        &self.lifecycle
+    }
+
+    /// Finalizes a graceful drain after [`ServingRuntime::serve`]
+    /// returns: closes admission for good, persists the warm program
+    /// caches into `snapshot_dir` (atomic generation commit) when one is
+    /// given, and accounts for the run — every admitted request's
+    /// disposition, the draining sheds, and the retained
+    /// flight-recorder chains. A persist failure is reported in the
+    /// [`DrainReport`], never panicked on: dispositions are not held
+    /// hostage by disk.
+    pub fn drain(
+        &self,
+        report: &ServingReport,
+        snapshot_dir: Option<&std::path::Path>,
+    ) -> DrainReport {
+        self.lifecycle.request_drain();
+        let dispositions = report.dispositions();
+        let drained = drained_count(&report.records);
+        let (persisted_generation, persist_error) = match snapshot_dir {
+            Some(dir) => match self.engine.save_program_caches(dir) {
+                Ok(generation) => (Some(generation), None),
+                Err(e) => (None, Some(e.to_string())),
+            },
+            None => (None, None),
+        };
+        let chains_retained = self.telemetry.recorder().retained();
+        if self.telemetry.is_enabled() {
+            let registry = self.telemetry.registry();
+            registry.describe(
+                "serving.drain.drained",
+                "Requests shed because admission was closed by a graceful drain",
+            );
+            registry.describe(
+                "serving.drain.generation",
+                "Warm-state generation committed by the drain's final persist",
+            );
+            registry
+                .counter("serving.drain.drained")
+                .add(drained as u64);
+            if let Some(generation) = persisted_generation {
+                registry
+                    .gauge("serving.drain.generation")
+                    .set(generation as f64);
+            }
+        }
+        DrainReport {
+            drained,
+            dispositions,
+            chains_retained,
+            persisted_generation,
+            persist_error,
+        }
     }
 
     /// Whether a tenant policy is configured (gates per-tenant metrics).
@@ -351,14 +415,22 @@ impl ServingRuntime {
                             let Some(request) = ordered.get(ticket) else {
                                 break;
                             };
-                            // Pre-admission shed: a deadline that passed
-                            // before arrival means the request is never
+                            // Pre-admission shed: a drain point the request
+                            // arrived past, or a deadline that passed
+                            // before arrival, means the request is never
                             // compiled at all — it only takes (and
                             // immediately passes) its sequencer turn.
-                            if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                            let pre_shed = if self.lifecycle.draining_at(request.arrival_ns) {
+                                Some(ShedReason::Draining)
+                            } else if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                                Some(ShedReason::DeadlineAtEnqueue)
+                            } else {
+                                None
+                            };
+                            if let Some(reason) = pre_shed {
                                 sequencer.wait_for(ticket);
                                 sequencer.advance();
-                                let record = shed_record(request, ShedReason::DeadlineAtEnqueue);
+                                let record = shed_record(request, reason);
                                 if telemetry.is_enabled() {
                                     emit_request_telemetry(
                                         telemetry,
@@ -563,7 +635,9 @@ impl ServingRuntime {
                         let Some(request) = ordered.get(i) else {
                             break;
                         };
-                        if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                        if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns)
+                            || self.lifecycle.draining_at(request.arrival_ns)
+                        {
                             continue;
                         }
                         *slots[i].lock() = Some(self.compile_request(request));
@@ -588,8 +662,15 @@ impl ServingRuntime {
         let mut records: Vec<Option<RequestRecord>> = vec![None; n];
         let mut pending: Vec<Pending<'_>> = Vec::new();
         for (slot, request) in ordered.iter().enumerate() {
-            if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
-                let record = shed_record(request, ShedReason::DeadlineAtEnqueue);
+            let pre_shed = if self.lifecycle.draining_at(request.arrival_ns) {
+                Some(ShedReason::Draining)
+            } else if request.deadline_ns.is_some_and(|d| d <= request.arrival_ns) {
+                Some(ShedReason::DeadlineAtEnqueue)
+            } else {
+                None
+            };
+            if let Some(reason) = pre_shed {
+                let record = shed_record(request, reason);
                 if telemetry.is_enabled() {
                     emit_request_telemetry(
                         telemetry,
@@ -1216,6 +1297,107 @@ mod tests {
             "every request launched solo: {waves} waves"
         );
         assert_eq!(snap.counter("serving.requests"), Some(16));
+    }
+
+    #[test]
+    fn virtual_drain_point_sheds_exactly_the_late_arrivals() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let telemetry = mikpoly_telemetry::Telemetry::enabled();
+        let runtime =
+            ServingRuntime::new(engine, cluster, 2).with_telemetry(Arc::clone(&telemetry));
+        let requests = stream(16, 50_000.0);
+        // Pin the drain point to request 10's arrival: the shed set is a
+        // pure function of arrival times, so exactly requests 10..16 are
+        // shed as draining and everything earlier runs to completion.
+        runtime
+            .lifecycle()
+            .request_drain_at(requests[10].arrival_ns);
+        let report = runtime.serve(&requests);
+        assert_eq!(report.records.len(), 16);
+        for r in &report.records[..10] {
+            assert_eq!(r.disposition, Disposition::Completed, "{r:?}");
+        }
+        for r in &report.records[10..] {
+            assert_eq!(r.disposition, Disposition::Shed, "{r:?}");
+            assert_eq!(r.shed_reason, Some(ShedReason::Draining));
+            assert!(!r.executed(), "drained requests consume no device");
+        }
+        let dir = std::env::temp_dir().join(format!("mikpoly-drain-solo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let drain = runtime.drain(&report, Some(&dir));
+        // The nothing-lost invariant: every request has a disposition,
+        // the draining sheds are counted, and the caches committed.
+        assert_eq!(drain.dispositions.total(), 16);
+        assert_eq!(drain.drained, 6);
+        assert_eq!(drain.dispositions.shed, 6);
+        assert_eq!(drain.persisted_generation, Some(1));
+        assert!(drain.persist_error.is_none());
+        assert!(
+            drain.chains_retained >= 6,
+            "every shed request retains a chain: {drain:?}"
+        );
+        assert!(runtime.lifecycle().is_draining());
+        // Admission stays closed after the drain: a fresh serve sheds
+        // everything.
+        let after = runtime.serve(&stream(4, 50_000.0));
+        assert!(after
+            .records
+            .iter()
+            .all(|r| r.shed_reason == Some(ShedReason::Draining)));
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("serving.drain.drained"), Some(6));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_drain_keeps_the_disposition_invariant() {
+        let engine = engine();
+        let cluster = local_cluster(&engine);
+        let runtime = ServingRuntime::new(engine, cluster, 4).with_options(ServingOptions {
+            batching: Some(BatchingOptions::new(200_000.0, 8)),
+            ..ServingOptions::default()
+        });
+        let requests: Vec<Request> = (0..16)
+            .map(|i| {
+                Request::single(
+                    i,
+                    i as f64 * 100.0,
+                    Operator::gemm(GemmShape::new(64, 64, 64)),
+                )
+            })
+            .collect();
+        runtime
+            .lifecycle()
+            .request_drain_at(requests[12].arrival_ns);
+        let report = runtime.serve(&requests);
+        let drain = runtime.drain(&report, None);
+        assert_eq!(drain.dispositions.total(), 16);
+        assert_eq!(drain.drained, 4);
+        assert_eq!(drain.dispositions.completed, 12);
+        assert_eq!(drain.persisted_generation, None);
+        assert!(drain.persist_error.is_none());
+        for r in &report.records[12..] {
+            assert_eq!(r.shed_reason, Some(ShedReason::Draining), "{r:?}");
+            assert_eq!(r.batch_size, 0, "drained requests join no wave");
+        }
+        // Deterministic replay: the same stream and drain point produce
+        // the same shed set on a fresh runtime.
+        let fresh = self::engine();
+        let cluster = local_cluster(&fresh);
+        let rerun = ServingRuntime::new(fresh, cluster, 4).with_options(ServingOptions {
+            batching: Some(BatchingOptions::new(200_000.0, 8)),
+            ..ServingOptions::default()
+        });
+        rerun.lifecycle().request_drain_at(requests[12].arrival_ns);
+        let rerun_report = rerun.serve(&requests);
+        let sheds: Vec<usize> = rerun_report
+            .records
+            .iter()
+            .filter(|r| r.shed_reason == Some(ShedReason::Draining))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(sheds, vec![12, 13, 14, 15]);
     }
 
     #[test]

@@ -116,4 +116,30 @@ echo "==> conformance gate (hard corpus, p95 oracle gap <= 1.10)"
 ./target/release/conformance gate --corpus tests/corpus/hard-shapes.json \
   --threshold 1.10 --out "$smoke_dir/oracle-gate-hard.json"
 
+# Crash matrix: the durable warm-state loader must never panic and must
+# salvage exactly the valid record prefix — every-offset truncation plus
+# fixed-seed bit flips and arbitrary-byte blobs (the binary exits
+# non-zero on any violation).
+echo "==> conformance crash (seed 7, truncation sweep + 128 flips + 128 blobs)"
+./target/release/conformance crash --seed 7 --flips 128 --fuzz-blobs 128
+
+# Durability smoke: serve with a live snapshotter and a mid-stream drain
+# point, then restart against the snapshot directory. The first serve
+# must commit a generation manifest; the second must restore it cleanly
+# (the binary prints the restore report and exits non-zero if any
+# request lacks exactly one terminal disposition).
+echo "==> durability smoke: serve --snapshot-dir + --drain-after-us, then warm restart"
+./target/release/mikpoly serve --requests 24 --workers 2 --devices 2 \
+  --snapshot-dir "$smoke_dir/warm-state" --drain-after-us 400
+test -f "$smoke_dir/warm-state/MANIFEST" || {
+  echo "error: drain did not commit a generation manifest" >&2
+  exit 1
+}
+./target/release/mikpoly serve --requests 24 --workers 2 --devices 2 \
+  --snapshot-dir "$smoke_dir/warm-state" 2> "$smoke_dir/restore.txt"
+grep -q "restore:" "$smoke_dir/restore.txt" || {
+  echo "error: warm restart printed no restore report" >&2
+  exit 1
+}
+
 echo "CI green."

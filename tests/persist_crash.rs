@@ -1,0 +1,207 @@
+//! Crash-consistency suite for the durable warm state.
+//!
+//! The recovery contract under test, end to end through the public API:
+//!
+//! * saves are **atomic generation commits** — a directory always holds
+//!   one complete committed generation plus quarantine evidence, never a
+//!   mix of old and new bundles, and never a stray temp file;
+//! * truncation at **any** byte offset salvages exactly the records
+//!   whose bytes lie entirely before the cut;
+//! * any single-bit flip is rejected by the strict (checksummed)
+//!   decoder;
+//! * a swapped-in bundle that is internally valid but not the committed
+//!   one is damage, not data — quarantined, never silently adopted;
+//! * the legacy JSON path is capped before its superlinear parse can
+//!   stall a restart.
+
+use std::sync::{Arc, OnceLock};
+
+use mikpoly_suite::accel_sim::MachineModel;
+use mikpoly_suite::mikpoly::{
+    decode_bundle, encode_bundle, encode_bundle_v2, record_end_offsets, salvage_bundle, Engine,
+    OfflineOptions, RestoreOutcome,
+};
+use mikpoly_suite::tensor_ir::{GemmShape, Operator};
+
+/// One tuned engine with three warm gemm programs, shared read-only by
+/// every test (offline tuning is the expensive part).
+fn shared_engine() -> Arc<Engine> {
+    static ENGINE: OnceLock<Arc<Engine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let engine = Arc::new(Engine::offline(MachineModel::a100(), &offline()));
+        for shape in [
+            GemmShape::new(256, 256, 256),
+            GemmShape::new(320, 192, 128),
+            GemmShape::new(64, 64, 64),
+        ] {
+            engine.run_operator(&Operator::gemm(shape));
+        }
+        engine
+    }))
+}
+
+fn offline() -> OfflineOptions {
+    let mut o = OfflineOptions::fast();
+    o.n_gen = 4;
+    o
+}
+
+/// A cold engine on the same (deterministically tuned) library, for
+/// restore targets.
+fn fresh_engine() -> Engine {
+    Engine::offline(MachineModel::a100(), &offline())
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mikpoly-persist-crash-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn truncation_at_every_offset_salvages_the_exact_prefix() {
+    let engine = shared_engine();
+    let bundle = engine.gemm_compiler().encode_program_cache();
+    let ends = record_end_offsets(&bundle).expect("fresh bundle indexes");
+    assert_eq!(ends.len(), 3, "three warm programs, three records");
+    for cut in 0..=bundle.len() {
+        let salvage = salvage_bundle(&bundle[..cut]);
+        let expected = ends.iter().filter(|&&end| end <= cut).count();
+        assert_eq!(
+            salvage.programs.len(),
+            expected,
+            "cut at {cut}: salvage must recover the exact valid prefix"
+        );
+        assert_eq!(
+            salvage.clean,
+            cut == bundle.len(),
+            "only the untruncated bundle is clean (cut {cut})"
+        );
+    }
+}
+
+#[test]
+fn previous_format_loads_and_bit_flips_never_pass_strict_decode() {
+    let engine = shared_engine();
+    let programs =
+        decode_bundle(&engine.gemm_compiler().encode_program_cache()).expect("self decode");
+    // The previous binary revision (no checksums) decodes forever.
+    let v2 = encode_bundle_v2(programs.iter());
+    assert_eq!(
+        decode_bundle(&v2).expect("v2 decodes").len(),
+        programs.len()
+    );
+    // Any single-bit flip anywhere in the checksummed format is caught
+    // by the strict decoder, and salvage stays panic-free on it.
+    let v3 = encode_bundle(programs.iter());
+    for pos in (0..v3.len()).step_by(97) {
+        for bit in [0u8, 3, 7] {
+            let mut damaged = v3.clone();
+            damaged[pos] ^= 1 << bit;
+            assert!(
+                decode_bundle(&damaged).is_err(),
+                "flip at byte {pos} bit {bit} went undetected"
+            );
+            let _ = salvage_bundle(&damaged);
+        }
+    }
+}
+
+#[test]
+fn generation_commits_restore_clean_and_reclaim_superseded_files() {
+    let engine = shared_engine();
+    let dir = scratch("gen");
+    let g1 = engine.save_program_caches(&dir).expect("gen 1");
+    let g2 = engine.save_program_caches(&dir).expect("gen 2");
+    assert_eq!((g1, g2), (1, 2));
+    assert!(
+        !dir.join("gemm.mpac.1").exists(),
+        "superseded generation was not reclaimed"
+    );
+    assert!(dir.join("gemm.mpac.2").exists());
+    // The atomic write protocol leaves no temp files behind.
+    for entry in std::fs::read_dir(&dir).expect("readdir") {
+        let name = entry.expect("entry").file_name();
+        assert!(
+            !name.to_string_lossy().contains(".tmp."),
+            "stray temp file {name:?}"
+        );
+    }
+    let fresh = fresh_engine();
+    let restore = fresh.restore_program_caches(&dir);
+    assert!(restore.clean(), "{restore}");
+    assert_eq!(restore.generation, Some(2));
+    assert_eq!(restore.restored(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_swapped_bundle_never_mixes_generations() {
+    let engine = shared_engine();
+    let dir = scratch("swap");
+    engine.save_program_caches(&dir).expect("gen 1");
+    let gen1_gemm = std::fs::read(dir.join("gemm.mpac.1")).expect("read gen 1");
+    engine.save_program_caches(&dir).expect("gen 2");
+    // Plant an internally-valid bundle (every checksum passes) that is
+    // *not* the committed generation-2 content: a shorter re-encode.
+    let programs = decode_bundle(&gen1_gemm).expect("decode gen 1");
+    let forged = encode_bundle(programs.iter().take(2));
+    std::fs::write(dir.join("gemm.mpac.2"), &forged).expect("plant forged bundle");
+
+    let fresh = fresh_engine();
+    let restore = fresh.restore_program_caches(&dir);
+    assert!(
+        restore.degraded(),
+        "a bundle that disagrees with the manifest must be damage: {restore}"
+    );
+    let gemm = restore
+        .bundles
+        .iter()
+        .find(|b| b.bundle == "gemm")
+        .expect("gemm entry");
+    assert!(
+        matches!(
+            gemm.outcome,
+            RestoreOutcome::Salvaged | RestoreOutcome::Quarantined
+        ),
+        "{restore}"
+    );
+    assert!(
+        gemm.quarantined_to.as_ref().is_some_and(|p| p.exists()),
+        "the evidence must be quarantined, not deleted: {restore}"
+    );
+    let conv = restore
+        .bundles
+        .iter()
+        .find(|b| b.bundle == "conv")
+        .expect("conv entry");
+    assert!(
+        matches!(conv.outcome, RestoreOutcome::Clean),
+        "the untouched bundle stays clean: {restore}"
+    );
+    // Re-plant the forgery (the restore above quarantined it away):
+    // the strict loader refuses the directory outright.
+    std::fs::write(dir.join("gemm.mpac.2"), &forged).expect("re-plant forged bundle");
+    assert!(fresh_engine().load_program_caches(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_legacy_json_is_rejected_with_guidance() {
+    let engine = shared_engine();
+    let path = std::env::temp_dir().join(format!("mikpoly-legacy-cap-{}.json", std::process::id()));
+    let mut blob = vec![b' '; (1 << 20) + 1];
+    blob[0] = b'[';
+    std::fs::write(&path, &blob).expect("write oversized JSON");
+    let err = engine
+        .gemm_compiler()
+        .load_program_cache(&path)
+        .expect_err("an over-cap legacy document must be rejected, not parsed");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("binary format"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -310,6 +310,101 @@ fn bounded_cache_survives_chaos_with_coherent_counters() {
     assert!(stats.hit_rate().is_finite());
 }
 
+/// Restart under chaos: a live snapshotter persists the warm caches
+/// mid-stream while the fault cocktail runs, a virtual drain point
+/// closes admission, and the committed generation restores *clean* into
+/// a fresh engine — which then serves the same shapes with zero compile
+/// time. The full crash-consistency loop: snapshot → drain → restart →
+/// warm.
+#[test]
+fn snapshot_mid_chaos_drain_and_restart_serves_warm() {
+    let engine = engine();
+    let cluster = Cluster::new(engine.machine().clone(), 1, Interconnect::nvlink3());
+    let telemetry = mikpoly_suite::mikpoly::telemetry::Telemetry::enabled();
+    let plan = FaultPlan {
+        seed: 0xD8A1,
+        device_fault_rate: 0.05,
+        search_stall_rate: 0.1,
+        search_stall_ns: 100_000,
+        cache_corrupt_rate: 0.2,
+        compile_panic_rate: 0.1,
+        panic_attempts: 2,
+    };
+    let runtime = ServingRuntime::new(Arc::clone(&engine), cluster, 4)
+        .with_telemetry(Arc::clone(&telemetry))
+        .with_options(ServingOptions {
+            compile_budget: Some(Duration::from_millis(20)),
+            breaker: Some(BreakerPolicy::default()),
+            fault_plan: Some(Arc::new(plan)),
+            ..ServingOptions::default()
+        });
+    let requests = stream(60, 30_000.0, 9);
+    // Deterministic drain point: requests 50.. are shed as draining.
+    runtime
+        .lifecycle()
+        .request_drain_at(requests[50].arrival_ns);
+
+    let dir = std::env::temp_dir().join(format!("mikpoly-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snapshotter = mikpoly_suite::mikpoly::Snapshotter::start(
+        Arc::clone(&engine),
+        dir.clone(),
+        Duration::from_millis(5),
+    );
+    let report = runtime.serve(&requests);
+    // Stopping the snapshotter takes the final snapshot — the drain's
+    // persist step — before the drain accounting reads the caches.
+    let stats = snapshotter.stop();
+    assert!(stats.snapshots >= 1, "{stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    let drain = runtime.drain(&report, Some(&dir));
+
+    // Nothing lost: every request has a disposition, the drained count
+    // is exactly the arrivals past the point, and every anomalous record
+    // kept its flight-recorder chain.
+    assert_eq!(drain.dispositions.total(), 60);
+    let expected_drained = requests
+        .iter()
+        .filter(|r| r.arrival_ns >= requests[50].arrival_ns)
+        .count();
+    assert_eq!(drain.drained, expected_drained);
+    assert!(drain.persisted_generation.is_some(), "{drain:?}");
+    assert!(drain.persist_error.is_none(), "{drain:?}");
+    let recorder = telemetry.recorder();
+    let mut anomalous = 0u64;
+    for r in &report.records {
+        if matches!(r.disposition, Disposition::Shed | Disposition::Failed) {
+            anomalous += 1;
+            assert!(
+                recorder.find(r.id as u64).is_some(),
+                "request {} lost its chain across the drain",
+                r.id
+            );
+        }
+    }
+    assert!(drain.chains_retained >= anomalous, "{drain:?}");
+
+    // Restart: a fresh engine (same offline options, identical library)
+    // restores the committed generation clean and serves the same shapes
+    // without a single online polymerization.
+    let fresh = self::engine();
+    let restore = fresh.restore_program_caches(&dir);
+    assert!(restore.clean(), "restore not clean after chaos:\n{restore}");
+    assert!(restore.restored() > 0, "{restore}");
+    let cluster = Cluster::new(fresh.machine().clone(), 1, Interconnect::nvlink3());
+    let rerun = ServingRuntime::new(Arc::clone(&fresh), cluster, 2);
+    let warm = rerun.serve(&stream(16, 50_000.0, 9));
+    for r in &warm.records {
+        assert_eq!(r.disposition, Disposition::Completed, "{r:?}");
+        assert_eq!(
+            r.compile.ns(),
+            0.0,
+            "restored cache missed a warm hit: {r:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Degraded programs are slower, not wrong: the search-free fallback and
 /// a poison-evicted recompile both still match the reference semantics.
 #[test]
